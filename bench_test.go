@@ -1,0 +1,318 @@
+package repro_test
+
+// One benchmark per table/figure of the paper's evaluation (§5), plus
+// ablation benches for the design choices DESIGN.md calls out. The heavier
+// experiment *reports* live in cmd/experiments; these benchmarks time the
+// operations each experiment is built from, on the same cached prepared
+// networks.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/deepcomp"
+	"repro/internal/experiments"
+	"repro/internal/lossless"
+	"repro/internal/models"
+	"repro/internal/prune"
+	"repro/internal/sz"
+	"repro/internal/weightless"
+	"repro/internal/zfp"
+)
+
+// fc6Data returns the pruned data and index arrays of AlexNet-s fc6, the
+// canonical compressor workload of Figures 2 and 4.
+func fc6Data(b *testing.B) (*experiments.Prepared, *prune.Sparse) {
+	b.Helper()
+	p, err := experiments.Prepare(models.AlexNetS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, prune.Encode(p.Pruned.DenseLayers()[0].Weights())
+}
+
+// BenchmarkTable1Forward times one 100-image forward pass of each scaled
+// network (the fwd-time columns of Table 1).
+func BenchmarkTable1Forward(b *testing.B) {
+	for _, name := range models.All() {
+		p, err := experiments.Prepare(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx := make([]int, 100)
+		for i := range idx {
+			idx[i] = i % p.Test.Len()
+		}
+		x, _ := p.Test.Batch(idx)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Trained.Net.Forward(x, false)
+			}
+		})
+	}
+}
+
+// BenchmarkFig2SZvsZFP times the two lossy compressors on the fc6 data
+// array at the middle error bound of Figure 2.
+func BenchmarkFig2SZvsZFP(b *testing.B) {
+	_, sp := fc6Data(b)
+	b.Run("sz/eb=1e-3", func(b *testing.B) {
+		b.SetBytes(int64(4 * len(sp.Data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := sz.Compress(sp.Data, sz.Options{ErrorBound: 1e-3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("zfp/eb=1e-3", func(b *testing.B) {
+		b.SetBytes(int64(4 * len(sp.Data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := zfp.Compress(sp.Data, zfp.Options{Mode: zfp.ModeAccuracy, Tolerance: 1e-3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig4Lossless times the three lossless back-ends on the fc6 index
+// array (Figure 4's workload).
+func BenchmarkFig4Lossless(b *testing.B) {
+	_, sp := fc6Data(b)
+	idx := make([]byte, len(sp.Index))
+	copy(idx, sp.Index)
+	for _, c := range lossless.All() {
+		b.Run(c.Name(), func(b *testing.B) {
+			b.SetBytes(int64(len(idx)))
+			for i := 0; i < b.N; i++ {
+				c.Compress(idx)
+			}
+		})
+	}
+}
+
+// BenchmarkFig5Assessment times Algorithm 1 on LeNet-300-100 — the
+// dominant cost of DeepSZ encoding (Figures 3/5 are its raw data).
+func BenchmarkFig5Assessment(b *testing.B) {
+	p, err := experiments.Prepare(models.LeNet300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.PipelineConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Assess(p.Pruned, p.Test, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Evaluate times one cached-feature accuracy test, the unit of
+// work behind the Figure 6 linearity study.
+func BenchmarkFig6Evaluate(b *testing.B) {
+	p, err := experiments.Prepare(models.AlexNetS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	split := p.Pruned.FirstDenseIndex()
+	features := p.Pruned.FeatureCache(split, p.Test, 100)
+	suffix := p.Pruned.CloneRange(split, len(p.Pruned.Layers))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		suffix.EvaluateFrom(0, features, p.Test, 100)
+	}
+}
+
+// BenchmarkTable2Pipeline times the full DeepSZ encode (steps 2–4) on
+// LeNet-300-100, the pipeline behind Table 2.
+func BenchmarkTable2Pipeline(b *testing.B) {
+	p, err := experiments.Prepare(models.LeNet300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.PipelineConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Encode(p.Pruned, p.Test, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Reconstruct times model decode+apply+evaluate, the
+// verification loop behind Table 3.
+func BenchmarkTable3Reconstruct(b *testing.B) {
+	p, err := experiments.Prepare(models.LeNet300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recon := p.Pruned.Clone()
+		if _, err := p.Result.Model.Apply(recon); err != nil {
+			b.Fatal(err)
+		}
+		recon.Evaluate(p.Test, 100)
+	}
+}
+
+// BenchmarkTable4Baselines times the three encoders on the fc6 layer
+// (Table 4 compares their output sizes).
+func BenchmarkTable4Baselines(b *testing.B) {
+	p, sp := fc6Data(b)
+	dense := p.Pruned.DenseLayers()[0].Weights()
+	b.Run("deepsz-sz", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sz.Compress(sp.Data, sz.Options{ErrorBound: 1e-2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("deepcomp-5bit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := deepcomp.CompressLayer(dense, deepcomp.Options{Bits: 5}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("weightless-bloomier", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := weightless.Encode(dense, weightless.Options{ValueBits: 4, CheckBits: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable5Quantize times the bit-width-matched quantization behind
+// Table 5.
+func BenchmarkTable5Quantize(b *testing.B) {
+	p, _ := fc6Data(b)
+	dense := p.Pruned.DenseLayers()[0].Weights()
+	for i := 0; i < b.N; i++ {
+		c, err := deepcomp.CompressLayer(dense, deepcomp.Options{Bits: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Decompress(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7Decode times the three decoders (Figure 7b).
+func BenchmarkFig7Decode(b *testing.B) {
+	p, sp := fc6Data(b)
+	dense := p.Pruned.DenseLayers()[0].Weights()
+
+	b.Run("deepsz", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			recon := p.Pruned.Clone()
+			if _, err := p.Result.Model.Apply(recon); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	dc, err := deepcomp.CompressLayer(dense, deepcomp.Options{Bits: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("deepcomp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dc.Decompress(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	wl, err := weightless.Encode(dense, weightless.Options{ValueBits: 4, CheckBits: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("weightless", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			wl.Decompress()
+		}
+	})
+	_ = sp
+}
+
+// BenchmarkFig7EncodeDeepSZ times generation (step 4) alone — the encode
+// path once assessment data exists.
+func BenchmarkFig7EncodeDeepSZ(b *testing.B) {
+	p, err := experiments.Prepare(models.LeNet300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.PipelineConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Generate(p.Pruned, p.Result.Plan, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPredictor compares SZ's adaptive predictor against
+// Lorenzo-only and regression-only on the fc6 data array (DESIGN.md §5).
+func BenchmarkAblationPredictor(b *testing.B) {
+	_, sp := fc6Data(b)
+	for _, tc := range []struct {
+		name string
+		opts sz.Options
+	}{
+		{"adaptive", sz.Options{ErrorBound: 1e-3}},
+		{"lorenzo-only", sz.Options{ErrorBound: 1e-3, DisableRegression: true}},
+		{"regression-only", sz.Options{ErrorBound: 1e-3, DisableLorenzo: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var blob []byte
+			for i := 0; i < b.N; i++ {
+				var err error
+				blob, err = sz.Compress(sp.Data, tc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(sz.Ratio(len(sp.Data), blob), "ratio")
+		})
+	}
+}
+
+// BenchmarkAblationLosslessStage measures the SZ pipeline with and without
+// its final lossless stage.
+func BenchmarkAblationLosslessStage(b *testing.B) {
+	_, sp := fc6Data(b)
+	for _, tc := range []struct {
+		name string
+		opts sz.Options
+	}{
+		{"with-lossless", sz.Options{ErrorBound: 1e-3}},
+		{"without-lossless", sz.Options{ErrorBound: 1e-3, DisableLossless: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var blob []byte
+			for i := 0; i < b.N; i++ {
+				var err error
+				blob, err = sz.Compress(sp.Data, tc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(sz.Ratio(len(sp.Data), blob), "ratio")
+		})
+	}
+}
+
+// BenchmarkExperimentReports runs the cheap report generators end to end so
+// `go test -bench` exercises the same code paths as cmd/experiments.
+func BenchmarkExperimentReports(b *testing.B) {
+	for _, id := range []string{"fig2", "fig4", "table3"} {
+		b.Run(id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := experiments.Run(id, io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

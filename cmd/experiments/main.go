@@ -1,0 +1,34 @@
+// Command experiments regenerates the paper's tables and figures on the
+// scaled substrates (see DESIGN.md for the substitutions).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp table2
+//	experiments -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1, fig2, fig4, fig5, fig6, table2, table3, table4, table5, fig7, all)")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	if err := experiments.Run(*exp, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

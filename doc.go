@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of DeepSZ (Jin et al.,
+// HPDC 2019): a DNN compression framework built on error-bounded lossy
+// compression. The framework lives in internal/core; every substrate it
+// needs (DNN engine, SZ and ZFP compressors, lossless back-ends, pruning,
+// and the Deep Compression / Weightless baselines) is implemented in the
+// internal packages. See README.md for the tour and DESIGN.md for the
+// paper-to-module map.
+//
+// The repository-level benchmarks in bench_test.go regenerate the paper's
+// tables and figures; cmd/experiments prints them as reports.
+package repro

@@ -1,0 +1,65 @@
+// Accuracy–ratio trade-off: DeepSZ's two operating modes (§3.4). The
+// expected-accuracy mode maximises compression under an accuracy budget;
+// the expected-ratio mode minimises accuracy loss under a size target.
+// This example sweeps both on LeNet-5 and prints the frontier.
+//
+//	go run ./examples/accuracy-tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+func main() {
+	tr, err := models.Pretrained(models.LeNet5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := tr.Net.Clone()
+	prune.Network(net, prune.PaperRatios(models.LeNet5), 0.1)
+	prune.Retrain(net, tr.Train, 1, 0.03, tensor.NewRNG(7))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\ttarget\tratio\ttop-1 before\ttop-1 after")
+
+	// Expected-accuracy mode: tighter and looser budgets.
+	for _, budget := range []float64{0.005, 0.02, 0.05} {
+		res, err := core.Encode(net, tr.Test, core.Config{
+			ExpectedAccuracyLoss: budget,
+			DistortionCriterion:  0.005,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "expected-accuracy\tloss ≤ %.1f%%\t%.1fx\t%.2f%%\t%.2f%%\n",
+			100*budget, res.CompressionRatio(),
+			100*res.Before.Top1, 100*res.After.Top1)
+	}
+
+	// Expected-ratio mode: increasingly aggressive size targets.
+	for _, ratio := range []float64{20, 40, 60} {
+		res, err := core.Encode(net, tr.Test, core.Config{
+			Mode:                core.ExpectedRatio,
+			TargetRatio:         ratio,
+			DistortionCriterion: 0.005,
+		})
+		if err != nil {
+			fmt.Fprintf(tw, "expected-ratio\t≥ %.0fx\tinfeasible: %v\n", ratio, err)
+			continue
+		}
+		fmt.Fprintf(tw, "expected-ratio\t≥ %.0fx\t%.1fx\t%.2f%%\t%.2f%%\n",
+			ratio, res.CompressionRatio(),
+			100*res.Before.Top1, 100*res.After.Top1)
+	}
+	tw.Flush()
+	fmt.Println("\nhigher budgets buy higher ratios; the ratio mode hits its size")
+	fmt.Println("target while spending as little accuracy as the assessment allows.")
+}

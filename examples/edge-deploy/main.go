@@ -1,0 +1,92 @@
+// Edge deployment: the paper's motivating scenario (§1) — a model trained
+// in the cloud must reach edge devices over a 2G-class link (1 Mbit/s).
+// This example encodes a VGG-16-s with DeepSZ, "ships" the bitstream, and
+// decodes it on the device side, reporting transfer-time savings and the
+// decode overhead relative to inference.
+//
+//	go run ./examples/edge-deploy
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+// linkBitsPerSecond models the 2G link of the paper's GSMA citation.
+const linkBitsPerSecond = 1e6
+
+func main() {
+	// --- cloud side ---
+	tr, err := models.Pretrained(models.VGG16S)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := tr.Net.Clone()
+	prune.Network(net, prune.PaperRatios(models.VGG16S), 0.1)
+	prune.Retrain(net, tr.Train, 1, 0.03, tensor.NewRNG(7))
+
+	res, err := core.Encode(net, tr.Test, core.Config{
+		ExpectedAccuracyLoss: 0.02,
+		DistortionCriterion:  0.005,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wire := res.Model.Marshal()
+	fmt.Printf("cloud: encoded %s in %v\n", models.VGG16S, res.EncodeTime.Round(time.Millisecond))
+	fmt.Printf("cloud: payload %d B vs %d B dense fc weights (%.1fx smaller)\n",
+		len(wire), res.OriginalFCBytes, float64(res.OriginalFCBytes)/float64(len(wire)))
+
+	denseSec := float64(res.OriginalFCBytes*8) / linkBitsPerSecond
+	wireSec := float64(len(wire)*8) / linkBitsPerSecond
+	fmt.Printf("link:  %.1f s → %.1f s on a 1 Mbit/s link\n", denseSec, wireSec)
+
+	// --- edge side ---
+	m, err := core.Unmarshal(wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+	device := tr.Net.Clone() // architecture shipped with firmware; weights from the wire
+	t0 := time.Now()
+	bd, err := m.Apply(device)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decodeTime := time.Since(t0)
+
+	// One inference batch to put the decode cost in context (paper §4.1:
+	// decoding is cheap relative to a forward pass).
+	idx := make([]int, 50)
+	for i := range idx {
+		idx[i] = i
+	}
+	x, labels := tr.Test.Batch(idx)
+	t1 := time.Now()
+	logits := device.Forward(x, false)
+	fwdTime := time.Since(t1)
+
+	correct := 0
+	for i := 0; i < 50; i++ {
+		best, bestV := 0, logits.At(i, 0)
+		for j := 1; j < logits.Dim(1); j++ {
+			if v := logits.At(i, j); v > bestV {
+				best, bestV = j, v
+			}
+		}
+		if best == labels[i] {
+			correct++
+		}
+	}
+	fmt.Printf("edge:  decode %v (lossless %v / SZ %v / reconstruct %v)\n",
+		decodeTime.Round(time.Microsecond), bd.Lossless.Round(time.Microsecond),
+		bd.SZ.Round(time.Microsecond), bd.Reconstruct.Round(time.Microsecond))
+	fmt.Printf("edge:  50-image forward pass %v — decode is %.1f%% of one batch\n",
+		fwdTime.Round(time.Microsecond), 100*float64(decodeTime)/float64(fwdTime))
+	fmt.Printf("edge:  batch accuracy %d/50\n", correct)
+}

@@ -1,0 +1,84 @@
+// Memory-streamed decoding: the paper's future-work direction of using
+// DeepSZ to improve accelerator memory utilisation. Instead of
+// materialising every fc layer at once, the consumer keeps the model
+// compressed and decodes one layer at a time — peak extra memory is a
+// single layer's dense weights.
+//
+//	go run ./examples/memory-streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+func main() {
+	tr, err := models.Pretrained(models.AlexNetS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := tr.Net.Clone()
+	prune.Network(net, prune.PaperRatios(models.AlexNetS), 0.1)
+	prune.Retrain(net, tr.Train, 1, 0.03, tensor.NewRNG(7))
+
+	res, err := core.Encode(net, tr.Test, core.Config{
+		ExpectedAccuracyLoss: 0.02,
+		DistortionCriterion:  0.005,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Model
+
+	// Whole-model decode: peak extra memory = all dense fc layers.
+	var allDense int
+	layers, _, err := m.Decode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range layers {
+		allDense += 4 * len(l.Weights)
+	}
+
+	// Streamed decode: peak = max single layer.
+	fmt.Printf("model payload: %d B compressed\n\n", m.TotalBytes())
+	fmt.Println("layer  dense bytes  (streamed one at a time)")
+	peak := 0
+	err = m.StreamDecode(func(dl *core.DecodedLayer) error {
+		sz := 4 * len(dl.Weights)
+		if sz > peak {
+			peak = sz
+		}
+		fmt.Printf("%-5s  %d\n", dl.Name, sz)
+		// A real consumer would upload dl.Weights to the accelerator here
+		// and drop the buffer before the next layer arrives.
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npeak extra memory: %d B streamed vs %d B whole-model (%.1fx lower)\n",
+		peak, allDense, float64(allDense)/float64(peak))
+
+	// The streamed path reconstructs the same network.
+	recon := net.Clone()
+	if err := m.StreamDecode(func(dl *core.DecodedLayer) error {
+		for _, fc := range recon.DenseLayers() {
+			if fc.Name() == dl.Name {
+				fc.SetWeights(dl.Weights)
+				copy(fc.B.W.Data, dl.Bias)
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	acc := recon.Evaluate(tr.Test, 100)
+	fmt.Printf("streamed-reconstruction accuracy: top-1 %.2f%% (baseline %.2f%%)\n",
+		100*acc.Top1, 100*res.Before.Top1)
+}

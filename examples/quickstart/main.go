@@ -1,0 +1,67 @@
+// Quickstart: the full DeepSZ pipeline in one file — train a LeNet-300-100
+// on synthetic MNIST, prune it, compress it with an expected accuracy loss,
+// decode it back, and verify the accuracy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+func main() {
+	// 1. Build and train the network.
+	rng := tensor.NewRNG(42)
+	net, err := models.Build(models.LeNet300, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test, err := models.DataFor(models.LeNet300, 1200, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := nn.NewSGD(0.1, 0.9, 1e-4)
+	nn.Train(net, train, opt, nn.TrainConfig{Epochs: 3, BatchSize: 32, LRDecay: 0.7}, rng)
+	fmt.Printf("trained:  top-1 %.2f%%\n", 100*net.Evaluate(test, 100).Top1)
+
+	// 2. Prune to the paper's keep ratios and retrain with masks.
+	prune.Network(net, prune.PaperRatios(models.LeNet300), 0.1)
+	prune.Retrain(net, train, 1, 0.03, rng)
+	fmt.Printf("pruned:   top-1 %.2f%%\n", 100*net.Evaluate(test, 100).Top1)
+
+	// 3. DeepSZ encode: assessment → optimisation → compressed model.
+	res, err := core.Encode(net, test, core.Config{
+		ExpectedAccuracyLoss: 0.02,
+		DistortionCriterion:  0.005,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encoded:  %d B → %d B (%.1fx; pruning alone %.1fx)\n",
+		res.OriginalFCBytes, res.CompressedBytes,
+		res.CompressionRatio(), res.PruningRatio())
+	for _, c := range res.Plan.Choices {
+		fmt.Printf("          %s: error bound %.0e\n", c.Layer, c.EB)
+	}
+
+	// 4. Serialize, decode into a fresh network, verify accuracy.
+	blob := res.Model.Marshal()
+	m, err := core.Unmarshal(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored := net.Clone()
+	if _, err := m.Apply(restored); err != nil {
+		log.Fatal(err)
+	}
+	acc := restored.Evaluate(test, 100)
+	fmt.Printf("restored: top-1 %.2f%% (budget allowed −%.1f%%)\n",
+		100*acc.Top1, 100*0.02)
+}

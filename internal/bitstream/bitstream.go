@@ -1,0 +1,137 @@
+// Package bitstream implements MSB-first bit-level readers and writers used
+// by the Huffman coder, the ZFP-style transform coder, and the Bloomier
+// filter.
+package bitstream
+
+import "errors"
+
+// ErrOutOfBits is returned when a read requests more bits than remain.
+var ErrOutOfBits = errors.New("bitstream: out of bits")
+
+// Writer accumulates bits MSB-first into a byte buffer.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // pending bits, left-aligned within nbit
+	nbit uint   // number of pending bits in cur (< 8 after flushing)
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBit appends a single bit (the low bit of b).
+func (w *Writer) WriteBit(b uint32) {
+	w.WriteBits(uint64(b&1), 1)
+}
+
+// WriteBits appends the low n bits of v, most significant first. n must be
+// in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic("bitstream: WriteBits n > 64")
+	}
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	for n > 0 {
+		space := 8 - w.nbit
+		if n <= space {
+			w.cur = (w.cur << n) | v
+			w.nbit += n
+			n = 0
+		} else {
+			take := space
+			w.cur = (w.cur << take) | (v >> (n - take))
+			w.nbit += take
+			n -= take
+			if n < 64 {
+				v &= (1 << n) - 1
+			}
+		}
+		if w.nbit == 8 {
+			w.buf = append(w.buf, byte(w.cur))
+			w.cur, w.nbit = 0, 0
+		}
+	}
+}
+
+// BitLen returns the total number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nbit) }
+
+// Bytes flushes any partial byte (padding with zero bits) and returns the
+// underlying buffer. The Writer remains usable; further writes continue after
+// the padding.
+func (w *Writer) Bytes() []byte {
+	if w.nbit > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.nbit)))
+		w.cur, w.nbit = 0, 0
+	}
+	return w.buf
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int  // byte position
+	bit uint // bits consumed within buf[pos], 0..7
+}
+
+// NewReader returns a Reader over data. The slice is not copied.
+func NewReader(data []byte) *Reader { return &Reader{buf: data} }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int {
+	return (len(r.buf)-r.pos)*8 - int(r.bit)
+}
+
+// ReadBit reads one bit.
+func (r *Reader) ReadBit() (uint32, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrOutOfBits
+	}
+	b := (r.buf[r.pos] >> (7 - r.bit)) & 1
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.pos++
+	}
+	return uint32(b), nil
+}
+
+// ReadBits reads n bits (n ≤ 64) MSB-first and returns them right-aligned.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic("bitstream: ReadBits n > 64")
+	}
+	if r.Remaining() < int(n) {
+		return 0, ErrOutOfBits
+	}
+	var v uint64
+	for n > 0 {
+		avail := 8 - r.bit
+		take := n
+		if take > avail {
+			take = avail
+		}
+		cur := r.buf[r.pos]
+		bits := (cur >> (avail - take)) & byte((1<<take)-1)
+		v = (v << take) | uint64(bits)
+		r.bit += take
+		n -= take
+		if r.bit == 8 {
+			r.bit = 0
+			r.pos++
+		}
+	}
+	return v, nil
+}
+
+// Align discards bits up to the next byte boundary.
+func (r *Reader) Align() {
+	if r.bit != 0 {
+		r.bit = 0
+		r.pos++
+	}
+}

@@ -1,0 +1,166 @@
+package bitstream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleBits(t *testing.T) {
+	w := NewWriter()
+	pattern := []uint32{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsMSBFirst(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0b11010, 5)
+	bytes := w.Bytes()
+	if len(bytes) != 1 || bytes[0] != 0b10111010 {
+		t.Fatalf("got %08b", bytes)
+	}
+}
+
+func TestCrossByteBoundary(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xABCD, 16)
+	w.WriteBits(0x5, 3)
+	r := NewReader(w.Bytes())
+	v, err := r.ReadBits(16)
+	if err != nil || v != 0xABCD {
+		t.Fatalf("ReadBits(16) = %x, %v", v, err)
+	}
+	v, err = r.ReadBits(3)
+	if err != nil || v != 0x5 {
+		t.Fatalf("ReadBits(3) = %x, %v", v, err)
+	}
+}
+
+func TestFullWidth64(t *testing.T) {
+	w := NewWriter()
+	const val = 0xDEADBEEFCAFEF00D
+	w.WriteBits(val, 64)
+	r := NewReader(w.Bytes())
+	v, err := r.ReadBits(64)
+	if err != nil || v != val {
+		t.Fatalf("64-bit round trip: %x, %v", v, err)
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	w := NewWriter()
+	if w.BitLen() != 0 {
+		t.Fatal("empty writer BitLen != 0")
+	}
+	w.WriteBits(0, 13)
+	if w.BitLen() != 13 {
+		t.Fatalf("BitLen = %d, want 13", w.BitLen())
+	}
+}
+
+func TestOutOfBits(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfBits {
+		t.Fatalf("want ErrOutOfBits, got %v", err)
+	}
+	r2 := NewReader([]byte{0xFF})
+	if _, err := r2.ReadBits(9); err != ErrOutOfBits {
+		t.Fatalf("want ErrOutOfBits for over-read, got %v", err)
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	r := NewReader([]byte{0, 0, 0})
+	if r.Remaining() != 24 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	r.ReadBits(5)
+	if r.Remaining() != 19 {
+		t.Fatalf("Remaining after 5 = %d", r.Remaining())
+	}
+}
+
+func TestAlign(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b1, 1)
+	w.WriteBits(0xAB, 8) // crosses boundary
+	r := NewReader(w.Bytes())
+	r.ReadBit()
+	r.Align()
+	// After align we are at bit 8; the remaining payload is 0xAB shifted by
+	// one bit, so just confirm alignment landed on a byte boundary.
+	if r.bit != 0 {
+		t.Fatal("Align did not reach byte boundary")
+	}
+	if r.pos != 1 {
+		t.Fatalf("Align pos = %d, want 1", r.pos)
+	}
+}
+
+func TestQuickRoundTripVariedWidths(t *testing.T) {
+	f := func(vals []uint64, widths []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		w := NewWriter()
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		if n == 0 {
+			return true
+		}
+		ws := make([]uint, n)
+		for i := 0; i < n; i++ {
+			ws[i] = uint(widths[i]%64) + 1
+			w.WriteBits(vals[i], ws[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := 0; i < n; i++ {
+			got, err := r.ReadBits(ws[i])
+			if err != nil {
+				return false
+			}
+			want := vals[i]
+			if ws[i] < 64 {
+				want &= (1 << ws[i]) - 1
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterReusableAfterBytes(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xF, 4)
+	first := len(w.Bytes())
+	w.WriteBits(0xAA, 8)
+	all := w.Bytes()
+	if len(all) != first+1 {
+		t.Fatalf("writer not usable after Bytes: %d vs %d", len(all), first)
+	}
+	if all[1] != 0xAA {
+		t.Fatalf("second write corrupted: %x", all)
+	}
+}

@@ -1,0 +1,95 @@
+// Package cluster provides 1-D k-means weight clustering, the shared
+// quantization substrate of the Deep Compression and Weightless baselines
+// (both map nonzero weights onto a small codebook of centroids).
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// KMeans1D clusters data into k centroids with Lloyd's algorithm, using
+// linear (min–max spaced) initialisation — the initialisation Deep
+// Compression found best for weight sharing. It returns the centroids and
+// each point's assignment. Deterministic.
+func KMeans1D(data []float32, k, iters int) (centroids []float32, assign []uint32, err error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("cluster: k must be ≥ 1, got %d", k)
+	}
+	if len(data) == 0 {
+		return make([]float32, k), nil, nil
+	}
+	lo, hi := data[0], data[0]
+	for _, v := range data[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	centroids = make([]float32, k)
+	if k == 1 {
+		centroids[0] = (lo + hi) / 2
+	} else {
+		step := (float64(hi) - float64(lo)) / float64(k-1)
+		for i := range centroids {
+			centroids[i] = float32(float64(lo) + step*float64(i))
+		}
+	}
+	assign = make([]uint32, len(data))
+	sums := make([]float64, k)
+	counts := make([]int, k)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, v := range data {
+			best := nearest(centroids, v)
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		for i := range sums {
+			sums[i], counts[i] = 0, 0
+		}
+		for i, v := range data {
+			sums[assign[i]] += float64(v)
+			counts[assign[i]]++
+		}
+		for c := range centroids {
+			if counts[c] > 0 {
+				centroids[c] = float32(sums[c] / float64(counts[c]))
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	// Final assignment against the last centroid update.
+	for i, v := range data {
+		assign[i] = nearest(centroids, v)
+	}
+	return centroids, assign, nil
+}
+
+func nearest(centroids []float32, v float32) uint32 {
+	best := 0
+	bestD := math.Abs(float64(centroids[0]) - float64(v))
+	for c := 1; c < len(centroids); c++ {
+		if d := math.Abs(float64(centroids[c]) - float64(v)); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return uint32(best)
+}
+
+// MaxQuantError returns the largest |data[i] − centroids[assign[i]]|.
+func MaxQuantError(data, centroids []float32, assign []uint32) float64 {
+	var m float64
+	for i, v := range data {
+		if d := math.Abs(float64(v) - float64(centroids[assign[i]])); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestKMeansRecoverWellSeparatedClusters(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	var data []float32
+	truth := []float64{-1, 0, 2}
+	for i := 0; i < 3000; i++ {
+		c := truth[i%3]
+		data = append(data, float32(c+rng.NormFloat64()*0.02))
+	}
+	centroids, assign, err := KMeans1D(data, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := make([]bool, 3)
+	for _, c := range centroids {
+		for ti, tv := range truth {
+			if math.Abs(float64(c)-tv) < 0.05 {
+				found[ti] = true
+			}
+		}
+	}
+	for ti, ok := range found {
+		if !ok {
+			t.Fatalf("cluster %v not recovered; centroids %v", truth[ti], centroids)
+		}
+	}
+	if MaxQuantError(data, centroids, assign) > 0.15 {
+		t.Fatalf("quantization error too large: %v", MaxQuantError(data, centroids, assign))
+	}
+}
+
+func TestKMeansAssignmentsAreNearest(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	data := make([]float32, 500)
+	rng.FillNormal(data, 0, 1)
+	centroids, assign, err := KMeans1D(data, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range data {
+		got := float64(centroids[assign[i]])
+		for _, c := range centroids {
+			if math.Abs(float64(c)-float64(v)) < math.Abs(got-float64(v))-1e-9 {
+				t.Fatalf("point %v assigned %v but %v is closer", v, got, c)
+			}
+		}
+	}
+}
+
+func TestKMeansErrorShrinksWithK(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	data := make([]float32, 2000)
+	rng.FillNormal(data, 0, 0.1)
+	var prev float64 = math.Inf(1)
+	for _, k := range []int{2, 8, 32} {
+		centroids, assign, _ := KMeans1D(data, k, 15)
+		e := MaxQuantError(data, centroids, assign)
+		if e > prev {
+			t.Fatalf("k=%d: error %v grew from %v", k, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if _, _, err := KMeans1D([]float32{1, 2}, 0, 5); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	c, a, err := KMeans1D(nil, 4, 5)
+	if err != nil || len(c) != 4 || a != nil {
+		t.Fatal("empty data should give zero codebook")
+	}
+	c, a, err = KMeans1D([]float32{7, 7, 7}, 1, 5)
+	if err != nil || c[0] != 7 {
+		t.Fatalf("constant data k=1: %v %v", c, err)
+	}
+	for _, v := range a {
+		if v != 0 {
+			t.Fatal("constant data must assign to centroid 0")
+		}
+	}
+	// More clusters than points must still terminate and assign validly.
+	c, a, err = KMeans1D([]float32{1, 5}, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ai := range a {
+		if int(ai) >= len(c) {
+			t.Fatalf("assignment %d out of range at %d", ai, i)
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	data := make([]float32, 300)
+	rng.FillNormal(data, 0, 1)
+	c1, a1, _ := KMeans1D(data, 16, 10)
+	c2, a2, _ := KMeans1D(data, 16, 10)
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatal("centroids not deterministic")
+		}
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("assignments not deterministic")
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/lossless"
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/sz"
+	"repro/internal/tensor"
+)
+
+// Point is one assessed (error bound → degradation, size) sample for a
+// layer: Δ(ℓ;eb) and σ(ℓ;eb) in the paper's notation.
+type Point struct {
+	EB          float64
+	Degradation float64 // baseline top-1 − reconstructed top-1 (may be < 0)
+	DataBytes   int     // SZ-compressed data-array size at this bound
+}
+
+// LayerAssessment is Algorithm 1's output for one fc layer.
+type LayerAssessment struct {
+	Layer      string
+	Rows, Cols int
+	// Sparse is the pruned two-array form the data points are measured on.
+	Sparse *prune.Sparse
+	// IndexBytes is the best-fit losslessly compressed index-array size
+	// (constant across error bounds).
+	IndexBytes int
+	// IndexCompressor is the back-end that produced IndexBytes.
+	IndexCompressor lossless.ID
+	// Points are the assessed samples, sorted by error bound.
+	Points []Point
+	// FeasibleLo/FeasibleHi delimit the feasible error-bound range: the
+	// first fine-sweep bound and the last bound whose degradation stayed
+	// within ϵ*.
+	FeasibleLo, FeasibleHi float64
+}
+
+// Assessment is the full Algorithm 1 output.
+type Assessment struct {
+	NetName  string
+	Baseline nn.Accuracy
+	// Split is the layer index where the conv prefix ends (feature cache
+	// boundary).
+	Split  int
+	Layers []*LayerAssessment
+	// Tests counts accuracy evaluations performed (the paper's c·k).
+	Tests int
+}
+
+// Assess runs Algorithm 1 (error bound assessment) over every fc layer of
+// net, which must already be pruned and mask-retrained. test supplies the
+// inference-accuracy measurements.
+func Assess(net *nn.Network, test *dataset.Set, cfg Config) (*Assessment, error) {
+	if err := (&cfg).fill(); err != nil {
+		return nil, err
+	}
+	split := net.FirstDenseIndex()
+	if split < 0 {
+		return nil, fmt.Errorf("core: network %q has no fc layers", net.Name())
+	}
+	features := net.FeatureCache(split, test, cfg.TestBatch)
+	baseline := net.EvaluateFrom(split, features, test, cfg.TestBatch)
+
+	a := &Assessment{NetName: net.Name(), Baseline: baseline, Split: split}
+	for _, fc := range net.DenseLayers() {
+		sp := prune.Encode(fc.Weights())
+		comp, blob := lossless.Best(indexBytes(sp))
+		a.Layers = append(a.Layers, &LayerAssessment{
+			Layer:           fc.Name(),
+			Rows:            fc.Out,
+			Cols:            fc.In,
+			Sparse:          sp,
+			IndexBytes:      len(blob),
+			IndexCompressor: comp.ID(),
+		})
+	}
+
+	// Layers are assessed concurrently; each worker owns a private clone of
+	// the fc suffix so weight swaps cannot race.
+	workers := cfg.Workers
+	if workers > len(a.Layers) {
+		workers = len(a.Layers)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	totalTests := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			suffix := net.CloneRange(split, len(net.Layers))
+			for li := range jobs {
+				n := assessLayer(suffix, features, test, a.Layers[li], baseline.Top1, cfg)
+				mu.Lock()
+				totalTests += n
+				mu.Unlock()
+			}
+		}()
+	}
+	for li := range a.Layers {
+		jobs <- li
+	}
+	close(jobs)
+	wg.Wait()
+	a.Tests = totalTests
+	return a, nil
+}
+
+// indexBytes converts a sparse index array to raw bytes for lossless coding.
+func indexBytes(sp *prune.Sparse) []byte {
+	b := make([]byte, len(sp.Index))
+	copy(b, sp.Index)
+	return b
+}
+
+// assessLayer implements Algorithm 1's per-layer loop and returns the number
+// of accuracy tests performed.
+func assessLayer(suffix *nn.Network, features *tensor.Tensor, test *dataset.Set,
+	la *LayerAssessment, baselineTop1 float64, cfg Config) int {
+
+	fc := findDense(suffix, la.Layer)
+	original := append([]float32(nil), fc.Weights()...)
+	defer fc.SetWeights(original)
+
+	tests := 0
+	seen := map[float64]Point{}
+	try := func(eb float64) Point {
+		if p, ok := seen[eb]; ok {
+			return p
+		}
+		p := measure(suffix, features, test, fc, la.Sparse, eb, baselineTop1, cfg)
+		fc.SetWeights(original)
+		seen[eb] = p
+		tests++
+		return p
+	}
+
+	// Coarse sweep (Algorithm 1 lines 13–19): walk decades from the start
+	// bound until the distortion criterion (0.1 %) trips, then fine-sweep
+	// from a decade below.
+	base := cfg.StartErrorBound
+	tripped := false
+	for beta := cfg.StartErrorBound; beta <= cfg.MaxErrorBound*1.0001; beta *= 10 {
+		p := try(beta)
+		if p.Degradation > cfg.DistortionCriterion {
+			base = beta / 10
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		// Accuracy never distorted up to the cap: the whole decade below
+		// the cap is feasible.
+		base = cfg.MaxErrorBound / 10
+	}
+
+	// Fine sweep (Check, lines 1–10): step by `base`, promoting the step a
+	// decade whenever the bound reaches ten steps, until degradation
+	// exceeds ϵ* or the cap is hit.
+	la.FeasibleLo = base
+	eb := base
+	for {
+		p := try(eb)
+		if p.Degradation > cfg.ExpectedAccuracyLoss {
+			break
+		}
+		la.FeasibleHi = eb
+		next := eb + base
+		if next >= 10*base*0.9999 {
+			base *= 10
+		}
+		eb = next
+		if eb > cfg.MaxErrorBound*1.0001 {
+			break
+		}
+	}
+	if la.FeasibleHi == 0 {
+		la.FeasibleHi = la.FeasibleLo
+	}
+
+	la.Points = la.Points[:0]
+	for _, p := range seen {
+		la.Points = append(la.Points, p)
+	}
+	sort.Slice(la.Points, func(i, j int) bool { return la.Points[i].EB < la.Points[j].EB })
+	return tests
+}
+
+// measure compresses the layer's data array at eb, reconstructs the layer,
+// and evaluates the suffix network. The suffix's weights are left modified;
+// the caller restores them.
+func measure(suffix *nn.Network, features *tensor.Tensor, test *dataset.Set,
+	fc *nn.Dense, sp *prune.Sparse, eb, baselineTop1 float64, cfg Config) Point {
+
+	blob, err := sz.Compress(sp.Data, sz.Options{
+		ErrorBound: eb,
+		BlockSize:  cfg.SZBlockSize,
+		Radius:     cfg.SZRadius,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: assessment compression failed: %v", err))
+	}
+	dec, err := sz.Decompress(blob)
+	if err != nil {
+		panic(fmt.Sprintf("core: assessment decompression failed: %v", err))
+	}
+	recon := &prune.Sparse{N: sp.N, Data: dec, Index: sp.Index}
+	dense, err := recon.Decode()
+	if err != nil {
+		panic(fmt.Sprintf("core: sparse reconstruction failed: %v", err))
+	}
+	fc.SetWeights(dense)
+	acc := suffix.EvaluateFrom(0, features, test, cfg.TestBatch)
+	return Point{EB: eb, Degradation: baselineTop1 - acc.Top1, DataBytes: len(blob)}
+}
+
+func findDense(net *nn.Network, name string) *nn.Dense {
+	for _, fc := range net.DenseLayers() {
+		if fc.Name() == name {
+			return fc
+		}
+	}
+	panic(fmt.Sprintf("core: fc layer %q not found in suffix", name))
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+// trainedPrunedMLP returns a small trained+pruned MLP plus its test set.
+// Training is cheap (a few seconds) and cached per test binary run.
+func trainedPrunedMLP(t *testing.T) (*nn.Network, *dataset.Set) {
+	t.Helper()
+	rng := tensor.NewRNG(11)
+	net := nn.NewNetwork("assess-mlp",
+		nn.NewFlatten("flat"),
+		nn.NewDense("ip1", 784, 48, rng),
+		nn.NewReLU("relu1"),
+		nn.NewDense("ip2", 48, 10, rng),
+	)
+	train := dataset.SynthMNIST(1000, 30)
+	test := dataset.SynthMNIST(400, 31)
+	opt := nn.NewSGD(0.1, 0.9, 1e-4)
+	nn.Train(net, train, opt, nn.TrainConfig{Epochs: 3, BatchSize: 32}, rng)
+	prune.Network(net, map[string]float64{"ip1": 0.15, "ip2": 0.4}, 0.15)
+	prune.Retrain(net, train, 1, 0.05, rng)
+	return net, test
+}
+
+func assessCfg() Config {
+	return Config{
+		// Test-set resolution is 1/400, so the distortion criterion and
+		// budget are scaled up from the paper's 50 k-image values.
+		ExpectedAccuracyLoss: 0.02,
+		DistortionCriterion:  0.005,
+		StartErrorBound:      1e-3,
+		MaxErrorBound:        0.2,
+		TestBatch:            100,
+	}
+}
+
+func TestAssessProducesFeasibleRanges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	net, test := trainedPrunedMLP(t)
+	a, err := Assess(net, test, assessCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Layers) != 2 {
+		t.Fatalf("assessed %d layers", len(a.Layers))
+	}
+	if a.Baseline.Top1 < 0.8 {
+		t.Fatalf("baseline %.3f too low for a meaningful assessment", a.Baseline.Top1)
+	}
+	if a.Tests < 4 {
+		t.Fatalf("only %d tests performed", a.Tests)
+	}
+	for _, la := range a.Layers {
+		if len(la.Points) < 2 {
+			t.Fatalf("%s: only %d points", la.Layer, len(la.Points))
+		}
+		if la.FeasibleLo <= 0 || la.FeasibleHi < la.FeasibleLo {
+			t.Fatalf("%s: bad feasible range [%g, %g]", la.Layer, la.FeasibleLo, la.FeasibleHi)
+		}
+		if la.IndexBytes <= 0 {
+			t.Fatalf("%s: index not compressed", la.Layer)
+		}
+		// Compressed size must shrink as the bound grows, allowing small
+		// wiggle once the coder saturates near 1 bit/weight.
+		for i := 1; i < len(la.Points); i++ {
+			if float64(la.Points[i].DataBytes) > 1.25*float64(la.Points[i-1].DataBytes) {
+				t.Fatalf("%s: size grew with error bound: %+v then %+v",
+					la.Layer, la.Points[i-1], la.Points[i])
+			}
+		}
+		first, last := la.Points[0], la.Points[len(la.Points)-1]
+		if last.DataBytes >= first.DataBytes {
+			t.Fatalf("%s: no overall size reduction across the sweep (%d → %d)",
+				la.Layer, first.DataBytes, last.DataBytes)
+		}
+	}
+}
+
+func TestAssessDoesNotMutateNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	net, test := trainedPrunedMLP(t)
+	before := append([]float32(nil), net.DenseLayers()[0].Weights()...)
+	if _, err := Assess(net, test, assessCfg()); err != nil {
+		t.Fatal(err)
+	}
+	after := net.DenseLayers()[0].Weights()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("assessment mutated the original network")
+		}
+	}
+}
+
+func TestAssessParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	net, test := trainedPrunedMLP(t)
+	cfg := assessCfg()
+	cfg.Workers = 1
+	serial, err := Assess(net, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	parallel, err := Assess(net, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := range serial.Layers {
+		s, p := serial.Layers[li], parallel.Layers[li]
+		if len(s.Points) != len(p.Points) {
+			t.Fatalf("%s: %d vs %d points", s.Layer, len(s.Points), len(p.Points))
+		}
+		for i := range s.Points {
+			if s.Points[i] != p.Points[i] {
+				t.Fatalf("%s point %d: %+v vs %+v", s.Layer, i, s.Points[i], p.Points[i])
+			}
+		}
+	}
+}
+
+func TestAssessNoDenseLayers(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	net := nn.NewNetwork("convonly", nn.NewConv2D("c", 1, 2, 3, 1, 0, rng))
+	test := dataset.SynthMNIST(10, 1)
+	if _, err := Assess(net, test, assessCfg()); err == nil {
+		t.Fatal("expected error for network without fc layers")
+	}
+}
+
+func TestEncodeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	net, test := trainedPrunedMLP(t)
+	cfg := assessCfg()
+	res, err := Encode(net, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressionRatio() <= res.PruningRatio() {
+		t.Fatalf("DeepSZ ratio %.1f should beat pruning-only ratio %.1f",
+			res.CompressionRatio(), res.PruningRatio())
+	}
+	if res.CompressionRatio() < 15 {
+		t.Fatalf("compression ratio %.1f too low", res.CompressionRatio())
+	}
+	// Actual accuracy loss should respect the budget with slack for the
+	// linearity approximation (the paper's Figure 6 regime).
+	loss := res.Before.Top1 - res.After.Top1
+	if loss > cfg.ExpectedAccuracyLoss+0.02 {
+		t.Fatalf("actual loss %.4f far exceeds budget %.4f", loss, cfg.ExpectedAccuracyLoss)
+	}
+	if res.PredictedVsActualGap() > 0.05 {
+		t.Fatalf("linearity estimate off by %.4f", res.PredictedVsActualGap())
+	}
+	if res.BitsPerWeight() <= 0 || res.BitsPerWeight() > 34 {
+		t.Fatalf("BitsPerWeight = %v", res.BitsPerWeight())
+	}
+	if res.EncodeTime <= 0 {
+		t.Fatal("EncodeTime not recorded")
+	}
+}
+
+func TestEncodeExpectedRatioMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	net, test := trainedPrunedMLP(t)
+	cfg := assessCfg()
+	cfg.Mode = ExpectedRatio
+	cfg.TargetRatio = 20
+	res, err := Encode(net, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressionRatio() < 20 {
+		t.Fatalf("expected-ratio mode achieved %.1f, target 20", res.CompressionRatio())
+	}
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/lossless"
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/sz"
+)
+
+// LayerBlob is one fc layer of a compressed model: the SZ-compressed data
+// array, the losslessly compressed index array, and the raw biases (biases
+// are a few hundred bytes; the paper leaves them untouched).
+type LayerBlob struct {
+	Name       string
+	Rows, Cols int
+	EB         float64
+	Bias       []float32
+	SZBlob     []byte
+	IndexID    lossless.ID
+	IndexBlob  []byte
+	IndexLen   int // entries in the decompressed index array
+}
+
+// Model is the compressed-model container DeepSZ step 4 emits.
+type Model struct {
+	NetName string
+	Layers  []LayerBlob
+}
+
+const (
+	modelMagic   = 0x44535A31 // "DSZ1"
+	modelVersion = 1
+)
+
+// ErrCorrupt is returned when a serialized model fails validation.
+var ErrCorrupt = errors.New("core: corrupt model")
+
+// TotalBytes returns the compressed payload size (data + index blobs +
+// biases), i.e. the quantity Tables 2–4 report.
+func (m *Model) TotalBytes() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += len(l.SZBlob) + len(l.IndexBlob) + 4*len(l.Bias)
+	}
+	return n
+}
+
+// Marshal serializes the model to a self-describing byte stream.
+func (m *Model) Marshal() []byte {
+	out := make([]byte, 0, 64+m.TotalBytes())
+	out = binary.LittleEndian.AppendUint32(out, modelMagic)
+	out = append(out, modelVersion)
+	out = appendString(out, m.NetName)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Layers)))
+	for _, l := range m.Layers {
+		out = appendString(out, l.Name)
+		out = binary.LittleEndian.AppendUint32(out, uint32(l.Rows))
+		out = binary.LittleEndian.AppendUint32(out, uint32(l.Cols))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(l.EB))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(l.Bias)))
+		for _, b := range l.Bias {
+			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(b))
+		}
+		out = appendBytes(out, l.SZBlob)
+		out = append(out, byte(l.IndexID))
+		out = appendBytes(out, l.IndexBlob)
+		out = binary.LittleEndian.AppendUint32(out, uint32(l.IndexLen))
+	}
+	return out
+}
+
+func appendString(out []byte, s string) []byte {
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(s)))
+	return append(out, s...)
+}
+
+func appendBytes(out, b []byte) []byte {
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(b)))
+	return append(out, b...)
+}
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) need(n int) error {
+	if r.off+n > len(r.buf) {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.need(int(n)); err != nil {
+		return nil, err
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+// Unmarshal parses a serialized model.
+func Unmarshal(blob []byte) (*Model, error) {
+	r := &reader{buf: blob}
+	magic, err := r.u32()
+	if err != nil || magic != modelMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if err := r.need(1); err != nil {
+		return nil, err
+	}
+	if r.buf[r.off] != modelVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, r.buf[r.off])
+	}
+	r.off++
+	m := &Model{}
+	if m.NetName, err = r.str(); err != nil {
+		return nil, err
+	}
+	nLayers, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nLayers); i++ {
+		var l LayerBlob
+		if l.Name, err = r.str(); err != nil {
+			return nil, err
+		}
+		rows, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		cols, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		l.Rows, l.Cols = int(rows), int(cols)
+		ebBits, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		l.EB = math.Float64frombits(ebBits)
+		nb, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.need(int(nb) * 4); err != nil {
+			return nil, err
+		}
+		l.Bias = make([]float32, nb)
+		for j := range l.Bias {
+			l.Bias[j] = math.Float32frombits(binary.LittleEndian.Uint32(r.buf[r.off:]))
+			r.off += 4
+		}
+		szb, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		l.SZBlob = append([]byte(nil), szb...)
+		if err := r.need(1); err != nil {
+			return nil, err
+		}
+		l.IndexID = lossless.ID(r.buf[r.off])
+		r.off++
+		idx, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		l.IndexBlob = append([]byte(nil), idx...)
+		il, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		l.IndexLen = int(il)
+		m.Layers = append(m.Layers, l)
+	}
+	return m, nil
+}
+
+// Generate performs DeepSZ step 4: compress every fc layer of net with the
+// plan's error bounds (SZ on data arrays, best-fit lossless on index
+// arrays) and package the result.
+func Generate(net *nn.Network, plan *Plan, cfg Config) (*Model, error) {
+	if err := (&cfg).fill(); err != nil {
+		return nil, err
+	}
+	byLayer := map[string]Choice{}
+	for _, c := range plan.Choices {
+		byLayer[c.Layer] = c
+	}
+	m := &Model{NetName: net.Name()}
+	for _, fc := range net.DenseLayers() {
+		c, ok := byLayer[fc.Name()]
+		if !ok {
+			return nil, fmt.Errorf("core: plan has no choice for layer %s", fc.Name())
+		}
+		sp := prune.Encode(fc.Weights())
+		szBlob, err := sz.Compress(sp.Data, sz.Options{
+			ErrorBound: c.EB,
+			BlockSize:  cfg.SZBlockSize,
+			Radius:     cfg.SZRadius,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: compressing %s: %w", fc.Name(), err)
+		}
+		comp, idxBlob := lossless.Best(indexBytes(sp))
+		m.Layers = append(m.Layers, LayerBlob{
+			Name:      fc.Name(),
+			Rows:      fc.Out,
+			Cols:      fc.In,
+			EB:        c.EB,
+			Bias:      append([]float32(nil), fc.B.W.Data...),
+			SZBlob:    szBlob,
+			IndexID:   comp.ID(),
+			IndexBlob: idxBlob,
+			IndexLen:  len(sp.Index),
+		})
+	}
+	return m, nil
+}
+
+// DecodeBreakdown reports where decoding time went (paper Figure 7b).
+type DecodeBreakdown struct {
+	Lossless    time.Duration // index-array lossless decompression
+	SZ          time.Duration // data-array lossy decompression
+	Reconstruct time.Duration // sparse-to-dense matrix reconstruction
+}
+
+// DecodedLayer is one reconstructed fc layer.
+type DecodedLayer struct {
+	Name    string
+	Weights []float32 // dense, Rows×Cols
+	Bias    []float32
+}
+
+// Decode reverses Generate: lossless-decompress the index arrays,
+// SZ-decompress the data arrays, and rebuild each dense weight matrix.
+func (m *Model) Decode() ([]DecodedLayer, DecodeBreakdown, error) {
+	var bd DecodeBreakdown
+	out := make([]DecodedLayer, 0, len(m.Layers))
+	for _, l := range m.Layers {
+		t0 := time.Now()
+		comp, err := lossless.ByID(l.IndexID)
+		if err != nil {
+			return nil, bd, fmt.Errorf("core: layer %s: %w", l.Name, err)
+		}
+		idx, err := comp.Decompress(l.IndexBlob)
+		if err != nil {
+			return nil, bd, fmt.Errorf("core: layer %s index: %w", l.Name, err)
+		}
+		if len(idx) != l.IndexLen {
+			return nil, bd, fmt.Errorf("%w: layer %s index length %d, want %d", ErrCorrupt, l.Name, len(idx), l.IndexLen)
+		}
+		t1 := time.Now()
+		bd.Lossless += t1.Sub(t0)
+
+		data, err := sz.Decompress(l.SZBlob)
+		if err != nil {
+			return nil, bd, fmt.Errorf("core: layer %s data: %w", l.Name, err)
+		}
+		t2 := time.Now()
+		bd.SZ += t2.Sub(t1)
+
+		if len(data) != len(idx) {
+			return nil, bd, fmt.Errorf("%w: layer %s: %d data values for %d indices", ErrCorrupt, l.Name, len(data), len(idx))
+		}
+		sp := &prune.Sparse{N: l.Rows * l.Cols, Data: data, Index: idx}
+		dense, err := sp.Decode()
+		if err != nil {
+			return nil, bd, fmt.Errorf("core: layer %s: %w", l.Name, err)
+		}
+		bd.Reconstruct += time.Since(t2)
+		out = append(out, DecodedLayer{Name: l.Name, Weights: dense, Bias: l.Bias})
+	}
+	return out, bd, nil
+}
+
+// Apply loads decoded weights into net's fc layers (matched by name).
+func (m *Model) Apply(net *nn.Network) (DecodeBreakdown, error) {
+	layers, bd, err := m.Decode()
+	if err != nil {
+		return bd, err
+	}
+	for _, dl := range layers {
+		found := false
+		for _, fc := range net.DenseLayers() {
+			if fc.Name() == dl.Name {
+				fc.SetWeights(dl.Weights)
+				copy(fc.B.W.Data, dl.Bias)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return bd, fmt.Errorf("core: network %s has no layer %s", net.Name(), dl.Name)
+		}
+	}
+	return bd, nil
+}

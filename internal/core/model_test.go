@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/lossless"
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+// prunedMLP builds a small untrained MLP, prunes it, and returns it.
+func prunedMLP(seed uint64) *nn.Network {
+	rng := tensor.NewRNG(seed)
+	net := nn.NewNetwork("test-mlp",
+		nn.NewFlatten("flat"),
+		nn.NewDense("ip1", 784, 64, rng),
+		nn.NewReLU("relu1"),
+		nn.NewDense("ip2", 64, 10, rng),
+	)
+	prune.Network(net, map[string]float64{"ip1": 0.1, "ip2": 0.3}, 0.1)
+	return net
+}
+
+func simplePlan(net *nn.Network, eb float64) *Plan {
+	p := &Plan{}
+	for _, fc := range net.DenseLayers() {
+		p.Choices = append(p.Choices, Choice{Layer: fc.Name(), EB: eb})
+	}
+	return p
+}
+
+func TestGenerateDecodeErrorBound(t *testing.T) {
+	net := prunedMLP(1)
+	const eb = 1e-3
+	m, err := Generate(net, simplePlan(net, eb), Config{ExpectedAccuracyLoss: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers, _, err := m.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layers) != 2 {
+		t.Fatalf("decoded %d layers", len(layers))
+	}
+	for li, dl := range layers {
+		orig := net.DenseLayers()[li].Weights()
+		if len(dl.Weights) != len(orig) {
+			t.Fatalf("%s: %d weights, want %d", dl.Name, len(dl.Weights), len(orig))
+		}
+		for i := range orig {
+			if d := math.Abs(float64(dl.Weights[i]) - float64(orig[i])); d > eb*1.0001+1e-7 {
+				t.Fatalf("%s[%d]: error %g exceeds bound %g", dl.Name, i, d, eb)
+			}
+		}
+	}
+}
+
+func TestGenerateCompresses(t *testing.T) {
+	net := prunedMLP(2)
+	m, err := Generate(net, simplePlan(net, 1e-2), Config{ExpectedAccuracyLoss: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var origBytes int
+	for _, fc := range net.DenseLayers() {
+		origBytes += 4 * len(fc.Weights())
+	}
+	if ratio := float64(origBytes) / float64(m.TotalBytes()); ratio < 15 {
+		t.Fatalf("compression ratio %.1f, want ≥15 for 10%%-pruned layers at eb 1e-2", ratio)
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	net := prunedMLP(3)
+	m, err := Generate(net, simplePlan(net, 5e-3), Config{ExpectedAccuracyLoss: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := m.Marshal()
+	got, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NetName != m.NetName || len(got.Layers) != len(m.Layers) {
+		t.Fatal("header mismatch")
+	}
+	for i := range m.Layers {
+		a, b := m.Layers[i], got.Layers[i]
+		if a.Name != b.Name || a.Rows != b.Rows || a.Cols != b.Cols || a.EB != b.EB {
+			t.Fatalf("layer %d metadata mismatch", i)
+		}
+		if !bytes.Equal(a.SZBlob, b.SZBlob) || !bytes.Equal(a.IndexBlob, b.IndexBlob) {
+			t.Fatalf("layer %d blobs mismatch", i)
+		}
+		if a.IndexID != b.IndexID || a.IndexLen != b.IndexLen {
+			t.Fatalf("layer %d index metadata mismatch", i)
+		}
+		for j := range a.Bias {
+			if a.Bias[j] != b.Bias[j] {
+				t.Fatalf("layer %d bias mismatch", i)
+			}
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	net := prunedMLP(4)
+	m, _ := Generate(net, simplePlan(net, 1e-2), Config{ExpectedAccuracyLoss: 0.01})
+	blob := m.Marshal()
+	if _, err := Unmarshal(blob[:3]); err == nil {
+		t.Fatal("expected error for tiny blob")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := Unmarshal(blob[:len(blob)-7]); err == nil {
+		t.Fatal("expected error for truncation")
+	}
+	bad2 := append([]byte(nil), blob...)
+	bad2[4] = 99 // version byte
+	if _, err := Unmarshal(bad2); err == nil {
+		t.Fatal("expected error for bad version")
+	}
+}
+
+func TestApplyReconstructsNetwork(t *testing.T) {
+	net := prunedMLP(5)
+	m, err := Generate(net, simplePlan(net, 1e-3), Config{ExpectedAccuracyLoss: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := net.Clone()
+	// Wipe the clone's fc weights to prove Apply restores them.
+	for _, fc := range recon.DenseLayers() {
+		fc.W.W.Zero()
+	}
+	bd, err := m.Apply(recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.SZ == 0 && bd.Lossless == 0 && bd.Reconstruct == 0 {
+		t.Fatal("decode breakdown not populated")
+	}
+	for li, fc := range recon.DenseLayers() {
+		orig := net.DenseLayers()[li].Weights()
+		var maxd float64
+		for i := range orig {
+			if d := math.Abs(float64(fc.Weights()[i]) - float64(orig[i])); d > maxd {
+				maxd = d
+			}
+		}
+		if maxd > 1e-3*1.0001+1e-7 {
+			t.Fatalf("%s: max error %g after Apply", fc.Name(), maxd)
+		}
+	}
+}
+
+func TestApplyUnknownLayer(t *testing.T) {
+	net := prunedMLP(6)
+	m, _ := Generate(net, simplePlan(net, 1e-2), Config{ExpectedAccuracyLoss: 0.01})
+	m.Layers[0].Name = "nonexistent"
+	if _, err := m.Apply(net.Clone()); err == nil {
+		t.Fatal("expected error for unknown layer")
+	}
+}
+
+func TestDecodeCorruptIndexID(t *testing.T) {
+	net := prunedMLP(7)
+	m, _ := Generate(net, simplePlan(net, 1e-2), Config{ExpectedAccuracyLoss: 0.01})
+	m.Layers[0].IndexID = lossless.ID(99)
+	if _, _, err := m.Decode(); err == nil {
+		t.Fatal("expected error for bad lossless id")
+	}
+}
+
+func TestGenerateMissingChoice(t *testing.T) {
+	net := prunedMLP(8)
+	plan := &Plan{Choices: []Choice{{Layer: "ip1", EB: 1e-3}}} // ip2 missing
+	if _, err := Generate(net, plan, Config{ExpectedAccuracyLoss: 0.01}); err == nil {
+		t.Fatal("expected error for missing layer choice")
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Choice is the optimiser's selection for one layer.
+type Choice struct {
+	Layer       string
+	EB          float64
+	Degradation float64
+	DataBytes   int
+	IndexBytes  int
+}
+
+// Plan is Algorithm 2's output: one error bound per layer.
+type Plan struct {
+	Choices []Choice
+	// PredictedLoss is Σ Δℓ, the linear estimate of total accuracy loss
+	// (Equation 1).
+	PredictedLoss float64
+	// TotalBytes is the predicted compressed fc size (data + index blobs).
+	TotalBytes int
+}
+
+// slots is the budget discretisation of Algorithm 2 (the [0..100]·ϵ* loop).
+const slots = 100
+
+// Optimize dispatches on cfg.Mode.
+func Optimize(a *Assessment, cfg Config) (*Plan, error) {
+	if err := (&cfg).fill(); err != nil {
+		return nil, err
+	}
+	switch cfg.Mode {
+	case ExpectedAccuracy:
+		return OptimizeExpectedAccuracy(a, cfg.ExpectedAccuracyLoss)
+	case ExpectedRatio:
+		var origBytes int64
+		for _, la := range a.Layers {
+			origBytes += int64(la.Rows) * int64(la.Cols) * 4
+		}
+		target := int(float64(origBytes) / cfg.TargetRatio)
+		return OptimizeExpectedRatio(a, target)
+	}
+	return nil, fmt.Errorf("core: unknown optimise mode %d", cfg.Mode)
+}
+
+// OptimizeExpectedAccuracy implements Algorithm 2: minimise total compressed
+// size subject to Σ max(Δℓ,0) ≤ epsStar, via a knapsack dynamic program over
+// the discretised accuracy budget, then trace back per-layer bounds.
+func OptimizeExpectedAccuracy(a *Assessment, epsStar float64) (*Plan, error) {
+	if epsStar <= 0 {
+		return nil, fmt.Errorf("core: expected accuracy loss must be positive")
+	}
+	if len(a.Layers) == 0 {
+		return nil, fmt.Errorf("core: assessment has no layers")
+	}
+	res := epsStar / slots
+	cost := func(d float64) int {
+		if d <= 0 {
+			return 0
+		}
+		return int(math.Ceil(d / res))
+	}
+
+	const inf = math.MaxInt64 / 4
+	k := len(a.Layers)
+	// S[j] = min size of layers processed so far using ≤ j budget slots.
+	S := make([]int64, slots+1)
+	choice := make([][]int, k) // choice[l][j] = point index picked
+	for l := 0; l < k; l++ {
+		choice[l] = make([]int, slots+1)
+	}
+	next := make([]int64, slots+1)
+
+	for l, la := range a.Layers {
+		feas := feasiblePoints(la, epsStar)
+		if len(feas) == 0 {
+			return nil, fmt.Errorf("core: layer %s has no assessed point within budget %v", la.Layer, epsStar)
+		}
+		for j := 0; j <= slots; j++ {
+			next[j] = inf
+			choice[l][j] = -1
+		}
+		for j := 0; j <= slots; j++ {
+			if l > 0 && S[j] >= inf {
+				continue
+			}
+			prev := int64(0)
+			if l > 0 {
+				prev = S[j]
+			} else if j > 0 {
+				continue // layer 0 starts from budget exactly consumed
+			}
+			for pi, p := range feas {
+				c := cost(p.Degradation)
+				nj := j + c
+				if nj > slots {
+					continue
+				}
+				total := prev + int64(p.DataBytes)
+				if total < next[nj] {
+					next[nj] = total
+					choice[l][nj] = pi
+				}
+			}
+		}
+		// States record exact budget consumption so the trace-back can
+		// recover each layer's choice; the final answer scans all j.
+		copy(S, next)
+	}
+
+	// Find the best final state and trace back.
+	bestJ, bestSize := -1, int64(inf)
+	for j := 0; j <= slots; j++ {
+		if S[j] < bestSize {
+			bestSize, bestJ = S[j], j
+		}
+	}
+	if bestJ < 0 || bestSize >= inf {
+		return nil, fmt.Errorf("core: no feasible error-bound configuration within budget %v", epsStar)
+	}
+
+	plan := &Plan{}
+	j := bestJ
+	chosen := make([]int, k)
+	for l := k - 1; l >= 0; l-- {
+		pi := choice[l][j]
+		if pi < 0 {
+			return nil, fmt.Errorf("core: trace-back failed at layer %s", a.Layers[l].Layer)
+		}
+		chosen[l] = pi
+		feas := feasiblePoints(a.Layers[l], epsStar)
+		j -= cost(feas[pi].Degradation)
+	}
+	for l, la := range a.Layers {
+		p := feasiblePoints(la, epsStar)[chosen[l]]
+		plan.Choices = append(plan.Choices, Choice{
+			Layer:       la.Layer,
+			EB:          p.EB,
+			Degradation: p.Degradation,
+			DataBytes:   p.DataBytes,
+			IndexBytes:  la.IndexBytes,
+		})
+		if p.Degradation > 0 {
+			plan.PredictedLoss += p.Degradation
+		}
+		plan.TotalBytes += p.DataBytes + la.IndexBytes
+	}
+	return plan, nil
+}
+
+// feasiblePoints returns a layer's points with Δ ≤ epsStar, in EB order.
+func feasiblePoints(la *LayerAssessment, epsStar float64) []Point {
+	var out []Point
+	for _, p := range la.Points {
+		if p.Degradation <= epsStar {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// OptimizeExpectedRatio is the fixed-rate mode (§3.4): minimise Σ Δℓ subject
+// to Σ compressed bytes ≤ targetBytes, by the same DP with size and accuracy
+// swapped.
+func OptimizeExpectedRatio(a *Assessment, targetBytes int) (*Plan, error) {
+	if len(a.Layers) == 0 {
+		return nil, fmt.Errorf("core: assessment has no layers")
+	}
+	// Index blobs are mandatory; they consume budget up front.
+	idxTotal := 0
+	for _, la := range a.Layers {
+		idxTotal += la.IndexBytes
+	}
+	dataBudget := targetBytes - idxTotal
+	if dataBudget <= 0 {
+		return nil, fmt.Errorf("core: size target %d cannot cover index arrays (%d bytes)", targetBytes, idxTotal)
+	}
+	const sizeSlots = 256
+	res := float64(dataBudget) / sizeSlots
+	cost := func(bytes int) int { return int(math.Ceil(float64(bytes) / res)) }
+
+	inf := math.Inf(1)
+	k := len(a.Layers)
+	S := make([]float64, sizeSlots+1)
+	choice := make([][]int, k)
+	for l := 0; l < k; l++ {
+		choice[l] = make([]int, sizeSlots+1)
+	}
+	next := make([]float64, sizeSlots+1)
+	for l, la := range a.Layers {
+		if len(la.Points) == 0 {
+			return nil, fmt.Errorf("core: layer %s has no assessed points", la.Layer)
+		}
+		for j := 0; j <= sizeSlots; j++ {
+			next[j] = inf
+			choice[l][j] = -1
+		}
+		for j := 0; j <= sizeSlots; j++ {
+			var prev float64
+			if l > 0 {
+				prev = S[j]
+				if math.IsInf(prev, 1) {
+					continue
+				}
+			} else if j > 0 {
+				continue
+			}
+			for pi, p := range la.Points {
+				nj := j + cost(p.DataBytes)
+				if nj > sizeSlots {
+					continue
+				}
+				d := p.Degradation
+				if d < 0 {
+					d = 0
+				}
+				if total := prev + d; total < next[nj] {
+					next[nj] = total
+					choice[l][nj] = pi
+				}
+			}
+		}
+		copy(S, next)
+	}
+	bestJ, bestLoss := -1, inf
+	for j := 0; j <= sizeSlots; j++ {
+		if S[j] < bestLoss {
+			bestLoss, bestJ = S[j], j
+		}
+	}
+	if bestJ < 0 || math.IsInf(bestLoss, 1) {
+		return nil, fmt.Errorf("core: no configuration meets size target %d bytes", targetBytes)
+	}
+	plan := &Plan{}
+	j := bestJ
+	chosen := make([]int, k)
+	for l := k - 1; l >= 0; l-- {
+		pi := choice[l][j]
+		if pi < 0 {
+			return nil, fmt.Errorf("core: trace-back failed at layer %s", a.Layers[l].Layer)
+		}
+		chosen[l] = pi
+		j -= cost(a.Layers[l].Points[pi].DataBytes)
+	}
+	for l, la := range a.Layers {
+		p := la.Points[chosen[l]]
+		plan.Choices = append(plan.Choices, Choice{
+			Layer:       la.Layer,
+			EB:          p.EB,
+			Degradation: p.Degradation,
+			DataBytes:   p.DataBytes,
+			IndexBytes:  la.IndexBytes,
+		})
+		if p.Degradation > 0 {
+			plan.PredictedLoss += p.Degradation
+		}
+		plan.TotalBytes += p.DataBytes + la.IndexBytes
+	}
+	return plan, nil
+}

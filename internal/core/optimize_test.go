@@ -1,0 +1,252 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// fakeAssessment fabricates an Assessment for optimiser unit tests.
+func fakeAssessment(layers ...*LayerAssessment) *Assessment {
+	return &Assessment{NetName: "fake", Layers: layers}
+}
+
+func layer(name string, idxBytes int, points ...Point) *LayerAssessment {
+	return &LayerAssessment{Layer: name, Rows: 10, Cols: 10, IndexBytes: idxBytes, Points: points}
+}
+
+func TestOptimizeSingleLayerPicksLargestFeasible(t *testing.T) {
+	a := fakeAssessment(layer("fc", 100,
+		Point{EB: 1e-3, Degradation: 0.000, DataBytes: 1000},
+		Point{EB: 1e-2, Degradation: 0.002, DataBytes: 500},
+		Point{EB: 1e-1, Degradation: 0.050, DataBytes: 100},
+	))
+	plan, err := OptimizeExpectedAccuracy(a, 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Choices[0].EB != 1e-2 {
+		t.Fatalf("chose eb %v, want 1e-2", plan.Choices[0].EB)
+	}
+	if plan.TotalBytes != 600 {
+		t.Fatalf("TotalBytes = %d, want 600", plan.TotalBytes)
+	}
+}
+
+func TestOptimizeSpendsBudgetOnLargestLayer(t *testing.T) {
+	// Budget admits degradation in only one layer; the optimiser must spend
+	// it where the byte savings are largest (the big layer).
+	big := layer("fc6", 0,
+		Point{EB: 1e-3, Degradation: 0, DataBytes: 10000},
+		Point{EB: 1e-2, Degradation: 0.003, DataBytes: 2000},
+	)
+	small := layer("fc8", 0,
+		Point{EB: 1e-3, Degradation: 0, DataBytes: 500},
+		Point{EB: 1e-2, Degradation: 0.003, DataBytes: 300},
+	)
+	a := fakeAssessment(big, small)
+	plan, err := OptimizeExpectedAccuracy(a, 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Choices[0].EB != 1e-2 {
+		t.Fatal("big layer should get the high bound")
+	}
+	if plan.Choices[1].EB != 1e-3 {
+		t.Fatal("small layer should stay conservative")
+	}
+	if plan.PredictedLoss > 0.004 {
+		t.Fatalf("predicted loss %v exceeds budget", plan.PredictedLoss)
+	}
+}
+
+func TestOptimizeRespectsBudgetSum(t *testing.T) {
+	// Both layers could individually afford Δ=0.003, but together they
+	// exceed ϵ*=0.004; only one may take it.
+	mk := func(name string) *LayerAssessment {
+		return layer(name, 0,
+			Point{EB: 1e-3, Degradation: 0, DataBytes: 1000},
+			Point{EB: 1e-2, Degradation: 0.003, DataBytes: 400},
+		)
+	}
+	a := fakeAssessment(mk("a"), mk("b"))
+	plan, err := OptimizeExpectedAccuracy(a, 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PredictedLoss > 0.004+1e-12 {
+		t.Fatalf("budget violated: %v", plan.PredictedLoss)
+	}
+	aggressive := 0
+	for _, c := range plan.Choices {
+		if c.EB == 1e-2 {
+			aggressive++
+		}
+	}
+	if aggressive != 1 {
+		t.Fatalf("%d layers took the aggressive bound, want exactly 1", aggressive)
+	}
+}
+
+func TestOptimizeNegativeDegradationIsFree(t *testing.T) {
+	a := fakeAssessment(layer("fc", 0,
+		Point{EB: 1e-3, Degradation: -0.001, DataBytes: 900},
+		Point{EB: 1e-2, Degradation: -0.0005, DataBytes: 300},
+	))
+	plan, err := OptimizeExpectedAccuracy(a, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Choices[0].DataBytes != 300 {
+		t.Fatal("accuracy-improving options should cost zero budget")
+	}
+	if plan.PredictedLoss != 0 {
+		t.Fatalf("PredictedLoss = %v, want 0", plan.PredictedLoss)
+	}
+}
+
+func TestOptimizeInfeasible(t *testing.T) {
+	a := fakeAssessment(layer("fc", 0,
+		Point{EB: 1e-3, Degradation: 0.5, DataBytes: 100},
+	))
+	if _, err := OptimizeExpectedAccuracy(a, 0.004); err == nil {
+		t.Fatal("expected error when no point fits the budget")
+	}
+	if _, err := OptimizeExpectedAccuracy(fakeAssessment(), 0.004); err == nil {
+		t.Fatal("expected error for empty assessment")
+	}
+	if _, err := OptimizeExpectedAccuracy(a, 0); err == nil {
+		t.Fatal("expected error for zero budget")
+	}
+}
+
+// bruteForce finds the true optimum under the same discretised cost model.
+func bruteForce(a *Assessment, epsStar float64) (bestSize int, ok bool) {
+	res := epsStar / slots
+	cost := func(d float64) int {
+		if d <= 0 {
+			return 0
+		}
+		return int(math.Ceil(d / res))
+	}
+	var rec func(l, used, size int) (int, bool)
+	rec = func(l, used, size int) (int, bool) {
+		if l == len(a.Layers) {
+			return size, true
+		}
+		best, found := 0, false
+		for _, p := range a.Layers[l].Points {
+			if p.Degradation > epsStar {
+				continue
+			}
+			nu := used + cost(p.Degradation)
+			if nu > slots {
+				continue
+			}
+			if s, k := rec(l+1, nu, size+p.DataBytes); k && (!found || s < best) {
+				best, found = s, true
+			}
+		}
+		return best, found
+	}
+	return rec(0, 0, 0)
+}
+
+func TestOptimizeMatchesBruteForceRandom(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	for trial := 0; trial < 30; trial++ {
+		nLayers := 2 + rng.Intn(3)
+		var layers []*LayerAssessment
+		for l := 0; l < nLayers; l++ {
+			nPts := 2 + rng.Intn(5)
+			var pts []Point
+			size := 5000 + rng.Intn(5000)
+			for p := 0; p < nPts; p++ {
+				size = size * 2 / 3
+				pts = append(pts, Point{
+					EB:          math.Pow(10, -3+float64(p)*0.3),
+					Degradation: rng.Float64() * 0.01,
+					DataBytes:   size,
+				})
+			}
+			layers = append(layers, layer("l", rng.Intn(100), pts...))
+		}
+		a := fakeAssessment(layers...)
+		eps := 0.004 + rng.Float64()*0.01
+		plan, err := OptimizeExpectedAccuracy(a, eps)
+		want, feasible := bruteForce(a, eps)
+		if !feasible {
+			if err == nil {
+				t.Fatalf("trial %d: DP found a plan where brute force found none", trial)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: DP failed where brute force succeeded: %v", trial, err)
+		}
+		gotData := 0
+		for _, c := range plan.Choices {
+			gotData += c.DataBytes
+		}
+		if gotData != want {
+			t.Fatalf("trial %d: DP size %d, brute force %d", trial, gotData, want)
+		}
+	}
+}
+
+func TestOptimizeExpectedRatioMeetsTarget(t *testing.T) {
+	a := fakeAssessment(
+		layer("fc6", 100,
+			Point{EB: 1e-3, Degradation: 0.000, DataBytes: 4000},
+			Point{EB: 1e-2, Degradation: 0.004, DataBytes: 1000},
+			Point{EB: 3e-2, Degradation: 0.020, DataBytes: 400}),
+		layer("fc7", 50,
+			Point{EB: 1e-3, Degradation: 0.000, DataBytes: 1000},
+			Point{EB: 1e-2, Degradation: 0.002, DataBytes: 300}),
+	)
+	target := 1900 // forces both layers aggressive (400+300+150)
+	plan, err := OptimizeExpectedRatio(a, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalBytes > target {
+		t.Fatalf("TotalBytes %d exceeds target %d", plan.TotalBytes, target)
+	}
+	// Among plans meeting the target it must pick the min-degradation one:
+	// fc6@3e-2 (0.020) + fc7@1e-2 (0.002) is forced; check it did not pick
+	// something worse.
+	if plan.PredictedLoss > 0.023 {
+		t.Fatalf("PredictedLoss %v too high", plan.PredictedLoss)
+	}
+}
+
+func TestOptimizeExpectedRatioInfeasible(t *testing.T) {
+	a := fakeAssessment(layer("fc", 1000,
+		Point{EB: 1e-3, Degradation: 0, DataBytes: 5000}))
+	if _, err := OptimizeExpectedRatio(a, 500); err == nil {
+		t.Fatal("expected error: target below index size")
+	}
+	if _, err := OptimizeExpectedRatio(a, 2000); err == nil {
+		t.Fatal("expected error: no point fits data budget")
+	}
+}
+
+func TestOptimizeDispatch(t *testing.T) {
+	a := fakeAssessment(layer("fc", 10,
+		Point{EB: 1e-3, Degradation: 0, DataBytes: 100}))
+	if _, err := Optimize(a, Config{Mode: ExpectedAccuracy, ExpectedAccuracyLoss: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	// 10×10 weights = 400 original bytes; ratio 2 → 200-byte target, which
+	// the 100+10-byte plan meets.
+	if _, err := Optimize(a, Config{Mode: ExpectedRatio, TargetRatio: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimize(a, Config{Mode: ExpectedRatio, TargetRatio: 100}); err == nil {
+		t.Fatal("expected error for unreachable ratio")
+	}
+	if _, err := Optimize(a, Config{Mode: ExpectedRatio, TargetRatio: 0.5}); err == nil {
+		t.Fatal("expected error for ratio ≤ 1")
+	}
+}

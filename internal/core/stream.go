@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lossless"
+	"repro/internal/prune"
+	"repro/internal/sz"
+)
+
+// This file implements layer-granular decoding, the paper's future-work
+// direction of using DeepSZ to improve accelerator memory utilisation: a
+// memory-constrained consumer keeps the model compressed and materialises
+// one fc layer's dense weights at a time (peak extra memory = one layer
+// instead of the whole fc suffix).
+
+// LayerNames returns the fc layers stored in the model, in order.
+func (m *Model) LayerNames() []string {
+	names := make([]string, len(m.Layers))
+	for i, l := range m.Layers {
+		names[i] = l.Name
+	}
+	return names
+}
+
+// DecodeLayer reconstructs a single fc layer's dense weights and bias
+// without touching the other layers.
+func (m *Model) DecodeLayer(name string) (*DecodedLayer, error) {
+	for _, l := range m.Layers {
+		if l.Name != name {
+			continue
+		}
+		comp, err := lossless.ByID(l.IndexID)
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %s: %w", name, err)
+		}
+		idx, err := comp.Decompress(l.IndexBlob)
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %s index: %w", name, err)
+		}
+		if len(idx) != l.IndexLen {
+			return nil, fmt.Errorf("%w: layer %s index length", ErrCorrupt, name)
+		}
+		data, err := sz.Decompress(l.SZBlob)
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %s data: %w", name, err)
+		}
+		if len(data) != len(idx) {
+			return nil, fmt.Errorf("%w: layer %s entry count", ErrCorrupt, name)
+		}
+		dense, err := (&prune.Sparse{N: l.Rows * l.Cols, Data: data, Index: idx}).Decode()
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %s: %w", name, err)
+		}
+		return &DecodedLayer{Name: name, Weights: dense, Bias: l.Bias}, nil
+	}
+	return nil, fmt.Errorf("core: model has no layer %q", name)
+}
+
+// StreamDecode invokes fn for each layer in storage order, materialising
+// only one layer's dense weights at a time. fn may retain the layer; the
+// model never does. Decoding stops at the first error from fn.
+func (m *Model) StreamDecode(fn func(*DecodedLayer) error) error {
+	for _, name := range m.LayerNames() {
+		dl, err := m.DecodeLayer(name)
+		if err != nil {
+			return err
+		}
+		if err := fn(dl); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+// Package dataset provides the synthetic workloads that stand in for MNIST
+// and ImageNet (the module is offline; see DESIGN.md §1). Both generators
+// produce learnable-but-noisy classification tasks so that inference
+// accuracy degrades smoothly as compression error is injected into the
+// network — the property DeepSZ's error-bound assessment depends on.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Set is a labelled image classification dataset. Images has shape
+// [N, C, H, W]; Labels[i] is the class of image i.
+type Set struct {
+	Images  *tensor.Tensor
+	Labels  []int
+	Classes int
+}
+
+// Len returns the number of examples.
+func (s *Set) Len() int { return len(s.Labels) }
+
+// Image returns a view (not a copy) of image i as a [C, H, W] tensor.
+func (s *Set) Image(i int) *tensor.Tensor {
+	c, h, w := s.Images.Shape[1], s.Images.Shape[2], s.Images.Shape[3]
+	sz := c * h * w
+	return tensor.FromSlice(s.Images.Data[i*sz:(i+1)*sz], c, h, w)
+}
+
+// Batch copies examples idx into a [len(idx), C, H, W] tensor plus labels.
+func (s *Set) Batch(idx []int) (*tensor.Tensor, []int) {
+	c, h, w := s.Images.Shape[1], s.Images.Shape[2], s.Images.Shape[3]
+	sz := c * h * w
+	x := tensor.New(len(idx), c, h, w)
+	labels := make([]int, len(idx))
+	for bi, i := range idx {
+		copy(x.Data[bi*sz:(bi+1)*sz], s.Images.Data[i*sz:(i+1)*sz])
+		labels[bi] = s.Labels[i]
+	}
+	return x, labels
+}
+
+// digitGlyphs are 7×11 stroke masks for the ten digits; '#' marks ink.
+var digitGlyphs = [10][]string{
+	{" ##### ", "#     #", "#     #", "#     #", "#     #", "#     #", "#     #", "#     #", "#     #", "#     #", " ##### "},
+	{"   #   ", "  ##   ", " # #   ", "   #   ", "   #   ", "   #   ", "   #   ", "   #   ", "   #   ", "   #   ", " ##### "},
+	{" ##### ", "#     #", "      #", "      #", "     # ", "    #  ", "   #   ", "  #    ", " #     ", "#      ", "#######"},
+	{" ##### ", "#     #", "      #", "      #", "  #### ", "      #", "      #", "      #", "      #", "#     #", " ##### "},
+	{"#   #  ", "#   #  ", "#   #  ", "#   #  ", "#   #  ", "#######", "    #  ", "    #  ", "    #  ", "    #  ", "    #  "},
+	{"#######", "#      ", "#      ", "#      ", "###### ", "      #", "      #", "      #", "      #", "#     #", " ##### "},
+	{" ##### ", "#     #", "#      ", "#      ", "###### ", "#     #", "#     #", "#     #", "#     #", "#     #", " ##### "},
+	{"#######", "      #", "     # ", "     # ", "    #  ", "    #  ", "   #   ", "   #   ", "  #    ", "  #    ", "  #    "},
+	{" ##### ", "#     #", "#     #", "#     #", " ##### ", "#     #", "#     #", "#     #", "#     #", "#     #", " ##### "},
+	{" ##### ", "#     #", "#     #", "#     #", "#     #", " ######", "      #", "      #", "      #", "#     #", " ##### "},
+}
+
+const (
+	mnistSide    = 28
+	mnistClasses = 10
+)
+
+// SynthMNIST renders n synthetic 28×28 grayscale digit images with random
+// translation, per-image ink intensity, and additive Gaussian noise. The
+// generator is deterministic in seed.
+func SynthMNIST(n int, seed uint64) *Set {
+	rng := tensor.NewRNG(seed)
+	images := tensor.New(n, 1, mnistSide, mnistSide)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		digit := rng.Intn(mnistClasses)
+		labels[i] = digit
+		img := images.Data[i*mnistSide*mnistSide : (i+1)*mnistSide*mnistSide]
+		renderDigit(rng, img, digit)
+	}
+	return &Set{Images: images, Labels: labels, Classes: mnistClasses}
+}
+
+func renderDigit(rng *tensor.RNG, img []float32, digit int) {
+	glyph := digitGlyphs[digit]
+	gh, gw := len(glyph), len(glyph[0])
+	// Random placement inside the 28×28 canvas with margin jitter.
+	maxOffY := mnistSide - 2*gh // glyph drawn at 2× vertical scale
+	maxOffX := mnistSide - 2*gw
+	offY := 2 + rng.Intn(maxOffY-3)
+	offX := 2 + rng.Intn(maxOffX-3)
+	ink := 0.7 + 0.3*rng.Float64()
+	for gy := 0; gy < gh; gy++ {
+		for gx := 0; gx < gw; gx++ {
+			if glyph[gy][gx] != '#' {
+				continue
+			}
+			// 2×2 block per glyph cell gives ~14×22 strokes.
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					y, x := offY+2*gy+dy, offX+2*gx+dx
+					img[y*mnistSide+x] = float32(ink)
+				}
+			}
+		}
+	}
+	// Additive noise over the whole canvas.
+	for p := range img {
+		img[p] += float32(rng.NormFloat64() * 0.08)
+	}
+}
+
+// SynthImages generates an n-example, classes-way task of size c×h×w. Each
+// class is a smooth low-frequency prototype; examples are the prototype plus
+// white noise and a random global brightness shift. This is the ImageNet
+// stand-in for the scaled AlexNet/VGG experiments.
+//
+// The class prototypes are derived from seed, so two calls with different
+// seeds define different tasks. To draw a train and a test set from the
+// same task, use SynthImagesSplit.
+func SynthImages(n, classes, c, h, w int, seed uint64) *Set {
+	train, _ := SynthImagesSplit(n, 0, classes, c, h, w, seed)
+	return train
+}
+
+// SynthImagesSplit draws a train set and a test set from one shared task
+// (identical class prototypes, disjoint noise).
+func SynthImagesSplit(trainN, testN, classes, c, h, w int, seed uint64) (train, test *Set) {
+	if classes < 2 {
+		panic(fmt.Sprintf("dataset: need at least 2 classes, got %d", classes))
+	}
+	rng := tensor.NewRNG(seed)
+	protos := make([][]float32, classes)
+	for k := range protos {
+		protos[k] = smoothProto(rng, c, h, w)
+	}
+	sample := func(n int) *Set {
+		images := tensor.New(n, c, h, w)
+		labels := make([]int, n)
+		sz := c * h * w
+		for i := 0; i < n; i++ {
+			k := rng.Intn(classes)
+			labels[i] = k
+			img := images.Data[i*sz : (i+1)*sz]
+			bright := float32(rng.NormFloat64() * 0.2)
+			for p := range img {
+				img[p] = protos[k][p] + bright + float32(rng.NormFloat64()*0.8)
+			}
+		}
+		return &Set{Images: images, Labels: labels, Classes: classes}
+	}
+	return sample(trainN), sample(testN)
+}
+
+// smoothProto builds a low-frequency pattern from a handful of random 2-D
+// cosine components per channel.
+func smoothProto(rng *tensor.RNG, c, h, w int) []float32 {
+	proto := make([]float32, c*h*w)
+	for ch := 0; ch < c; ch++ {
+		type wave struct{ fy, fx, phase, amp float64 }
+		waves := make([]wave, 3)
+		for i := range waves {
+			waves[i] = wave{
+				fy:    (rng.Float64() - 0.5) * 0.8,
+				fx:    (rng.Float64() - 0.5) * 0.8,
+				phase: rng.Float64() * 6.283,
+				amp:   0.3 + 0.4*rng.Float64(),
+			}
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				var v float64
+				for _, wv := range waves {
+					v += wv.amp * math.Cos(wv.fy*float64(y)+wv.fx*float64(x)+wv.phase)
+				}
+				proto[ch*h*w+y*w+x] = float32(v)
+			}
+		}
+	}
+	return proto
+}

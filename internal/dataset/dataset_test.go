@@ -1,0 +1,169 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestSynthMNISTShapes(t *testing.T) {
+	s := SynthMNIST(50, 1)
+	if s.Len() != 50 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Images.Shape; got[0] != 50 || got[1] != 1 || got[2] != 28 || got[3] != 28 {
+		t.Fatalf("shape = %v", got)
+	}
+	if s.Classes != 10 {
+		t.Fatalf("Classes = %d", s.Classes)
+	}
+	for i, l := range s.Labels {
+		if l < 0 || l >= 10 {
+			t.Fatalf("label %d = %d out of range", i, l)
+		}
+	}
+}
+
+func TestSynthMNISTDeterministic(t *testing.T) {
+	a := SynthMNIST(20, 7)
+	b := SynthMNIST(20, 7)
+	for i := range a.Images.Data {
+		if a.Images.Data[i] != b.Images.Data[i] {
+			t.Fatal("same seed must give identical images")
+		}
+	}
+	c := SynthMNIST(20, 8)
+	same := true
+	for i := range a.Images.Data {
+		if a.Images.Data[i] != c.Images.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestSynthMNISTHasInk(t *testing.T) {
+	s := SynthMNIST(100, 2)
+	for i := 0; i < s.Len(); i++ {
+		img := s.Image(i)
+		var ink int
+		for _, v := range img.Data {
+			if v > 0.5 {
+				ink++
+			}
+		}
+		if ink < 10 {
+			t.Fatalf("image %d (digit %d) has almost no ink (%d px)", i, s.Labels[i], ink)
+		}
+	}
+}
+
+func TestSynthMNISTClassesDiffer(t *testing.T) {
+	// Mean images of two different digits should differ substantially.
+	s := SynthMNIST(400, 3)
+	mean := make([][]float64, 10)
+	count := make([]int, 10)
+	for k := range mean {
+		mean[k] = make([]float64, 28*28)
+	}
+	for i := 0; i < s.Len(); i++ {
+		img := s.Image(i)
+		l := s.Labels[i]
+		count[l]++
+		for p, v := range img.Data {
+			mean[l][p] += float64(v)
+		}
+	}
+	var dist float64
+	for p := range mean[0] {
+		a := mean[0][p] / float64(count[0])
+		b := mean[1][p] / float64(count[1])
+		dist += (a - b) * (a - b)
+	}
+	if dist < 1 {
+		t.Fatalf("digit 0 and 1 prototypes too similar: dist=%v", dist)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	s := SynthMNIST(30, 4)
+	x, labels := s.Batch([]int{3, 7, 11})
+	if x.Shape[0] != 3 {
+		t.Fatalf("batch shape %v", x.Shape)
+	}
+	if labels[1] != s.Labels[7] {
+		t.Fatal("batch labels misaligned")
+	}
+	img := s.Image(7)
+	for p, v := range img.Data {
+		if x.Data[1*28*28+p] != v {
+			t.Fatal("batch image data misaligned")
+		}
+	}
+}
+
+func TestSynthImagesShapes(t *testing.T) {
+	s := SynthImages(40, 5, 3, 16, 16, 9)
+	if s.Len() != 40 || s.Classes != 5 {
+		t.Fatalf("Len=%d Classes=%d", s.Len(), s.Classes)
+	}
+	if got := s.Images.Shape; got[1] != 3 || got[2] != 16 || got[3] != 16 {
+		t.Fatalf("shape = %v", got)
+	}
+}
+
+func TestSynthImagesClassSeparation(t *testing.T) {
+	s := SynthImages(600, 4, 3, 12, 12, 10)
+	// Nearest-class-mean classification should beat chance comfortably:
+	// the task must be learnable.
+	sz := 3 * 12 * 12
+	means := make([][]float64, 4)
+	count := make([]int, 4)
+	for k := range means {
+		means[k] = make([]float64, sz)
+	}
+	half := s.Len() / 2
+	for i := 0; i < half; i++ {
+		l := s.Labels[i]
+		count[l]++
+		for p := 0; p < sz; p++ {
+			means[l][p] += float64(s.Images.Data[i*sz+p])
+		}
+	}
+	for k := range means {
+		for p := range means[k] {
+			means[k][p] /= float64(count[k])
+		}
+	}
+	correct := 0
+	for i := half; i < s.Len(); i++ {
+		best, bestD := -1, 0.0
+		for k := range means {
+			var d float64
+			for p := 0; p < sz; p++ {
+				diff := float64(s.Images.Data[i*sz+p]) - means[k][p]
+				d += diff * diff
+			}
+			if best == -1 || d < bestD {
+				best, bestD = k, d
+			}
+		}
+		if best == s.Labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(s.Len()-half)
+	if acc < 0.6 {
+		t.Fatalf("nearest-mean accuracy %.2f; task not learnable", acc)
+	}
+}
+
+func TestSynthImagesPanicsOnBadClasses(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SynthImages(10, 1, 1, 8, 8, 1)
+}

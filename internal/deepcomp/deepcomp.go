@@ -1,0 +1,209 @@
+// Package deepcomp implements the Deep Compression baseline (Han, Mao &
+// Dally, ICLR 2016) the paper compares against: pruning (shared with
+// DeepSZ), k-means weight sharing with a 2^bits codebook, and Huffman coding
+// of both the cluster indices and the sparse position deltas.
+package deepcomp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/huffman"
+	"repro/internal/prune"
+)
+
+// Options configures the quantizer.
+type Options struct {
+	// Bits is the codebook width (Deep Compression uses 5 for fc layers);
+	// the codebook has 2^Bits entries. Must be in [1, 16].
+	Bits int
+	// KMeansIters bounds Lloyd iterations (default 15).
+	KMeansIters int
+}
+
+// ErrCorrupt is returned for structurally invalid blobs.
+var ErrCorrupt = errors.New("deepcomp: corrupt stream")
+
+// maxDenseLen bounds the dense length accepted from serialized headers
+// (2^31 weights = 8 GiB dense, far beyond any fc layer).
+const maxDenseLen = 1 << 31
+
+// Compressed is one fc layer encoded by Deep Compression.
+type Compressed struct {
+	N         int // dense length
+	Bits      int
+	Codebook  []float32
+	CodeBlob  []byte // Huffman-coded cluster indices (one per sparse entry)
+	IndexBlob []byte // Huffman-coded position deltas
+	Entries   int    // sparse entries (incl. padding)
+}
+
+// CompressLayer encodes a pruned dense weight array.
+func CompressLayer(dense []float32, opts Options) (*Compressed, error) {
+	if opts.Bits < 1 || opts.Bits > 16 {
+		return nil, fmt.Errorf("deepcomp: bits %d out of [1,16]", opts.Bits)
+	}
+	if opts.KMeansIters <= 0 {
+		opts.KMeansIters = 15
+	}
+	sp := prune.Encode(dense)
+	k := 1 << opts.Bits
+
+	// Cluster the real (nonzero) weights; padding entries keep a dedicated
+	// zero code so reconstruction preserves them exactly.
+	var nz []float32
+	for _, v := range sp.Data {
+		if v != 0 {
+			nz = append(nz, v)
+		}
+	}
+	centroids, assign, err := cluster.KMeans1D(nz, k-1, opts.KMeansIters)
+	if err != nil {
+		return nil, err
+	}
+	// Code 0 = padding/zero; codes 1..k-1 = centroids.
+	codes := make([]uint32, len(sp.Data))
+	ni := 0
+	for i, v := range sp.Data {
+		if v == 0 {
+			codes[i] = 0
+		} else {
+			codes[i] = assign[ni] + 1
+			ni++
+		}
+	}
+	idxSyms := make([]uint32, len(sp.Index))
+	for i, d := range sp.Index {
+		idxSyms[i] = uint32(d)
+	}
+	return &Compressed{
+		N:         sp.N,
+		Bits:      opts.Bits,
+		Codebook:  centroids,
+		CodeBlob:  huffman.Encode(codes),
+		IndexBlob: huffman.Encode(idxSyms),
+		Entries:   len(sp.Data),
+	}, nil
+}
+
+// Bytes returns the compressed storage: both Huffman blobs plus the
+// codebook.
+func (c *Compressed) Bytes() int {
+	return len(c.CodeBlob) + len(c.IndexBlob) + 4*len(c.Codebook) + 16 // header fields
+}
+
+// Decompress reconstructs the dense weight array (each nonzero weight
+// replaced by its centroid).
+func (c *Compressed) Decompress() ([]float32, error) {
+	codes, err := huffman.Decode(c.CodeBlob)
+	if err != nil {
+		return nil, fmt.Errorf("deepcomp: codes: %w", err)
+	}
+	idxSyms, err := huffman.Decode(c.IndexBlob)
+	if err != nil {
+		return nil, fmt.Errorf("deepcomp: indices: %w", err)
+	}
+	if len(codes) != len(idxSyms) || len(codes) != c.Entries {
+		return nil, fmt.Errorf("%w: entry count mismatch", ErrCorrupt)
+	}
+	dense := make([]float32, c.N)
+	pos := -1
+	for i, d := range idxSyms {
+		if d > 255 {
+			return nil, fmt.Errorf("%w: index delta %d", ErrCorrupt, d)
+		}
+		pos += int(d)
+		code := codes[i]
+		if code == 0 {
+			continue // padding / zero
+		}
+		if int(code-1) >= len(c.Codebook) {
+			return nil, fmt.Errorf("%w: code %d beyond codebook", ErrCorrupt, code)
+		}
+		if pos < 0 || pos >= c.N {
+			return nil, fmt.Errorf("%w: position %d out of range", ErrCorrupt, pos)
+		}
+		dense[pos] = c.Codebook[code-1]
+	}
+	return dense, nil
+}
+
+// MaxError returns the largest reconstruction error against the original
+// dense array (unbounded in general — Deep Compression has no error
+// control; this is what Table 5 contrasts with SZ's bounds).
+func (c *Compressed) MaxError(original []float32) (float64, error) {
+	dec, err := c.Decompress()
+	if err != nil {
+		return 0, err
+	}
+	if len(dec) != len(original) {
+		return 0, fmt.Errorf("deepcomp: length mismatch")
+	}
+	var m float64
+	for i := range dec {
+		if d := math.Abs(float64(dec[i]) - float64(original[i])); d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// Marshal serializes the layer.
+func (c *Compressed) Marshal() []byte {
+	out := make([]byte, 0, c.Bytes()+32)
+	out = binary.LittleEndian.AppendUint32(out, uint32(c.N))
+	out = binary.LittleEndian.AppendUint32(out, uint32(c.Bits))
+	out = binary.LittleEndian.AppendUint32(out, uint32(c.Entries))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(c.Codebook)))
+	for _, v := range c.Codebook {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(c.CodeBlob)))
+	out = append(out, c.CodeBlob...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(c.IndexBlob)))
+	out = append(out, c.IndexBlob...)
+	return out
+}
+
+// Unmarshal reverses Marshal.
+func Unmarshal(blob []byte) (*Compressed, error) {
+	if len(blob) < 16 {
+		return nil, ErrCorrupt
+	}
+	c := &Compressed{
+		N:       int(binary.LittleEndian.Uint32(blob[0:4])),
+		Bits:    int(binary.LittleEndian.Uint32(blob[4:8])),
+		Entries: int(binary.LittleEndian.Uint32(blob[8:12])),
+	}
+	// Forged headers must not drive huge allocations in Decompress.
+	if c.N < 0 || c.N > maxDenseLen || c.Bits < 1 || c.Bits > 16 || c.Entries < 0 {
+		return nil, fmt.Errorf("%w: implausible header", ErrCorrupt)
+	}
+	nCb := int(binary.LittleEndian.Uint32(blob[12:16]))
+	off := 16
+	if len(blob) < off+4*nCb+4 {
+		return nil, ErrCorrupt
+	}
+	c.Codebook = make([]float32, nCb)
+	for i := range c.Codebook {
+		c.Codebook[i] = math.Float32frombits(binary.LittleEndian.Uint32(blob[off:]))
+		off += 4
+	}
+	n := int(binary.LittleEndian.Uint32(blob[off:]))
+	off += 4
+	if len(blob) < off+n+4 {
+		return nil, ErrCorrupt
+	}
+	c.CodeBlob = append([]byte(nil), blob[off:off+n]...)
+	off += n
+	n = int(binary.LittleEndian.Uint32(blob[off:]))
+	off += 4
+	if len(blob) < off+n {
+		return nil, ErrCorrupt
+	}
+	c.IndexBlob = append([]byte(nil), blob[off:off+n]...)
+	return c, nil
+}

@@ -1,0 +1,171 @@
+package deepcomp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+// prunedWeights makes a dense array with ~density fraction nonzero.
+func prunedWeights(rng *tensor.RNG, n int, density float64) []float32 {
+	w := make([]float32, n)
+	for i := range w {
+		if rng.Float64() < density {
+			w[i] = float32(rng.NormFloat64() * 0.05)
+		}
+	}
+	return w
+}
+
+func TestRoundTripPreservesSparsity(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	dense := prunedWeights(rng, 20000, 0.1)
+	c, err := CompressLayer(dense, Options{Bits: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(dense) {
+		t.Fatalf("length %d, want %d", len(got), len(dense))
+	}
+	for i := range dense {
+		if (dense[i] == 0) != (got[i] == 0) {
+			t.Fatalf("sparsity pattern broken at %d: %v vs %v", i, dense[i], got[i])
+		}
+	}
+}
+
+func TestQuantizationErrorShrinksWithBits(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	dense := prunedWeights(rng, 20000, 0.1)
+	var prev = math.Inf(1)
+	for _, bits := range []int{2, 5, 8} {
+		c, err := CompressLayer(dense, Options{Bits: bits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := c.MaxError(dense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > prev {
+			t.Fatalf("bits=%d: error %v grew from %v", bits, e, prev)
+		}
+		prev = e
+	}
+	// 2-bit quantization of gaussian weights has large error (no bound).
+	c2, _ := CompressLayer(dense, Options{Bits: 2})
+	if e, _ := c2.MaxError(dense); e < 0.01 {
+		t.Fatalf("2-bit quantization suspiciously accurate: %v", e)
+	}
+}
+
+func TestCompressionRatioAt5Bits(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	dense := prunedWeights(rng, 50000, 0.09)
+	c, err := CompressLayer(dense, Options{Bits: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(4*len(dense)) / float64(c.Bytes())
+	// Deep Compression reaches ~30–40× on 9 %-pruned fc layers.
+	if ratio < 20 {
+		t.Fatalf("ratio %.1f, want ≥20", ratio)
+	}
+	// And it must beat raw CSR.
+	sp := prune.Encode(dense)
+	if c.Bytes() >= sp.Bytes() {
+		t.Fatalf("quantized size %d not below CSR %d", c.Bytes(), sp.Bytes())
+	}
+}
+
+func TestMarshalUnmarshal(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	dense := prunedWeights(rng, 5000, 0.12)
+	c, _ := CompressLayer(dense, Options{Bits: 4})
+	blob := c.Marshal()
+	got, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != c.N || got.Bits != c.Bits || got.Entries != c.Entries {
+		t.Fatal("header mismatch")
+	}
+	if !bytes.Equal(got.CodeBlob, c.CodeBlob) || !bytes.Equal(got.IndexBlob, c.IndexBlob) {
+		t.Fatal("blob mismatch")
+	}
+	d1, _ := c.Decompress()
+	d2, err := got.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("decompress mismatch after round trip")
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	c, _ := CompressLayer(prunedWeights(rng, 1000, 0.1), Options{Bits: 4})
+	blob := c.Marshal()
+	if _, err := Unmarshal(blob[:8]); err == nil {
+		t.Fatal("expected error for short blob")
+	}
+	if _, err := Unmarshal(blob[:len(blob)-3]); err == nil {
+		t.Fatal("expected error for truncated blob")
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	for _, bits := range []int{0, -1, 17} {
+		if _, err := CompressLayer([]float32{1}, Options{Bits: bits}); err == nil {
+			t.Fatalf("expected error for bits=%d", bits)
+		}
+	}
+}
+
+func TestAllZeroLayer(t *testing.T) {
+	c, err := CompressLayer(make([]float32, 100), Options{Bits: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 0 {
+			t.Fatal("all-zero layer must decode to zeros")
+		}
+	}
+}
+
+func TestLongGapsPreserved(t *testing.T) {
+	dense := make([]float32, 2000)
+	dense[0] = 0.5
+	dense[1999] = -0.5
+	c, err := CompressLayer(dense, Options{Bits: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == 0 || got[1999] == 0 {
+		t.Fatal("endpoints lost")
+	}
+	for i := 1; i < 1999; i++ {
+		if got[i] != 0 {
+			t.Fatalf("spurious weight at %d", i)
+		}
+	}
+}

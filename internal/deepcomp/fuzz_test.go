@@ -1,0 +1,43 @@
+package deepcomp
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestUnmarshalSurvivesRandomCorruption(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	c, err := CompressLayer(prunedWeights(rng, 3000, 0.1), Options{Bits: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := c.Marshal()
+	for trial := 0; trial < 300; trial++ {
+		bad := append([]byte(nil), blob...)
+		for i := 0; i < 1+rng.Intn(12); i++ {
+			p := rng.Intn(len(bad))
+			bad[p] ^= 1 << rng.Intn(8)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic: %v", trial, r)
+				}
+			}()
+			if cc, err := Unmarshal(bad); err == nil {
+				_, _ = cc.Decompress()
+			}
+		}()
+	}
+}
+
+func TestUnmarshalRejectsForgedHugeN(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	c, _ := CompressLayer(prunedWeights(rng, 100, 0.1), Options{Bits: 4})
+	blob := c.Marshal()
+	blob[3] = 0xFF // N becomes ~4e9
+	if _, err := Unmarshal(blob); err == nil {
+		t.Fatal("expected rejection of forged dense length")
+	}
+}

@@ -1,0 +1,118 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§5) on the scaled substrates, printing rows/series in
+// the paper's shape. Both cmd/experiments and the repository benchmarks call
+// into this package, so numbers in EXPERIMENTS.md come from the same code
+// paths the benchmarks exercise.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+// Prepared is a network taken through the full DeepSZ pipeline: trained,
+// pruned to the paper's keep ratios, mask-retrained, and encoded.
+type Prepared struct {
+	*models.Trained
+	// Pruned is the pruned + mask-retrained network the encoders consume.
+	Pruned *nn.Network
+	// PrunedAcc is Pruned's test accuracy (DeepSZ's baseline).
+	PrunedAcc nn.Accuracy
+	// Result is the DeepSZ encoding of Pruned.
+	Result *core.Result
+}
+
+var (
+	prepMu sync.Mutex
+	preps  = map[string]*Prepared{}
+)
+
+// PipelineConfig returns the core.Config used throughout the experiments.
+// The accuracy budget is scaled to the synthetic test sets' resolution
+// (1/600 per image vs the paper's 1/50000); see EXPERIMENTS.md.
+func PipelineConfig() core.Config {
+	return core.Config{
+		ExpectedAccuracyLoss: 0.02,
+		DistortionCriterion:  0.005,
+		StartErrorBound:      1e-3,
+		// §3.4 requires eb < 0.1 so ∆W ≪ W and the linearity model holds.
+		MaxErrorBound: 0.1,
+		TestBatch:     100,
+	}
+}
+
+// Prepare trains (via the model zoo), prunes, retrains, and DeepSZ-encodes
+// the named network, caching the result for the life of the process.
+func Prepare(name string) (*Prepared, error) {
+	prepMu.Lock()
+	defer prepMu.Unlock()
+	if p, ok := preps[name]; ok {
+		return p, nil
+	}
+	tr, err := models.Pretrained(name)
+	if err != nil {
+		return nil, err
+	}
+	pruned := tr.Net.Clone()
+	prune.Network(pruned, prune.PaperRatios(name), 0.1)
+	prune.Retrain(pruned, tr.Train, 1, 0.03, tensor.NewRNG(1234))
+	p := &Prepared{Trained: tr, Pruned: pruned}
+	p.PrunedAcc = pruned.Evaluate(tr.Test, 100)
+	p.Result, err = core.Encode(pruned, tr.Test, PipelineConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: encoding %s: %w", name, err)
+	}
+	preps[name] = p
+	return p, nil
+}
+
+// Runner is a named experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer) error
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"table1", "Table 1: architectures of the evaluation networks", Table1},
+		{"fig2", "Figure 2: SZ vs ZFP compression ratios on fc data arrays", Fig2},
+		{"fig4", "Figure 4: lossless compressors on index arrays", Fig4},
+		{"fig5", "Figures 3+5: inference accuracy vs per-layer error bound", Fig5},
+		{"fig6", "Figure 6: linearity of accuracy loss", Fig6},
+		{"table2", "Table 2: per-layer compression statistics", Table2},
+		{"table3", "Table 3: inference accuracy of DeepSZ-compressed networks", Table3},
+		{"table4", "Table 4: compression-ratio comparison of the three methods", Table4},
+		{"table5", "Table 5: accuracy degradation at comparable ratios", Table5},
+		{"fig7", "Figure 7: encoding and decoding time", Fig7},
+		{"ablation", "Ablations: dense-vs-CSR compression, SZ design choices", Ablation},
+	}
+}
+
+// Run executes the experiment with the given id ("all" runs everything).
+func Run(id string, w io.Writer) error {
+	if id == "all" {
+		for _, r := range All() {
+			fmt.Fprintf(w, "\n================ %s ================\n", r.Title)
+			if err := r.Run(w); err != nil {
+				return fmt.Errorf("%s: %w", r.ID, err)
+			}
+		}
+		return nil
+	}
+	for _, r := range All() {
+		if r.ID == id {
+			fmt.Fprintf(w, "%s\n\n", r.Title)
+			return r.Run(w)
+		}
+	}
+	return fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+)
+
+// The experiment reports train real networks; only the cheapest paths run
+// here (and skip entirely under -short). cmd/experiments and the repo
+// benchmarks exercise the full set.
+
+func TestPrepareCachesAndEncodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	p, err := Prepare(models.LeNet300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Result == nil || p.Result.CompressedBytes <= 0 {
+		t.Fatal("Prepare did not encode")
+	}
+	if p.Result.CompressionRatio() < 20 {
+		t.Fatalf("ratio %.1f suspiciously low", p.Result.CompressionRatio())
+	}
+	if p.PrunedAcc.Top1 < 0.85 {
+		t.Fatalf("pruned accuracy %.3f too low", p.PrunedAcc.Top1)
+	}
+	p2, err := Prepare(models.LeNet300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != p2 {
+		t.Fatal("Prepare must cache")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", &buf); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestAllHaveDistinctIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range All() {
+		if r.ID == "" || r.Title == "" || r.Run == nil {
+			t.Fatalf("incomplete runner %+v", r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if len(seen) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(seen))
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Run("table1", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"LeNet-300-100", "AlexNet", "VGG-16", "fc6 4096×25088"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Run("table3", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range models.All() {
+		if !strings.Contains(out, name+" original") || !strings.Contains(out, name+" DeepSZ") {
+			t.Fatalf("table3 missing rows for %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig2ShapeSZBeatsZFP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Run("fig2", &buf); err != nil {
+		t.Fatal(err)
+	}
+	// The report prints SZ and ZFP rows per layer; spot-check presence.
+	out := buf.String()
+	if !strings.Contains(out, "SZ") || !strings.Contains(out, "ZFP") {
+		t.Fatalf("fig2 output malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/lossless"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/stats"
+	"repro/internal/sz"
+	"repro/internal/tensor"
+	"repro/internal/zfp"
+)
+
+// Table1 prints the architecture table: analytic full-scale sizes from the
+// published dimensions plus measured forward times of the scaled stand-ins.
+func Table1(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "network\tconv\tfc\tfc dims\tfc size\tfc share\tconv fwd\tfc fwd")
+	for _, spec := range models.PaperTable1() {
+		p, err := Prepare(spec.ScaledName)
+		if err != nil {
+			return err
+		}
+		convT, fcT, err := measureForwardSplit(p.Trained)
+		if err != nil {
+			return err
+		}
+		dims := ""
+		for i, fc := range spec.FCLayers {
+			if i > 0 {
+				dims += ", "
+			}
+			dims += fmt.Sprintf("%s %d×%d", fc.Name, fc.Rows, fc.Cols)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.1f MB\t%.1f%%\t%v\t%v\n",
+			spec.Name, spec.ConvLayers, len(spec.FCLayers), dims,
+			float64(spec.FCBytes())/1e6, 100*spec.FCFraction(),
+			convT.Round(time.Microsecond), fcT.Round(time.Microsecond))
+	}
+	fmt.Fprintln(tw, "\n(sizes analytic from published dims; fwd times measured on the scaled stand-ins, batch 100)")
+	return tw.Flush()
+}
+
+// measureForwardSplit times the conv prefix and fc suffix of one batch.
+func measureForwardSplit(tr *models.Trained) (conv, fc time.Duration, err error) {
+	split := tr.Net.FirstDenseIndex()
+	idx := make([]int, min(100, tr.Test.Len()))
+	for i := range idx {
+		idx[i] = i
+	}
+	x, _ := tr.Test.Batch(idx)
+	t0 := time.Now()
+	mid := tr.Net.ForwardRange(0, split, x, false)
+	t1 := time.Now()
+	tr.Net.ForwardRange(split, len(tr.Net.Layers), mid, false)
+	return t1.Sub(t0), time.Since(t1), nil
+}
+
+// Fig2 compares SZ and ZFP compression ratios on the pruned fc data arrays
+// of the two ImageNet-class networks at absolute bounds 1e-2/1e-3/1e-4.
+func Fig2(w io.Writer) error {
+	bounds := []float64{1e-2, 1e-3, 1e-4}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "network\tlayer\tcompressor\t1E-2\t1E-3\t1E-4")
+	for _, name := range []string{models.AlexNetS, models.VGG16S} {
+		p, err := Prepare(name)
+		if err != nil {
+			return err
+		}
+		for _, fc := range p.Pruned.DenseLayers() {
+			sp := prune.Encode(fc.Weights())
+			var szR, zfpR [3]float64
+			for i, eb := range bounds {
+				szBlob, err := sz.Compress(sp.Data, sz.Options{ErrorBound: eb})
+				if err != nil {
+					return err
+				}
+				szR[i] = sz.Ratio(len(sp.Data), szBlob)
+				zfpBlob, err := zfp.Compress(sp.Data, zfp.Options{Mode: zfp.ModeAccuracy, Tolerance: eb})
+				if err != nil {
+					return err
+				}
+				zfpR[i] = zfp.Ratio(len(sp.Data), zfpBlob)
+			}
+			fmt.Fprintf(tw, "%s\t%s\tSZ\t%.2f\t%.2f\t%.2f\n", name, fc.Name(), szR[0], szR[1], szR[2])
+			fmt.Fprintf(tw, "%s\t%s\tZFP\t%.2f\t%.2f\t%.2f\n", name, fc.Name(), zfpR[0], zfpR[1], zfpR[2])
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig4 compares the three lossless back-ends on each layer's index array.
+func Fig4(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "network\tlayer\tgzip\tzstdlike\tblosclike")
+	for _, name := range []string{models.AlexNetS, models.VGG16S} {
+		p, err := Prepare(name)
+		if err != nil {
+			return err
+		}
+		for _, fc := range p.Pruned.DenseLayers() {
+			sp := prune.Encode(fc.Weights())
+			idx := make([]byte, len(sp.Index))
+			copy(idx, sp.Index)
+			var ratios []float64
+			for _, c := range lossless.All() {
+				blob := c.Compress(idx)
+				ratios = append(ratios, float64(len(idx))/float64(len(blob)))
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.2f\n", name, fc.Name(), ratios[0], ratios[1], ratios[2])
+		}
+	}
+	return tw.Flush()
+}
+
+// fig5Bounds is the sweep grid of Figures 3 and 5. The scaled networks have
+// ~10× larger weights than the full-size models, so the accuracy knee sits
+// around 1e-1–4e-1 instead of the paper's 1e-2–1e-1; the grid extends right
+// to capture it (see EXPERIMENTS.md).
+var fig5Bounds = []float64{1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 2e-1, 4e-1}
+
+// Fig5 reproduces Figures 3 and 5: top-1 accuracy as a function of the error
+// bound applied to one fc layer at a time, for all four networks.
+func Fig5(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := "network\tlayer"
+	for _, eb := range fig5Bounds {
+		header += fmt.Sprintf("\t%.0e", eb)
+	}
+	fmt.Fprintln(tw, header)
+	for _, name := range models.All() {
+		p, err := Prepare(name)
+		if err != nil {
+			return err
+		}
+		split := p.Pruned.FirstDenseIndex()
+		features := p.Pruned.FeatureCache(split, p.Test, 100)
+		suffix := p.Pruned.CloneRange(split, len(p.Pruned.Layers))
+		fmt.Fprintf(tw, "%s\t(baseline)\t%.2f%%\n", name, 100*p.PrunedAcc.Top1)
+		for _, fc := range suffix.DenseLayers() {
+			row := fmt.Sprintf("%s\t%s", name, fc.Name())
+			original := append([]float32(nil), fc.Weights()...)
+			sp := prune.Encode(original)
+			for _, eb := range fig5Bounds {
+				acc, err := reconstructedAccuracy(suffix, features, p, fc, sp, eb)
+				if err != nil {
+					return err
+				}
+				row += fmt.Sprintf("\t%.2f%%", 100*acc.Top1)
+				fc.SetWeights(original)
+			}
+			fmt.Fprintln(tw, row)
+		}
+	}
+	return tw.Flush()
+}
+
+// reconstructedAccuracy compresses one layer's data array at eb, rebuilds
+// the layer inside the suffix clone, and evaluates.
+func reconstructedAccuracy(suffix *nn.Network, features *tensor.Tensor, p *Prepared,
+	fc *nn.Dense, sp *prune.Sparse, eb float64) (nn.Accuracy, error) {
+	blob, err := sz.Compress(sp.Data, sz.Options{ErrorBound: eb})
+	if err != nil {
+		return nn.Accuracy{}, err
+	}
+	dec, err := sz.Decompress(blob)
+	if err != nil {
+		return nn.Accuracy{}, err
+	}
+	recon := &prune.Sparse{N: sp.N, Data: dec, Index: sp.Index}
+	dense, err := recon.Decode()
+	if err != nil {
+		return nn.Accuracy{}, err
+	}
+	fc.SetWeights(dense)
+	return suffix.EvaluateFrom(0, features, p.Test, 100), nil
+}
+
+// Fig6 tests the linearity model of §3.4: for random per-layer error-bound
+// combinations, the sum of individually measured degradations should track
+// the degradation measured with all layers reconstructed together.
+func Fig6(w io.Writer) error {
+	p, err := Prepare(models.AlexNetS)
+	if err != nil {
+		return err
+	}
+	a := p.Result.Assessment
+	split := p.Pruned.FirstDenseIndex()
+	features := p.Pruned.FeatureCache(split, p.Test, 100)
+	suffix := p.Pruned.CloneRange(split, len(p.Pruned.Layers))
+
+	originals := map[string][]float32{}
+	for _, fc := range suffix.DenseLayers() {
+		originals[fc.Name()] = append([]float32(nil), fc.Weights()...)
+	}
+	restore := func() {
+		for _, fc := range suffix.DenseLayers() {
+			fc.SetWeights(originals[fc.Name()])
+		}
+	}
+
+	rng := tensor.NewRNG(99)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "combo\texpected loss (Σ∆ℓ)\tactual loss")
+	var xs, ys []float64
+	for trial := 0; trial < 12; trial++ {
+		var expected float64
+		for _, la := range a.Layers {
+			pt := la.Points[rng.Intn(len(la.Points))]
+			fc := findDenseLayer(suffix, la.Layer)
+			acc, err := reconstructedAccuracy(suffix, features, p, fc, la.Sparse, pt.EB)
+			_ = acc // individual reconstruction applied cumulatively below
+			if err != nil {
+				return err
+			}
+			if pt.Degradation > 0 {
+				expected += pt.Degradation
+			}
+		}
+		// All chosen layers are now reconstructed simultaneously (the loop
+		// above left each layer's decompressed weights in place).
+		actualAcc := suffix.EvaluateFrom(0, features, p.Test, 100)
+		actual := a.Baseline.Top1 - actualAcc.Top1
+		if actual < 0 {
+			actual = 0
+		}
+		restore()
+		fmt.Fprintf(tw, "%d\t%.3f%%\t%.3f%%\n", trial, 100*expected, 100*actual)
+		xs = append(xs, expected)
+		ys = append(ys, actual)
+	}
+	fmt.Fprintf(tw, "\nPearson r(expected, actual) = %.3f (paper: approximately linear below 2%%)\n", stats.Pearson(xs, ys))
+	return tw.Flush()
+}
+
+func findDenseLayer(net *nn.Network, name string) *nn.Dense {
+	for _, fc := range net.DenseLayers() {
+		if fc.Name() == name {
+			return fc
+		}
+	}
+	panic(fmt.Sprintf("experiments: layer %q not found", name))
+}

@@ -1,0 +1,113 @@
+package experiments
+
+// Shape tests: assert the paper's qualitative claims hold on the scaled
+// substrates (the quantitative record lives in EXPERIMENTS.md). Only the
+// cheapest network is used so the suite stays fast.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/deepcomp"
+	"repro/internal/models"
+	"repro/internal/prune"
+	"repro/internal/weightless"
+)
+
+func TestShapeDeepSZBeatsDeepCompressionOverall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	p, err := Prepare(models.LeNet300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orig, dcTotal int
+	for _, fc := range p.Pruned.DenseLayers() {
+		orig += 4 * len(fc.Weights())
+		c, err := deepcomp.CompressLayer(fc.Weights(), deepcomp.Options{Bits: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dcTotal += c.Bytes()
+	}
+	dszRatio := p.Result.CompressionRatio()
+	dcRatio := float64(orig) / float64(dcTotal)
+	if dszRatio <= dcRatio {
+		t.Fatalf("Table 4 shape violated: DeepSZ %.1fx vs Deep Compression %.1fx", dszRatio, dcRatio)
+	}
+}
+
+func TestShapeBoundedErrorBeatsUnboundedAtMatchedBits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	// Table 5's claim: at DeepSZ's bit budget, unbounded quantization loses
+	// far more accuracy than DeepSZ does.
+	p, err := Prepare(models.LeNet300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dszDrop := p.Result.Before.Top1 - p.Result.After.Top1
+	dcDrop, err := deepCompDrop(p, 2) // ~DeepSZ's data bits per weight
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dcDrop < dszDrop {
+		t.Fatalf("Table 5 shape violated: DC drop %.4f < DeepSZ drop %.4f at 2 bits", dcDrop, dszDrop)
+	}
+	if dcDrop < 0.03 {
+		t.Fatalf("2-bit unbounded quantization should hurt noticeably, dropped only %.4f", dcDrop)
+	}
+}
+
+func TestShapeWeightlessDecodeSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	// Figure 7b's claim: Bloomier-filter decode pays 4 hashes per dense
+	// position and is much slower than CSR reconstruction.
+	p, err := Prepare(models.LeNet300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := p.Pruned.DenseLayers()[0]
+	f, err := weightless.Encode(fc.Weights(), weightless.Options{ValueBits: 4, CheckBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := prune.Encode(fc.Weights())
+
+	wlT := timeIt(func() { f.Decompress() })
+	csrT := timeIt(func() {
+		if _, err := sp.Decode(); err != nil {
+			t.Error(err)
+		}
+	})
+	if wlT < csrT {
+		t.Fatalf("Figure 7b shape violated: Weightless decode %v faster than CSR %v", wlT, csrT)
+	}
+}
+
+func TestShapeBudgetRespectedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	p, err := Prepare(models.LeNet300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := p.Result.Before.Top1 - p.Result.After.Top1
+	budget := PipelineConfig().ExpectedAccuracyLoss
+	// Allow one test-set quantum of slack beyond the budget.
+	if loss > budget+1.0/float64(p.Test.Len()) {
+		t.Fatalf("accuracy loss %.4f exceeds budget %.4f", loss, budget)
+	}
+}
+
+// timeIt returns the wall time of one invocation of fn.
+func timeIt(fn func()) time.Duration {
+	t0 := time.Now()
+	fn()
+	return time.Since(t0)
+}

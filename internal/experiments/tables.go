@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"repro/internal/deepcomp"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/weightless"
+)
+
+// layerBytes returns the per-layer compressed size from a DeepSZ model.
+func layerBytes(p *Prepared, layer string) int {
+	for _, l := range p.Result.Model.Layers {
+		if l.Name == layer {
+			return len(l.SZBlob) + len(l.IndexBlob) + 4*len(l.Bias)
+		}
+	}
+	return 0
+}
+
+// Table2 prints the per-layer compression statistics (paper Tables 2a–2d):
+// original size, pruning keep ratio, CSR size, and DeepSZ-compressed size.
+func Table2(w io.Writer) error {
+	for _, name := range models.All() {
+		p, err := Prepare(name)
+		if err != nil {
+			return err
+		}
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "--- %s ---\n", name)
+		fmt.Fprintln(tw, "layer\toriginal\tkeep ratio\tCSR size\tDeepSZ\teb")
+		var orig, csr, comp int
+		for _, la := range p.Result.Assessment.Layers {
+			o := 4 * la.Rows * la.Cols
+			c := la.Sparse.Bytes()
+			d := layerBytes(p, la.Layer)
+			eb := 0.0
+			for _, ch := range p.Result.Plan.Choices {
+				if ch.Layer == la.Layer {
+					eb = ch.EB
+				}
+			}
+			density := float64(la.Sparse.Nonzeros()) / float64(la.Rows*la.Cols)
+			fmt.Fprintf(tw, "%s\t%s\t%.0f%%\t%s\t%s\t%.0e\n",
+				la.Layer, fmtBytes(o), 100*density, fmtBytes(c), fmtBytes(d), eb)
+			orig += o
+			csr += c
+			comp += d
+		}
+		fmt.Fprintf(tw, "overall\t%s\t\t%s (%.1fx)\t%s (%.1fx)\n\n",
+			fmtBytes(orig), fmtBytes(csr), float64(orig)/float64(csr),
+			fmtBytes(comp), float64(orig)/float64(comp))
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1e6:
+		return fmt.Sprintf("%.2f MB", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1f KB", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// Table3 prints before/after accuracy and the overall compression ratio
+// (paper Table 3).
+func Table3(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "network\ttop-1\ttop-5\tfc size\tratio")
+	for _, name := range models.All() {
+		p, err := Prepare(name)
+		if err != nil {
+			return err
+		}
+		r := p.Result
+		fmt.Fprintf(tw, "%s original\t%.2f%%\t%.2f%%\t%s\t\n",
+			name, 100*r.Before.Top1, 100*r.Before.Top5, fmtBytes(int(r.OriginalFCBytes)))
+		fmt.Fprintf(tw, "%s DeepSZ\t%.2f%%\t%.2f%%\t%s\t%.1fx\n",
+			name, 100*r.After.Top1, 100*r.After.Top5, fmtBytes(r.CompressedBytes), r.CompressionRatio())
+	}
+	return tw.Flush()
+}
+
+// baselineSizes compresses every fc layer of the pruned network with Deep
+// Compression (5-bit codebooks) and the largest layer with Weightless,
+// returning per-layer byte sizes.
+type baselineSizes struct {
+	dc map[string]int
+	wl map[string]int // only the largest layer; others fall back to CSR
+}
+
+func runBaselines(p *Prepared, dcBits, wlBits int) (*baselineSizes, error) {
+	out := &baselineSizes{dc: map[string]int{}, wl: map[string]int{}}
+	largest, largestN := "", 0
+	for _, fc := range p.Pruned.DenseLayers() {
+		if n := len(fc.Weights()); n > largestN {
+			largest, largestN = fc.Name(), n
+		}
+	}
+	for _, fc := range p.Pruned.DenseLayers() {
+		c, err := deepcomp.CompressLayer(fc.Weights(), deepcomp.Options{Bits: dcBits})
+		if err != nil {
+			return nil, err
+		}
+		out.dc[fc.Name()] = c.Bytes()
+		if fc.Name() == largest {
+			f, err := weightless.Encode(fc.Weights(), weightless.Options{ValueBits: wlBits, CheckBits: 4})
+			if err != nil {
+				return nil, err
+			}
+			out.wl[fc.Name()] = f.Bytes()
+		} else {
+			out.wl[fc.Name()] = prune.Encode(fc.Weights()).Bytes()
+		}
+	}
+	return out, nil
+}
+
+// Table4 compares per-layer and overall compression ratios of Deep
+// Compression, Weightless, and DeepSZ (paper Table 4).
+func Table4(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "network\tlayer\tDeepComp\tWeightless\tDeepSZ\timprovement")
+	for _, name := range models.All() {
+		p, err := Prepare(name)
+		if err != nil {
+			return err
+		}
+		bl, err := runBaselines(p, 5, 4)
+		if err != nil {
+			return err
+		}
+		var origT, dcT, wlT, dszT int
+		largest := largestLayer(p)
+		for _, la := range p.Result.Assessment.Layers {
+			orig := 4 * la.Rows * la.Cols
+			dc := bl.dc[la.Layer]
+			wl := bl.wl[la.Layer]
+			dsz := layerBytes(p, la.Layer)
+			wlStr := "-"
+			if la.Layer == largest {
+				wlStr = fmt.Sprintf("%.1f", float64(orig)/float64(wl))
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.1f\t%s\t%.1f\t\n",
+				name, la.Layer, float64(orig)/float64(dc), wlStr, float64(orig)/float64(dsz))
+			origT += orig
+			dcT += dc
+			wlT += wl
+			dszT += dsz
+		}
+		dszRatio := float64(origT) / float64(dszT)
+		secondBest := math.Max(float64(origT)/float64(dcT), float64(origT)/float64(wlT))
+		fmt.Fprintf(tw, "%s\toverall\t%.1f\t%.1f\t%.1f\t%.2fx\n",
+			name, float64(origT)/float64(dcT), float64(origT)/float64(wlT),
+			dszRatio, dszRatio/secondBest)
+	}
+	return tw.Flush()
+}
+
+func largestLayer(p *Prepared) string {
+	largest, largestN := "", 0
+	for _, fc := range p.Pruned.DenseLayers() {
+		if n := len(fc.Weights()); n > largestN {
+			largest, largestN = fc.Name(), n
+		}
+	}
+	return largest
+}
+
+// Table5 measures accuracy degradation when Deep Compression and Weightless
+// are forced to DeepSZ's bit budget (paper Table 5): without error-bounded
+// quantization, accuracy collapses at comparable ratios.
+func Table5(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "network\tbits/weight\tDeepComp ∆top-1\tWeightless ∆top-1\tDeepSZ ∆top-1")
+	for _, name := range models.All() {
+		p, err := Prepare(name)
+		if err != nil {
+			return err
+		}
+		// DeepSZ's value bits per nonzero weight, excluding index storage,
+		// is the apples-to-apples codebook width.
+		dataBits := 0
+		nz := 0
+		for _, l := range p.Result.Model.Layers {
+			dataBits += 8 * len(l.SZBlob)
+		}
+		for _, la := range p.Result.Assessment.Layers {
+			nz += la.Sparse.Nonzeros()
+		}
+		bits := int(math.Round(float64(dataBits) / float64(nz)))
+		if bits < 1 {
+			bits = 1
+		}
+		if bits > 12 {
+			bits = 12
+		}
+
+		dcDrop, err := deepCompDrop(p, bits)
+		if err != nil {
+			return err
+		}
+		wlDrop, err := weightlessDrop(p, bits)
+		if err != nil {
+			return err
+		}
+		dszDrop := p.Result.Before.Top1 - p.Result.After.Top1
+		fmt.Fprintf(tw, "%s\t%d\t%+.2f%%\t%+.2f%%\t%+.2f%%\n",
+			name, bits, 100*dcDrop, 100*wlDrop, 100*dszDrop)
+	}
+	fmt.Fprintln(tw, "\n(∆ = baseline − compressed top-1; positive means accuracy lost)")
+	return tw.Flush()
+}
+
+// deepCompDrop quantizes every fc layer at the given bit width and measures
+// the accuracy drop.
+func deepCompDrop(p *Prepared, bits int) (float64, error) {
+	recon := p.Pruned.Clone()
+	for _, fc := range recon.DenseLayers() {
+		c, err := deepcomp.CompressLayer(fc.Weights(), deepcomp.Options{Bits: bits})
+		if err != nil {
+			return 0, err
+		}
+		dense, err := c.Decompress()
+		if err != nil {
+			return 0, err
+		}
+		fc.SetWeights(dense)
+	}
+	acc := recon.Evaluate(p.Test, 100)
+	return p.PrunedAcc.Top1 - acc.Top1, nil
+}
+
+// weightlessDrop Bloomier-encodes the largest fc layer at the given value
+// bits and measures the accuracy drop (other layers stay exact, as in the
+// paper).
+func weightlessDrop(p *Prepared, bits int) (float64, error) {
+	recon := p.Pruned.Clone()
+	largest := largestLayer(p)
+	var target *nn.Dense
+	for _, fc := range recon.DenseLayers() {
+		if fc.Name() == largest {
+			target = fc
+		}
+	}
+	f, err := weightless.Encode(target.Weights(), weightless.Options{ValueBits: bits, CheckBits: 4})
+	if err != nil {
+		return 0, err
+	}
+	target.SetWeights(f.Decompress())
+	acc := recon.Evaluate(p.Test, 100)
+	return p.PrunedAcc.Top1 - acc.Top1, nil
+}

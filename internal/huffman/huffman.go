@@ -1,0 +1,303 @@
+// Package huffman implements a canonical Huffman coder over uint32 symbol
+// streams. It is the entropy stage of the SZ compressor (quantization codes),
+// of Deep Compression (cluster indices), and of the zstd-like lossless
+// back-end.
+//
+// The encoded format is self-describing: a compact code-length table followed
+// by the bit payload, so Decode needs no side information beyond the blob.
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitstream"
+)
+
+// MaxCodeLen is the longest code length the canonical coder will emit. Codes
+// longer than this (possible for very skewed inputs) are flattened by the
+// standard depth-limiting pass.
+const MaxCodeLen = 32
+
+// ErrCorrupt is returned when a blob fails structural validation.
+var ErrCorrupt = errors.New("huffman: corrupt stream")
+
+type node struct {
+	freq        uint64
+	sym         uint32
+	left, right *node
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].freq < h[j].freq }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// codeLengths builds Huffman code lengths for the given frequency map,
+// limited to MaxCodeLen.
+func codeLengths(freq map[uint32]uint64) map[uint32]uint8 {
+	if len(freq) == 0 {
+		return nil
+	}
+	if len(freq) == 1 {
+		for s := range freq {
+			return map[uint32]uint8{s: 1}
+		}
+	}
+	h := make(nodeHeap, 0, len(freq))
+	for s, f := range freq {
+		h = append(h, &node{freq: f, sym: s})
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*node)
+		b := heap.Pop(&h).(*node)
+		heap.Push(&h, &node{freq: a.freq + b.freq, left: a, right: b})
+	}
+	root := h[0]
+	lengths := make(map[uint32]uint8, len(freq))
+	var walk func(n *node, depth uint8)
+	walk = func(n *node, depth uint8) {
+		if n.left == nil {
+			d := depth
+			if d == 0 {
+				d = 1
+			}
+			lengths[n.sym] = d
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	limitLengths(lengths)
+	return lengths
+}
+
+// limitLengths caps code lengths at MaxCodeLen while keeping the Kraft sum
+// exactly 1 (standard heuristic: demote overly long codes, then repair).
+func limitLengths(lengths map[uint32]uint8) {
+	over := false
+	for _, l := range lengths {
+		if l > MaxCodeLen {
+			over = true
+			break
+		}
+	}
+	if !over {
+		return
+	}
+	// Clamp, then fix the Kraft inequality by lengthening the shortest codes.
+	type sl struct {
+		sym uint32
+		l   uint8
+	}
+	all := make([]sl, 0, len(lengths))
+	for s, l := range lengths {
+		if l > MaxCodeLen {
+			l = MaxCodeLen
+		}
+		all = append(all, sl{s, l})
+	}
+	kraft := func() float64 {
+		var k float64
+		for _, e := range all {
+			k += 1 / float64(uint64(1)<<e.l)
+		}
+		return k
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].l < all[j].l })
+	for i := 0; kraft() > 1 && i < len(all); {
+		if all[i].l < MaxCodeLen {
+			all[i].l++
+		} else {
+			i++
+		}
+	}
+	for _, e := range all {
+		lengths[e.sym] = e.l
+	}
+}
+
+// canonicalCodes assigns canonical codes (sorted by (length, symbol)).
+func canonicalCodes(lengths map[uint32]uint8) (syms []uint32, codes map[uint32]uint32) {
+	syms = make([]uint32, 0, len(lengths))
+	for s := range lengths {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		li, lj := lengths[syms[i]], lengths[syms[j]]
+		if li != lj {
+			return li < lj
+		}
+		return syms[i] < syms[j]
+	})
+	codes = make(map[uint32]uint32, len(syms))
+	var code uint32
+	var prevLen uint8
+	for _, s := range syms {
+		l := lengths[s]
+		code <<= (l - prevLen)
+		codes[s] = code
+		code++
+		prevLen = l
+	}
+	return syms, codes
+}
+
+// Encode compresses data into a self-describing blob.
+//
+// Blob layout:
+//
+//	u32  symbol count n (number of encoded symbols)
+//	u32  alphabet size m
+//	m × (u32 symbol, u8 length)   code-length table
+//	u32  payload byte length
+//	payload bits (canonical codes, MSB-first)
+func Encode(data []uint32) []byte {
+	freq := make(map[uint32]uint64)
+	for _, s := range data {
+		freq[s]++
+	}
+	lengths := codeLengths(freq)
+	syms, codes := canonicalCodes(lengths)
+
+	w := bitstream.NewWriter()
+	for _, s := range data {
+		w.WriteBits(uint64(codes[s]), uint(lengths[s]))
+	}
+	payload := w.Bytes()
+
+	out := make([]byte, 0, 8+len(syms)*5+4+len(payload))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(data)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(syms)))
+	for _, s := range syms {
+		out = binary.LittleEndian.AppendUint32(out, s)
+		out = append(out, lengths[s])
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	return out
+}
+
+// decodeTable is a canonical-Huffman decoding structure: for each code length
+// it stores the first code value and the index of the first symbol of that
+// length in the (length, symbol)-sorted symbol list.
+type decodeTable struct {
+	syms      []uint32
+	firstCode [MaxCodeLen + 2]uint32
+	firstSym  [MaxCodeLen + 2]int
+	count     [MaxCodeLen + 2]int
+	maxLen    uint8
+}
+
+func buildDecodeTable(syms []uint32, lengths []uint8) (*decodeTable, error) {
+	t := &decodeTable{syms: syms}
+	for _, l := range lengths {
+		if l == 0 || l > MaxCodeLen {
+			return nil, ErrCorrupt
+		}
+		t.count[l]++
+		if l > t.maxLen {
+			t.maxLen = l
+		}
+	}
+	var code uint32
+	idx := 0
+	for l := uint8(1); l <= t.maxLen; l++ {
+		t.firstCode[l] = code
+		t.firstSym[l] = idx
+		code = (code + uint32(t.count[l])) << 1
+		idx += t.count[l]
+	}
+	return t, nil
+}
+
+// Decode reverses Encode.
+func Decode(blob []byte) ([]uint32, error) {
+	if len(blob) < 8 {
+		return nil, ErrCorrupt
+	}
+	n := binary.LittleEndian.Uint32(blob[0:4])
+	m := binary.LittleEndian.Uint32(blob[4:8])
+	off := 8
+	if len(blob) < off+int(m)*5+4 {
+		return nil, ErrCorrupt
+	}
+	syms := make([]uint32, m)
+	lengths := make([]uint8, m)
+	for i := 0; i < int(m); i++ {
+		syms[i] = binary.LittleEndian.Uint32(blob[off : off+4])
+		lengths[i] = blob[off+4]
+		off += 5
+	}
+	payloadLen := binary.LittleEndian.Uint32(blob[off : off+4])
+	off += 4
+	if len(blob) < off+int(payloadLen) {
+		return nil, ErrCorrupt
+	}
+	if n == 0 {
+		return []uint32{}, nil
+	}
+	if m == 0 {
+		return nil, ErrCorrupt
+	}
+	// Every symbol costs at least one payload bit; a count beyond that is a
+	// forged header (and would otherwise drive a huge allocation).
+	if uint64(n) > uint64(payloadLen)*8 {
+		return nil, fmt.Errorf("%w: symbol count %d exceeds payload capacity", ErrCorrupt, n)
+	}
+	table, err := buildDecodeTable(syms, lengths)
+	if err != nil {
+		return nil, err
+	}
+	r := bitstream.NewReader(blob[off : off+int(payloadLen)])
+	out := make([]uint32, 0, n)
+	for len(out) < int(n) {
+		var code uint32
+		var l uint8
+		for {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated payload", ErrCorrupt)
+			}
+			code = code<<1 | b
+			l++
+			if l > table.maxLen {
+				return nil, fmt.Errorf("%w: code longer than table", ErrCorrupt)
+			}
+			if table.count[l] > 0 && code-table.firstCode[l] < uint32(table.count[l]) {
+				out = append(out, table.syms[table.firstSym[l]+int(code-table.firstCode[l])])
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// EstimateBits returns the entropy-coded size in bits of data under its own
+// Huffman code (table overhead excluded). Useful for predictor selection.
+func EstimateBits(data []uint32) int {
+	freq := make(map[uint32]uint64)
+	for _, s := range data {
+		freq[s]++
+	}
+	lengths := codeLengths(freq)
+	bits := 0
+	for s, f := range freq {
+		bits += int(f) * int(lengths[s])
+	}
+	return bits
+}

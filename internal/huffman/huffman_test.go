@@ -1,0 +1,150 @@
+package huffman
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func roundTrip(t *testing.T, data []uint32) []byte {
+	t.Helper()
+	blob := Encode(data)
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("length %d, want %d", len(got), len(data))
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("symbol %d = %d, want %d", i, got[i], data[i])
+		}
+	}
+	return blob
+}
+
+func TestEmpty(t *testing.T) {
+	roundTrip(t, []uint32{})
+}
+
+func TestSingleSymbolRepeated(t *testing.T) {
+	data := make([]uint32, 1000)
+	for i := range data {
+		data[i] = 42
+	}
+	blob := roundTrip(t, data)
+	// 1000 symbols at 1 bit each = 125 payload bytes + small header.
+	if len(blob) > 200 {
+		t.Fatalf("degenerate stream too large: %d bytes", len(blob))
+	}
+}
+
+func TestTwoSymbols(t *testing.T) {
+	roundTrip(t, []uint32{0, 1, 0, 0, 1, 1, 1, 0, 0, 0})
+}
+
+func TestSkewedDistributionCompresses(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	data := make([]uint32, 20000)
+	for i := range data {
+		// ~95% of symbols are 100, the rest spread over 256 values.
+		if rng.Float64() < 0.95 {
+			data[i] = 100
+		} else {
+			data[i] = uint32(rng.Intn(256))
+		}
+	}
+	blob := roundTrip(t, data)
+	raw := len(data) * 4
+	if len(blob)*4 > raw {
+		t.Fatalf("skewed data should compress ≥4x: %d vs %d", len(blob), raw)
+	}
+}
+
+func TestLargeAlphabet(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	data := make([]uint32, 5000)
+	for i := range data {
+		data[i] = uint32(rng.Intn(70000)) // > 16-bit alphabet
+	}
+	roundTrip(t, data)
+}
+
+func TestDecodeCorruptHeader(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected error for short blob")
+	}
+}
+
+func TestDecodeTruncatedPayload(t *testing.T) {
+	blob := Encode([]uint32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 1, 2, 3})
+	if _, err := Decode(blob[:len(blob)-2]); err == nil {
+		t.Fatal("expected error for truncated payload")
+	}
+}
+
+func TestDecodeZeroCountNonEmptyOK(t *testing.T) {
+	blob := Encode(nil)
+	got, err := Decode(blob)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty encode/decode: %v %v", got, err)
+	}
+}
+
+func TestEstimateBitsMatchesOptimal(t *testing.T) {
+	data := []uint32{0, 0, 0, 0, 1, 1, 2, 3}
+	// Optimal Huffman: 0→1 bit, 1→2 bits, 2/3→3 bits: 4+4+3+3 = 14 bits.
+	if got := EstimateBits(data); got != 14 {
+		t.Fatalf("EstimateBits = %d, want 14", got)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		data := make([]uint32, len(raw))
+		for i, v := range raw {
+			data[i] = uint32(v % 512)
+		}
+		blob := Encode(data)
+		got, err := Decode(blob)
+		if err != nil || len(got) != len(data) {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	data := []uint32{5, 9, 5, 5, 1, 9, 2, 5}
+	a := Encode(data)
+	b := Encode(data)
+	if !bytes.Equal(a, b) {
+		t.Fatal("Encode is not deterministic")
+	}
+}
+
+func TestGaussianQuantCodes(t *testing.T) {
+	// Realistic SZ workload: quantization codes tightly centred on a radius.
+	rng := tensor.NewRNG(3)
+	data := make([]uint32, 50000)
+	const radius = 32768
+	for i := range data {
+		data[i] = uint32(radius + int(rng.NormFloat64()*3))
+	}
+	blob := roundTrip(t, data)
+	bitsPerSym := float64(len(blob)*8) / float64(len(data))
+	if bitsPerSym > 6 {
+		t.Fatalf("centred codes should take <6 bits/symbol, got %.2f", bitsPerSym)
+	}
+}

@@ -1,0 +1,94 @@
+package lossless
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BloscLike is the fast back-end: a byte shuffle (transpose of the byte
+// planes of fixed-size elements, Blosc's signature preconditioner) followed
+// by a single-probe LZ. It favours speed over ratio, like Blosc+LZ4.
+type BloscLike struct{}
+
+// bloscElemSize is the shuffle stride. Index arrays are byte streams and
+// data arrays are float32 streams; a 4-byte stride covers the float case and
+// degrades gracefully (stride 1) when the input length is not a multiple.
+const bloscElemSize = 4
+
+// ID implements Compressor.
+func (BloscLike) ID() ID { return IDBloscLike }
+
+// Name implements Compressor.
+func (BloscLike) Name() string { return "blosclike" }
+
+// shuffle transposes src viewed as (n/elem) elements of elem bytes into
+// elem byte planes.
+func shuffle(src []byte, elem int) []byte {
+	n := len(src) / elem
+	out := make([]byte, len(src))
+	for e := 0; e < elem; e++ {
+		plane := out[e*n : (e+1)*n]
+		for i := 0; i < n; i++ {
+			plane[i] = src[i*elem+e]
+		}
+	}
+	return out
+}
+
+func unshuffle(src []byte, elem int) []byte {
+	n := len(src) / elem
+	out := make([]byte, len(src))
+	for e := 0; e < elem; e++ {
+		plane := src[e*n : (e+1)*n]
+		for i := 0; i < n; i++ {
+			out[i*elem+e] = plane[i]
+		}
+	}
+	return out
+}
+
+// Compress implements Compressor. Blob layout:
+//
+//	u8  shuffle element size (1 or 4)
+//	u32 raw length
+//	LZ stream (single-probe fast parse)
+func (BloscLike) Compress(src []byte) []byte {
+	elem := bloscElemSize
+	if len(src)%elem != 0 {
+		elem = 1
+	}
+	var pre []byte
+	if elem > 1 {
+		pre = shuffle(src, elem)
+	} else {
+		pre = src
+	}
+	lz := lzCompress(pre, 1)
+	out := make([]byte, 0, 5+len(lz))
+	out = append(out, byte(elem))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(src)))
+	return append(out, lz...)
+}
+
+// Decompress implements Compressor.
+func (BloscLike) Decompress(src []byte) ([]byte, error) {
+	if len(src) < 5 {
+		return nil, fmt.Errorf("lossless: blosclike: short blob")
+	}
+	elem := int(src[0])
+	if elem != 1 && elem != bloscElemSize {
+		return nil, fmt.Errorf("lossless: blosclike: bad element size %d", elem)
+	}
+	rawLen := int(binary.LittleEndian.Uint32(src[1:5]))
+	pre, err := lzDecompress(src[5:], rawLen)
+	if err != nil {
+		return nil, fmt.Errorf("lossless: blosclike: %w", err)
+	}
+	if elem == 1 {
+		return pre, nil
+	}
+	if len(pre)%elem != 0 {
+		return nil, fmt.Errorf("lossless: blosclike: shuffled length %d not multiple of %d", len(pre), elem)
+	}
+	return unshuffle(pre, elem), nil
+}

@@ -1,0 +1,119 @@
+// Package lossless provides the lossless back-end compressors DeepSZ selects
+// among when encoding the sparse index arrays (paper §3.5, Figure 4) and the
+// optional final stage of the SZ pipeline.
+//
+// Three back-ends are provided, mirroring the paper's Gzip / Zstandard /
+// Blosc choices:
+//
+//   - Gzip: the stdlib DEFLATE implementation.
+//   - ZstdLike: a greedy LZ77 with a large hash-chained window followed by a
+//     canonical-Huffman entropy stage. Like Zstandard it trades a little
+//     speed for the best ratio of the three.
+//   - BloscLike: byte-shuffle followed by a fast LZ with a small window,
+//     mirroring Blosc's shuffle+LZ4 design: fastest, lowest ratio.
+//
+// Best compresses with all back-ends and returns the smallest result, which
+// is exactly the "best-fit lossless compressor" selection of DeepSZ step 4.
+package lossless
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ID identifies a lossless back-end inside serialized blobs.
+type ID uint8
+
+// Back-end identifiers. The numeric values are part of the container format.
+const (
+	IDGzip ID = iota + 1
+	IDZstdLike
+	IDBloscLike
+)
+
+// ErrUnknownID is returned when decompressing a blob with an unknown
+// back-end identifier.
+var ErrUnknownID = errors.New("lossless: unknown compressor id")
+
+// Compressor is a lossless byte-stream codec.
+type Compressor interface {
+	// ID returns the serialization identifier of this back-end.
+	ID() ID
+	// Name returns a human-readable name ("gzip", "zstdlike", "blosclike").
+	Name() string
+	// Compress returns an encoded copy of src.
+	Compress(src []byte) []byte
+	// Decompress reverses Compress.
+	Decompress(src []byte) ([]byte, error)
+}
+
+// All returns one instance of every back-end, in ID order.
+func All() []Compressor {
+	return []Compressor{Gzip{}, ZstdLike{}, BloscLike{}}
+}
+
+// ByID returns the back-end with the given identifier.
+func ByID(id ID) (Compressor, error) {
+	switch id {
+	case IDGzip:
+		return Gzip{}, nil
+	case IDZstdLike:
+		return ZstdLike{}, nil
+	case IDBloscLike:
+		return BloscLike{}, nil
+	}
+	return nil, fmt.Errorf("%w: %d", ErrUnknownID, id)
+}
+
+// Best compresses src with every back-end and returns the smallest blob along
+// with the back-end that produced it.
+func Best(src []byte) (Compressor, []byte) {
+	var best Compressor
+	var bestBlob []byte
+	for _, c := range All() {
+		blob := c.Compress(src)
+		if best == nil || len(blob) < len(bestBlob) {
+			best, bestBlob = c, blob
+		}
+	}
+	return best, bestBlob
+}
+
+// Gzip is the stdlib DEFLATE back-end.
+type Gzip struct{}
+
+// ID implements Compressor.
+func (Gzip) ID() ID { return IDGzip }
+
+// Name implements Compressor.
+func (Gzip) Name() string { return "gzip" }
+
+// Compress implements Compressor.
+func (Gzip) Compress(src []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestCompression)
+	if err != nil {
+		panic(err) // only fails for invalid level
+	}
+	if _, err := w.Write(src); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// Decompress implements Compressor.
+func (Gzip) Decompress(src []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("lossless: gzip decompress: %w", err)
+	}
+	return out, nil
+}

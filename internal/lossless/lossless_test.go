@@ -1,0 +1,183 @@
+package lossless
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// corpora returns representative inputs: empty, tiny, repetitive (index-array
+// like), random (incompressible), and float-structured data.
+func corpora() map[string][]byte {
+	rng := tensor.NewRNG(99)
+	rep := make([]byte, 20000)
+	for i := range rep {
+		rep[i] = byte(1 + i%7) // small index deltas, very repetitive
+	}
+	random := make([]byte, 8192)
+	for i := range random {
+		random[i] = byte(rng.Uint64())
+	}
+	floats := make([]byte, 16384)
+	for i := 0; i < len(floats); i += 4 {
+		// float-like: shared high bytes, noisy low bytes
+		floats[i] = byte(rng.Uint64())
+		floats[i+1] = byte(rng.Uint64() % 16)
+		floats[i+2] = 0x3D
+		floats[i+3] = 0xBC
+	}
+	return map[string][]byte{
+		"empty":      {},
+		"one":        {42},
+		"tiny":       []byte("abcabcabc"),
+		"repetitive": rep,
+		"random":     random,
+		"floatlike":  floats,
+	}
+}
+
+func TestRoundTripAllBackends(t *testing.T) {
+	for name, data := range corpora() {
+		for _, c := range All() {
+			blob := c.Compress(data)
+			got, err := c.Decompress(blob)
+			if err != nil {
+				t.Fatalf("%s/%s: decompress: %v", c.Name(), name, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%s/%s: round trip mismatch (%d vs %d bytes)", c.Name(), name, len(got), len(data))
+			}
+		}
+	}
+}
+
+func TestRepetitiveDataCompressesWell(t *testing.T) {
+	data := corpora()["repetitive"]
+	for _, c := range All() {
+		blob := c.Compress(data)
+		ratio := float64(len(data)) / float64(len(blob))
+		if ratio < 5 {
+			t.Errorf("%s: ratio %.1f on repetitive data, want ≥5", c.Name(), ratio)
+		}
+	}
+}
+
+func TestBestPicksSmallest(t *testing.T) {
+	data := corpora()["repetitive"]
+	best, blob := Best(data)
+	for _, c := range All() {
+		if other := c.Compress(data); len(other) < len(blob) {
+			t.Fatalf("Best chose %s (%d bytes) but %s gives %d", best.Name(), len(blob), c.Name(), len(other))
+		}
+	}
+	got, err := best.Decompress(blob)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal("Best result does not round trip")
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, c := range All() {
+		got, err := ByID(c.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name() != c.Name() {
+			t.Fatalf("ByID(%d) = %s, want %s", c.ID(), got.Name(), c.Name())
+		}
+	}
+	if _, err := ByID(200); err == nil {
+		t.Fatal("expected error for unknown ID")
+	}
+}
+
+func TestDecompressCorruptInputs(t *testing.T) {
+	for _, c := range All() {
+		if _, err := c.Decompress([]byte{1, 2}); err == nil {
+			t.Errorf("%s: expected error on garbage blob", c.Name())
+		}
+	}
+}
+
+func TestZstdLikeTruncated(t *testing.T) {
+	blob := ZstdLike{}.Compress(bytes.Repeat([]byte("hello world "), 100))
+	if _, err := (ZstdLike{}).Decompress(blob[:len(blob)/2]); err == nil {
+		t.Fatal("expected error for truncated blob")
+	}
+}
+
+func TestShuffleRoundTrip(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	s := shuffle(data, 4)
+	want := []byte{1, 5, 9, 2, 6, 10, 3, 7, 11, 4, 8, 12}
+	if !bytes.Equal(s, want) {
+		t.Fatalf("shuffle = %v, want %v", s, want)
+	}
+	if !bytes.Equal(unshuffle(s, 4), data) {
+		t.Fatal("unshuffle does not invert shuffle")
+	}
+}
+
+func TestLZRoundTripQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		for _, depth := range []int{1, 32} {
+			lz := lzCompress(data, depth)
+			got, err := lzDecompress(lz, len(data))
+			if err != nil || !bytes.Equal(got, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLZLongMatchAndLongLiterals(t *testing.T) {
+	// >15 literals and >19 match length exercise the extension encoding.
+	var data []byte
+	rng := tensor.NewRNG(4)
+	lit := make([]byte, 100)
+	for i := range lit {
+		lit[i] = byte(rng.Uint64())
+	}
+	data = append(data, lit...)
+	data = append(data, bytes.Repeat([]byte{0xCC}, 1000)...)
+	data = append(data, lit...)
+	lz := lzCompress(data, 32)
+	got, err := lzDecompress(lz, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("long-match round trip failed: %v", err)
+	}
+	if len(lz) > len(data)/2 {
+		t.Fatalf("long runs should compress: %d vs %d", len(lz), len(data))
+	}
+}
+
+func TestLZOverlappingMatch(t *testing.T) {
+	// "aaaa..." forces overlapping copies (dist < matchLen).
+	data := bytes.Repeat([]byte{'a'}, 500)
+	lz := lzCompress(data, 1)
+	got, err := lzDecompress(lz, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal("overlapping-match round trip failed")
+	}
+}
+
+func TestRatioOrderingOnIndexArrays(t *testing.T) {
+	// The paper's Figure 4 finds zstd > gzip and both > blosc on index
+	// arrays. Check the zstdlike back-end at least beats blosclike.
+	rng := tensor.NewRNG(7)
+	idx := make([]byte, 50000)
+	for i := range idx {
+		idx[i] = byte(1 + rng.Intn(20)) // geometric-ish deltas
+	}
+	z := len(ZstdLike{}.Compress(idx))
+	b := len(BloscLike{}.Compress(idx))
+	if z >= b {
+		t.Fatalf("zstdlike (%d) should beat blosclike (%d) on index arrays", z, b)
+	}
+}

@@ -1,0 +1,207 @@
+package lossless
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// errLZCorrupt is returned for structurally invalid LZ payloads.
+var errLZCorrupt = errors.New("lossless: corrupt LZ stream")
+
+const (
+	lzMinMatch   = 4
+	lzMaxDist    = 65535
+	lzHashBits   = 16
+	lzHashSize   = 1 << lzHashBits
+	lzNoMatchEnd = 0 // distance value marking the final literal-only sequence
+)
+
+func lzHash(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - lzHashBits)
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// lzCompress produces an LZ4-style token stream:
+//
+//	repeat sequence:
+//	  token byte: high nibble litLenCode, low nibble matchLenCode
+//	  [extended literal length: 255-continuation bytes if litLenCode == 15]
+//	  literal bytes
+//	  2-byte little-endian match distance (0 terminates the stream: the
+//	  sequence carries literals only and no match follows)
+//	  [extended match length if matchLenCode == 15]
+//
+// maxChain controls effort: the number of hash-chain candidates examined per
+// position. maxChain == 1 degenerates to a plain hash table (fast mode).
+func lzCompress(src []byte, maxChain int) []byte {
+	out := make([]byte, 0, len(src)/2+16)
+	n := len(src)
+	if n == 0 {
+		return append(out, 0, 0, 0) // empty literal-only terminator
+	}
+
+	head := make([]int32, lzHashSize)
+	for i := range head {
+		head[i] = -1
+	}
+	var chain []int32
+	if maxChain > 1 {
+		chain = make([]int32, n)
+	}
+
+	emit := func(lits []byte, dist, matchLen int) {
+		litLen := len(lits)
+		litCode, matchCode := litLen, 0
+		if litCode > 15 {
+			litCode = 15
+		}
+		if dist != lzNoMatchEnd {
+			matchCode = matchLen - lzMinMatch
+			if matchCode > 15 {
+				matchCode = 15
+			}
+		}
+		out = append(out, byte(litCode<<4|matchCode))
+		if litCode == 15 {
+			rem := litLen - 15
+			for rem >= 255 {
+				out = append(out, 255)
+				rem -= 255
+			}
+			out = append(out, byte(rem))
+		}
+		out = append(out, lits...)
+		out = append(out, byte(dist), byte(dist>>8))
+		if dist != lzNoMatchEnd && matchCode == 15 {
+			rem := matchLen - lzMinMatch - 15
+			for rem >= 255 {
+				out = append(out, 255)
+				rem -= 255
+			}
+			out = append(out, byte(rem))
+		}
+	}
+
+	litStart := 0
+	i := 0
+	for i+lzMinMatch <= n {
+		h := lzHash(load32(src, i))
+		cand := head[h]
+		bestLen, bestDist := 0, 0
+		for try := 0; cand >= 0 && try < maxChain; try++ {
+			c := int(cand)
+			if i-c > lzMaxDist {
+				break
+			}
+			if load32(src, c) == load32(src, i) {
+				l := lzMinMatch
+				for i+l < n && src[c+l] == src[i+l] {
+					l++
+				}
+				if l > bestLen {
+					bestLen, bestDist = l, i-c
+				}
+			}
+			if chain == nil {
+				break
+			}
+			cand = chain[c]
+		}
+		if chain != nil {
+			chain[i] = head[h]
+		}
+		head[h] = int32(i)
+		if bestLen >= lzMinMatch && bestDist > 0 {
+			emit(src[litStart:i], bestDist, bestLen)
+			// Insert a few positions inside the match so future matches can
+			// reference them (full insertion is slow; stride keeps it cheap).
+			end := i + bestLen
+			for j := i + 1; j < end && j+lzMinMatch <= n; j += 2 {
+				hj := lzHash(load32(src, j))
+				if chain != nil {
+					chain[j] = head[hj]
+				}
+				head[hj] = int32(j)
+			}
+			i = end
+			litStart = i
+		} else {
+			i++
+		}
+	}
+	emit(src[litStart:], lzNoMatchEnd, 0)
+	return out
+}
+
+// lzDecompress reverses lzCompress. rawLen is the expected output size (used
+// for preallocation and validation).
+func lzDecompress(src []byte, rawLen int) ([]byte, error) {
+	out := make([]byte, 0, rawLen)
+	p := 0
+	readExt := func(base int) (int, error) {
+		l := base
+		for {
+			if p >= len(src) {
+				return 0, errLZCorrupt
+			}
+			b := src[p]
+			p++
+			l += int(b)
+			if b != 255 {
+				return l, nil
+			}
+		}
+	}
+	for {
+		if p >= len(src) {
+			return nil, errLZCorrupt
+		}
+		token := src[p]
+		p++
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			var err error
+			litLen, err = readExt(15)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if p+litLen > len(src) {
+			return nil, errLZCorrupt
+		}
+		out = append(out, src[p:p+litLen]...)
+		p += litLen
+		if p+2 > len(src) {
+			return nil, errLZCorrupt
+		}
+		dist := int(src[p]) | int(src[p+1])<<8
+		p += 2
+		if dist == lzNoMatchEnd {
+			break
+		}
+		matchLen := int(token & 0x0F)
+		if matchLen == 15 {
+			var err error
+			matchLen, err = readExt(15)
+			if err != nil {
+				return nil, err
+			}
+		}
+		matchLen += lzMinMatch
+		start := len(out) - dist
+		if start < 0 {
+			return nil, errLZCorrupt
+		}
+		// Byte-by-byte copy: matches may overlap their own output.
+		for k := 0; k < matchLen; k++ {
+			out = append(out, out[start+k])
+		}
+	}
+	if rawLen >= 0 && len(out) != rawLen {
+		return nil, errLZCorrupt
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package lossless
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/huffman"
+)
+
+// ZstdLike is the high-ratio back-end: a greedy LZ77 with hash chains (effort
+// comparable to Zstandard's default level) followed by a canonical-Huffman
+// entropy stage over the token stream.
+type ZstdLike struct{}
+
+// zstdChainDepth is the number of hash-chain candidates examined per
+// position. Deeper chains find longer matches at some speed cost.
+const zstdChainDepth = 32
+
+// ID implements Compressor.
+func (ZstdLike) ID() ID { return IDZstdLike }
+
+// Name implements Compressor.
+func (ZstdLike) Name() string { return "zstdlike" }
+
+// Compress implements Compressor. Blob layout:
+//
+//	u32 raw length
+//	u32 LZ stream length
+//	huffman blob of the LZ token bytes
+func (ZstdLike) Compress(src []byte) []byte {
+	lz := lzCompress(src, zstdChainDepth)
+	syms := make([]uint32, len(lz))
+	for i, b := range lz {
+		syms[i] = uint32(b)
+	}
+	hblob := huffman.Encode(syms)
+	out := make([]byte, 0, 8+len(hblob))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(src)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(lz)))
+	return append(out, hblob...)
+}
+
+// Decompress implements Compressor.
+func (ZstdLike) Decompress(src []byte) ([]byte, error) {
+	if len(src) < 8 {
+		return nil, fmt.Errorf("lossless: zstdlike: short blob")
+	}
+	rawLen := int(binary.LittleEndian.Uint32(src[0:4]))
+	lzLen := int(binary.LittleEndian.Uint32(src[4:8]))
+	syms, err := huffman.Decode(src[8:])
+	if err != nil {
+		return nil, fmt.Errorf("lossless: zstdlike entropy stage: %w", err)
+	}
+	if len(syms) != lzLen {
+		return nil, fmt.Errorf("lossless: zstdlike: LZ length mismatch")
+	}
+	lz := make([]byte, len(syms))
+	for i, s := range syms {
+		if s > 255 {
+			return nil, fmt.Errorf("lossless: zstdlike: symbol out of byte range")
+		}
+		lz[i] = byte(s)
+	}
+	out, err := lzDecompress(lz, rawLen)
+	if err != nil {
+		return nil, fmt.Errorf("lossless: zstdlike: %w", err)
+	}
+	return out, nil
+}

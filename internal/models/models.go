@@ -1,0 +1,185 @@
+// Package models builds the four evaluation networks of the paper —
+// LeNet-300-100, LeNet-5, AlexNet, and VGG-16 — plus the synthetic datasets
+// they train on, and carries the analytic full-scale architecture table
+// (paper Table 1).
+//
+// The two LeNets are built at their published fc dimensions (ip1 300×784
+// etc.). AlexNet and VGG-16 are built as faithful scaled-down variants
+// ("alexnet-s", "vgg16-s") that preserve the property DeepSZ exploits: a
+// conv prefix that dominates compute and an fc suffix (fc6 ≫ fc7 ≫ fc8)
+// that dominates storage. Full-scale sizes for Table 1 are computed
+// analytically from the true architectures (see PaperTable1).
+package models
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Names of the four networks.
+const (
+	LeNet300 = "lenet-300-100"
+	LeNet5   = "lenet-5"
+	AlexNetS = "alexnet-s"
+	VGG16S   = "vgg16-s"
+)
+
+// All lists the four evaluation networks in paper order.
+func All() []string { return []string{LeNet300, LeNet5, AlexNetS, VGG16S} }
+
+// Build constructs an untrained network by name. The rng seeds weight
+// initialisation.
+func Build(name string, rng *tensor.RNG) (*nn.Network, error) {
+	switch name {
+	case LeNet300:
+		return nn.NewNetwork(name,
+			nn.NewFlatten("flat"),
+			nn.NewDense("ip1", 784, 300, rng),
+			nn.NewReLU("relu1"),
+			nn.NewDense("ip2", 300, 100, rng),
+			nn.NewReLU("relu2"),
+			nn.NewDense("ip3", 100, 10, rng),
+		), nil
+	case LeNet5:
+		// Caffe LeNet with the paper's fc dimensions (ip1 500×800, ip2
+		// 10×500); conv1 is slimmed to 6 channels to fit the offline CPU
+		// budget without changing the fc shapes DeepSZ compresses.
+		return nn.NewNetwork(name,
+			nn.NewConv2D("conv1", 1, 6, 5, 1, 0, rng), // 28→24
+			nn.NewMaxPool2D("pool1", 2, 2),            // →12
+			nn.NewReLU("relu1"),
+			nn.NewConv2D("conv2", 6, 50, 5, 1, 0, rng), // →8
+			nn.NewMaxPool2D("pool2", 2, 2),             // →4
+			nn.NewReLU("relu2"),
+			nn.NewFlatten("flat"),
+			nn.NewDense("ip1", 800, 500, rng),
+			nn.NewReLU("relu3"),
+			nn.NewDense("ip2", 500, 10, rng),
+		), nil
+	case AlexNetS:
+		// Scaled AlexNet: 5-layer topology collapsed to a 2-conv prefix on
+		// 16×16×3 inputs; fc6 > fc7 > fc8 mirrors 151 MB / 67 MB / 16 MB.
+		return nn.NewNetwork(name,
+			nn.NewConv2D("conv1", 3, 8, 3, 1, 1, rng), // 16×16
+			nn.NewMaxPool2D("pool1", 2, 2),            // →8
+			nn.NewReLU("relu1"),
+			nn.NewConv2D("conv2", 8, 16, 3, 1, 1, rng),
+			nn.NewMaxPool2D("pool2", 2, 2), // →4
+			nn.NewReLU("relu2"),
+			nn.NewFlatten("flat"),             // 16·4·4 = 256
+			nn.NewDense("fc6", 256, 256, rng), // 65 k weights
+			nn.NewReLU("relu6"),
+			nn.NewDense("fc7", 256, 128, rng), // 33 k
+			nn.NewReLU("relu7"),
+			nn.NewDense("fc8", 128, 16, rng), // 2 k
+		), nil
+	case VGG16S:
+		// Scaled VGG-16: deeper conv stack, and an fc6 that dominates the fc
+		// suffix even more strongly than AlexNet's (411 MB vs 67 vs 16).
+		return nn.NewNetwork(name,
+			nn.NewConv2D("conv1_1", 3, 8, 3, 1, 1, rng),
+			nn.NewReLU("relu1_1"),
+			nn.NewConv2D("conv1_2", 8, 8, 3, 1, 1, rng),
+			nn.NewMaxPool2D("pool1", 2, 2), // 16→8
+			nn.NewReLU("relu1_2"),
+			nn.NewConv2D("conv2_1", 8, 16, 3, 1, 1, rng),
+			nn.NewReLU("relu2_1"),
+			nn.NewConv2D("conv2_2", 16, 16, 3, 1, 1, rng),
+			nn.NewMaxPool2D("pool2", 2, 2), // →4
+			nn.NewReLU("relu2_2"),
+			nn.NewFlatten("flat"),             // 256
+			nn.NewDense("fc6", 256, 512, rng), // 131 k weights
+			nn.NewReLU("relu6"),
+			nn.NewDense("fc7", 512, 64, rng), // 33 k
+			nn.NewReLU("relu7"),
+			nn.NewDense("fc8", 64, 16, rng), // 1 k
+		), nil
+	}
+	return nil, fmt.Errorf("models: unknown network %q", name)
+}
+
+// DataFor generates the train/test datasets a network evaluates on: synthetic
+// MNIST for the LeNets, the synthetic 16×16×3 image task for the scaled
+// ImageNet networks. Seeds are fixed per network for reproducibility.
+func DataFor(name string, trainN, testN int) (train, test *dataset.Set, err error) {
+	switch name {
+	case LeNet300, LeNet5:
+		return dataset.SynthMNIST(trainN, 1000), dataset.SynthMNIST(testN, 2000), nil
+	case AlexNetS, VGG16S:
+		train, test = dataset.SynthImagesSplit(trainN, testN, 16, 3, 16, 16, 3000)
+		return train, test, nil
+	}
+	return nil, nil, fmt.Errorf("models: unknown network %q", name)
+}
+
+// trainBudget returns per-network training hyperparameters sized for the
+// offline single-core environment.
+type budget struct {
+	trainN, testN int
+	epochs        int
+	lr            float32
+}
+
+func budgetFor(name string) budget {
+	switch name {
+	case LeNet300:
+		return budget{trainN: 1200, testN: 600, epochs: 3, lr: 0.1}
+	case LeNet5:
+		return budget{trainN: 700, testN: 500, epochs: 3, lr: 0.05}
+	case AlexNetS:
+		return budget{trainN: 1200, testN: 600, epochs: 4, lr: 0.03}
+	default: // VGG16S
+		return budget{trainN: 1400, testN: 600, epochs: 6, lr: 0.04}
+	}
+}
+
+// Trained bundles a trained network with its data and baseline accuracy.
+type Trained struct {
+	Net      *nn.Network
+	Train    *dataset.Set
+	Test     *dataset.Set
+	Baseline nn.Accuracy
+}
+
+var (
+	zooMu sync.Mutex
+	zoo   = map[string]*Trained{}
+)
+
+// Pretrained returns a trained instance of the named network, training it on
+// first use and caching it for the life of the process. Training is
+// deterministic, so every caller sees the same weights.
+func Pretrained(name string) (*Trained, error) {
+	zooMu.Lock()
+	defer zooMu.Unlock()
+	if t, ok := zoo[name]; ok {
+		return t, nil
+	}
+	b := budgetFor(name)
+	rng := tensor.NewRNG(42)
+	net, err := Build(name, rng)
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := DataFor(name, b.trainN, b.testN)
+	if err != nil {
+		return nil, err
+	}
+	opt := nn.NewSGD(b.lr, 0.9, 1e-4)
+	nn.Train(net, train, opt, nn.TrainConfig{Epochs: b.epochs, BatchSize: 32, LRDecay: 0.7}, rng)
+	t := &Trained{Net: net, Train: train, Test: test}
+	t.Baseline = net.Evaluate(test, 100)
+	zoo[name] = t
+	return t, nil
+}
+
+// ResetZoo clears the pretrained cache (test hook).
+func ResetZoo() {
+	zooMu.Lock()
+	defer zooMu.Unlock()
+	zoo = map[string]*Trained{}
+}

@@ -1,0 +1,137 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestBuildAllNetworks(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	for _, name := range All() {
+		net, err := Build(name, rng)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		if net.Name() != name {
+			t.Fatalf("network name %q", net.Name())
+		}
+		if len(net.DenseLayers()) < 2 {
+			t.Fatalf("%s: expected ≥2 fc layers", name)
+		}
+	}
+	if _, err := Build("bogus", rng); err == nil {
+		t.Fatal("expected error for unknown network")
+	}
+}
+
+func TestBuildFCDimensionsMatchPaper(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	net, _ := Build(LeNet300, rng)
+	fcs := net.DenseLayers()
+	wantDims := [][2]int{{300, 784}, {100, 300}, {10, 100}}
+	for i, fc := range fcs {
+		if fc.Out != wantDims[i][0] || fc.In != wantDims[i][1] {
+			t.Fatalf("%s dims (%d,%d), want %v", fc.Name(), fc.Out, fc.In, wantDims[i])
+		}
+	}
+	net5, _ := Build(LeNet5, rng)
+	fcs5 := net5.DenseLayers()
+	if fcs5[0].In != 800 || fcs5[0].Out != 500 || fcs5[1].In != 500 || fcs5[1].Out != 10 {
+		t.Fatalf("LeNet-5 fc dims wrong: %d×%d, %d×%d", fcs5[0].Out, fcs5[0].In, fcs5[1].Out, fcs5[1].In)
+	}
+}
+
+func TestForwardShapesAllNetworks(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	for _, name := range All() {
+		net, _ := Build(name, rng)
+		_, test, err := DataFor(name, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, _ := test.Batch([]int{0, 1, 2, 3})
+		logits := net.Forward(x, false)
+		if logits.Shape[0] != 4 {
+			t.Fatalf("%s: batch dim %d", name, logits.Shape[0])
+		}
+		if logits.Shape[1] != test.Classes {
+			t.Fatalf("%s: %d logits for %d classes", name, logits.Shape[1], test.Classes)
+		}
+	}
+}
+
+func TestFCDominanceOrdering(t *testing.T) {
+	// The scaled ImageNet networks must preserve fc6 > fc7 > fc8 (the
+	// property DeepSZ's per-layer error-bound optimisation exploits).
+	rng := tensor.NewRNG(4)
+	for _, name := range []string{AlexNetS, VGG16S} {
+		net, _ := Build(name, rng)
+		fcs := net.DenseLayers()
+		if len(fcs) != 3 {
+			t.Fatalf("%s: %d fc layers, want 3", name, len(fcs))
+		}
+		for i := 0; i < 2; i++ {
+			if fcs[i].In*fcs[i].Out <= fcs[i+1].In*fcs[i+1].Out {
+				t.Fatalf("%s: fc%d not larger than fc%d", name, 6+i, 7+i)
+			}
+		}
+	}
+}
+
+func TestFCStorageDominatesScaledNets(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	for _, name := range []string{LeNet5, AlexNetS, VGG16S} {
+		net, _ := Build(name, rng)
+		total, dense := net.ParamBytes()
+		if frac := float64(dense) / float64(total); frac < 0.7 {
+			t.Fatalf("%s: fc storage fraction %.2f, want ≥0.7 (paper: 0.89–1.0)", name, frac)
+		}
+	}
+}
+
+func TestPaperTable1Invariants(t *testing.T) {
+	specs := PaperTable1()
+	if len(specs) != 4 {
+		t.Fatalf("got %d architectures", len(specs))
+	}
+	// Published fc fractions: 100%, 95.3%, 96.1%, 89.4%.
+	wantFrac := []float64{1.00, 0.953, 0.961, 0.894}
+	for i, s := range specs {
+		got := s.FCFraction()
+		if diff := got - wantFrac[i]; diff < -0.03 || diff > 0.03 {
+			t.Fatalf("%s: fc fraction %.3f, paper %.3f", s.Name, got, wantFrac[i])
+		}
+	}
+	// VGG-16 fc6 is ~25× fc8 (paper §3.4).
+	vgg := specs[3]
+	ratio := float64(vgg.FCLayers[0].Weights()) / float64(vgg.FCLayers[2].Weights())
+	if ratio < 20 || ratio > 30 {
+		t.Fatalf("VGG fc6/fc8 = %.1f, want ≈25", ratio)
+	}
+}
+
+func TestPretrainedReachesUsableAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	// One MLP (cheap) exercises the zoo path; chance is 10%.
+	tr, err := Pretrained(LeNet300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Baseline.Top1 < 0.85 {
+		t.Fatalf("pretrained %s top-1 %.3f, want ≥0.85", LeNet300, tr.Baseline.Top1)
+	}
+	// Cached: second call returns the identical object.
+	tr2, _ := Pretrained(LeNet300)
+	if tr != tr2 {
+		t.Fatal("Pretrained must cache")
+	}
+}
+
+func TestDataForUnknown(t *testing.T) {
+	if _, _, err := DataFor("bogus", 1, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}

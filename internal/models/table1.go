@@ -1,0 +1,105 @@
+package models
+
+// This file carries the analytic full-scale architecture data behind the
+// paper's Table 1. The byte counts are computed from the published layer
+// dimensions (float32 weights), not measured, because the full-scale
+// networks do not fit the offline environment; the scaled variants preserve
+// the ratios (see DESIGN.md §1).
+
+// FCSpec describes one fully connected layer of a full-scale network.
+type FCSpec struct {
+	Name string
+	Rows int // output neurons
+	Cols int // input neurons
+}
+
+// Weights returns the weight count of the layer.
+func (f FCSpec) Weights() int { return f.Rows * f.Cols }
+
+// Bytes returns the float32 storage of the layer's weights.
+func (f FCSpec) Bytes() int64 { return int64(f.Weights()) * 4 }
+
+// ArchSpec describes a full-scale network as published.
+type ArchSpec struct {
+	Name       string
+	ConvLayers int
+	FCLayers   []FCSpec
+	// TotalBytes is the published total model size (all layers).
+	TotalBytes int64
+	// ScaledName is the runnable counterpart in this repository.
+	ScaledName string
+}
+
+// FCBytes returns the total fc-layer weight storage.
+func (a ArchSpec) FCBytes() int64 {
+	var b int64
+	for _, f := range a.FCLayers {
+		b += f.Bytes()
+	}
+	return b
+}
+
+// FCFraction returns the fc share of total storage.
+func (a ArchSpec) FCFraction() float64 {
+	return float64(a.FCBytes()) / float64(a.TotalBytes)
+}
+
+// PaperTable1 returns the four architectures with the paper's published
+// dimensions (Table 1 of the paper).
+func PaperTable1() []ArchSpec {
+	// The paper reports sizes in decimal megabytes (e.g. AlexNet's fc layers
+	// are 234.5 MB = 58.6 M weights × 4 bytes / 10⁶).
+	mb := func(x float64) int64 { return int64(x * 1e6) }
+	lenet300FC := []FCSpec{
+		{Name: "ip1", Rows: 300, Cols: 784},
+		{Name: "ip2", Rows: 100, Cols: 300},
+		{Name: "ip3", Rows: 10, Cols: 100},
+	}
+	// LeNet-300-100 has no conv layers, so its total size is exactly its fc
+	// weight storage (the paper reports the fc share as 100%).
+	var lenet300Total int64
+	for _, f := range lenet300FC {
+		lenet300Total += f.Bytes()
+	}
+	return []ArchSpec{
+		{
+			Name:       "LeNet-300-100",
+			ConvLayers: 0,
+			FCLayers:   lenet300FC,
+			TotalBytes: lenet300Total,
+			ScaledName: LeNet300,
+		},
+		{
+			Name:       "LeNet-5",
+			ConvLayers: 3,
+			FCLayers: []FCSpec{
+				{Name: "ip1", Rows: 500, Cols: 800},
+				{Name: "ip2", Rows: 10, Cols: 500},
+			},
+			TotalBytes: mb(1.7),
+			ScaledName: LeNet5,
+		},
+		{
+			Name:       "AlexNet",
+			ConvLayers: 5,
+			FCLayers: []FCSpec{
+				{Name: "fc6", Rows: 4096, Cols: 9216},
+				{Name: "fc7", Rows: 4096, Cols: 4096},
+				{Name: "fc8", Rows: 1000, Cols: 4096},
+			},
+			TotalBytes: mb(243.9),
+			ScaledName: AlexNetS,
+		},
+		{
+			Name:       "VGG-16",
+			ConvLayers: 13,
+			FCLayers: []FCSpec{
+				{Name: "fc6", Rows: 4096, Cols: 25088},
+				{Name: "fc7", Rows: 4096, Cols: 4096},
+				{Name: "fc8", Rows: 1000, Cols: 4096},
+			},
+			TotalBytes: mb(553.4),
+			ScaledName: VGG16S,
+		},
+	}
+}

@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation used by every network in the
+// paper's evaluation.
+type ReLU struct {
+	LayerName string
+	mask      []bool
+}
+
+// NewReLU creates a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{LayerName: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.LayerName }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.New(x.Shape...)
+	if train {
+		if cap(r.mask) < len(x.Data) {
+			r.mask = make([]bool, len(x.Data))
+		}
+		r.mask = r.mask[:len(x.Data)]
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+			if train {
+				r.mask[i] = true
+			}
+		} else if train {
+			r.mask[i] = false
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if r.mask == nil {
+		panic("nn: ReLU.Backward without Forward(train=true)")
+	}
+	dx := tensor.New(dout.Shape...)
+	for i, v := range dout.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		}
+	}
+	return dx
+}
+
+// Flatten reshapes [N, ...] to [N, rest]; it feeds conv features into the
+// first fc layer.
+type Flatten struct {
+	LayerName string
+	lastShape []int
+}
+
+// NewFlatten creates a Flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{LayerName: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.LayerName }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() < 2 {
+		panic(fmt.Sprintf("nn: %s: rank %d input", f.LayerName, x.Rank()))
+	}
+	if train {
+		f.lastShape = x.Shape
+	}
+	n := x.Shape[0]
+	return x.Reshape(n, len(x.Data)/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return dout.Reshape(f.lastShape...)
+}
+
+// Dropout zeroes a fraction of activations during training (inverted
+// dropout: survivors are scaled so inference is a pass-through). AlexNet and
+// VGG use it between fc layers.
+type Dropout struct {
+	LayerName string
+	Rate      float64
+	rng       *tensor.RNG
+	mask      []float32
+}
+
+// NewDropout creates a Dropout layer with the given drop probability.
+func NewDropout(name string, rate float64, rng *tensor.RNG) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v out of [0,1)", rate))
+	}
+	return &Dropout{LayerName: name, Rate: rate, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.LayerName }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate == 0 {
+		return x
+	}
+	y := tensor.New(x.Shape...)
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]float32, len(x.Data))
+	}
+	d.mask = d.mask[:len(x.Data)]
+	scale := float32(1 / (1 - d.Rate))
+	for i, v := range x.Data {
+		if d.rng.Float64() < d.Rate {
+			d.mask[i] = 0
+		} else {
+			d.mask[i] = scale
+			y.Data[i] = v * scale
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		panic("nn: Dropout.Backward without Forward(train=true)")
+	}
+	dx := tensor.New(dout.Shape...)
+	for i, v := range dout.Data {
+		dx.Data[i] = v * d.mask[i]
+	}
+	return dx
+}

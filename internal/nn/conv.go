@@ -1,0 +1,202 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution layer with square kernels, configurable stride
+// and zero padding. Weights have shape [OutC, InC, K, K].
+type Conv2D struct {
+	LayerName    string
+	InC, OutC    int
+	K            int // kernel size
+	Stride, Pad  int
+	W            *Param
+	B            *Param
+	lastX        *tensor.Tensor
+	lastInH      int
+	lastInW      int
+	lastOutShape []int
+}
+
+// NewConv2D creates a convolution layer with He-initialised weights.
+func NewConv2D(name string, inC, outC, k, stride, pad int, rng *tensor.RNG) *Conv2D {
+	w := tensor.New(outC, inC, k, k)
+	fanIn := float64(inC * k * k)
+	rng.FillNormal(w.Data, 0, math.Sqrt(2/fanIn))
+	return &Conv2D{
+		LayerName: name,
+		InC:       inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		W: &Param{Name: name + ".W", W: w, Grad: tensor.New(outC, inC, k, k)},
+		B: &Param{Name: name + ".b", W: tensor.New(outC), Grad: tensor.New(outC)},
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.LayerName }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// OutDims returns the spatial output size for an input of h×w.
+func (c *Conv2D) OutDims(h, w int) (int, int) {
+	oh := (h+2*c.Pad-c.K)/c.Stride + 1
+	ow := (w+2*c.Pad-c.K)/c.Stride + 1
+	return oh, ow
+}
+
+// Forward implements Layer. x must have shape [N, InC, H, W].
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: %s: input shape %v, want [N, %d, H, W]", c.LayerName, x.Shape, c.InC))
+	}
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := c.OutDims(h, w)
+	if oh < 1 || ow < 1 {
+		panic(fmt.Sprintf("nn: %s: input %dx%d too small for k=%d s=%d p=%d", c.LayerName, h, w, c.K, c.Stride, c.Pad))
+	}
+	y := tensor.New(n, c.OutC, oh, ow)
+	if train {
+		c.lastX = x
+		c.lastInH, c.lastInW = h, w
+		c.lastOutShape = y.Shape
+	}
+	inSz := c.InC * h * w
+	outSz := c.OutC * oh * ow
+	weights := c.W.W.Data
+	bias := c.B.W.Data
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			in := x.Data[b*inSz : (b+1)*inSz]
+			out := y.Data[b*outSz : (b+1)*outSz]
+			for oc := 0; oc < c.OutC; oc++ {
+				wBase := oc * c.InC * c.K * c.K
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						sum := bias[oc]
+						iy0 := oy*c.Stride - c.Pad
+						ix0 := ox*c.Stride - c.Pad
+						for ic := 0; ic < c.InC; ic++ {
+							chIn := in[ic*h*w:]
+							chW := weights[wBase+ic*c.K*c.K:]
+							for ky := 0; ky < c.K; ky++ {
+								iy := iy0 + ky
+								if iy < 0 || iy >= h {
+									continue
+								}
+								rowIn := chIn[iy*w:]
+								rowW := chW[ky*c.K:]
+								for kx := 0; kx < c.K; kx++ {
+									ix := ix0 + kx
+									if ix < 0 || ix >= w {
+										continue
+									}
+									sum += rowIn[ix] * rowW[kx]
+								}
+							}
+						}
+						out[oc*oh*ow+oy*ow+ox] = sum
+					}
+				}
+			}
+		}
+	})
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if c.lastX == nil {
+		panic("nn: Conv2D.Backward without Forward(train=true)")
+	}
+	x := c.lastX
+	n, h, w := x.Shape[0], c.lastInH, c.lastInW
+	oh, ow := c.lastOutShape[2], c.lastOutShape[3]
+	dx := tensor.New(x.Shape...)
+	inSz := c.InC * h * w
+	outSz := c.OutC * oh * ow
+	weights := c.W.W.Data
+	kk := c.K * c.K
+
+	// Parameter gradients: accumulate per batch element into per-worker
+	// buffers would complicate things; the batch loop is serial over b for
+	// dW/db (cheap relative to dx) while dx is batch-parallel.
+	dW := c.W.Grad.Data
+	db := c.B.Grad.Data
+	for b := 0; b < n; b++ {
+		in := x.Data[b*inSz : (b+1)*inSz]
+		g := dout.Data[b*outSz : (b+1)*outSz]
+		for oc := 0; oc < c.OutC; oc++ {
+			wBase := oc * c.InC * kk
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gv := g[oc*oh*ow+oy*ow+ox]
+					if gv == 0 {
+						continue
+					}
+					db[oc] += gv
+					iy0 := oy*c.Stride - c.Pad
+					ix0 := ox*c.Stride - c.Pad
+					for ic := 0; ic < c.InC; ic++ {
+						chIn := in[ic*h*w:]
+						base := wBase + ic*kk
+						for ky := 0; ky < c.K; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < c.K; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								dW[base+ky*c.K+kx] += gv * chIn[iy*w+ix]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			g := dout.Data[b*outSz : (b+1)*outSz]
+			dIn := dx.Data[b*inSz : (b+1)*inSz]
+			for oc := 0; oc < c.OutC; oc++ {
+				wBase := oc * c.InC * kk
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						gv := g[oc*oh*ow+oy*ow+ox]
+						if gv == 0 {
+							continue
+						}
+						iy0 := oy*c.Stride - c.Pad
+						ix0 := ox*c.Stride - c.Pad
+						for ic := 0; ic < c.InC; ic++ {
+							chD := dIn[ic*h*w:]
+							base := wBase + ic*kk
+							for ky := 0; ky < c.K; ky++ {
+								iy := iy0 + ky
+								if iy < 0 || iy >= h {
+									continue
+								}
+								for kx := 0; kx < c.K; kx++ {
+									ix := ix0 + kx
+									if ix < 0 || ix >= w {
+										continue
+									}
+									chD[iy*w+ix] += gv * weights[base+ky*c.K+kx]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return dx
+}

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected (fc / inner-product) layer: y = x·Wᵀ + b with
+// W stored (out × in), the layout DeepSZ compresses.
+type Dense struct {
+	LayerName string
+	In, Out   int
+	W         *Param // weight matrix, shape [Out, In]
+	B         *Param // bias vector, shape [Out]
+
+	lastX *tensor.Tensor // cached input for backward
+}
+
+// NewDense creates a Dense layer with He-initialised weights.
+func NewDense(name string, in, out int, rng *tensor.RNG) *Dense {
+	w := tensor.New(out, in)
+	std := math.Sqrt(2.0 / float64(in))
+	rng.FillNormal(w.Data, 0, std)
+	b := tensor.New(out)
+	return &Dense{
+		LayerName: name,
+		In:        in,
+		Out:       out,
+		W:         &Param{Name: name + ".W", W: w, Grad: tensor.New(out, in)},
+		B:         &Param{Name: name + ".b", W: b, Grad: tensor.New(out)},
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.LayerName }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Forward implements Layer. x must have shape [N, In].
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Shape[1] != d.In {
+		panic(fmt.Sprintf("nn: %s: input shape %v, want [N, %d]", d.LayerName, x.Shape, d.In))
+	}
+	if train {
+		d.lastX = x
+	}
+	y := tensor.MatMulTransB(x, d.W.W)
+	n := x.Shape[0]
+	bias := d.B.W.Data
+	for i := 0; i < n; i++ {
+		row := y.Data[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.lastX == nil {
+		panic("nn: Dense.Backward without Forward(train=true)")
+	}
+	// dW += doutᵀ · x ; db += column sums ; dx = dout · W
+	dW := tensor.MatMulTransA(dout, d.lastX)
+	d.W.Grad.AddInPlace(dW)
+	n := dout.Shape[0]
+	db := d.B.Grad.Data
+	for i := 0; i < n; i++ {
+		row := dout.Data[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			db[j] += row[j]
+		}
+	}
+	return tensor.MatMul(dout, d.W.W)
+}
+
+// SetWeights replaces the weight matrix data (used when reconstructing a
+// layer from decompressed weights). The slice is copied.
+func (d *Dense) SetWeights(w []float32) {
+	if len(w) != len(d.W.W.Data) {
+		panic(fmt.Sprintf("nn: %s: SetWeights got %d values, want %d", d.LayerName, len(w), len(d.W.W.Data)))
+	}
+	copy(d.W.W.Data, w)
+}
+
+// Weights returns the live weight slice (not a copy).
+func (d *Dense) Weights() []float32 { return d.W.W.Data }

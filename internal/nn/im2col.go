@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// This file provides the im2col inference fast path for Conv2D: the input
+// window of every output position is unrolled into a column, turning the
+// convolution into one matrix multiplication per image — the standard
+// HPC formulation (and how Caffe implements convolution). The direct loop
+// in conv.go remains the training path because it also serves backward;
+// ForwardIm2col is bit-compatible with Forward for inference.
+
+// im2col unrolls one image (inC×h×w) into a (inC·k·k × oh·ow) matrix.
+func (c *Conv2D) im2col(in []float32, h, w, oh, ow int, cols []float32) {
+	kk := c.K * c.K
+	rowLen := oh * ow
+	for ic := 0; ic < c.InC; ic++ {
+		chIn := in[ic*h*w:]
+		for ky := 0; ky < c.K; ky++ {
+			for kx := 0; kx < c.K; kx++ {
+				row := cols[(ic*kk+ky*c.K+kx)*rowLen:]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*c.Stride - c.Pad + ky
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							row[oy*ow+ox] = 0
+						}
+						continue
+					}
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*c.Stride - c.Pad + kx
+						if ix < 0 || ix >= w {
+							row[oy*ow+ox] = 0
+						} else {
+							row[oy*ow+ox] = chIn[iy*w+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// ForwardIm2col computes the same output as Forward(x, false) via im2col +
+// matrix multiplication. It does not cache state and cannot be followed by
+// Backward.
+func (c *Conv2D) ForwardIm2col(x *tensor.Tensor) *tensor.Tensor {
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := c.OutDims(h, w)
+	y := tensor.New(n, c.OutC, oh, ow)
+	inSz := c.InC * h * w
+	outSz := c.OutC * oh * ow
+	colRows := c.InC * c.K * c.K
+	rowLen := oh * ow
+	wMat := c.W.W.Reshape(c.OutC, colRows)
+	bias := c.B.W.Data
+
+	tensor.ParallelFor(n, func(lo, hi int) {
+		cols := make([]float32, colRows*rowLen)
+		for b := lo; b < hi; b++ {
+			c.im2col(x.Data[b*inSz:(b+1)*inSz], h, w, oh, ow, cols)
+			colMat := tensor.FromSlice(cols, colRows, rowLen)
+			prod := tensor.MatMul(wMat, colMat) // (OutC × oh·ow)
+			out := y.Data[b*outSz : (b+1)*outSz]
+			copy(out, prod.Data)
+			for oc := 0; oc < c.OutC; oc++ {
+				row := out[oc*rowLen : (oc+1)*rowLen]
+				for i := range row {
+					row[i] += bias[oc]
+				}
+			}
+		}
+	})
+	return y
+}

@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestForwardIm2colMatchesDirect(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	cases := []struct{ inC, outC, k, stride, pad, h, w int }{
+		{1, 1, 3, 1, 0, 8, 8},
+		{3, 8, 3, 1, 1, 16, 16},
+		{2, 4, 5, 2, 2, 13, 11},
+		{6, 50, 5, 1, 0, 12, 12}, // LeNet-5 conv2 shape
+	}
+	for _, tc := range cases {
+		c := NewConv2D("conv", tc.inC, tc.outC, tc.k, tc.stride, tc.pad, rng)
+		x := tensor.New(3, tc.inC, tc.h, tc.w)
+		rng.FillNormal(x.Data, 0, 1)
+		direct := c.Forward(x, false)
+		fast := c.ForwardIm2col(x)
+		if !direct.SameShape(fast) {
+			t.Fatalf("%+v: shape %v vs %v", tc, direct.Shape, fast.Shape)
+		}
+		for i := range direct.Data {
+			if d := math.Abs(float64(direct.Data[i] - fast.Data[i])); d > 1e-4 {
+				t.Fatalf("%+v: elem %d differs by %g", tc, i, d)
+			}
+		}
+	}
+}
+
+func TestIm2colPaddingColumnsAreZero(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	c := NewConv2D("conv", 1, 1, 3, 1, 1, rng)
+	in := []float32{1, 2, 3, 4} // 2×2 image
+	cols := make([]float32, 1*9*4)
+	c.im2col(in, 2, 2, 2, 2, cols)
+	// Top-left output position, kernel cell (0,0) reads (-1,-1) → 0.
+	if cols[0] != 0 {
+		t.Fatalf("padded cell should be 0, got %v", cols[0])
+	}
+	// Kernel centre (1,1) at output (0,0) reads input (0,0) = 1.
+	if cols[(1*3+1)*4+0] != 1 {
+		t.Fatalf("centre cell wrong: %v", cols[(1*3+1)*4+0])
+	}
+}
+
+func TestLRNIdentityLikeForSmallActivations(t *testing.T) {
+	// With AlexNet defaults and tiny activations the denominator ≈ k^β, so
+	// LRN is close to a constant scaling.
+	l := NewLRN("lrn", 0, 0, 0, 0)
+	x := tensor.New(1, 4, 2, 2)
+	x.Fill(1e-3)
+	y := l.Forward(x, false)
+	want := 1e-3 / math.Pow(2, 0.75)
+	for _, v := range y.Data {
+		if math.Abs(float64(v)-want) > 1e-9 {
+			t.Fatalf("LRN small-signal output %v, want %v", v, want)
+		}
+	}
+}
+
+func TestLRNSuppressesStrongNeighbours(t *testing.T) {
+	l := NewLRN("lrn", 3, 1.0, 0.75, 1.0)
+	// Channel 1 has strong neighbours; channel 0 in a quiet region keeps
+	// more of its value.
+	x := tensor.New(1, 4, 1, 1)
+	x.Set(1, 0, 0, 0, 0)
+	x.Set(1, 0, 1, 0, 0)
+	x.Set(10, 0, 2, 0, 0)
+	y := l.Forward(x, false)
+	if y.At(0, 1, 0, 0) >= y.At(0, 0, 0, 0) {
+		t.Fatalf("channel next to a strong response must be suppressed more: %v vs %v",
+			y.At(0, 1, 0, 0), y.At(0, 0, 0, 0))
+	}
+}
+
+func TestLRNValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for even window")
+		}
+	}()
+	NewLRN("lrn", 4, 0, 0, 0)
+}
+
+func TestLRNCloneAndRank(t *testing.T) {
+	l := NewLRN("lrn", 5, 2e-4, 0.5, 1)
+	c := CloneLayer(l).(*LRN)
+	if c.Size != 5 || c.Alpha != 2e-4 || c.Beta != 0.5 || c.K != 1 {
+		t.Fatalf("clone lost parameters: %+v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rank-2 input")
+		}
+	}()
+	l.Forward(tensor.New(1, 4), false)
+}
+
+func BenchmarkConvDirectVsIm2col(b *testing.B) {
+	rng := tensor.NewRNG(3)
+	c := NewConv2D("conv", 8, 16, 3, 1, 1, rng)
+	x := tensor.New(16, 8, 16, 16)
+	rng.FillNormal(x.Data, 0, 1)
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Forward(x, false)
+		}
+	})
+	b.Run("im2col", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.ForwardIm2col(x)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+// Package nn is a compact float32 deep-neural-network engine: layers
+// (convolution, fully connected, pooling, activations), forward and backward
+// passes, an SGD optimizer with pruning masks, and evaluation helpers. It
+// stands in for Caffe in the DeepSZ pipeline (see DESIGN.md §1): the
+// framework needs forward passes to measure inference accuracy and
+// mask-retraining after pruning, both of which this package provides.
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// Param is a trainable parameter with its gradient and an optional pruning
+// mask. A nil Mask means dense; otherwise Mask[i]==false pins W.Data[i] to
+// zero through training (the paper's "retrain with masks" step).
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+	Mask []bool
+}
+
+// ApplyMask zeroes masked-out weights and their gradients.
+func (p *Param) ApplyMask() {
+	if p.Mask == nil {
+		return
+	}
+	for i, keep := range p.Mask {
+		if !keep {
+			p.W.Data[i] = 0
+			p.Grad.Data[i] = 0
+		}
+	}
+}
+
+// Density returns the fraction of weights kept by the mask (1 if unmasked).
+func (p *Param) Density() float64 {
+	if p.Mask == nil {
+		return 1
+	}
+	kept := 0
+	for _, k := range p.Mask {
+		if k {
+			kept++
+		}
+	}
+	return float64(kept) / float64(len(p.Mask))
+}
+
+// Layer is one stage of a network. Forward caches whatever Backward needs,
+// so a Layer must not be used concurrently; parallelism lives inside the
+// kernels (batch rows are processed by a goroutine pool).
+type Layer interface {
+	// Name returns the layer's identifier (e.g. "fc6", "conv1").
+	Name() string
+	// Forward computes the layer output. train enables training-only
+	// behaviour (dropout) and gradient caching.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward receives ∂L/∂output and returns ∂L/∂input, accumulating
+	// parameter gradients. It must follow a Forward with train=true.
+	Backward(dout *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}

@@ -1,0 +1,311 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDenseForwardHandComputed(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	d := NewDense("fc", 3, 2, rng)
+	d.SetWeights([]float32{1, 2, 3, 4, 5, 6}) // W = [[1,2,3],[4,5,6]]
+	d.B.W.Data[0], d.B.W.Data[1] = 0.5, -0.5
+	x := tensor.FromSlice([]float32{1, 0, -1, 2, 2, 2}, 2, 3)
+	y := d.Forward(x, false)
+	want := []float32{
+		1*1 + 0*2 + (-1)*3 + 0.5, 1*4 + 0*5 + (-1)*6 - 0.5,
+		2*1 + 2*2 + 2*3 + 0.5, 2*4 + 2*5 + 2*6 - 0.5,
+	}
+	for i, w := range want {
+		if math.Abs(float64(y.Data[i]-w)) > 1e-5 {
+			t.Fatalf("y[%d] = %v, want %v", i, y.Data[i], w)
+		}
+	}
+}
+
+func TestDenseShapePanic(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	d := NewDense("fc", 3, 2, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong input width")
+		}
+	}()
+	d.Forward(tensor.New(1, 4), false)
+}
+
+// numericalGrad estimates dLoss/dtheta for every element of theta by central
+// differences, where loss() re-runs the forward pass.
+func numericalGrad(theta []float32, loss func() float64, eps float32) []float64 {
+	g := make([]float64, len(theta))
+	for i := range theta {
+		orig := theta[i]
+		theta[i] = orig + eps
+		lp := loss()
+		theta[i] = orig - eps
+		lm := loss()
+		theta[i] = orig
+		g[i] = (lp - lm) / (2 * float64(eps))
+	}
+	return g
+}
+
+func gradClose(t *testing.T, name string, analytic []float32, numeric []float64) {
+	t.Helper()
+	for i := range numeric {
+		a, n := float64(analytic[i]), numeric[i]
+		scale := math.Max(math.Max(math.Abs(a), math.Abs(n)), 1e-2)
+		if math.Abs(a-n)/scale > 0.08 {
+			t.Fatalf("%s grad[%d]: analytic %g vs numeric %g", name, i, a, n)
+		}
+	}
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	d := NewDense("fc", 4, 3, rng)
+	x := tensor.New(5, 4)
+	rng.FillNormal(x.Data, 0, 1)
+	labels := []int{0, 2, 1, 1, 0}
+	loss := func() float64 {
+		logits := d.Forward(x, false)
+		l, _ := SoftmaxCrossEntropy(logits, labels)
+		return l
+	}
+	// Analytic gradients.
+	logits := d.Forward(x, true)
+	_, g := SoftmaxCrossEntropy(logits, labels)
+	d.W.Grad.Zero()
+	d.B.Grad.Zero()
+	dx := d.Backward(g)
+
+	gradClose(t, "dense.W", d.W.Grad.Data, numericalGrad(d.W.W.Data, loss, 1e-2))
+	gradClose(t, "dense.b", d.B.Grad.Data, numericalGrad(d.B.W.Data, loss, 1e-2))
+	gradClose(t, "dense.x", dx.Data, numericalGrad(x.Data, loss, 1e-2))
+}
+
+func TestConvForwardHandComputed(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	c := NewConv2D("conv", 1, 1, 2, 1, 0, rng)
+	copy(c.W.W.Data, []float32{1, 0, 0, 1}) // identity-diagonal 2×2 kernel
+	c.B.W.Data[0] = 1
+	x := tensor.FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 1, 3, 3)
+	y := c.Forward(x, false)
+	want := []float32{1 + 5 + 1, 2 + 6 + 1, 4 + 8 + 1, 5 + 9 + 1}
+	if y.Shape[2] != 2 || y.Shape[3] != 2 {
+		t.Fatalf("out shape %v", y.Shape)
+	}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("y[%d] = %v, want %v", i, y.Data[i], w)
+		}
+	}
+}
+
+func TestConvPaddingAndStride(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	c := NewConv2D("conv", 1, 1, 3, 2, 1, rng)
+	x := tensor.New(1, 1, 5, 5)
+	y := c.Forward(x, false)
+	// (5 + 2 − 3)/2 + 1 = 3
+	if y.Shape[2] != 3 || y.Shape[3] != 3 {
+		t.Fatalf("out shape %v, want 3×3", y.Shape)
+	}
+}
+
+func TestConvGradCheck(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	c := NewConv2D("conv", 2, 3, 3, 1, 1, rng)
+	flat := NewFlatten("flat")
+	x := tensor.New(2, 2, 4, 4)
+	rng.FillNormal(x.Data, 0, 1)
+	labels := []int{1, 40}
+	loss := func() float64 {
+		y := flat.Forward(c.Forward(x, false), false)
+		l, _ := SoftmaxCrossEntropy(y, labels)
+		return l
+	}
+	y := flat.Forward(c.Forward(x, true), true)
+	_, g := SoftmaxCrossEntropy(y, labels)
+	c.W.Grad.Zero()
+	c.B.Grad.Zero()
+	dx := c.Backward(flat.Backward(g))
+
+	gradClose(t, "conv.W", c.W.Grad.Data, numericalGrad(c.W.W.Data, loss, 1e-2))
+	gradClose(t, "conv.b", c.B.Grad.Data, numericalGrad(c.B.W.Data, loss, 1e-2))
+	gradClose(t, "conv.x", dx.Data, numericalGrad(x.Data, loss, 1e-2))
+}
+
+func TestMaxPoolForwardBackward(t *testing.T) {
+	p := NewMaxPool2D("pool", 2, 2)
+	x := tensor.FromSlice([]float32{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		-1, -2, 0, 0,
+		-3, -4, 0, 9,
+	}, 1, 1, 4, 4)
+	y := p.Forward(x, true)
+	want := []float32{4, 8, -1, 9}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("pool[%d] = %v, want %v", i, y.Data[i], w)
+		}
+	}
+	g := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	dx := p.Backward(g)
+	// Gradient lands only on the argmax positions.
+	if dx.At(0, 0, 1, 1) != 1 || dx.At(0, 0, 1, 3) != 2 || dx.At(0, 0, 2, 0) != 3 || dx.At(0, 0, 3, 3) != 4 {
+		t.Fatalf("pool backward wrong: %v", dx.Data)
+	}
+	var sum float32
+	for _, v := range dx.Data {
+		sum += v
+	}
+	if sum != 10 {
+		t.Fatalf("gradient mass not conserved: %v", sum)
+	}
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := NewReLU("relu")
+	x := tensor.FromSlice([]float32{-1, 0, 2, -3, 4}, 1, 5)
+	y := r.Forward(x, true)
+	want := []float32{0, 0, 2, 0, 4}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("relu[%d] = %v", i, y.Data[i])
+		}
+	}
+	g := tensor.FromSlice([]float32{10, 10, 10, 10, 10}, 1, 5)
+	dx := r.Backward(g)
+	wantG := []float32{0, 0, 10, 0, 10}
+	for i, w := range wantG {
+		if dx.Data[i] != w {
+			t.Fatalf("relu grad[%d] = %v", i, dx.Data[i])
+		}
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten("flat")
+	x := tensor.New(2, 3, 4, 5)
+	y := f.Forward(x, true)
+	if y.Shape[0] != 2 || y.Shape[1] != 60 {
+		t.Fatalf("flatten shape %v", y.Shape)
+	}
+	g := tensor.New(2, 60)
+	dx := f.Backward(g)
+	if dx.Shape[3] != 5 {
+		t.Fatalf("flatten backward shape %v", dx.Shape)
+	}
+}
+
+func TestDropoutInferencePassThrough(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	d := NewDropout("drop", 0.5, rng)
+	x := tensor.New(4, 10)
+	rng.FillNormal(x.Data, 0, 1)
+	y := d.Forward(x, false)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("dropout must be identity at inference")
+		}
+	}
+}
+
+func TestDropoutTrainStatistics(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	d := NewDropout("drop", 0.5, rng)
+	x := tensor.New(1, 10000)
+	x.Fill(1)
+	y := d.Forward(x, true)
+	zeros := 0
+	var mean float64
+	for _, v := range y.Data {
+		if v == 0 {
+			zeros++
+		}
+		mean += float64(v)
+	}
+	mean /= float64(len(y.Data))
+	frac := float64(zeros) / float64(len(y.Data))
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("drop fraction %.3f, want ~0.5", frac)
+	}
+	if math.Abs(mean-1) > 0.05 {
+		t.Fatalf("inverted-dropout mean %.3f, want ~1", mean)
+	}
+}
+
+func TestDropoutRateValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rate 1")
+		}
+	}()
+	NewDropout("d", 1.0, tensor.NewRNG(1))
+}
+
+func TestSoftmaxCrossEntropyUniform(t *testing.T) {
+	logits := tensor.New(2, 4) // all zeros → uniform
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0, 3})
+	want := math.Log(4)
+	if math.Abs(loss-want) > 1e-6 {
+		t.Fatalf("loss = %v, want ln4 = %v", loss, want)
+	}
+	// grad = (p − y)/N = (0.25 − 1{label})/2
+	if math.Abs(float64(grad.At(0, 0))-(0.25-1)/2) > 1e-6 {
+		t.Fatalf("grad wrong: %v", grad.At(0, 0))
+	}
+	if math.Abs(float64(grad.At(0, 1))-0.25/2) > 1e-6 {
+		t.Fatalf("grad wrong: %v", grad.At(0, 1))
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	logits := tensor.New(8, 10)
+	rng.FillNormal(logits.Data, 0, 3)
+	p := Softmax(logits)
+	for i := 0; i < 8; i++ {
+		var sum float64
+		for j := 0; j < 10; j++ {
+			v := p.At(i, j)
+			if v < 0 {
+				t.Fatal("negative probability")
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestParamMaskAndDensity(t *testing.T) {
+	p := &Param{
+		W:    tensor.FromSlice([]float32{1, 2, 3, 4}, 4),
+		Grad: tensor.FromSlice([]float32{5, 6, 7, 8}, 4),
+		Mask: []bool{true, false, true, false},
+	}
+	p.ApplyMask()
+	if p.W.Data[1] != 0 || p.W.Data[3] != 0 || p.Grad.Data[1] != 0 {
+		t.Fatal("mask did not zero pruned entries")
+	}
+	if p.W.Data[0] != 1 || p.W.Data[2] != 3 {
+		t.Fatal("mask zeroed kept entries")
+	}
+	if p.Density() != 0.5 {
+		t.Fatalf("Density = %v", p.Density())
+	}
+	dense := &Param{W: tensor.New(3)}
+	if dense.Density() != 1 {
+		t.Fatal("nil mask density must be 1")
+	}
+}

@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// [N, classes] against integer labels, and the gradient ∂L/∂logits.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy logits shape %v", logits.Shape))
+	}
+	n, c := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for %d logits rows", len(labels), n))
+	}
+	grad = tensor.New(n, c)
+	var total float64
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		g := grad.Data[i*c : (i+1)*c]
+		total += softmaxRow(row, g, labels[i], n)
+	}
+	return total / float64(n), grad
+}
+
+// softmaxRow fills g with the gradient for one example and returns its loss.
+func softmaxRow(row, g []float32, label, batch int) float64 {
+	if label < 0 || label >= len(row) {
+		panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, len(row)))
+	}
+	maxv := row[0]
+	for _, v := range row[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for _, v := range row {
+		sum += math.Exp(float64(v - maxv))
+	}
+	logSum := math.Log(sum)
+	inv := 1 / float64(batch)
+	for j, v := range row {
+		p := math.Exp(float64(v-maxv)) / sum
+		g[j] = float32(p * inv)
+	}
+	g[label] -= float32(inv)
+	return logSum - float64(row[label]-maxv)
+}
+
+// Softmax returns the row-wise softmax probabilities of logits [N, classes].
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n, c := logits.Shape[0], logits.Shape[1]
+	out := tensor.New(n, c)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		o := out.Data[i*c : (i+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			o[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range o {
+			o[j] *= inv
+		}
+	}
+	return out
+}

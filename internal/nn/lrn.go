@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LRN is AlexNet's local response normalisation across channels:
+//
+//	y[c] = x[c] / (K + α/n · Σ_{c' in window} x[c']²)^β
+//
+// with a window of Size channels centred on c. Inference-only in this
+// repository (the scaled networks train without it; it is provided for
+// architecture fidelity and used by tests), so Backward panics.
+type LRN struct {
+	LayerName string
+	Size      int
+	Alpha     float64
+	Beta      float64
+	K         float64
+}
+
+// NewLRN creates an LRN layer with AlexNet's published defaults when the
+// numeric parameters are zero (n=5, α=1e-4, β=0.75, k=2).
+func NewLRN(name string, size int, alpha, beta, k float64) *LRN {
+	if size <= 0 {
+		size = 5
+	}
+	if size%2 == 0 {
+		panic(fmt.Sprintf("nn: LRN size %d must be odd", size))
+	}
+	if alpha == 0 {
+		alpha = 1e-4
+	}
+	if beta == 0 {
+		beta = 0.75
+	}
+	if k == 0 {
+		k = 2
+	}
+	return &LRN{LayerName: name, Size: size, Alpha: alpha, Beta: beta, K: k}
+}
+
+// Name implements Layer.
+func (l *LRN) Name() string { return l.LayerName }
+
+// Params implements Layer.
+func (l *LRN) Params() []*Param { return nil }
+
+// Forward implements Layer. x must have shape [N, C, H, W].
+func (l *LRN) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s: input shape %v, want rank 4", l.LayerName, x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	y := tensor.New(x.Shape...)
+	half := l.Size / 2
+	plane := h * w
+	imgSz := c * plane
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			in := x.Data[b*imgSz : (b+1)*imgSz]
+			out := y.Data[b*imgSz : (b+1)*imgSz]
+			for p := 0; p < plane; p++ {
+				for ch := 0; ch < c; ch++ {
+					var sum float64
+					for cc := ch - half; cc <= ch+half; cc++ {
+						if cc < 0 || cc >= c {
+							continue
+						}
+						v := float64(in[cc*plane+p])
+						sum += v * v
+					}
+					denom := math.Pow(l.K+l.Alpha/float64(l.Size)*sum, l.Beta)
+					out[ch*plane+p] = float32(float64(in[ch*plane+p]) / denom)
+				}
+			}
+		}
+	})
+	return y
+}
+
+// Backward implements Layer; LRN is inference-only here.
+func (l *LRN) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	panic("nn: LRN is inference-only; place it in non-trained paths")
+}

@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/tensor"
+)
+
+// tinyMLP builds a 784→32→10 network for fast training tests.
+func tinyMLP(rng *tensor.RNG) *Network {
+	return NewNetwork("tiny-mlp",
+		NewFlatten("flat"),
+		NewDense("ip1", 28*28, 32, rng),
+		NewReLU("relu1"),
+		NewDense("ip2", 32, 10, rng),
+	)
+}
+
+func TestTrainTinyMLPOnSynthMNIST(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	net := tinyMLP(rng)
+	train := dataset.SynthMNIST(1500, 10)
+	test := dataset.SynthMNIST(400, 11)
+	opt := NewSGD(0.1, 0.9, 1e-4)
+	loss := Train(net, train, opt, TrainConfig{Epochs: 3, BatchSize: 32}, rng)
+	if math.IsNaN(loss) {
+		t.Fatal("training diverged to NaN")
+	}
+	acc := net.Evaluate(test, 100)
+	if acc.Top1 < 0.9 {
+		t.Fatalf("top-1 accuracy %.3f after training, want ≥0.9", acc.Top1)
+	}
+	if acc.Top5 < acc.Top1 {
+		t.Fatal("top-5 accuracy below top-1")
+	}
+}
+
+func TestEvaluateFromWithFeatureCache(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	net := tinyMLP(rng)
+	test := dataset.SynthMNIST(200, 12)
+	full := net.Evaluate(test, 64)
+
+	k := net.FirstDenseIndex()
+	features := net.FeatureCache(k, test, 64)
+	cached := net.EvaluateFrom(k, features, test, 64)
+	if full.Top1 != cached.Top1 || full.Top5 != cached.Top5 {
+		t.Fatalf("cached evaluation %+v differs from full %+v", cached, full)
+	}
+}
+
+func TestForwardRangeComposition(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	net := tinyMLP(rng)
+	x := tensor.New(4, 1, 28, 28)
+	rng.FillNormal(x.Data, 0, 1)
+	full := net.Forward(x.Clone(), false)
+	mid := net.ForwardRange(0, 2, x.Clone(), false)
+	composed := net.ForwardRange(2, len(net.Layers), mid, false)
+	for i := range full.Data {
+		if full.Data[i] != composed.Data[i] {
+			t.Fatal("ForwardRange composition differs from full forward")
+		}
+	}
+}
+
+func TestDenseLayersAndIndices(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	net := tinyMLP(rng)
+	ds := net.DenseLayers()
+	if len(ds) != 2 || ds[0].Name() != "ip1" || ds[1].Name() != "ip2" {
+		t.Fatalf("DenseLayers = %v", ds)
+	}
+	if net.FirstDenseIndex() != 1 {
+		t.Fatalf("FirstDenseIndex = %d", net.FirstDenseIndex())
+	}
+	if net.LayerIndex("ip2") != 3 {
+		t.Fatalf("LayerIndex(ip2) = %d", net.LayerIndex("ip2"))
+	}
+	if net.LayerIndex("nope") != -1 {
+		t.Fatal("missing layer should give -1")
+	}
+}
+
+func TestParamBytes(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	net := NewNetwork("n",
+		NewConv2D("c1", 1, 2, 3, 1, 0, rng), // 2*1*9 + 2 = 20 params
+		NewFlatten("f"),
+		NewDense("fc", 8, 4, rng), // 32 + 4 = 36 params
+	)
+	total, dense := net.ParamBytes()
+	if total != 56*4 {
+		t.Fatalf("total = %d", total)
+	}
+	if dense != 36*4 {
+		t.Fatalf("dense = %d", dense)
+	}
+}
+
+func TestMaskedSGDKeepsZeros(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	net := tinyMLP(rng)
+	// Prune half of ip1's weights.
+	d := net.DenseLayers()[0]
+	mask := make([]bool, len(d.W.W.Data))
+	for i := range mask {
+		mask[i] = i%2 == 0
+	}
+	d.W.Mask = mask
+	d.W.ApplyMask()
+
+	train := dataset.SynthMNIST(300, 13)
+	opt := NewSGD(0.05, 0.9, 0)
+	Train(net, train, opt, TrainConfig{Epochs: 1, BatchSize: 32}, rng)
+	for i, keep := range mask {
+		if !keep && d.W.W.Data[i] != 0 {
+			t.Fatalf("pruned weight %d drifted to %v", i, d.W.W.Data[i])
+		}
+	}
+	// Kept weights must have actually trained.
+	moved := false
+	for i, keep := range mask {
+		if keep && d.W.Grad.Data[i] != 0 {
+			moved = true
+			_ = i
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("no kept weight received gradient")
+	}
+}
+
+func TestTrainWithConvNet(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	net := NewNetwork("tiny-cnn",
+		NewConv2D("conv1", 1, 4, 5, 1, 0, rng), // 28→24
+		NewMaxPool2D("pool1", 2, 2),            // →12
+		NewReLU("relu1"),
+		NewFlatten("flat"),
+		NewDense("ip1", 4*12*12, 10, rng),
+	)
+	train := dataset.SynthMNIST(600, 14)
+	test := dataset.SynthMNIST(200, 15)
+	opt := NewSGD(0.05, 0.9, 1e-4)
+	Train(net, train, opt, TrainConfig{Epochs: 3, BatchSize: 32}, rng)
+	acc := net.Evaluate(test, 50)
+	if acc.Top1 < 0.8 {
+		t.Fatalf("conv net top-1 %.3f, want ≥0.8", acc.Top1)
+	}
+}
+
+func TestCountTopK(t *testing.T) {
+	logits := tensor.FromSlice([]float32{
+		0, 1, 2, 3, 4, 5, 6, 7, 8, 9, // label 9: top1 hit
+		9, 8, 7, 6, 5, 4, 3, 2, 1, 0, // label 4: within top 5
+		9, 8, 7, 6, 5, 4, 3, 2, 1, 0, // label 9: miss entirely
+	}, 3, 10)
+	t1, t5 := countTopK(logits, []int{9, 4, 9})
+	if t1 != 1 {
+		t.Fatalf("top1 = %d, want 1", t1)
+	}
+	if t5 != 2 {
+		t.Fatalf("top5 = %d, want 2", t5)
+	}
+}
+
+func TestSGDLRDecay(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	net := tinyMLP(rng)
+	train := dataset.SynthMNIST(64, 16)
+	opt := NewSGD(0.1, 0, 0)
+	Train(net, train, opt, TrainConfig{Epochs: 2, BatchSize: 32, LRDecay: 0.5}, rng)
+	if math.Abs(float64(opt.LR)-0.025) > 1e-9 {
+		t.Fatalf("LR after 2 epochs of 0.5 decay = %v, want 0.025", opt.LR)
+	}
+}

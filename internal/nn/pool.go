@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool2D is a max-pooling layer with square window and stride.
+type MaxPool2D struct {
+	LayerName string
+	K, Stride int
+	lastShape []int
+	argmax    []int32 // flat input index of each output's maximum
+}
+
+// NewMaxPool2D creates a max-pooling layer.
+func NewMaxPool2D(name string, k, stride int) *MaxPool2D {
+	if k < 1 || stride < 1 {
+		panic(fmt.Sprintf("nn: maxpool k=%d stride=%d invalid", k, stride))
+	}
+	return &MaxPool2D{LayerName: name, K: k, Stride: stride}
+}
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return m.LayerName }
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// OutDims returns the spatial output size for an input of h×w.
+func (m *MaxPool2D) OutDims(h, w int) (int, int) {
+	return (h-m.K)/m.Stride + 1, (w-m.K)/m.Stride + 1
+}
+
+// Forward implements Layer. x must have shape [N, C, H, W].
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s: input shape %v, want rank 4", m.LayerName, x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := m.OutDims(h, w)
+	if oh < 1 || ow < 1 {
+		panic(fmt.Sprintf("nn: %s: input %dx%d too small for k=%d", m.LayerName, h, w, m.K))
+	}
+	y := tensor.New(n, c, oh, ow)
+	if train {
+		m.lastShape = x.Shape
+		if cap(m.argmax) < len(y.Data) {
+			m.argmax = make([]int32, len(y.Data))
+		}
+		m.argmax = m.argmax[:len(y.Data)]
+	}
+	inSz := c * h * w
+	outSz := c * oh * ow
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			in := x.Data[b*inSz : (b+1)*inSz]
+			out := y.Data[b*outSz : (b+1)*outSz]
+			for ch := 0; ch < c; ch++ {
+				chIn := in[ch*h*w:]
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						iy0 := oy * m.Stride
+						ix0 := ox * m.Stride
+						best := chIn[iy0*w+ix0]
+						bestIdx := iy0*w + ix0
+						for ky := 0; ky < m.K; ky++ {
+							for kx := 0; kx < m.K; kx++ {
+								idx := (iy0+ky)*w + ix0 + kx
+								if v := chIn[idx]; v > best {
+									best, bestIdx = v, idx
+								}
+							}
+						}
+						oi := ch*oh*ow + oy*ow + ox
+						out[oi] = best
+						if train {
+							m.argmax[b*outSz+oi] = int32(ch*h*w + bestIdx)
+						}
+					}
+				}
+			}
+		}
+	})
+	return y
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if m.lastShape == nil {
+		panic("nn: MaxPool2D.Backward without Forward(train=true)")
+	}
+	dx := tensor.New(m.lastShape...)
+	n := m.lastShape[0]
+	inSz := len(dx.Data) / n
+	outSz := len(dout.Data) / n
+	for b := 0; b < n; b++ {
+		for oi := 0; oi < outSz; oi++ {
+			dx.Data[b*inSz+int(m.argmax[b*outSz+oi])] += dout.Data[b*outSz+oi]
+		}
+	}
+	return dx
+}

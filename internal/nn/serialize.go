@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Weight-file format: a flat list of named parameter records (raw float32
+// data plus an optional pruning-mask bitset), matched to a freshly built
+// network by parameter name. Used by cmd/deepsz to pass trained models
+// between invocations.
+
+const (
+	weightsMagic   = 0x4E4E5747 // "NNWG"
+	weightsVersion = 1
+)
+
+// ErrWeightsCorrupt is returned for structurally invalid weight files.
+var ErrWeightsCorrupt = errors.New("nn: corrupt weights file")
+
+// SaveWeights writes every parameter of net to w.
+func SaveWeights(w io.Writer, net *Network) error {
+	bw := bufio.NewWriter(w)
+	params := net.Params()
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], weightsMagic)
+	hdr[4] = weightsVersion
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(params)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeString(bw, p.Name); err != nil {
+			return err
+		}
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(p.W.Data)))
+		if _, err := bw.Write(n[:]); err != nil {
+			return err
+		}
+		for _, v := range p.W.Data {
+			binary.LittleEndian.PutUint32(n[:], math.Float32bits(v))
+			if _, err := bw.Write(n[:]); err != nil {
+				return err
+			}
+		}
+		hasMask := byte(0)
+		if p.Mask != nil {
+			hasMask = 1
+		}
+		if err := bw.WriteByte(hasMask); err != nil {
+			return err
+		}
+		if p.Mask != nil {
+			bits := make([]byte, (len(p.Mask)+7)/8)
+			for i, keep := range p.Mask {
+				if keep {
+					bits[i/8] |= 1 << (7 - i%8)
+				}
+			}
+			if _, err := bw.Write(bits); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeString(w io.Writer, s string) error {
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(len(s)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+// LoadWeights reads a weight file and installs the values into net's
+// parameters, matched by name. Every parameter in the file must exist in
+// net with the same element count.
+func LoadWeights(r io.Reader, net *Network) error {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrWeightsCorrupt, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != weightsMagic {
+		return fmt.Errorf("%w: bad magic", ErrWeightsCorrupt)
+	}
+	if hdr[4] != weightsVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrWeightsCorrupt, hdr[4])
+	}
+	count := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	byName := map[string]*Param{}
+	for _, p := range net.Params() {
+		byName[p.Name] = p
+	}
+	var buf [4]byte
+	for i := 0; i < count; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return err
+		}
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return fmt.Errorf("%w: %v", ErrWeightsCorrupt, err)
+		}
+		n := int(binary.LittleEndian.Uint32(buf[:]))
+		p, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("nn: weights file has unknown parameter %q", name)
+		}
+		if len(p.W.Data) != n {
+			return fmt.Errorf("nn: parameter %q has %d elements in file, %d in network", name, n, len(p.W.Data))
+		}
+		for j := 0; j < n; j++ {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return fmt.Errorf("%w: %v", ErrWeightsCorrupt, err)
+			}
+			p.W.Data[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
+		}
+		hasMask, err := br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrWeightsCorrupt, err)
+		}
+		switch hasMask {
+		case 0:
+			p.Mask = nil
+		case 1:
+			bits := make([]byte, (n+7)/8)
+			if _, err := io.ReadFull(br, bits); err != nil {
+				return fmt.Errorf("%w: %v", ErrWeightsCorrupt, err)
+			}
+			mask := make([]bool, n)
+			for j := range mask {
+				mask[j] = bits[j/8]&(1<<(7-j%8)) != 0
+			}
+			p.Mask = mask
+		default:
+			return fmt.Errorf("%w: bad mask flag %d", ErrWeightsCorrupt, hasMask)
+		}
+	}
+	return nil
+}
+
+func readString(r io.Reader) (string, error) {
+	var n [2]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrWeightsCorrupt, err)
+	}
+	b := make([]byte, binary.LittleEndian.Uint16(n[:]))
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrWeightsCorrupt, err)
+	}
+	return string(b), nil
+}

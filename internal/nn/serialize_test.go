@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func serializationNet(seed uint64) *Network {
+	rng := tensor.NewRNG(seed)
+	return NewNetwork("ser",
+		NewConv2D("c1", 1, 3, 3, 1, 1, rng),
+		NewFlatten("f"),
+		NewDense("fc1", 3*8*8, 16, rng),
+		NewReLU("r"),
+		NewDense("fc2", 16, 4, rng),
+	)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := serializationNet(1)
+	// Add a mask to one layer to exercise the mask path.
+	fc1 := src.DenseLayers()[0]
+	mask := make([]bool, len(fc1.W.W.Data))
+	for i := range mask {
+		mask[i] = i%3 != 0
+	}
+	fc1.W.Mask = mask
+	fc1.W.ApplyMask()
+
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := serializationNet(999) // different init
+	if err := LoadWeights(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	srcP, dstP := src.Params(), dst.Params()
+	for i := range srcP {
+		for j := range srcP[i].W.Data {
+			if srcP[i].W.Data[j] != dstP[i].W.Data[j] {
+				t.Fatalf("param %s elem %d differs", srcP[i].Name, j)
+			}
+		}
+	}
+	dfc1 := dst.DenseLayers()[0]
+	if dfc1.W.Mask == nil {
+		t.Fatal("mask not restored")
+	}
+	for i := range mask {
+		if dfc1.W.Mask[i] != mask[i] {
+			t.Fatalf("mask bit %d differs", i)
+		}
+	}
+	// Unmasked params stay unmasked.
+	if dst.DenseLayers()[1].W.Mask != nil {
+		t.Fatal("spurious mask on fc2")
+	}
+}
+
+func TestLoadWeightsValidation(t *testing.T) {
+	src := serializationNet(2)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	if err := LoadWeights(bytes.NewReader(blob[:5]), serializationNet(3)); err == nil {
+		t.Fatal("expected error for truncated header")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF
+	if err := LoadWeights(bytes.NewReader(bad), serializationNet(3)); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if err := LoadWeights(bytes.NewReader(blob[:len(blob)-10]), serializationNet(3)); err == nil {
+		t.Fatal("expected error for truncation")
+	}
+
+	// Mismatched architecture: different fc width.
+	rng := tensor.NewRNG(4)
+	other := NewNetwork("other",
+		NewConv2D("c1", 1, 3, 3, 1, 1, rng),
+		NewFlatten("f"),
+		NewDense("fc1", 3*8*8, 8, rng), // 16 → 8
+		NewReLU("r"),
+		NewDense("fc2", 16, 4, rng),
+	)
+	if err := LoadWeights(bytes.NewReader(blob), other); err == nil {
+		t.Fatal("expected error for shape mismatch")
+	}
+}
+
+func TestSaveLoadPreservesBehaviour(t *testing.T) {
+	src := serializationNet(5)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := serializationNet(777)
+	if err := LoadWeights(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(6)
+	x := tensor.New(2, 1, 8, 8)
+	rng.FillNormal(x.Data, 0, 1)
+	a := src.Forward(x.Clone(), false)
+	b := dst.Forward(x.Clone(), false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("loaded network computes different outputs")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with momentum and L2 weight decay, the
+// Caffe default solver used by the paper. Updates respect pruning masks:
+// masked-out weights stay exactly zero (the "retrain with masks" step of
+// network pruning).
+type SGD struct {
+	LR          float32
+	Momentum    float32
+	WeightDecay float32
+	vel         map[*Param][]float32
+}
+
+// NewSGD creates an optimizer.
+func NewSGD(lr, momentum, weightDecay float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, vel: make(map[*Param][]float32)}
+}
+
+// Step applies one update to every parameter and re-applies masks.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v, ok := s.vel[p]
+		if !ok {
+			v = make([]float32, len(p.W.Data))
+			s.vel[p] = v
+		}
+		w := p.W.Data
+		g := p.Grad.Data
+		for i := range w {
+			grad := g[i] + s.WeightDecay*w[i]
+			v[i] = s.Momentum*v[i] - s.LR*grad
+			w[i] += v[i]
+		}
+		p.ApplyMask()
+	}
+}
+
+// TrainConfig controls the training loop.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	// LRDecay multiplies the learning rate after each epoch (1 = constant).
+	LRDecay float32
+	// Silent training emits no output; there is no logging here by design —
+	// callers report progress.
+}
+
+// Train runs mini-batch SGD over ds. The rng drives shuffling only, so runs
+// are reproducible. Returns the final epoch's mean loss.
+func Train(net *Network, ds *dataset.Set, opt *SGD, cfg TrainConfig, rng *tensor.RNG) float64 {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.LRDecay == 0 {
+		cfg.LRDecay = 1
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(ds.Len())
+		var epochLoss float64
+		batches := 0
+		for lo := 0; lo < len(perm); lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > len(perm) {
+				hi = len(perm)
+			}
+			x, labels := ds.Batch(perm[lo:hi])
+			net.ZeroGrads()
+			logits := net.Forward(x, true)
+			loss, grad := SoftmaxCrossEntropy(logits, labels)
+			net.Backward(grad)
+			opt.Step(net.Params())
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+		opt.LR *= cfg.LRDecay
+	}
+	return lastLoss
+}

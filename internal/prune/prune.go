@@ -1,0 +1,164 @@
+// Package prune implements step 1 of DeepSZ: magnitude-threshold network
+// pruning with mask retraining (the "Magnitude" method of Han et al. the
+// paper builds on), plus the paper's two-array sparse representation
+// (§3.2): a float32 data array and a uint8 index-delta array with the
+// 255/zero-padding convention for long gaps.
+package prune
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// MagnitudeMask returns a keep-mask retaining the keepRatio fraction of w
+// with the largest magnitudes. Ties at the threshold are kept in index
+// order until the quota is filled.
+func MagnitudeMask(w []float32, keepRatio float64) []bool {
+	if keepRatio < 0 || keepRatio > 1 {
+		panic(fmt.Sprintf("prune: keep ratio %v out of [0,1]", keepRatio))
+	}
+	n := len(w)
+	keep := int(float64(n)*keepRatio + 0.5)
+	mask := make([]bool, n)
+	if keep == 0 {
+		return mask
+	}
+	if keep >= n {
+		for i := range mask {
+			mask[i] = true
+		}
+		return mask
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	abs := func(v float32) float32 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	sort.Slice(idx, func(a, b int) bool { return abs(w[idx[a]]) > abs(w[idx[b]]) })
+	for _, i := range idx[:keep] {
+		mask[i] = true
+	}
+	return mask
+}
+
+// PaperRatios returns the per-layer pruning (keep) ratios the paper uses
+// (Table 2), keyed by fc-layer name.
+func PaperRatios(netName string) map[string]float64 {
+	switch netName {
+	case "lenet-300-100":
+		return map[string]float64{"ip1": 0.08, "ip2": 0.09, "ip3": 0.26}
+	case "lenet-5":
+		return map[string]float64{"ip1": 0.08, "ip2": 0.19}
+	case "alexnet-s", "alexnet":
+		return map[string]float64{"fc6": 0.09, "fc7": 0.09, "fc8": 0.25}
+	case "vgg16-s", "vgg-16":
+		return map[string]float64{"fc6": 0.03, "fc7": 0.04, "fc8": 0.24}
+	}
+	return nil
+}
+
+// Network prunes every fc layer of net to the given keep ratios (layer name
+// → ratio; layers without an entry keep defaultRatio) and installs the
+// masks. It does not retrain; call Retrain afterwards.
+func Network(net *nn.Network, ratios map[string]float64, defaultRatio float64) {
+	for _, fc := range net.DenseLayers() {
+		r, ok := ratios[fc.Name()]
+		if !ok {
+			r = defaultRatio
+		}
+		fc.W.Mask = MagnitudeMask(fc.W.W.Data, r)
+		fc.W.ApplyMask()
+	}
+}
+
+// Retrain runs mask-respecting SGD for the given number of epochs, restoring
+// the accuracy lost to pruning ("magnitude threshold plus retraining").
+func Retrain(net *nn.Network, ds *dataset.Set, epochs int, lr float32, rng *tensor.RNG) {
+	opt := nn.NewSGD(lr, 0.9, 0)
+	nn.Train(net, ds, opt, nn.TrainConfig{Epochs: epochs, BatchSize: 32}, rng)
+}
+
+// Sparse is the paper's two-array representation of a pruned layer: Data
+// holds the nonzero float32 weights (with zero padding entries for long
+// gaps) and Index holds 8-bit deltas between consecutive nonzero positions.
+// When a gap exceeds 255, a padding pair (Index 255, Data 0) advances the
+// cursor, exactly as described in §3.2 and in Deep Compression.
+type Sparse struct {
+	N     int // dense length
+	Data  []float32
+	Index []uint8
+}
+
+// Encode converts a dense weight array to the two-array representation.
+func Encode(dense []float32) *Sparse {
+	s := &Sparse{N: len(dense)}
+	prev := -1
+	for p, v := range dense {
+		if v == 0 {
+			continue
+		}
+		gap := p - prev
+		for gap > 255 {
+			s.Index = append(s.Index, 255)
+			s.Data = append(s.Data, 0)
+			gap -= 255
+		}
+		s.Index = append(s.Index, uint8(gap))
+		s.Data = append(s.Data, v)
+		prev = p
+	}
+	return s
+}
+
+// Decode reconstructs the dense array.
+func (s *Sparse) Decode() ([]float32, error) {
+	if len(s.Data) != len(s.Index) {
+		return nil, fmt.Errorf("prune: data/index length mismatch (%d vs %d)", len(s.Data), len(s.Index))
+	}
+	dense := make([]float32, s.N)
+	pos := -1
+	for i, d := range s.Index {
+		pos += int(d)
+		if s.Data[i] == 0 {
+			continue // padding entry
+		}
+		if pos < 0 || pos >= s.N {
+			return nil, fmt.Errorf("prune: index %d out of range [0,%d)", pos, s.N)
+		}
+		dense[pos] = s.Data[i]
+	}
+	return dense, nil
+}
+
+// Bytes returns the storage of the representation: 32 bits per data entry
+// plus 8 bits per index entry (the paper's 40 bits per nonzero weight).
+func (s *Sparse) Bytes() int {
+	return 4*len(s.Data) + len(s.Index)
+}
+
+// Nonzeros returns the number of real (non-padding) entries.
+func (s *Sparse) Nonzeros() int {
+	n := 0
+	for _, v := range s.Data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// CompressionRatio returns the dense-to-sparse size ratio (the "real
+// compression ratio after pruning" the paper distinguishes from the pruning
+// ratio itself).
+func (s *Sparse) CompressionRatio() float64 {
+	return float64(4*s.N) / float64(s.Bytes())
+}

@@ -1,0 +1,244 @@
+package prune
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestMagnitudeMaskKeepsLargest(t *testing.T) {
+	w := []float32{0.1, -5, 0.01, 3, -0.2, 0.001, 2, -1}
+	mask := MagnitudeMask(w, 0.5) // keep 4 of 8
+	wantKept := map[int]bool{1: true, 3: true, 6: true, 7: true}
+	for i, keep := range mask {
+		if keep != wantKept[i] {
+			t.Fatalf("mask[%d] = %v (w=%v)", i, keep, w[i])
+		}
+	}
+}
+
+func TestMagnitudeMaskEdgeRatios(t *testing.T) {
+	w := []float32{1, 2, 3}
+	all := MagnitudeMask(w, 1)
+	none := MagnitudeMask(w, 0)
+	for i := range w {
+		if !all[i] {
+			t.Fatal("ratio 1 must keep everything")
+		}
+		if none[i] {
+			t.Fatal("ratio 0 must drop everything")
+		}
+	}
+}
+
+func TestMagnitudeMaskBadRatioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MagnitudeMask([]float32{1}, 1.5)
+}
+
+func TestMagnitudeMaskCount(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	w := make([]float32, 10000)
+	rng.FillNormal(w, 0, 1)
+	mask := MagnitudeMask(w, 0.09)
+	kept := 0
+	for _, k := range mask {
+		if k {
+			kept++
+		}
+	}
+	if kept != 900 {
+		t.Fatalf("kept %d, want 900", kept)
+	}
+}
+
+func TestSparseRoundTripSimple(t *testing.T) {
+	dense := []float32{0, 0, 1.5, 0, 0, -2, 0, 0, 0, 3}
+	s := Encode(dense)
+	got, err := s.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dense {
+		if got[i] != dense[i] {
+			t.Fatalf("decode[%d] = %v, want %v", i, got[i], dense[i])
+		}
+	}
+	if s.Nonzeros() != 3 {
+		t.Fatalf("Nonzeros = %d", s.Nonzeros())
+	}
+}
+
+func TestSparseLongGapPadding(t *testing.T) {
+	dense := make([]float32, 1000)
+	dense[0] = 1
+	dense[999] = 2 // gap of 999 needs padding entries
+	s := Encode(dense)
+	if len(s.Data) <= 2 {
+		t.Fatal("expected padding entries for long gap")
+	}
+	// Padding entries must carry value 0 and index 255.
+	pads := 0
+	for i := range s.Data {
+		if s.Data[i] == 0 {
+			pads++
+			if s.Index[i] != 255 {
+				t.Fatalf("padding entry %d has index %d", i, s.Index[i])
+			}
+		}
+	}
+	if pads != 3 { // 999 = 3·255 + 234
+		t.Fatalf("pads = %d, want 3", pads)
+	}
+	got, err := s.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[999] != 2 {
+		t.Fatal("long-gap round trip failed")
+	}
+	for i := 1; i < 999; i++ {
+		if got[i] != 0 {
+			t.Fatalf("spurious nonzero at %d", i)
+		}
+	}
+}
+
+func TestSparseGapExactly255(t *testing.T) {
+	dense := make([]float32, 300)
+	dense[10] = 1
+	dense[10+255] = 2
+	s := Encode(dense)
+	got, err := s.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[10] != 1 || got[265] != 2 {
+		t.Fatal("gap-255 round trip failed")
+	}
+}
+
+func TestSparseAllZero(t *testing.T) {
+	s := Encode(make([]float32, 50))
+	if len(s.Data) != 0 {
+		t.Fatal("all-zero input should produce empty arrays")
+	}
+	got, err := s.Decode()
+	if err != nil || len(got) != 50 {
+		t.Fatal("all-zero decode failed")
+	}
+}
+
+func TestSparseBytesFormula(t *testing.T) {
+	dense := []float32{1, 0, 2, 0, 3}
+	s := Encode(dense)
+	if s.Bytes() != 3*5 {
+		t.Fatalf("Bytes = %d, want 15 (3 entries × 5 bytes)", s.Bytes())
+	}
+	// CSR ratio is below the naive 1/keep ratio because of the 40-bit cost.
+	if r := s.CompressionRatio(); math.Abs(r-20.0/15.0) > 1e-9 {
+		t.Fatalf("CompressionRatio = %v", r)
+	}
+}
+
+func TestSparseDecodeMismatch(t *testing.T) {
+	s := &Sparse{N: 10, Data: []float32{1}, Index: []uint8{1, 2}}
+	if _, err := s.Decode(); err == nil {
+		t.Fatal("expected error for mismatched arrays")
+	}
+	s2 := &Sparse{N: 2, Data: []float32{1, 2}, Index: []uint8{1, 200}}
+	if _, err := s2.Decode(); err == nil {
+		t.Fatal("expected error for out-of-range index")
+	}
+}
+
+func TestQuickSparseRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	f := func(seed uint32, density uint8) bool {
+		n := 100 + int(seed%5000)
+		dense := make([]float32, n)
+		d := float64(density%40) / 100 // 0–39% density, incl. 0
+		for i := range dense {
+			if rng.Float64() < d {
+				dense[i] = float32(rng.NormFloat64())
+			}
+		}
+		s := Encode(dense)
+		got, err := s.Decode()
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range dense {
+			if got[i] != dense[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkPruneAndRetrainRecoversAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	rng := tensor.NewRNG(3)
+	net := nn.NewNetwork("mlp",
+		nn.NewFlatten("flat"),
+		nn.NewDense("ip1", 784, 64, rng),
+		nn.NewReLU("relu1"),
+		nn.NewDense("ip2", 64, 10, rng),
+	)
+	train := dataset.SynthMNIST(1200, 20)
+	test := dataset.SynthMNIST(400, 21)
+	opt := nn.NewSGD(0.1, 0.9, 1e-4)
+	nn.Train(net, train, opt, nn.TrainConfig{Epochs: 3, BatchSize: 32}, rng)
+	before := net.Evaluate(test, 100)
+
+	Network(net, map[string]float64{"ip1": 0.10, "ip2": 0.30}, 0.1)
+	ip1 := net.DenseLayers()[0]
+	if d := ip1.W.Density(); math.Abs(d-0.10) > 0.005 {
+		t.Fatalf("ip1 density %.3f, want 0.10", d)
+	}
+	Retrain(net, train, 2, 0.05, rng)
+	after := net.Evaluate(test, 100)
+
+	// Pruned weights must still be zero after retraining.
+	for i, keep := range ip1.W.Mask {
+		if !keep && ip1.W.W.Data[i] != 0 {
+			t.Fatal("pruned weight drifted during retraining")
+		}
+	}
+	// The paper prunes "without loss of inference accuracy"; allow a small
+	// slack for the tiny training budget.
+	if after.Top1 < before.Top1-0.05 {
+		t.Fatalf("pruning lost too much accuracy: %.3f → %.3f", before.Top1, after.Top1)
+	}
+}
+
+func TestPaperRatiosCoverage(t *testing.T) {
+	for _, name := range []string{"lenet-300-100", "lenet-5", "alexnet-s", "vgg16-s"} {
+		r := PaperRatios(name)
+		if len(r) < 2 {
+			t.Fatalf("%s: missing ratios", name)
+		}
+		for layer, v := range r {
+			if v <= 0 || v >= 1 {
+				t.Fatalf("%s/%s: ratio %v", name, layer, v)
+			}
+		}
+	}
+	if PaperRatios("bogus") != nil {
+		t.Fatal("unknown network should give nil")
+	}
+}

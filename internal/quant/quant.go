@@ -1,0 +1,65 @@
+// Package quant implements the error-controlled linear-scaling quantization
+// at the heart of SZ (Tao et al., IPDPS'17): prediction residuals are mapped
+// to integer codes such that reconstruction error never exceeds the error
+// bound, with an escape code for residuals outside the representable range.
+package quant
+
+// Quantizer maps residuals (value − prediction) to integer codes with a
+// guaranteed |reconstructed − value| ≤ ErrorBound for quantized points.
+//
+// Codes are laid out as in SZ: code 0 is the escape ("unpredictable") marker;
+// quantized residuals map to [1, 2*Radius-1] centred on Radius.
+type Quantizer struct {
+	// ErrorBound is the absolute error bound (> 0).
+	ErrorBound float64
+	// Radius is half the number of quantization intervals. The
+	// representable residual range is ±(Radius−1)·2·ErrorBound.
+	Radius int
+}
+
+// New returns a Quantizer with the given error bound and interval radius.
+// SZ's default capacity of 65536 intervals corresponds to radius 32768.
+func New(errorBound float64, radius int) Quantizer {
+	if errorBound <= 0 {
+		panic("quant: error bound must be positive")
+	}
+	if radius < 2 {
+		panic("quant: radius must be at least 2")
+	}
+	return Quantizer{ErrorBound: errorBound, Radius: radius}
+}
+
+// Encode quantizes residual = value − pred. ok is false when the residual
+// falls outside the representable range (the caller must store the value
+// verbatim and emit code 0). When ok, code is in [1, 2*Radius) and recon is
+// the reconstructed value (pred + dequantized residual), guaranteed within
+// ErrorBound of value.
+func (q Quantizer) Encode(value, pred float64) (code uint32, recon float64, ok bool) {
+	diff := value - pred
+	step := 2 * q.ErrorBound
+	var k int
+	if diff >= 0 {
+		k = int(diff/step + 0.5)
+	} else {
+		k = -int(-diff/step + 0.5)
+	}
+	if k <= -q.Radius || k >= q.Radius {
+		return 0, 0, false
+	}
+	recon = pred + float64(k)*step
+	// Guard against floating-point rounding pushing the reconstruction just
+	// outside the bound; fall back to escape in that case.
+	if d := recon - value; d > q.ErrorBound || d < -q.ErrorBound {
+		return 0, 0, false
+	}
+	return uint32(k + q.Radius), recon, true
+}
+
+// Decode reconstructs a value from a non-escape code and the prediction.
+func (q Quantizer) Decode(code uint32, pred float64) float64 {
+	k := int(code) - q.Radius
+	return pred + float64(k)*2*q.ErrorBound
+}
+
+// IsEscape reports whether code is the escape marker.
+func IsEscape(code uint32) bool { return code == 0 }

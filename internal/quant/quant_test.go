@@ -1,0 +1,118 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeWithinBound(t *testing.T) {
+	q := New(1e-3, 32768)
+	cases := []struct{ value, pred float64 }{
+		{0.5, 0.49}, {0.5, 0.5}, {-0.3, 0.3}, {1e-6, 0}, {-1e-6, 0},
+		{0.123456, 0.123}, {7.5, 7.0},
+	}
+	for _, c := range cases {
+		code, recon, ok := q.Encode(c.value, c.pred)
+		if !ok {
+			t.Fatalf("Encode(%v,%v) escaped unexpectedly", c.value, c.pred)
+		}
+		if IsEscape(code) {
+			t.Fatal("ok encode returned escape code")
+		}
+		if math.Abs(recon-c.value) > q.ErrorBound {
+			t.Fatalf("recon error %v exceeds bound", math.Abs(recon-c.value))
+		}
+		if got := q.Decode(code, c.pred); got != recon {
+			t.Fatalf("Decode = %v, want %v", got, recon)
+		}
+	}
+}
+
+func TestEscapeOnLargeResidual(t *testing.T) {
+	q := New(1e-4, 256)
+	// Residual range is ±(255)·2e-4 ≈ ±0.051; a residual of 1 must escape.
+	if _, _, ok := q.Encode(1.0, 0.0); ok {
+		t.Fatal("large residual should escape")
+	}
+	if _, _, ok := q.Encode(-1.0, 0.0); ok {
+		t.Fatal("large negative residual should escape")
+	}
+}
+
+func TestCodeRange(t *testing.T) {
+	q := New(0.01, 128)
+	for _, v := range []float64{-2, -1, -0.5, 0, 0.5, 1, 2} {
+		code, _, ok := q.Encode(v, 0)
+		if !ok {
+			continue
+		}
+		if code < 1 || code >= uint32(2*q.Radius) {
+			t.Fatalf("code %d out of range for v=%v", code, v)
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	q := New(0.01, 1024)
+	cPos, _, okP := q.Encode(0.255, 0)
+	cNeg, _, okN := q.Encode(-0.255, 0)
+	if !okP || !okN {
+		t.Fatal("unexpected escape")
+	}
+	if int(cPos)-q.Radius != -(int(cNeg) - q.Radius) {
+		t.Fatalf("codes not symmetric: %d vs %d", cPos, cNeg)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 100) },
+		func() { New(-1, 100) },
+		func() { New(1e-3, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickErrorBoundInvariant(t *testing.T) {
+	q := New(1e-3, 32768)
+	f := func(v, p float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.IsNaN(p) || math.IsInf(p, 0) {
+			return true
+		}
+		// Keep magnitudes realistic for weights.
+		v = math.Mod(v, 2)
+		p = math.Mod(p, 2)
+		code, recon, ok := q.Encode(v, p)
+		if !ok {
+			return true // escape path: caller stores verbatim
+		}
+		if math.Abs(recon-v) > q.ErrorBound {
+			return false
+		}
+		return q.Decode(code, p) == recon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeInverseOfEncodeIntervals(t *testing.T) {
+	q := New(0.05, 64)
+	// Every non-escape code must decode to pred + k*2eb exactly.
+	for code := uint32(1); code < uint32(2*q.Radius); code++ {
+		got := q.Decode(code, 1.0)
+		want := 1.0 + float64(int(code)-q.Radius)*0.1
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Decode(%d) = %v, want %v", code, got, want)
+		}
+	}
+}

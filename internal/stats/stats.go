@@ -1,0 +1,97 @@
+// Package stats provides the small numeric helpers the experiment harness
+// reports: error norms, PSNR, and linear correlation.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxAbsError returns L∞(a − b).
+func MaxAbsError(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: length mismatch %d vs %d", len(a), len(b)))
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(float64(a[i]) - float64(b[i])); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MeanAbsError returns L1(a − b)/n.
+func MeanAbsError(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: length mismatch %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(float64(a[i]) - float64(b[i]))
+	}
+	return s / float64(len(a))
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB of b against reference a
+// (peak = value range of a). Returns +Inf for identical arrays.
+func PSNR(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: length mismatch %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return math.Inf(1)
+	}
+	lo, hi := a[0], a[0]
+	var mse float64
+	for i := range a {
+		if a[i] < lo {
+			lo = a[i]
+		}
+		if a[i] > hi {
+			hi = a[i]
+		}
+		d := float64(a[i]) - float64(b[i])
+		mse += d * d
+	}
+	mse /= float64(len(a))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	r := float64(hi) - float64(lo)
+	if r == 0 {
+		r = 1
+	}
+	return 20 * math.Log10(r/math.Sqrt(mse))
+}
+
+// Pearson returns the linear correlation coefficient of (x, y) pairs.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: length mismatch %d vs %d", len(x), len(y)))
+	}
+	n := float64(len(x))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaxAbsError(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{1.5, 2, 2}
+	if got := MaxAbsError(a, b); got != 1 {
+		t.Fatalf("MaxAbsError = %v, want 1", got)
+	}
+	if got := MaxAbsError(a, a); got != 0 {
+		t.Fatalf("identical arrays: %v", got)
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	a := []float32{0, 0, 0, 0}
+	b := []float32{1, -1, 2, 0}
+	if got := MeanAbsError(a, b); got != 1 {
+		t.Fatalf("MeanAbsError = %v, want 1", got)
+	}
+	if MeanAbsError(nil, nil) != 0 {
+		t.Fatal("empty arrays should give 0")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := []float32{0, 1}
+	if !math.IsInf(PSNR(a, a), 1) {
+		t.Fatal("identical arrays should give +Inf PSNR")
+	}
+	b := []float32{0.1, 0.9}
+	// mse = 0.01, range 1 → psnr = 20 log10(1/0.1) = 20.
+	if got := PSNR(a, b); math.Abs(got-20) > 1e-4 {
+		t.Fatalf("PSNR = %v, want 20", got)
+	}
+	// Smaller error → larger PSNR.
+	c := []float32{0.01, 0.99}
+	if PSNR(a, c) <= PSNR(a, b) {
+		t.Fatal("PSNR should grow as error shrinks")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, y); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", got)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, yneg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", got)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if got := Pearson(x, flat); got != 0 {
+		t.Fatalf("zero variance should give 0, got %v", got)
+	}
+	if Pearson([]float64{1}, []float64{2}) != 0 {
+		t.Fatal("n<2 should give 0")
+	}
+}
+
+func TestMismatchPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { MaxAbsError([]float32{1}, []float32{1, 2}) },
+		func() { MeanAbsError([]float32{1}, []float32{1, 2}) },
+		func() { PSNR([]float32{1}, []float32{1, 2}) },
+		func() { Pearson([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

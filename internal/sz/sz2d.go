@@ -1,0 +1,368 @@
+package sz
+
+// 2-D compression, following the multidimensional SZ design (Tao et al.
+// IPDPS'17; Liang et al. 2018): the array is tiled, each tile chooses
+// between the 2-D Lorenzo predictor
+//
+//	pred(i,j) = x̂(i−1,j) + x̂(i,j−1) − x̂(i−1,j−1)
+//
+// (on reconstructed values x̂) and a least-squares plane fit
+// v ≈ a0 + a1·i + a2·j, followed by the same error-controlled quantization,
+// Huffman, and lossless stages as the 1-D path. DeepSZ itself compresses
+// 1-D arrays (§3.3), but the substrate is the general compressor; the 2-D
+// path also powers the dense-matrix ablation.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/huffman"
+	"repro/internal/lossless"
+	"repro/internal/quant"
+)
+
+const (
+	magic2D          = 0x535A4732 // "SZG2"
+	defaultTile      = 16
+	regressionCoeffs = 3
+)
+
+// Compress2D encodes a rows×cols row-major array under opts. Options.
+// BlockSize is interpreted as the square tile edge (default 16).
+func Compress2D(data []float32, rows, cols int, opts Options) ([]byte, error) {
+	if rows < 0 || cols < 0 || rows*cols != len(data) {
+		return nil, fmt.Errorf("sz: 2-D shape %d×%d does not match %d values", rows, cols, len(data))
+	}
+	if opts.BlockSize == 0 {
+		opts.BlockSize = defaultTile
+	}
+	if err := (&opts).fill(); err != nil {
+		return nil, err
+	}
+	eb := AbsBound(data, opts)
+	q := quant.New(eb, opts.Radius)
+	tile := opts.BlockSize
+
+	tilesY := (rows + tile - 1) / tile
+	tilesX := (cols + tile - 1) / tile
+	nTiles := tilesY * tilesX
+
+	recon := make([]float64, len(data))
+	codes := make([]uint32, 0, len(data))
+	var escapes []float32
+	predFlags := make([]byte, nTiles)
+	var coeffs []float32
+
+	at := func(i, j int) float64 { return recon[i*cols+j] }
+
+	ti := 0
+	for ty := 0; ty < tilesY; ty++ {
+		for tx := 0; tx < tilesX; tx++ {
+			i0, j0 := ty*tile, tx*tile
+			i1, j1 := min2(i0+tile, rows), min2(j0+tile, cols)
+
+			usesReg := false
+			var a0, a1, a2 float64
+			if !opts.DisableRegression {
+				a0, a1, a2 = fitPlane(data, cols, i0, j0, i1, j1)
+				if opts.DisableLorenzo {
+					usesReg = true
+				} else {
+					usesReg = planeWins(data, cols, i0, j0, i1, j1, a0, a1, a2, eb)
+				}
+			}
+			if usesReg {
+				predFlags[ti] = predRegress
+				c0, c1, c2 := float32(a0), float32(a1), float32(a2)
+				coeffs = append(coeffs, c0, c1, c2)
+				for i := i0; i < i1; i++ {
+					for j := j0; j < j1; j++ {
+						pred := float64(c0) + float64(c1)*float64(i-i0) + float64(c2)*float64(j-j0)
+						v := sanitize(float64(data[i*cols+j]))
+						code, r, ok := q.Encode(v, pred)
+						if !ok {
+							codes = append(codes, 0)
+							escapes = append(escapes, data[i*cols+j])
+							r = v
+						} else {
+							codes = append(codes, code)
+						}
+						recon[i*cols+j] = r
+					}
+				}
+			} else {
+				predFlags[ti] = predLorenzo
+				for i := i0; i < i1; i++ {
+					for j := j0; j < j1; j++ {
+						pred := lorenzo2D(at, i, j)
+						v := sanitize(float64(data[i*cols+j]))
+						code, r, ok := q.Encode(v, pred)
+						if !ok {
+							codes = append(codes, 0)
+							escapes = append(escapes, data[i*cols+j])
+							r = v
+						} else {
+							codes = append(codes, code)
+						}
+						recon[i*cols+j] = r
+					}
+				}
+			}
+			ti++
+		}
+	}
+
+	payload := make([]byte, 0, len(data)/2)
+	payload = append(payload, packBits(predFlags)...)
+	for _, c := range coeffs {
+		payload = binary.LittleEndian.AppendUint32(payload, math.Float32bits(c))
+	}
+	hblob := huffman.Encode(codes)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(hblob)))
+	payload = append(payload, hblob...)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(escapes)))
+	for _, e := range escapes {
+		payload = binary.LittleEndian.AppendUint32(payload, math.Float32bits(e))
+	}
+	llFlag := byte(0)
+	if !opts.DisableLossless {
+		comp := lossless.ZstdLike{}
+		if cp := comp.Compress(payload); len(cp) < len(payload) {
+			payload = cp
+			llFlag = byte(comp.ID())
+		}
+	}
+
+	out := make([]byte, 0, 40+len(payload))
+	out = binary.LittleEndian.AppendUint32(out, magic2D)
+	out = append(out, version, llFlag, byte(opts.Mode), 0)
+	out = binary.LittleEndian.AppendUint64(out, uint64(rows))
+	out = binary.LittleEndian.AppendUint64(out, uint64(cols))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(eb))
+	out = binary.LittleEndian.AppendUint32(out, uint32(tile))
+	out = binary.LittleEndian.AppendUint32(out, uint32(opts.Radius))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	return append(out, payload...), nil
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// lorenzo2D predicts from already-reconstructed west/north/north-west
+// neighbours, degrading to 1-D or zero prediction at the borders.
+func lorenzo2D(at func(i, j int) float64, i, j int) float64 {
+	switch {
+	case i > 0 && j > 0:
+		return at(i-1, j) + at(i, j-1) - at(i-1, j-1)
+	case i > 0:
+		return at(i-1, j)
+	case j > 0:
+		return at(i, j-1)
+	}
+	return 0
+}
+
+// fitPlane least-squares fits v ≈ a0 + a1·(i−i0) + a2·(j−j0) over the tile.
+func fitPlane(data []float32, cols, i0, j0, i1, j1 int) (a0, a1, a2 float64) {
+	// Local coordinates are separable, so the normal equations reduce to
+	// independent slopes around the means.
+	var n, sy, sx, sv, syv, sxv, syy, sxx float64
+	for i := i0; i < i1; i++ {
+		for j := j0; j < j1; j++ {
+			y, x := float64(i-i0), float64(j-j0)
+			v := sanitize(float64(data[i*cols+j]))
+			n++
+			sy += y
+			sx += x
+			sv += v
+			syv += y * v
+			sxv += x * v
+			syy += y * y
+			sxx += x * x
+		}
+	}
+	my, mx, mv := sy/n, sx/n, sv/n
+	denY := syy - n*my*my
+	denX := sxx - n*mx*mx
+	if denY > 0 {
+		a1 = (syv - n*my*mv) / denY
+	}
+	if denX > 0 {
+		a2 = (sxv - n*mx*mv) / denX
+	}
+	a0 = mv - a1*my - a2*mx
+	return a0, a1, a2
+}
+
+// planeWins estimates the entropy-coded cost of both predictors on the tile
+// (Lorenzo approximated on original values) and reports whether the plane
+// fit is expected to win after its coefficient overhead.
+func planeWins(data []float32, cols, i0, j0, i1, j1 int, a0, a1, a2, eb float64) bool {
+	step := 2 * eb
+	lorHist := make(map[int]int, 8)
+	regHist := make(map[int]int, 8)
+	orig := func(i, j int) float64 { return sanitize(float64(data[i*cols+j])) }
+	n := 0.0
+	for i := i0; i < i1; i++ {
+		for j := j0; j < j1; j++ {
+			v := orig(i, j)
+			var pred float64
+			switch {
+			case i > i0 && j > j0:
+				pred = orig(i-1, j) + orig(i, j-1) - orig(i-1, j-1)
+			case i > i0:
+				pred = orig(i-1, j)
+			case j > j0:
+				pred = orig(i, j-1)
+			}
+			lorHist[quantIndex(v-pred, step)]++
+			regHist[quantIndex(v-(a0+a1*float64(i-i0)+a2*float64(j-j0)), step)]++
+			n++
+		}
+	}
+	return entropyBits(regHist, n)+regressionCoeffs*32 < entropyBits(lorHist, n)
+}
+
+// Decompress2D reverses Compress2D, returning the array and its shape.
+func Decompress2D(blob []byte) (data []float32, rows, cols int, err error) {
+	if len(blob) < 44 {
+		return nil, 0, 0, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(blob[0:4]) != magic2D {
+		return nil, 0, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if blob[4] != version {
+		return nil, 0, 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, blob[4])
+	}
+	llFlag := blob[5]
+	rows = int(binary.LittleEndian.Uint64(blob[8:16]))
+	cols = int(binary.LittleEndian.Uint64(blob[16:24]))
+	eb := math.Float64frombits(binary.LittleEndian.Uint64(blob[24:32]))
+	tile := int(binary.LittleEndian.Uint32(blob[32:36]))
+	radius := int(binary.LittleEndian.Uint32(blob[36:40]))
+	payloadLen := int(binary.LittleEndian.Uint32(blob[40:44]))
+	if len(blob) < 44+payloadLen {
+		return nil, 0, 0, fmt.Errorf("%w: truncated payload", ErrCorrupt)
+	}
+	payload := blob[44 : 44+payloadLen]
+	if llFlag != 0 {
+		c, err := lossless.ByID(lossless.ID(llFlag))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		payload, err = c.Decompress(payload)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("sz: lossless stage: %w", err)
+		}
+	}
+	if rows < 0 || cols < 0 {
+		return nil, 0, 0, fmt.Errorf("%w: negative shape", ErrCorrupt)
+	}
+	n := rows * cols
+	if n == 0 {
+		return []float32{}, rows, cols, nil
+	}
+	if tile < 1 || radius < 2 || eb <= 0 {
+		return nil, 0, 0, fmt.Errorf("%w: bad header fields", ErrCorrupt)
+	}
+	if uint64(n) > uint64(len(payload))*8 {
+		return nil, 0, 0, fmt.Errorf("%w: value count exceeds payload capacity", ErrCorrupt)
+	}
+
+	tilesY := (rows + tile - 1) / tile
+	tilesX := (cols + tile - 1) / tile
+	nTiles := tilesY * tilesX
+	flagBytes := (nTiles + 7) / 8
+	if len(payload) < flagBytes {
+		return nil, 0, 0, ErrCorrupt
+	}
+	predFlags := unpackBits(payload[:flagBytes], nTiles)
+	off := flagBytes
+	nReg := 0
+	for _, f := range predFlags {
+		if f == predRegress {
+			nReg++
+		}
+	}
+	if len(payload) < off+nReg*regressionCoeffs*4+4 {
+		return nil, 0, 0, ErrCorrupt
+	}
+	coeffs := make([]float32, regressionCoeffs*nReg)
+	for i := range coeffs {
+		coeffs[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+	}
+	hLen := int(binary.LittleEndian.Uint32(payload[off:]))
+	off += 4
+	if hLen < 0 || len(payload) < off+hLen+4 {
+		return nil, 0, 0, ErrCorrupt
+	}
+	codes, err := huffman.Decode(payload[off : off+hLen])
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("sz: %w", err)
+	}
+	off += hLen
+	nEsc := int(binary.LittleEndian.Uint32(payload[off:]))
+	off += 4
+	if nEsc < 0 || len(payload) < off+nEsc*4 {
+		return nil, 0, 0, ErrCorrupt
+	}
+	escapes := make([]float32, nEsc)
+	for i := range escapes {
+		escapes[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+	}
+	if len(codes) != n {
+		return nil, 0, 0, fmt.Errorf("%w: %d codes for %d values", ErrCorrupt, len(codes), n)
+	}
+
+	q := quant.New(eb, radius)
+	recon := make([]float64, n)
+	out := make([]float32, n)
+	at := func(i, j int) float64 { return recon[i*cols+j] }
+	ci, escIdx, regIdx, ti := 0, 0, 0, 0
+	for ty := 0; ty < tilesY; ty++ {
+		for tx := 0; tx < tilesX; tx++ {
+			i0, j0 := ty*tile, tx*tile
+			i1, j1 := min2(i0+tile, rows), min2(j0+tile, cols)
+			isReg := predFlags[ti] == predRegress
+			var c0, c1, c2 float64
+			if isReg {
+				c0 = float64(coeffs[regressionCoeffs*regIdx])
+				c1 = float64(coeffs[regressionCoeffs*regIdx+1])
+				c2 = float64(coeffs[regressionCoeffs*regIdx+2])
+				regIdx++
+			}
+			for i := i0; i < i1; i++ {
+				for j := j0; j < j1; j++ {
+					var pred float64
+					if isReg {
+						pred = c0 + c1*float64(i-i0) + c2*float64(j-j0)
+					} else {
+						pred = lorenzo2D(at, i, j)
+					}
+					var r float64
+					if quant.IsEscape(codes[ci]) {
+						if escIdx >= nEsc {
+							return nil, 0, 0, fmt.Errorf("%w: escape underflow", ErrCorrupt)
+						}
+						r = float64(escapes[escIdx])
+						escIdx++
+					} else {
+						r = q.Decode(codes[ci], pred)
+					}
+					recon[i*cols+j] = r
+					out[i*cols+j] = float32(r)
+					ci++
+				}
+			}
+			ti++
+		}
+	}
+	return out, rows, cols, nil
+}

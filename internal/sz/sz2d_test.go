@@ -1,0 +1,215 @@
+package sz
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func checkRoundTrip2D(t *testing.T, data []float32, rows, cols int, opts Options) []byte {
+	t.Helper()
+	blob, err := Compress2D(data, rows, cols, opts)
+	if err != nil {
+		t.Fatalf("Compress2D: %v", err)
+	}
+	got, r, c, err := Decompress2D(blob)
+	if err != nil {
+		t.Fatalf("Decompress2D: %v", err)
+	}
+	if r != rows || c != cols || len(got) != len(data) {
+		t.Fatalf("shape %d×%d (%d), want %d×%d", r, c, len(got), rows, cols)
+	}
+	eb := AbsBound(data, opts)
+	tol := boundTol(eb)
+	for i := range data {
+		if d := math.Abs(float64(got[i]) - float64(data[i])); d > tol {
+			t.Fatalf("element %d: error %g exceeds bound %g", i, d, eb)
+		}
+	}
+	return blob
+}
+
+func smooth2D(rows, cols int, noise float64, rng *tensor.RNG) []float32 {
+	data := make([]float32, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := math.Sin(float64(i)*0.07)*math.Cos(float64(j)*0.05) + rng.NormFloat64()*noise
+			data[i*cols+j] = float32(v)
+		}
+	}
+	return data
+}
+
+func TestRoundTrip2DShapes(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	for _, sh := range [][2]int{{1, 1}, {1, 100}, {100, 1}, {16, 16}, {17, 31}, {64, 128}} {
+		data := make([]float32, sh[0]*sh[1])
+		rng.FillNormal(data, 0, 0.1)
+		checkRoundTrip2D(t, data, sh[0], sh[1], Options{ErrorBound: 1e-3})
+	}
+}
+
+func TestRoundTrip2DEmpty(t *testing.T) {
+	blob, err := Compress2D(nil, 0, 0, Options{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, r, c, err := Decompress2D(blob)
+	if err != nil || r != 0 || c != 0 || len(got) != 0 {
+		t.Fatalf("empty 2-D round trip: %v %d %d", err, r, c)
+	}
+}
+
+func TestCompress2DShapeMismatch(t *testing.T) {
+	if _, err := Compress2D(make([]float32, 10), 3, 4, Options{ErrorBound: 1e-3}); err == nil {
+		t.Fatal("expected error for shape mismatch")
+	}
+}
+
+func Test2DBeats1DOnSmoothFields(t *testing.T) {
+	// A smooth 2-D field has structure along both axes; the 2-D Lorenzo /
+	// plane predictors must exploit the vertical correlation the 1-D path
+	// cannot see.
+	rng := tensor.NewRNG(2)
+	rows, cols := 96, 96
+	data := smooth2D(rows, cols, 1e-4, rng)
+	opts := Options{ErrorBound: 1e-3}
+	blob2, err := Compress2D(data, rows, cols, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob1, err := Compress(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob2) >= len(blob1) {
+		t.Fatalf("2-D (%d B) should beat 1-D (%d B) on smooth fields", len(blob2), len(blob1))
+	}
+}
+
+func TestErrorBound2DSweep(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	data := smooth2D(40, 50, 0.05, rng)
+	for _, eb := range []float64{1e-2, 1e-3, 1e-4} {
+		checkRoundTrip2D(t, data, 40, 50, Options{ErrorBound: eb})
+	}
+}
+
+func TestPredictor2DAblation(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	data := smooth2D(32, 32, 1e-3, rng)
+	checkRoundTrip2D(t, data, 32, 32, Options{ErrorBound: 1e-3, DisableRegression: true})
+	checkRoundTrip2D(t, data, 32, 32, Options{ErrorBound: 1e-3, DisableLorenzo: true})
+}
+
+func TestFitPlaneExact(t *testing.T) {
+	// v = 2 + 0.5 i − 0.25 j fits exactly.
+	rows, cols := 8, 8
+	data := make([]float32, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			data[i*cols+j] = float32(2 + 0.5*float64(i) - 0.25*float64(j))
+		}
+	}
+	a0, a1, a2 := fitPlane(data, cols, 0, 0, rows, cols)
+	if math.Abs(a0-2) > 1e-6 || math.Abs(a1-0.5) > 1e-6 || math.Abs(a2+0.25) > 1e-6 {
+		t.Fatalf("fitPlane = (%v, %v, %v)", a0, a1, a2)
+	}
+}
+
+func TestLorenzo2DBorders(t *testing.T) {
+	grid := []float64{
+		1, 2,
+		3, 4,
+	}
+	at := func(i, j int) float64 { return grid[i*2+j] }
+	if got := lorenzo2D(at, 0, 0); got != 0 {
+		t.Fatalf("corner pred = %v", got)
+	}
+	if got := lorenzo2D(at, 0, 1); got != 1 {
+		t.Fatalf("top edge pred = %v", got)
+	}
+	if got := lorenzo2D(at, 1, 0); got != 1 {
+		t.Fatalf("left edge pred = %v", got)
+	}
+	if got := lorenzo2D(at, 1, 1); got != 3+2-1 {
+		t.Fatalf("interior pred = %v", got)
+	}
+}
+
+func TestDecompress2DCorrupt(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	data := smooth2D(20, 20, 0.01, rng)
+	blob, _ := Compress2D(data, 20, 20, Options{ErrorBound: 1e-3})
+	if _, _, _, err := Decompress2D(blob[:30]); err == nil {
+		t.Fatal("expected error for truncated header")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF
+	if _, _, _, err := Decompress2D(bad); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, _, _, err := Decompress2D(blob[:len(blob)-4]); err == nil {
+		t.Fatal("expected error for truncated payload")
+	}
+	// 1-D blobs must be rejected by the 2-D decoder and vice versa.
+	blob1, _ := Compress(data, Options{ErrorBound: 1e-3})
+	if _, _, _, err := Decompress2D(blob1); err == nil {
+		t.Fatal("2-D decoder accepted a 1-D stream")
+	}
+	if _, err := Decompress(blob); err == nil {
+		t.Fatal("1-D decoder accepted a 2-D stream")
+	}
+}
+
+func TestDecompress2DSurvivesRandomCorruption(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	data := smooth2D(24, 24, 0.01, rng)
+	blob, _ := Compress2D(data, 24, 24, Options{ErrorBound: 1e-3})
+	for trial := 0; trial < 300; trial++ {
+		bad := append([]byte(nil), blob...)
+		for i := 0; i < 1+rng.Intn(12); i++ {
+			p := rng.Intn(len(bad))
+			bad[p] ^= 1 << rng.Intn(8)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic: %v", trial, r)
+				}
+			}()
+			_, _, _, _ = Decompress2D(bad)
+		}()
+	}
+}
+
+func TestQuick2DErrorBoundInvariant(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	f := func(seed uint32, ebExp uint8) bool {
+		rows := 1 + int(seed%60)
+		cols := 1 + int((seed/64)%60)
+		eb := math.Pow(10, -float64(1+ebExp%4))
+		data := make([]float32, rows*cols)
+		rng.FillNormal(data, 0, 0.1)
+		blob, err := Compress2D(data, rows, cols, Options{ErrorBound: eb})
+		if err != nil {
+			return false
+		}
+		got, r, c, err := Decompress2D(blob)
+		if err != nil || r != rows || c != cols {
+			return false
+		}
+		tol := boundTol(eb)
+		for i := range data {
+			if math.Abs(float64(got[i])-float64(data[i])) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,275 @@
+package sz
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// boundTol accounts for the final float64→float32 rounding of reconstructed
+// values, which can add at most half a float32 ULP on top of the bound.
+func boundTol(eb float64) float64 { return eb*1.0001 + 1e-7 }
+
+func checkRoundTrip(t *testing.T, data []float32, opts Options) []byte {
+	t.Helper()
+	blob, err := Compress(data, opts)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	got, err := Decompress(blob)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("length %d, want %d", len(got), len(data))
+	}
+	eb := AbsBound(data, opts)
+	tol := boundTol(eb)
+	for i := range data {
+		if d := math.Abs(float64(got[i]) - float64(data[i])); d > tol {
+			t.Fatalf("element %d: error %g exceeds bound %g (orig %v, got %v)",
+				i, d, eb, data[i], got[i])
+		}
+	}
+	return blob
+}
+
+func weightLike(rng *tensor.RNG, n int) []float32 {
+	data := make([]float32, n)
+	rng.FillNormal(data, 0, 0.05) // trained fc weights: ~N(0, 0.05)
+	return data
+}
+
+func TestRoundTripWeightLike(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	for _, n := range []int{1, 3, 127, 128, 129, 1000, 50000} {
+		checkRoundTrip(t, weightLike(rng, n), Options{ErrorBound: 1e-3})
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	blob, err := Compress(nil, Options{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(blob)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v %v", got, err)
+	}
+}
+
+func TestErrorBoundSweep(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	data := weightLike(rng, 20000)
+	for _, eb := range []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5} {
+		checkRoundTrip(t, data, Options{ErrorBound: eb})
+	}
+}
+
+func TestRatioGrowsWithErrorBound(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	data := weightLike(rng, 50000)
+	var prev float64
+	for _, eb := range []float64{1e-4, 1e-3, 1e-2} {
+		blob, err := Compress(data, Options{ErrorBound: eb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Ratio(len(data), blob)
+		if r <= prev {
+			t.Fatalf("ratio should grow with eb: eb=%g ratio=%.2f prev=%.2f", eb, r, prev)
+		}
+		prev = r
+	}
+	if prev < 4 {
+		t.Fatalf("eb=1e-2 on weight-like data should exceed 4x, got %.2f", prev)
+	}
+}
+
+func TestSmoothDataUsesRegressionAndCompressesWell(t *testing.T) {
+	// A noisy ramp favours the regression predictor.
+	rng := tensor.NewRNG(4)
+	n := 10000
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(float64(i)*1e-4 + rng.NormFloat64()*1e-5)
+	}
+	blobAdaptive := checkRoundTrip(t, data, Options{ErrorBound: 1e-4})
+	blobLorenzo := checkRoundTrip(t, data, Options{ErrorBound: 1e-4, DisableRegression: true})
+	if len(blobAdaptive) > len(blobLorenzo) {
+		t.Fatalf("adaptive (%d) should not lose to lorenzo-only (%d) on ramps",
+			len(blobAdaptive), len(blobLorenzo))
+	}
+}
+
+func TestPredictorAblationModes(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	data := weightLike(rng, 5000)
+	checkRoundTrip(t, data, Options{ErrorBound: 1e-3, DisableRegression: true})
+	checkRoundTrip(t, data, Options{ErrorBound: 1e-3, DisableLorenzo: true})
+	if _, err := Compress(data, Options{ErrorBound: 1e-3, DisableLorenzo: true, DisableRegression: true}); err == nil {
+		t.Fatal("disabling both predictors must error")
+	}
+}
+
+func TestRelMode(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	data := weightLike(rng, 10000)
+	opts := Options{Mode: ModeRel, ErrorBound: 1e-3}
+	checkRoundTrip(t, data, opts)
+	lo, hi := minMax(data)
+	wantEB := 1e-3 * (float64(hi) - float64(lo))
+	if got := AbsBound(data, opts); math.Abs(got-wantEB) > 1e-12 {
+		t.Fatalf("rel AbsBound = %g, want %g", got, wantEB)
+	}
+}
+
+func TestPSNRMode(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	data := weightLike(rng, 20000)
+	opts := Options{Mode: ModePSNR, ErrorBound: 60} // 60 dB
+	blob := checkRoundTrip(t, data, opts)
+	got, _ := Decompress(blob)
+	// Measure actual PSNR; must be at least the target.
+	lo, hi := minMax(data)
+	rangeV := float64(hi) - float64(lo)
+	var mse float64
+	for i := range data {
+		d := float64(got[i]) - float64(data[i])
+		mse += d * d
+	}
+	mse /= float64(len(data))
+	psnr := 20 * math.Log10(rangeV/math.Sqrt(mse))
+	if psnr < 60 {
+		t.Fatalf("achieved PSNR %.1f dB below target 60", psnr)
+	}
+}
+
+func TestEscapesAndOutliers(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	data := weightLike(rng, 2000)
+	// Inject huge outliers that exceed the representable residual range of a
+	// small radius, forcing the escape path.
+	for i := 100; i < len(data); i += 100 {
+		data[i] = float32(1e6 * rng.NormFloat64())
+	}
+	checkRoundTrip(t, data, Options{ErrorBound: 1e-4, Radius: 16})
+}
+
+func TestNaNInfHandled(t *testing.T) {
+	data := []float32{1, float32(math.NaN()), 2, float32(math.Inf(1)), 3, float32(math.Inf(-1)), 4}
+	blob, err := Compress(data, Options{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finite values must respect the bound; non-finite are sanitized to ~0.
+	for _, i := range []int{0, 2, 4, 6} {
+		if math.Abs(float64(got[i])-float64(data[i])) > boundTol(1e-3) {
+			t.Fatalf("finite value %d out of bound", i)
+		}
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	data := []float32{1, 2, 3}
+	for _, o := range []Options{
+		{ErrorBound: 0},
+		{ErrorBound: -1},
+		{ErrorBound: 1e-3, BlockSize: 2},
+		{ErrorBound: 1e-3, Radius: 1},
+	} {
+		if _, err := Compress(data, o); err == nil {
+			t.Fatalf("expected error for options %+v", o)
+		}
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	blob, _ := Compress(weightLike(rng, 1000), Options{ErrorBound: 1e-3})
+	if _, err := Decompress(blob[:20]); err == nil {
+		t.Fatal("expected error for truncated header")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF
+	if _, err := Decompress(bad); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := Decompress(blob[:len(blob)-5]); err == nil {
+		t.Fatal("expected error for truncated payload")
+	}
+}
+
+func TestLosslessStageToggle(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	data := weightLike(rng, 30000)
+	with, _ := Compress(data, Options{ErrorBound: 1e-2})
+	without, _ := Compress(data, Options{ErrorBound: 1e-2, DisableLossless: true})
+	if len(with) > len(without) {
+		t.Fatalf("lossless stage made blob bigger: %d vs %d", len(with), len(without))
+	}
+	for _, blob := range [][]byte{with, without} {
+		got, err := Decompress(blob)
+		if err != nil || len(got) != len(data) {
+			t.Fatal("toggle round trip failed")
+		}
+	}
+}
+
+func TestQuickErrorBoundInvariant(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	f := func(seed uint32, ebExp uint8) bool {
+		n := 200 + int(seed%2000)
+		eb := math.Pow(10, -float64(1+ebExp%5)) // 1e-1 .. 1e-5
+		data := make([]float32, n)
+		rng.FillNormal(data, 0, 0.1)
+		blob, err := Compress(data, Options{ErrorBound: eb})
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(blob)
+		if err != nil || len(got) != n {
+			return false
+		}
+		tol := boundTol(eb)
+		for i := range data {
+			if math.Abs(float64(got[i])-float64(data[i])) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	// Exact line should fit perfectly.
+	block := []float32{1, 3, 5, 7, 9}
+	a0, a1 := fitLine(block)
+	if math.Abs(a0-1) > 1e-9 || math.Abs(a1-2) > 1e-9 {
+		t.Fatalf("fitLine = (%v, %v), want (1, 2)", a0, a1)
+	}
+	a0, a1 = fitLine([]float32{4})
+	if a0 != 4 || a1 != 0 {
+		t.Fatalf("single-point fit = (%v, %v)", a0, a1)
+	}
+}
+
+func TestPackUnpackBits(t *testing.T) {
+	flags := []byte{1, 0, 1, 1, 0, 0, 0, 1, 1, 0, 1}
+	packed := packBits(flags)
+	got := unpackBits(packed, len(flags))
+	for i := range flags {
+		if got[i] != flags[i] {
+			t.Fatalf("bit %d = %d, want %d", i, got[i], flags[i])
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MatMul computes C = A·B where A is (m×k) and B is (k×n), returning a new
+// (m×n) tensor. Work is split across GOMAXPROCS goroutines by rows of A.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMul inner dimension mismatch")
+	}
+	c := New(m, n)
+	matMulInto(c.Data, a.Data, b.Data, m, k, n)
+	return c
+}
+
+// MatMulTransB computes C = A·Bᵀ where A is (m×k) and B is (n×k), returning a
+// new (m×n) tensor. This is the natural layout for fully connected layers
+// whose weight matrix is stored (out × in).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransB requires rank-2 tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMulTransB inner dimension mismatch")
+	}
+	c := New(m, n)
+	parallelRows(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Data[i*k : (i+1)*k]
+			cr := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				br := b.Data[j*k : (j+1)*k]
+				var s float32
+				for p := range ar {
+					s += ar[p] * br[p]
+				}
+				cr[j] = s
+			}
+		}
+	})
+	return c
+}
+
+// MatMulTransA computes C = Aᵀ·B where A is (k×m) and B is (k×n), returning a
+// new (m×n) tensor. Used by dense-layer backward passes.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransA requires rank-2 tensors")
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMulTransA inner dimension mismatch")
+	}
+	c := New(m, n)
+	parallelRows(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cr := c.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a.Data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				br := b.Data[p*n : (p+1)*n]
+				for j := range cr {
+					cr[j] += av * br[j]
+				}
+			}
+		}
+	})
+	return c
+}
+
+// matMulInto computes c = a·b with a (m×k), b (k×n), using an ikj loop order
+// that streams rows of b.
+func matMulInto(c, a, b []float32, m, k, n int) {
+	parallelRows(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cr := c[i*n : (i+1)*n]
+			ar := a[i*k : (i+1)*k]
+			for p, av := range ar {
+				if av == 0 {
+					continue
+				}
+				br := b[p*n : (p+1)*n]
+				for j := range cr {
+					cr[j] += av * br[j]
+				}
+			}
+		}
+	})
+}
+
+// parallelRows splits [0, m) into contiguous chunks and runs fn on each chunk
+// in its own goroutine. Small ranges run inline to avoid scheduling overhead.
+func parallelRows(m int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m < 16 {
+		fn(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelFor runs fn over [0, n) split across GOMAXPROCS goroutines.
+// It is exported for batch-parallel layer kernels.
+func ParallelFor(n int, fn func(lo, hi int)) { parallelRows(n, fn) }

@@ -1,0 +1,199 @@
+// Package tensor provides dense float32 tensors and the numeric kernels
+// (parallel matrix multiplication, vector primitives, seeded RNG) used by the
+// neural-network engine and the compressors in this repository.
+//
+// Tensors are row-major. The zero value of Tensor is not usable; create
+// tensors with New or FromSlice.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major float32 array with an explicit shape.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor with the given shape. The slice is not
+// copied; len(data) must equal the shape's element count.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v wants %d elements, got %d", shape, n, len(data)))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's data with a new shape. The element
+// count must match.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v", t.Shape, len(t.Data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d != tensor rank %d", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + ix
+	}
+	return off
+}
+
+// Fill sets every element of t to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element of t to zero.
+func (t *Tensor) Zero() {
+	clear(t.Data)
+}
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.Shape) != len(u.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != u.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AddInPlace computes t += u elementwise.
+func (t *Tensor) AddInPlace(u *Tensor) {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: AddInPlace size mismatch")
+	}
+	for i, v := range u.Data {
+		t.Data[i] += v
+	}
+}
+
+// ScaleInPlace computes t *= s elementwise.
+func (t *Tensor) ScaleInPlace(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AxpyInPlace computes t += a*u elementwise.
+func (t *Tensor) AxpyInPlace(a float32, u *Tensor) {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: AxpyInPlace size mismatch")
+	}
+	for i, v := range u.Data {
+		t.Data[i] += a * v
+	}
+}
+
+// MaxAbs returns the largest absolute value in t, or 0 for an empty tensor.
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.Data {
+		a := float32(math.Abs(float64(v)))
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// MinMax returns the smallest and largest values in t. For an empty tensor it
+// returns (0, 0).
+func (t *Tensor) MinMax() (min, max float32) {
+	if len(t.Data) == 0 {
+		return 0, 0
+	}
+	min, max = t.Data[0], t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Dot returns the inner product of a and b, accumulated in float64 for
+// stability.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// String renders small tensors for debugging.
+func (t *Tensor) String() string {
+	if len(t.Data) > 32 {
+		return fmt.Sprintf("Tensor%v[%d elems]", t.Shape, len(t.Data))
+	}
+	return fmt.Sprintf("Tensor%v%v", t.Shape, t.Data)
+}

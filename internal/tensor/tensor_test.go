@@ -1,0 +1,331 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	tn := New(2, 3, 4)
+	if tn.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", tn.Len())
+	}
+	if tn.Rank() != 3 {
+		t.Fatalf("Rank = %d, want 3", tn.Rank())
+	}
+	if tn.Dim(1) != 3 {
+		t.Fatalf("Dim(1) = %d, want 3", tn.Dim(1))
+	}
+	for _, v := range tn.Data {
+		if v != 0 {
+			t.Fatal("New tensor not zero-filled")
+		}
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSliceMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for size mismatch")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	tn := New(3, 4)
+	tn.Set(7.5, 2, 1)
+	if got := tn.At(2, 1); got != 7.5 {
+		t.Fatalf("At(2,1) = %v, want 7.5", got)
+	}
+	if got := tn.Data[2*4+1]; got != 7.5 {
+		t.Fatalf("row-major offset wrong: %v", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	tn := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	tn.At(2, 0)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !a.SameShape(b) {
+		t.Fatal("Clone changed shape")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, 2)
+	b.Data[5] = 42
+	if a.Data[5] != 42 {
+		t.Fatal("Reshape must share underlying data")
+	}
+}
+
+func TestReshapeBadSizePanics(t *testing.T) {
+	a := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Reshape(4, 2)
+}
+
+func TestFillZeroMinMax(t *testing.T) {
+	a := New(5)
+	a.Fill(-2)
+	min, max := a.MinMax()
+	if min != -2 || max != -2 {
+		t.Fatalf("MinMax after Fill = (%v,%v)", min, max)
+	}
+	a.Data[3] = 7
+	min, max = a.MinMax()
+	if min != -2 || max != 7 {
+		t.Fatalf("MinMax = (%v,%v), want (-2,7)", min, max)
+	}
+	if a.MaxAbs() != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", a.MaxAbs())
+	}
+	a.Zero()
+	if a.MaxAbs() != 0 {
+		t.Fatal("Zero did not clear data")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{10, 20, 30}, 3)
+	a.AddInPlace(b)
+	if a.Data[2] != 33 {
+		t.Fatalf("AddInPlace: %v", a.Data)
+	}
+	a.ScaleInPlace(2)
+	if a.Data[0] != 22 {
+		t.Fatalf("ScaleInPlace: %v", a.Data)
+	}
+	a.AxpyInPlace(-1, b)
+	if a.Data[1] != 24 { // 44 - 20
+		t.Fatalf("AxpyInPlace: %v", a.Data)
+	}
+}
+
+func TestDot(t *testing.T) {
+	got := Dot([]float32{1, 2, 3}, []float32{4, 5, 6})
+	if got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += float64(a.At(i, p)) * float64(b.At(p, j))
+			}
+			c.Set(float32(s), i, j)
+		}
+	}
+	return c
+}
+
+func randTensor(rng *RNG, shape ...int) *Tensor {
+	t := New(shape...)
+	rng.FillNormal(t.Data, 0, 1)
+	return t
+}
+
+func tensorsClose(a, b *Tensor, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(float64(a.Data[i]-b.Data[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := NewRNG(1)
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {17, 9, 23}, {64, 32, 48}} {
+		a := randTensor(rng, dims[0], dims[1])
+		b := randTensor(rng, dims[1], dims[2])
+		got := MatMul(a, b)
+		want := naiveMatMul(a, b)
+		if !tensorsClose(got, want, 1e-3) {
+			t.Fatalf("MatMul mismatch for dims %v", dims)
+		}
+	}
+}
+
+func TestMatMulTransBMatchesNaive(t *testing.T) {
+	rng := NewRNG(2)
+	a := randTensor(rng, 13, 7)
+	bt := randTensor(rng, 11, 7) // (n × k)
+	// Build b = btᵀ for the naive reference.
+	b := New(7, 11)
+	for i := 0; i < 11; i++ {
+		for j := 0; j < 7; j++ {
+			b.Set(bt.At(i, j), j, i)
+		}
+	}
+	got := MatMulTransB(a, bt)
+	want := naiveMatMul(a, b)
+	if !tensorsClose(got, want, 1e-3) {
+		t.Fatal("MatMulTransB mismatch")
+	}
+}
+
+func TestMatMulTransAMatchesNaive(t *testing.T) {
+	rng := NewRNG(3)
+	at := randTensor(rng, 9, 14) // (k × m)
+	b := randTensor(rng, 9, 5)
+	a := New(14, 9)
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 14; j++ {
+			a.Set(at.At(i, j), j, i)
+		}
+	}
+	got := MatMulTransA(at, b)
+	want := naiveMatMul(a, b)
+	if !tensorsClose(got, want, 1e-3) {
+		t.Fatal("MatMulTransA mismatch")
+	}
+}
+
+func TestMatMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 16, 100, 1000} {
+		seen := make([]int32, n)
+		ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical streams")
+	}
+}
+
+func TestRNGFloatRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if f := r.Float32(); f < 0 || f >= 1 {
+			t.Fatalf("Float32 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	n := 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v", variance)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation at %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(9)
+	if err := quick.Check(func(x uint16) bool {
+		n := int(x%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillUniformBounds(t *testing.T) {
+	r := NewRNG(13)
+	buf := make([]float32, 1000)
+	r.FillUniform(buf, -0.5, 0.5)
+	for _, v := range buf {
+		if v < -0.5 || v >= 0.5 {
+			t.Fatalf("uniform out of range: %v", v)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+// Package weightless implements the Weightless baseline (Reagen et al.,
+// ICML 2018): lossy weight encoding with a Bloomier filter. Nonzero pruned
+// weights are clustered onto a 2^t-value codebook; the map position→code is
+// stored in a Bloomier filter (XOR construction over k=4 hash cells, built
+// by hypergraph peeling). Queries for pruned positions return "absent" with
+// probability 1 − 2^−check, so decoding is approximate — the source of the
+// accuracy loss and of the slow, hash-heavy decode the paper measures.
+package weightless
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bitstream"
+	"repro/internal/cluster"
+)
+
+const (
+	// numHashes is the paper's four hash functions per query.
+	numHashes = 4
+	// loadFactor sizes the table: m = loadFactor · n cells (4-uniform
+	// hypergraphs peel with high probability above ~1.30).
+	loadFactor = 1.35
+	// maxAttempts bounds re-seeding when peeling fails.
+	maxAttempts = 32
+)
+
+// ErrConstruction is returned when no acyclic hash assignment is found.
+var ErrConstruction = errors.New("weightless: bloomier construction failed")
+
+// ErrCorrupt is returned for structurally invalid blobs.
+var ErrCorrupt = errors.New("weightless: corrupt stream")
+
+// Options configures encoding.
+type Options struct {
+	// ValueBits is t, the codebook width (codebook has 2^t entries).
+	ValueBits int
+	// CheckBits controls the false-positive rate 2^−CheckBits for pruned
+	// positions (default 4).
+	CheckBits int
+	// KMeansIters bounds codebook clustering (default 15).
+	KMeansIters int
+}
+
+// Filter is a Bloomier-filter-encoded fc layer.
+type Filter struct {
+	N         int // dense length
+	M         int // table cells
+	ValueBits int
+	CheckBits int
+	Seed      uint64
+	Codebook  []float32
+	table     []uint32 // r-bit cells, r = ValueBits + CheckBits
+}
+
+// hash mixes (seed, which, key) into a 64-bit value (SplitMix64 finaliser).
+func hash(seed uint64, which int, key uint32) uint64 {
+	z := seed ^ (uint64(which)+1)*0x9e3779b97f4a7c15 ^ uint64(key)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// cells returns the k table cells a key maps to (distinct by linear probing
+// on collision).
+func cells(seed uint64, key uint32, m int, out *[numHashes]int) {
+	for i := 0; i < numHashes; i++ {
+		c := int(hash(seed, i, key) % uint64(m))
+	retry:
+		for j := 0; j < i; j++ {
+			if out[j] == c {
+				c = (c + 1) % m
+				goto retry
+			}
+		}
+		out[i] = c
+	}
+}
+
+// mask returns the r-bit per-key XOR mask M(key).
+func mask(seed uint64, key uint32, r uint) uint32 {
+	return uint32(hash(seed, numHashes, key)) & ((1 << r) - 1)
+}
+
+// Encode builds a Bloomier filter for a pruned dense weight array.
+func Encode(dense []float32, opts Options) (*Filter, error) {
+	if opts.ValueBits < 1 || opts.ValueBits > 12 {
+		return nil, fmt.Errorf("weightless: value bits %d out of [1,12]", opts.ValueBits)
+	}
+	if opts.CheckBits == 0 {
+		opts.CheckBits = 4
+	}
+	if opts.CheckBits < 1 || opts.ValueBits+opts.CheckBits > 30 {
+		return nil, fmt.Errorf("weightless: check bits %d invalid", opts.CheckBits)
+	}
+	if opts.KMeansIters <= 0 {
+		opts.KMeansIters = 15
+	}
+
+	var keys []uint32
+	var vals []float32
+	for p, v := range dense {
+		if v != 0 {
+			keys = append(keys, uint32(p))
+			vals = append(vals, v)
+		}
+	}
+	k := 1 << opts.ValueBits
+	centroids, assign, err := cluster.KMeans1D(vals, k, opts.KMeansIters)
+	if err != nil {
+		return nil, err
+	}
+
+	f := &Filter{
+		N:         len(dense),
+		ValueBits: opts.ValueBits,
+		CheckBits: opts.CheckBits,
+		Codebook:  centroids,
+	}
+	n := len(keys)
+	m := int(math.Ceil(loadFactor * float64(max(n, 1))))
+	if m < numHashes {
+		m = numHashes
+	}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		seed := uint64(0x57454947) ^ uint64(attempt)*0x9e3779b97f4a7c15
+		order, cellOf, ok := peel(keys, seed, m)
+		if !ok {
+			if attempt%8 == 7 {
+				m = m + m/20 // grow 5 % after repeated failures
+			}
+			continue
+		}
+		f.Seed = seed
+		f.M = m
+		f.table = make([]uint32, m)
+		assignTable(f, keys, assign, order, cellOf)
+		return f, nil
+	}
+	return nil, ErrConstruction
+}
+
+// peel finds an ordering of keys such that each key owns a cell not shared
+// with any key ordered after it (hypergraph peeling). Returns the order and
+// each key's owned cell.
+func peel(keys []uint32, seed uint64, m int) (order []int, cellOf []int, ok bool) {
+	n := len(keys)
+	count := make([]int, m)
+	var cs [numHashes]int
+	keyCells := make([][numHashes]int, n)
+	for i, key := range keys {
+		cells(seed, key, m, &cs)
+		keyCells[i] = cs
+		for _, c := range cs {
+			count[c]++
+		}
+	}
+	// cellKeys: XOR-trick incidence (store XOR of key ids per cell).
+	xorKeys := make([]int, m)
+	for i := range keys {
+		for _, c := range keyCells[i] {
+			xorKeys[c] ^= i
+		}
+	}
+	queue := make([]int, 0, m)
+	for c := 0; c < m; c++ {
+		if count[c] == 1 {
+			queue = append(queue, c)
+		}
+	}
+	order = make([]int, 0, n)
+	cellOf = make([]int, n)
+	removed := make([]bool, n)
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if count[c] != 1 {
+			continue
+		}
+		ki := xorKeys[c]
+		if removed[ki] {
+			continue
+		}
+		removed[ki] = true
+		order = append(order, ki)
+		cellOf[ki] = c
+		for _, cc := range keyCells[ki] {
+			count[cc]--
+			xorKeys[cc] ^= ki
+			if count[cc] == 1 {
+				queue = append(queue, cc)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, nil, false
+	}
+	return order, cellOf, true
+}
+
+// assignTable fills cells in reverse peeling order so each key's owned cell
+// reconciles the XOR equation table[c0]^…^table[ck-1] ^ M(key) = value.
+func assignTable(f *Filter, keys []uint32, assign []uint32, order []int, cellOf []int) {
+	r := uint(f.ValueBits + f.CheckBits)
+	var cs [numHashes]int
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		ki := order[oi]
+		key := keys[ki]
+		cells(f.Seed, key, f.M, &cs)
+		want := assign[ki] ^ mask(f.Seed, key, r) // value with zero check bits
+		acc := uint32(0)
+		for _, c := range cs {
+			if c != cellOf[ki] {
+				acc ^= f.table[c]
+			}
+		}
+		f.table[cellOf[ki]] = want ^ acc
+	}
+}
+
+// Query returns the decoded weight at position p: the centroid for an
+// encoded key, or 0 for an absent key (with false-positive probability
+// 2^−CheckBits, in which case a spurious centroid is returned — the
+// approximation Weightless accepts).
+func (f *Filter) Query(p int) float32 {
+	var cs [numHashes]int
+	key := uint32(p)
+	cells(f.Seed, key, f.M, &cs)
+	r := uint(f.ValueBits + f.CheckBits)
+	v := mask(f.Seed, key, r)
+	for _, c := range cs {
+		v ^= f.table[c]
+	}
+	if v>>uint(f.ValueBits) != 0 {
+		return 0 // check bits nonzero → not a key
+	}
+	return f.Codebook[v&((1<<uint(f.ValueBits))-1)]
+}
+
+// Decompress reconstructs the full dense array by querying every position —
+// the O(n · k-hash) cost the paper's Figure 7b highlights.
+func (f *Filter) Decompress() []float32 {
+	out := make([]float32, f.N)
+	for p := range out {
+		out[p] = f.Query(p)
+	}
+	return out
+}
+
+// Bytes returns the filter's storage: m r-bit cells (bit-packed) plus the
+// codebook and header.
+func (f *Filter) Bytes() int {
+	r := f.ValueBits + f.CheckBits
+	return (f.M*r+7)/8 + 4*len(f.Codebook) + 24
+}
+
+// Marshal serializes the filter (cells bit-packed).
+func (f *Filter) Marshal() []byte {
+	r := uint(f.ValueBits + f.CheckBits)
+	w := bitstream.NewWriter()
+	for _, c := range f.table {
+		w.WriteBits(uint64(c), r)
+	}
+	cellsBlob := w.Bytes()
+
+	out := make([]byte, 0, len(cellsBlob)+64)
+	out = binary.LittleEndian.AppendUint32(out, uint32(f.N))
+	out = binary.LittleEndian.AppendUint32(out, uint32(f.M))
+	out = append(out, byte(f.ValueBits), byte(f.CheckBits))
+	out = binary.LittleEndian.AppendUint64(out, f.Seed)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Codebook)))
+	for _, v := range f.Codebook {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(cellsBlob)))
+	return append(out, cellsBlob...)
+}
+
+// Unmarshal reverses Marshal.
+func Unmarshal(blob []byte) (*Filter, error) {
+	if len(blob) < 22 {
+		return nil, ErrCorrupt
+	}
+	f := &Filter{
+		N:         int(binary.LittleEndian.Uint32(blob[0:4])),
+		M:         int(binary.LittleEndian.Uint32(blob[4:8])),
+		ValueBits: int(blob[8]),
+		CheckBits: int(blob[9]),
+		Seed:      binary.LittleEndian.Uint64(blob[10:18]),
+	}
+	if f.ValueBits < 1 || f.ValueBits > 12 || f.CheckBits < 1 || f.M < 1 {
+		return nil, ErrCorrupt
+	}
+	// Forged lengths must not drive huge allocations (2^31 positions = 8 GiB
+	// dense output is far beyond any fc layer).
+	if f.N < 0 || f.N > 1<<31 {
+		return nil, ErrCorrupt
+	}
+	nCb := int(binary.LittleEndian.Uint32(blob[18:22]))
+	off := 22
+	if len(blob) < off+4*nCb+4 {
+		return nil, ErrCorrupt
+	}
+	f.Codebook = make([]float32, nCb)
+	for i := range f.Codebook {
+		f.Codebook[i] = math.Float32frombits(binary.LittleEndian.Uint32(blob[off:]))
+		off += 4
+	}
+	nb := int(binary.LittleEndian.Uint32(blob[off:]))
+	off += 4
+	if len(blob) < off+nb {
+		return nil, ErrCorrupt
+	}
+	r := uint(f.ValueBits + f.CheckBits)
+	if nb < (f.M*int(r)+7)/8 {
+		return nil, ErrCorrupt
+	}
+	rd := bitstream.NewReader(blob[off : off+nb])
+	f.table = make([]uint32, f.M)
+	for i := range f.table {
+		v, err := rd.ReadBits(r)
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		f.table[i] = uint32(v)
+	}
+	return f, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

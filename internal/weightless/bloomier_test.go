@@ -1,0 +1,202 @@
+package weightless
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func prunedWeights(rng *tensor.RNG, n int, density float64) []float32 {
+	w := make([]float32, n)
+	for i := range w {
+		if rng.Float64() < density {
+			w[i] = float32(rng.NormFloat64() * 0.05)
+		}
+	}
+	return w
+}
+
+func TestEncodedKeysDecodeExactly(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	dense := prunedWeights(rng, 10000, 0.1)
+	f, err := Encode(dense, Options{ValueBits: 6, CheckBits: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every nonzero position must decode to its codebook centroid (never
+	// to zero, never to a different centroid).
+	for p, v := range dense {
+		if v == 0 {
+			continue
+		}
+		got := f.Query(p)
+		if got == 0 {
+			t.Fatalf("key %d decoded as absent", p)
+		}
+		// The decoded value is the nearest-centroid quantization of v;
+		// with 64 centroids over N(0, 0.05) the error is small.
+		if math.Abs(float64(got)-float64(v)) > 0.05 {
+			t.Fatalf("key %d: %v decoded as %v", p, v, got)
+		}
+	}
+}
+
+func TestFalsePositiveRateMatchesCheckBits(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	dense := prunedWeights(rng, 40000, 0.1)
+	for _, check := range []int{2, 6} {
+		f, err := Encode(dense, Options{ValueBits: 4, CheckBits: check})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, zeros := 0, 0
+		for p, v := range dense {
+			if v != 0 {
+				continue
+			}
+			zeros++
+			if f.Query(p) != 0 {
+				fp++
+			}
+		}
+		rate := float64(fp) / float64(zeros)
+		want := math.Pow(2, -float64(check))
+		if rate > want*2.5 || (check <= 2 && rate < want/4) {
+			t.Fatalf("check=%d: fp rate %.4f, theory %.4f", check, rate, want)
+		}
+	}
+}
+
+func TestDecompressLength(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	dense := prunedWeights(rng, 5000, 0.08)
+	f, err := Encode(dense, Options{ValueBits: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Decompress()
+	if len(got) != len(dense) {
+		t.Fatalf("length %d, want %d", len(got), len(dense))
+	}
+	// All true keys present.
+	for p, v := range dense {
+		if v != 0 && got[p] == 0 {
+			t.Fatalf("lost key at %d", p)
+		}
+	}
+}
+
+func TestBytesSmallerThanCSR(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	dense := prunedWeights(rng, 50000, 0.09)
+	f, err := Encode(dense, Options{ValueBits: 4, CheckBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr := 5 * 4500 // ≈ nonzeros × 40 bits
+	if f.Bytes() >= csr {
+		t.Fatalf("filter %d bytes not below CSR %d", f.Bytes(), csr)
+	}
+}
+
+func TestMarshalUnmarshalQueryEquivalence(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	dense := prunedWeights(rng, 3000, 0.1)
+	f, err := Encode(dense, Options{ValueBits: 5, CheckBits: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < len(dense); p++ {
+		if f.Query(p) != got.Query(p) {
+			t.Fatalf("query mismatch at %d after round trip", p)
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	f, _ := Encode(prunedWeights(rng, 500, 0.1), Options{ValueBits: 4})
+	blob := f.Marshal()
+	if _, err := Unmarshal(blob[:10]); err == nil {
+		t.Fatal("expected error for short blob")
+	}
+	if _, err := Unmarshal(blob[:len(blob)-4]); err == nil {
+		t.Fatal("expected error for truncated blob")
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	for _, o := range []Options{
+		{ValueBits: 0},
+		{ValueBits: 13},
+		{ValueBits: 8, CheckBits: 25},
+	} {
+		if _, err := Encode([]float32{1}, o); err == nil {
+			t.Fatalf("expected error for %+v", o)
+		}
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	f, err := Encode(make([]float32, 100), Options{ValueBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range f.Decompress() {
+		if v != 0 {
+			// A false positive on an all-zero layer is possible but the
+			// codebook is all zeros, so any hit still returns 0.
+			t.Fatal("all-zero layer decoded nonzero")
+		}
+	}
+	one := make([]float32, 10)
+	one[3] = 0.5
+	f, err = Encode(one, Options{ValueBits: 4, CheckBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Query(3) == 0 {
+		t.Fatal("single key lost")
+	}
+}
+
+func TestPeelDeterministicGivenSeed(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	dense := prunedWeights(rng, 2000, 0.1)
+	f1, err1 := Encode(dense, Options{ValueBits: 5})
+	f2, err2 := Encode(dense, Options{ValueBits: 5})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if f1.Seed != f2.Seed || f1.M != f2.M {
+		t.Fatal("construction not deterministic")
+	}
+	for i := range f1.table {
+		if f1.table[i] != f2.table[i] {
+			t.Fatal("tables differ")
+		}
+	}
+}
+
+func TestLargeConstruction(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	dense := prunedWeights(rng, 120000, 0.09)
+	f, err := Encode(dense, Options{ValueBits: 4, CheckBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := 0
+	for p, v := range dense {
+		if v != 0 && f.Query(p) == 0 {
+			misses++
+		}
+	}
+	if misses != 0 {
+		t.Fatalf("%d keys lost in large construction", misses)
+	}
+}

@@ -1,0 +1,47 @@
+package weightless
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestUnmarshalSurvivesRandomCorruption(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	f, err := Encode(prunedWeights(rng, 2000, 0.1), Options{ValueBits: 5, CheckBits: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := f.Marshal()
+	for trial := 0; trial < 300; trial++ {
+		bad := append([]byte(nil), blob...)
+		for i := 0; i < 1+rng.Intn(12); i++ {
+			p := rng.Intn(len(bad))
+			bad[p] ^= 1 << rng.Intn(8)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic: %v", trial, r)
+				}
+			}()
+			if ff, err := Unmarshal(bad); err == nil {
+				// Query a few positions; corrupted filters may answer
+				// nonsense but must stay memory-safe.
+				for p := 0; p < 16 && p < ff.N; p++ {
+					ff.Query(p)
+				}
+			}
+		}()
+	}
+}
+
+func TestUnmarshalRejectsForgedHugeN(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	f, _ := Encode(prunedWeights(rng, 100, 0.1), Options{ValueBits: 4})
+	blob := f.Marshal()
+	blob[3] = 0xFF
+	if _, err := Unmarshal(blob); err == nil {
+		t.Fatal("expected rejection of forged length")
+	}
+}

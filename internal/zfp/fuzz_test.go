@@ -1,0 +1,61 @@
+package zfp
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDecompressSurvivesRandomCorruption(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	data := weightLike(rng, 4000)
+	blob, err := Compress(data, Options{Mode: ModeAccuracy, Tolerance: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 500; trial++ {
+		bad := append([]byte(nil), blob...)
+		for i := 0; i < 1+rng.Intn(16); i++ {
+			p := rng.Intn(len(bad))
+			bad[p] ^= 1 << rng.Intn(8)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic: %v", trial, r)
+				}
+			}()
+			_, _ = Decompress(bad)
+		}()
+	}
+}
+
+func TestDecompressRejectsForgedHugeCount(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	blob, _ := Compress(weightLike(rng, 64), Options{Mode: ModeAccuracy, Tolerance: 1e-3})
+	for i := 8; i < 16; i++ {
+		blob[i] = 0
+	}
+	blob[13] = 1 // count = 2^40
+	if _, err := Decompress(blob); err == nil {
+		t.Fatal("expected rejection of forged count")
+	}
+}
+
+func TestDecompressGarbage(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	for trial := 0; trial < 200; trial++ {
+		garbage := make([]byte, rng.Intn(200))
+		for i := range garbage {
+			garbage[i] = byte(rng.Uint64())
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic on garbage: %v", trial, r)
+				}
+			}()
+			_, _ = Decompress(garbage)
+		}()
+	}
+}

@@ -1,0 +1,318 @@
+// Package zfp implements a 1-D ZFP-style transform coder (Lindstrom, TVCG
+// 2014) used as the baseline lossy compressor in the paper's Figure 2.
+//
+// Following the published design, each block of 4 values goes through:
+//
+//  1. exponent alignment — the block is scaled by a common power of two so
+//     all values share one stored exponent (block floating point),
+//  2. fixed-point conversion to 32-bit integers,
+//  3. the ZFP orthogonal (lifting) transform, which decorrelates the block,
+//  4. negabinary mapping, so small magnitudes have leading zero bits, and
+//  5. bit-plane coding from the most significant plane down, truncated at
+//     the plane implied by the error bound (accuracy mode) or at a fixed
+//     number of planes (fixed-precision mode).
+//
+// The coder guarantees |decoded − original| ≤ the absolute error bound in
+// accuracy mode; the guard-bit margin that makes the guarantee hold through
+// the inverse transform is validated by property tests.
+package zfp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bitstream"
+)
+
+// Mode selects how the per-block plane cut-off is chosen.
+type Mode uint8
+
+const (
+	// ModeAccuracy truncates planes so the reconstruction error stays below
+	// Options.Tolerance.
+	ModeAccuracy Mode = iota
+	// ModePrecision keeps Options.Precision bit planes per block.
+	ModePrecision
+)
+
+// Options configures compression.
+type Options struct {
+	// Mode selects accuracy (error-bounded) or fixed-precision coding.
+	Mode Mode
+	// Tolerance is the absolute error bound for ModeAccuracy.
+	Tolerance float64
+	// Precision is the bit-plane count per block for ModePrecision (1..32).
+	Precision int
+}
+
+const (
+	blockLen = 4
+	magic    = 0x5A465031 // "ZFP1"
+	// expBias encodes block exponents (frexp range ≈ [-148, 128]) in 9 bits.
+	expBias = 160
+	// fixedPointBits scales values so |i| ≤ 2^fixedPointBits, leaving
+	// headroom for transform growth inside int32.
+	fixedPointBits = 28
+	// guardBits is the margin added below the tolerance-implied plane so
+	// that truncation error, amplified by the inverse transform, stays
+	// within the bound. Two bits cover the ≤4× worst-case growth of the
+	// inverse lift; the property tests verify the bound across magnitudes.
+	guardBits = 2
+)
+
+// ErrCorrupt is returned for structurally invalid blobs.
+var ErrCorrupt = errors.New("zfp: corrupt stream")
+
+// Compress encodes data under opts.
+func Compress(data []float32, opts Options) ([]byte, error) {
+	switch opts.Mode {
+	case ModeAccuracy:
+		if opts.Tolerance <= 0 {
+			return nil, fmt.Errorf("zfp: tolerance must be positive, got %v", opts.Tolerance)
+		}
+	case ModePrecision:
+		if opts.Precision < 1 || opts.Precision > 32 {
+			return nil, fmt.Errorf("zfp: precision %d out of range [1,32]", opts.Precision)
+		}
+	default:
+		return nil, fmt.Errorf("zfp: unknown mode %d", opts.Mode)
+	}
+
+	w := bitstream.NewWriter()
+	n := len(data)
+	var block [blockLen]float64
+	for lo := 0; lo < n; lo += blockLen {
+		for i := 0; i < blockLen; i++ {
+			if lo+i < n {
+				block[i] = sanitize(float64(data[lo+i]))
+			} else {
+				block[i] = 0
+			}
+		}
+		encodeBlock(w, block, opts)
+	}
+
+	payload := w.Bytes()
+	out := make([]byte, 0, 24+len(payload))
+	out = binary.LittleEndian.AppendUint32(out, magic)
+	out = append(out, byte(opts.Mode), byte(opts.Precision), 0, 0)
+	out = binary.LittleEndian.AppendUint64(out, uint64(n))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(opts.Tolerance))
+	return append(out, payload...), nil
+}
+
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// blockExp returns the exponent e such that max|v| < 2^e.
+func blockExp(block [blockLen]float64) (int, bool) {
+	m := 0.0
+	for _, v := range block {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	if m == 0 {
+		return 0, false
+	}
+	_, e := math.Frexp(m)
+	return e, true
+}
+
+// planeCut returns the lowest bit plane to keep for a block with exponent e.
+func planeCut(e int, opts Options) int {
+	if opts.Mode == ModePrecision {
+		cut := 32 - opts.Precision
+		if cut < 0 {
+			cut = 0
+		}
+		return cut
+	}
+	minexp := int(math.Floor(math.Log2(opts.Tolerance)))
+	cut := minexp - e + fixedPointBits - guardBits
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > 32 {
+		cut = 32
+	}
+	return cut
+}
+
+func encodeBlock(w *bitstream.Writer, block [blockLen]float64, opts Options) {
+	e, nonzero := blockExp(block)
+	if !nonzero {
+		w.WriteBit(0)
+		return
+	}
+	cut := planeCut(e, opts)
+	if cut >= 32 {
+		// Every value rounds to zero within the bound.
+		w.WriteBit(0)
+		return
+	}
+	w.WriteBit(1)
+	w.WriteBits(uint64(e+expBias), 9)
+
+	// Fixed-point conversion and forward lifting transform.
+	var iv [blockLen]int32
+	scale := math.Ldexp(1, fixedPointBits-e)
+	for i, v := range block {
+		iv[i] = int32(math.Round(v * scale))
+	}
+	fwdLift(&iv)
+
+	// Negabinary mapping.
+	var uv [blockLen]uint32
+	for i, v := range iv {
+		uv[i] = negabinary(v)
+	}
+
+	// Bit-plane coding, MSB first, truncated at cut.
+	for plane := 31; plane >= cut; plane-- {
+		var bits uint64
+		for i := 0; i < blockLen; i++ {
+			bits = bits<<1 | uint64((uv[i]>>plane)&1)
+		}
+		w.WriteBits(bits, blockLen)
+	}
+}
+
+// fwdLift is ZFP's 4-point decorrelating transform.
+func fwdLift(p *[blockLen]int32) {
+	x, y, z, w := p[0], p[1], p[2], p[3]
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+	p[0], p[1], p[2], p[3] = x, y, z, w
+}
+
+// invLift inverts fwdLift.
+func invLift(p *[blockLen]int32) {
+	x, y, z, w := p[0], p[1], p[2], p[3]
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+	p[0], p[1], p[2], p[3] = x, y, z, w
+}
+
+// negabinary maps a two's-complement int32 to base −2, giving small
+// magnitudes many leading zeros regardless of sign.
+func negabinary(v int32) uint32 {
+	const mask = 0xaaaaaaaa
+	return (uint32(v) + mask) ^ mask
+}
+
+func invNegabinary(u uint32) int32 {
+	const mask = 0xaaaaaaaa
+	return int32((u ^ mask) - mask)
+}
+
+// Decompress reverses Compress.
+func Decompress(blob []byte) ([]float32, error) {
+	if len(blob) < 24 {
+		return nil, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(blob[0:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	opts := Options{
+		Mode:      Mode(blob[4]),
+		Precision: int(blob[5]),
+	}
+	n := int(binary.LittleEndian.Uint64(blob[8:16]))
+	opts.Tolerance = math.Float64frombits(binary.LittleEndian.Uint64(blob[16:24]))
+	if opts.Mode == ModeAccuracy && opts.Tolerance <= 0 {
+		return nil, fmt.Errorf("%w: bad tolerance", ErrCorrupt)
+	}
+	// A block of 4 values costs at least one flag bit; reject forged counts
+	// before allocating.
+	if uint64(n) > uint64(len(blob)-24)*8*blockLen {
+		return nil, fmt.Errorf("%w: value count %d exceeds payload capacity", ErrCorrupt, n)
+	}
+	r := bitstream.NewReader(blob[24:])
+	out := make([]float32, n)
+	for lo := 0; lo < n; lo += blockLen {
+		var block [blockLen]float64
+		if err := decodeBlock(r, &block, opts); err != nil {
+			return nil, err
+		}
+		for i := 0; i < blockLen && lo+i < n; i++ {
+			out[lo+i] = float32(block[i])
+		}
+	}
+	return out, nil
+}
+
+func decodeBlock(r *bitstream.Reader, block *[blockLen]float64, opts Options) error {
+	flag, err := r.ReadBit()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if flag == 0 {
+		*block = [blockLen]float64{}
+		return nil
+	}
+	eBits, err := r.ReadBits(9)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	e := int(eBits) - expBias
+	cut := planeCut(e, opts)
+	var uv [blockLen]uint32
+	for plane := 31; plane >= cut; plane-- {
+		bits, err := r.ReadBits(blockLen)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		for i := 0; i < blockLen; i++ {
+			uv[i] |= uint32((bits>>(blockLen-1-i))&1) << plane
+		}
+	}
+	var iv [blockLen]int32
+	for i, u := range uv {
+		iv[i] = invNegabinary(u)
+	}
+	invLift(&iv)
+	scale := math.Ldexp(1, e-fixedPointBits)
+	for i, v := range iv {
+		block[i] = float64(v) * scale
+	}
+	return nil
+}
+
+// Ratio returns the compression ratio achieved by blob for n float32 values.
+func Ratio(n int, blob []byte) float64 {
+	if len(blob) == 0 {
+		return 0
+	}
+	return float64(4*n) / float64(len(blob))
+}

@@ -1,0 +1,223 @@
+package zfp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func weightLike(rng *tensor.RNG, n int) []float32 {
+	data := make([]float32, n)
+	rng.FillNormal(data, 0, 0.05)
+	return data
+}
+
+func checkBound(t *testing.T, data []float32, tol float64) []byte {
+	t.Helper()
+	blob, err := Compress(data, Options{Mode: ModeAccuracy, Tolerance: tol})
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	got, err := Decompress(blob)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("length %d, want %d", len(got), len(data))
+	}
+	for i := range data {
+		if d := math.Abs(float64(got[i]) - float64(data[i])); d > tol+1e-9 {
+			t.Fatalf("element %d: error %g exceeds tolerance %g", i, d, tol)
+		}
+	}
+	return blob
+}
+
+func TestLiftNearInverse(t *testing.T) {
+	// The fixed-point lifting transform drops up to one LSB per shift (as in
+	// ZFP), so fwd∘inv is the identity only up to a few integer units. The
+	// guard bits in planeCut absorb exactly this rounding.
+	f := func(a, b, c, d int32) bool {
+		in := [4]int32{a >> 3, b >> 3, c >> 3, d >> 3}
+		v := in
+		fwdLift(&v)
+		invLift(&v)
+		for i := range in {
+			diff := int64(v[i]) - int64(in[i])
+			if diff < -8 || diff > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegabinaryInverse(t *testing.T) {
+	f := func(v int32) bool { return invNegabinary(negabinary(v)) == v }
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Small magnitudes must have many leading zeros.
+	if bits := 32 - leadingZeros(negabinary(3)); bits > 4 {
+		t.Fatalf("negabinary(3) uses %d bits", bits)
+	}
+}
+
+func leadingZeros(u uint32) int {
+	n := 0
+	for i := 31; i >= 0 && u&(1<<i) == 0; i-- {
+		n++
+	}
+	return n
+}
+
+func TestAccuracyModeBound(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	for _, n := range []int{1, 2, 3, 4, 5, 100, 10001} {
+		for _, tol := range []float64{1e-2, 1e-3, 1e-4} {
+			checkBound(t, weightLike(rng, n), tol)
+		}
+	}
+}
+
+func TestAllZeroBlocksAreCheap(t *testing.T) {
+	data := make([]float32, 4000)
+	blob, err := Compress(data, Options{Mode: ModeAccuracy, Tolerance: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 blocks × 1 bit + header: well under 200 bytes.
+	if len(blob) > 200 {
+		t.Fatalf("all-zero data should compress to ~nothing, got %d bytes", len(blob))
+	}
+	got, _ := Decompress(blob)
+	for _, v := range got {
+		if v != 0 {
+			t.Fatal("zeros must decode to zeros")
+		}
+	}
+}
+
+func TestRatioGrowsWithTolerance(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	data := weightLike(rng, 40000)
+	var prev float64
+	for _, tol := range []float64{1e-4, 1e-3, 1e-2} {
+		blob := checkBound(t, data, tol)
+		r := Ratio(len(data), blob)
+		if r <= prev {
+			t.Fatalf("ratio should grow with tolerance: tol=%g ratio=%.2f", tol, r)
+		}
+		prev = r
+	}
+}
+
+func TestPrecisionMode(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	data := weightLike(rng, 8000)
+	var prevErr float64 = -1
+	for _, p := range []int{30, 20, 12} {
+		blob, err := Compress(data, Options{Mode: ModePrecision, Precision: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decompress(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var maxErr float64
+		for i := range data {
+			if d := math.Abs(float64(got[i]) - float64(data[i])); d > maxErr {
+				maxErr = d
+			}
+		}
+		if prevErr >= 0 && maxErr < prevErr {
+			t.Fatalf("error should grow as precision drops: p=%d err=%g prev=%g", p, maxErr, prevErr)
+		}
+		prevErr = maxErr
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	data := []float32{1, 2, 3}
+	for _, o := range []Options{
+		{Mode: ModeAccuracy, Tolerance: 0},
+		{Mode: ModeAccuracy, Tolerance: -1},
+		{Mode: ModePrecision, Precision: 0},
+		{Mode: ModePrecision, Precision: 33},
+		{Mode: 9},
+	} {
+		if _, err := Compress(data, o); err == nil {
+			t.Fatalf("expected error for %+v", o)
+		}
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	blob, _ := Compress(weightLike(rng, 100), Options{Mode: ModeAccuracy, Tolerance: 1e-3})
+	if _, err := Decompress(blob[:10]); err == nil {
+		t.Fatal("expected error for truncated header")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF
+	if _, err := Decompress(bad); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := Decompress(blob[:len(blob)-3]); err == nil {
+		t.Fatal("expected error for truncated payload")
+	}
+}
+
+func TestNaNInfSanitized(t *testing.T) {
+	data := []float32{1, float32(math.NaN()), float32(math.Inf(1)), 2}
+	blob, err := Compress(data, Options{Mode: ModeAccuracy, Tolerance: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(got[0])-1) > 1e-3+1e-9 || math.Abs(float64(got[3])-2) > 1e-3+1e-9 {
+		t.Fatal("finite neighbours of NaN out of bound")
+	}
+}
+
+func TestQuickAccuracyInvariant(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	f := func(seed uint32, tolExp uint8) bool {
+		n := 1 + int(seed%500)
+		tol := math.Pow(10, -float64(1+tolExp%5))
+		data := make([]float32, n)
+		rng.FillNormal(data, 0, 0.2)
+		blob, err := Compress(data, Options{Mode: ModeAccuracy, Tolerance: tol})
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(blob)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range data {
+			if math.Abs(float64(got[i])-float64(data[i])) > tol+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedMagnitudeBlocks(t *testing.T) {
+	// Large dynamic range across blocks exercises per-block exponents.
+	data := []float32{1e-6, 2e-6, -1e-6, 0, 100, -200, 50, 25, 0.01, -0.02, 0.03, -0.04}
+	checkBound(t, data, 1e-3)
+}
