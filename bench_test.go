@@ -16,7 +16,9 @@ import (
 	"repro/internal/lossless"
 	"repro/internal/models"
 	"repro/internal/prune"
+	"repro/internal/serve"
 	"repro/internal/sz"
+	"repro/internal/tensor"
 	"repro/internal/weightless"
 	"repro/internal/zfp"
 )
@@ -313,6 +315,81 @@ func BenchmarkExperimentReports(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkServing compares the two ways of answering a predict request
+// against a compressed model: decoding the whole model per request
+// (full-decode) vs the serve engine's layer-granular decode cache under
+// different byte budgets. extra-B reports the peak extra memory each
+// strategy materialises for fc weights; rows/s is serving throughput.
+func BenchmarkServing(b *testing.B) {
+	p, err := experiments.Prepare(models.AlexNetS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := p.Result.Model
+	shape, err := models.InputShape(models.AlexNetS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	denseTotal := m.TotalDenseBytes()
+	const rows = 16
+	inLen := 1
+	for _, d := range shape {
+		inLen *= d
+	}
+	batch := make([][]float32, rows)
+	flat := make([]float32, rows*inLen)
+	rng := tensor.NewRNG(123)
+	rng.FillNormal(flat, 0, 1)
+	for i := range batch {
+		batch[i] = flat[i*inLen : (i+1)*inLen]
+	}
+	x := tensor.FromSlice(flat, append([]int{rows}, shape...)...)
+
+	b.Run("full-decode", func(b *testing.B) {
+		net := p.Pruned.Clone()
+		for i := 0; i < b.N; i++ {
+			// A naive server decodes every fc layer for each request.
+			if _, err := m.Apply(net); err != nil {
+				b.Fatal(err)
+			}
+			net.Forward(x, false)
+		}
+		b.ReportMetric(float64(denseTotal), "extra-B")
+		b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	for _, tc := range []struct {
+		name   string
+		budget int64
+	}{
+		{"cached-unlimited", 0},
+		{"cached-one-layer", m.MaxDenseBytes()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			reg := serve.NewRegistry(tc.budget, serve.BatchOptions{})
+			defer reg.Close()
+			eng, err := reg.Add("bench", m, p.Pruned, shape)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Predict(batch); err != nil { // warm the cache
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Predict(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			extra := tc.budget
+			if extra == 0 {
+				extra = denseTotal
+			}
+			b.ReportMetric(float64(extra), "extra-B")
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 		})
 	}
 }

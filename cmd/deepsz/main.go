@@ -60,7 +60,16 @@ func usage() {
   decode -net NAME -model FILE -out FILE
   eval   -net NAME -in FILE [-samples N]
 
-networks: lenet-300-100, lenet-5, alexnet-s, vgg16-s`)
+networks: lenet-300-100, lenet-5, alexnet-s, vgg16-s
+
+To serve an encoded model over HTTP (the model stays compressed at rest;
+fc layers are decoded on demand through a bounded cache), use the deepszd
+daemon:
+
+  deepszd -addr :8080 -model model.dsz -mem-budget 2m
+
+See README.md ("Serving compressed models") for the full encode → deepszd
+→ curl flow.`)
 }
 
 // buildNet constructs a network with deterministic initialisation.
@@ -209,11 +218,7 @@ func cmdDecode(args []string) error {
 	if *modelPath == "" || *out == "" {
 		return fmt.Errorf("decode: -model and -out required")
 	}
-	blob, err := os.ReadFile(*modelPath)
-	if err != nil {
-		return err
-	}
-	m, err := core.Unmarshal(blob)
+	m, err := core.ReadModel(*modelPath)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,165 @@
+// Command deepszd is the DeepSZ model-serving daemon: it loads compressed
+// .dsz models (the output of `deepsz encode`), keeps them compressed at
+// rest, and serves JSON predict requests over HTTP, materialising fc
+// layers on demand through a byte-budgeted decode cache.
+//
+// Typical session (after `deepsz train` / `prune` / `encode`):
+//
+//	deepszd -addr :8080 -model model.dsz -mem-budget 2m
+//	curl localhost:8080/v1/models
+//	curl -d '{"inputs":[[0,0,...]]}' localhost:8080/v1/models/lenet-300-100/predict
+//	curl localhost:8080/v1/stats
+//
+// Each -model flag takes `[name=]path[:weights]`: an optional serving name
+// (default: the network name stored in the file) and an optional trained
+// weights file supplying the conv prefix for networks that have one.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+type modelSpec struct {
+	name, path, weights string
+}
+
+// parseModelSpec parses `[name=]path[:weights]`.
+func parseModelSpec(v string) (modelSpec, error) {
+	var s modelSpec
+	if i := strings.IndexByte(v, '='); i >= 0 {
+		s.name, v = v[:i], v[i+1:]
+	}
+	if i := strings.IndexByte(v, ':'); i >= 0 {
+		s.path, s.weights = v[:i], v[i+1:]
+	} else {
+		s.path = v
+	}
+	if s.path == "" {
+		return s, fmt.Errorf("empty model path in %q", v)
+	}
+	return s, nil
+}
+
+// parseBytes parses a byte count with an optional k/m/g suffix (base 1024).
+func parseBytes(v string) (int64, error) {
+	if v == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch v[len(v)-1] {
+	case 'k', 'K':
+		mult, v = 1<<10, v[:len(v)-1]
+	case 'm', 'M':
+		mult, v = 1<<20, v[:len(v)-1]
+	case 'g', 'G':
+		mult, v = 1<<30, v[:len(v)-1]
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 || n > math.MaxInt64/mult {
+		// A negative or overflowing budget would read as "unlimited"
+		// downstream — the opposite of what the operator asked for.
+		return 0, fmt.Errorf("bad byte size %q", v)
+	}
+	return n * mult, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "deepszd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("deepszd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	budgetStr := fs.String("mem-budget", "0", "decode-cache byte budget with optional k/m/g suffix (0 = unlimited)")
+	maxBatch := fs.Int("max-batch", 32, "rows that trigger an immediate micro-batch flush")
+	window := fs.Duration("batch-window", 2*time.Millisecond, "how long the first request waits for batch company")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	var specs []modelSpec
+	fs.Func("model", "compressed model `[name=]path[:weights]` (repeatable)", func(v string) error {
+		s, err := parseModelSpec(v)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, s)
+		return nil
+	})
+	fs.Parse(os.Args[1:])
+	if len(specs) == 0 {
+		return errors.New("at least one -model is required")
+	}
+	budget, err := parseBytes(*budgetStr)
+	if err != nil {
+		return err
+	}
+
+	reg := serve.NewRegistry(budget, serve.BatchOptions{MaxBatch: *maxBatch, Window: *window})
+	defer reg.Close()
+	for _, s := range specs {
+		e, err := reg.LoadFile(s.name, s.path, s.weights)
+		if err != nil {
+			return err
+		}
+		m := e.Model()
+		log.Printf("loaded %s: net %s, %d fc layers, %d B compressed (%d B dense)",
+			e.Name(), m.NetName, len(m.Layers), m.TotalBytes(), m.TotalDenseBytes())
+	}
+	if budget > 0 {
+		log.Printf("decode cache budget: %d B", budget)
+	} else {
+		log.Printf("decode cache budget: unlimited")
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: serve.NewServer(reg),
+		// Slow or idle clients must not pin connection goroutines forever;
+		// the body limit lives in the predict handler.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", *addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (draining for up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	s := reg.Cache().Stats()
+	log.Printf("final cache stats: %d hits, %d misses, %d coalesced, %d evictions, %d bypasses, %.1f%% hit rate",
+		s.Hits, s.Misses, s.Coalesced, s.Evictions, s.Bypasses, 100*s.HitRate())
+	return nil
+}

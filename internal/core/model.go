@@ -27,7 +27,9 @@ type LayerBlob struct {
 	IndexLen   int // entries in the decompressed index array
 }
 
-// Model is the compressed-model container DeepSZ step 4 emits.
+// Model is the compressed-model container DeepSZ step 4 emits. It is
+// immutable after construction and safe for concurrent reads; see the
+// concurrency contract in stream.go.
 type Model struct {
 	NetName string
 	Layers  []LayerBlob
@@ -40,6 +42,12 @@ const (
 
 // ErrCorrupt is returned when a serialized model fails validation.
 var ErrCorrupt = errors.New("core: corrupt model")
+
+// DenseBytes returns the memory cost of the layer once materialised: the
+// dense weight matrix plus bias, in bytes.
+func (l *LayerBlob) DenseBytes() int64 {
+	return 4 * int64(l.Rows*l.Cols+len(l.Bias))
+}
 
 // TotalBytes returns the compressed payload size (data + index blobs +
 // biases), i.e. the quantity Tables 2–4 report.
@@ -321,7 +329,7 @@ func (m *Model) Decode() ([]DecodedLayer, DecodeBreakdown, error) {
 			return nil, bd, fmt.Errorf("core: layer %s: %w", l.Name, err)
 		}
 		bd.Reconstruct += time.Since(t2)
-		out = append(out, DecodedLayer{Name: l.Name, Weights: dense, Bias: l.Bias})
+		out = append(out, DecodedLayer{Name: l.Name, Weights: dense, Bias: append([]float32(nil), l.Bias...)})
 	}
 	return out, bd, nil
 }

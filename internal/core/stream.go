@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/lossless"
 	"repro/internal/prune"
@@ -13,6 +14,75 @@ import (
 // memory-constrained consumer keeps the model compressed and materialises
 // one fc layer's dense weights at a time (peak extra memory = one layer
 // instead of the whole fc suffix).
+//
+// Concurrency contract: a *Model is immutable once produced by Generate,
+// Unmarshal, or ReadModel. Every read-side method (LayerNames, Layer,
+// DenseBytes, DecodeLayer, Decode, Marshal, TotalBytes) only reads the
+// blobs and allocates fresh output buffers, so any number of goroutines
+// may call them on a shared *Model simultaneously. This is what the serve
+// package's decode cache relies on.
+
+// ReadModel loads and parses a compressed model file written by WriteModel
+// (or by `deepsz encode`).
+func ReadModel(path string) (*Model, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Unmarshal(blob)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WriteModel serializes the model to path.
+func (m *Model) WriteModel(path string) error {
+	return os.WriteFile(path, m.Marshal(), 0o644)
+}
+
+// Layer returns the stored blob for the named fc layer, or nil.
+func (m *Model) Layer(name string) *LayerBlob {
+	for i := range m.Layers {
+		if m.Layers[i].Name == name {
+			return &m.Layers[i]
+		}
+	}
+	return nil
+}
+
+// DenseBytes returns the memory cost of the named layer once materialised:
+// the dense weight matrix plus bias, in bytes. It is the unit the serve
+// package's cache budget is accounted in. Returns 0 for unknown layers.
+func (m *Model) DenseBytes(name string) int64 {
+	l := m.Layer(name)
+	if l == nil {
+		return 0
+	}
+	return l.DenseBytes()
+}
+
+// TotalDenseBytes returns the summed DenseBytes of every layer: the
+// memory a full decode materialises.
+func (m *Model) TotalDenseBytes() int64 {
+	var n int64
+	for _, l := range m.Layers {
+		n += l.DenseBytes()
+	}
+	return n
+}
+
+// MaxDenseBytes returns the largest DenseBytes over all layers — the
+// minimum cache budget that can hold every layer one at a time.
+func (m *Model) MaxDenseBytes() int64 {
+	var max int64
+	for _, l := range m.Layers {
+		if b := l.DenseBytes(); b > max {
+			max = b
+		}
+	}
+	return max
+}
 
 // LayerNames returns the fc layers stored in the model, in order.
 func (m *Model) LayerNames() []string {
@@ -24,7 +94,9 @@ func (m *Model) LayerNames() []string {
 }
 
 // DecodeLayer reconstructs a single fc layer's dense weights and bias
-// without touching the other layers.
+// without touching the other layers. The returned layer shares nothing
+// with the model (the bias is copied), so callers may mutate or retain it
+// freely while other goroutines keep decoding from the same *Model.
 func (m *Model) DecodeLayer(name string) (*DecodedLayer, error) {
 	for _, l := range m.Layers {
 		if l.Name != name {
@@ -52,7 +124,7 @@ func (m *Model) DecodeLayer(name string) (*DecodedLayer, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: layer %s: %w", name, err)
 		}
-		return &DecodedLayer{Name: name, Weights: dense, Bias: l.Bias}, nil
+		return &DecodedLayer{Name: name, Weights: dense, Bias: append([]float32(nil), l.Bias...)}, nil
 	}
 	return nil, fmt.Errorf("core: model has no layer %q", name)
 }

@@ -9,13 +9,23 @@ import (
 )
 
 // The experiment reports train real networks; only the cheapest paths run
-// here (and skip entirely under -short). cmd/experiments and the repo
+// here (and skip entirely under -short or the race detector — they are
+// compute-bound with no concurrency of their own, and the >10x race
+// slowdown blows the package timeout). cmd/experiments and the repo
 // benchmarks exercise the full set.
 
-func TestPrepareCachesAndEncodes(t *testing.T) {
+func skipIfHeavy(t *testing.T) {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("training in -short mode")
 	}
+	if raceEnabled {
+		t.Skip("training under -race blows the test timeout; covered by the non-race run")
+	}
+}
+
+func TestPrepareCachesAndEncodes(t *testing.T) {
+	skipIfHeavy(t)
 	p, err := Prepare(models.LeNet300)
 	if err != nil {
 		t.Fatal(err)
@@ -62,9 +72,7 @@ func TestAllHaveDistinctIDs(t *testing.T) {
 }
 
 func TestTable1Report(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training in -short mode")
-	}
+	skipIfHeavy(t)
 	var buf bytes.Buffer
 	if err := Run("table1", &buf); err != nil {
 		t.Fatal(err)
@@ -78,9 +86,7 @@ func TestTable1Report(t *testing.T) {
 }
 
 func TestTable3Report(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training in -short mode")
-	}
+	skipIfHeavy(t)
 	var buf bytes.Buffer
 	if err := Run("table3", &buf); err != nil {
 		t.Fatal(err)
@@ -94,9 +100,7 @@ func TestTable3Report(t *testing.T) {
 }
 
 func TestFig2ShapeSZBeatsZFP(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training in -short mode")
-	}
+	skipIfHeavy(t)
 	var buf bytes.Buffer
 	if err := Run("fig2", &buf); err != nil {
 		t.Fatal(err)

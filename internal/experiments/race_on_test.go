@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled gates the training-heavy report tests: under the race
+// detector they run >10x slower and blow the package test timeout, and
+// they contain no concurrency of their own (CI covers them in its
+// non-race test step).
+const raceEnabled = true

@@ -15,9 +15,7 @@ import (
 )
 
 func TestShapeDeepSZBeatsDeepCompressionOverall(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training in -short mode")
-	}
+	skipIfHeavy(t)
 	p, err := Prepare(models.LeNet300)
 	if err != nil {
 		t.Fatal(err)
@@ -39,9 +37,7 @@ func TestShapeDeepSZBeatsDeepCompressionOverall(t *testing.T) {
 }
 
 func TestShapeBoundedErrorBeatsUnboundedAtMatchedBits(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training in -short mode")
-	}
+	skipIfHeavy(t)
 	// Table 5's claim: at DeepSZ's bit budget, unbounded quantization loses
 	// far more accuracy than DeepSZ does.
 	p, err := Prepare(models.LeNet300)
@@ -62,9 +58,7 @@ func TestShapeBoundedErrorBeatsUnboundedAtMatchedBits(t *testing.T) {
 }
 
 func TestShapeWeightlessDecodeSlower(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training in -short mode")
-	}
+	skipIfHeavy(t)
 	// Figure 7b's claim: Bloomier-filter decode pays 4 hashes per dense
 	// position and is much slower than CSR reconstruction.
 	p, err := Prepare(models.LeNet300)
@@ -90,9 +84,7 @@ func TestShapeWeightlessDecodeSlower(t *testing.T) {
 }
 
 func TestShapeBudgetRespectedEndToEnd(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training in -short mode")
-	}
+	skipIfHeavy(t)
 	p, err := Prepare(models.LeNet300)
 	if err != nil {
 		t.Fatal(err)

@@ -102,6 +102,18 @@ func Build(name string, rng *tensor.RNG) (*nn.Network, error) {
 	return nil, fmt.Errorf("models: unknown network %q", name)
 }
 
+// InputShape returns the per-example input shape a network expects
+// (channels × height × width for the image networks).
+func InputShape(name string) ([]int, error) {
+	switch name {
+	case LeNet300, LeNet5:
+		return []int{1, 28, 28}, nil
+	case AlexNetS, VGG16S:
+		return []int{3, 16, 16}, nil
+	}
+	return nil, fmt.Errorf("models: unknown network %q", name)
+}
+
 // DataFor generates the train/test datasets a network evaluates on: synthetic
 // MNIST for the LeNets, the synthetic 16×16×3 image task for the scaled
 // ImageNet networks. Seeds are fixed per network for reproducibility.

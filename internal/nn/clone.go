@@ -40,10 +40,18 @@ func CloneLayer(l Layer) Layer {
 }
 
 func cloneParam(p *Param) *Param {
+	var grad *tensor.Tensor
+	if p.Grad.Data != nil {
+		grad = tensor.New(p.Grad.Shape...)
+	} else {
+		// Stripped param (see StripDenseWeights): keep the clone
+		// storage-free so pooled serving clones stay small.
+		grad = &tensor.Tensor{Shape: append([]int(nil), p.Grad.Shape...)}
+	}
 	return &Param{
 		Name: p.Name,
 		W:    p.W.Clone(),
-		Grad: tensor.New(p.Grad.Shape...),
+		Grad: grad,
 		Mask: p.Mask,
 	}
 }

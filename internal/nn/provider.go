@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// This file adds the provider-driven forward pass the serving subsystem
+// builds on: instead of every Dense layer owning its dense weight matrix,
+// the weights are fetched on demand from a WeightProvider (in production a
+// layer-granular decode cache over a compressed model) and released as soon
+// as the layer's matmul finishes. Peak extra memory for the fc suffix is
+// then governed by the provider's budget, not by the network.
+
+// ErrNotProvided is returned by a WeightProvider that does not supply the
+// requested layer; ForwardWithProvider falls back to the layer's own
+// parameters in that case.
+var ErrNotProvided = errors.New("nn: layer weights not provided")
+
+// WeightProvider supplies materialised fc-layer weights on demand.
+// Implementations must be safe for concurrent use; the returned slices are
+// read-only for the caller and remain valid until release is called.
+type WeightProvider interface {
+	// LayerWeights returns the dense weight matrix (row-major, out×in) and
+	// bias for the named layer. release (which may be nil) must be invoked
+	// once the caller is done reading the slices.
+	LayerWeights(name string) (weights, bias []float32, release func(), err error)
+}
+
+// ForwardWith computes the layer output using externally supplied weights
+// and bias instead of d.W/d.B, touching no layer state — unlike Forward it
+// is safe to call concurrently on a shared *Dense. weights must have
+// Out×In entries; bias Out entries (nil means zero bias).
+func (d *Dense) ForwardWith(x *tensor.Tensor, weights, bias []float32) *tensor.Tensor {
+	if x.Rank() != 2 || x.Shape[1] != d.In {
+		panic(fmt.Sprintf("nn: %s: input shape %v, want [N, %d]", d.LayerName, x.Shape, d.In))
+	}
+	if len(weights) != d.Out*d.In {
+		panic(fmt.Sprintf("nn: %s: ForwardWith got %d weights, want %d", d.LayerName, len(weights), d.Out*d.In))
+	}
+	if bias != nil && len(bias) != d.Out {
+		panic(fmt.Sprintf("nn: %s: ForwardWith got %d biases, want %d", d.LayerName, len(bias), d.Out))
+	}
+	y := tensor.MatMulTransB(x, tensor.FromSlice(weights, d.Out, d.In))
+	if bias != nil {
+		n := x.Shape[0]
+		for i := 0; i < n; i++ {
+			row := y.Data[i*d.Out : (i+1)*d.Out]
+			for j := range row {
+				row[j] += bias[j]
+			}
+		}
+	}
+	return y
+}
+
+// ForwardWithProvider runs an inference-mode forward pass, sourcing every
+// Dense layer's weights from p. Layers for which p reports ErrNotProvided
+// fall back to their own parameters. Non-Dense layers run normally, so the
+// network value itself must not be shared across concurrent calls (use
+// clones); the provider and the supplied weight slices may be shared.
+func (n *Network) ForwardWithProvider(x *tensor.Tensor, p WeightProvider) (*tensor.Tensor, error) {
+	for _, l := range n.Layers {
+		d, ok := l.(*Dense)
+		if !ok {
+			x = l.Forward(x, false)
+			continue
+		}
+		w, b, release, err := p.LayerWeights(d.Name())
+		if errors.Is(err, ErrNotProvided) {
+			x = d.Forward(x, false)
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s: %w", d.Name(), err)
+		}
+		x = d.ForwardWith(x, w, b)
+		if release != nil {
+			release()
+		}
+	}
+	return x, nil
+}
+
+// StripDenseWeights drops the weight and gradient storage of every Dense
+// layer, keeping shapes and biases. A stripped network can only run through
+// ForwardWithProvider (with a provider covering all fc layers); it exists
+// so serving clones don't pay for dense matrices the decode cache already
+// budgets. Returns the number of float32 values released.
+func StripDenseWeights(n *Network) int {
+	freed := 0
+	for _, d := range n.DenseLayers() {
+		freed += len(d.W.W.Data) + len(d.W.Grad.Data)
+		d.W.W.Data = nil
+		d.W.Grad.Data = nil
+	}
+	return freed
+}

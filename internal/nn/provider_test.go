@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// mapProvider serves weights from an in-memory map and counts releases.
+type mapProvider struct {
+	w, b     map[string][]float32
+	released int
+	fail     error
+}
+
+func (p *mapProvider) LayerWeights(name string) ([]float32, []float32, func(), error) {
+	if p.fail != nil {
+		return nil, nil, nil, p.fail
+	}
+	w, ok := p.w[name]
+	if !ok {
+		return nil, nil, nil, ErrNotProvided
+	}
+	return w, p.b[name], func() { p.released++ }, nil
+}
+
+func providerNet(seed uint64) *Network {
+	rng := tensor.NewRNG(seed)
+	return NewNetwork("prov-mlp",
+		NewFlatten("flat"),
+		NewDense("ip1", 12, 8, rng),
+		NewReLU("relu1"),
+		NewDense("ip2", 8, 4, rng),
+	)
+}
+
+func TestForwardWithProviderMatchesForward(t *testing.T) {
+	net := providerNet(5)
+	x := tensor.New(3, 12)
+	tensor.NewRNG(9).FillNormal(x.Data, 0, 1)
+	want := net.Forward(x, false)
+
+	p := &mapProvider{w: map[string][]float32{}, b: map[string][]float32{}}
+	for _, d := range net.DenseLayers() {
+		p.w[d.Name()] = append([]float32(nil), d.W.W.Data...)
+		p.b[d.Name()] = append([]float32(nil), d.B.W.Data...)
+	}
+	clone := net.Clone()
+	StripDenseWeights(clone)
+	got, err := clone.ForwardWithProvider(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("output length %d, want %d", len(got.Data), len(want.Data))
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("output %d: %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	if p.released != len(net.DenseLayers()) {
+		t.Fatalf("released %d times, want %d", p.released, len(net.DenseLayers()))
+	}
+}
+
+func TestForwardWithProviderFallback(t *testing.T) {
+	net := providerNet(6)
+	x := tensor.New(2, 12)
+	tensor.NewRNG(3).FillNormal(x.Data, 0, 1)
+	want := net.Forward(x, false)
+
+	// Provider only covers ip1; ip2 must fall back to its own weights.
+	p := &mapProvider{w: map[string][]float32{}, b: map[string][]float32{}}
+	d := net.DenseLayers()[0]
+	p.w[d.Name()] = append([]float32(nil), d.W.W.Data...)
+	p.b[d.Name()] = append([]float32(nil), d.B.W.Data...)
+
+	got, err := net.ForwardWithProvider(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("output %d diverged with partial provider", i)
+		}
+	}
+}
+
+func TestForwardWithProviderError(t *testing.T) {
+	net := providerNet(7)
+	x := tensor.New(1, 12)
+	sentinel := errors.New("decode failed")
+	_, err := net.ForwardWithProvider(x, &mapProvider{fail: sentinel})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v, want wrapped sentinel", err)
+	}
+}
+
+func TestForwardWithConcurrentSharedDense(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	d := NewDense("fc", 16, 8, rng)
+	w := append([]float32(nil), d.W.W.Data...)
+	b := append([]float32(nil), d.B.W.Data...)
+	x := tensor.New(4, 16)
+	rng.FillNormal(x.Data, 0, 1)
+	want := d.Forward(x, false)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 16; r++ {
+				y := d.ForwardWith(x, w, b)
+				for i := range want.Data {
+					if y.Data[i] != want.Data[i] {
+						t.Errorf("concurrent ForwardWith diverged at %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStripDenseWeights(t *testing.T) {
+	net := providerNet(8)
+	var total int
+	for _, d := range net.DenseLayers() {
+		total += 2 * len(d.W.W.Data)
+	}
+	if freed := StripDenseWeights(net); freed != total {
+		t.Fatalf("freed %d values, want %d", freed, total)
+	}
+	for _, d := range net.DenseLayers() {
+		if d.W.W.Data != nil || d.W.Grad.Data != nil {
+			t.Fatalf("%s still holds weight storage", d.Name())
+		}
+		if len(d.B.W.Data) != d.Out {
+			t.Fatalf("%s bias was stripped", d.Name())
+		}
+	}
+	// Cloning a stripped network must not reallocate the dense storage:
+	// serving pools clone stripped templates and rely on the clones
+	// staying storage-free.
+	for _, d := range net.Clone().DenseLayers() {
+		if d.W.W.Data != nil || d.W.Grad.Data != nil {
+			t.Fatalf("clone of stripped net reallocated %s storage", d.Name())
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by PredictBatched after the engine is closed.
+var ErrClosed = errors.New("serve: engine closed")
+
+// BatchOptions tunes the micro-batcher.
+type BatchOptions struct {
+	// MaxBatch is the row count that triggers an immediate flush
+	// (default 32).
+	MaxBatch int
+	// Window is how long the first request in a batch waits for company
+	// before flushing anyway (default 2ms).
+	Window time.Duration
+}
+
+func (o *BatchOptions) fill() {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 32
+	}
+	if o.Window <= 0 {
+		o.Window = 2 * time.Millisecond
+	}
+}
+
+// batcher folds concurrent predict calls into shared forward passes: the
+// first arrival opens a batch window; requests landing inside it ride the
+// same matmul. One batch is in flight at a time per engine — while a
+// forward runs, new arrivals accumulate for the next one, which is what
+// makes the cache's singleflight path hot under bursts.
+type batcher struct {
+	engine   *Engine
+	opt      BatchOptions
+	reqs     chan batchReq
+	quit     chan struct{}
+	done     chan struct{}
+	quitOnce sync.Once
+}
+
+type batchReq struct {
+	rows [][]float32
+	resp chan batchResp
+}
+
+type batchResp struct {
+	out [][]float32
+	err error
+}
+
+func newBatcher(e *Engine, opt BatchOptions) *batcher {
+	opt.fill()
+	b := &batcher{
+		engine: e,
+		opt:    opt,
+		reqs:   make(chan batchReq),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+func (b *batcher) submit(rows [][]float32) ([][]float32, error) {
+	resp := make(chan batchResp, 1)
+	select {
+	case b.reqs <- batchReq{rows: rows, resp: resp}:
+	case <-b.quit:
+		return nil, ErrClosed
+	}
+	r := <-resp
+	return r.out, r.err
+}
+
+func (b *batcher) close() {
+	b.quitOnce.Do(func() { close(b.quit) })
+	<-b.done
+}
+
+func (b *batcher) loop() {
+	defer close(b.done)
+	for {
+		var first batchReq
+		select {
+		case first = <-b.reqs:
+		case <-b.quit:
+			return
+		}
+		batch := []batchReq{first}
+		n := len(first.rows)
+		timer := time.NewTimer(b.opt.Window)
+	fill:
+		for n < b.opt.MaxBatch {
+			select {
+			case req := <-b.reqs:
+				batch = append(batch, req)
+				n += len(req.rows)
+			case <-timer.C:
+				break fill
+			case <-b.quit:
+				timer.Stop()
+				b.flush(batch)
+				return
+			}
+		}
+		timer.Stop()
+		b.flush(batch)
+	}
+}
+
+// flush runs one forward pass over every request in the batch and splits
+// the result rows back out in submission order. A panic in the forward
+// pass fails the batch instead of killing the batcher goroutine (and with
+// it the whole daemon — unlike HTTP handler goroutines, nothing above us
+// recovers).
+func (b *batcher) flush(batch []batchReq) {
+	rows := make([][]float32, 0, len(batch))
+	for _, req := range batch {
+		rows = append(rows, req.rows...)
+	}
+	out, err := func() (out [][]float32, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("serve: forward pass panicked: %v", r)
+			}
+		}()
+		return b.engine.run(rows)
+	}()
+	off := 0
+	for _, req := range batch {
+		if err != nil {
+			req.resp <- batchResp{err: err}
+			continue
+		}
+		req.resp <- batchResp{out: out[off : off+len(req.rows)]}
+		off += len(req.rows)
+	}
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DecodeCache is a byte-budgeted LRU over decoded fc layers. Concurrent
+// Gets for the same key are deduplicated singleflight-style: one goroutine
+// decodes, the rest wait and share the result. Entries whose cost exceeds
+// the whole budget are decoded but never inserted (counted as bypasses),
+// so a tiny budget degrades to pure streaming instead of thrashing.
+//
+// Cached *core.DecodedLayer values are shared between callers and must be
+// treated as read-only.
+type DecodeCache struct {
+	mu       sync.Mutex
+	budget   int64 // bytes; <= 0 means unlimited
+	bytes    int64
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+	inflight map[string]*flight
+
+	hits, misses, evictions, coalesced, bypasses uint64
+	decodeTime                                   time.Duration
+}
+
+type cacheEntry struct {
+	key   string
+	layer *core.DecodedLayer
+	cost  int64
+}
+
+// flight is one in-progress decode that later arrivals wait on.
+type flight struct {
+	done  chan struct{}
+	layer *core.DecodedLayer
+	err   error
+}
+
+// NewDecodeCache creates a cache holding at most budget bytes of decoded
+// layers (budget <= 0 means unlimited).
+func NewDecodeCache(budget int64) *DecodeCache {
+	return &DecodeCache{
+		budget:   budget,
+		ll:       list.New(),
+		entries:  map[string]*list.Element{},
+		inflight: map[string]*flight{},
+	}
+}
+
+// Get returns the layer stored under key, invoking decode on a miss. cost
+// is the layer's resident size in bytes (core.Model.DenseBytes). decode
+// runs outside the cache lock; at most one decode per key is in flight.
+func (c *DecodeCache) Get(key string, cost int64, decode func() (*core.DecodedLayer, error)) (*core.DecodedLayer, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		layer := el.Value.(*cacheEntry).layer
+		c.mu.Unlock()
+		return layer, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.layer, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	t0 := time.Now()
+	layer, err := decode()
+	dt := time.Since(t0)
+
+	c.mu.Lock()
+	c.decodeTime += dt
+	delete(c.inflight, key)
+	if err == nil {
+		if c.budget > 0 && cost > c.budget {
+			c.bypasses++
+		} else {
+			c.insertLocked(key, layer, cost)
+		}
+	}
+	c.mu.Unlock()
+
+	f.layer, f.err = layer, err
+	close(f.done)
+	return layer, err
+}
+
+// insertLocked adds an entry and evicts from the LRU tail until the budget
+// holds. Caller owns c.mu.
+func (c *DecodeCache) insertLocked(key string, layer *core.DecodedLayer, cost int64) {
+	if el, ok := c.entries[key]; ok {
+		// A concurrent insert beat us (possible when a key is re-requested
+		// right after eviction); refresh recency only.
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.budget > 0 && c.bytes+cost > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.cost
+		c.evictions++
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, layer: layer, cost: cost})
+	c.bytes += cost
+}
+
+// CacheStats is a point-in-time snapshot of cache behaviour.
+type CacheStats struct {
+	Budget     int64         `json:"budget_bytes"`      // 0 = unlimited
+	BytesInUse int64         `json:"bytes_in_use"`      // resident decoded layers
+	Entries    int           `json:"entries"`           // resident layer count
+	Hits       uint64        `json:"hits"`              // served without decoding
+	Misses     uint64        `json:"misses"`            // triggered a decode
+	Coalesced  uint64        `json:"coalesced"`         // waited on another caller's decode
+	Evictions  uint64        `json:"evictions"`         // LRU evictions
+	Bypasses   uint64        `json:"bypasses"`          // layer larger than whole budget
+	DecodeTime time.Duration `json:"decode_time_nanos"` // cumulative decode wall time
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any traffic.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats snapshots the counters.
+func (c *DecodeCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Budget:     max(c.budget, 0),
+		BytesInUse: c.bytes,
+		Entries:    c.ll.Len(),
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Coalesced:  c.coalesced,
+		Evictions:  c.evictions,
+		Bypasses:   c.bypasses,
+		DecodeTime: c.decodeTime,
+	}
+}

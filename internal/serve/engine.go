@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ErrBadInput marks request-validation failures; the HTTP layer maps it
+// to 400.
+var ErrBadInput = errors.New("serve: bad input")
+
+// Engine serves one compressed model: forward passes run on a pool of
+// weight-stripped network clones, and every Dense layer's weights are
+// fetched through the shared decode cache at the moment the matmul needs
+// them. Peak extra memory for fc weights is therefore the cache budget,
+// not the model's dense size. Engine implements nn.WeightProvider.
+type Engine struct {
+	name    string
+	model   *core.Model
+	cache   *DecodeCache
+	inShape []int // per-example input shape, e.g. [1 28 28]
+	inLen   int   // product of inShape
+	pool    sync.Pool
+
+	requests atomic.Uint64 // predict calls
+	rows     atomic.Uint64 // examples served
+	batches  atomic.Uint64 // forward passes run
+
+	batcher *batcher
+}
+
+// NewEngine builds an engine for model, using skeleton for the network
+// topology and conv-prefix weights. The skeleton is cloned and stripped;
+// the caller's copy is not retained or modified. inputShape is the
+// per-example input shape the network expects.
+func NewEngine(name string, model *core.Model, skeleton *nn.Network, inputShape []int, cache *DecodeCache, opt BatchOptions) (*Engine, error) {
+	// Bad model files must fail here, at load time, not as panics inside a
+	// request's forward pass: every stored layer has to match a Dense
+	// layer's shape, and every Dense layer has to be covered (serving
+	// clones are weight-stripped, so there is no fallback).
+	for i := range model.Layers {
+		l := &model.Layers[i]
+		d := denseByName(skeleton, l.Name)
+		if d == nil {
+			return nil, fmt.Errorf("serve: model %s has layer %q absent from network %s", name, l.Name, skeleton.Name())
+		}
+		if l.Rows != d.Out || l.Cols != d.In {
+			return nil, fmt.Errorf("serve: model %s layer %s is %dx%d, network %s wants %dx%d",
+				name, l.Name, l.Rows, l.Cols, skeleton.Name(), d.Out, d.In)
+		}
+	}
+	for _, d := range skeleton.DenseLayers() {
+		if model.Layer(d.Name()) == nil {
+			return nil, fmt.Errorf("serve: model %s does not cover fc layer %s of network %s", name, d.Name(), skeleton.Name())
+		}
+	}
+	inLen := 1
+	for _, d := range inputShape {
+		inLen *= d
+	}
+	if inLen <= 0 {
+		return nil, fmt.Errorf("serve: model %s: bad input shape %v", name, inputShape)
+	}
+	template := skeleton.Clone()
+	nn.StripDenseWeights(template)
+	e := &Engine{
+		name:    name,
+		model:   model,
+		cache:   cache,
+		inShape: append([]int(nil), inputShape...),
+		inLen:   inLen,
+	}
+	e.pool.New = func() any { return template.Clone() }
+	e.batcher = newBatcher(e, opt)
+	return e, nil
+}
+
+// Name returns the registered model name.
+func (e *Engine) Name() string { return e.name }
+
+// Model returns the compressed model being served.
+func (e *Engine) Model() *core.Model { return e.model }
+
+// InputLen returns the flattened per-example input length.
+func (e *Engine) InputLen() int { return e.inLen }
+
+// LayerWeights implements nn.WeightProvider over the decode cache.
+func (e *Engine) LayerWeights(layer string) ([]float32, []float32, func(), error) {
+	if e.model.Layer(layer) == nil {
+		return nil, nil, nil, nn.ErrNotProvided
+	}
+	dl, err := e.cache.Get(e.name+"/"+layer, e.model.DenseBytes(layer), func() (*core.DecodedLayer, error) {
+		return e.model.DecodeLayer(layer)
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return dl.Weights, dl.Bias, nil, nil
+}
+
+// forward runs one inference pass over a [N, inShape...] batch.
+func (e *Engine) forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	net := e.pool.Get().(*nn.Network)
+	defer e.pool.Put(net)
+	e.batches.Add(1)
+	return net.ForwardWithProvider(x, e)
+}
+
+// Predict runs rows (flattened examples) through the model immediately,
+// without micro-batching, and returns one logits row per input. Safe for
+// concurrent use.
+func (e *Engine) Predict(rows [][]float32) ([][]float32, error) {
+	if err := e.checkRows(rows); err != nil {
+		return nil, err
+	}
+	e.requests.Add(1)
+	e.rows.Add(uint64(len(rows)))
+	return e.run(rows)
+}
+
+// PredictBatched is Predict through the micro-batcher: concurrent callers
+// within the batch window share one forward pass.
+func (e *Engine) PredictBatched(rows [][]float32) ([][]float32, error) {
+	if err := e.checkRows(rows); err != nil {
+		return nil, err
+	}
+	e.requests.Add(1)
+	e.rows.Add(uint64(len(rows)))
+	return e.batcher.submit(rows)
+}
+
+func (e *Engine) checkRows(rows [][]float32) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("%w: %s: inputs must be a non-empty array of rows", ErrBadInput, e.name)
+	}
+	for i, r := range rows {
+		if len(r) != e.inLen {
+			return fmt.Errorf("%w: %s: input %d has %d values, want %d", ErrBadInput, e.name, i, len(r), e.inLen)
+		}
+	}
+	return nil
+}
+
+// run executes rows as a single forward pass and splits the logits.
+func (e *Engine) run(rows [][]float32) ([][]float32, error) {
+	n := len(rows)
+	flat := make([]float32, 0, n*e.inLen)
+	for _, r := range rows {
+		flat = append(flat, r...)
+	}
+	x := tensor.FromSlice(flat, append([]int{n}, e.inShape...)...)
+	y, err := e.forward(x)
+	if err != nil {
+		return nil, err
+	}
+	classes := y.Len() / n
+	out := make([][]float32, n)
+	for i := range out {
+		out[i] = y.Data[i*classes : (i+1)*classes : (i+1)*classes]
+	}
+	return out, nil
+}
+
+// EngineStats is a snapshot of one model's serving counters.
+type EngineStats struct {
+	Requests uint64  `json:"requests"`
+	Rows     uint64  `json:"rows"`
+	Batches  uint64  `json:"batches"`
+	AvgBatch float64 `json:"avg_batch_rows"`
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() EngineStats {
+	s := EngineStats{
+		Requests: e.requests.Load(),
+		Rows:     e.rows.Load(),
+		Batches:  e.batches.Load(),
+	}
+	if s.Batches > 0 {
+		s.AvgBatch = float64(s.Rows) / float64(s.Batches)
+	}
+	return s
+}
+
+// Close stops the micro-batcher. Predict keeps working; PredictBatched
+// returns an error after Close.
+func (e *Engine) Close() { e.batcher.close() }
+
+func denseByName(n *nn.Network, name string) *nn.Dense {
+	for _, d := range n.DenseLayers() {
+		if d.Name() == name {
+			return d
+		}
+	}
+	return nil
+}

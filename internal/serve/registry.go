@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Registry holds the engines for every loaded model and owns the decode
+// cache they share: the memory budget is server-wide, so hot models evict
+// cold models' layers, exactly like device memory on a shared accelerator.
+type Registry struct {
+	mu      sync.RWMutex
+	cache   *DecodeCache
+	engines map[string]*Engine
+	opt     BatchOptions
+}
+
+// NewRegistry creates a registry whose decode cache holds at most budget
+// bytes of materialised fc layers (budget <= 0 means unlimited).
+func NewRegistry(budget int64, opt BatchOptions) *Registry {
+	return &Registry{
+		cache:   NewDecodeCache(budget),
+		engines: map[string]*Engine{},
+		opt:     opt,
+	}
+}
+
+// Cache returns the shared decode cache (for stats reporting).
+func (r *Registry) Cache() *DecodeCache { return r.cache }
+
+// Add registers a model under name. skeleton provides the topology and
+// conv-prefix weights; inputShape is the per-example input shape.
+func (r *Registry) Add(name string, m *core.Model, skeleton *nn.Network, inputShape []int) (*Engine, error) {
+	e, err := NewEngine(name, m, skeleton, inputShape, r.cache, r.opt)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.engines[name]; dup {
+		e.Close()
+		return nil, fmt.Errorf("serve: model %q already registered", name)
+	}
+	r.engines[name] = e
+	return e, nil
+}
+
+// LoadFile reads a .dsz file and registers it under name (empty name means
+// the model's stored network name). The network skeleton is built from the
+// model's NetName; weightsPath, when non-empty, supplies the trained
+// conv-prefix weights (`deepsz prune` output). Networks with parameters
+// outside their fc layers refuse to load without one — their conv prefix
+// would otherwise be random init and every prediction garbage.
+func (r *Registry) LoadFile(name, path, weightsPath string) (*Engine, error) {
+	m, err := core.ReadModel(path)
+	if err != nil {
+		return nil, err
+	}
+	skeleton, err := models.Build(m.NetName, tensor.NewRNG(42))
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s: %w", path, err)
+	}
+	if weightsPath != "" {
+		f, err := os.Open(weightsPath)
+		if err != nil {
+			return nil, err
+		}
+		err = nn.LoadWeights(f, skeleton)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s: %w", weightsPath, err)
+		}
+	} else if prefixHasParams(skeleton) {
+		// Without trained prefix weights the conv layers keep their random
+		// init and every prediction is garbage; refuse instead.
+		return nil, fmt.Errorf("serve: network %s has parameters outside its fc layers; supply a weights file (-model name=%s:weights)", m.NetName, path)
+	}
+	shape, err := models.InputShape(m.NetName)
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		name = m.NetName
+	}
+	return r.Add(name, m, skeleton, shape)
+}
+
+// prefixHasParams reports whether any non-Dense layer carries trainable
+// parameters (a conv prefix the .dsz file cannot supply).
+func prefixHasParams(n *nn.Network) bool {
+	for _, l := range n.Layers {
+		if _, ok := l.(*nn.Dense); ok {
+			continue
+		}
+		if len(l.Params()) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns the engine registered under name.
+func (r *Registry) Get(name string) (*Engine, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.engines[name]
+	return e, ok
+}
+
+// Names lists the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.engines))
+	for n := range r.engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close shuts down every engine's micro-batcher.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.engines {
+		e.Close()
+	}
+}

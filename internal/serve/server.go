@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Server is the HTTP JSON front end over a Registry.
+//
+//	GET  /healthz                        liveness probe
+//	GET  /v1/models                      loaded models and their layers
+//	POST /v1/models/{name}/predict       {"inputs": [[...], ...]}
+//	GET  /v1/stats                       cache + per-model counters
+type Server struct {
+	reg   *Registry
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer wires the API routes over reg.
+func NewServer(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"models":         len(s.reg.Names()),
+	})
+}
+
+// layerInfo describes one compressed fc layer in a /v1/models response.
+type layerInfo struct {
+	Name            string `json:"name"`
+	Rows            int    `json:"rows"`
+	Cols            int    `json:"cols"`
+	CompressedBytes int    `json:"compressed_bytes"`
+	DenseBytes      int64  `json:"dense_bytes"`
+}
+
+type modelInfo struct {
+	Name            string      `json:"name"`
+	Net             string      `json:"net"`
+	InputLen        int         `json:"input_len"`
+	CompressedBytes int         `json:"compressed_bytes"`
+	DenseBytes      int64       `json:"dense_bytes"`
+	Layers          []layerInfo `json:"layers"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		Models []modelInfo `json:"models"`
+	}{Models: []modelInfo{}}
+	for _, name := range s.reg.Names() {
+		e, ok := s.reg.Get(name)
+		if !ok {
+			continue
+		}
+		m := e.Model()
+		mi := modelInfo{
+			Name:            name,
+			Net:             m.NetName,
+			InputLen:        e.InputLen(),
+			CompressedBytes: m.TotalBytes(),
+		}
+		for _, l := range m.Layers {
+			db := l.DenseBytes()
+			mi.DenseBytes += db
+			mi.Layers = append(mi.Layers, layerInfo{
+				Name:            l.Name,
+				Rows:            l.Rows,
+				Cols:            l.Cols,
+				CompressedBytes: len(l.SZBlob) + len(l.IndexBlob) + 4*len(l.Bias),
+				DenseBytes:      db,
+			})
+		}
+		out.Models = append(out.Models, mi)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// Request-size guards: the daemon's whole point is bounded memory, so a
+// single predict call must not be able to materialise an unbounded body.
+const (
+	maxPredictBody = 32 << 20 // bytes of JSON accepted per request
+	maxPredictRows = 4096     // rows accepted per request
+)
+
+type predictRequest struct {
+	Inputs [][]float32 `json:"inputs"`
+}
+
+type predictResponse struct {
+	Outputs [][]float32 `json:"outputs"`
+	Argmax  []int       `json:"argmax"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model %q", name)
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPredictBody)).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "bad request body: %v", err)
+		return
+	}
+	if len(req.Inputs) > maxPredictRows {
+		writeError(w, http.StatusRequestEntityTooLarge, "%d input rows exceed the per-request limit of %d", len(req.Inputs), maxPredictRows)
+		return
+	}
+	out, err := e.PredictBatched(req.Inputs)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrBadInput):
+			status = http.StatusBadRequest
+		case errors.Is(err, ErrClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	resp := predictResponse{Outputs: out, Argmax: make([]int, len(out))}
+	for i, row := range out {
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		resp.Argmax[i] = best
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type statsResponse struct {
+	Cache   CacheStats             `json:"cache"`
+	HitRate float64                `json:"cache_hit_rate"`
+	Models  map[string]EngineStats `json:"models"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		Cache:  s.reg.Cache().Stats(),
+		Models: map[string]EngineStats{},
+	}
+	resp.HitRate = resp.Cache.HitRate()
+	for _, name := range s.reg.Names() {
+		if e, ok := s.reg.Get(name); ok {
+			resp.Models[name] = e.Stats()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

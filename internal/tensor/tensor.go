@@ -51,8 +51,13 @@ func (t *Tensor) Dim(i int) int { return t.Shape[i] }
 // Rank returns the number of dimensions.
 func (t *Tensor) Rank() int { return len(t.Shape) }
 
-// Clone returns a deep copy of t.
+// Clone returns a deep copy of t. A tensor whose storage was released
+// (nil Data, e.g. a dense layer stripped for provider-driven serving)
+// clones to another storage-free tensor instead of reallocating.
 func (t *Tensor) Clone() *Tensor {
+	if t.Data == nil {
+		return &Tensor{Shape: append([]int(nil), t.Shape...)}
+	}
 	c := New(t.Shape...)
 	copy(c.Data, t.Data)
 	return c
