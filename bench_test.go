@@ -7,14 +7,18 @@ package repro_test
 // networks.
 
 import (
+	"bytes"
+	"fmt"
 	"io"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/deepcomp"
 	"repro/internal/experiments"
 	"repro/internal/lossless"
 	"repro/internal/models"
+	"repro/internal/nn"
 	"repro/internal/prune"
 	"repro/internal/serve"
 	"repro/internal/sz"
@@ -316,6 +320,93 @@ func BenchmarkExperimentReports(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// codecBenchNet builds a pruned MLP with eight equal-sized fc layers.
+// Layer-level parallelism in Generate/Decode only shows on balanced
+// layers; the paper's networks (fc6 ≫ fc7 ≫ fc8) are dominated by one
+// layer and would hide the scaling.
+func codecBenchNet() (*nn.Network, *core.Plan) {
+	rng := tensor.NewRNG(77)
+	layers := []nn.Layer{nn.NewFlatten("flat")}
+	ratios := map[string]float64{}
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("fc%d", i)
+		layers = append(layers, nn.NewDense(name, 256, 256, rng), nn.NewReLU(name+"-relu"))
+		ratios[name] = 0.1
+	}
+	net := nn.NewNetwork("codec-bench", layers...)
+	prune.Network(net, ratios, 0.1)
+	plan := &core.Plan{}
+	for _, fc := range net.DenseLayers() {
+		plan.Choices = append(plan.Choices, core.Choice{Layer: fc.Name(), EB: 1e-3})
+	}
+	return net, plan
+}
+
+// benchCodecs are the registered lossy back-ends the Generate/Decode
+// benchmarks sweep.
+var benchCodecs = []string{"sz", "zfp", "deepcomp"}
+
+// BenchmarkGenerate times compressed-model generation per codec, serial
+// (workers=1) vs parallel (workers=4), asserting the parallel output is
+// byte-identical to the serial one.
+func BenchmarkGenerate(b *testing.B) {
+	net, plan := codecBenchNet()
+	for _, name := range benchCodecs {
+		cdc, err := codec.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfgFor := func(workers int) core.Config {
+			return core.Config{ExpectedAccuracyLoss: 0.01, Workers: workers, Codec: cdc.ID()}
+		}
+		serial, err := core.Generate(net, plan, cfgFor(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		parallel, err := core.Generate(net, plan, cfgFor(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Equal(serial.Marshal(), parallel.Marshal()) {
+			b.Fatalf("%s: parallel Generate output differs from serial", name)
+		}
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				cfg := cfgFor(workers)
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Generate(net, plan, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDecode times full-model decoding per codec, serial vs parallel.
+func BenchmarkDecode(b *testing.B) {
+	net, plan := codecBenchNet()
+	for _, name := range benchCodecs {
+		cdc, err := codec.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := core.Generate(net, plan, core.Config{ExpectedAccuracyLoss: 0.01, Codec: cdc.ID()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := m.DecodeWith(workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -15,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/models"
 	"repro/internal/nn"
@@ -56,11 +58,13 @@ func usage() {
 
   train  -net NAME -out FILE [-epochs N] [-samples N] [-seed N]
   prune  -net NAME -in FILE -out FILE [-retrain N]
-  encode -net NAME -in FILE -out FILE [-loss F] [-ratio F] [-workers N]
+  encode -net NAME -in FILE -out FILE [-loss F] [-ratio F] [-workers N] [-codec NAME]
   decode -net NAME -model FILE -out FILE
   eval   -net NAME -in FILE [-samples N]
 
 networks: lenet-300-100, lenet-5, alexnet-s, vgg16-s
+codecs:   `+strings.Join(codec.Names(), ", ")+` (default sz; decode reads
+the codec from the .dsz stream)
 
 To serve an encoded model over HTTP (the model stays compressed at rest;
 fc layers are decoded on demand through a bounded cache), use the deepszd
@@ -172,9 +176,14 @@ func cmdEncode(args []string) error {
 	ratio := fs.Float64("ratio", 0, "expected compression ratio (enables expected-ratio mode)")
 	workers := fs.Int("workers", 0, "assessment workers (0 = GOMAXPROCS)")
 	samples := fs.Int("samples", 500, "test samples for assessment")
+	codecName := fs.String("codec", "sz", "lossy codec for data arrays ("+strings.Join(codec.Names(), ", ")+")")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("encode: -in and -out required")
+	}
+	cdc, err := codec.ByName(*codecName)
+	if err != nil {
+		return fmt.Errorf("encode: %w (have: %s)", err, strings.Join(codec.Names(), ", "))
 	}
 	net, err := loadNet(*name, *in, 42)
 	if err != nil {
@@ -188,6 +197,7 @@ func cmdEncode(args []string) error {
 		ExpectedAccuracyLoss: *loss,
 		DistortionCriterion:  0.005,
 		Workers:              *workers,
+		Codec:                cdc.ID(),
 	}
 	if *ratio > 0 {
 		cfg.Mode = core.ExpectedRatio
@@ -197,8 +207,8 @@ func cmdEncode(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("encoded %s: %d → %d bytes (%.1fx, pruning alone %.1fx)\n",
-		*name, res.OriginalFCBytes, res.CompressedBytes,
+	fmt.Printf("encoded %s [%s]: %d → %d bytes (%.1fx, pruning alone %.1fx)\n",
+		*name, cdc.Name(), res.OriginalFCBytes, res.CompressedBytes,
 		res.CompressionRatio(), res.PruningRatio())
 	fmt.Printf("accuracy: %.2f%% → %.2f%% (budget %.2f%%)\n",
 		100*res.Before.Top1, 100*res.After.Top1, 100**loss)
@@ -235,8 +245,8 @@ func cmdDecode(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("decoded %s: lossless %v, SZ %v, reconstruct %v\n",
-		*name, bd.Lossless, bd.SZ, bd.Reconstruct)
+	fmt.Printf("decoded %s: lossless %v, lossy %v, reconstruct %v\n",
+		*name, bd.Lossless, bd.Lossy, bd.Reconstruct)
 	return saveNet(net, *out)
 }
 

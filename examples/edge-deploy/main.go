@@ -83,9 +83,9 @@ func main() {
 			correct++
 		}
 	}
-	fmt.Printf("edge:  decode %v (lossless %v / SZ %v / reconstruct %v)\n",
+	fmt.Printf("edge:  decode %v (lossless %v / lossy %v / reconstruct %v)\n",
 		decodeTime.Round(time.Microsecond), bd.Lossless.Round(time.Microsecond),
-		bd.SZ.Round(time.Microsecond), bd.Reconstruct.Round(time.Microsecond))
+		bd.Lossy.Round(time.Microsecond), bd.Reconstruct.Round(time.Microsecond))
 	fmt.Printf("edge:  50-image forward pass %v — decode is %.1f%% of one batch\n",
 		fwdTime.Round(time.Microsecond), 100*float64(decodeTime)/float64(fwdTime))
 	fmt.Printf("edge:  batch accuracy %d/50\n", correct)

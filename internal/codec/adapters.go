@@ -1,0 +1,83 @@
+package codec
+
+import (
+	"repro/internal/deepcomp"
+	"repro/internal/sz"
+	"repro/internal/zfp"
+)
+
+// The built-in codecs register at init so every importer sees the same
+// registry regardless of import order.
+func init() {
+	mustRegister(szCodec{})
+	mustRegister(zfpCodec{})
+	mustRegister(deepcompCodec{})
+}
+
+// szCodec adapts internal/sz: adaptive Lorenzo/regression prediction,
+// linear-scaling quantization, Huffman coding, optional lossless stage.
+type szCodec struct{}
+
+func (szCodec) ID() ID             { return IDSZ }
+func (szCodec) Name() string       { return "sz" }
+func (szCodec) ErrorBounded() bool { return true }
+
+func (szCodec) Compress(data []float32, opts Options) ([]byte, error) {
+	return sz.Compress(data, sz.Options{
+		ErrorBound: opts.ErrorBound,
+		BlockSize:  opts.BlockSize,
+		Radius:     opts.Radius,
+	})
+}
+
+func (szCodec) Decompress(blob []byte) ([]float32, error) {
+	return sz.Decompress(blob)
+}
+
+// zfpCodec adapts internal/zfp in accuracy mode, so Options.ErrorBound maps
+// onto ZFP's absolute tolerance and the bound guarantee carries over.
+type zfpCodec struct{}
+
+func (zfpCodec) ID() ID             { return IDZFP }
+func (zfpCodec) Name() string       { return "zfp" }
+func (zfpCodec) ErrorBounded() bool { return true }
+
+func (zfpCodec) Compress(data []float32, opts Options) ([]byte, error) {
+	return zfp.Compress(data, zfp.Options{
+		Mode:      zfp.ModeAccuracy,
+		Tolerance: opts.ErrorBound,
+	})
+}
+
+func (zfpCodec) Decompress(blob []byte) ([]float32, error) {
+	return zfp.Decompress(blob)
+}
+
+// deepcompCodec adapts internal/deepcomp: k-means weight sharing with a
+// 2^Bits codebook and Huffman coding. It has no error control — the bound
+// is ignored, mirroring the baseline's behaviour in the paper's Table 5.
+type deepcompCodec struct{}
+
+func (deepcompCodec) ID() ID             { return IDDeepComp }
+func (deepcompCodec) Name() string       { return "deepcomp" }
+func (deepcompCodec) ErrorBounded() bool { return false }
+
+func (deepcompCodec) Compress(data []float32, opts Options) ([]byte, error) {
+	bits := opts.Bits
+	if bits == 0 {
+		bits = 5 // Deep Compression's published fc-layer codebook width
+	}
+	c, err := deepcomp.CompressLayer(data, deepcomp.Options{Bits: bits})
+	if err != nil {
+		return nil, err
+	}
+	return c.Marshal(), nil
+}
+
+func (deepcompCodec) Decompress(blob []byte) ([]float32, error) {
+	c, err := deepcomp.Unmarshal(blob)
+	if err != nil {
+		return nil, err
+	}
+	return c.Decompress()
+}

@@ -1,0 +1,165 @@
+// Package codec defines the pluggable lossy-compressor abstraction behind
+// DeepSZ's data-array encoding and the registry that maps serialized codec
+// identifiers to implementations.
+//
+// The paper's evaluation (Tables 2–4, Figure 7) compares SZ-based DeepSZ
+// against Deep-Compression- and ZFP-based encoders. Making the codec a
+// first-class, registered back-end lets the same `.dsz` container, CLI, and
+// serving daemon carry any of them: `core.Generate` compresses each fc
+// layer's sparse data array through a Codec chosen per plan, and
+// `core.Decode` routes each layer's blob back through `ByID`.
+//
+// Identifiers are part of the `.dsz` v2 stream format and must never be
+// renumbered. Version-1 streams predate the codec byte and always decode
+// with IDSZ.
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ID identifies a lossy codec inside serialized `.dsz` blobs.
+type ID uint8
+
+// Built-in codec identifiers. The numeric values are part of the container
+// format.
+const (
+	// IDSZ is the SZ error-bounded compressor (the paper's choice and the
+	// default; v1 streams implicitly use it).
+	IDSZ ID = 1
+	// IDZFP is the ZFP-style transform coder (the paper's Figure 2
+	// baseline), run in accuracy mode so the error bound is honoured.
+	IDZFP ID = 2
+	// IDDeepComp is Deep Compression's cluster quantisation (Table 4
+	// baseline). It has no error control: ErrorBound is ignored and
+	// ErrorBounded reports false.
+	IDDeepComp ID = 3
+)
+
+// Options tunes a compression call. Fields irrelevant to a codec are
+// ignored by it; the produced blob is self-describing, so Decompress never
+// needs Options.
+type Options struct {
+	// ErrorBound is the absolute error bound for error-bounded codecs
+	// (sz, zfp). Must be positive for them.
+	ErrorBound float64
+	// BlockSize tunes SZ's prediction block length (0 = default).
+	BlockSize int
+	// Radius tunes SZ's quantization interval radius (0 = default).
+	Radius int
+	// Bits is the deepcomp codebook width (0 = 5, the paper's fc choice).
+	Bits int
+}
+
+// Codec is an error-bounded (or, for deepcomp, best-effort) lossy
+// compressor for 1-D float32 arrays. Implementations must be stateless and
+// safe for concurrent use: Generate and Decode call them from worker pools.
+type Codec interface {
+	// ID returns the serialization identifier of this codec.
+	ID() ID
+	// Name returns the stable CLI/API name ("sz", "zfp", "deepcomp").
+	Name() string
+	// ErrorBounded reports whether Compress honours Options.ErrorBound as
+	// an absolute reconstruction-error guarantee.
+	ErrorBounded() bool
+	// Compress encodes data into a self-describing blob.
+	Compress(data []float32, opts Options) ([]byte, error)
+	// Decompress reverses Compress.
+	Decompress(blob []byte) ([]float32, error)
+}
+
+// ErrUnknown is returned when looking up a codec that is not registered.
+var ErrUnknown = errors.New("codec: unknown codec")
+
+var (
+	mu     sync.RWMutex
+	byID   = map[ID]Codec{}
+	byName = map[string]Codec{}
+)
+
+// Register adds a codec to the registry. It fails if the ID or name is
+// already taken — identifiers are format-level constants and must stay
+// unique for the lifetime of the process.
+func Register(c Codec) error {
+	if c == nil {
+		return errors.New("codec: cannot register nil codec")
+	}
+	if c.ID() == 0 {
+		return errors.New("codec: id 0 is reserved (v1 streams)")
+	}
+	if c.Name() == "" {
+		return errors.New("codec: empty name")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if dup, ok := byID[c.ID()]; ok {
+		return fmt.Errorf("codec: id %d already registered to %q", c.ID(), dup.Name())
+	}
+	if _, ok := byName[c.Name()]; ok {
+		return fmt.Errorf("codec: name %q already registered", c.Name())
+	}
+	byID[c.ID()] = c
+	byName[c.Name()] = c
+	return nil
+}
+
+// mustRegister panics on registration failure; used for the built-ins.
+func mustRegister(c Codec) {
+	if err := Register(c); err != nil {
+		panic(err)
+	}
+}
+
+// ByID returns the codec with the given serialization identifier.
+func ByID(id ID) (Codec, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	if c, ok := byID[id]; ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("%w: id %d", ErrUnknown, id)
+}
+
+// ByName returns the codec with the given CLI/API name.
+func ByName(name string) (Codec, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	if c, ok := byName[name]; ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknown, name)
+}
+
+// Names lists the registered codec names, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NameOf returns the registered name for id, or "unknown(id)" for
+// unregistered identifiers. Convenient for reporting paths (serve's
+// /v1/models) that must not fail on a stale registry.
+func NameOf(id ID) string {
+	if c, err := ByID(id); err == nil {
+		return c.Name()
+	}
+	return fmt.Sprintf("unknown(%d)", id)
+}
+
+// Default returns the default codec (SZ, the paper's choice).
+func Default() Codec {
+	c, err := ByID(IDSZ)
+	if err != nil {
+		panic("codec: sz codec not registered")
+	}
+	return c
+}

@@ -1,0 +1,160 @@
+package codec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// weightLike fills a pruned-weight-shaped array: ~10% dense Gaussian
+// values, the rest exact zeros (the padding convention of prune.Sparse).
+func weightLike(rng *tensor.RNG, n int) []float32 {
+	out := make([]float32, n)
+	rng.FillNormal(out, 0, 0.05)
+	for i := range out {
+		if rng.Intn(10) != 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	data := weightLike(rng, 4096)
+	const eb = 1e-3
+	for _, name := range Names() {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			blob, err := c.Compress(data, Options{ErrorBound: eb})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := c.Decompress(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dec) != len(data) {
+				t.Fatalf("%s: decoded %d values, want %d", name, len(dec), len(data))
+			}
+			if !c.ErrorBounded() {
+				return
+			}
+			for i := range data {
+				if d := math.Abs(float64(dec[i]) - float64(data[i])); d > eb*1.0001+1e-9 {
+					t.Fatalf("%s[%d]: error %g exceeds bound %g", name, i, d, eb)
+				}
+			}
+		})
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	for _, name := range Names() {
+		c, _ := ByName(name)
+		blob, err := c.Compress(nil, Options{ErrorBound: 1e-3})
+		if err != nil {
+			t.Fatalf("%s: compress empty: %v", name, err)
+		}
+		dec, err := c.Decompress(blob)
+		if err != nil {
+			t.Fatalf("%s: decompress empty: %v", name, err)
+		}
+		if len(dec) != 0 {
+			t.Fatalf("%s: decoded %d values from empty input", name, len(dec))
+		}
+	}
+}
+
+func TestErrorBoundValidation(t *testing.T) {
+	for _, name := range []string{"sz", "zfp"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.ErrorBounded() {
+			t.Fatalf("%s must report ErrorBounded", name)
+		}
+		if _, err := c.Compress([]float32{1, 2, 3}, Options{ErrorBound: 0}); err == nil {
+			t.Fatalf("%s: expected error for non-positive bound", name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, tc := range []struct {
+		id   ID
+		name string
+	}{{IDSZ, "sz"}, {IDZFP, "zfp"}, {IDDeepComp, "deepcomp"}} {
+		c, err := ByID(tc.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Name() != tc.name {
+			t.Fatalf("ByID(%d).Name() = %q, want %q", tc.id, c.Name(), tc.name)
+		}
+		c2, err := ByName(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2.ID() != tc.id {
+			t.Fatalf("ByName(%q).ID() = %d, want %d", tc.name, c2.ID(), tc.id)
+		}
+	}
+	if _, err := ByID(99); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+	if got := NameOf(IDZFP); got != "zfp" {
+		t.Fatalf("NameOf(IDZFP) = %q", got)
+	}
+	if got := NameOf(250); got != "unknown(250)" {
+		t.Fatalf("NameOf(250) = %q", got)
+	}
+	if Default().ID() != IDSZ {
+		t.Fatal("default codec must be sz")
+	}
+}
+
+// fakeCodec exercises registry collision handling.
+type fakeCodec struct {
+	id   ID
+	name string
+}
+
+func (f fakeCodec) ID() ID                                      { return f.id }
+func (f fakeCodec) Name() string                                { return f.name }
+func (f fakeCodec) ErrorBounded() bool                          { return false }
+func (f fakeCodec) Compress([]float32, Options) ([]byte, error) { return nil, nil }
+func (f fakeCodec) Decompress([]byte) ([]float32, error)        { return nil, nil }
+
+func TestRegisterCollisions(t *testing.T) {
+	if err := Register(fakeCodec{id: IDSZ, name: "other"}); err == nil {
+		t.Fatal("expected duplicate-id rejection")
+	}
+	if err := Register(fakeCodec{id: 240, name: "sz"}); err == nil {
+		t.Fatal("expected duplicate-name rejection")
+	}
+	if err := Register(fakeCodec{id: 0, name: "zero"}); err == nil {
+		t.Fatal("expected reserved-id rejection")
+	}
+	if err := Register(nil); err == nil {
+		t.Fatal("expected nil rejection")
+	}
+	// A genuinely new codec registers and resolves.
+	if err := Register(fakeCodec{id: 241, name: "fake-test-codec"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID(241); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("fake-test-codec"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,11 +5,11 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/codec"
 	"repro/internal/dataset"
 	"repro/internal/lossless"
 	"repro/internal/nn"
 	"repro/internal/prune"
-	"repro/internal/sz"
 	"repro/internal/tensor"
 )
 
@@ -141,6 +141,17 @@ func assessLayer(suffix *nn.Network, features *tensor.Tensor, test *dataset.Set,
 		return p
 	}
 
+	// A codec without error control (deepcomp) produces the same blob and
+	// degradation at every grid point: one measurement describes the whole
+	// sweep, so skip it rather than re-clustering and re-evaluating the
+	// suffix once per bound.
+	if cdc, err := codec.ByID(cfg.Codec); err == nil && !cdc.ErrorBounded() {
+		p := try(cfg.StartErrorBound)
+		la.FeasibleLo, la.FeasibleHi = p.EB, p.EB
+		la.Points = []Point{p}
+		return tests
+	}
+
 	// Coarse sweep (Algorithm 1 lines 13–19): walk decades from the start
 	// bound until the distortion criterion (0.1 %) trips, then fine-sweep
 	// from a decade below.
@@ -192,21 +203,21 @@ func assessLayer(suffix *nn.Network, features *tensor.Tensor, test *dataset.Set,
 	return tests
 }
 
-// measure compresses the layer's data array at eb, reconstructs the layer,
-// and evaluates the suffix network. The suffix's weights are left modified;
-// the caller restores them.
+// measure compresses the layer's data array at eb with the configured
+// codec, reconstructs the layer, and evaluates the suffix network. The
+// suffix's weights are left modified; the caller restores them.
 func measure(suffix *nn.Network, features *tensor.Tensor, test *dataset.Set,
 	fc *nn.Dense, sp *prune.Sparse, eb, baselineTop1 float64, cfg Config) Point {
 
-	blob, err := sz.Compress(sp.Data, sz.Options{
-		ErrorBound: eb,
-		BlockSize:  cfg.SZBlockSize,
-		Radius:     cfg.SZRadius,
-	})
+	cdc, err := codec.ByID(cfg.Codec)
+	if err != nil {
+		panic(fmt.Sprintf("core: assessment codec missing: %v", err)) // fill() validated it
+	}
+	blob, err := cdc.Compress(sp.Data, cfg.codecOptions(eb))
 	if err != nil {
 		panic(fmt.Sprintf("core: assessment compression failed: %v", err))
 	}
-	dec, err := sz.Decompress(blob)
+	dec, err := cdc.Decompress(blob)
 	if err != nil {
 		panic(fmt.Sprintf("core: assessment decompression failed: %v", err))
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/prune"
@@ -38,6 +39,35 @@ func assessCfg() Config {
 		StartErrorBound:      1e-3,
 		MaxErrorBound:        0.2,
 		TestBatch:            100,
+	}
+}
+
+// TestAssessNonErrorBoundedCodecSinglePoint: a codec that ignores the
+// error bound (deepcomp) yields the same measurement at every grid point,
+// so assessment must collapse each layer's sweep to one test.
+func TestAssessNonErrorBoundedCodecSinglePoint(t *testing.T) {
+	net := prunedMLP(60)
+	test := dataset.SynthMNIST(60, 32)
+	cfg := assessCfg()
+	cfg.Codec = codec.IDDeepComp
+	cfg.TestBatch = 30
+	a, err := Assess(net, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Layers) != 2 {
+		t.Fatalf("assessed %d layers", len(a.Layers))
+	}
+	for _, la := range a.Layers {
+		if len(la.Points) != 1 {
+			t.Fatalf("layer %s has %d points, want 1 (codec ignores the bound)", la.Layer, len(la.Points))
+		}
+		if la.FeasibleLo != la.Points[0].EB || la.FeasibleHi != la.Points[0].EB {
+			t.Fatalf("layer %s feasible range [%v,%v] not collapsed", la.Layer, la.FeasibleLo, la.FeasibleHi)
+		}
+	}
+	if a.Tests != len(a.Layers) {
+		t.Fatalf("%d accuracy tests for %d layers, want one each", a.Tests, len(a.Layers))
 	}
 }
 

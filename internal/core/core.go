@@ -19,6 +19,8 @@ package core
 import (
 	"fmt"
 	"runtime"
+
+	"repro/internal/codec"
 )
 
 // Mode selects the optimisation objective (§3.4).
@@ -63,14 +65,35 @@ type Config struct {
 	// TestBatch is the evaluation batch size (default 100).
 	TestBatch int
 
-	// Workers bounds assessment parallelism (default GOMAXPROCS); each
-	// worker owns a private clone of the network's fc suffix, mirroring the
-	// paper's embarrassingly parallel multi-GPU testing.
+	// Workers bounds assessment and generation parallelism (default
+	// GOMAXPROCS); each assessment worker owns a private clone of the
+	// network's fc suffix, mirroring the paper's embarrassingly parallel
+	// multi-GPU testing, while generation workers compress whole layers
+	// independently. Decoding is bounded separately: Model.DecodeWith
+	// takes an explicit worker count (Decode uses GOMAXPROCS).
 	Workers int
+
+	// Codec selects the lossy back-end for data arrays (0 = codec.IDSZ,
+	// the paper's choice). Assessment, optimisation, and generation all use
+	// it, so the plan's sizes match the emitted model.
+	Codec codec.ID
+
+	// CodecBits is the deepcomp codec's codebook width (0 = 5).
+	CodecBits int
 
 	// SZBlockSize / SZRadius tune the SZ compressor (0 = defaults).
 	SZBlockSize int
 	SZRadius    int
+}
+
+// codecOptions bundles the per-call codec tuning for an error bound.
+func (c *Config) codecOptions(eb float64) codec.Options {
+	return codec.Options{
+		ErrorBound: eb,
+		BlockSize:  c.SZBlockSize,
+		Radius:     c.SZRadius,
+		Bits:       c.CodecBits,
+	}
 }
 
 func (c *Config) fill() error {
@@ -99,6 +122,15 @@ func (c *Config) fill() error {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Codec == 0 {
+		c.Codec = codec.IDSZ
+	}
+	if _, err := codec.ByID(c.Codec); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.CodecBits < 0 || c.CodecBits > 16 {
+		return fmt.Errorf("core: CodecBits %d out of [0,16]", c.CodecBits)
 	}
 	return nil
 }

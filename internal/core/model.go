@@ -5,26 +5,32 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/lossless"
 	"repro/internal/nn"
 	"repro/internal/prune"
-	"repro/internal/sz"
 )
 
-// LayerBlob is one fc layer of a compressed model: the SZ-compressed data
+// LayerBlob is one fc layer of a compressed model: the lossy-compressed data
 // array, the losslessly compressed index array, and the raw biases (biases
 // are a few hundred bytes; the paper leaves them untouched).
 type LayerBlob struct {
 	Name       string
 	Rows, Cols int
 	EB         float64
-	Bias       []float32
-	SZBlob     []byte
-	IndexID    lossless.ID
-	IndexBlob  []byte
-	IndexLen   int // entries in the decompressed index array
+	// Codec identifies the lossy back-end that produced DataBlob. Version-1
+	// streams predate the field and always carry codec.IDSZ.
+	Codec     codec.ID
+	Bias      []float32
+	DataBlob  []byte
+	IndexID   lossless.ID
+	IndexBlob []byte
+	IndexLen  int // entries in the decompressed index array
 }
 
 // Model is the compressed-model container DeepSZ step 4 emits. It is
@@ -36,9 +42,25 @@ type Model struct {
 }
 
 const (
-	modelMagic   = 0x44535A31 // "DSZ1"
-	modelVersion = 1
+	modelMagic = 0x44535A31 // "DSZ1"
+	// modelVersion1 streams have no per-layer codec byte: every data blob
+	// is SZ-compressed. modelVersion2 adds one codec.ID byte per layer.
+	// WriteModel/Marshal always emit version 2; Unmarshal reads both.
+	modelVersion1 = 1
+	modelVersion2 = 2
 )
+
+// maxLayerDense bounds Rows×Cols accepted from serialized headers. 2^28
+// weights (1 GiB dense) is 2.6× the paper's largest fc layer (VGG-16 fc6,
+// ~103 M weights); forged headers beyond it are rejected before any
+// allocation sized by the product.
+const maxLayerDense = 1 << 28
+
+// maxModelDense bounds the summed Rows×Cols over all layers of one model
+// (2^29 weights = 2 GiB dense, 4× the paper's largest fc suffix). Without
+// an aggregate cap, a stream of many individually-plausible layers could
+// still drive Decode to unbounded total allocation.
+const maxModelDense = 1 << 29
 
 // ErrCorrupt is returned when a serialized model fails validation.
 var ErrCorrupt = errors.New("core: corrupt model")
@@ -49,21 +71,48 @@ func (l *LayerBlob) DenseBytes() int64 {
 	return 4 * int64(l.Rows*l.Cols+len(l.Bias))
 }
 
+// CompressedBytes returns the layer's stored size: data blob, index blob,
+// and raw biases. The single source of truth for every per-layer size
+// report (Tables 2–4, /v1/models).
+func (l *LayerBlob) CompressedBytes() int {
+	return len(l.DataBlob) + len(l.IndexBlob) + 4*len(l.Bias)
+}
+
 // TotalBytes returns the compressed payload size (data + index blobs +
 // biases), i.e. the quantity Tables 2–4 report.
 func (m *Model) TotalBytes() int {
 	n := 0
 	for _, l := range m.Layers {
-		n += len(l.SZBlob) + len(l.IndexBlob) + 4*len(l.Bias)
+		n += l.CompressedBytes()
 	}
 	return n
 }
 
-// Marshal serializes the model to a self-describing byte stream.
+// Codecs returns the distinct codec identifiers used by the model's layers,
+// in layer order. A freshly generated model has exactly one.
+func (m *Model) Codecs() []codec.ID {
+	var out []codec.ID
+	for _, l := range m.Layers {
+		seen := false
+		for _, id := range out {
+			if id == l.Codec {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, l.Codec)
+		}
+	}
+	return out
+}
+
+// Marshal serializes the model to a self-describing byte stream (always the
+// current version-2 layout).
 func (m *Model) Marshal() []byte {
 	out := make([]byte, 0, 64+m.TotalBytes())
 	out = binary.LittleEndian.AppendUint32(out, modelMagic)
-	out = append(out, modelVersion)
+	out = append(out, modelVersion2)
 	out = appendString(out, m.NetName)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Layers)))
 	for _, l := range m.Layers {
@@ -75,7 +124,8 @@ func (m *Model) Marshal() []byte {
 		for _, b := range l.Bias {
 			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(b))
 		}
-		out = appendBytes(out, l.SZBlob)
+		out = append(out, byte(l.Codec))
+		out = appendBytes(out, l.DataBlob)
 		out = append(out, byte(l.IndexID))
 		out = appendBytes(out, l.IndexBlob)
 		out = binary.LittleEndian.AppendUint32(out, uint32(l.IndexLen))
@@ -158,20 +208,31 @@ func (r *reader) bytes() ([]byte, error) {
 	return b, nil
 }
 
-// Unmarshal parses a serialized model.
+func (r *reader) byte1() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+// Unmarshal parses a serialized model. Both stream versions are accepted:
+// version-1 layers (written before the codec registry existed) decode with
+// the SZ codec; version-2 layers carry an explicit codec identifier.
 func Unmarshal(blob []byte) (*Model, error) {
 	r := &reader{buf: blob}
 	magic, err := r.u32()
 	if err != nil || magic != modelMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if err := r.need(1); err != nil {
+	version, err := r.byte1()
+	if err != nil {
 		return nil, err
 	}
-	if r.buf[r.off] != modelVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, r.buf[r.off])
+	if version != modelVersion1 && version != modelVersion2 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
 	}
-	r.off++
 	m := &Model{}
 	if m.NetName, err = r.str(); err != nil {
 		return nil, err
@@ -180,6 +241,7 @@ func Unmarshal(blob []byte) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	var totalDense uint64
 	for i := 0; i < int(nLayers); i++ {
 		var l LayerBlob
 		if l.Name, err = r.str(); err != nil {
@@ -194,6 +256,17 @@ func Unmarshal(blob []byte) (*Model, error) {
 			return nil, err
 		}
 		l.Rows, l.Cols = int(rows), int(cols)
+		// Forged dimensions must not drive huge allocations when the layer
+		// is later reconstructed — per dimension, per layer, or in
+		// aggregate (a zero dimension must not launder the other one).
+		if uint64(rows) > maxLayerDense || uint64(cols) > maxLayerDense ||
+			uint64(rows)*uint64(cols) > maxLayerDense {
+			return nil, fmt.Errorf("%w: layer %s claims %d×%d dense weights", ErrCorrupt, l.Name, rows, cols)
+		}
+		totalDense += uint64(rows) * uint64(cols)
+		if totalDense > maxModelDense {
+			return nil, fmt.Errorf("%w: layers claim more than %d dense weights in total", ErrCorrupt, maxModelDense)
+		}
 		ebBits, err := r.u64()
 		if err != nil {
 			return nil, err
@@ -211,16 +284,27 @@ func Unmarshal(blob []byte) (*Model, error) {
 			l.Bias[j] = math.Float32frombits(binary.LittleEndian.Uint32(r.buf[r.off:]))
 			r.off += 4
 		}
-		szb, err := r.bytes()
+		l.Codec = codec.IDSZ
+		if version >= modelVersion2 {
+			cb, err := r.byte1()
+			if err != nil {
+				return nil, err
+			}
+			l.Codec = codec.ID(cb)
+			if _, err := codec.ByID(l.Codec); err != nil {
+				return nil, fmt.Errorf("%w: layer %s: %v", ErrCorrupt, l.Name, err)
+			}
+		}
+		db, err := r.bytes()
 		if err != nil {
 			return nil, err
 		}
-		l.SZBlob = append([]byte(nil), szb...)
-		if err := r.need(1); err != nil {
+		l.DataBlob = append([]byte(nil), db...)
+		ib, err := r.byte1()
+		if err != nil {
 			return nil, err
 		}
-		l.IndexID = lossless.ID(r.buf[r.off])
-		r.off++
+		l.IndexID = lossless.ID(ib)
 		idx, err := r.bytes()
 		if err != nil {
 			return nil, err
@@ -237,8 +321,10 @@ func Unmarshal(blob []byte) (*Model, error) {
 }
 
 // Generate performs DeepSZ step 4: compress every fc layer of net with the
-// plan's error bounds (SZ on data arrays, best-fit lossless on index
-// arrays) and package the result.
+// plan's error bounds (the plan's codec on data arrays, best-fit lossless
+// on index arrays) and package the result. Layers are compressed by a
+// bounded worker pool (cfg.Workers); the output is ordered by the network's
+// layer order and is byte-identical regardless of worker count.
 func Generate(net *nn.Network, plan *Plan, cfg Config) (*Model, error) {
 	if err := (&cfg).fill(); err != nil {
 		return nil, err
@@ -247,41 +333,81 @@ func Generate(net *nn.Network, plan *Plan, cfg Config) (*Model, error) {
 	for _, c := range plan.Choices {
 		byLayer[c.Layer] = c
 	}
-	m := &Model{NetName: net.Name()}
-	for _, fc := range net.DenseLayers() {
-		c, ok := byLayer[fc.Name()]
-		if !ok {
+	denses := net.DenseLayers()
+	for _, fc := range denses {
+		if _, ok := byLayer[fc.Name()]; !ok {
 			return nil, fmt.Errorf("core: plan has no choice for layer %s", fc.Name())
 		}
-		sp := prune.Encode(fc.Weights())
-		szBlob, err := sz.Compress(sp.Data, sz.Options{
-			ErrorBound: c.EB,
-			BlockSize:  cfg.SZBlockSize,
-			Radius:     cfg.SZRadius,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: compressing %s: %w", fc.Name(), err)
-		}
-		comp, idxBlob := lossless.Best(indexBytes(sp))
-		m.Layers = append(m.Layers, LayerBlob{
-			Name:      fc.Name(),
-			Rows:      fc.Out,
-			Cols:      fc.In,
-			EB:        c.EB,
-			Bias:      append([]float32(nil), fc.B.W.Data...),
-			SZBlob:    szBlob,
-			IndexID:   comp.ID(),
-			IndexBlob: idxBlob,
-			IndexLen:  len(sp.Index),
-		})
 	}
-	return m, nil
+
+	blobs := make([]LayerBlob, len(denses))
+	errs := make([]error, len(denses))
+	workers := cfg.Workers
+	if workers > len(denses) {
+		workers = len(denses)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for li := range jobs {
+				blobs[li], errs[li] = generateLayer(denses[li], byLayer[denses[li].Name()], cfg)
+			}
+		}()
+	}
+	for li := range denses {
+		jobs <- li
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Model{NetName: net.Name(), Layers: blobs}, nil
 }
 
-// DecodeBreakdown reports where decoding time went (paper Figure 7b).
+// generateLayer compresses one fc layer: the codec on the sparse data
+// array, best-fit lossless on the index array. Pure function of its inputs,
+// which is what makes Generate's output independent of scheduling.
+func generateLayer(fc *nn.Dense, c Choice, cfg Config) (LayerBlob, error) {
+	id := c.Codec
+	if id == 0 {
+		id = cfg.Codec
+	}
+	cdc, err := codec.ByID(id)
+	if err != nil {
+		return LayerBlob{}, fmt.Errorf("core: layer %s: %w", fc.Name(), err)
+	}
+	sp := prune.Encode(fc.Weights())
+	dataBlob, err := cdc.Compress(sp.Data, cfg.codecOptions(c.EB))
+	if err != nil {
+		return LayerBlob{}, fmt.Errorf("core: compressing %s: %w", fc.Name(), err)
+	}
+	comp, idxBlob := lossless.Best(indexBytes(sp))
+	return LayerBlob{
+		Name:      fc.Name(),
+		Rows:      fc.Out,
+		Cols:      fc.In,
+		EB:        c.EB,
+		Codec:     id,
+		Bias:      append([]float32(nil), fc.B.W.Data...),
+		DataBlob:  dataBlob,
+		IndexID:   comp.ID(),
+		IndexBlob: idxBlob,
+		IndexLen:  len(sp.Index),
+	}, nil
+}
+
+// DecodeBreakdown reports where decoding time went (paper Figure 7b). With
+// parallel decoding the durations are summed across workers, i.e. they are
+// CPU time per stage, not wall time.
 type DecodeBreakdown struct {
 	Lossless    time.Duration // index-array lossless decompression
-	SZ          time.Duration // data-array lossy decompression
+	Lossy       time.Duration // data-array lossy decompression
 	Reconstruct time.Duration // sparse-to-dense matrix reconstruction
 }
 
@@ -292,46 +418,108 @@ type DecodedLayer struct {
 	Bias    []float32
 }
 
-// Decode reverses Generate: lossless-decompress the index arrays,
-// SZ-decompress the data arrays, and rebuild each dense weight matrix.
+// Decode reverses Generate with one worker per CPU: lossless-decompress the
+// index arrays, codec-decompress the data arrays, and rebuild each dense
+// weight matrix. Layer order matches storage order regardless of workers.
 func (m *Model) Decode() ([]DecodedLayer, DecodeBreakdown, error) {
+	return m.DecodeWith(runtime.GOMAXPROCS(0))
+}
+
+// DecodeWith is Decode with an explicit worker count (≤ 1 decodes
+// serially). The decoded layers are identical to a serial decode; only the
+// wall time changes.
+func (m *Model) DecodeWith(workers int) ([]DecodedLayer, DecodeBreakdown, error) {
 	var bd DecodeBreakdown
-	out := make([]DecodedLayer, 0, len(m.Layers))
-	for _, l := range m.Layers {
-		t0 := time.Now()
-		comp, err := lossless.ByID(l.IndexID)
+	out := make([]DecodedLayer, len(m.Layers))
+	errs := make([]error, len(m.Layers))
+	if workers > len(m.Layers) {
+		workers = len(m.Layers)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var mu sync.Mutex
+	var failed atomic.Bool // fail fast: corrupt input must not cost a full decode
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for li := range jobs {
+				if failed.Load() {
+					continue
+				}
+				dl, lbd, err := decodeLayerBlob(&m.Layers[li])
+				out[li], errs[li] = dl, err
+				if err != nil {
+					failed.Store(true)
+				}
+				mu.Lock()
+				bd.Lossless += lbd.Lossless
+				bd.Lossy += lbd.Lossy
+				bd.Reconstruct += lbd.Reconstruct
+				mu.Unlock()
+			}
+		}()
+	}
+	for li := range m.Layers {
+		if failed.Load() {
+			break
+		}
+		jobs <- li
+	}
+	close(jobs)
+	wg.Wait()
+	// Report the lowest-indexed recorded error; layers after a failure may
+	// have been skipped, so only the success path is byte-deterministic.
+	for _, err := range errs {
 		if err != nil {
-			return nil, bd, fmt.Errorf("core: layer %s: %w", l.Name, err)
+			return nil, bd, err
 		}
-		idx, err := comp.Decompress(l.IndexBlob)
-		if err != nil {
-			return nil, bd, fmt.Errorf("core: layer %s index: %w", l.Name, err)
-		}
-		if len(idx) != l.IndexLen {
-			return nil, bd, fmt.Errorf("%w: layer %s index length %d, want %d", ErrCorrupt, l.Name, len(idx), l.IndexLen)
-		}
-		t1 := time.Now()
-		bd.Lossless += t1.Sub(t0)
-
-		data, err := sz.Decompress(l.SZBlob)
-		if err != nil {
-			return nil, bd, fmt.Errorf("core: layer %s data: %w", l.Name, err)
-		}
-		t2 := time.Now()
-		bd.SZ += t2.Sub(t1)
-
-		if len(data) != len(idx) {
-			return nil, bd, fmt.Errorf("%w: layer %s: %d data values for %d indices", ErrCorrupt, l.Name, len(data), len(idx))
-		}
-		sp := &prune.Sparse{N: l.Rows * l.Cols, Data: data, Index: idx}
-		dense, err := sp.Decode()
-		if err != nil {
-			return nil, bd, fmt.Errorf("core: layer %s: %w", l.Name, err)
-		}
-		bd.Reconstruct += time.Since(t2)
-		out = append(out, DecodedLayer{Name: l.Name, Weights: dense, Bias: append([]float32(nil), l.Bias...)})
 	}
 	return out, bd, nil
+}
+
+// decodeLayerBlob reconstructs one layer and times each stage.
+func decodeLayerBlob(l *LayerBlob) (DecodedLayer, DecodeBreakdown, error) {
+	var bd DecodeBreakdown
+	t0 := time.Now()
+	comp, err := lossless.ByID(l.IndexID)
+	if err != nil {
+		return DecodedLayer{}, bd, fmt.Errorf("core: layer %s: %w", l.Name, err)
+	}
+	idx, err := comp.Decompress(l.IndexBlob)
+	if err != nil {
+		return DecodedLayer{}, bd, fmt.Errorf("core: layer %s index: %w", l.Name, err)
+	}
+	if len(idx) != l.IndexLen {
+		return DecodedLayer{}, bd, fmt.Errorf("%w: layer %s index length %d, want %d", ErrCorrupt, l.Name, len(idx), l.IndexLen)
+	}
+	t1 := time.Now()
+	bd.Lossless = t1.Sub(t0)
+
+	cdc, err := codec.ByID(l.Codec)
+	if err != nil {
+		return DecodedLayer{}, bd, fmt.Errorf("core: layer %s: %w", l.Name, err)
+	}
+	data, err := cdc.Decompress(l.DataBlob)
+	if err != nil {
+		return DecodedLayer{}, bd, fmt.Errorf("core: layer %s data: %w", l.Name, err)
+	}
+	t2 := time.Now()
+	bd.Lossy = t2.Sub(t1)
+
+	if len(data) != len(idx) {
+		return DecodedLayer{}, bd, fmt.Errorf("%w: layer %s: %d data values for %d indices", ErrCorrupt, l.Name, len(data), len(idx))
+	}
+	sp := &prune.Sparse{N: l.Rows * l.Cols, Data: data, Index: idx}
+	dense, err := sp.Decode()
+	if err != nil {
+		return DecodedLayer{}, bd, fmt.Errorf("core: layer %s: %w", l.Name, err)
+	}
+	bd.Reconstruct = time.Since(t2)
+	return DecodedLayer{Name: l.Name, Weights: dense, Bias: append([]float32(nil), l.Bias...)}, bd, nil
 }
 
 // Apply loads decoded weights into net's fc layers (matched by name).

@@ -93,7 +93,7 @@ func TestMarshalUnmarshalRoundTrip(t *testing.T) {
 		if a.Name != b.Name || a.Rows != b.Rows || a.Cols != b.Cols || a.EB != b.EB {
 			t.Fatalf("layer %d metadata mismatch", i)
 		}
-		if !bytes.Equal(a.SZBlob, b.SZBlob) || !bytes.Equal(a.IndexBlob, b.IndexBlob) {
+		if !bytes.Equal(a.DataBlob, b.DataBlob) || !bytes.Equal(a.IndexBlob, b.IndexBlob) {
 			t.Fatalf("layer %d blobs mismatch", i)
 		}
 		if a.IndexID != b.IndexID || a.IndexLen != b.IndexLen {
@@ -144,7 +144,7 @@ func TestApplyReconstructsNetwork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bd.SZ == 0 && bd.Lossless == 0 && bd.Reconstruct == 0 {
+	if bd.Lossy == 0 && bd.Lossless == 0 && bd.Reconstruct == 0 {
 		t.Fatal("decode breakdown not populated")
 	}
 	for li, fc := range recon.DenseLayers() {

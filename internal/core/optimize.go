@@ -1,9 +1,20 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/codec"
 )
+
+// ErrNoLayers is returned when an assessment covers no fc layers.
+var ErrNoLayers = errors.New("core: assessment has no layers")
+
+// ErrInfeasible is returned when no error-bound configuration satisfies the
+// optimisation constraint: every point of some layer exceeds the accuracy
+// budget, or the size target is below the minimum achievable size.
+var ErrInfeasible = errors.New("core: no feasible error-bound configuration")
 
 // Choice is the optimiser's selection for one layer.
 type Choice struct {
@@ -12,6 +23,10 @@ type Choice struct {
 	Degradation float64
 	DataBytes   int
 	IndexBytes  int
+	// Codec records the lossy back-end the assessment measured DataBytes
+	// with; Generate compresses the layer with the same codec (0 falls
+	// back to Config.Codec).
+	Codec codec.ID
 }
 
 // Plan is Algorithm 2's output: one error bound per layer.
@@ -32,18 +47,30 @@ func Optimize(a *Assessment, cfg Config) (*Plan, error) {
 	if err := (&cfg).fill(); err != nil {
 		return nil, err
 	}
+	var plan *Plan
+	var err error
 	switch cfg.Mode {
 	case ExpectedAccuracy:
-		return OptimizeExpectedAccuracy(a, cfg.ExpectedAccuracyLoss)
+		plan, err = OptimizeExpectedAccuracy(a, cfg.ExpectedAccuracyLoss)
 	case ExpectedRatio:
 		var origBytes int64
 		for _, la := range a.Layers {
 			origBytes += int64(la.Rows) * int64(la.Cols) * 4
 		}
 		target := int(float64(origBytes) / cfg.TargetRatio)
-		return OptimizeExpectedRatio(a, target)
+		plan, err = OptimizeExpectedRatio(a, target)
+	default:
+		return nil, fmt.Errorf("core: unknown optimise mode %d", cfg.Mode)
 	}
-	return nil, fmt.Errorf("core: unknown optimise mode %d", cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	// Stamp the codec the assessment measured with, so Generate emits the
+	// sizes the plan predicts.
+	for i := range plan.Choices {
+		plan.Choices[i].Codec = cfg.Codec
+	}
+	return plan, nil
 }
 
 // OptimizeExpectedAccuracy implements Algorithm 2: minimise total compressed
@@ -51,10 +78,10 @@ func Optimize(a *Assessment, cfg Config) (*Plan, error) {
 // the discretised accuracy budget, then trace back per-layer bounds.
 func OptimizeExpectedAccuracy(a *Assessment, epsStar float64) (*Plan, error) {
 	if epsStar <= 0 {
-		return nil, fmt.Errorf("core: expected accuracy loss must be positive")
+		return nil, fmt.Errorf("core: expected accuracy loss must be positive, got %v", epsStar)
 	}
 	if len(a.Layers) == 0 {
-		return nil, fmt.Errorf("core: assessment has no layers")
+		return nil, ErrNoLayers
 	}
 	res := epsStar / slots
 	cost := func(d float64) int {
@@ -77,7 +104,7 @@ func OptimizeExpectedAccuracy(a *Assessment, epsStar float64) (*Plan, error) {
 	for l, la := range a.Layers {
 		feas := feasiblePoints(la, epsStar)
 		if len(feas) == 0 {
-			return nil, fmt.Errorf("core: layer %s has no assessed point within budget %v", la.Layer, epsStar)
+			return nil, fmt.Errorf("%w: layer %s has no assessed point within budget %v", ErrInfeasible, la.Layer, epsStar)
 		}
 		for j := 0; j <= slots; j++ {
 			next[j] = inf
@@ -119,7 +146,7 @@ func OptimizeExpectedAccuracy(a *Assessment, epsStar float64) (*Plan, error) {
 		}
 	}
 	if bestJ < 0 || bestSize >= inf {
-		return nil, fmt.Errorf("core: no feasible error-bound configuration within budget %v", epsStar)
+		return nil, fmt.Errorf("%w: no configuration within budget %v", ErrInfeasible, epsStar)
 	}
 
 	plan := &Plan{}
@@ -167,7 +194,7 @@ func feasiblePoints(la *LayerAssessment, epsStar float64) []Point {
 // swapped.
 func OptimizeExpectedRatio(a *Assessment, targetBytes int) (*Plan, error) {
 	if len(a.Layers) == 0 {
-		return nil, fmt.Errorf("core: assessment has no layers")
+		return nil, ErrNoLayers
 	}
 	// Index blobs are mandatory; they consume budget up front.
 	idxTotal := 0
@@ -176,7 +203,7 @@ func OptimizeExpectedRatio(a *Assessment, targetBytes int) (*Plan, error) {
 	}
 	dataBudget := targetBytes - idxTotal
 	if dataBudget <= 0 {
-		return nil, fmt.Errorf("core: size target %d cannot cover index arrays (%d bytes)", targetBytes, idxTotal)
+		return nil, fmt.Errorf("%w: size target %d cannot cover index arrays (%d bytes)", ErrInfeasible, targetBytes, idxTotal)
 	}
 	const sizeSlots = 256
 	res := float64(dataBudget) / sizeSlots
@@ -192,7 +219,7 @@ func OptimizeExpectedRatio(a *Assessment, targetBytes int) (*Plan, error) {
 	next := make([]float64, sizeSlots+1)
 	for l, la := range a.Layers {
 		if len(la.Points) == 0 {
-			return nil, fmt.Errorf("core: layer %s has no assessed points", la.Layer)
+			return nil, fmt.Errorf("%w: layer %s has no assessed points", ErrInfeasible, la.Layer)
 		}
 		for j := 0; j <= sizeSlots; j++ {
 			next[j] = inf
@@ -232,7 +259,7 @@ func OptimizeExpectedRatio(a *Assessment, targetBytes int) (*Plan, error) {
 		}
 	}
 	if bestJ < 0 || math.IsInf(bestLoss, 1) {
-		return nil, fmt.Errorf("core: no configuration meets size target %d bytes", targetBytes)
+		return nil, fmt.Errorf("%w: no configuration meets size target %d bytes", ErrInfeasible, targetBytes)
 	}
 	plan := &Plan{}
 	j := bestJ

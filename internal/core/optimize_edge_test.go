@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// Handcrafted-assessment edge cases for Algorithm 2. The optimiser must
+// fail with a typed error — never a zero-value plan — whenever the
+// constraint set is empty, and still solve trivially small instances.
+
+func layerWith(name string, idxBytes int, points ...Point) *LayerAssessment {
+	return &LayerAssessment{Layer: name, Rows: 10, Cols: 10, IndexBytes: idxBytes, Points: points}
+}
+
+func TestOptimizeExpectedAccuracyEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		layers  []*LayerAssessment
+		epsStar float64
+		wantErr error // nil means the plan must succeed
+		wantLen int
+	}{
+		{
+			name:    "no layers",
+			layers:  nil,
+			epsStar: 0.01,
+			wantErr: ErrNoLayers,
+		},
+		{
+			name: "zero feasible points",
+			layers: []*LayerAssessment{
+				layerWith("fc1", 100), // assessed but no points at all
+			},
+			epsStar: 0.01,
+			wantErr: ErrInfeasible,
+		},
+		{
+			name: "single layer single point",
+			layers: []*LayerAssessment{
+				layerWith("fc1", 100, Point{EB: 1e-3, Degradation: 0.001, DataBytes: 400}),
+			},
+			epsStar: 0.01,
+			wantLen: 1,
+		},
+		{
+			name: "epsStar smaller than every degradation",
+			layers: []*LayerAssessment{
+				layerWith("fc1", 100,
+					Point{EB: 1e-3, Degradation: 0.02, DataBytes: 400},
+					Point{EB: 1e-2, Degradation: 0.05, DataBytes: 200}),
+				layerWith("fc2", 50,
+					Point{EB: 1e-3, Degradation: 0.03, DataBytes: 300}),
+			},
+			epsStar: 0.01,
+			wantErr: ErrInfeasible,
+		},
+		{
+			name: "combined budget exceeded even though layers are individually feasible",
+			layers: []*LayerAssessment{
+				layerWith("fc1", 100, Point{EB: 1e-3, Degradation: 0.008, DataBytes: 400}),
+				layerWith("fc2", 50, Point{EB: 1e-3, Degradation: 0.008, DataBytes: 300}),
+			},
+			epsStar: 0.01,
+			wantErr: ErrInfeasible,
+		},
+		{
+			name: "two layers pick cheapest feasible mix",
+			layers: []*LayerAssessment{
+				layerWith("fc1", 100,
+					Point{EB: 1e-3, Degradation: 0.001, DataBytes: 400},
+					Point{EB: 1e-2, Degradation: 0.004, DataBytes: 200}),
+				layerWith("fc2", 50,
+					Point{EB: 1e-3, Degradation: 0.001, DataBytes: 300},
+					Point{EB: 1e-2, Degradation: 0.02, DataBytes: 100}),
+			},
+			epsStar: 0.01,
+			wantLen: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := &Assessment{Layers: tc.layers}
+			plan, err := OptimizeExpectedAccuracy(a, tc.epsStar)
+			if tc.wantErr != nil {
+				if err == nil {
+					t.Fatalf("expected %v, got plan %+v", tc.wantErr, plan)
+				}
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("error %v is not %v", err, tc.wantErr)
+				}
+				if plan != nil {
+					t.Fatal("error must not come with a plan")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(plan.Choices) != tc.wantLen {
+				t.Fatalf("plan has %d choices, want %d", len(plan.Choices), tc.wantLen)
+			}
+			if plan.PredictedLoss > tc.epsStar {
+				t.Fatalf("predicted loss %v exceeds budget %v", plan.PredictedLoss, tc.epsStar)
+			}
+		})
+	}
+
+	if _, err := OptimizeExpectedAccuracy(&Assessment{}, 0); err == nil {
+		t.Fatal("expected error for non-positive epsStar")
+	}
+}
+
+func TestOptimizeExpectedRatioEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		layers  []*LayerAssessment
+		target  int
+		wantErr error
+		wantLen int
+	}{
+		{
+			name:    "no layers",
+			layers:  nil,
+			target:  1000,
+			wantErr: ErrNoLayers,
+		},
+		{
+			name: "target below index arrays",
+			layers: []*LayerAssessment{
+				layerWith("fc1", 500, Point{EB: 1e-3, Degradation: 0.001, DataBytes: 400}),
+			},
+			target:  400, // < 500 bytes of mandatory index storage
+			wantErr: ErrInfeasible,
+		},
+		{
+			name: "target below minimum achievable size",
+			layers: []*LayerAssessment{
+				layerWith("fc1", 100,
+					Point{EB: 1e-3, Degradation: 0.001, DataBytes: 4000},
+					Point{EB: 1e-2, Degradation: 0.01, DataBytes: 2000}),
+			},
+			target:  150, // data budget of 50 < smallest point (2000)
+			wantErr: ErrInfeasible,
+		},
+		{
+			name: "layer with no points",
+			layers: []*LayerAssessment{
+				layerWith("fc1", 100),
+			},
+			target:  10000,
+			wantErr: ErrInfeasible,
+		},
+		{
+			name: "single layer fits",
+			layers: []*LayerAssessment{
+				layerWith("fc1", 100,
+					Point{EB: 1e-3, Degradation: 0.001, DataBytes: 4000},
+					Point{EB: 1e-2, Degradation: 0.01, DataBytes: 2000}),
+			},
+			target:  2200,
+			wantLen: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := &Assessment{Layers: tc.layers}
+			plan, err := OptimizeExpectedRatio(a, tc.target)
+			if tc.wantErr != nil {
+				if err == nil {
+					t.Fatalf("expected %v, got plan %+v", tc.wantErr, plan)
+				}
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("error %v is not %v", err, tc.wantErr)
+				}
+				if plan != nil {
+					t.Fatal("error must not come with a plan")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(plan.Choices) != tc.wantLen {
+				t.Fatalf("plan has %d choices, want %d", len(plan.Choices), tc.wantLen)
+			}
+			if plan.TotalBytes > tc.target {
+				t.Fatalf("plan size %d exceeds target %d", plan.TotalBytes, tc.target)
+			}
+		})
+	}
+}

@@ -3,10 +3,6 @@ package core
 import (
 	"fmt"
 	"os"
-
-	"repro/internal/lossless"
-	"repro/internal/prune"
-	"repro/internal/sz"
 )
 
 // This file implements layer-granular decoding, the paper's future-work
@@ -98,33 +94,15 @@ func (m *Model) LayerNames() []string {
 // with the model (the bias is copied), so callers may mutate or retain it
 // freely while other goroutines keep decoding from the same *Model.
 func (m *Model) DecodeLayer(name string) (*DecodedLayer, error) {
-	for _, l := range m.Layers {
-		if l.Name != name {
+	for i := range m.Layers {
+		if m.Layers[i].Name != name {
 			continue
 		}
-		comp, err := lossless.ByID(l.IndexID)
+		dl, _, err := decodeLayerBlob(&m.Layers[i])
 		if err != nil {
-			return nil, fmt.Errorf("core: layer %s: %w", name, err)
+			return nil, err
 		}
-		idx, err := comp.Decompress(l.IndexBlob)
-		if err != nil {
-			return nil, fmt.Errorf("core: layer %s index: %w", name, err)
-		}
-		if len(idx) != l.IndexLen {
-			return nil, fmt.Errorf("%w: layer %s index length", ErrCorrupt, name)
-		}
-		data, err := sz.Decompress(l.SZBlob)
-		if err != nil {
-			return nil, fmt.Errorf("core: layer %s data: %w", name, err)
-		}
-		if len(data) != len(idx) {
-			return nil, fmt.Errorf("%w: layer %s entry count", ErrCorrupt, name)
-		}
-		dense, err := (&prune.Sparse{N: l.Rows * l.Cols, Data: data, Index: idx}).Decode()
-		if err != nil {
-			return nil, fmt.Errorf("core: layer %s: %w", name, err)
-		}
-		return &DecodedLayer{Name: name, Weights: dense, Bias: append([]float32(nil), l.Bias...)}, nil
+		return &dl, nil
 	}
 	return nil, fmt.Errorf("core: model has no layer %q", name)
 }

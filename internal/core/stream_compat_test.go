@@ -1,0 +1,179 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+// marshalV1 replicates the version-1 stream layout (no per-layer codec
+// byte) so the reader's back-compat path can be exercised without keeping
+// old writer code alive. Only valid for all-SZ models, which is the only
+// thing a v1 writer could produce.
+func marshalV1(t *testing.T, m *Model) []byte {
+	t.Helper()
+	out := make([]byte, 0, 64+m.TotalBytes())
+	out = binary.LittleEndian.AppendUint32(out, modelMagic)
+	out = append(out, modelVersion1)
+	out = appendString(out, m.NetName)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Layers)))
+	for _, l := range m.Layers {
+		if l.Codec != codec.IDSZ {
+			t.Fatalf("layer %s uses codec %d; v1 streams can only carry SZ", l.Name, l.Codec)
+		}
+		out = appendString(out, l.Name)
+		out = binary.LittleEndian.AppendUint32(out, uint32(l.Rows))
+		out = binary.LittleEndian.AppendUint32(out, uint32(l.Cols))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(l.EB))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(l.Bias)))
+		for _, b := range l.Bias {
+			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(b))
+		}
+		out = appendBytes(out, l.DataBlob)
+		out = append(out, byte(l.IndexID))
+		out = appendBytes(out, l.IndexBlob)
+		out = binary.LittleEndian.AppendUint32(out, uint32(l.IndexLen))
+	}
+	return out
+}
+
+// goldenNet builds the tiny deterministic network behind the checked-in v1
+// fixture. Everything downstream (prune masks, SZ blobs, lossless choice)
+// is a pure function of this seed.
+func goldenNet() *nn.Network {
+	rng := tensor.NewRNG(2019) // HPDC'19
+	net := nn.NewNetwork("golden-tiny",
+		nn.NewFlatten("flat"),
+		nn.NewDense("fc1", 48, 24, rng),
+		nn.NewReLU("relu"),
+		nn.NewDense("fc2", 24, 8, rng),
+	)
+	prune.Network(net, map[string]float64{"fc1": 0.15, "fc2": 0.3}, 0.15)
+	return net
+}
+
+func goldenModel(t *testing.T) *Model {
+	t.Helper()
+	net := goldenNet()
+	m, err := Generate(net, simplePlan(net, 1e-2), Config{ExpectedAccuracyLoss: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const goldenV1Path = "testdata/golden_v1.dsz"
+
+// TestWriteGoldenV1Fixture regenerates the checked-in fixture. It only
+// runs when WRITE_GOLDEN is set — e.g. after an intentional SZ or
+// container change — and must be followed by committing the new file.
+func TestWriteGoldenV1Fixture(t *testing.T) {
+	if os.Getenv("WRITE_GOLDEN") == "" {
+		t.Skip("set WRITE_GOLDEN=1 to regenerate " + goldenV1Path)
+	}
+	blob := marshalV1(t, goldenModel(t))
+	if err := os.MkdirAll(filepath.Dir(goldenV1Path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenV1Path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d bytes to %s", len(blob), goldenV1Path)
+}
+
+// TestGoldenV1RoundTrip is the format back-compat lock: a `.dsz` file
+// written by the version-1 writer (before the codec registry existed) must
+// decode through today's reader to exactly the layers a freshly encoded
+// version-2 model produces.
+func TestGoldenV1RoundTrip(t *testing.T) {
+	old, err := ReadModel(goldenV1Path)
+	if err != nil {
+		t.Fatalf("reading fixture (regenerate with WRITE_GOLDEN=1 if the format changed intentionally): %v", err)
+	}
+	fresh := goldenModel(t)
+
+	// The fixture predates the codec byte; the reader must fill in SZ.
+	for _, l := range old.Layers {
+		if l.Codec != codec.IDSZ {
+			t.Fatalf("v1 layer %s decoded with codec %d, want SZ", l.Name, l.Codec)
+		}
+	}
+	// A fresh marshal is version 2 and the fixture version 1.
+	if got := fresh.Marshal()[4]; got != modelVersion2 {
+		t.Fatalf("fresh model marshals as version %d", got)
+	}
+	fixture, err := os.ReadFile(goldenV1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixture[4] != modelVersion1 {
+		t.Fatalf("fixture is version %d, want 1", fixture[4])
+	}
+
+	oldLayers, _, err := old.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshLayers, _, err := fresh.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oldLayers) != len(freshLayers) {
+		t.Fatalf("fixture decodes %d layers, fresh model %d", len(oldLayers), len(freshLayers))
+	}
+	for i := range oldLayers {
+		a, b := oldLayers[i], freshLayers[i]
+		if a.Name != b.Name || len(a.Weights) != len(b.Weights) || len(a.Bias) != len(b.Bias) {
+			t.Fatalf("layer %d shape mismatch: %q/%d/%d vs %q/%d/%d",
+				i, a.Name, len(a.Weights), len(a.Bias), b.Name, len(b.Weights), len(b.Bias))
+		}
+		for j := range a.Weights {
+			if a.Weights[j] != b.Weights[j] {
+				t.Fatalf("layer %s weight %d: fixture %v, fresh %v", a.Name, j, a.Weights[j], b.Weights[j])
+			}
+		}
+		for j := range a.Bias {
+			if a.Bias[j] != b.Bias[j] {
+				t.Fatalf("layer %s bias %d differs", a.Name, j)
+			}
+		}
+	}
+}
+
+// TestV1UnmarshalCompat covers the v1 read path without touching the
+// fixture, so it keeps working even mid-regeneration.
+func TestV1UnmarshalCompat(t *testing.T) {
+	m := goldenModel(t)
+	got, err := Unmarshal(marshalV1(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NetName != m.NetName || len(got.Layers) != len(m.Layers) {
+		t.Fatal("v1 header mismatch")
+	}
+	for i := range m.Layers {
+		a, b := m.Layers[i], got.Layers[i]
+		if a.Name != b.Name || a.Rows != b.Rows || a.Cols != b.Cols || a.EB != b.EB ||
+			a.IndexID != b.IndexID || a.IndexLen != b.IndexLen {
+			t.Fatalf("layer %d metadata mismatch", i)
+		}
+		if b.Codec != codec.IDSZ {
+			t.Fatalf("layer %d: v1 read produced codec %d", i, b.Codec)
+		}
+	}
+	// And the re-marshal upgrades to v2 losslessly.
+	up, err := Unmarshal(got.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Layers[0].Codec != codec.IDSZ {
+		t.Fatal("upgrade lost the codec id")
+	}
+}

@@ -1,0 +1,29 @@
+package deepcomp
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// FuzzUnmarshal is the native-fuzzing counterpart of the corruption tests
+// above: arbitrary bytes must be rejected or decompressed without panics
+// or forged-header-driven huge allocations.
+func FuzzUnmarshal(f *testing.F) {
+	rng := tensor.NewRNG(22)
+	for _, n := range []int{100, 3000} {
+		c, err := CompressLayer(prunedWeights(rng, n, 0.1), Options{Bits: 5})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(c.Marshal())
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		c, err := Unmarshal(blob)
+		if err != nil {
+			return
+		}
+		_, _ = c.Decompress()
+	})
+}

@@ -69,7 +69,7 @@ func Fig7(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		dszTotal := bd.Lossless + bd.SZ + bd.Reconstruct
+		dszTotal := bd.Lossless + bd.Lossy + bd.Reconstruct
 
 		dcT, err := timeDeepCompDecode(p)
 		if err != nil {
@@ -81,7 +81,7 @@ func Fig7(w io.Writer) error {
 		}
 		fmt.Fprintf(tw, "%s\t%v\t(%v / %v / %v)\t%v\t%v\n",
 			name, dszTotal.Round(time.Microsecond),
-			bd.Lossless.Round(time.Microsecond), bd.SZ.Round(time.Microsecond),
+			bd.Lossless.Round(time.Microsecond), bd.Lossy.Round(time.Microsecond),
 			bd.Reconstruct.Round(time.Microsecond),
 			dcT.Round(time.Microsecond), wlT.Round(time.Microsecond))
 	}

@@ -17,7 +17,7 @@ import (
 func layerBytes(p *Prepared, layer string) int {
 	for _, l := range p.Result.Model.Layers {
 		if l.Name == layer {
-			return len(l.SZBlob) + len(l.IndexBlob) + 4*len(l.Bias)
+			return l.CompressedBytes()
 		}
 	}
 	return 0
@@ -193,7 +193,7 @@ func Table5(w io.Writer) error {
 		dataBits := 0
 		nz := 0
 		for _, l := range p.Result.Model.Layers {
-			dataBits += 8 * len(l.SZBlob)
+			dataBits += 8 * len(l.DataBlob)
 		}
 		for _, la := range p.Result.Assessment.Layers {
 			nz += la.Sparse.Nonzeros()

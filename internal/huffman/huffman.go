@@ -26,17 +26,27 @@ const MaxCodeLen = 32
 var ErrCorrupt = errors.New("huffman: corrupt stream")
 
 type node struct {
-	freq        uint64
-	sym         uint32
+	freq uint64
+	sym  uint32
+	// seq is a deterministic tie-breaker: leaves get their rank in symbol
+	// order, merged nodes get the next counter value. Without it, equal
+	// frequencies would be merged in map-iteration order and the emitted
+	// code lengths — hence the encoded bytes — would differ between runs.
+	seq         uint64
 	left, right *node
 }
 
 type nodeHeap []*node
 
-func (h nodeHeap) Len() int           { return len(h) }
-func (h nodeHeap) Less(i, j int) bool { return h[i].freq < h[j].freq }
-func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(*node)) }
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].seq < h[j].seq
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*node)) }
 func (h *nodeHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -56,15 +66,22 @@ func codeLengths(freq map[uint32]uint64) map[uint32]uint8 {
 			return map[uint32]uint8{s: 1}
 		}
 	}
-	h := make(nodeHeap, 0, len(freq))
-	for s, f := range freq {
-		h = append(h, &node{freq: f, sym: s})
+	syms := make([]uint32, 0, len(freq))
+	for s := range freq {
+		syms = append(syms, s)
 	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	h := make(nodeHeap, 0, len(freq))
+	for i, s := range syms {
+		h = append(h, &node{freq: freq[s], sym: s, seq: uint64(i)})
+	}
+	seq := uint64(len(syms))
 	heap.Init(&h)
 	for h.Len() > 1 {
 		a := heap.Pop(&h).(*node)
 		b := heap.Pop(&h).(*node)
-		heap.Push(&h, &node{freq: a.freq + b.freq, left: a, right: b})
+		heap.Push(&h, &node{freq: a.freq + b.freq, seq: seq, left: a, right: b})
+		seq++
 	}
 	root := h[0]
 	lengths := make(map[uint32]uint8, len(freq))
@@ -118,7 +135,12 @@ func limitLengths(lengths map[uint32]uint8) {
 		}
 		return k
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].l < all[j].l })
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].l != all[j].l {
+			return all[i].l < all[j].l
+		}
+		return all[i].sym < all[j].sym // deterministic victim selection
+	})
 	for i := 0; kraft() > 1 && i < len(all); {
 		if all[i].l < MaxCodeLen {
 			all[i].l++
@@ -264,7 +286,14 @@ func Decode(blob []byte) ([]uint32, error) {
 		return nil, err
 	}
 	r := bitstream.NewReader(blob[off : off+int(payloadLen)])
-	out := make([]uint32, 0, n)
+	// n is attacker-controlled (bounded only by payloadLen*8, and callers
+	// like the LZ stage can present large payloads); cap the preallocation
+	// and let append grow toward the real symbol count.
+	prealloc := n
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	out := make([]uint32, 0, prealloc)
 	for len(out) < int(n) {
 		var code uint32
 		var l uint8

@@ -80,6 +80,9 @@ func (BloscLike) Decompress(src []byte) ([]byte, error) {
 		return nil, fmt.Errorf("lossless: blosclike: bad element size %d", elem)
 	}
 	rawLen := int(binary.LittleEndian.Uint32(src[1:5]))
+	if rawLen > maxRawLen {
+		return nil, fmt.Errorf("lossless: blosclike: claimed length %d exceeds limit", rawLen)
+	}
 	pre, err := lzDecompress(src[5:], rawLen)
 	if err != nil {
 		return nil, fmt.Errorf("lossless: blosclike: %w", err)

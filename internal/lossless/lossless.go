@@ -38,6 +38,12 @@ const (
 // back-end identifier.
 var ErrUnknownID = errors.New("lossless: unknown compressor id")
 
+// maxRawLen bounds the decompressed size every back-end will produce
+// (256 MiB — 2.5× the index array of the paper's largest fc layer, VGG-16
+// fc6). Corrupt or adversarial streams claiming more are rejected before
+// the claim can drive allocations or decompression work.
+const maxRawLen = 1 << 28
+
 // Compressor is a lossless byte-stream codec.
 type Compressor interface {
 	// ID returns the serialization identifier of this back-end.
@@ -111,9 +117,12 @@ func (Gzip) Compress(src []byte) []byte {
 func (Gzip) Decompress(src []byte) ([]byte, error) {
 	r := flate.NewReader(bytes.NewReader(src))
 	defer r.Close()
-	out, err := io.ReadAll(r)
+	out, err := io.ReadAll(io.LimitReader(r, maxRawLen+1))
 	if err != nil {
 		return nil, fmt.Errorf("lossless: gzip decompress: %w", err)
+	}
+	if len(out) > maxRawLen {
+		return nil, fmt.Errorf("lossless: gzip decompress: output exceeds %d-byte limit", maxRawLen)
 	}
 	return out, nil
 }

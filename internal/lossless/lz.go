@@ -136,10 +136,22 @@ func lzCompress(src []byte, maxChain int) []byte {
 	return out
 }
 
-// lzDecompress reverses lzCompress. rawLen is the expected output size (used
-// for preallocation and validation).
+// lzDecompress reverses lzCompress. rawLen is the expected output size,
+// validated incrementally: output exceeding it fails immediately, so a
+// corrupt stream cannot expand past the claimed length, and the claimed
+// length itself (an attacker-controlled header field) caps neither trusted
+// nor preallocated memory — the prealloc is bounded separately.
 func lzDecompress(src []byte, rawLen int) ([]byte, error) {
-	out := make([]byte, 0, rawLen)
+	if rawLen < 0 {
+		return nil, errLZCorrupt
+	}
+	// Forged headers must not drive the allocation (a u32 rawLen can claim
+	// 4 GiB); start small-ish and let append grow toward real output.
+	prealloc := rawLen
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	out := make([]byte, 0, prealloc)
 	p := 0
 	readExt := func(base int) (int, error) {
 		l := base
@@ -172,6 +184,9 @@ func lzDecompress(src []byte, rawLen int) ([]byte, error) {
 		if p+litLen > len(src) {
 			return nil, errLZCorrupt
 		}
+		if len(out)+litLen > rawLen {
+			return nil, errLZCorrupt
+		}
 		out = append(out, src[p:p+litLen]...)
 		p += litLen
 		if p+2 > len(src) {
@@ -195,12 +210,15 @@ func lzDecompress(src []byte, rawLen int) ([]byte, error) {
 		if start < 0 {
 			return nil, errLZCorrupt
 		}
+		if len(out)+matchLen > rawLen {
+			return nil, errLZCorrupt
+		}
 		// Byte-by-byte copy: matches may overlap their own output.
 		for k := 0; k < matchLen; k++ {
 			out = append(out, out[start+k])
 		}
 	}
-	if rawLen >= 0 && len(out) != rawLen {
+	if len(out) != rawLen {
 		return nil, errLZCorrupt
 	}
 	return out, nil

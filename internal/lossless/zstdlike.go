@@ -47,6 +47,9 @@ func (ZstdLike) Decompress(src []byte) ([]byte, error) {
 	}
 	rawLen := int(binary.LittleEndian.Uint32(src[0:4]))
 	lzLen := int(binary.LittleEndian.Uint32(src[4:8]))
+	if rawLen > maxRawLen {
+		return nil, fmt.Errorf("lossless: zstdlike: claimed length %d exceeds limit", rawLen)
+	}
 	syms, err := huffman.Decode(src[8:])
 	if err != nil {
 		return nil, fmt.Errorf("lossless: zstdlike entropy stage: %w", err)

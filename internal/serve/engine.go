@@ -3,9 +3,11 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -86,6 +88,18 @@ func (e *Engine) Name() string { return e.name }
 
 // Model returns the compressed model being served.
 func (e *Engine) Model() *core.Model { return e.model }
+
+// Codec returns the name(s) of the lossy codec(s) the served model's data
+// arrays were compressed with — one name for a normally generated model,
+// comma-joined in layer order for mixed-codec files.
+func (e *Engine) Codec() string {
+	ids := e.model.Codecs()
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = codec.NameOf(id)
+	}
+	return strings.Join(names, ",")
+}
 
 // InputLen returns the flattened per-example input length.
 func (e *Engine) InputLen() int { return e.inLen }
@@ -169,6 +183,7 @@ func (e *Engine) run(rows [][]float32) ([][]float32, error) {
 
 // EngineStats is a snapshot of one model's serving counters.
 type EngineStats struct {
+	Codec    string  `json:"codec"`
 	Requests uint64  `json:"requests"`
 	Rows     uint64  `json:"rows"`
 	Batches  uint64  `json:"batches"`
@@ -178,6 +193,7 @@ type EngineStats struct {
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() EngineStats {
 	s := EngineStats{
+		Codec:    e.Codec(),
 		Requests: e.requests.Load(),
 		Rows:     e.rows.Load(),
 		Batches:  e.batches.Load(),

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"repro/internal/codec"
 )
 
 // Server is the HTTP JSON front end over a Registry.
@@ -60,6 +62,7 @@ type layerInfo struct {
 	Name            string `json:"name"`
 	Rows            int    `json:"rows"`
 	Cols            int    `json:"cols"`
+	Codec           string `json:"codec"`
 	CompressedBytes int    `json:"compressed_bytes"`
 	DenseBytes      int64  `json:"dense_bytes"`
 }
@@ -67,6 +70,7 @@ type layerInfo struct {
 type modelInfo struct {
 	Name            string      `json:"name"`
 	Net             string      `json:"net"`
+	Codec           string      `json:"codec"`
 	InputLen        int         `json:"input_len"`
 	CompressedBytes int         `json:"compressed_bytes"`
 	DenseBytes      int64       `json:"dense_bytes"`
@@ -86,6 +90,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		mi := modelInfo{
 			Name:            name,
 			Net:             m.NetName,
+			Codec:           e.Codec(),
 			InputLen:        e.InputLen(),
 			CompressedBytes: m.TotalBytes(),
 		}
@@ -96,7 +101,8 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 				Name:            l.Name,
 				Rows:            l.Rows,
 				Cols:            l.Cols,
-				CompressedBytes: len(l.SZBlob) + len(l.IndexBlob) + 4*len(l.Bias),
+				Codec:           codec.NameOf(l.Codec),
+				CompressedBytes: l.CompressedBytes(),
 				DenseBytes:      db,
 			})
 		}

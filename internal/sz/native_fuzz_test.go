@@ -1,0 +1,26 @@
+package sz
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// FuzzDecompress is the native-fuzzing counterpart of the corruption tests
+// above: arbitrary bytes must be rejected or decoded without panics or
+// header-driven huge allocations.
+func FuzzDecompress(f *testing.F) {
+	rng := tensor.NewRNG(21)
+	for _, n := range []int{0, 1, 300, 5000} {
+		blob, err := Compress(weightLike(rng, n), Options{ErrorBound: 1e-3})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x4F, 0x47, 0x5A, 0x53}) // magic only
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		_, _ = Decompress(blob)
+	})
+}

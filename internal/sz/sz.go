@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/huffman"
 	"repro/internal/lossless"
@@ -308,10 +309,18 @@ func quantIndex(diff, step float64) int {
 
 // entropyBits returns the expected coded size in bits: n·H(hist), floored at
 // one bit per symbol because the Huffman stage cannot emit shorter codes.
+// The sum runs in sorted-key order: float addition is not associative, so
+// map-iteration order could otherwise flip a predictor choice between runs
+// when the two costs are within rounding distance.
 func entropyBits(hist map[int]int, n float64) float64 {
+	keys := make([]int, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
 	var h float64
-	for _, c := range hist {
-		p := float64(c) / n
+	for _, k := range keys {
+		p := float64(hist[k]) / n
 		h -= p * math.Log2(p)
 	}
 	if h < 1 {
