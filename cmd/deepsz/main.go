@@ -57,14 +57,17 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: deepsz <train|prune|encode|decode|eval> [flags]
 
   train  -net NAME -out FILE [-epochs N] [-samples N] [-seed N]
-  prune  -net NAME -in FILE -out FILE [-retrain N]
-  encode -net NAME -in FILE -out FILE [-loss F] [-ratio F] [-workers N] [-codec NAME]
+  prune  -net NAME -in FILE -out FILE [-retrain N] [-layers fc|all]
+  encode -net NAME -in FILE -out FILE [-loss F] [-ratio F] [-workers N] [-codec NAME] [-layers fc|all]
   decode -net NAME -model FILE -out FILE
   eval   -net NAME -in FILE [-samples N]
 
 networks: lenet-300-100, lenet-5, alexnet-s, vgg16-s
 codecs:   `+strings.Join(codec.Names(), ", ")+` (default sz; decode reads
 the codec from the .dsz stream)
+layers:   fc compresses fully connected layers only (paper-faithful
+default); all extends pruning and compression to every weighted layer,
+conv included (version-3 .dsz streams carry the layer kinds and shapes)
 
 To serve an encoded model over HTTP (the model stays compressed at rest;
 fc layers are decoded on demand through a bounded cache), use the deepszd
@@ -145,15 +148,25 @@ func cmdPrune(args []string) error {
 	out := fs.String("out", "", "output weights file")
 	retrain := fs.Int("retrain", 1, "mask-retraining epochs")
 	samples := fs.Int("samples", 1200, "retraining samples")
+	layers := fs.String("layers", "fc", "layers to prune: fc (paper-faithful) or all")
+	convKeep := fs.Float64("conv-keep", 0.4, "default keep ratio for conv layers with -layers all")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("prune: -in and -out required")
+	}
+	sel, err := parseLayers(*layers)
+	if err != nil {
+		return fmt.Errorf("prune: %w", err)
 	}
 	net, err := loadNet(*name, *in, 42)
 	if err != nil {
 		return err
 	}
-	prune.Network(net, prune.PaperRatios(*name), 0.1)
+	if sel == core.LayersAll {
+		prune.NetworkAll(net, prune.PaperRatios(*name), 0.1, *convKeep)
+	} else {
+		prune.Network(net, prune.PaperRatios(*name), 0.1)
+	}
 	if *retrain > 0 {
 		train, _, err := models.DataFor(*name, *samples, 10)
 		if err != nil {
@@ -161,10 +174,23 @@ func cmdPrune(args []string) error {
 		}
 		prune.Retrain(net, train, *retrain, 0.03, tensor.NewRNG(7))
 	}
-	for _, fc := range net.DenseLayers() {
-		fmt.Printf("pruned %s to %.1f%% density\n", fc.Name(), 100*fc.W.Density())
+	for _, cl := range net.CompressibleLayers() {
+		if p := cl.WeightParam(); p.Mask != nil {
+			fmt.Printf("pruned %s [%s] to %.1f%% density\n", cl.Name(), cl.Kind(), 100*p.Density())
+		}
 	}
 	return saveNet(net, *out)
+}
+
+// parseLayers maps the -layers flag to a core.LayerSelection.
+func parseLayers(v string) (core.LayerSelection, error) {
+	switch v {
+	case "fc":
+		return core.LayersFC, nil
+	case "all":
+		return core.LayersAll, nil
+	}
+	return 0, fmt.Errorf("bad -layers %q (want fc or all)", v)
 }
 
 func cmdEncode(args []string) error {
@@ -177,6 +203,7 @@ func cmdEncode(args []string) error {
 	workers := fs.Int("workers", 0, "assessment workers (0 = GOMAXPROCS)")
 	samples := fs.Int("samples", 500, "test samples for assessment")
 	codecName := fs.String("codec", "sz", "lossy codec for data arrays ("+strings.Join(codec.Names(), ", ")+")")
+	layers := fs.String("layers", "fc", "layers to compress: fc (paper-faithful) or all")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("encode: -in and -out required")
@@ -184,6 +211,10 @@ func cmdEncode(args []string) error {
 	cdc, err := codec.ByName(*codecName)
 	if err != nil {
 		return fmt.Errorf("encode: %w (have: %s)", err, strings.Join(codec.Names(), ", "))
+	}
+	sel, err := parseLayers(*layers)
+	if err != nil {
+		return fmt.Errorf("encode: %w", err)
 	}
 	net, err := loadNet(*name, *in, 42)
 	if err != nil {
@@ -194,6 +225,7 @@ func cmdEncode(args []string) error {
 		return err
 	}
 	cfg := core.Config{
+		Layers:               sel,
 		ExpectedAccuracyLoss: *loss,
 		DistortionCriterion:  0.005,
 		Workers:              *workers,
@@ -207,9 +239,14 @@ func cmdEncode(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("encoded %s [%s]: %d → %d bytes (%.1fx, pruning alone %.1fx)\n",
-		*name, cdc.Name(), res.OriginalFCBytes, res.CompressedBytes,
+	fmt.Printf("encoded %s [%s, layers %s]: %d → %d bytes (%.1fx, pruning alone %.1fx)\n",
+		*name, cdc.Name(), sel, res.OriginalBytes, res.CompressedBytes,
 		res.CompressionRatio(), res.PruningRatio())
+	for _, kind := range []string{"fc", "conv"} {
+		if o := res.OriginalBytesPerKind[kind]; o > 0 {
+			fmt.Printf("  %s: %d → %d bytes\n", kind, o, res.CompressedBytesPerKind[kind])
+		}
+	}
 	fmt.Printf("accuracy: %.2f%% → %.2f%% (budget %.2f%%)\n",
 		100*res.Before.Top1, 100*res.After.Top1, 100**loss)
 	for _, c := range res.Plan.Choices {

@@ -117,8 +117,12 @@ func run() error {
 			return err
 		}
 		m := e.Model()
-		log.Printf("loaded %s: net %s, %d fc layers, %d B compressed (%d B dense)",
-			e.Name(), m.NetName, len(m.Layers), m.TotalBytes(), m.TotalDenseBytes())
+		kinds := map[string]int{}
+		for i := range m.Layers {
+			kinds[m.Layers[i].Kind.String()]++
+		}
+		log.Printf("loaded %s: net %s, %d fc + %d conv layers, %d B compressed (%d B dense)",
+			e.Name(), m.NetName, kinds["fc"], kinds["conv"], m.TotalBytes(), m.TotalDenseBytes())
 	}
 	if budget > 0 {
 		log.Printf("decode cache budget: %d B", budget)

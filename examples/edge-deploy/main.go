@@ -41,9 +41,9 @@ func main() {
 	wire := res.Model.Marshal()
 	fmt.Printf("cloud: encoded %s in %v\n", models.VGG16S, res.EncodeTime.Round(time.Millisecond))
 	fmt.Printf("cloud: payload %d B vs %d B dense fc weights (%.1fx smaller)\n",
-		len(wire), res.OriginalFCBytes, float64(res.OriginalFCBytes)/float64(len(wire)))
+		len(wire), res.OriginalBytes, float64(res.OriginalBytes)/float64(len(wire)))
 
-	denseSec := float64(res.OriginalFCBytes*8) / linkBitsPerSecond
+	denseSec := float64(res.OriginalBytes*8) / linkBitsPerSecond
 	wireSec := float64(len(wire)*8) / linkBitsPerSecond
 	fmt.Printf("link:  %.1f s → %.1f s on a 1 Mbit/s link\n", denseSec, wireSec)
 

@@ -45,7 +45,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("encoded:  %d B → %d B (%.1fx; pruning alone %.1fx)\n",
-		res.OriginalFCBytes, res.CompressedBytes,
+		res.OriginalBytes, res.CompressedBytes,
 		res.CompressionRatio(), res.PruningRatio())
 	for _, c := range res.Plan.Choices {
 		fmt.Printf("          %s: error bound %.0e\n", c.Layer, c.EB)

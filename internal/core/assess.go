@@ -21,10 +21,13 @@ type Point struct {
 	DataBytes   int     // SZ-compressed data-array size at this bound
 }
 
-// LayerAssessment is Algorithm 1's output for one fc layer.
+// LayerAssessment is Algorithm 1's output for one compressible layer.
 type LayerAssessment struct {
-	Layer      string
-	Rows, Cols int
+	Layer string
+	// Kind tags the layer family (fc, conv) and Shape its weight-tensor
+	// dimensions ([out, in] for fc, [outC, inC, k, k] for conv).
+	Kind  nn.LayerKind
+	Shape []int
 	// Sparse is the pruned two-array form the data points are measured on.
 	Sparse *prune.Sparse
 	// IndexBytes is the best-fit losslessly compressed index-array size
@@ -40,40 +43,54 @@ type LayerAssessment struct {
 	FeasibleLo, FeasibleHi float64
 }
 
+// WeightCount returns the number of dense weights (the product of Shape).
+func (la *LayerAssessment) WeightCount() int {
+	n := 1
+	for _, d := range la.Shape {
+		n *= d
+	}
+	return n
+}
+
 // Assessment is the full Algorithm 1 output.
 type Assessment struct {
 	NetName  string
 	Baseline nn.Accuracy
-	// Split is the layer index where the conv prefix ends (feature cache
-	// boundary).
+	// Split is the layer index where the uncompressed prefix ends (feature
+	// cache boundary): the first assessed layer's position in the network.
 	Split  int
 	Layers []*LayerAssessment
 	// Tests counts accuracy evaluations performed (the paper's c·k).
 	Tests int
 }
 
-// Assess runs Algorithm 1 (error bound assessment) over every fc layer of
-// net, which must already be pruned and mask-retrained. test supplies the
+// Assess runs Algorithm 1 (error bound assessment) over every selected
+// weighted layer of net (cfg.Layers: fc only by default, or all), which
+// must already be pruned and mask-retrained. test supplies the
 // inference-accuracy measurements.
 func Assess(net *nn.Network, test *dataset.Set, cfg Config) (*Assessment, error) {
 	if err := (&cfg).fill(); err != nil {
 		return nil, err
 	}
-	split := net.FirstDenseIndex()
-	if split < 0 {
-		return nil, fmt.Errorf("core: network %q has no fc layers", net.Name())
+	selected := selectLayers(net, cfg.Layers)
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("core: network %q has no %s layers to compress", net.Name(), cfg.Layers)
 	}
+	// The feature cache covers the prefix before the first assessed layer:
+	// those layers are never reconstructed, so their activations are
+	// computed once and reused by every error-bound test.
+	split := net.LayerIndex(selected[0].Name())
 	features := net.FeatureCache(split, test, cfg.TestBatch)
 	baseline := net.EvaluateFrom(split, features, test, cfg.TestBatch)
 
 	a := &Assessment{NetName: net.Name(), Baseline: baseline, Split: split}
-	for _, fc := range net.DenseLayers() {
-		sp := prune.Encode(fc.Weights())
+	for _, cl := range selected {
+		sp := prune.Encode(cl.Weights())
 		comp, blob := lossless.Best(indexBytes(sp))
 		a.Layers = append(a.Layers, &LayerAssessment{
-			Layer:           fc.Name(),
-			Rows:            fc.Out,
-			Cols:            fc.In,
+			Layer:           cl.Name(),
+			Kind:            cl.Kind(),
+			Shape:           append([]int(nil), cl.WeightShape()...),
 			Sparse:          sp,
 			IndexBytes:      len(blob),
 			IndexCompressor: comp.ID(),
@@ -81,7 +98,7 @@ func Assess(net *nn.Network, test *dataset.Set, cfg Config) (*Assessment, error)
 	}
 
 	// Layers are assessed concurrently; each worker owns a private clone of
-	// the fc suffix so weight swaps cannot race.
+	// the suffix from Split onward so weight swaps cannot race.
 	workers := cfg.Workers
 	if workers > len(a.Layers) {
 		workers = len(a.Layers)
@@ -124,9 +141,9 @@ func indexBytes(sp *prune.Sparse) []byte {
 func assessLayer(suffix *nn.Network, features *tensor.Tensor, test *dataset.Set,
 	la *LayerAssessment, baselineTop1 float64, cfg Config) int {
 
-	fc := findDense(suffix, la.Layer)
-	original := append([]float32(nil), fc.Weights()...)
-	defer fc.SetWeights(original)
+	cl := findCompressible(suffix, la.Layer)
+	original := append([]float32(nil), cl.Weights()...)
+	defer cl.SetWeights(original)
 
 	tests := 0
 	seen := map[float64]Point{}
@@ -134,8 +151,8 @@ func assessLayer(suffix *nn.Network, features *tensor.Tensor, test *dataset.Set,
 		if p, ok := seen[eb]; ok {
 			return p
 		}
-		p := measure(suffix, features, test, fc, la.Sparse, eb, baselineTop1, cfg)
-		fc.SetWeights(original)
+		p := measure(suffix, features, test, cl, la.Sparse, eb, baselineTop1, cfg)
+		cl.SetWeights(original)
 		seen[eb] = p
 		tests++
 		return p
@@ -207,7 +224,7 @@ func assessLayer(suffix *nn.Network, features *tensor.Tensor, test *dataset.Set,
 // codec, reconstructs the layer, and evaluates the suffix network. The
 // suffix's weights are left modified; the caller restores them.
 func measure(suffix *nn.Network, features *tensor.Tensor, test *dataset.Set,
-	fc *nn.Dense, sp *prune.Sparse, eb, baselineTop1 float64, cfg Config) Point {
+	cl nn.Compressible, sp *prune.Sparse, eb, baselineTop1 float64, cfg Config) Point {
 
 	cdc, err := codec.ByID(cfg.Codec)
 	if err != nil {
@@ -226,16 +243,14 @@ func measure(suffix *nn.Network, features *tensor.Tensor, test *dataset.Set,
 	if err != nil {
 		panic(fmt.Sprintf("core: sparse reconstruction failed: %v", err))
 	}
-	fc.SetWeights(dense)
+	cl.SetWeights(dense)
 	acc := suffix.EvaluateFrom(0, features, test, cfg.TestBatch)
 	return Point{EB: eb, Degradation: baselineTop1 - acc.Top1, DataBytes: len(blob)}
 }
 
-func findDense(net *nn.Network, name string) *nn.Dense {
-	for _, fc := range net.DenseLayers() {
-		if fc.Name() == name {
-			return fc
-		}
+func findCompressible(net *nn.Network, name string) nn.Compressible {
+	if cl := net.CompressibleByName(name); cl != nil {
+		return cl
 	}
-	panic(fmt.Sprintf("core: fc layer %q not found in suffix", name))
+	panic(fmt.Sprintf("core: layer %q not found in suffix", name))
 }

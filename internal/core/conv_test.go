@@ -1,0 +1,228 @@
+package core
+
+// Whole-network compression tests: the LayersAll pipeline must carry conv
+// layers through every stage — assessment, optimisation, generation, the
+// v3 stream, and Apply — with the conv layers actually compressed, not
+// merely copied.
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+// trainedPrunedConvNet returns a small trained conv+fc network with every
+// weighted layer pruned and mask-retrained, plus its test set.
+func trainedPrunedConvNet(t *testing.T) (*nn.Network, *dataset.Set) {
+	t.Helper()
+	rng := tensor.NewRNG(19)
+	net := nn.NewNetwork("conv-e2e",
+		nn.NewConv2D("conv1", 1, 6, 3, 1, 1, rng), // 8×8
+		nn.NewMaxPool2D("pool1", 2, 2),            // →4
+		nn.NewReLU("reluc1"),
+		nn.NewConv2D("conv2", 6, 8, 3, 1, 1, rng), // 4×4
+		nn.NewReLU("reluc2"),
+		nn.NewFlatten("flat"),
+		nn.NewDense("ip1", 128, 32, rng),
+		nn.NewReLU("relu1"),
+		nn.NewDense("ip2", 32, 10, rng),
+	)
+	train, test := dataset.SynthImagesSplit(900, 400, 10, 1, 8, 8, 91)
+	opt := nn.NewSGD(0.05, 0.9, 1e-4)
+	nn.Train(net, train, opt, nn.TrainConfig{Epochs: 3, BatchSize: 32}, rng)
+	prune.NetworkAll(net, map[string]float64{"ip1": 0.15, "ip2": 0.4}, 0.15, 0.4)
+	prune.Retrain(net, train, 1, 0.03, rng)
+	return net, test
+}
+
+// TestAssessAllCoversConvLayers: LayersAll assessment must include the conv
+// layers, record their kinds and 4-D shapes, and anchor the feature cache
+// before the first conv layer.
+func TestAssessAllCoversConvLayers(t *testing.T) {
+	net := prunedConvNet(70)
+	test := dataset.SynthImages(60, 10, 1, 8, 8, 71)
+	cfg := assessCfg()
+	cfg.Layers = LayersAll
+	cfg.TestBatch = 30
+	a, err := Assess(net, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Layers) != 4 {
+		t.Fatalf("assessed %d layers, want 4 (2 conv + 2 fc)", len(a.Layers))
+	}
+	if a.Split != 0 {
+		t.Fatalf("split %d, want 0 (first assessed layer is conv1)", a.Split)
+	}
+	wantKinds := []nn.LayerKind{nn.KindConv, nn.KindConv, nn.KindDense, nn.KindDense}
+	wantRank := []int{4, 4, 2, 2}
+	for i, la := range a.Layers {
+		if la.Kind != wantKinds[i] || len(la.Shape) != wantRank[i] {
+			t.Fatalf("layer %s assessed as %s rank %d, want %s rank %d",
+				la.Layer, la.Kind, len(la.Shape), wantKinds[i], wantRank[i])
+		}
+		if la.WeightCount() != len(net.CompressibleByName(la.Layer).Weights()) {
+			t.Fatalf("layer %s WeightCount %d != live weight count", la.Layer, la.WeightCount())
+		}
+	}
+	// Paper-faithful default must keep ignoring conv layers.
+	cfg.Layers = LayersFC
+	a, err = Assess(net, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Layers) != 2 {
+		t.Fatalf("fc-only assessment covered %d layers, want 2", len(a.Layers))
+	}
+}
+
+// TestConvRoundTripThroughStream is the acceptance lock: a conv+fc network
+// round-trips Assess → Optimize → Generate → WriteModel → ReadModel →
+// Apply with the conv layers genuinely compressed (compressed bytes <
+// dense conv bytes) and the error bound honoured per weight.
+func TestConvRoundTripThroughStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	net, test := trainedPrunedConvNet(t)
+	cfg := assessCfg()
+	cfg.Layers = LayersAll
+	a, err := Assess(net, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Optimize(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Choices) != 4 {
+		t.Fatalf("plan covers %d layers, want 4", len(plan.Choices))
+	}
+	m, err := Generate(net, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "conv.dsz")
+	if err := m.WriteModel(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ebByLayer := map[string]float64{}
+	for _, c := range plan.Choices {
+		ebByLayer[c.Layer] = c.EB
+	}
+	convSeen := 0
+	for i := range got.Layers {
+		l := &got.Layers[i]
+		if l.Kind != nn.KindConv {
+			continue
+		}
+		convSeen++
+		if len(l.Shape) != 4 {
+			t.Fatalf("conv layer %s stored with shape %v", l.Name, l.Shape)
+		}
+		if int64(l.CompressedBytes()) >= l.DenseBytes() {
+			t.Fatalf("conv layer %s not compressed: %d stored vs %d dense bytes",
+				l.Name, l.CompressedBytes(), l.DenseBytes())
+		}
+	}
+	if convSeen != 2 {
+		t.Fatalf("stream carries %d conv layers, want 2", convSeen)
+	}
+
+	// Apply onto a clone with wiped weights: both conv and fc tensors must
+	// come back within each layer's chosen error bound.
+	recon := net.Clone()
+	for _, cl := range recon.CompressibleLayers() {
+		cl.WeightParam().W.Zero()
+	}
+	if _, err := got.Apply(recon); err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range recon.CompressibleLayers() {
+		orig := net.CompressibleByName(cl.Name()).Weights()
+		eb := ebByLayer[cl.Name()]
+		for i, w := range cl.Weights() {
+			if d := math.Abs(float64(w) - float64(orig[i])); d > eb*1.0001+1e-7 {
+				t.Fatalf("%s[%d]: error %g exceeds bound %g after Apply", cl.Name(), i, d, eb)
+			}
+		}
+	}
+}
+
+// TestConvApplyRestoresAccuracy: the network reconstructed from a
+// whole-network compressed model must stay within the accuracy budget of
+// the pruned baseline (with slack for the linearity approximation).
+func TestConvApplyRestoresAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	net, test := trainedPrunedConvNet(t)
+	cfg := assessCfg()
+	cfg.Layers = LayersAll
+	// Four simultaneously reconstructed layers compound reconstruction
+	// error; keep the sweep inside the paper's linear regime (§3.4 wants
+	// eb ≪ 0.1) so Σ∆ℓ stays a usable predictor.
+	cfg.MaxErrorBound = 0.05
+	res, err := Encode(net, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OriginalBytesPerKind["conv"] <= 0 || res.CompressedBytesPerKind["conv"] <= 0 {
+		t.Fatalf("per-kind accounting missing conv bytes: %+v / %+v",
+			res.OriginalBytesPerKind, res.CompressedBytesPerKind)
+	}
+	if int64(res.CompressedBytesPerKind["conv"]) >= res.OriginalBytesPerKind["conv"] {
+		t.Fatalf("conv layers grew: %d compressed vs %d original",
+			res.CompressedBytesPerKind["conv"], res.OriginalBytesPerKind["conv"])
+	}
+	loss := res.Before.Top1 - res.After.Top1
+	if loss > cfg.ExpectedAccuracyLoss+0.02 {
+		t.Fatalf("actual loss %.4f far exceeds budget %.4f", loss, cfg.ExpectedAccuracyLoss)
+	}
+}
+
+// TestGenerateRejectsDuplicateLayerNames: Unmarshal treats duplicate names
+// as corrupt, so Generate must refuse to produce a stream ReadModel would
+// bounce.
+func TestGenerateRejectsDuplicateLayerNames(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	net := nn.NewNetwork("dup-mlp",
+		nn.NewFlatten("flat"),
+		nn.NewDense("ip", 16, 8, rng),
+		nn.NewReLU("relu"),
+		nn.NewDense("ip", 8, 4, rng), // same name
+	)
+	prune.Network(net, nil, 0.3)
+	if _, err := Generate(net, simplePlan(net, 1e-2), Config{ExpectedAccuracyLoss: 0.01}); err == nil {
+		t.Fatal("Generate accepted duplicate layer names")
+	}
+}
+
+// TestGenerateFCDefaultSkipsConv locks the paper-faithful default: without
+// LayersAll the generated model must not contain conv layers even when the
+// plan names them.
+func TestGenerateFCDefaultSkipsConv(t *testing.T) {
+	net := prunedConvNet(72)
+	m, err := Generate(net, simplePlanAll(net, 1e-2), Config{ExpectedAccuracyLoss: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Layers) != 2 {
+		t.Fatalf("fc-only Generate produced %d layers, want 2", len(m.Layers))
+	}
+	for i := range m.Layers {
+		if m.Layers[i].Kind != nn.KindDense {
+			t.Fatalf("fc-only Generate emitted a %s layer", m.Layers[i].Kind)
+		}
+	}
+}

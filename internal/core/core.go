@@ -21,6 +21,7 @@ import (
 	"runtime"
 
 	"repro/internal/codec"
+	"repro/internal/nn"
 )
 
 // Mode selects the optimisation objective (§3.4).
@@ -35,10 +36,52 @@ const (
 	ExpectedRatio
 )
 
+// LayerSelection picks which weighted layers the pipeline compresses.
+type LayerSelection uint8
+
+const (
+	// LayersFC compresses fully connected layers only — the paper's scope,
+	// and the default (fc weights dominate storage in AlexNet/VGG-era
+	// models).
+	LayersFC LayerSelection = iota
+	// LayersAll compresses every weighted layer, convolutions included —
+	// the whole-network generalisation for conv-heavy architectures.
+	LayersAll
+)
+
+// String returns "fc" or "all".
+func (s LayerSelection) String() string {
+	if s == LayersAll {
+		return "all"
+	}
+	return "fc"
+}
+
+// selects reports whether the selection covers the given layer kind.
+func (s LayerSelection) selects(k nn.LayerKind) bool {
+	return s == LayersAll || k == nn.KindDense
+}
+
+// selectLayers returns net's compressible layers covered by the selection,
+// in network order.
+func selectLayers(net *nn.Network, sel LayerSelection) []nn.Compressible {
+	var out []nn.Compressible
+	for _, c := range net.CompressibleLayers() {
+		if sel.selects(c.Kind()) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 // Config controls the DeepSZ pipeline.
 type Config struct {
 	// Mode selects expected-accuracy (default) or expected-ratio operation.
 	Mode OptimizeMode
+
+	// Layers selects the compressed layer set: LayersFC (default,
+	// paper-faithful) or LayersAll (every weighted layer, conv included).
+	Layers LayerSelection
 
 	// ExpectedAccuracyLoss is ϵ*, the user's acceptable top-1 accuracy loss
 	// as a fraction (the paper uses 0.002–0.004 on 50 k-image test sets;
@@ -67,7 +110,7 @@ type Config struct {
 
 	// Workers bounds assessment and generation parallelism (default
 	// GOMAXPROCS); each assessment worker owns a private clone of the
-	// network's fc suffix, mirroring the paper's embarrassingly parallel
+	// network's assessed suffix, mirroring the paper's embarrassingly parallel
 	// multi-GPU testing, while generation workers compress whole layers
 	// independently. Decoding is bounded separately: Model.DecodeWith
 	// takes an explicit worker count (Decode uses GOMAXPROCS).

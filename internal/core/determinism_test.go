@@ -49,6 +49,36 @@ func TestGenerateByteIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestGenerateConvByteIdenticalAcrossWorkers pins worker-count independence
+// for whole-network (conv+fc) generation: the v3 stream bytes must not
+// depend on scheduling any more than the fc-only stream does.
+func TestGenerateConvByteIdenticalAcrossWorkers(t *testing.T) {
+	net := prunedConvNet(55)
+	plan := simplePlanAll(net, 1e-3)
+	var ref []byte
+	for _, workers := range []int{1, 8, 3} {
+		m, err := Generate(net, plan, Config{
+			ExpectedAccuracyLoss: 0.01,
+			Workers:              workers,
+			Layers:               LayersAll,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m.Layers) != 4 {
+			t.Fatalf("generated %d layers, want 4 (2 conv + 2 fc)", len(m.Layers))
+		}
+		blob := m.Marshal()
+		if ref == nil {
+			ref = blob
+			continue
+		}
+		if !bytes.Equal(ref, blob) {
+			t.Fatalf("Workers=%d produced different conv+fc stream bytes than Workers=1", workers)
+		}
+	}
+}
+
 // TestGenerateByteIdenticalAcrossRuns catches nondeterminism independent of
 // scheduling (map-iteration-dependent entropy coding would flip bytes
 // between two identical calls).

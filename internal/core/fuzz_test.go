@@ -10,6 +10,7 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
@@ -72,7 +73,8 @@ func TestUnmarshalSurvivesTruncation(t *testing.T) {
 // Unmarshal either rejects the blob with an error or returns a model whose
 // Decode cannot panic or allocate beyond the header plausibility caps —
 // corrupt, truncated, and adversarial-length headers included. Seeds cover
-// both stream versions so the fuzzer mutates real v1 and v2 structure.
+// all three stream versions so the fuzzer mutates real v1, v2, and v3
+// structure, including the v3 layer-kind and shape bytes.
 func FuzzReadModel(f *testing.F) {
 	// Seeds use the tiny golden network: a few-KB corpus keeps mutated
 	// payload decompression cheap, so the fuzzer spends its budget on
@@ -82,17 +84,42 @@ func FuzzReadModel(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	v2 := m.Marshal()
-	f.Add(v2)
-	f.Add(v2[:len(v2)/2])
-	f.Add(v2[:5])
-	// A v1 seed (same layout the golden fixture locks): v2 minus the
-	// per-layer codec byte, version byte rewritten.
+	v3 := m.Marshal()
+	f.Add(v3)
+	f.Add(v3[:len(v3)/2])
+	f.Add(v3[:5])
+	// Forged v3 kind/shape headers: the reader must reject an unknown layer
+	// kind, an absurd dimensionality, and a dimension past the caps without
+	// sizing any allocation off them. Offset arithmetic mirrors Marshal:
+	// magic(4) version(1) netname(2+n) nlayers(2) layername(2+n) kind ndims
+	// dims…
+	kindOff := 4 + 1 + 2 + len(m.NetName) + 2 + 2 + len(m.Layers[0].Name)
+	forge := func(off int, b ...byte) []byte {
+		bad := append([]byte(nil), v3...)
+		copy(bad[off:], b)
+		return bad
+	}
+	f.Add(forge(kindOff, 0xEE))                     // unknown layer kind
+	f.Add(forge(kindOff+1, 0xFF))                   // 255-dimensional shape
+	f.Add(forge(kindOff+2, 0xFF, 0xFF, 0xFF, 0xFF)) // dimension beyond the caps
+	f.Add(forge(kindOff, byte(nn.KindConv), 4))     // kind/rank lying about the payload
+	// A conv+fc whole-network model exercises real KindConv layers and
+	// 4-D shapes in the corpus.
+	convNet := prunedConvNet(77)
+	cm, err := Generate(convNet, simplePlanAll(convNet, 1e-2), Config{ExpectedAccuracyLoss: 0.01, Layers: LayersAll})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(cm.Marshal())
+	// v1 and v2 seeds (the layouts the golden fixtures lock).
 	if fixture, err := os.ReadFile(goldenV1Path); err == nil {
 		f.Add(fixture)
 	}
+	if fixture, err := os.ReadFile(goldenV2Path); err == nil {
+		f.Add(fixture)
+	}
 	f.Add([]byte{})
-	f.Add([]byte{0x31, 0x5A, 0x53, 0x44, 2}) // magic + version, nothing else
+	f.Add([]byte{0x31, 0x5A, 0x53, 0x44, 3}) // magic + version, nothing else
 	f.Fuzz(func(t *testing.T, blob []byte) {
 		mm, err := Unmarshal(blob)
 		if err != nil {

@@ -16,13 +16,18 @@ import (
 	"repro/internal/prune"
 )
 
-// LayerBlob is one fc layer of a compressed model: the lossy-compressed data
+// LayerBlob is one compressed layer of a model: the lossy-compressed data
 // array, the losslessly compressed index array, and the raw biases (biases
 // are a few hundred bytes; the paper leaves them untouched).
 type LayerBlob struct {
-	Name       string
-	Rows, Cols int
-	EB         float64
+	Name string
+	// Kind tags the layer family (fc, conv); Shape holds the weight
+	// tensor's dimensions — [out, in] for fc, [outC, inC, k, k] for conv.
+	// Streams older than version 3 only ever carried fc layers, so their
+	// readers fill Kind=KindDense and Shape=[rows, cols].
+	Kind  nn.LayerKind
+	Shape []int
+	EB    float64
 	// Codec identifies the lossy back-end that produced DataBlob. Version-1
 	// streams predate the field and always carry codec.IDSZ.
 	Codec     codec.ID
@@ -39,36 +44,58 @@ type LayerBlob struct {
 type Model struct {
 	NetName string
 	Layers  []LayerBlob
+
+	// index maps layer name → Layers position. Built once by Generate and
+	// Unmarshal so the serve decode cache's per-request lookups are O(1)
+	// instead of a linear scan; read-only afterwards, like the rest of the
+	// model. Nil for hand-assembled models, which fall back to scanning.
+	index map[string]int
 }
 
 const (
 	modelMagic = 0x44535A31 // "DSZ1"
 	// modelVersion1 streams have no per-layer codec byte: every data blob
 	// is SZ-compressed. modelVersion2 adds one codec.ID byte per layer.
-	// WriteModel/Marshal always emit version 2; Unmarshal reads both.
+	// modelVersion3 replaces the fixed Rows×Cols pair with a layer-kind
+	// byte plus an N-dimensional weight shape, admitting conv layers.
+	// WriteModel/Marshal always emit version 3; Unmarshal reads all three.
 	modelVersion1 = 1
 	modelVersion2 = 2
+	modelVersion3 = 3
 )
 
-// maxLayerDense bounds Rows×Cols accepted from serialized headers. 2^28
-// weights (1 GiB dense) is 2.6× the paper's largest fc layer (VGG-16 fc6,
-// ~103 M weights); forged headers beyond it are rejected before any
+// maxLayerDense bounds the weight count accepted from serialized headers.
+// 2^28 weights (1 GiB dense) is 2.6× the paper's largest fc layer (VGG-16
+// fc6, ~103 M weights); forged headers beyond it are rejected before any
 // allocation sized by the product.
 const maxLayerDense = 1 << 28
 
-// maxModelDense bounds the summed Rows×Cols over all layers of one model
+// maxModelDense bounds the summed weight count over all layers of one model
 // (2^29 weights = 2 GiB dense, 4× the paper's largest fc suffix). Without
 // an aggregate cap, a stream of many individually-plausible layers could
 // still drive Decode to unbounded total allocation.
 const maxModelDense = 1 << 29
 
+// maxShapeDims bounds the dimensionality a version-3 header may claim; the
+// deepest real shape is conv's 4.
+const maxShapeDims = 8
+
 // ErrCorrupt is returned when a serialized model fails validation.
 var ErrCorrupt = errors.New("core: corrupt model")
 
+// WeightCount returns the number of dense weights (the product of Shape).
+func (l *LayerBlob) WeightCount() int {
+	n := 1
+	for _, d := range l.Shape {
+		n *= d
+	}
+	return n
+}
+
 // DenseBytes returns the memory cost of the layer once materialised: the
-// dense weight matrix plus bias, in bytes.
+// dense weight tensor plus bias, in bytes.
 func (l *LayerBlob) DenseBytes() int64 {
-	return 4 * int64(l.Rows*l.Cols+len(l.Bias))
+	return 4 * int64(l.WeightCount()+len(l.Bias))
 }
 
 // CompressedBytes returns the layer's stored size: data blob, index blob,
@@ -107,18 +134,32 @@ func (m *Model) Codecs() []codec.ID {
 	return out
 }
 
+// buildIndex populates the name→position map. Called once at construction
+// (Generate, Unmarshal); the model is read-only afterwards.
+func (m *Model) buildIndex() {
+	m.index = make(map[string]int, len(m.Layers))
+	for i := range m.Layers {
+		m.index[m.Layers[i].Name] = i
+	}
+}
+
 // Marshal serializes the model to a self-describing byte stream (always the
-// current version-2 layout).
+// current version-3 layout). It does not validate: hand-assembled models
+// must carry unique layer names and a valid Kind/Shape per layer (as
+// Generate and Unmarshal guarantee), or Unmarshal will reject the output.
 func (m *Model) Marshal() []byte {
 	out := make([]byte, 0, 64+m.TotalBytes())
 	out = binary.LittleEndian.AppendUint32(out, modelMagic)
-	out = append(out, modelVersion2)
+	out = append(out, modelVersion3)
 	out = appendString(out, m.NetName)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Layers)))
 	for _, l := range m.Layers {
 		out = appendString(out, l.Name)
-		out = binary.LittleEndian.AppendUint32(out, uint32(l.Rows))
-		out = binary.LittleEndian.AppendUint32(out, uint32(l.Cols))
+		out = append(out, byte(l.Kind))
+		out = append(out, byte(len(l.Shape)))
+		for _, d := range l.Shape {
+			out = binary.LittleEndian.AppendUint32(out, uint32(d))
+		}
 		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(l.EB))
 		out = binary.LittleEndian.AppendUint32(out, uint32(len(l.Bias)))
 		for _, b := range l.Bias {
@@ -217,9 +258,53 @@ func (r *reader) byte1() (byte, error) {
 	return b, nil
 }
 
-// Unmarshal parses a serialized model. Both stream versions are accepted:
-// version-1 layers (written before the codec registry existed) decode with
-// the SZ codec; version-2 layers carry an explicit codec identifier.
+// readShape parses the layer kind and weight shape of one serialized layer.
+// Versions 1 and 2 store a fixed Rows×Cols pair (they predate conv support,
+// so the kind is implicitly fc); version 3 stores a kind byte and an
+// N-dimensional shape.
+func readShape(r *reader, version byte, name string) (nn.LayerKind, []int, error) {
+	if version < modelVersion3 {
+		rows, err := r.u32()
+		if err != nil {
+			return 0, nil, err
+		}
+		cols, err := r.u32()
+		if err != nil {
+			return 0, nil, err
+		}
+		return nn.KindDense, []int{int(rows), int(cols)}, nil
+	}
+	kb, err := r.byte1()
+	if err != nil {
+		return 0, nil, err
+	}
+	kind := nn.LayerKind(kb)
+	if !nn.KnownKind(kind) {
+		return 0, nil, fmt.Errorf("%w: layer %s has unknown kind %d", ErrCorrupt, name, kb)
+	}
+	nd, err := r.byte1()
+	if err != nil {
+		return 0, nil, err
+	}
+	if nd == 0 || nd > maxShapeDims {
+		return 0, nil, fmt.Errorf("%w: layer %s claims %d shape dimensions", ErrCorrupt, name, nd)
+	}
+	shape := make([]int, nd)
+	for i := range shape {
+		d, err := r.u32()
+		if err != nil {
+			return 0, nil, err
+		}
+		shape[i] = int(d)
+	}
+	return kind, shape, nil
+}
+
+// Unmarshal parses a serialized model. All three stream versions are
+// accepted: version-1 layers (written before the codec registry existed)
+// decode with the SZ codec, version-2 layers carry an explicit codec
+// identifier, and version-3 layers add a layer kind and N-dimensional
+// weight shape.
 func Unmarshal(blob []byte) (*Model, error) {
 	r := &reader{buf: blob}
 	magic, err := r.u32()
@@ -230,7 +315,7 @@ func Unmarshal(blob []byte) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != modelVersion1 && version != modelVersion2 {
+	if version < modelVersion1 || version > modelVersion3 {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
 	}
 	m := &Model{}
@@ -247,23 +332,23 @@ func Unmarshal(blob []byte) (*Model, error) {
 		if l.Name, err = r.str(); err != nil {
 			return nil, err
 		}
-		rows, err := r.u32()
-		if err != nil {
+		if l.Kind, l.Shape, err = readShape(r, version, l.Name); err != nil {
 			return nil, err
 		}
-		cols, err := r.u32()
-		if err != nil {
-			return nil, err
-		}
-		l.Rows, l.Cols = int(rows), int(cols)
 		// Forged dimensions must not drive huge allocations when the layer
 		// is later reconstructed — per dimension, per layer, or in
-		// aggregate (a zero dimension must not launder the other one).
-		if uint64(rows) > maxLayerDense || uint64(cols) > maxLayerDense ||
-			uint64(rows)*uint64(cols) > maxLayerDense {
-			return nil, fmt.Errorf("%w: layer %s claims %d×%d dense weights", ErrCorrupt, l.Name, rows, cols)
+		// aggregate (a zero dimension must not launder the others).
+		product := uint64(1)
+		for _, d := range l.Shape {
+			if uint64(d) > maxLayerDense {
+				return nil, fmt.Errorf("%w: layer %s claims dimension %d", ErrCorrupt, l.Name, d)
+			}
+			product *= uint64(d)
+			if product > maxLayerDense {
+				return nil, fmt.Errorf("%w: layer %s claims %v dense weights", ErrCorrupt, l.Name, l.Shape)
+			}
 		}
-		totalDense += uint64(rows) * uint64(cols)
+		totalDense += product
 		if totalDense > maxModelDense {
 			return nil, fmt.Errorf("%w: layers claim more than %d dense weights in total", ErrCorrupt, maxModelDense)
 		}
@@ -317,14 +402,21 @@ func Unmarshal(blob []byte) (*Model, error) {
 		l.IndexLen = int(il)
 		m.Layers = append(m.Layers, l)
 	}
+	// Duplicate names would make every by-name lookup (Apply, the serving
+	// decode cache) ambiguous; no writer produces them.
+	m.buildIndex()
+	if len(m.index) != len(m.Layers) {
+		return nil, fmt.Errorf("%w: duplicate layer names", ErrCorrupt)
+	}
 	return m, nil
 }
 
-// Generate performs DeepSZ step 4: compress every fc layer of net with the
-// plan's error bounds (the plan's codec on data arrays, best-fit lossless
-// on index arrays) and package the result. Layers are compressed by a
-// bounded worker pool (cfg.Workers); the output is ordered by the network's
-// layer order and is byte-identical regardless of worker count.
+// Generate performs DeepSZ step 4: compress every selected layer of net
+// (cfg.Layers) with the plan's error bounds (the plan's codec on data
+// arrays, best-fit lossless on index arrays) and package the result. Layers
+// are compressed by a bounded worker pool (cfg.Workers); the output is
+// ordered by the network's layer order and is byte-identical regardless of
+// worker count.
 func Generate(net *nn.Network, plan *Plan, cfg Config) (*Model, error) {
 	if err := (&cfg).fill(); err != nil {
 		return nil, err
@@ -333,18 +425,18 @@ func Generate(net *nn.Network, plan *Plan, cfg Config) (*Model, error) {
 	for _, c := range plan.Choices {
 		byLayer[c.Layer] = c
 	}
-	denses := net.DenseLayers()
-	for _, fc := range denses {
-		if _, ok := byLayer[fc.Name()]; !ok {
-			return nil, fmt.Errorf("core: plan has no choice for layer %s", fc.Name())
+	layers := selectLayers(net, cfg.Layers)
+	for _, cl := range layers {
+		if _, ok := byLayer[cl.Name()]; !ok {
+			return nil, fmt.Errorf("core: plan has no choice for layer %s", cl.Name())
 		}
 	}
 
-	blobs := make([]LayerBlob, len(denses))
-	errs := make([]error, len(denses))
+	blobs := make([]LayerBlob, len(layers))
+	errs := make([]error, len(layers))
 	workers := cfg.Workers
-	if workers > len(denses) {
-		workers = len(denses)
+	if workers > len(layers) {
+		workers = len(layers)
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -353,11 +445,11 @@ func Generate(net *nn.Network, plan *Plan, cfg Config) (*Model, error) {
 		go func() {
 			defer wg.Done()
 			for li := range jobs {
-				blobs[li], errs[li] = generateLayer(denses[li], byLayer[denses[li].Name()], cfg)
+				blobs[li], errs[li] = generateLayer(layers[li], byLayer[layers[li].Name()], cfg)
 			}
 		}()
 	}
-	for li := range denses {
+	for li := range layers {
 		jobs <- li
 	}
 	close(jobs)
@@ -367,34 +459,41 @@ func Generate(net *nn.Network, plan *Plan, cfg Config) (*Model, error) {
 			return nil, err
 		}
 	}
-	return &Model{NetName: net.Name(), Layers: blobs}, nil
+	m := &Model{NetName: net.Name(), Layers: blobs}
+	m.buildIndex()
+	// Unmarshal rejects duplicate layer names as corrupt; refusing to
+	// produce them here keeps every Generate output readable by ReadModel.
+	if len(m.index) != len(m.Layers) {
+		return nil, fmt.Errorf("core: network %s has duplicate layer names", net.Name())
+	}
+	return m, nil
 }
 
-// generateLayer compresses one fc layer: the codec on the sparse data
-// array, best-fit lossless on the index array. Pure function of its inputs,
-// which is what makes Generate's output independent of scheduling.
-func generateLayer(fc *nn.Dense, c Choice, cfg Config) (LayerBlob, error) {
+// generateLayer compresses one layer: the codec on the sparse data array,
+// best-fit lossless on the index array. Pure function of its inputs, which
+// is what makes Generate's output independent of scheduling.
+func generateLayer(cl nn.Compressible, c Choice, cfg Config) (LayerBlob, error) {
 	id := c.Codec
 	if id == 0 {
 		id = cfg.Codec
 	}
 	cdc, err := codec.ByID(id)
 	if err != nil {
-		return LayerBlob{}, fmt.Errorf("core: layer %s: %w", fc.Name(), err)
+		return LayerBlob{}, fmt.Errorf("core: layer %s: %w", cl.Name(), err)
 	}
-	sp := prune.Encode(fc.Weights())
+	sp := prune.Encode(cl.Weights())
 	dataBlob, err := cdc.Compress(sp.Data, cfg.codecOptions(c.EB))
 	if err != nil {
-		return LayerBlob{}, fmt.Errorf("core: compressing %s: %w", fc.Name(), err)
+		return LayerBlob{}, fmt.Errorf("core: compressing %s: %w", cl.Name(), err)
 	}
 	comp, idxBlob := lossless.Best(indexBytes(sp))
 	return LayerBlob{
-		Name:      fc.Name(),
-		Rows:      fc.Out,
-		Cols:      fc.In,
+		Name:      cl.Name(),
+		Kind:      cl.Kind(),
+		Shape:     append([]int(nil), cl.WeightShape()...),
 		EB:        c.EB,
 		Codec:     id,
-		Bias:      append([]float32(nil), fc.B.W.Data...),
+		Bias:      append([]float32(nil), cl.BiasParam().W.Data...),
 		DataBlob:  dataBlob,
 		IndexID:   comp.ID(),
 		IndexBlob: idxBlob,
@@ -408,19 +507,21 @@ func generateLayer(fc *nn.Dense, c Choice, cfg Config) (LayerBlob, error) {
 type DecodeBreakdown struct {
 	Lossless    time.Duration // index-array lossless decompression
 	Lossy       time.Duration // data-array lossy decompression
-	Reconstruct time.Duration // sparse-to-dense matrix reconstruction
+	Reconstruct time.Duration // sparse-to-dense reconstruction
 }
 
-// DecodedLayer is one reconstructed fc layer.
+// DecodedLayer is one reconstructed layer.
 type DecodedLayer struct {
 	Name    string
-	Weights []float32 // dense, Rows×Cols
+	Kind    nn.LayerKind
+	Shape   []int
+	Weights []float32 // dense, flat (product of Shape entries)
 	Bias    []float32
 }
 
 // Decode reverses Generate with one worker per CPU: lossless-decompress the
 // index arrays, codec-decompress the data arrays, and rebuild each dense
-// weight matrix. Layer order matches storage order regardless of workers.
+// weight tensor. Layer order matches storage order regardless of workers.
 func (m *Model) Decode() ([]DecodedLayer, DecodeBreakdown, error) {
 	return m.DecodeWith(runtime.GOMAXPROCS(0))
 }
@@ -513,34 +614,35 @@ func decodeLayerBlob(l *LayerBlob) (DecodedLayer, DecodeBreakdown, error) {
 	if len(data) != len(idx) {
 		return DecodedLayer{}, bd, fmt.Errorf("%w: layer %s: %d data values for %d indices", ErrCorrupt, l.Name, len(data), len(idx))
 	}
-	sp := &prune.Sparse{N: l.Rows * l.Cols, Data: data, Index: idx}
+	sp := &prune.Sparse{N: l.WeightCount(), Data: data, Index: idx}
 	dense, err := sp.Decode()
 	if err != nil {
 		return DecodedLayer{}, bd, fmt.Errorf("core: layer %s: %w", l.Name, err)
 	}
 	bd.Reconstruct = time.Since(t2)
-	return DecodedLayer{Name: l.Name, Weights: dense, Bias: append([]float32(nil), l.Bias...)}, bd, nil
+	return DecodedLayer{
+		Name:    l.Name,
+		Kind:    l.Kind,
+		Shape:   append([]int(nil), l.Shape...),
+		Weights: dense,
+		Bias:    append([]float32(nil), l.Bias...),
+	}, bd, nil
 }
 
-// Apply loads decoded weights into net's fc layers (matched by name).
+// Apply loads decoded weights into net's compressible layers (matched by
+// name, fc and conv alike).
 func (m *Model) Apply(net *nn.Network) (DecodeBreakdown, error) {
 	layers, bd, err := m.Decode()
 	if err != nil {
 		return bd, err
 	}
 	for _, dl := range layers {
-		found := false
-		for _, fc := range net.DenseLayers() {
-			if fc.Name() == dl.Name {
-				fc.SetWeights(dl.Weights)
-				copy(fc.B.W.Data, dl.Bias)
-				found = true
-				break
-			}
-		}
-		if !found {
+		cl := net.CompressibleByName(dl.Name)
+		if cl == nil {
 			return bd, fmt.Errorf("core: network %s has no layer %s", net.Name(), dl.Name)
 		}
+		cl.SetWeights(dl.Weights)
+		copy(cl.BiasParam().W.Data, dl.Bias)
 	}
 	return bd, nil
 }

@@ -32,6 +32,35 @@ func simplePlan(net *nn.Network, eb float64) *Plan {
 	return p
 }
 
+// prunedConvNet builds a small untrained conv+fc network with every
+// weighted layer pruned — the whole-network (LayersAll) test fixture.
+// Input shape: [1, 8, 8].
+func prunedConvNet(seed uint64) *nn.Network {
+	rng := tensor.NewRNG(seed)
+	net := nn.NewNetwork("test-conv",
+		nn.NewConv2D("conv1", 1, 6, 3, 1, 1, rng), // 8×8
+		nn.NewMaxPool2D("pool1", 2, 2),            // →4
+		nn.NewReLU("reluc1"),
+		nn.NewConv2D("conv2", 6, 8, 3, 1, 1, rng), // 4×4
+		nn.NewReLU("reluc2"),
+		nn.NewFlatten("flat"), // 8·4·4 = 128
+		nn.NewDense("ip1", 128, 32, rng),
+		nn.NewReLU("relu1"),
+		nn.NewDense("ip2", 32, 10, rng),
+	)
+	prune.NetworkAll(net, map[string]float64{"ip1": 0.1, "ip2": 0.3}, 0.1, 0.3)
+	return net
+}
+
+// simplePlanAll is simplePlan over every weighted layer, conv included.
+func simplePlanAll(net *nn.Network, eb float64) *Plan {
+	p := &Plan{}
+	for _, cl := range net.CompressibleLayers() {
+		p.Choices = append(p.Choices, Choice{Layer: cl.Name(), EB: eb})
+	}
+	return p
+}
+
 func TestGenerateDecodeErrorBound(t *testing.T) {
 	net := prunedMLP(1)
 	const eb = 1e-3
@@ -90,8 +119,16 @@ func TestMarshalUnmarshalRoundTrip(t *testing.T) {
 	}
 	for i := range m.Layers {
 		a, b := m.Layers[i], got.Layers[i]
-		if a.Name != b.Name || a.Rows != b.Rows || a.Cols != b.Cols || a.EB != b.EB {
+		if a.Name != b.Name || a.Kind != b.Kind || a.EB != b.EB {
 			t.Fatalf("layer %d metadata mismatch", i)
+		}
+		if len(a.Shape) != len(b.Shape) {
+			t.Fatalf("layer %d shape rank mismatch", i)
+		}
+		for j := range a.Shape {
+			if a.Shape[j] != b.Shape[j] {
+				t.Fatalf("layer %d shape mismatch: %v vs %v", i, a.Shape, b.Shape)
+			}
 		}
 		if !bytes.Equal(a.DataBlob, b.DataBlob) || !bytes.Equal(a.IndexBlob, b.IndexBlob) {
 			t.Fatalf("layer %d blobs mismatch", i)

@@ -8,7 +8,7 @@ import (
 	"repro/internal/codec"
 )
 
-// ErrNoLayers is returned when an assessment covers no fc layers.
+// ErrNoLayers is returned when an assessment covers no compressible layers.
 var ErrNoLayers = errors.New("core: assessment has no layers")
 
 // ErrInfeasible is returned when no error-bound configuration satisfies the
@@ -55,7 +55,7 @@ func Optimize(a *Assessment, cfg Config) (*Plan, error) {
 	case ExpectedRatio:
 		var origBytes int64
 		for _, la := range a.Layers {
-			origBytes += int64(la.Rows) * int64(la.Cols) * 4
+			origBytes += int64(la.WeightCount()) * 4
 		}
 		target := int(float64(origBytes) / cfg.TargetRatio)
 		plan, err = OptimizeExpectedRatio(a, target)

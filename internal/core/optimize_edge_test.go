@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"testing"
+
+	"repro/internal/nn"
 )
 
 // Handcrafted-assessment edge cases for Algorithm 2. The optimiser must
@@ -10,7 +12,7 @@ import (
 // constraint set is empty, and still solve trivially small instances.
 
 func layerWith(name string, idxBytes int, points ...Point) *LayerAssessment {
-	return &LayerAssessment{Layer: name, Rows: 10, Cols: 10, IndexBytes: idxBytes, Points: points}
+	return &LayerAssessment{Layer: name, Kind: nn.KindDense, Shape: []int{10, 10}, IndexBytes: idxBytes, Points: points}
 }
 
 func TestOptimizeExpectedAccuracyEdgeCases(t *testing.T) {

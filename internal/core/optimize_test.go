@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
@@ -13,7 +14,7 @@ func fakeAssessment(layers ...*LayerAssessment) *Assessment {
 }
 
 func layer(name string, idxBytes int, points ...Point) *LayerAssessment {
-	return &LayerAssessment{Layer: name, Rows: 10, Cols: 10, IndexBytes: idxBytes, Points: points}
+	return &LayerAssessment{Layer: name, Kind: nn.KindDense, Shape: []int{10, 10}, IndexBytes: idxBytes, Points: points}
 }
 
 func TestOptimizeSingleLayerPicksLargestFeasible(t *testing.T) {

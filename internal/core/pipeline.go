@@ -20,14 +20,20 @@ type Result struct {
 	// the network reconstructed from the compressed model.
 	Before, After nn.Accuracy
 
-	// OriginalFCBytes is the dense float32 storage of all fc layers.
-	OriginalFCBytes int64
+	// OriginalBytes is the dense float32 storage of every compressed layer
+	// (fc only by default, fc+conv under LayersAll).
+	OriginalBytes int64
+	// OriginalBytesPerKind splits OriginalBytes by layer kind ("fc",
+	// "conv"), so whole-network runs can report where the bytes came from.
+	OriginalBytesPerKind map[string]int64
 	// CSRBytes is the two-array sparse size after pruning (the paper's
 	// "CSR size" column).
 	CSRBytes int
 	// CompressedBytes is the final DeepSZ size (the "DeepSZ Compressed"
 	// column).
 	CompressedBytes int
+	// CompressedBytesPerKind splits CompressedBytes by layer kind.
+	CompressedBytesPerKind map[string]int
 
 	// EncodeTime covers steps 2–4 (assessment, optimisation, generation),
 	// matching the paper's encoding-time measurements, which exclude the
@@ -37,13 +43,13 @@ type Result struct {
 
 // PruningRatio returns original ÷ CSR size.
 func (r *Result) PruningRatio() float64 {
-	return float64(r.OriginalFCBytes) / float64(r.CSRBytes)
+	return float64(r.OriginalBytes) / float64(r.CSRBytes)
 }
 
 // CompressionRatio returns original ÷ compressed size, the headline number
 // of Tables 2–4.
 func (r *Result) CompressionRatio() float64 {
-	return float64(r.OriginalFCBytes) / float64(r.CompressedBytes)
+	return float64(r.OriginalBytes) / float64(r.CompressedBytes)
 }
 
 // BitsPerWeight returns compressed bits per nonzero (pruned) weight, the
@@ -93,19 +99,27 @@ func Encode(net *nn.Network, test *dataset.Set, cfg Config) (*Result, error) {
 	encodeTime := time.Since(start)
 
 	res := &Result{
-		Assessment: assessment,
-		Plan:       plan,
-		Model:      model,
-		Before:     assessment.Baseline,
-		EncodeTime: encodeTime,
+		Assessment:             assessment,
+		Plan:                   plan,
+		Model:                  model,
+		Before:                 assessment.Baseline,
+		EncodeTime:             encodeTime,
+		OriginalBytesPerKind:   map[string]int64{},
+		CompressedBytesPerKind: map[string]int{},
 	}
-	for _, fc := range net.DenseLayers() {
-		res.OriginalFCBytes += int64(len(fc.Weights())) * 4
+	for _, cl := range selectLayers(net, cfg.Layers) {
+		b := int64(len(cl.Weights())) * 4
+		res.OriginalBytes += b
+		res.OriginalBytesPerKind[cl.Kind().String()] += b
 	}
 	for _, la := range assessment.Layers {
 		res.CSRBytes += la.Sparse.Bytes()
 	}
 	res.CompressedBytes = model.TotalBytes()
+	for i := range model.Layers {
+		l := &model.Layers[i]
+		res.CompressedBytesPerKind[l.Kind.String()] += l.CompressedBytes()
+	}
 
 	// Verify end to end: reconstruct a clone from the compressed model and
 	// measure its accuracy.

@@ -8,15 +8,15 @@ import (
 // This file implements layer-granular decoding, the paper's future-work
 // direction of using DeepSZ to improve accelerator memory utilisation: a
 // memory-constrained consumer keeps the model compressed and materialises
-// one fc layer's dense weights at a time (peak extra memory = one layer
-// instead of the whole fc suffix).
+// one layer's dense weights at a time (peak extra memory = one layer
+// instead of the whole compressed suffix).
 //
 // Concurrency contract: a *Model is immutable once produced by Generate,
 // Unmarshal, or ReadModel. Every read-side method (LayerNames, Layer,
 // DenseBytes, DecodeLayer, Decode, Marshal, TotalBytes) only reads the
-// blobs and allocates fresh output buffers, so any number of goroutines
-// may call them on a shared *Model simultaneously. This is what the serve
-// package's decode cache relies on.
+// blobs and the name index and allocates fresh output buffers, so any
+// number of goroutines may call them on a shared *Model simultaneously.
+// This is what the serve package's decode cache relies on.
 
 // ReadModel loads and parses a compressed model file written by WriteModel
 // (or by `deepsz encode`).
@@ -37,8 +37,16 @@ func (m *Model) WriteModel(path string) error {
 	return os.WriteFile(path, m.Marshal(), 0o644)
 }
 
-// Layer returns the stored blob for the named fc layer, or nil.
+// Layer returns the stored blob for the named layer, or nil. O(1) via the
+// name index on models built by Generate/Unmarshal — this sits on the serve
+// decode cache's per-request path.
 func (m *Model) Layer(name string) *LayerBlob {
+	if m.index != nil {
+		if i, ok := m.index[name]; ok {
+			return &m.Layers[i]
+		}
+		return nil
+	}
 	for i := range m.Layers {
 		if m.Layers[i].Name == name {
 			return &m.Layers[i]
@@ -48,7 +56,7 @@ func (m *Model) Layer(name string) *LayerBlob {
 }
 
 // DenseBytes returns the memory cost of the named layer once materialised:
-// the dense weight matrix plus bias, in bytes. It is the unit the serve
+// the dense weight tensor plus bias, in bytes. It is the unit the serve
 // package's cache budget is accounted in. Returns 0 for unknown layers.
 func (m *Model) DenseBytes(name string) int64 {
 	l := m.Layer(name)
@@ -80,7 +88,7 @@ func (m *Model) MaxDenseBytes() int64 {
 	return max
 }
 
-// LayerNames returns the fc layers stored in the model, in order.
+// LayerNames returns the layers stored in the model, in order.
 func (m *Model) LayerNames() []string {
 	names := make([]string, len(m.Layers))
 	for i, l := range m.Layers {
@@ -89,34 +97,32 @@ func (m *Model) LayerNames() []string {
 	return names
 }
 
-// DecodeLayer reconstructs a single fc layer's dense weights and bias
-// without touching the other layers. The returned layer shares nothing
-// with the model (the bias is copied), so callers may mutate or retain it
-// freely while other goroutines keep decoding from the same *Model.
+// DecodeLayer reconstructs a single layer's dense weights and bias without
+// touching the other layers. The returned layer shares nothing with the
+// model (the bias is copied), so callers may mutate or retain it freely
+// while other goroutines keep decoding from the same *Model.
 func (m *Model) DecodeLayer(name string) (*DecodedLayer, error) {
-	for i := range m.Layers {
-		if m.Layers[i].Name != name {
-			continue
-		}
-		dl, _, err := decodeLayerBlob(&m.Layers[i])
-		if err != nil {
-			return nil, err
-		}
-		return &dl, nil
+	l := m.Layer(name)
+	if l == nil {
+		return nil, fmt.Errorf("core: model has no layer %q", name)
 	}
-	return nil, fmt.Errorf("core: model has no layer %q", name)
+	dl, _, err := decodeLayerBlob(l)
+	if err != nil {
+		return nil, err
+	}
+	return &dl, nil
 }
 
 // StreamDecode invokes fn for each layer in storage order, materialising
 // only one layer's dense weights at a time. fn may retain the layer; the
 // model never does. Decoding stops at the first error from fn.
 func (m *Model) StreamDecode(fn func(*DecodedLayer) error) error {
-	for _, name := range m.LayerNames() {
-		dl, err := m.DecodeLayer(name)
+	for i := range m.Layers {
+		dl, _, err := decodeLayerBlob(&m.Layers[i])
 		if err != nil {
 			return err
 		}
-		if err := fn(dl); err != nil {
+		if err := fn(&dl); err != nil {
 			return err
 		}
 	}

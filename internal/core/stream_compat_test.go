@@ -13,10 +13,10 @@ import (
 	"repro/internal/tensor"
 )
 
-// marshalV1 replicates the version-1 stream layout (no per-layer codec
-// byte) so the reader's back-compat path can be exercised without keeping
-// old writer code alive. Only valid for all-SZ models, which is the only
-// thing a v1 writer could produce.
+// marshalV1 replicates the version-1 stream layout (fixed Rows×Cols, no
+// per-layer codec byte) so the reader's back-compat path can be exercised
+// without keeping old writer code alive. Only valid for all-SZ fc models,
+// which is the only thing a v1 writer could produce.
 func marshalV1(t *testing.T, m *Model) []byte {
 	t.Helper()
 	out := make([]byte, 0, 64+m.TotalBytes())
@@ -28,14 +28,7 @@ func marshalV1(t *testing.T, m *Model) []byte {
 		if l.Codec != codec.IDSZ {
 			t.Fatalf("layer %s uses codec %d; v1 streams can only carry SZ", l.Name, l.Codec)
 		}
-		out = appendString(out, l.Name)
-		out = binary.LittleEndian.AppendUint32(out, uint32(l.Rows))
-		out = binary.LittleEndian.AppendUint32(out, uint32(l.Cols))
-		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(l.EB))
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(l.Bias)))
-		for _, b := range l.Bias {
-			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(b))
-		}
+		out = appendV1V2Header(t, out, &l)
 		out = appendBytes(out, l.DataBlob)
 		out = append(out, byte(l.IndexID))
 		out = appendBytes(out, l.IndexBlob)
@@ -44,8 +37,48 @@ func marshalV1(t *testing.T, m *Model) []byte {
 	return out
 }
 
-// goldenNet builds the tiny deterministic network behind the checked-in v1
-// fixture. Everything downstream (prune masks, SZ blobs, lossless choice)
+// marshalV2 replicates the version-2 layout (fixed Rows×Cols plus a
+// per-layer codec byte) — the writer this repo shipped before the v3
+// layer-kind/shape header.
+func marshalV2(t *testing.T, m *Model) []byte {
+	t.Helper()
+	out := make([]byte, 0, 64+m.TotalBytes())
+	out = binary.LittleEndian.AppendUint32(out, modelMagic)
+	out = append(out, modelVersion2)
+	out = appendString(out, m.NetName)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Layers)))
+	for _, l := range m.Layers {
+		out = appendV1V2Header(t, out, &l)
+		out = append(out, byte(l.Codec))
+		out = appendBytes(out, l.DataBlob)
+		out = append(out, byte(l.IndexID))
+		out = appendBytes(out, l.IndexBlob)
+		out = binary.LittleEndian.AppendUint32(out, uint32(l.IndexLen))
+	}
+	return out
+}
+
+// appendV1V2Header writes the shared v1/v2 per-layer prefix: name, the
+// fixed Rows×Cols pair (the pre-v3 layouts cannot carry any other shape),
+// error bound, and biases.
+func appendV1V2Header(t *testing.T, out []byte, l *LayerBlob) []byte {
+	t.Helper()
+	if l.Kind != nn.KindDense || len(l.Shape) != 2 {
+		t.Fatalf("layer %s is %s %v; pre-v3 streams can only carry 2-D fc layers", l.Name, l.Kind, l.Shape)
+	}
+	out = appendString(out, l.Name)
+	out = binary.LittleEndian.AppendUint32(out, uint32(l.Shape[0]))
+	out = binary.LittleEndian.AppendUint32(out, uint32(l.Shape[1]))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(l.EB))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(l.Bias)))
+	for _, b := range l.Bias {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(b))
+	}
+	return out
+}
+
+// goldenNet builds the tiny deterministic network behind the checked-in
+// fixtures. Everything downstream (prune masks, SZ blobs, lossless choice)
 // is a pure function of this seed.
 func goldenNet() *nn.Network {
 	rng := tensor.NewRNG(2019) // HPDC'19
@@ -69,52 +102,66 @@ func goldenModel(t *testing.T) *Model {
 	return m
 }
 
-const goldenV1Path = "testdata/golden_v1.dsz"
+const (
+	goldenV1Path = "testdata/golden_v1.dsz"
+	goldenV2Path = "testdata/golden_v2.dsz"
+)
 
-// TestWriteGoldenV1Fixture regenerates the checked-in fixture. It only
+// TestWriteGoldenFixtures regenerates the checked-in fixtures. It only
 // runs when WRITE_GOLDEN is set — e.g. after an intentional SZ or
-// container change — and must be followed by committing the new file.
-func TestWriteGoldenV1Fixture(t *testing.T) {
+// container change — and must be followed by committing the new files.
+func TestWriteGoldenFixtures(t *testing.T) {
 	if os.Getenv("WRITE_GOLDEN") == "" {
-		t.Skip("set WRITE_GOLDEN=1 to regenerate " + goldenV1Path)
+		t.Skip("set WRITE_GOLDEN=1 to regenerate " + goldenV1Path + " and " + goldenV2Path)
 	}
-	blob := marshalV1(t, goldenModel(t))
-	if err := os.MkdirAll(filepath.Dir(goldenV1Path), 0o755); err != nil {
-		t.Fatal(err)
+	m := goldenModel(t)
+	for _, f := range []struct {
+		path string
+		blob []byte
+	}{
+		{goldenV1Path, marshalV1(t, m)},
+		{goldenV2Path, marshalV2(t, m)},
+	} {
+		if err := os.MkdirAll(filepath.Dir(f.path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(f.path, f.blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d bytes to %s", len(f.blob), f.path)
 	}
-	if err := os.WriteFile(goldenV1Path, blob, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	t.Logf("wrote %d bytes to %s", len(blob), goldenV1Path)
 }
 
-// TestGoldenV1RoundTrip is the format back-compat lock: a `.dsz` file
-// written by the version-1 writer (before the codec registry existed) must
-// decode through today's reader to exactly the layers a freshly encoded
-// version-2 model produces.
-func TestGoldenV1RoundTrip(t *testing.T) {
-	old, err := ReadModel(goldenV1Path)
+// goldenRoundTrip is the format back-compat lock shared by the v1 and v2
+// fixtures: a `.dsz` file written by an old writer must decode through
+// today's reader to exactly the layers a freshly encoded model produces.
+func goldenRoundTrip(t *testing.T, path string, wantVersion byte) {
+	old, err := ReadModel(path)
 	if err != nil {
 		t.Fatalf("reading fixture (regenerate with WRITE_GOLDEN=1 if the format changed intentionally): %v", err)
 	}
 	fresh := goldenModel(t)
 
-	// The fixture predates the codec byte; the reader must fill in SZ.
+	// Old streams predate the layer-kind byte; the reader must fill in fc,
+	// and (for v1) the SZ codec.
 	for _, l := range old.Layers {
 		if l.Codec != codec.IDSZ {
-			t.Fatalf("v1 layer %s decoded with codec %d, want SZ", l.Name, l.Codec)
+			t.Fatalf("layer %s decoded with codec %d, want SZ", l.Name, l.Codec)
+		}
+		if l.Kind != nn.KindDense || len(l.Shape) != 2 {
+			t.Fatalf("layer %s decoded as %s %v, want 2-D fc", l.Name, l.Kind, l.Shape)
 		}
 	}
-	// A fresh marshal is version 2 and the fixture version 1.
-	if got := fresh.Marshal()[4]; got != modelVersion2 {
+	// A fresh marshal is version 3 and the fixture keeps its own version.
+	if got := fresh.Marshal()[4]; got != modelVersion3 {
 		t.Fatalf("fresh model marshals as version %d", got)
 	}
-	fixture, err := os.ReadFile(goldenV1Path)
+	fixture, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fixture[4] != modelVersion1 {
-		t.Fatalf("fixture is version %d, want 1", fixture[4])
+	if fixture[4] != wantVersion {
+		t.Fatalf("fixture is version %d, want %d", fixture[4], wantVersion)
 	}
 
 	oldLayers, _, err := old.Decode()
@@ -147,33 +194,64 @@ func TestGoldenV1RoundTrip(t *testing.T) {
 	}
 }
 
-// TestV1UnmarshalCompat covers the v1 read path without touching the
-// fixture, so it keeps working even mid-regeneration.
-func TestV1UnmarshalCompat(t *testing.T) {
-	m := goldenModel(t)
-	got, err := Unmarshal(marshalV1(t, m))
+// TestGoldenV1RoundTrip locks the version-1 layout (pre codec registry).
+func TestGoldenV1RoundTrip(t *testing.T) { goldenRoundTrip(t, goldenV1Path, modelVersion1) }
+
+// TestGoldenV2RoundTrip locks the version-2 layout (per-layer codec byte,
+// pre layer-kind/shape header), so the v3 bump cannot silently break v2
+// readers.
+func TestGoldenV2RoundTrip(t *testing.T) { goldenRoundTrip(t, goldenV2Path, modelVersion2) }
+
+// unmarshalCompat covers an old read path without touching the fixtures,
+// so it keeps working even mid-regeneration.
+func unmarshalCompat(t *testing.T, blob []byte, m *Model) {
+	t.Helper()
+	got, err := Unmarshal(blob)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.NetName != m.NetName || len(got.Layers) != len(m.Layers) {
-		t.Fatal("v1 header mismatch")
+		t.Fatal("old-version header mismatch")
 	}
 	for i := range m.Layers {
 		a, b := m.Layers[i], got.Layers[i]
-		if a.Name != b.Name || a.Rows != b.Rows || a.Cols != b.Cols || a.EB != b.EB ||
+		if a.Name != b.Name || a.EB != b.EB ||
 			a.IndexID != b.IndexID || a.IndexLen != b.IndexLen {
 			t.Fatalf("layer %d metadata mismatch", i)
 		}
-		if b.Codec != codec.IDSZ {
-			t.Fatalf("layer %d: v1 read produced codec %d", i, b.Codec)
+		if b.Kind != nn.KindDense || len(b.Shape) != 2 ||
+			b.Shape[0] != a.Shape[0] || b.Shape[1] != a.Shape[1] {
+			t.Fatalf("layer %d: old read produced %s %v, want fc %v", i, b.Kind, b.Shape, a.Shape)
 		}
 	}
-	// And the re-marshal upgrades to v2 losslessly.
+	// And the re-marshal upgrades to v3 losslessly.
 	up, err := Unmarshal(got.Marshal())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if up.Layers[0].Codec != codec.IDSZ {
+	if up.Layers[0].Codec != m.Layers[0].Codec {
 		t.Fatal("upgrade lost the codec id")
 	}
+	if up.Layers[0].Kind != nn.KindDense {
+		t.Fatal("upgrade lost the layer kind")
+	}
+}
+
+func TestV1UnmarshalCompat(t *testing.T) {
+	m := goldenModel(t)
+	unmarshalCompat(t, marshalV1(t, m), m)
+	got, err := Unmarshal(marshalV1(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Layers {
+		if got.Layers[i].Codec != codec.IDSZ {
+			t.Fatalf("layer %d: v1 read produced codec %d", i, got.Layers[i].Codec)
+		}
+	}
+}
+
+func TestV2UnmarshalCompat(t *testing.T) {
+	m := goldenModel(t)
+	unmarshalCompat(t, marshalV2(t, m), m)
 }

@@ -36,7 +36,7 @@ func Table2(w io.Writer) error {
 		fmt.Fprintln(tw, "layer\toriginal\tkeep ratio\tCSR size\tDeepSZ\teb")
 		var orig, csr, comp int
 		for _, la := range p.Result.Assessment.Layers {
-			o := 4 * la.Rows * la.Cols
+			o := 4 * la.WeightCount()
 			c := la.Sparse.Bytes()
 			d := layerBytes(p, la.Layer)
 			eb := 0.0
@@ -45,7 +45,7 @@ func Table2(w io.Writer) error {
 					eb = ch.EB
 				}
 			}
-			density := float64(la.Sparse.Nonzeros()) / float64(la.Rows*la.Cols)
+			density := float64(la.Sparse.Nonzeros()) / float64(la.WeightCount())
 			fmt.Fprintf(tw, "%s\t%s\t%.0f%%\t%s\t%s\t%.0e\n",
 				la.Layer, fmtBytes(o), 100*density, fmtBytes(c), fmtBytes(d), eb)
 			orig += o
@@ -84,7 +84,7 @@ func Table3(w io.Writer) error {
 		}
 		r := p.Result
 		fmt.Fprintf(tw, "%s original\t%.2f%%\t%.2f%%\t%s\t\n",
-			name, 100*r.Before.Top1, 100*r.Before.Top5, fmtBytes(int(r.OriginalFCBytes)))
+			name, 100*r.Before.Top1, 100*r.Before.Top5, fmtBytes(int(r.OriginalBytes)))
 		fmt.Fprintf(tw, "%s DeepSZ\t%.2f%%\t%.2f%%\t%s\t%.1fx\n",
 			name, 100*r.After.Top1, 100*r.After.Top5, fmtBytes(r.CompressedBytes), r.CompressionRatio())
 	}
@@ -143,7 +143,7 @@ func Table4(w io.Writer) error {
 		var origT, dcT, wlT, dszT int
 		largest := largestLayer(p)
 		for _, la := range p.Result.Assessment.Layers {
-			orig := 4 * la.Rows * la.Cols
+			orig := 4 * la.WeightCount()
 			dc := bl.dc[la.Layer]
 			wl := bl.wl[la.Layer]
 			dsz := layerBytes(p, la.Layer)

@@ -1,0 +1,84 @@
+package nn
+
+import "repro/internal/tensor"
+
+// LayerKind tags the weight-carrying layer families DeepSZ can compress.
+// The values are serialized into version-3 `.dsz` streams (one byte per
+// layer), so they are part of the on-disk format and must never be
+// renumbered.
+type LayerKind uint8
+
+const (
+	// KindDense is a fully connected (inner-product) layer, the only kind
+	// the paper compresses and the only kind pre-v3 streams can carry.
+	KindDense LayerKind = 1
+	// KindConv is a 2-D convolution layer.
+	KindConv LayerKind = 2
+)
+
+// String returns the short human-readable tag used in reports and APIs.
+func (k LayerKind) String() string {
+	switch k {
+	case KindDense:
+		return "fc"
+	case KindConv:
+		return "conv"
+	}
+	return "unknown"
+}
+
+// KnownKind reports whether k is a layer kind this build can reconstruct.
+// Stream readers use it to reject forged kind bytes before sizing any
+// allocation off the header.
+func KnownKind(k LayerKind) bool {
+	return k == KindDense || k == KindConv
+}
+
+// Compressible is a layer whose weight tensor the DeepSZ pipeline can
+// prune, assess, and compress. Dense and Conv2D implement it; the core
+// package operates exclusively through this interface so every downstream
+// feature (codecs, worker pools, the serving decode cache) applies to all
+// weighted layer kinds uniformly.
+type Compressible interface {
+	Layer
+	// Kind identifies the layer family (fc, conv).
+	Kind() LayerKind
+	// WeightShape returns the weight tensor's dimensions — [out, in] for
+	// fc, [outC, inC, k, k] for conv. The flat Weights slice has exactly
+	// the product of these entries.
+	WeightShape() []int
+	// Weights returns the live flat weight slice (not a copy).
+	Weights() []float32
+	// SetWeights replaces the weight data (the slice is copied).
+	SetWeights(w []float32)
+	// WeightParam returns the weight parameter (for masks and stripping).
+	WeightParam() *Param
+	// BiasParam returns the bias parameter.
+	BiasParam() *Param
+	// ForwardWith computes the layer output from externally supplied flat
+	// weights and bias (nil bias means zero), touching no layer state; it
+	// is safe to call concurrently on a shared layer value.
+	ForwardWith(x *tensor.Tensor, weights, bias []float32) *tensor.Tensor
+}
+
+// CompressibleLayers returns the weight-carrying layers of the network in
+// order — the set DeepSZ can prune and compress.
+func (n *Network) CompressibleLayers() []Compressible {
+	var cs []Compressible
+	for _, l := range n.Layers {
+		if c, ok := l.(Compressible); ok {
+			cs = append(cs, c)
+		}
+	}
+	return cs
+}
+
+// CompressibleByName returns the named weight-carrying layer, or nil.
+func (n *Network) CompressibleByName(name string) Compressible {
+	for _, l := range n.Layers {
+		if c, ok := l.(Compressible); ok && c.Name() == name {
+			return c
+		}
+	}
+	return nil
+}

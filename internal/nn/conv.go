@@ -50,6 +50,35 @@ func (c *Conv2D) OutDims(h, w int) (int, int) {
 
 // Forward implements Layer. x must have shape [N, InC, H, W].
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := c.convolve(x, c.W.W.Data, c.B.W.Data)
+	if train {
+		c.lastX = x
+		c.lastInH, c.lastInW = x.Shape[2], x.Shape[3]
+		c.lastOutShape = y.Shape
+	}
+	return y
+}
+
+// ForwardWith implements Compressible: the forward pass with externally
+// supplied flat weights ([OutC·InC·K·K]) and bias (nil means zero),
+// touching no layer state — safe to call concurrently on a shared *Conv2D.
+// This is how serving materialises conv weights from the decode cache.
+func (c *Conv2D) ForwardWith(x *tensor.Tensor, weights, bias []float32) *tensor.Tensor {
+	if len(weights) != c.OutC*c.InC*c.K*c.K {
+		panic(fmt.Sprintf("nn: %s: ForwardWith got %d weights, want %d", c.LayerName, len(weights), c.OutC*c.InC*c.K*c.K))
+	}
+	if bias != nil && len(bias) != c.OutC {
+		panic(fmt.Sprintf("nn: %s: ForwardWith got %d biases, want %d", c.LayerName, len(bias), c.OutC))
+	}
+	if bias == nil {
+		bias = make([]float32, c.OutC)
+	}
+	return c.convolve(x, weights, bias)
+}
+
+// convolve is the shared stateless convolution kernel behind Forward and
+// ForwardWith. x must have shape [N, InC, H, W].
+func (c *Conv2D) convolve(x *tensor.Tensor, weights, bias []float32) *tensor.Tensor {
 	if x.Rank() != 4 || x.Shape[1] != c.InC {
 		panic(fmt.Sprintf("nn: %s: input shape %v, want [N, %d, H, W]", c.LayerName, x.Shape, c.InC))
 	}
@@ -59,15 +88,8 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s: input %dx%d too small for k=%d s=%d p=%d", c.LayerName, h, w, c.K, c.Stride, c.Pad))
 	}
 	y := tensor.New(n, c.OutC, oh, ow)
-	if train {
-		c.lastX = x
-		c.lastInH, c.lastInW = h, w
-		c.lastOutShape = y.Shape
-	}
 	inSz := c.InC * h * w
 	outSz := c.OutC * oh * ow
-	weights := c.W.W.Data
-	bias := c.B.W.Data
 	tensor.ParallelFor(n, func(lo, hi int) {
 		for b := lo; b < hi; b++ {
 			in := x.Data[b*inSz : (b+1)*inSz]
@@ -106,6 +128,29 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	})
 	return y
 }
+
+// Kind implements Compressible.
+func (c *Conv2D) Kind() LayerKind { return KindConv }
+
+// WeightShape implements Compressible: [OutC, InC, K, K].
+func (c *Conv2D) WeightShape() []int { return []int{c.OutC, c.InC, c.K, c.K} }
+
+// Weights returns the live flat weight slice (not a copy).
+func (c *Conv2D) Weights() []float32 { return c.W.W.Data }
+
+// SetWeights replaces the kernel data (the slice is copied).
+func (c *Conv2D) SetWeights(w []float32) {
+	if len(w) != len(c.W.W.Data) {
+		panic(fmt.Sprintf("nn: %s: SetWeights got %d values, want %d", c.LayerName, len(w), len(c.W.W.Data)))
+	}
+	copy(c.W.W.Data, w)
+}
+
+// WeightParam implements Compressible.
+func (c *Conv2D) WeightParam() *Param { return c.W }
+
+// BiasParam implements Compressible.
+func (c *Conv2D) BiasParam() *Param { return c.B }
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {

@@ -89,3 +89,15 @@ func (d *Dense) SetWeights(w []float32) {
 
 // Weights returns the live weight slice (not a copy).
 func (d *Dense) Weights() []float32 { return d.W.W.Data }
+
+// Kind implements Compressible.
+func (d *Dense) Kind() LayerKind { return KindDense }
+
+// WeightShape implements Compressible: [Out, In].
+func (d *Dense) WeightShape() []int { return []int{d.Out, d.In} }
+
+// WeightParam implements Compressible.
+func (d *Dense) WeightParam() *Param { return d.W }
+
+// BiasParam implements Compressible.
+func (d *Dense) BiasParam() *Param { return d.B }

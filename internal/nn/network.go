@@ -64,7 +64,8 @@ func (n *Network) ZeroGrads() {
 }
 
 // DenseLayers returns the fully connected layers in order — the layers
-// DeepSZ prunes and compresses.
+// DeepSZ prunes and compresses by default (CompressibleLayers covers the
+// whole-network selection).
 func (n *Network) DenseLayers() []*Dense {
 	var ds []*Dense
 	for _, l := range n.Layers {

@@ -8,24 +8,27 @@ import (
 )
 
 // This file adds the provider-driven forward pass the serving subsystem
-// builds on: instead of every Dense layer owning its dense weight matrix,
-// the weights are fetched on demand from a WeightProvider (in production a
-// layer-granular decode cache over a compressed model) and released as soon
-// as the layer's matmul finishes. Peak extra memory for the fc suffix is
-// then governed by the provider's budget, not by the network.
+// builds on: instead of every weighted layer owning its dense weight
+// tensor, the weights are fetched on demand from a WeightProvider (in
+// production a layer-granular decode cache over a compressed model) and
+// released as soon as the layer's kernel finishes. Peak extra memory for
+// the compressed layers is then governed by the provider's budget, not by
+// the network.
 
 // ErrNotProvided is returned by a WeightProvider that does not supply the
 // requested layer; ForwardWithProvider falls back to the layer's own
 // parameters in that case.
 var ErrNotProvided = errors.New("nn: layer weights not provided")
 
-// WeightProvider supplies materialised fc-layer weights on demand.
-// Implementations must be safe for concurrent use; the returned slices are
-// read-only for the caller and remain valid until release is called.
+// WeightProvider supplies materialised layer weights on demand — flat
+// row-major out×in matrices for fc layers, flat [outC·inC·k·k] kernels for
+// conv layers. Implementations must be safe for concurrent use; the
+// returned slices are read-only for the caller and remain valid until
+// release is called.
 type WeightProvider interface {
-	// LayerWeights returns the dense weight matrix (row-major, out×in) and
-	// bias for the named layer. release (which may be nil) must be invoked
-	// once the caller is done reading the slices.
+	// LayerWeights returns the flat dense weight tensor and bias for the
+	// named layer. release (which may be nil) must be invoked once the
+	// caller is done reading the slices.
 	LayerWeights(name string) (weights, bias []float32, release func(), err error)
 }
 
@@ -57,26 +60,27 @@ func (d *Dense) ForwardWith(x *tensor.Tensor, weights, bias []float32) *tensor.T
 }
 
 // ForwardWithProvider runs an inference-mode forward pass, sourcing every
-// Dense layer's weights from p. Layers for which p reports ErrNotProvided
-// fall back to their own parameters. Non-Dense layers run normally, so the
-// network value itself must not be shared across concurrent calls (use
-// clones); the provider and the supplied weight slices may be shared.
+// compressible (fc and conv) layer's weights from p. Layers for which p
+// reports ErrNotProvided fall back to their own parameters. Other layers
+// run normally, so the network value itself must not be shared across
+// concurrent calls (use clones); the provider and the supplied weight
+// slices may be shared.
 func (n *Network) ForwardWithProvider(x *tensor.Tensor, p WeightProvider) (*tensor.Tensor, error) {
 	for _, l := range n.Layers {
-		d, ok := l.(*Dense)
+		c, ok := l.(Compressible)
 		if !ok {
 			x = l.Forward(x, false)
 			continue
 		}
-		w, b, release, err := p.LayerWeights(d.Name())
+		w, b, release, err := p.LayerWeights(c.Name())
 		if errors.Is(err, ErrNotProvided) {
-			x = d.Forward(x, false)
+			x = c.Forward(x, false)
 			continue
 		}
 		if err != nil {
-			return nil, fmt.Errorf("nn: %s: %w", d.Name(), err)
+			return nil, fmt.Errorf("nn: %s: %w", c.Name(), err)
 		}
-		x = d.ForwardWith(x, w, b)
+		x = c.ForwardWith(x, w, b)
 		if release != nil {
 			release()
 		}
@@ -84,11 +88,28 @@ func (n *Network) ForwardWithProvider(x *tensor.Tensor, p WeightProvider) (*tens
 	return x, nil
 }
 
-// StripDenseWeights drops the weight and gradient storage of every Dense
-// layer, keeping shapes and biases. A stripped network can only run through
-// ForwardWithProvider (with a provider covering all fc layers); it exists
-// so serving clones don't pay for dense matrices the decode cache already
-// budgets. Returns the number of float32 values released.
+// StripWeights drops the weight and gradient storage of every compressible
+// layer selected by covered (nil selects all), keeping shapes and biases.
+// A stripped layer can only run through ForwardWithProvider with a provider
+// that supplies it; stripping exists so serving clones don't pay for dense
+// tensors the decode cache already budgets. Returns the number of float32
+// values released.
+func StripWeights(n *Network, covered func(name string) bool) int {
+	freed := 0
+	for _, c := range n.CompressibleLayers() {
+		if covered != nil && !covered(c.Name()) {
+			continue
+		}
+		p := c.WeightParam()
+		freed += len(p.W.Data) + len(p.Grad.Data)
+		p.W.Data = nil
+		p.Grad.Data = nil
+	}
+	return freed
+}
+
+// StripDenseWeights strips every Dense layer (see StripWeights). Kept for
+// fc-only callers.
 func StripDenseWeights(n *Network) int {
 	freed := 0
 	for _, d := range n.DenseLayers() {

@@ -80,6 +80,29 @@ func Network(net *nn.Network, ratios map[string]float64, defaultRatio float64) {
 	}
 }
 
+// NetworkAll prunes every weighted layer — conv included — to the given
+// keep ratios. Layers without an entry keep defaultFC or defaultConv by
+// kind; conv layers tolerate far less pruning than fc (Han et al. keep
+// ~30–70 % of conv weights vs ~10 % of fc), hence the separate default.
+// Whole-network compression (`-layers all`) needs the conv layers sparse:
+// on a dense layer the two-array form costs 5 bytes per weight, more than
+// the 4 the dense tensor costs.
+func NetworkAll(net *nn.Network, ratios map[string]float64, defaultFC, defaultConv float64) {
+	for _, cl := range net.CompressibleLayers() {
+		r, ok := ratios[cl.Name()]
+		if !ok {
+			if cl.Kind() == nn.KindConv {
+				r = defaultConv
+			} else {
+				r = defaultFC
+			}
+		}
+		p := cl.WeightParam()
+		p.Mask = MagnitudeMask(p.W.Data, r)
+		p.ApplyMask()
+	}
+}
+
 // Retrain runs mask-respecting SGD for the given number of epochs, restoring
 // the accuracy lost to pruning ("magnitude threshold plus retraining").
 func Retrain(net *nn.Network, ds *dataset.Set, epochs int, lr float32, rng *tensor.RNG) {

@@ -8,7 +8,7 @@ import (
 	"repro/internal/core"
 )
 
-// DecodeCache is a byte-budgeted LRU over decoded fc layers. Concurrent
+// DecodeCache is a byte-budgeted LRU over decoded layers. Concurrent
 // Gets for the same key are deduplicated singleflight-style: one goroutine
 // decodes, the rest wait and share the result. Entries whose cost exceeds
 // the whole budget are decoded but never inserted (counted as bypasses),

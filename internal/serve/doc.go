@@ -1,18 +1,19 @@
 // Package serve turns the DeepSZ batch pipeline into a long-running
 // inference service: models stay compressed at rest (the paper's §6
-// future-work direction) and fc layers are materialised on demand through
-// a byte-budgeted, layer-granular decode cache shared by all models.
+// future-work direction) and stored layers — fc and, for whole-network
+// models, conv — are materialised on demand through a byte-budgeted,
+// layer-granular decode cache shared by all models.
 //
 // The pieces, bottom up:
 //
-//   - DecodeCache — an LRU over decoded fc layers with a configurable byte
+//   - DecodeCache — an LRU over decoded layers with a configurable byte
 //     budget, singleflight deduplication (concurrent requests for the same
 //     layer trigger exactly one decode), and hit/miss/eviction/coalesce
 //     counters exported through /v1/stats.
 //   - Engine — per-model inference: a pool of weight-stripped network
-//     clones runs nn.ForwardWithProvider, sourcing each Dense layer from
-//     the cache; a micro-batcher folds concurrent predict calls into one
-//     forward pass.
+//     clones runs nn.ForwardWithProvider, sourcing each compressed layer
+//     from the cache; a micro-batcher folds concurrent predict calls into
+//     one forward pass.
 //   - Registry — loads .dsz files (core.ReadModel) or in-memory models and
 //     owns the shared cache.
 //   - Server — the HTTP JSON API: GET /healthz, GET /v1/models,

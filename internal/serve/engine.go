@@ -18,10 +18,11 @@ import (
 var ErrBadInput = errors.New("serve: bad input")
 
 // Engine serves one compressed model: forward passes run on a pool of
-// weight-stripped network clones, and every Dense layer's weights are
-// fetched through the shared decode cache at the moment the matmul needs
-// them. Peak extra memory for fc weights is therefore the cache budget,
-// not the model's dense size. Engine implements nn.WeightProvider.
+// weight-stripped network clones, and every compressed layer's weights (fc
+// and conv alike) are fetched through the shared decode cache at the moment
+// the kernel needs them. Peak extra memory for compressed weights is
+// therefore the cache budget, not the model's dense size. Engine implements
+// nn.WeightProvider.
 type Engine struct {
 	name    string
 	model   *core.Model
@@ -43,23 +44,39 @@ type Engine struct {
 // per-example input shape the network expects.
 func NewEngine(name string, model *core.Model, skeleton *nn.Network, inputShape []int, cache *DecodeCache, opt BatchOptions) (*Engine, error) {
 	// Bad model files must fail here, at load time, not as panics inside a
-	// request's forward pass: every stored layer has to match a Dense
-	// layer's shape, and every Dense layer has to be covered (serving
-	// clones are weight-stripped, so there is no fallback).
+	// request's forward pass: every stored layer has to match a weighted
+	// layer's kind and shape, and every layer of a kind the model carries
+	// has to be covered (those layers are weight-stripped from serving
+	// clones, so there is no fallback).
+	kinds := map[nn.LayerKind]bool{}
 	for i := range model.Layers {
 		l := &model.Layers[i]
-		d := denseByName(skeleton, l.Name)
-		if d == nil {
+		cl := skeleton.CompressibleByName(l.Name)
+		if cl == nil {
 			return nil, fmt.Errorf("serve: model %s has layer %q absent from network %s", name, l.Name, skeleton.Name())
 		}
-		if l.Rows != d.Out || l.Cols != d.In {
-			return nil, fmt.Errorf("serve: model %s layer %s is %dx%d, network %s wants %dx%d",
-				name, l.Name, l.Rows, l.Cols, skeleton.Name(), d.Out, d.In)
+		if cl.Kind() != l.Kind {
+			return nil, fmt.Errorf("serve: model %s layer %s is %s, network %s has %s",
+				name, l.Name, l.Kind, skeleton.Name(), cl.Kind())
 		}
+		if !shapeEqual(l.Shape, cl.WeightShape()) {
+			return nil, fmt.Errorf("serve: model %s layer %s has shape %v, network %s wants %v",
+				name, l.Name, l.Shape, skeleton.Name(), cl.WeightShape())
+		}
+		// A forged bias count would otherwise pass the container checks and
+		// panic inside ForwardWith — in the micro-batcher's goroutine, where
+		// no per-request recover shields the process. Zero biases are fine
+		// (the provider hands ForwardWith nil, meaning zero bias).
+		if want := len(cl.BiasParam().W.Data); len(l.Bias) != 0 && len(l.Bias) != want {
+			return nil, fmt.Errorf("serve: model %s layer %s has %d biases, network %s wants %d",
+				name, l.Name, len(l.Bias), skeleton.Name(), want)
+		}
+		kinds[l.Kind] = true
 	}
-	for _, d := range skeleton.DenseLayers() {
-		if model.Layer(d.Name()) == nil {
-			return nil, fmt.Errorf("serve: model %s does not cover fc layer %s of network %s", name, d.Name(), skeleton.Name())
+	for _, cl := range skeleton.CompressibleLayers() {
+		if kinds[cl.Kind()] && model.Layer(cl.Name()) == nil {
+			return nil, fmt.Errorf("serve: model %s does not cover %s layer %s of network %s",
+				name, cl.Kind(), cl.Name(), skeleton.Name())
 		}
 	}
 	inLen := 1
@@ -70,7 +87,7 @@ func NewEngine(name string, model *core.Model, skeleton *nn.Network, inputShape 
 		return nil, fmt.Errorf("serve: model %s: bad input shape %v", name, inputShape)
 	}
 	template := skeleton.Clone()
-	nn.StripDenseWeights(template)
+	nn.StripWeights(template, func(layer string) bool { return model.Layer(layer) != nil })
 	e := &Engine{
 		name:    name,
 		model:   model,
@@ -183,11 +200,12 @@ func (e *Engine) run(rows [][]float32) ([][]float32, error) {
 
 // EngineStats is a snapshot of one model's serving counters.
 type EngineStats struct {
-	Codec    string  `json:"codec"`
-	Requests uint64  `json:"requests"`
-	Rows     uint64  `json:"rows"`
-	Batches  uint64  `json:"batches"`
-	AvgBatch float64 `json:"avg_batch_rows"`
+	Codec    string      `json:"codec"`
+	Requests uint64      `json:"requests"`
+	Rows     uint64      `json:"rows"`
+	Batches  uint64      `json:"batches"`
+	AvgBatch float64     `json:"avg_batch_rows"`
+	Layers   []LayerMeta `json:"layers"`
 }
 
 // Stats snapshots the engine counters.
@@ -197,6 +215,7 @@ func (e *Engine) Stats() EngineStats {
 		Requests: e.requests.Load(),
 		Rows:     e.rows.Load(),
 		Batches:  e.batches.Load(),
+		Layers:   e.LayerMeta(),
 	}
 	if s.Batches > 0 {
 		s.AvgBatch = float64(s.Rows) / float64(s.Batches)
@@ -204,15 +223,42 @@ func (e *Engine) Stats() EngineStats {
 	return s
 }
 
+// LayerMeta describes one served layer: its kind (fc/conv), weight shape,
+// and the codec its data array was compressed with.
+type LayerMeta struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Shape []int  `json:"shape"`
+	Codec string `json:"codec"`
+}
+
+// LayerMeta lists the served model's layers in storage order.
+func (e *Engine) LayerMeta() []LayerMeta {
+	out := make([]LayerMeta, len(e.model.Layers))
+	for i := range e.model.Layers {
+		l := &e.model.Layers[i]
+		out[i] = LayerMeta{
+			Name:  l.Name,
+			Kind:  l.Kind.String(),
+			Shape: append([]int(nil), l.Shape...),
+			Codec: codec.NameOf(l.Codec),
+		}
+	}
+	return out
+}
+
 // Close stops the micro-batcher. Predict keeps working; PredictBatched
 // returns an error after Close.
 func (e *Engine) Close() { e.batcher.close() }
 
-func denseByName(n *nn.Network, name string) *nn.Dense {
-	for _, d := range n.DenseLayers() {
-		if d.Name() == name {
-			return d
+func shapeEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
 	}
-	return nil
+	return true
 }

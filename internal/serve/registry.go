@@ -77,10 +77,12 @@ func (r *Registry) LoadFile(name, path, weightsPath string) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: %s: %w", weightsPath, err)
 		}
-	} else if prefixHasParams(skeleton) {
-		// Without trained prefix weights the conv layers keep their random
-		// init and every prediction is garbage; refuse instead.
-		return nil, fmt.Errorf("serve: network %s has parameters outside its fc layers; supply a weights file (-model name=%s:weights)", m.NetName, path)
+	} else if hasUncoveredParams(skeleton, m) {
+		// Without trained weights any parameterised layer the .dsz does not
+		// cover keeps its random init and every prediction is garbage;
+		// refuse instead. A whole-network model (`deepsz encode -layers
+		// all`) covers the conv layers too and needs no weights file.
+		return nil, fmt.Errorf("serve: network %s has parameters the model does not cover; supply a weights file (-model name=%s:weights)", m.NetName, path)
 	}
 	shape, err := models.InputShape(m.NetName)
 	if err != nil {
@@ -92,16 +94,18 @@ func (r *Registry) LoadFile(name, path, weightsPath string) (*Engine, error) {
 	return r.Add(name, m, skeleton, shape)
 }
 
-// prefixHasParams reports whether any non-Dense layer carries trainable
-// parameters (a conv prefix the .dsz file cannot supply).
-func prefixHasParams(n *nn.Network) bool {
+// hasUncoveredParams reports whether any layer carries trainable parameters
+// the model cannot supply (e.g. a conv prefix when the .dsz holds only the
+// fc suffix).
+func hasUncoveredParams(n *nn.Network, m *core.Model) bool {
 	for _, l := range n.Layers {
-		if _, ok := l.(*nn.Dense); ok {
+		if len(l.Params()) == 0 {
 			continue
 		}
-		if len(l.Params()) > 0 {
-			return true
+		if cl, ok := l.(nn.Compressible); ok && m.Layer(cl.Name()) != nil {
+			continue
 		}
+		return true
 	}
 	return false
 }

@@ -57,11 +57,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// layerInfo describes one compressed fc layer in a /v1/models response.
+// layerInfo describes one compressed layer in a /v1/models response.
 type layerInfo struct {
 	Name            string `json:"name"`
-	Rows            int    `json:"rows"`
-	Cols            int    `json:"cols"`
+	Kind            string `json:"kind"`  // "fc" or "conv"
+	Shape           []int  `json:"shape"` // weight dims: [out,in] fc, [outC,inC,k,k] conv
 	Codec           string `json:"codec"`
 	CompressedBytes int    `json:"compressed_bytes"`
 	DenseBytes      int64  `json:"dense_bytes"`
@@ -99,8 +99,8 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			mi.DenseBytes += db
 			mi.Layers = append(mi.Layers, layerInfo{
 				Name:            l.Name,
-				Rows:            l.Rows,
-				Cols:            l.Cols,
+				Kind:            l.Kind.String(),
+				Shape:           append([]int(nil), l.Shape...),
 				Codec:           codec.NameOf(l.Codec),
 				CompressedBytes: l.CompressedBytes(),
 				DenseBytes:      db,

@@ -171,6 +171,15 @@ func TestEngineRejectsBadInput(t *testing.T) {
 	if _, err := reg.Add("uncovered", m, uncovered, []int{1, 8, 8}); err == nil {
 		t.Fatal("skeleton with an uncovered fc layer accepted")
 	}
+
+	// A forged bias count passes the container checks (Unmarshal never ties
+	// bias length to the shape) but must fail at registration, not panic in
+	// the batcher's goroutine mid-request.
+	badBias := &core.Model{NetName: m.NetName, Layers: append([]core.LayerBlob(nil), m.Layers...)}
+	badBias.Layers[0].Bias = badBias.Layers[0].Bias[:1]
+	if _, err := reg.Add("bad-bias", badBias, net, []int{1, 8, 8}); err == nil {
+		t.Fatal("model with truncated bias accepted")
+	}
 }
 
 func TestBatcherRecoversForwardPanic(t *testing.T) {
@@ -244,6 +253,135 @@ func TestMicroBatchingCoalesces(t *testing.T) {
 	}
 }
 
+// servedConvModel builds a conv+fc network with every weighted layer
+// pruned and compresses it whole (LayersAll): the whole-network serving
+// fixture. Input shape: [1, 8, 8].
+func servedConvModel(t testing.TB, seed uint64) (*nn.Network, *core.Model) {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	net := nn.NewNetwork("test-conv",
+		nn.NewConv2D("conv1", 1, 6, 3, 1, 1, rng), // 8×8
+		nn.NewMaxPool2D("pool1", 2, 2),            // →4
+		nn.NewReLU("reluc1"),
+		nn.NewConv2D("conv2", 6, 8, 3, 1, 1, rng), // 4×4
+		nn.NewReLU("reluc2"),
+		nn.NewFlatten("flat"),
+		nn.NewDense("ip1", 128, 32, rng),
+		nn.NewReLU("relu1"),
+		nn.NewDense("ip2", 32, 10, rng),
+	)
+	prune.NetworkAll(net, map[string]float64{"ip1": 0.1, "ip2": 0.3}, 0.1, 0.3)
+	plan := &core.Plan{}
+	for _, cl := range net.CompressibleLayers() {
+		plan.Choices = append(plan.Choices, core.Choice{Layer: cl.Name(), EB: 1e-3})
+	}
+	m, err := core.Generate(net, plan, core.Config{ExpectedAccuracyLoss: 0.01, Layers: core.LayersAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, m
+}
+
+// TestEngineServesConvLayersThroughCache: a whole-network model must serve
+// with the conv layers fetched through the decode cache, byte-for-byte
+// matching a fully decoded network, at every budget regime (unlimited,
+// one-layer, thrash) and under concurrency.
+func TestEngineServesConvLayersThroughCache(t *testing.T) {
+	net, m := servedConvModel(t, 21)
+	if len(m.Layers) != 4 {
+		t.Fatalf("model has %d layers, want 4 (2 conv + 2 fc)", len(m.Layers))
+	}
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		if int64(l.CompressedBytes()) >= l.DenseBytes() {
+			t.Fatalf("layer %s (%s) not compressed: %d stored vs %d dense",
+				l.Name, l.Kind, l.CompressedBytes(), l.DenseBytes())
+		}
+	}
+	rows := testRows(4, 22)
+	ref := net.Clone()
+	if _, err := m.Apply(ref); err != nil {
+		t.Fatal(err)
+	}
+	flat := make([]float32, 0, len(rows)*64)
+	for _, r := range rows {
+		flat = append(flat, r...)
+	}
+	y := ref.Forward(tensor.FromSlice(flat, len(rows), 1, 8, 8), false)
+	classes := y.Len() / len(rows)
+
+	for _, budget := range []int64{0, m.MaxDenseBytes(), 64} {
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			reg := NewRegistry(budget, BatchOptions{})
+			defer reg.Close()
+			e, err := reg.Add("conv", m, net, []int{1, 8, 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for c := 0; c < 4; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					got, err := e.Predict(rows)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for i := range got {
+						for j := range got[i] {
+							if got[i][j] != y.Data[i*classes+j] {
+								t.Errorf("row %d logit %d: served %v, decoded %v", i, j, got[i][j], y.Data[i*classes+j])
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			// All four layers — conv included — must have moved through the
+			// cache, not fallen back to (stripped) layer parameters.
+			s := reg.Cache().Stats()
+			if s.Misses+s.Bypasses < 4 {
+				t.Fatalf("only %d decodes for 4 layers: conv layers not cache-fed (%+v)", s.Misses+s.Bypasses, s)
+			}
+		})
+	}
+}
+
+// TestEngineReportsKindAndShape locks the /v1/stats satellite: layer
+// metadata must carry each layer's kind and weight shape.
+func TestEngineReportsKindAndShape(t *testing.T) {
+	net, m := servedConvModel(t, 23)
+	reg := NewRegistry(0, BatchOptions{})
+	defer reg.Close()
+	e, err := reg.Add("conv", m, net, []int{1, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas := e.Stats().Layers
+	if len(metas) != 4 {
+		t.Fatalf("stats report %d layers, want 4", len(metas))
+	}
+	want := map[string]struct {
+		kind string
+		rank int
+	}{
+		"conv1": {"conv", 4}, "conv2": {"conv", 4},
+		"ip1": {"fc", 2}, "ip2": {"fc", 2},
+	}
+	for _, lm := range metas {
+		w, ok := want[lm.Name]
+		if !ok {
+			t.Fatalf("unexpected layer %q", lm.Name)
+		}
+		if lm.Kind != w.kind || len(lm.Shape) != w.rank || lm.Codec == "" {
+			t.Fatalf("layer %s reported kind=%s shape=%v codec=%q, want %s rank %d",
+				lm.Name, lm.Kind, lm.Shape, lm.Codec, w.kind, w.rank)
+		}
+	}
+}
+
 func serverFixture(t testing.TB, budget int64) (*httptest.Server, *Registry) {
 	t.Helper()
 	net, m := servedModel(t, 9)
@@ -293,6 +431,11 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if list.Models[0].InputLen != 64 || list.Models[0].DenseBytes <= 0 {
 		t.Fatalf("model info %+v", list.Models[0])
+	}
+	for _, li := range list.Models[0].Layers {
+		if li.Kind != "fc" || len(li.Shape) != 2 {
+			t.Fatalf("layer %s reported kind=%q shape=%v, want fc rank 2", li.Name, li.Kind, li.Shape)
+		}
 	}
 
 	rows := testRows(3, 10)
