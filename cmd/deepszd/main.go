@@ -89,6 +89,8 @@ func run() error {
 	addr := fs.String("addr", ":8080", "listen address")
 	budgetStr := fs.String("mem-budget", "0", "decode-cache byte budget with optional k/m/g suffix (0 = unlimited)")
 	maxBatch := fs.Int("max-batch", 32, "rows that trigger an immediate micro-batch flush")
+	sparseThreshold := fs.Float64("sparse-threshold", serve.DefaultSparseThreshold,
+		"cache decoded layers in CSR form below this density (0 disables the sparse fast path)")
 	window := fs.Duration("batch-window", 2*time.Millisecond, "how long the first request waits for batch company")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	var specs []modelSpec
@@ -111,6 +113,7 @@ func run() error {
 
 	reg := serve.NewRegistry(budget, serve.BatchOptions{MaxBatch: *maxBatch, Window: *window})
 	defer reg.Close()
+	reg.SetSparseThreshold(*sparseThreshold)
 	for _, s := range specs {
 		e, err := reg.LoadFile(s.name, s.path, s.weights)
 		if err != nil {

@@ -1,11 +1,13 @@
 // Command experiments regenerates the paper's tables and figures on the
-// scaled substrates (see DESIGN.md for the substitutions).
+// scaled substrates (see DESIGN.md for the substitutions), and emits the
+// serving perf trajectory.
 //
 // Usage:
 //
 //	experiments -list
 //	experiments -exp table2
 //	experiments -exp all
+//	experiments -bench-json BENCH_serve.json
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id (table1, fig2, fig4, fig5, fig6, table2, table3, table4, table5, fig7, all)")
 	list := flag.Bool("list", false, "list available experiments")
+	benchJSON := flag.String("bench-json", "", "measure the sparse serving fast path and write the JSON report to this `file` (\"-\" = stdout)")
 	flag.Parse()
 
 	if *list {
@@ -27,8 +30,30 @@ func main() {
 		}
 		return
 	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := experiments.Run(*exp, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+func writeBenchJSON(path string) error {
+	if path == "-" {
+		return experiments.WriteBenchServe(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteBenchServe(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/lossless"
 	"repro/internal/nn"
 	"repro/internal/prune"
+	"repro/internal/tensor"
 )
 
 // LayerBlob is one compressed layer of a model: the lossy-compressed data
@@ -510,12 +511,17 @@ type DecodeBreakdown struct {
 	Reconstruct time.Duration // sparse-to-dense reconstruction
 }
 
-// DecodedLayer is one reconstructed layer.
+// DecodedLayer is one reconstructed layer. Decode always produces the
+// dense form; Compact may convert a sufficiently sparse layer to CSR in
+// place, after which Weights is nil and Sparse holds the matrix (rows =
+// Shape[0], cols = the product of the remaining dimensions — the layout
+// every forward kernel consumes).
 type DecodedLayer struct {
 	Name    string
 	Kind    nn.LayerKind
 	Shape   []int
-	Weights []float32 // dense, flat (product of Shape entries)
+	Weights []float32   // dense, flat (product of Shape entries); nil when Sparse is set
+	Sparse  *tensor.CSR // CSR form; nil when dense
 	Bias    []float32
 }
 

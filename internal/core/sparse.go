@@ -1,0 +1,98 @@
+package core
+
+import "repro/internal/tensor"
+
+// This file carries the sparse-residency side of the serving fast path: a
+// decoded layer whose density is low enough can live in the decode cache
+// as CSR (~40 bits per nonzero) instead of dense float32 (~32 bits per
+// slot), so a byte budget holds more layers while each hit's matmul runs
+// over the nonzeros only. The conversion is lossless and the sparse
+// kernels are bit-identical to the dense ones, so format is purely a
+// residency decision.
+
+// matDims returns the 2-D matrix view of the layer's weight shape: rows =
+// Shape[0], cols = the product of the remaining dimensions ([out, in] for
+// fc; [outC, inC·k·k] for conv — the im2col layout).
+func (dl *DecodedLayer) matDims() (rows, cols int) {
+	if len(dl.Shape) == 0 {
+		return 0, 0
+	}
+	rows, cols = dl.Shape[0], 1
+	for _, d := range dl.Shape[1:] {
+		cols *= d
+	}
+	return rows, cols
+}
+
+// Density returns the fraction of nonzero weights, for either form.
+func (dl *DecodedLayer) Density() float64 {
+	if dl.Sparse != nil {
+		return dl.Sparse.Density()
+	}
+	if len(dl.Weights) == 0 {
+		return 0
+	}
+	nnz := 0
+	for _, v := range dl.Weights {
+		if v != 0 {
+			nnz++
+		}
+	}
+	return float64(nnz) / float64(len(dl.Weights))
+}
+
+// ResidentBytes returns the layer's in-memory cost in its current form:
+// the CSR arrays or the dense tensor, plus the bias. This is the unit the
+// serve decode cache charges against its budget (DenseBytes reports the
+// cost of the dense form regardless of residency).
+func (dl *DecodedLayer) ResidentBytes() int64 {
+	if dl.Sparse != nil {
+		return dl.Sparse.Bytes() + 4*int64(len(dl.Bias))
+	}
+	return 4 * int64(len(dl.Weights)+len(dl.Bias))
+}
+
+// Compact converts the layer to CSR in place when its density is below
+// threshold (and it is still dense, with a matrix-shaped weight tensor).
+// threshold <= 0 disables conversion. Returns true when the layer is in
+// CSR form afterwards.
+func (dl *DecodedLayer) Compact(threshold float64) bool {
+	if dl.Sparse != nil {
+		return true
+	}
+	if threshold <= 0 || len(dl.Shape) < 2 || len(dl.Weights) == 0 {
+		return false
+	}
+	if dl.Density() >= threshold {
+		return false
+	}
+	rows, cols := dl.matDims()
+	dl.Sparse = tensor.CSRFromDense(dl.Weights, rows, cols)
+	dl.Weights = nil
+	return true
+}
+
+// DenseWeights returns the flat dense weight tensor, materialising it
+// from the CSR form when necessary (the stored form is not modified).
+func (dl *DecodedLayer) DenseWeights() []float32 {
+	if dl.Sparse != nil {
+		return dl.Sparse.Dense()
+	}
+	return dl.Weights
+}
+
+// EstimatedDensity returns an upper bound on the layer's nonzero fraction
+// computable without decoding: stored sparse entries (which include gap
+// padding) over dense slots. Exact density becomes known once the layer
+// is decoded.
+func (l *LayerBlob) EstimatedDensity() float64 {
+	n := l.WeightCount()
+	if n == 0 {
+		return 0
+	}
+	d := float64(l.IndexLen) / float64(n)
+	if d > 1 {
+		d = 1
+	}
+	return d
+}

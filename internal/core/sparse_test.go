@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/tensor"
+)
+
+// sparseDecoded builds a dense decoded fc layer with the given density.
+func sparseDecoded(rows, cols int, density float64) *DecodedLayer {
+	rng := tensor.NewRNG(99)
+	w := make([]float32, rows*cols)
+	rng.FillNormal(w, 0, 1)
+	gate := make([]float32, len(w))
+	rng.FillUniform(gate, 0, 1)
+	for i := range w {
+		if float64(gate[i]) >= density {
+			w[i] = 0
+		}
+	}
+	return &DecodedLayer{
+		Name:    "fc",
+		Kind:    nn.KindDense,
+		Shape:   []int{rows, cols},
+		Weights: w,
+		Bias:    make([]float32, rows),
+	}
+}
+
+func TestDecodedLayerCompact(t *testing.T) {
+	dl := sparseDecoded(32, 128, 0.1)
+	wantDense := append([]float32(nil), dl.Weights...)
+	density := dl.Density()
+	if density <= 0 || density > 0.2 {
+		t.Fatalf("unexpected density %v", density)
+	}
+	denseBytes := dl.ResidentBytes()
+	if denseBytes != 4*int64(len(wantDense)+len(dl.Bias)) {
+		t.Fatalf("dense ResidentBytes %d", denseBytes)
+	}
+
+	// Above-threshold and disabled thresholds must leave the layer dense.
+	if dl.Compact(0.05) || dl.Sparse != nil {
+		t.Fatal("Compact converted above-threshold layer")
+	}
+	if dl.Compact(0) || dl.Compact(-1) {
+		t.Fatal("Compact ran with conversion disabled")
+	}
+
+	if !dl.Compact(0.35) {
+		t.Fatal("Compact refused an eligible layer")
+	}
+	if dl.Weights != nil || dl.Sparse == nil {
+		t.Fatal("Compact did not swap representations")
+	}
+	if dl.Sparse.Rows != 32 || dl.Sparse.Cols != 128 {
+		t.Fatalf("CSR dims %dx%d", dl.Sparse.Rows, dl.Sparse.Cols)
+	}
+	if dl.Density() != density {
+		t.Fatalf("density changed across Compact: %v vs %v", dl.Density(), density)
+	}
+	if got := dl.ResidentBytes(); got >= denseBytes/2 {
+		t.Fatalf("sparse ResidentBytes %d not well under dense %d", got, denseBytes)
+	}
+	// Compacting twice is a no-op that still reports sparse.
+	if !dl.Compact(0.35) {
+		t.Fatal("second Compact lost the sparse form")
+	}
+	got := dl.DenseWeights()
+	for i := range wantDense {
+		if got[i] != wantDense[i] {
+			t.Fatalf("DenseWeights diverged at %d", i)
+		}
+	}
+}
+
+func TestDecodedLayerCompactConvShape(t *testing.T) {
+	dl := sparseDecoded(8, 2*3*3, 0.1)
+	dl.Kind = nn.KindConv
+	dl.Shape = []int{8, 2, 3, 3}
+	if !dl.Compact(0.35) {
+		t.Fatal("conv layer did not compact")
+	}
+	// Rows = outC, cols = the flattened im2col dimensions.
+	if dl.Sparse.Rows != 8 || dl.Sparse.Cols != 18 {
+		t.Fatalf("conv CSR dims %dx%d, want 8x18", dl.Sparse.Rows, dl.Sparse.Cols)
+	}
+}
+
+func TestEstimatedDensity(t *testing.T) {
+	// Build a real blob via Generate and compare the header estimate with
+	// the decoded truth: estimate must be an upper bound within the
+	// padding slack.
+	rng := tensor.NewRNG(4)
+	net := nn.NewNetwork("est", nn.NewFlatten("flat"), nn.NewDense("ip1", 64, 32, rng))
+	prune.Network(net, map[string]float64{"ip1": 0.1}, 0.1)
+	plan := &Plan{Choices: []Choice{{Layer: "ip1", EB: 1e-3}}}
+	m, err := Generate(net, plan, Config{ExpectedAccuracyLoss: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := m.Layer("ip1")
+	est := l.EstimatedDensity()
+	dl, err := m.DecodeLayer("ip1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := dl.Density()
+	if est < exact {
+		t.Fatalf("estimate %v below exact density %v", est, exact)
+	}
+	if est > exact+0.05 {
+		t.Fatalf("estimate %v too far above exact %v (padding slack only)", est, exact)
+	}
+	if idx, ok := m.LayerIndex("ip1"); !ok || idx != 0 {
+		t.Fatalf("LayerIndex = %d,%v", idx, ok)
+	}
+	if _, ok := m.LayerIndex("nope"); ok {
+		t.Fatal("LayerIndex found a missing layer")
+	}
+}

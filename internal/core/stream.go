@@ -55,6 +55,21 @@ func (m *Model) Layer(name string) *LayerBlob {
 	return nil
 }
 
+// LayerIndex returns the storage position of the named layer. O(1) via
+// the name index on models built by Generate/Unmarshal.
+func (m *Model) LayerIndex(name string) (int, bool) {
+	if m.index != nil {
+		i, ok := m.index[name]
+		return i, ok
+	}
+	for i := range m.Layers {
+		if m.Layers[i].Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // DenseBytes returns the memory cost of the named layer once materialised:
 // the dense weight tensor plus bias, in bytes. It is the unit the serve
 // package's cache budget is accounted in. Returns 0 for unknown layers.

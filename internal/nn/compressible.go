@@ -59,6 +59,11 @@ type Compressible interface {
 	// weights and bias (nil bias means zero), touching no layer state; it
 	// is safe to call concurrently on a shared layer value.
 	ForwardWith(x *tensor.Tensor, weights, bias []float32) *tensor.Tensor
+	// ForwardSparse is ForwardWith for CSR weights (rows = WeightShape[0],
+	// cols = the product of the remaining dimensions). For finite inputs
+	// its output is bit-identical to ForwardWith on the dense form of the
+	// same matrix; like ForwardWith it touches no layer state.
+	ForwardSparse(x *tensor.Tensor, w *tensor.CSR, bias []float32) *tensor.Tensor
 }
 
 // CompressibleLayers returns the weight-carrying layers of the network in

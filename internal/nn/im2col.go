@@ -1,6 +1,9 @@
 package nn
 
 import (
+	"fmt"
+	"sync"
+
 	"repro/internal/tensor"
 )
 
@@ -9,7 +12,24 @@ import (
 // convolution into one matrix multiplication per image — the standard
 // HPC formulation (and how Caffe implements convolution). The direct loop
 // in conv.go remains the training path because it also serves backward;
-// ForwardIm2col is bit-compatible with Forward for inference.
+// ForwardIm2col is bit-compatible with Forward for inference, and
+// ForwardSparse is the same kernel over CSR weights (how serving runs
+// conv layers whose decoded weights stayed sparse).
+
+// colsPool recycles im2col scratch buffers across calls and worker
+// goroutines: the unrolled matrix for one image is the hot path's largest
+// transient (inC·k²·oh·ow floats), and serving re-runs it per image per
+// request. Entries hold *[]float32 so Put doesn't allocate a header.
+var colsPool sync.Pool
+
+// getCols returns a zero-length scratch slice with capacity ≥ n.
+func getCols(n int) *[]float32 {
+	if p, ok := colsPool.Get().(*[]float32); ok && cap(*p) >= n {
+		return p
+	}
+	s := make([]float32, n)
+	return &s
+}
 
 // im2col unrolls one image (inC×h×w) into a (inC·k·k × oh·ow) matrix.
 func (c *Conv2D) im2col(in []float32, h, w, oh, ow int, cols []float32) {
@@ -42,35 +62,80 @@ func (c *Conv2D) im2col(in []float32, h, w, oh, ow int, cols []float32) {
 	}
 }
 
-// ForwardIm2col computes the same output as Forward(x, false) via im2col +
-// matrix multiplication. It does not cache state and cannot be followed by
-// Backward.
-func (c *Conv2D) ForwardIm2col(x *tensor.Tensor) *tensor.Tensor {
+// forwardIm2col is the shared scaffold behind ForwardIm2col and
+// ForwardSparse: validate, unroll each image into the pooled cols
+// buffer, and hand (cols, out-slice, oh·ow) to the per-image matmul
+// kernel.
+func (c *Conv2D) forwardIm2col(x *tensor.Tensor, kernel func(cols, out []float32, rowLen int)) *tensor.Tensor {
+	if x.Rank() != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: %s: input shape %v, want [N, %d, H, W]", c.LayerName, x.Shape, c.InC))
+	}
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh, ow := c.OutDims(h, w)
+	if oh < 1 || ow < 1 {
+		panic(fmt.Sprintf("nn: %s: input %dx%d too small for k=%d s=%d p=%d", c.LayerName, h, w, c.K, c.Stride, c.Pad))
+	}
 	y := tensor.New(n, c.OutC, oh, ow)
 	inSz := c.InC * h * w
 	outSz := c.OutC * oh * ow
 	colRows := c.InC * c.K * c.K
 	rowLen := oh * ow
-	wMat := c.W.W.Reshape(c.OutC, colRows)
-	bias := c.B.W.Data
 
 	tensor.ParallelFor(n, func(lo, hi int) {
-		cols := make([]float32, colRows*rowLen)
+		colsPtr := getCols(colRows * rowLen)
+		defer colsPool.Put(colsPtr)
+		cols := (*colsPtr)[:colRows*rowLen]
 		for b := lo; b < hi; b++ {
 			c.im2col(x.Data[b*inSz:(b+1)*inSz], h, w, oh, ow, cols)
-			colMat := tensor.FromSlice(cols, colRows, rowLen)
-			prod := tensor.MatMul(wMat, colMat) // (OutC × oh·ow)
-			out := y.Data[b*outSz : (b+1)*outSz]
-			copy(out, prod.Data)
-			for oc := 0; oc < c.OutC; oc++ {
-				row := out[oc*rowLen : (oc+1)*rowLen]
-				for i := range row {
-					row[i] += bias[oc]
-				}
-			}
+			kernel(cols, y.Data[b*outSz:(b+1)*outSz], rowLen)
 		}
 	})
 	return y
+}
+
+// ForwardIm2col computes the same output as Forward(x, false) via im2col +
+// matrix multiplication. It does not cache state and cannot be followed by
+// Backward.
+func (c *Conv2D) ForwardIm2col(x *tensor.Tensor) *tensor.Tensor {
+	colRows := c.InC * c.K * c.K
+	wMat := c.W.W.Reshape(c.OutC, colRows)
+	bias := c.B.W.Data
+	return c.forwardIm2col(x, func(cols, out []float32, rowLen int) {
+		colMat := tensor.FromSlice(cols, colRows, rowLen)
+		tensor.MatMulInto(out, wMat, colMat) // (OutC × oh·ow), y is fresh zeros
+		for oc := 0; oc < c.OutC; oc++ {
+			row := out[oc*rowLen : (oc+1)*rowLen]
+			for i := range row {
+				row[i] += bias[oc]
+			}
+		}
+	})
+}
+
+// ForwardSparse implements Compressible: the im2col convolution with CSR
+// weights (OutC × InC·K·K) and bias (nil means zero). Output positions
+// accumulate bias first and then the kernel products in ascending weight
+// index, the same order as the dense direct loop over the surviving
+// terms, so for finite inputs the result is bit-identical to
+// ForwardWith(x, w.Dense(), bias). Touches no layer state.
+func (c *Conv2D) ForwardSparse(x *tensor.Tensor, w *tensor.CSR, bias []float32) *tensor.Tensor {
+	if colRows := c.InC * c.K * c.K; w.Rows != c.OutC || w.Cols != colRows {
+		panic(fmt.Sprintf("nn: %s: ForwardSparse got %dx%d weights, want %dx%d", c.LayerName, w.Rows, w.Cols, c.OutC, colRows))
+	}
+	if bias != nil && len(bias) != c.OutC {
+		panic(fmt.Sprintf("nn: %s: ForwardSparse got %d biases, want %d", c.LayerName, len(bias), c.OutC))
+	}
+	return c.forwardIm2col(x, func(cols, out []float32, rowLen int) {
+		if bias != nil {
+			// Bias seeds the accumulator (the direct kernel's order: sum
+			// starts at bias, products follow in index order).
+			for oc := 0; oc < c.OutC; oc++ {
+				row := out[oc*rowLen : (oc+1)*rowLen]
+				for i := range row {
+					row[i] = bias[oc]
+				}
+			}
+		}
+		tensor.CSRMatMulInto(out, w, cols, rowLen)
+	})
 }

@@ -13,23 +13,34 @@ import (
 // production a layer-granular decode cache over a compressed model) and
 // released as soon as the layer's kernel finishes. Peak extra memory for
 // the compressed layers is then governed by the provider's budget, not by
-// the network.
+// the network. A provider may hand back the weights dense or in CSR form;
+// sparse layers then skip the dense kernels' zero multiplies entirely
+// while producing bit-identical outputs.
 
 // ErrNotProvided is returned by a WeightProvider that does not supply the
 // requested layer; ForwardWithProvider falls back to the layer's own
 // parameters in that case.
 var ErrNotProvided = errors.New("nn: layer weights not provided")
 
-// WeightProvider supplies materialised layer weights on demand — flat
-// row-major out×in matrices for fc layers, flat [outC·inC·k·k] kernels for
-// conv layers. Implementations must be safe for concurrent use; the
-// returned slices are read-only for the caller and remain valid until
-// release is called.
+// LayerWeights is one layer's externally supplied parameters: exactly one
+// of Dense (flat row-major out×in for fc, [outC·inC·k·k] for conv) or
+// Sparse (the same matrix in CSR form, rows = out, cols = the flattened
+// rest) is set. Bias may be nil, meaning zero bias.
+type LayerWeights struct {
+	Dense  []float32
+	Sparse *tensor.CSR
+	Bias   []float32
+}
+
+// WeightProvider supplies materialised layer weights on demand.
+// Implementations must be safe for concurrent use; the returned slices
+// and CSR are read-only for the caller and remain valid until release is
+// called.
 type WeightProvider interface {
-	// LayerWeights returns the flat dense weight tensor and bias for the
-	// named layer. release (which may be nil) must be invoked once the
-	// caller is done reading the slices.
-	LayerWeights(name string) (weights, bias []float32, release func(), err error)
+	// LayerWeights returns the named layer's weights in dense or CSR form.
+	// release (which may be nil) must be invoked once the caller is done
+	// reading them.
+	LayerWeights(name string) (w LayerWeights, release func(), err error)
 }
 
 // ForwardWith computes the layer output using externally supplied weights
@@ -43,28 +54,51 @@ func (d *Dense) ForwardWith(x *tensor.Tensor, weights, bias []float32) *tensor.T
 	if len(weights) != d.Out*d.In {
 		panic(fmt.Sprintf("nn: %s: ForwardWith got %d weights, want %d", d.LayerName, len(weights), d.Out*d.In))
 	}
-	if bias != nil && len(bias) != d.Out {
-		panic(fmt.Sprintf("nn: %s: ForwardWith got %d biases, want %d", d.LayerName, len(bias), d.Out))
-	}
 	y := tensor.MatMulTransB(x, tensor.FromSlice(weights, d.Out, d.In))
-	if bias != nil {
-		n := x.Shape[0]
-		for i := 0; i < n; i++ {
-			row := y.Data[i*d.Out : (i+1)*d.Out]
-			for j := range row {
-				row[j] += bias[j]
-			}
-		}
-	}
+	d.addBias(x.Shape[0], y, bias)
 	return y
 }
 
+// ForwardSparse is ForwardWith for CSR weights (shape Out×In): the fc
+// matmul runs over the stored nonzeros only, producing bit-identical
+// output to the dense path for finite inputs. Safe to call concurrently
+// on a shared *Dense.
+func (d *Dense) ForwardSparse(x *tensor.Tensor, w *tensor.CSR, bias []float32) *tensor.Tensor {
+	if x.Rank() != 2 || x.Shape[1] != d.In {
+		panic(fmt.Sprintf("nn: %s: input shape %v, want [N, %d]", d.LayerName, x.Shape, d.In))
+	}
+	if w.Rows != d.Out || w.Cols != d.In {
+		panic(fmt.Sprintf("nn: %s: ForwardSparse got %dx%d weights, want %dx%d", d.LayerName, w.Rows, w.Cols, d.Out, d.In))
+	}
+	y := tensor.MatMulTransBCSR(x, w)
+	d.addBias(x.Shape[0], y, bias)
+	return y
+}
+
+// addBias adds the shared bias vector to every row of y (nil means zero
+// bias), validating its length.
+func (d *Dense) addBias(n int, y *tensor.Tensor, bias []float32) {
+	if bias == nil {
+		return
+	}
+	if len(bias) != d.Out {
+		panic(fmt.Sprintf("nn: %s: got %d biases, want %d", d.LayerName, len(bias), d.Out))
+	}
+	for i := 0; i < n; i++ {
+		row := y.Data[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+}
+
 // ForwardWithProvider runs an inference-mode forward pass, sourcing every
-// compressible (fc and conv) layer's weights from p. Layers for which p
-// reports ErrNotProvided fall back to their own parameters. Other layers
-// run normally, so the network value itself must not be shared across
-// concurrent calls (use clones); the provider and the supplied weight
-// slices may be shared.
+// compressible (fc and conv) layer's weights from p — dispatching to the
+// sparse kernel when the provider hands back CSR weights. Layers for
+// which p reports ErrNotProvided fall back to their own parameters. Other
+// layers run normally, so the network value itself must not be shared
+// across concurrent calls (use clones); the provider and the supplied
+// weights may be shared.
 func (n *Network) ForwardWithProvider(x *tensor.Tensor, p WeightProvider) (*tensor.Tensor, error) {
 	for _, l := range n.Layers {
 		c, ok := l.(Compressible)
@@ -72,7 +106,7 @@ func (n *Network) ForwardWithProvider(x *tensor.Tensor, p WeightProvider) (*tens
 			x = l.Forward(x, false)
 			continue
 		}
-		w, b, release, err := p.LayerWeights(c.Name())
+		lw, release, err := p.LayerWeights(c.Name())
 		if errors.Is(err, ErrNotProvided) {
 			x = c.Forward(x, false)
 			continue
@@ -80,7 +114,11 @@ func (n *Network) ForwardWithProvider(x *tensor.Tensor, p WeightProvider) (*tens
 		if err != nil {
 			return nil, fmt.Errorf("nn: %s: %w", c.Name(), err)
 		}
-		x = c.ForwardWith(x, w, b)
+		if lw.Sparse != nil {
+			x = c.ForwardSparse(x, lw.Sparse, lw.Bias)
+		} else {
+			x = c.ForwardWith(x, lw.Dense, lw.Bias)
+		}
 		if release != nil {
 			release()
 		}

@@ -9,21 +9,35 @@ import (
 )
 
 // mapProvider serves weights from an in-memory map and counts releases.
+// With sparse=true it hands back every layer in CSR form instead.
 type mapProvider struct {
 	w, b     map[string][]float32
+	shape    map[string][]int
+	sparse   bool
 	released int
 	fail     error
 }
 
-func (p *mapProvider) LayerWeights(name string) ([]float32, []float32, func(), error) {
+func (p *mapProvider) LayerWeights(name string) (LayerWeights, func(), error) {
 	if p.fail != nil {
-		return nil, nil, nil, p.fail
+		return LayerWeights{}, nil, p.fail
 	}
 	w, ok := p.w[name]
 	if !ok {
-		return nil, nil, nil, ErrNotProvided
+		return LayerWeights{}, nil, ErrNotProvided
 	}
-	return w, p.b[name], func() { p.released++ }, nil
+	lw := LayerWeights{Bias: p.b[name]}
+	if p.sparse {
+		s := p.shape[name]
+		cols := 1
+		for _, d := range s[1:] {
+			cols *= d
+		}
+		lw.Sparse = tensor.CSRFromDense(w, s[0], cols)
+	} else {
+		lw.Dense = w
+	}
+	return lw, func() { p.released++ }, nil
 }
 
 func providerNet(seed uint64) *Network {

@@ -1,0 +1,193 @@
+package nn
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// pruneTo zeroes all but roughly keep of the values, mimicking magnitude
+// pruning's output shape without importing the prune package.
+func pruneTo(rng *tensor.RNG, w []float32, keep float64) {
+	gate := make([]float32, len(w))
+	rng.FillUniform(gate, 0, 1)
+	for i := range w {
+		if float64(gate[i]) >= keep {
+			w[i] = 0
+		}
+	}
+}
+
+func assertBitEqual(t *testing.T, got, want *tensor.Tensor, label string) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %v, want %v", label, got.Shape, want.Shape)
+	}
+	for i := range want.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s: element %d: %v (bits %x), want %v (bits %x)", label, i,
+				got.Data[i], math.Float32bits(got.Data[i]),
+				want.Data[i], math.Float32bits(want.Data[i]))
+		}
+	}
+}
+
+// TestDenseForwardSparseBitIdentical asserts the serving guarantee for fc
+// layers: CSR forward output is bit-for-bit the dense ForwardWith output
+// across densities, including an all-zero layer.
+func TestDenseForwardSparseBitIdentical(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	for _, density := range []float64{0, 0.05, 0.1, 0.5, 1} {
+		d := NewDense("fc", 64, 32, rng)
+		w := append([]float32(nil), d.W.W.Data...)
+		pruneTo(rng, w, density)
+		// Zero an output row entirely (all-zero-row case).
+		for j := 0; j < d.In; j++ {
+			w[j] = 0
+		}
+		bias := append([]float32(nil), d.B.W.Data...)
+		rng.FillNormal(bias, 0, 1)
+		x := tensor.New(5, 64)
+		rng.FillNormal(x.Data, 0, 1)
+
+		want := d.ForwardWith(x, w, bias)
+		got := d.ForwardSparse(x, tensor.CSRFromDense(w, d.Out, d.In), bias)
+		assertBitEqual(t, got, want, "fc with bias")
+
+		wantNil := d.ForwardWith(x, w, nil)
+		gotNil := d.ForwardSparse(x, tensor.CSRFromDense(w, d.Out, d.In), nil)
+		assertBitEqual(t, gotNil, wantNil, "fc nil bias")
+	}
+}
+
+// TestConvForwardSparseBitIdentical asserts the same for conv layers: the
+// CSR im2col kernel must match the direct dense convolution bit-for-bit.
+func TestConvForwardSparseBitIdentical(t *testing.T) {
+	rng := tensor.NewRNG(22)
+	cases := []struct{ inC, outC, k, stride, pad, h, w int }{
+		{1, 1, 3, 1, 0, 8, 8},
+		{3, 8, 3, 1, 1, 16, 16},
+		{2, 4, 5, 2, 2, 13, 11},
+	}
+	for _, tc := range cases {
+		for _, density := range []float64{0, 0.1, 0.35, 1} {
+			c := NewConv2D("conv", tc.inC, tc.outC, tc.k, tc.stride, tc.pad, rng)
+			w := append([]float32(nil), c.W.W.Data...)
+			pruneTo(rng, w, density)
+			bias := make([]float32, tc.outC)
+			rng.FillNormal(bias, 0, 1)
+			x := tensor.New(3, tc.inC, tc.h, tc.w)
+			rng.FillNormal(x.Data, 0, 1)
+			csr := tensor.CSRFromDense(w, tc.outC, tc.inC*tc.k*tc.k)
+
+			want := c.ForwardWith(x, w, bias)
+			got := c.ForwardSparse(x, csr, bias)
+			assertBitEqual(t, got, want, "conv with bias")
+
+			wantNil := c.ForwardWith(x, w, nil)
+			gotNil := c.ForwardSparse(x, csr, nil)
+			assertBitEqual(t, gotNil, wantNil, "conv nil bias")
+		}
+	}
+}
+
+// TestForwardWithProviderSparseMatchesDense runs the full provider-driven
+// network forward once with dense weights and once with every layer in
+// CSR form; the logits must be bit-identical.
+func TestForwardWithProviderSparseMatchesDense(t *testing.T) {
+	rng := tensor.NewRNG(23)
+	net := NewNetwork("sparse-mlp",
+		NewConv2D("conv1", 1, 4, 3, 1, 1, rng),
+		NewReLU("relu0"),
+		NewFlatten("flat"),
+		NewDense("ip1", 4*6*6, 16, rng),
+		NewReLU("relu1"),
+		NewDense("ip2", 16, 4, rng),
+	)
+	p := &mapProvider{w: map[string][]float32{}, b: map[string][]float32{}, shape: map[string][]int{}}
+	for _, cl := range net.CompressibleLayers() {
+		w := append([]float32(nil), cl.Weights()...)
+		pruneTo(rng, w, 0.2)
+		cl.SetWeights(w)
+		p.w[cl.Name()] = w
+		p.b[cl.Name()] = append([]float32(nil), cl.BiasParam().W.Data...)
+		p.shape[cl.Name()] = cl.WeightShape()
+	}
+	x := tensor.New(2, 1, 6, 6)
+	rng.FillNormal(x.Data, 0, 1)
+
+	clone := net.Clone()
+	StripWeights(clone, nil)
+	dense, err := clone.ForwardWithProvider(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.sparse = true
+	sparse, err := clone.ForwardWithProvider(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitEqual(t, sparse, dense, "provider sparse vs dense")
+	if want := net.Forward(x, false); true {
+		assertBitEqual(t, sparse, want, "provider sparse vs layer-owned")
+	}
+	if p.released != 2*len(net.CompressibleLayers()) {
+		t.Fatalf("released %d times, want %d", p.released, 2*len(net.CompressibleLayers()))
+	}
+}
+
+// TestForwardSparseValidation checks the shape panics fire for malformed
+// CSR weights instead of corrupting memory.
+func TestForwardSparseValidation(t *testing.T) {
+	rng := tensor.NewRNG(24)
+	d := NewDense("fc", 8, 4, rng)
+	x := tensor.New(1, 8)
+	bad := tensor.CSRFromDense(make([]float32, 12), 4, 3) // wrong cols
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong CSR shape")
+		}
+	}()
+	d.ForwardSparse(x, bad, nil)
+}
+
+// allocBytesPerOp measures steady-state heap bytes per call of fn on the
+// calling goroutine (TotalAlloc is monotonic, so GC timing cannot skew
+// it).
+func allocBytesPerOp(fn func()) uint64 {
+	const iters = 200
+	fn() // warm pools and lazy state
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&m1)
+	return (m1.TotalAlloc - m0.TotalAlloc) / iters
+}
+
+// TestForwardIm2colAllocsPooled locks in the im2col scratch pooling: a
+// steady-state single-image forward must not re-allocate the unrolled
+// column matrix, the call's dominant transient before pooling (36 KB here
+// vs an 8 KB output tensor).
+func TestForwardIm2colAllocsPooled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector; byte budgets would flake")
+	}
+	rng := tensor.NewRNG(25)
+	c := NewConv2D("conv", 4, 8, 3, 1, 1, rng)
+	x := tensor.New(1, 4, 16, 16) // batch 1 → ParallelFor runs inline
+	rng.FillNormal(x.Data, 0, 1)
+	// Budget: the 8 KB output plus headers. The unpooled cols buffer
+	// (4·3·3·16·16 floats = 36 KB) busts it immediately.
+	const budget = 16 << 10
+	if got := allocBytesPerOp(func() { c.ForwardIm2col(x) }); got > budget {
+		t.Fatalf("ForwardIm2col allocates %d B/op (budget %d); cols pooling regressed", got, budget)
+	}
+	sp := tensor.CSRFromDense(c.W.W.Data, 8, 4*3*3)
+	if got := allocBytesPerOp(func() { c.ForwardSparse(x, sp, nil) }); got > budget {
+		t.Fatalf("ForwardSparse allocates %d B/op (budget %d); cols pooling regressed", got, budget)
+	}
+}

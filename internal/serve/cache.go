@@ -24,14 +24,18 @@ type DecodeCache struct {
 	entries  map[string]*list.Element
 	inflight map[string]*flight
 
+	// bytes split by resident format: sparseBytes + denseBytes == bytes.
+	sparseBytes, denseBytes int64
+
 	hits, misses, evictions, coalesced, bypasses uint64
 	decodeTime                                   time.Duration
 }
 
 type cacheEntry struct {
-	key   string
-	layer *core.DecodedLayer
-	cost  int64
+	key    string
+	layer  *core.DecodedLayer
+	cost   int64
+	sparse bool // layer resident in CSR form
 }
 
 // flight is one in-progress decode that later arrivals wait on.
@@ -52,10 +56,12 @@ func NewDecodeCache(budget int64) *DecodeCache {
 	}
 }
 
-// Get returns the layer stored under key, invoking decode on a miss. cost
-// is the layer's resident size in bytes (core.Model.DenseBytes). decode
+// Get returns the layer stored under key, invoking decode on a miss.
+// decode also reports the layer's resident size in bytes — known only
+// after decoding, since a sparse-enough layer comes back in CSR form and
+// costs ~40 bits per nonzero instead of 32 bits per dense slot. decode
 // runs outside the cache lock; at most one decode per key is in flight.
-func (c *DecodeCache) Get(key string, cost int64, decode func() (*core.DecodedLayer, error)) (*core.DecodedLayer, error) {
+func (c *DecodeCache) Get(key string, decode func() (*core.DecodedLayer, int64, error)) (*core.DecodedLayer, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
@@ -76,7 +82,7 @@ func (c *DecodeCache) Get(key string, cost int64, decode func() (*core.DecodedLa
 	c.mu.Unlock()
 
 	t0 := time.Now()
-	layer, err := decode()
+	layer, cost, err := decode()
 	dt := time.Since(t0)
 
 	c.mu.Lock()
@@ -114,23 +120,38 @@ func (c *DecodeCache) insertLocked(key string, layer *core.DecodedLayer, cost in
 		c.ll.Remove(back)
 		delete(c.entries, ent.key)
 		c.bytes -= ent.cost
+		c.addFormatBytes(ent.sparse, -ent.cost)
 		c.evictions++
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, layer: layer, cost: cost})
+	ent := &cacheEntry{key: key, layer: layer, cost: cost, sparse: layer.Sparse != nil}
+	c.entries[key] = c.ll.PushFront(ent)
 	c.bytes += cost
+	c.addFormatBytes(ent.sparse, cost)
+}
+
+// addFormatBytes adjusts the per-format resident byte split. Caller owns
+// c.mu.
+func (c *DecodeCache) addFormatBytes(sparse bool, delta int64) {
+	if sparse {
+		c.sparseBytes += delta
+	} else {
+		c.denseBytes += delta
+	}
 }
 
 // CacheStats is a point-in-time snapshot of cache behaviour.
 type CacheStats struct {
-	Budget     int64         `json:"budget_bytes"`      // 0 = unlimited
-	BytesInUse int64         `json:"bytes_in_use"`      // resident decoded layers
-	Entries    int           `json:"entries"`           // resident layer count
-	Hits       uint64        `json:"hits"`              // served without decoding
-	Misses     uint64        `json:"misses"`            // triggered a decode
-	Coalesced  uint64        `json:"coalesced"`         // waited on another caller's decode
-	Evictions  uint64        `json:"evictions"`         // LRU evictions
-	Bypasses   uint64        `json:"bypasses"`          // layer larger than whole budget
-	DecodeTime time.Duration `json:"decode_time_nanos"` // cumulative decode wall time
+	Budget      int64         `json:"budget_bytes"`        // 0 = unlimited
+	BytesInUse  int64         `json:"bytes_in_use"`        // resident decoded layers
+	SparseBytes int64         `json:"sparse_bytes_in_use"` // resident CSR-form layers
+	DenseBytes  int64         `json:"dense_bytes_in_use"`  // resident dense-form layers
+	Entries     int           `json:"entries"`             // resident layer count
+	Hits        uint64        `json:"hits"`                // served without decoding
+	Misses      uint64        `json:"misses"`              // triggered a decode
+	Coalesced   uint64        `json:"coalesced"`           // waited on another caller's decode
+	Evictions   uint64        `json:"evictions"`           // LRU evictions
+	Bypasses    uint64        `json:"bypasses"`            // layer larger than whole budget
+	DecodeTime  time.Duration `json:"decode_time_nanos"`   // cumulative decode wall time
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any traffic.
@@ -146,14 +167,16 @@ func (c *DecodeCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Budget:     max(c.budget, 0),
-		BytesInUse: c.bytes,
-		Entries:    c.ll.Len(),
-		Hits:       c.hits,
-		Misses:     c.misses,
-		Coalesced:  c.coalesced,
-		Evictions:  c.evictions,
-		Bypasses:   c.bypasses,
-		DecodeTime: c.decodeTime,
+		Budget:      max(c.budget, 0),
+		BytesInUse:  c.bytes,
+		SparseBytes: c.sparseBytes,
+		DenseBytes:  c.denseBytes,
+		Entries:     c.ll.Len(),
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Coalesced:   c.coalesced,
+		Evictions:   c.evictions,
+		Bypasses:    c.bypasses,
+		DecodeTime:  c.decodeTime,
 	}
 }

@@ -21,9 +21,9 @@ func TestCacheHitMissEviction(t *testing.T) {
 	decodes := map[string]int{}
 	get := func(key string) {
 		t.Helper()
-		if _, err := c.Get(key, cost, func() (*core.DecodedLayer, error) {
+		if _, err := c.Get(key, func() (*core.DecodedLayer, int64, error) {
 			decodes[key]++
-			return fakeLayer(cost), nil
+			return fakeLayer(cost), cost, nil
 		}); err != nil {
 			t.Fatal(err)
 		}
@@ -58,8 +58,8 @@ func TestCacheBudgetEdges(t *testing.T) {
 	c := NewDecodeCache(1000)
 
 	// cost == budget: fits exactly.
-	if _, err := c.Get("exact", 1000, func() (*core.DecodedLayer, error) {
-		return fakeLayer(1000), nil
+	if _, err := c.Get("exact", func() (*core.DecodedLayer, int64, error) {
+		return fakeLayer(1000), 1000, nil
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -69,8 +69,8 @@ func TestCacheBudgetEdges(t *testing.T) {
 
 	// cost > budget: decoded but never cached (bypass), evicting nothing.
 	for i := 0; i < 2; i++ {
-		if _, err := c.Get("huge", 1001, func() (*core.DecodedLayer, error) {
-			return fakeLayer(1001), nil
+		if _, err := c.Get("huge", func() (*core.DecodedLayer, int64, error) {
+			return fakeLayer(1001), 1001, nil
 		}); err != nil {
 			t.Fatal(err)
 		}
@@ -90,8 +90,8 @@ func TestCacheBudgetEdges(t *testing.T) {
 	u := NewDecodeCache(0)
 	for i := 0; i < 50; i++ {
 		key := fmt.Sprintf("k%d", i)
-		if _, err := u.Get(key, 1<<20, func() (*core.DecodedLayer, error) {
-			return fakeLayer(1 << 20), nil
+		if _, err := u.Get(key, func() (*core.DecodedLayer, int64, error) {
+			return fakeLayer(1 << 20), 1 << 20, nil
 		}); err != nil {
 			t.Fatal(err)
 		}
@@ -114,11 +114,11 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			dl, err := c.Get("shared", 64, func() (*core.DecodedLayer, error) {
+			dl, err := c.Get("shared", func() (*core.DecodedLayer, int64, error) {
 				close(started)
 				decodes.Add(1)
 				<-release // hold the flight open until all callers queued
-				return fakeLayer(64), nil
+				return fakeLayer(64), 64, nil
 			})
 			if err != nil {
 				t.Error(err)
@@ -152,13 +152,13 @@ func TestCacheSingleflight(t *testing.T) {
 func TestCacheErrorNotCached(t *testing.T) {
 	c := NewDecodeCache(0)
 	boom := fmt.Errorf("decode exploded")
-	if _, err := c.Get("bad", 40, func() (*core.DecodedLayer, error) { return nil, boom }); err != boom {
+	if _, err := c.Get("bad", func() (*core.DecodedLayer, int64, error) { return nil, 0, boom }); err != boom {
 		t.Fatalf("error %v, want passthrough", err)
 	}
 	calls := 0
-	if _, err := c.Get("bad", 40, func() (*core.DecodedLayer, error) {
+	if _, err := c.Get("bad", func() (*core.DecodedLayer, int64, error) {
 		calls++
-		return fakeLayer(40), nil
+		return fakeLayer(40), 40, nil
 	}); err != nil || calls != 1 {
 		t.Fatalf("failed decode was cached: err=%v calls=%d", err, calls)
 	}
@@ -179,8 +179,8 @@ func TestCacheConcurrentStress(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				key := fmt.Sprintf("k%d", (g*31+r)%keys)
-				dl, err := c.Get(key, cost, func() (*core.DecodedLayer, error) {
-					return fakeLayer(cost), nil
+				dl, err := c.Get(key, func() (*core.DecodedLayer, int64, error) {
+					return fakeLayer(cost), cost, nil
 				})
 				if err != nil || len(dl.Weights) != cost/4 {
 					t.Errorf("get %s: %v", key, err)

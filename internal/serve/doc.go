@@ -2,7 +2,11 @@
 // inference service: models stay compressed at rest (the paper's §6
 // future-work direction) and stored layers — fc and, for whole-network
 // models, conv — are materialised on demand through a byte-budgeted,
-// layer-granular decode cache shared by all models.
+// layer-granular decode cache shared by all models. Layers whose decoded
+// density falls below the sparse threshold stay resident in CSR form
+// (~40 bits per surviving weight instead of 32 bits per slot) and run
+// through sparse kernels that are bit-identical to the dense ones — the
+// budget holds more layers and each hit's matmul skips the zeros.
 //
 // The pieces, bottom up:
 //

@@ -17,19 +17,34 @@ import (
 // to 400.
 var ErrBadInput = errors.New("serve: bad input")
 
+// DefaultSparseThreshold is the decoded-layer density below which engines
+// keep the layer in CSR form. 0.35 sits under the CSR kernels' measured
+// speed break-even (~0.3–0.5 density on the fc SpMM), so the sparse path
+// only engages where it is faster AND smaller; at the paper's ~10%
+// densities it is ~3× faster and ~8× smaller than dense residency.
+const DefaultSparseThreshold = 0.35
+
 // Engine serves one compressed model: forward passes run on a pool of
 // weight-stripped network clones, and every compressed layer's weights (fc
 // and conv alike) are fetched through the shared decode cache at the moment
 // the kernel needs them. Peak extra memory for compressed weights is
-// therefore the cache budget, not the model's dense size. Engine implements
+// therefore the cache budget, not the model's dense size; layers whose
+// decoded density falls below the sparse threshold are cached in CSR form,
+// stretching that budget and feeding the sparse kernels. Engine implements
 // nn.WeightProvider.
 type Engine struct {
-	name    string
-	model   *core.Model
-	cache   *DecodeCache
-	inShape []int // per-example input shape, e.g. [1 28 28]
-	inLen   int   // product of inShape
-	pool    sync.Pool
+	name      string
+	model     *core.Model
+	cache     *DecodeCache
+	inShape   []int   // per-example input shape, e.g. [1 28 28]
+	inLen     int     // product of inShape
+	threshold float64 // density below which decoded layers stay CSR; <= 0 disables
+	pool      sync.Pool
+	flatPool  sync.Pool // per-request input flatten buffers (*[]float32)
+
+	// obs[i] is what the last decode of model.Layers[i] observed (density,
+	// resident format/bytes); nil until the layer is first decoded.
+	obs []atomic.Pointer[layerObs]
 
 	requests atomic.Uint64 // predict calls
 	rows     atomic.Uint64 // examples served
@@ -38,11 +53,21 @@ type Engine struct {
 	batcher *batcher
 }
 
+// layerObs is a point-in-time observation of one layer's decoded form.
+type layerObs struct {
+	density  float64
+	sparse   bool
+	resident int64
+}
+
 // NewEngine builds an engine for model, using skeleton for the network
 // topology and conv-prefix weights. The skeleton is cloned and stripped;
 // the caller's copy is not retained or modified. inputShape is the
-// per-example input shape the network expects.
-func NewEngine(name string, model *core.Model, skeleton *nn.Network, inputShape []int, cache *DecodeCache, opt BatchOptions) (*Engine, error) {
+// per-example input shape the network expects. sparseThreshold is the
+// decoded density below which layers are cached in CSR form
+// (DefaultSparseThreshold is the tuned default; <= 0 keeps every layer
+// dense).
+func NewEngine(name string, model *core.Model, skeleton *nn.Network, inputShape []int, cache *DecodeCache, opt BatchOptions, sparseThreshold float64) (*Engine, error) {
 	// Bad model files must fail here, at load time, not as panics inside a
 	// request's forward pass: every stored layer has to match a weighted
 	// layer's kind and shape, and every layer of a kind the model carries
@@ -89,11 +114,13 @@ func NewEngine(name string, model *core.Model, skeleton *nn.Network, inputShape 
 	template := skeleton.Clone()
 	nn.StripWeights(template, func(layer string) bool { return model.Layer(layer) != nil })
 	e := &Engine{
-		name:    name,
-		model:   model,
-		cache:   cache,
-		inShape: append([]int(nil), inputShape...),
-		inLen:   inLen,
+		name:      name,
+		model:     model,
+		cache:     cache,
+		inShape:   append([]int(nil), inputShape...),
+		inLen:     inLen,
+		threshold: sparseThreshold,
+		obs:       make([]atomic.Pointer[layerObs], len(model.Layers)),
 	}
 	e.pool.New = func() any { return template.Clone() }
 	e.batcher = newBatcher(e, opt)
@@ -121,18 +148,29 @@ func (e *Engine) Codec() string {
 // InputLen returns the flattened per-example input length.
 func (e *Engine) InputLen() int { return e.inLen }
 
-// LayerWeights implements nn.WeightProvider over the decode cache.
-func (e *Engine) LayerWeights(layer string) ([]float32, []float32, func(), error) {
-	if e.model.Layer(layer) == nil {
-		return nil, nil, nil, nn.ErrNotProvided
+// LayerWeights implements nn.WeightProvider over the decode cache. A
+// decoded layer below the sparse threshold is compacted to CSR before
+// insertion, so it is charged to the budget (and handed to the kernels)
+// in its cheap form.
+func (e *Engine) LayerWeights(layer string) (nn.LayerWeights, func(), error) {
+	idx, ok := e.model.LayerIndex(layer)
+	if !ok {
+		return nn.LayerWeights{}, nil, nn.ErrNotProvided
 	}
-	dl, err := e.cache.Get(e.name+"/"+layer, e.model.DenseBytes(layer), func() (*core.DecodedLayer, error) {
-		return e.model.DecodeLayer(layer)
+	dl, err := e.cache.Get(e.name+"/"+layer, func() (*core.DecodedLayer, int64, error) {
+		dl, err := e.model.DecodeLayer(layer)
+		if err != nil {
+			return nil, 0, err
+		}
+		density := dl.Density()
+		dl.Compact(e.threshold)
+		e.obs[idx].Store(&layerObs{density: density, sparse: dl.Sparse != nil, resident: dl.ResidentBytes()})
+		return dl, dl.ResidentBytes(), nil
 	})
 	if err != nil {
-		return nil, nil, nil, err
+		return nn.LayerWeights{}, nil, err
 	}
-	return dl.Weights, dl.Bias, nil, nil
+	return nn.LayerWeights{Dense: dl.Weights, Sparse: dl.Sparse, Bias: dl.Bias}, nil, nil
 }
 
 // forward runs one inference pass over a [N, inShape...] batch.
@@ -178,15 +216,33 @@ func (e *Engine) checkRows(rows [][]float32) error {
 	return nil
 }
 
-// run executes rows as a single forward pass and splits the logits.
+// run executes rows as a single forward pass and splits the logits. The
+// input flatten buffer is pooled across requests: no layer retains the
+// input tensor in inference mode, so once the forward returns the buffer
+// is dead — unless the network's trailing layers were all views
+// (Flatten's Reshape, inference-mode pass-throughs), in which case the
+// returned logits still alias it and it must be dropped instead of
+// recycled.
 func (e *Engine) run(rows [][]float32) ([][]float32, error) {
 	n := len(rows)
-	flat := make([]float32, 0, n*e.inLen)
+	need := n * e.inLen
+	flatPtr, _ := e.flatPool.Get().(*[]float32)
+	if flatPtr == nil || cap(*flatPtr) < need {
+		s := make([]float32, 0, need)
+		flatPtr = &s
+	}
+	flat := (*flatPtr)[:0]
 	for _, r := range rows {
 		flat = append(flat, r...)
 	}
 	x := tensor.FromSlice(flat, append([]int{n}, e.inShape...)...)
 	y, err := e.forward(x)
+	if y == nil || len(y.Data) == 0 || &y.Data[0] != &flat[0] {
+		// View layers share storage from element 0, so a first-element
+		// address match is exactly "y aliases the pooled buffer".
+		*flatPtr = flat
+		e.flatPool.Put(flatPtr)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -200,22 +256,24 @@ func (e *Engine) run(rows [][]float32) ([][]float32, error) {
 
 // EngineStats is a snapshot of one model's serving counters.
 type EngineStats struct {
-	Codec    string      `json:"codec"`
-	Requests uint64      `json:"requests"`
-	Rows     uint64      `json:"rows"`
-	Batches  uint64      `json:"batches"`
-	AvgBatch float64     `json:"avg_batch_rows"`
-	Layers   []LayerMeta `json:"layers"`
+	Codec           string      `json:"codec"`
+	SparseThreshold float64     `json:"sparse_threshold"`
+	Requests        uint64      `json:"requests"`
+	Rows            uint64      `json:"rows"`
+	Batches         uint64      `json:"batches"`
+	AvgBatch        float64     `json:"avg_batch_rows"`
+	Layers          []LayerMeta `json:"layers"`
 }
 
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() EngineStats {
 	s := EngineStats{
-		Codec:    e.Codec(),
-		Requests: e.requests.Load(),
-		Rows:     e.rows.Load(),
-		Batches:  e.batches.Load(),
-		Layers:   e.LayerMeta(),
+		Codec:           e.Codec(),
+		SparseThreshold: e.threshold,
+		Requests:        e.requests.Load(),
+		Rows:            e.rows.Load(),
+		Batches:         e.batches.Load(),
+		Layers:          e.LayerMeta(),
 	}
 	if s.Batches > 0 {
 		s.AvgBatch = float64(s.Rows) / float64(s.Batches)
@@ -224,12 +282,22 @@ func (e *Engine) Stats() EngineStats {
 }
 
 // LayerMeta describes one served layer: its kind (fc/conv), weight shape,
-// and the codec its data array was compressed with.
+// the codec its data array was compressed with, and what the sparse fast
+// path sees — the layer's density and the format/cost it takes when
+// resident in the decode cache. Until a layer is first decoded, Density
+// is the stream-header estimate (stored sparse entries over dense slots,
+// an upper bound) and Format is empty; after a decode they report the
+// exact density and the chosen representation ("csr" or "dense") with
+// its resident byte cost.
 type LayerMeta struct {
-	Name  string `json:"name"`
-	Kind  string `json:"kind"`
-	Shape []int  `json:"shape"`
-	Codec string `json:"codec"`
+	Name          string  `json:"name"`
+	Kind          string  `json:"kind"`
+	Shape         []int   `json:"shape"`
+	Codec         string  `json:"codec"`
+	Density       float64 `json:"density"`
+	Format        string  `json:"format,omitempty"`
+	ResidentBytes int64   `json:"resident_bytes,omitempty"`
+	DenseBytes    int64   `json:"dense_bytes"`
 }
 
 // LayerMeta lists the served model's layers in storage order.
@@ -238,10 +306,21 @@ func (e *Engine) LayerMeta() []LayerMeta {
 	for i := range e.model.Layers {
 		l := &e.model.Layers[i]
 		out[i] = LayerMeta{
-			Name:  l.Name,
-			Kind:  l.Kind.String(),
-			Shape: append([]int(nil), l.Shape...),
-			Codec: codec.NameOf(l.Codec),
+			Name:       l.Name,
+			Kind:       l.Kind.String(),
+			Shape:      append([]int(nil), l.Shape...),
+			Codec:      codec.NameOf(l.Codec),
+			Density:    l.EstimatedDensity(),
+			DenseBytes: l.DenseBytes(),
+		}
+		if o := e.obs[i].Load(); o != nil {
+			out[i].Density = o.density
+			out[i].ResidentBytes = o.resident
+			if o.sparse {
+				out[i].Format = "csr"
+			} else {
+				out[i].Format = "dense"
+			}
 		}
 	}
 	return out

@@ -16,20 +16,32 @@ import (
 // cache they share: the memory budget is server-wide, so hot models evict
 // cold models' layers, exactly like device memory on a shared accelerator.
 type Registry struct {
-	mu      sync.RWMutex
-	cache   *DecodeCache
-	engines map[string]*Engine
-	opt     BatchOptions
+	mu        sync.RWMutex
+	cache     *DecodeCache
+	engines   map[string]*Engine
+	opt       BatchOptions
+	threshold float64
 }
 
 // NewRegistry creates a registry whose decode cache holds at most budget
-// bytes of materialised fc layers (budget <= 0 means unlimited).
+// bytes of materialised layers (budget <= 0 means unlimited). Engines
+// start with DefaultSparseThreshold; see SetSparseThreshold.
 func NewRegistry(budget int64, opt BatchOptions) *Registry {
 	return &Registry{
-		cache:   NewDecodeCache(budget),
-		engines: map[string]*Engine{},
-		opt:     opt,
+		cache:     NewDecodeCache(budget),
+		engines:   map[string]*Engine{},
+		opt:       opt,
+		threshold: DefaultSparseThreshold,
 	}
+}
+
+// SetSparseThreshold changes the decoded-layer density below which
+// engines cache layers in CSR form (t <= 0 keeps everything dense). It
+// affects engines added afterwards, so call it before Add/LoadFile.
+func (r *Registry) SetSparseThreshold(t float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.threshold = t
 }
 
 // Cache returns the shared decode cache (for stats reporting).
@@ -38,7 +50,10 @@ func (r *Registry) Cache() *DecodeCache { return r.cache }
 // Add registers a model under name. skeleton provides the topology and
 // conv-prefix weights; inputShape is the per-example input shape.
 func (r *Registry) Add(name string, m *core.Model, skeleton *nn.Network, inputShape []int) (*Engine, error) {
-	e, err := NewEngine(name, m, skeleton, inputShape, r.cache, r.opt)
+	r.mu.RLock()
+	threshold := r.threshold
+	r.mu.RUnlock()
+	e, err := NewEngine(name, m, skeleton, inputShape, r.cache, r.opt, threshold)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestEngineCachesSparseLayers checks the residency decision end to end:
+// with the default threshold, the heavily pruned ip1 (~20% density) must
+// sit in the cache as CSR while ip2 (~40%) stays dense, and the stats
+// must report the split.
+func TestEngineCachesSparseLayers(t *testing.T) {
+	net, m := servedModel(t, 31)
+	reg := NewRegistry(0, BatchOptions{})
+	defer reg.Close()
+	e, err := reg.Add("mlp", m, net, []int{1, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := testRows(4, 32)
+	got, err := e.Predict(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := decodedReference(t, net, m, rows)
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("row %d logit %d: %v, want %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+
+	cs := reg.Cache().Stats()
+	if cs.SparseBytes == 0 || cs.DenseBytes == 0 {
+		t.Fatalf("expected mixed residency, got sparse=%d dense=%d", cs.SparseBytes, cs.DenseBytes)
+	}
+	if cs.SparseBytes+cs.DenseBytes != cs.BytesInUse {
+		t.Fatalf("format split %d+%d != bytes in use %d", cs.SparseBytes, cs.DenseBytes, cs.BytesInUse)
+	}
+
+	byName := map[string]LayerMeta{}
+	for _, lm := range e.LayerMeta() {
+		byName[lm.Name] = lm
+	}
+	ip1, ip2 := byName["ip1"], byName["ip2"]
+	if ip1.Format != "csr" {
+		t.Fatalf("ip1 format %q (density %v), want csr", ip1.Format, ip1.Density)
+	}
+	if ip2.Format != "dense" {
+		t.Fatalf("ip2 format %q (density %v), want dense", ip2.Format, ip2.Density)
+	}
+	if ip1.Density <= 0 || ip1.Density >= DefaultSparseThreshold {
+		t.Fatalf("ip1 density %v outside (0, threshold)", ip1.Density)
+	}
+	if ip1.ResidentBytes >= ip1.DenseBytes {
+		t.Fatalf("sparse residency costs %d, dense would cost %d", ip1.ResidentBytes, ip1.DenseBytes)
+	}
+	if ip2.ResidentBytes != ip2.DenseBytes {
+		t.Fatalf("dense layer resident %d != dense %d", ip2.ResidentBytes, ip2.DenseBytes)
+	}
+}
+
+// TestEngineSparseDisabled pins the opt-out: threshold <= 0 keeps every
+// layer dense regardless of density.
+func TestEngineSparseDisabled(t *testing.T) {
+	net, m := servedModel(t, 33)
+	reg := NewRegistry(0, BatchOptions{})
+	defer reg.Close()
+	reg.SetSparseThreshold(0)
+	e, err := reg.Add("mlp", m, net, []int{1, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Predict(testRows(2, 34)); err != nil {
+		t.Fatal(err)
+	}
+	cs := reg.Cache().Stats()
+	if cs.SparseBytes != 0 || cs.DenseBytes == 0 {
+		t.Fatalf("threshold 0 still produced sparse residents: %+v", cs)
+	}
+	for _, lm := range e.LayerMeta() {
+		if lm.Format == "csr" {
+			t.Fatalf("layer %s cached as csr with sparsity disabled", lm.Name)
+		}
+	}
+}
+
+// TestServerStatsReportSparseFields walks the HTTP surface: /v1/stats
+// must carry the cache's sparse/dense byte split and per-layer density,
+// format, and resident bytes.
+func TestServerStatsReportSparseFields(t *testing.T) {
+	net, m := servedModel(t, 35)
+	reg := NewRegistry(0, BatchOptions{})
+	defer reg.Close()
+	if _, err := reg.Add("mlp", m, net, []int{1, 8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := reg.Get("mlp")
+	if _, err := e.Predict(testRows(2, 36)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(reg))
+	defer srv.Close()
+
+	var stats struct {
+		Cache struct {
+			Sparse int64 `json:"sparse_bytes_in_use"`
+			Dense  int64 `json:"dense_bytes_in_use"`
+			InUse  int64 `json:"bytes_in_use"`
+		} `json:"cache"`
+		Models map[string]struct {
+			SparseThreshold float64 `json:"sparse_threshold"`
+			Layers          []struct {
+				Name          string  `json:"name"`
+				Density       float64 `json:"density"`
+				Format        string  `json:"format"`
+				ResidentBytes int64   `json:"resident_bytes"`
+				DenseBytes    int64   `json:"dense_bytes"`
+			} `json:"layers"`
+		} `json:"models"`
+	}
+	resp, err := srv.Client().Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Sparse == 0 {
+		t.Fatal("stats report no sparse resident bytes")
+	}
+	if stats.Cache.Sparse+stats.Cache.Dense != stats.Cache.InUse {
+		t.Fatalf("stats split %d+%d != %d", stats.Cache.Sparse, stats.Cache.Dense, stats.Cache.InUse)
+	}
+	mlp, ok := stats.Models["mlp"]
+	if !ok {
+		t.Fatal("model missing from stats")
+	}
+	if mlp.SparseThreshold != DefaultSparseThreshold {
+		t.Fatalf("threshold %v, want %v", mlp.SparseThreshold, DefaultSparseThreshold)
+	}
+	for _, l := range mlp.Layers {
+		if l.Density <= 0 || l.Density > 1 {
+			t.Fatalf("layer %s density %v out of range", l.Name, l.Density)
+		}
+		if l.Format != "csr" && l.Format != "dense" {
+			t.Fatalf("layer %s has format %q after serving", l.Name, l.Format)
+		}
+		if l.ResidentBytes <= 0 || l.DenseBytes <= 0 {
+			t.Fatalf("layer %s resident/dense bytes %d/%d", l.Name, l.ResidentBytes, l.DenseBytes)
+		}
+	}
+}
+
+// TestEngineSparseDenseFlipRace hammers one cache from two engines that
+// serve the same model under the same keys but opposite residency
+// policies (always-dense vs always-sparse), with a budget small enough to
+// evict on every pass. Each predict therefore keeps flipping the cached
+// layers between CSR and dense mid-traffic — the formats race, the
+// numbers must not. Run under -race this also proves the cache's format
+// accounting and the kernels' shared-read safety.
+func TestEngineSparseDenseFlipRace(t *testing.T) {
+	net, m := servedModel(t, 37)
+	cache := NewDecodeCache(m.MaxDenseBytes()) // one dense layer's worth
+	dense, err := NewEngine("flip", m, net, []int{1, 8, 8}, cache, BatchOptions{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dense.Close()
+	sparse, err := NewEngine("flip", m, net, []int{1, 8, 8}, cache, BatchOptions{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sparse.Close()
+
+	rows := testRows(3, 38)
+	want := decodedReference(t, net, m, rows)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		e := dense
+		if g%2 == 1 {
+			e = sparse
+		}
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			for r := 0; r < 25; r++ {
+				got, err := e.Predict(rows)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := range want {
+					for j := range want[i] {
+						if got[i][j] != want[i][j] {
+							t.Errorf("flip race diverged at row %d logit %d: %v vs %v", i, j, got[i][j], want[i][j])
+							return
+						}
+					}
+				}
+			}
+		}(e)
+	}
+	wg.Wait()
+	cs := cache.Stats()
+	if cs.SparseBytes+cs.DenseBytes != cs.BytesInUse {
+		t.Fatalf("format accounting drifted: %d+%d != %d", cs.SparseBytes, cs.DenseBytes, cs.BytesInUse)
+	}
+}

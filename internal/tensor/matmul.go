@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -49,6 +50,25 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 		}
 	})
 	return c
+}
+
+// MatMulInto accumulates C += A·B into a caller-owned flat (m×n) buffer.
+// Exported for kernels that reuse output storage (the im2col conv forward
+// writes straight into its output tensor instead of allocating a product
+// matrix per image).
+func MatMulInto(c []float32, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulInto requires rank-2 tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMulInto inner dimension mismatch")
+	}
+	if len(c) != m*n {
+		panic(fmt.Sprintf("tensor: MatMulInto output has %d elements, want %d", len(c), m*n))
+	}
+	matMulInto(c, a.Data, b.Data, m, k, n)
 }
 
 // MatMulTransA computes C = Aᵀ·B where A is (k×m) and B is (k×n), returning a

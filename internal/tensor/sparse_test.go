@@ -1,0 +1,202 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// sparseRandom fills a rows×cols matrix keeping roughly density of the
+// entries nonzero.
+func sparseRandom(rng *RNG, rows, cols int, density float64) []float32 {
+	w := make([]float32, rows*cols)
+	rng.FillNormal(w, 0, 1)
+	gate := make([]float32, len(w))
+	rng.FillUniform(gate, 0, 1)
+	for i := range w {
+		if float64(gate[i]) >= density {
+			w[i] = 0
+		}
+	}
+	return w
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	rng := NewRNG(42)
+	cases := []struct {
+		rows, cols int
+		density    float64
+	}{
+		{1, 1, 1},
+		{4, 7, 0},       // all-zero matrix
+		{8, 300, 0.005}, // gaps > 255 force padding entries
+		{16, 64, 0.1},
+		{3, 1000, 0.002},
+		{32, 32, 1},
+		{5, 9, 0.5},
+	}
+	for _, tc := range cases {
+		dense := sparseRandom(rng, tc.rows, tc.cols, tc.density)
+		c := CSRFromDense(dense, tc.rows, tc.cols)
+		back := c.Dense()
+		if len(back) != len(dense) {
+			t.Fatalf("%dx%d: round trip length %d, want %d", tc.rows, tc.cols, len(back), len(dense))
+		}
+		for i := range dense {
+			if back[i] != dense[i] {
+				t.Fatalf("%dx%d d=%v: element %d: %v, want %v", tc.rows, tc.cols, tc.density, i, back[i], dense[i])
+			}
+		}
+		nnz := 0
+		for _, v := range dense {
+			if v != 0 {
+				nnz++
+			}
+		}
+		if c.NNZ() != nnz {
+			t.Fatalf("%dx%d: NNZ %d, want %d", tc.rows, tc.cols, c.NNZ(), nnz)
+		}
+		wantDensity := float64(nnz) / float64(tc.rows*tc.cols)
+		if math.Abs(c.Density()-wantDensity) > 1e-12 {
+			t.Fatalf("%dx%d: density %v, want %v", tc.rows, tc.cols, c.Density(), wantDensity)
+		}
+		// The storage claim: 5 bytes per stored entry (value + delta) plus
+		// the row pointers — the paper's ~40 bits per nonzero.
+		want := 5*int64(len(c.Val)) + 4*int64(len(c.RowPtr))
+		if c.Bytes() != want {
+			t.Fatalf("%dx%d: Bytes %d, want %d", tc.rows, tc.cols, c.Bytes(), want)
+		}
+	}
+}
+
+func TestCSRRowPtrCoversAllZeroRows(t *testing.T) {
+	// Rows 0 and 2 empty, row 1 dense.
+	dense := []float32{
+		0, 0, 0,
+		1, -2, 3,
+		0, 0, 0,
+	}
+	c := CSRFromDense(dense, 3, 3)
+	if c.RowPtr[0] != 0 || c.RowPtr[1] != 0 || c.RowPtr[2] != 3 || c.RowPtr[3] != 3 {
+		t.Fatalf("row pointers %v", c.RowPtr)
+	}
+	for i, v := range c.Dense() {
+		if v != dense[i] {
+			t.Fatalf("element %d: %v, want %v", i, v, dense[i])
+		}
+	}
+}
+
+// TestMatMulTransBCSRBitIdentical is the fast path's core guarantee: the
+// CSR fc kernel must produce bit-for-bit the dense kernel's output at
+// every density, including all-zero rows and an all-zero matrix.
+func TestMatMulTransBCSRBitIdentical(t *testing.T) {
+	rng := NewRNG(7)
+	for _, density := range []float64{0, 0.01, 0.05, 0.1, 0.25, 0.5, 0.9, 1} {
+		for trial := 0; trial < 3; trial++ {
+			m, k, n := 4+trial, 37+13*trial, 19+trial
+			a := New(m, k)
+			rng.FillNormal(a.Data, 0, 1)
+			wDense := sparseRandom(rng, n, k, density)
+			// Zero a whole weight row to cover the empty-row path.
+			for j := 0; j < k; j++ {
+				wDense[j] = 0
+			}
+			w := CSRFromDense(wDense, n, k)
+			want := MatMulTransB(a, FromSlice(wDense, n, k))
+			got := MatMulTransBCSR(a, w)
+			if !got.SameShape(want) {
+				t.Fatalf("d=%v: shape %v, want %v", density, got.Shape, want.Shape)
+			}
+			for i := range want.Data {
+				if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+					t.Fatalf("d=%v trial %d: element %d: %v (bits %x), want %v (bits %x)",
+						density, trial, i, got.Data[i], math.Float32bits(got.Data[i]),
+						want.Data[i], math.Float32bits(want.Data[i]))
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulCSRBitIdentical(t *testing.T) {
+	rng := NewRNG(8)
+	for _, density := range []float64{0, 0.05, 0.1, 0.3, 1} {
+		m, k, n := 11, 29, 17
+		wDense := sparseRandom(rng, m, k, density)
+		b := New(k, n)
+		rng.FillNormal(b.Data, 0, 1)
+		w := CSRFromDense(wDense, m, k)
+		want := MatMul(FromSlice(wDense, m, k), b)
+		got := MatMulCSR(w, b)
+		for i := range want.Data {
+			if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+				t.Fatalf("d=%v: element %d: %v, want %v", density, i, got.Data[i], want.Data[i])
+			}
+		}
+		// The accumulate-into variant must agree too, starting from a
+		// caller-zeroed buffer.
+		into := make([]float32, m*n)
+		CSRMatMulInto(into, w, b.Data, n)
+		for i := range want.Data {
+			if math.Float32bits(into[i]) != math.Float32bits(want.Data[i]) {
+				t.Fatalf("d=%v: into element %d: %v, want %v", density, i, into[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestCSRFromDenseValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape/length mismatch")
+		}
+	}()
+	CSRFromDense(make([]float32, 5), 2, 3)
+}
+
+func TestCSRLongGapPadding(t *testing.T) {
+	// One nonzero at the end of a 1000-wide row: needs ceil((1000-0)/255)
+	// padding hops. Exercises delta-255 chains in every kernel.
+	cols := 1000
+	dense := make([]float32, cols)
+	dense[cols-1] = 2.5
+	c := CSRFromDense(dense, 1, cols)
+	if got := c.Dense(); got[cols-1] != 2.5 {
+		t.Fatalf("long-gap round trip lost the entry: %v", got[cols-1])
+	}
+	if c.NNZ() != 1 {
+		t.Fatalf("NNZ %d, want 1", c.NNZ())
+	}
+	a := New(2, cols)
+	NewRNG(3).FillNormal(a.Data, 0, 1)
+	want := MatMulTransB(a, FromSlice(dense, 1, cols))
+	got := MatMulTransBCSR(a, c)
+	for i := range want.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("element %d: %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func BenchmarkCSRKernel(b *testing.B) {
+	rng := NewRNG(17)
+	const out, in, batch = 256, 2048, 16
+	x := New(batch, in)
+	rng.FillNormal(x.Data, 0, 1)
+	for _, density := range []float64{0.05, 0.1, 0.25, 0.5, 1} {
+		wDense := sparseRandom(rng, out, in, density)
+		w := CSRFromDense(wDense, out, in)
+		wT := FromSlice(wDense, out, in)
+		b.Run(fmt.Sprintf("dense/d=%v", density), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MatMulTransB(x, wT)
+			}
+		})
+		b.Run(fmt.Sprintf("csr/d=%v", density), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MatMulTransBCSR(x, w)
+			}
+		})
+	}
+}
