@@ -525,3 +525,24 @@ func BenchmarkServing(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkGateway drives an in-process gateway + 1/2/4-replica cluster
+// through real HTTP with the multi-model closed-loop load of
+// BENCH_gateway.json. Replica budgets hold ~3 of the 8 models, so the
+// throughput (and the hit-% metric explaining it) measures what
+// rendezvous affinity buys: the fleet's aggregate decode cache holds a
+// working set no single replica can.
+func BenchmarkGateway(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := experiments.BenchGatewayPoint(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(p.RowsPerSec, "rows/s")
+				b.ReportMetric(100*p.HitRate, "hit-%")
+			}
+		})
+	}
+}

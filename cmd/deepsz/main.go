@@ -71,12 +71,14 @@ conv included (version-3 .dsz streams carry the layer kinds and shapes)
 
 To serve an encoded model over HTTP (the model stays compressed at rest;
 fc layers are decoded on demand through a bounded cache), use the deepszd
-daemon:
+daemon; to spread traffic across a fleet of replicas, put the deepszgw
+gateway in front of them:
 
-  deepszd -addr :8080 -model model.dsz -mem-budget 2m
+  deepszd  -addr :8081 -model model.dsz -mem-budget 2m
+  deepszgw -addr :8080 -backends http://localhost:8081,http://localhost:8082
 
-See README.md ("Serving compressed models") for the full encode → deepszd
-→ curl flow.`)
+See README.md ("Serving compressed models" and "Serving from a replica
+fleet") for the full encode → deepszd → deepszgw → curl flow.`)
 }
 
 // buildNet constructs a network with deterministic initialisation.

@@ -21,15 +21,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math"
-	"net/http"
+	"net"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/serve"
 )
 
@@ -54,29 +53,6 @@ func parseModelSpec(v string) (modelSpec, error) {
 	return s, nil
 }
 
-// parseBytes parses a byte count with an optional k/m/g suffix (base 1024).
-func parseBytes(v string) (int64, error) {
-	if v == "" {
-		return 0, nil
-	}
-	mult := int64(1)
-	switch v[len(v)-1] {
-	case 'k', 'K':
-		mult, v = 1<<10, v[:len(v)-1]
-	case 'm', 'M':
-		mult, v = 1<<20, v[:len(v)-1]
-	case 'g', 'G':
-		mult, v = 1<<30, v[:len(v)-1]
-	}
-	n, err := strconv.ParseInt(v, 10, 64)
-	if err != nil || n < 0 || n > math.MaxInt64/mult {
-		// A negative or overflowing budget would read as "unlimited"
-		// downstream — the opposite of what the operator asked for.
-		return 0, fmt.Errorf("bad byte size %q", v)
-	}
-	return n * mult, nil
-}
-
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "deepszd:", err)
@@ -89,6 +65,8 @@ func run() error {
 	addr := fs.String("addr", ":8080", "listen address")
 	budgetStr := fs.String("mem-budget", "0", "decode-cache byte budget with optional k/m/g suffix (0 = unlimited)")
 	maxBatch := fs.Int("max-batch", 32, "rows that trigger an immediate micro-batch flush")
+	maxPending := fs.Int("max-pending", 256, "per-model cap on predicts admitted at once; overflow is shed with 503 (0 = unlimited)")
+	maxBodyStr := fs.String("max-body-bytes", "8m", "predict request body cap with optional k/m/g suffix; overflow is refused with 413 (0 = the 8m default, not unlimited)")
 	sparseThreshold := fs.Float64("sparse-threshold", serve.DefaultSparseThreshold,
 		"cache decoded layers in CSR form below this density (0 disables the sparse fast path)")
 	window := fs.Duration("batch-window", 2*time.Millisecond, "how long the first request waits for batch company")
@@ -106,12 +84,16 @@ func run() error {
 	if len(specs) == 0 {
 		return errors.New("at least one -model is required")
 	}
-	budget, err := parseBytes(*budgetStr)
+	budget, err := cliutil.ParseBytes(*budgetStr)
+	if err != nil {
+		return err
+	}
+	maxBody, err := cliutil.ParseBytes(*maxBodyStr)
 	if err != nil {
 		return err
 	}
 
-	reg := serve.NewRegistry(budget, serve.BatchOptions{MaxBatch: *maxBatch, Window: *window})
+	reg := serve.NewRegistry(budget, serve.BatchOptions{MaxBatch: *maxBatch, Window: *window, MaxPending: *maxPending})
 	defer reg.Close()
 	reg.SetSparseThreshold(*sparseThreshold)
 	for _, s := range specs {
@@ -133,37 +115,16 @@ func run() error {
 		log.Printf("decode cache budget: unlimited")
 	}
 
-	srv := &http.Server{
-		Addr:    *addr,
-		Handler: serve.NewServer(reg),
-		// Slow or idle clients must not pin connection goroutines forever;
-		// the body limit lives in the predict handler.
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       time.Minute,
-		WriteTimeout:      time.Minute,
-		IdleTimeout:       2 * time.Minute,
+	srv := cliutil.NewHTTPServer(serve.NewServerWith(reg, serve.ServerOptions{MaxBodyBytes: maxBody}))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	errCh := make(chan error, 1)
-	go func() {
-		log.Printf("serving on %s", *addr)
-		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			errCh <- err
-		}
-	}()
-
-	select {
-	case err := <-errCh:
+	log.Printf("serving on %s", ln.Addr())
+	if err := cliutil.ServeUntilDone(ctx, srv, ln, *drain); err != nil {
 		return err
-	case <-ctx.Done():
-	}
-	log.Printf("shutting down (draining for up to %v)", *drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
-	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
 	}
 	s := reg.Cache().Stats()
 	log.Printf("final cache stats: %d hits, %d misses, %d coalesced, %d evictions, %d bypasses, %.1f%% hit rate",

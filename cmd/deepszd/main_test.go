@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+func TestParseModelSpec(t *testing.T) {
+	cases := []struct {
+		in                  string
+		name, path, weights string
+		wantErr             bool
+	}{
+		{in: "model.dsz", path: "model.dsz"},
+		{in: "alex=model.dsz", name: "alex", path: "model.dsz"},
+		{in: "alex=model.dsz:w.bin", name: "alex", path: "model.dsz", weights: "w.bin"},
+		{in: "model.dsz:w.bin", path: "model.dsz", weights: "w.bin"},
+		{in: "alex=", wantErr: true},
+	}
+	for _, c := range cases {
+		s, err := parseModelSpec(c.in)
+		if (err != nil) != c.wantErr {
+			t.Fatalf("parseModelSpec(%q) err=%v, wantErr=%v", c.in, err, c.wantErr)
+		}
+		if err == nil && (s.name != c.name || s.path != c.path || s.weights != c.weights) {
+			t.Fatalf("parseModelSpec(%q) = %+v", c.in, s)
+		}
+	}
+}
+
+// TestServeUntilDoneDrainsInFlight locks the shutdown contract both
+// daemons get from cliutil.ServeUntilDone: a predict accepted before shutdown completes during the
+// drain, while new connections are refused the moment it begins.
+func TestServeUntilDoneDrainsInFlight(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	netw := nn.NewNetwork("test-mlp",
+		nn.NewFlatten("flat"),
+		nn.NewDense("ip1", 64, 32, rng),
+		nn.NewReLU("relu1"),
+		nn.NewDense("ip2", 32, 10, rng),
+	)
+	prune.Network(netw, map[string]float64{"ip1": 0.2, "ip2": 0.4}, 0.1)
+	plan := &core.Plan{}
+	for _, fc := range netw.DenseLayers() {
+		plan.Choices = append(plan.Choices, core.Choice{Layer: fc.Name(), EB: 1e-3})
+	}
+	m, err := core.Generate(netw, plan, core.Config{ExpectedAccuracyLoss: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wide batch window parks the predict inside the daemon long enough
+	// for shutdown to start underneath it.
+	reg := serve.NewRegistry(0, serve.BatchOptions{Window: 400 * time.Millisecond, MaxBatch: 64})
+	defer reg.Close()
+	if _, err := reg.Add("mlp", m, netw, []int{1, 8, 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := cliutil.NewHTTPServer(serve.NewServer(reg))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- cliutil.ServeUntilDone(ctx, srv, ln, 5*time.Second) }()
+
+	// Wait until the daemon answers.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Put one predict in flight (it sits in the 400ms batch window).
+	row := make([]float32, 64)
+	tensor.NewRNG(6).FillNormal(row, 0, 1)
+	body, _ := json.Marshal(struct {
+		Inputs [][]float32 `json:"inputs"`
+	}{[][]float32{row}})
+	type result struct {
+		code    int
+		outputs int
+		err     error
+	}
+	inFlight := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/models/mlp/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			inFlight <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var pr struct {
+			Outputs [][]float32 `json:"outputs"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&pr)
+		inFlight <- result{code: resp.StatusCode, outputs: len(pr.Outputs), err: err}
+	}()
+
+	// Let the predict reach the batcher, then begin shutdown under it.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+
+	// New connections are refused once the listener closes. The poll
+	// covers the handoff between cancel() and Shutdown's listener close.
+	refusedBy := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			break // refused: the drain no longer accepts new connections
+		}
+		resp.Body.Close()
+		if time.Now().After(refusedBy) {
+			t.Fatal("new connections still accepted during drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The in-flight predict must have completed normally.
+	r := <-inFlight
+	if r.err != nil {
+		t.Fatalf("in-flight predict killed by shutdown: %v", r.err)
+	}
+	if r.code != http.StatusOK || r.outputs != 1 {
+		t.Fatalf("in-flight predict: status %d, %d outputs; want 200 with 1 output", r.code, r.outputs)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveUntilDone: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveUntilDone never returned after drain")
+	}
+}

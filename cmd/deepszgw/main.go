@@ -1,0 +1,110 @@
+// Command deepszgw is the DeepSZ serving gateway: the front door of a
+// fleet of deepszd replicas. It health-checks the backends, routes each
+// model's predict traffic to its rendezvous-affine replicas (keeping
+// that model's layers hot in a few decode caches instead of thrashing
+// all of them), hedges slow or failed backends onto the next-ranked
+// replica, and sheds overload with 503 + Retry-After instead of
+// queueing until everything times out.
+//
+// Typical session, with two deepszd replicas already running:
+//
+//	deepszd -addr :8081 -model model.dsz -mem-budget 2m
+//	deepszd -addr :8082 -model model.dsz -mem-budget 2m
+//	deepszgw -addr :8080 -backends http://localhost:8081,http://localhost:8082
+//	curl localhost:8080/v1/models          # same API as one deepszd
+//	curl -d '{"inputs":[[...]]}' localhost:8080/v1/models/lenet-300-100/predict
+//	curl localhost:8080/v1/stats           # per-replica health/latency/shed
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/gateway"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "deepszgw:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("deepszgw", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	backendsStr := fs.String("backends", "", "comma-separated deepszd base URLs (e.g. http://10.0.0.1:8081,http://10.0.0.2:8081)")
+	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "/healthz probe period per backend")
+	ejectAfter := fs.Int("eject-after", 3, "consecutive probe failures that eject a backend from routing")
+	readmitAfter := fs.Int("readmit-after", 2, "consecutive probe successes that re-admit an ejected backend")
+	hedgeAfter := fs.Duration("hedge-after", 100*time.Millisecond, "re-issue a predict to the next-ranked replica after this wait (0 disables hedging)")
+	maxPending := fs.Int("max-pending", 256, "gateway-wide cap on predicts in flight; overflow is shed with 503 (0 = unlimited)")
+	maxBodyStr := fs.String("max-body-bytes", "8m", "predict request body cap with optional k/m/g suffix; overflow is refused with 413 (0 = the 8m default, not unlimited)")
+	affinity := fs.Int("affinity-width", 2, "replicas that serve one model's steady-state traffic")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	fs.Parse(os.Args[1:])
+
+	var backends []string
+	for _, b := range strings.Split(*backendsStr, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			backends = append(backends, b)
+		}
+	}
+	if len(backends) == 0 {
+		return errors.New("at least one backend is required (-backends)")
+	}
+	maxBody, err := cliutil.ParseBytes(*maxBodyStr)
+	if err != nil {
+		return err
+	}
+	// Flag semantics match deepszd: an explicit 0 means "off", not "use
+	// the library default" (gateway.Options reserves 0 for its defaults,
+	// so 0 is translated to the library's explicit off value, -1).
+	if *maxPending == 0 {
+		*maxPending = -1
+	}
+	if *hedgeAfter == 0 {
+		*hedgeAfter = -1
+	}
+
+	g, err := gateway.New(backends, gateway.Options{
+		ProbeInterval: *probeInterval,
+		EjectAfter:    *ejectAfter,
+		ReadmitAfter:  *readmitAfter,
+		HedgeAfter:    *hedgeAfter,
+		MaxPending:    *maxPending,
+		MaxBodyBytes:  maxBody,
+		AffinityWidth: *affinity,
+	})
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	log.Printf("fronting %d backends: %s", len(backends), strings.Join(backends, ", "))
+
+	srv := cliutil.NewHTTPServer(g)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("gateway on %s", ln.Addr())
+	if err := cliutil.ServeUntilDone(ctx, srv, ln, *drain); err != nil {
+		return err
+	}
+	s := g.Stats()
+	log.Printf("final gateway stats: %d admitted, %d shed, %d hedges, %d failovers",
+		s.Admitted, s.Shed, s.Hedges, s.Failovers)
+	return nil
+}

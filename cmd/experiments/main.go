@@ -8,11 +8,13 @@
 //	experiments -exp table2
 //	experiments -exp all
 //	experiments -bench-json BENCH_serve.json
+//	experiments -bench-gateway-json BENCH_gateway.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/experiments"
@@ -22,6 +24,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (table1, fig2, fig4, fig5, fig6, table2, table3, table4, table5, fig7, all)")
 	list := flag.Bool("list", false, "list available experiments")
 	benchJSON := flag.String("bench-json", "", "measure the sparse serving fast path and write the JSON report to this `file` (\"-\" = stdout)")
+	benchGatewayJSON := flag.String("bench-gateway-json", "", "measure gateway throughput scaling over 1/2/4 in-process replicas and write the JSON report to this `file` (\"-\" = stdout)")
 	flag.Parse()
 
 	if *list {
@@ -30,11 +33,22 @@ func main() {
 		}
 		return
 	}
+	ranBench := false
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON); err != nil {
+		ranBench = true
+		if err := writeBenchJSON(*benchJSON, experiments.WriteBenchServe); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+	}
+	if *benchGatewayJSON != "" {
+		ranBench = true
+		if err := writeBenchJSON(*benchGatewayJSON, experiments.WriteBenchGateway); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if ranBench {
 		return
 	}
 	if err := experiments.Run(*exp, os.Stdout); err != nil {
@@ -43,15 +57,15 @@ func main() {
 	}
 }
 
-func writeBenchJSON(path string) error {
+func writeBenchJSON(path string, write func(io.Writer) error) error {
 	if path == "-" {
-		return experiments.WriteBenchServe(os.Stdout)
+		return write(os.Stdout)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := experiments.WriteBenchServe(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}

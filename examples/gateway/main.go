@@ -1,0 +1,221 @@
+// Serving from a replica fleet: the example boots three deepszd-style
+// replicas in-process, each carrying the same four compressed models,
+// puts the deepszgw gateway in front of them, and fires concurrent
+// clients. The per-replica request counts show rendezvous affinity at
+// work — every model's traffic lands on at most two of the three
+// replicas, so its layers stay hot in few decode caches. Then one
+// replica is killed mid-load: the gateway fails over and ejects it, and
+// not a single request is lost.
+//
+//	go run ./examples/gateway
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+const (
+	nModels    = 4
+	nReplicas  = 3
+	clients    = 6
+	reqPerConn = 25
+)
+
+// replica is one in-process deepszd: registry, HTTP server, and a
+// per-model counter so the example can show where traffic landed.
+type replica struct {
+	srv    *http.Server
+	ln     net.Listener
+	counts [nModels]atomic.Int64
+}
+
+func buildModel(seed uint64) (*nn.Network, *core.Model, error) {
+	rng := tensor.NewRNG(seed)
+	net := nn.NewNetwork("demo-mlp",
+		nn.NewFlatten("flat"),
+		nn.NewDense("ip1", 64, 32, rng),
+		nn.NewReLU("relu1"),
+		nn.NewDense("ip2", 32, 10, rng),
+	)
+	prune.Network(net, map[string]float64{"ip1": 0.2, "ip2": 0.4}, 0.1)
+	plan := &core.Plan{}
+	for _, fc := range net.DenseLayers() {
+		plan.Choices = append(plan.Choices, core.Choice{Layer: fc.Name(), EB: 1e-3})
+	}
+	m, err := core.Generate(net, plan, core.Config{ExpectedAccuracyLoss: 0.01})
+	return net, m, err
+}
+
+func main() {
+	nets := make([]*nn.Network, nModels)
+	mods := make([]*core.Model, nModels)
+	for i := range nets {
+		n, m, err := buildModel(uint64(10 + i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		nets[i], mods[i] = n, m
+	}
+
+	reps := make([]*replica, nReplicas)
+	backends := make([]string, nReplicas)
+	for i := range reps {
+		rep := &replica{}
+		reg := serve.NewRegistry(0, serve.BatchOptions{})
+		defer reg.Close()
+		for j := range mods {
+			if _, err := reg.Add(fmt.Sprintf("m%d", j), mods[j], nets[j], []int{1, 8, 8}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		inner := serve.NewServer(reg)
+		rep.srv = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost {
+				var m int
+				if _, err := fmt.Sscanf(r.URL.Path, "/v1/models/m%d/predict", &m); err == nil && m < nModels {
+					rep.counts[m].Add(1)
+				}
+			}
+			inner.ServeHTTP(w, r)
+		})}
+		rep.ln = ln
+		go rep.srv.Serve(ln)
+		defer rep.srv.Close()
+		reps[i] = rep
+		backends[i] = "http://" + ln.Addr().String()
+	}
+
+	g, err := gateway.New(backends, gateway.Options{
+		ProbeInterval: 50 * time.Millisecond,
+		EjectAfter:    3,
+		HedgeAfter:    50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gsrv := &http.Server{Handler: g}
+	go gsrv.Serve(gln)
+	defer gsrv.Close()
+	base := "http://" + gln.Addr().String()
+	fmt.Printf("gateway %s fronting %d replicas × %d models\n\n", base, nReplicas, nModels)
+
+	load := func() (okCount, failCount int) {
+		var ok, fail atomic.Int64
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := tensor.NewRNG(uint64(1000 + c))
+				row := make([]float32, 64)
+				for r := 0; r < reqPerConn; r++ {
+					rng.FillNormal(row, 0, 1)
+					body, _ := json.Marshal(map[string]any{"inputs": [][]float32{row}})
+					resp, err := http.Post(fmt.Sprintf("%s/v1/models/m%d/predict", base, (c+r)%nModels),
+						"application/json", bytes.NewReader(body))
+					if err != nil {
+						fail.Add(1)
+						continue
+					}
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						ok.Add(1)
+					} else {
+						fail.Add(1)
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		return int(ok.Load()), int(fail.Load())
+	}
+
+	totalFail := 0
+	ok, fail := load()
+	totalFail += fail
+	fmt.Printf("phase 1 — all replicas healthy: %d ok, %d failed\n", ok, fail)
+	fmt.Println("per-replica predict counts (rendezvous affinity keeps each model on ≤2 replicas):")
+	printCounts(reps)
+
+	// Kill the busiest replica mid-fleet and keep the traffic coming.
+	victim := 0
+	for i, rep := range reps {
+		if total(rep) > total(reps[victim]) {
+			victim = i
+		}
+	}
+	fmt.Printf("\nkilling replica %d (busiest) …\n", victim)
+	reps[victim].srv.Close()
+	ok, fail = load()
+	totalFail += fail
+	fmt.Printf("phase 2 — during failover + ejection: %d ok, %d failed\n", ok, fail)
+
+	// Give the probes time to eject the corpse, then load once more: now
+	// the routing avoids it outright instead of failing over around it.
+	deadline := time.Now().Add(3 * time.Second)
+	for g.HealthyBackends() == nReplicas && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	ok, fail = load()
+	totalFail += fail
+	fmt.Printf("phase 3 — after ejection: %d ok, %d failed\n", ok, fail)
+
+	s := g.Stats()
+	fmt.Printf("\ngateway stats: %d admitted, %d shed, %d hedges, %d failovers, %d/%d backends healthy\n",
+		s.Admitted, s.Shed, s.Hedges, s.Failovers, s.HealthyBackends, len(s.Backends))
+	for _, b := range s.Backends {
+		state := "healthy"
+		if !b.Healthy {
+			state = "EJECTED"
+		}
+		fmt.Printf("  %-28s %-8s %4d requests, %3d errors, %2d hedged, mean %.2fms\n",
+			b.Backend, state, b.Requests, b.Errors, b.Hedged, b.MeanLatencyMs)
+	}
+	if totalFail > 0 {
+		log.Fatalf("%d requests failed — the fleet should have absorbed the kill", totalFail)
+	}
+	fmt.Println("\nzero failed requests across the kill: the fleet absorbed it")
+}
+
+func total(r *replica) int64 {
+	var t int64
+	for i := range r.counts {
+		t += r.counts[i].Load()
+	}
+	return t
+}
+
+func printCounts(reps []*replica) {
+	for i, rep := range reps {
+		var parts []string
+		for m := range rep.counts {
+			parts = append(parts, fmt.Sprintf("m%d:%4d", m, rep.counts[m].Load()))
+		}
+		fmt.Printf("  replica %d (%s): %s\n", i, rep.ln.Addr(), strings.Join(parts, "  "))
+	}
+}

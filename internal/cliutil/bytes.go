@@ -1,0 +1,34 @@
+// Package cliutil holds the small pieces the command-line daemons
+// share — flag syntax and HTTP-server scaffolding — so deepszd and
+// deepszgw cannot drift apart on the behaviour they both advertise.
+package cliutil
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// ParseBytes parses a byte count with an optional k/m/g suffix
+// (base 1024). The empty string is 0.
+func ParseBytes(v string) (int64, error) {
+	if v == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch v[len(v)-1] {
+	case 'k', 'K':
+		mult, v = 1<<10, v[:len(v)-1]
+	case 'm', 'M':
+		mult, v = 1<<20, v[:len(v)-1]
+	case 'g', 'G':
+		mult, v = 1<<30, v[:len(v)-1]
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 || n > math.MaxInt64/mult {
+		// A negative or overflowing size would read as "unlimited"
+		// downstream — the opposite of what the operator asked for.
+		return 0, fmt.Errorf("bad byte size %q", v)
+	}
+	return n * mult, nil
+}

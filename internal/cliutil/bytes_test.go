@@ -1,0 +1,26 @@
+package cliutil
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    int64
+		wantErr bool
+	}{
+		{in: "", want: 0},
+		{in: "0", want: 0},
+		{in: "8m", want: 8 << 20},
+		{in: "2K", want: 2 << 10},
+		{in: "1g", want: 1 << 30},
+		{in: "-1", wantErr: true},
+		{in: "9999999999g", wantErr: true},
+		{in: "x", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if (err != nil) != c.wantErr || got != c.want && !c.wantErr {
+			t.Fatalf("ParseBytes(%q) = %d, %v; want %d, err=%v", c.in, got, err, c.want, c.wantErr)
+		}
+	}
+}

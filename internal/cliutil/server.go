@@ -1,0 +1,50 @@
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+)
+
+// NewHTTPServer wraps h with the daemons' shared connection hygiene:
+// slow or idle clients must not pin connection goroutines forever; the
+// request-body limit lives in each daemon's predict handler.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// ServeUntilDone serves srv on ln until ctx is cancelled (or the server
+// fails), then drains: the listener closes immediately — new
+// connections are refused — while requests already accepted get up to
+// drain to complete. Shared by deepszd and deepszgw so both daemons
+// have the same (tested) shutdown contract.
+func ServeUntilDone(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (draining for up to %v)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}

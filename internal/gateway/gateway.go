@@ -1,0 +1,448 @@
+// Package gateway is the replicated serving tier above internal/serve:
+// a front door that spreads /v1/models/{name}/predict traffic over a
+// fleet of deepszd backends. One deepszd process caps out at one
+// machine's cores and one decode-cache budget no matter how fast the
+// kernels get; the fleet economics of compressed models (Han et al.,
+// ICLR'16 — small models mean many replicas per machine) make the
+// routing tier the missing piece between "a daemon" and "a service".
+//
+// The gateway's decisions, in the order a request meets them:
+//
+//   - Bounded admission: at most MaxPending predicts in flight; the
+//     overflow is shed with 503 + Retry-After instead of queueing until
+//     every client times out.
+//   - Rendezvous-hash model affinity: each model name ranks the
+//     replicas deterministically, and traffic goes to the top
+//     AffinityWidth healthy ones — so a model's layers stay hot in a
+//     few decode caches instead of thrashing every cache in the fleet.
+//   - Least-pending selection inside the affinity set, so a slow or
+//     busy replica sheds load to its affinity peer before anything
+//     times out.
+//   - Hedged retries: predicts are idempotent, so a backend that is
+//     slow (HedgeAfter) or fails (connection error, 5xx) gets its
+//     request re-issued to the next-ranked replica; first good answer
+//     wins and the losers are cancelled.
+//   - Active health checking: /healthz probes every ProbeInterval;
+//     EjectAfter consecutive failures ejects a replica from routing,
+//     ReadmitAfter consecutive successes re-admits it.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes the gateway. The zero value of every field means its
+// default; HedgeAfter < 0 disables hedging entirely.
+type Options struct {
+	// ProbeInterval is the /healthz probe period per backend
+	// (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (default 2s).
+	ProbeTimeout time.Duration
+	// EjectAfter is the consecutive probe failures that eject a backend
+	// from routing (default 3).
+	EjectAfter int
+	// ReadmitAfter is the consecutive probe successes that re-admit an
+	// ejected backend (default 2).
+	ReadmitAfter int
+	// HedgeAfter is how long a predict waits on one backend before a
+	// duplicate is issued to the next-ranked replica (default 100ms;
+	// < 0 disables hedging).
+	HedgeAfter time.Duration
+	// MaxPending is the gateway-wide cap on predicts in flight; the
+	// overflow is shed with 503 + Retry-After (default 256, < 0
+	// unlimited).
+	MaxPending int
+	// MaxBodyBytes caps a predict request body, mirroring deepszd's own
+	// -max-body-bytes guard (default 8 MiB).
+	MaxBodyBytes int64
+	// AffinityWidth is how many replicas serve one model's steady-state
+	// traffic (default 2): wide enough to survive one replica dying
+	// without a cold cache, narrow enough that the model's layers stay
+	// hot somewhere.
+	AffinityWidth int
+	// SpillPending quantises the least-pending comparison inside the
+	// affinity set: pending counts in the same bucket of this size are
+	// a tie, broken by rendezvous score (default 2; 1 = strict
+	// least-pending). Without it, a single in-flight request would
+	// bounce a model between its affinity replicas and keep both caches
+	// half-cold; with it, traffic spills to the peer on real imbalance
+	// only.
+	SpillPending int
+	// RetryAfter is the hint attached to shed responses (default 1s).
+	RetryAfter time.Duration
+	// Client issues backend requests (default: http.Client with a 1min
+	// overall timeout, so a backend that accepts connections but never
+	// answers cannot pin gateway goroutines forever; probes use their
+	// own shorter ProbeTimeout context regardless).
+	Client *http.Client
+}
+
+func (o *Options) fill() {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 500 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.EjectAfter <= 0 {
+		o.EjectAfter = 3
+	}
+	if o.ReadmitAfter <= 0 {
+		o.ReadmitAfter = 2
+	}
+	if o.HedgeAfter == 0 {
+		o.HedgeAfter = 100 * time.Millisecond
+	}
+	if o.MaxPending == 0 {
+		o.MaxPending = 256
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.AffinityWidth <= 0 {
+		o.AffinityWidth = 2
+	}
+	if o.SpillPending <= 0 {
+		o.SpillPending = 2
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: time.Minute}
+	}
+}
+
+// replica is one backend and everything the gateway knows about it.
+// All fields past base are written by probe loops and request
+// goroutines concurrently, hence the atomics.
+type replica struct {
+	id   int
+	base string // normalised URL, no trailing slash
+
+	healthy atomic.Bool
+	pending atomic.Int64 // predict attempts in flight on this backend
+
+	requests  atomic.Uint64 // predict attempts issued
+	errors    atomic.Uint64 // attempts that failed (transport error or 5xx)
+	hedged    atomic.Uint64 // attempts issued as hedges
+	wins      atomic.Uint64 // attempts whose answer reached a client
+	ejections atomic.Uint64
+
+	latNs atomic.Int64 // total latency of counted attempts…
+	latN  atomic.Uint64
+
+	probeFails  atomic.Uint64
+	lastProbeNs atomic.Int64 // RTT of the last successful probe
+}
+
+// Gateway routes predict traffic across a replica fleet. Create with
+// New, serve it as an http.Handler, Close to stop the probe loops.
+type Gateway struct {
+	opt      Options
+	replicas []*replica
+	mux      *http.ServeMux
+	start    time.Time
+
+	inFlight  atomic.Int64
+	admitted  atomic.Uint64
+	shed      atomic.Uint64
+	hedges    atomic.Uint64
+	failovers atomic.Uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a gateway over the given backend base URLs (e.g.
+// "http://10.0.0.7:8080") and starts the health-probe loops. Backends
+// start healthy — traffic flows before the first probe lands, and the
+// failover path covers a backend that was dead all along.
+func New(backends []string, opt Options) (*Gateway, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("gateway: at least one backend is required")
+	}
+	opt.fill()
+	g := &Gateway{opt: opt, start: time.Now(), stop: make(chan struct{})}
+	seen := map[string]bool{}
+	for i, b := range backends {
+		u, err := url.Parse(strings.TrimSpace(b))
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("gateway: backend %q is not an http(s) URL", b)
+		}
+		base := strings.TrimRight(u.String(), "/")
+		if seen[base] {
+			return nil, fmt.Errorf("gateway: backend %s listed twice", base)
+		}
+		seen[base] = true
+		r := &replica{id: i, base: base}
+		r.healthy.Store(true)
+		g.replicas = append(g.replicas, r)
+	}
+	g.routes()
+	for _, r := range g.replicas {
+		g.wg.Add(1)
+		go g.probeLoop(r)
+	}
+	return g, nil
+}
+
+// Close stops the probe loops. In-flight requests finish on their own.
+func (g *Gateway) Close() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.wg.Wait()
+}
+
+// probeLoop actively health-checks one replica: EjectAfter consecutive
+// failures flip it unhealthy (outlier ejection), ReadmitAfter
+// consecutive successes flip it back. Streak counters are loop-local —
+// only this goroutine writes the replica's health bit.
+func (g *Gateway) probeLoop(r *replica) {
+	defer g.wg.Done()
+	t := time.NewTicker(g.opt.ProbeInterval)
+	defer t.Stop()
+	fails, oks := 0, 0
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+		}
+		if g.probe(r) {
+			oks++
+			fails = 0
+		} else {
+			fails++
+			oks = 0
+			r.probeFails.Add(1)
+		}
+		if r.healthy.Load() {
+			if fails >= g.opt.EjectAfter {
+				r.healthy.Store(false)
+				r.ejections.Add(1)
+			}
+		} else if oks >= g.opt.ReadmitAfter {
+			r.healthy.Store(true)
+		}
+	}
+}
+
+// probe issues one /healthz round trip.
+func (g *Gateway) probe(r *replica) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), g.opt.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	t0 := time.Now()
+	resp, err := g.opt.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	r.lastProbeNs.Store(time.Since(t0).Nanoseconds())
+	return true
+}
+
+// score is the rendezvous (highest-random-weight) hash of one
+// (model, replica) pair: every gateway instance ranks the fleet for a
+// model identically, with no coordination and no reshuffling when
+// unrelated replicas come or go.
+func score(model, base string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, model)
+	h.Write([]byte{0}) // separator: ("ab","c") must not collide with ("a","bc")
+	io.WriteString(h, base)
+	return h.Sum64()
+}
+
+// rank orders the fleet for one model: the healthy affinity set (top
+// AffinityWidth by rendezvous score) sorted least-pending first with
+// score as the tie-break, then the remaining healthy replicas in score
+// order as failover/hedge targets, then ejected replicas last — a
+// fleet that is entirely ejected still gets tried, rather than failing
+// with no attempt at all.
+func (g *Gateway) rank(model string) []*replica {
+	type cand struct {
+		r       *replica
+		s       uint64
+		pending int64 // snapshot: a comparator reading live atomics mid-sort is inconsistent
+	}
+	cands := make([]cand, 0, len(g.replicas))
+	for _, r := range g.replicas {
+		cands = append(cands, cand{r, score(model, r.base), r.pending.Load()})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].s > cands[j].s })
+	var affinity, spill, ejected []cand
+	for _, c := range cands {
+		switch {
+		case !c.r.healthy.Load():
+			ejected = append(ejected, c)
+		case len(affinity) < g.opt.AffinityWidth:
+			affinity = append(affinity, c)
+		default:
+			spill = append(spill, c)
+		}
+	}
+	// Load-aware selection inside the affinity set only: pending counts
+	// break the routing between a model's designated replicas, they never
+	// pull in a replica outside the set (that is what keeps the model on
+	// few caches). The comparison is quantised by SpillPending so the
+	// model sticks to its rendezvous primary through one-request jitter
+	// and spills to the peer on real imbalance.
+	q := int64(g.opt.SpillPending)
+	sort.SliceStable(affinity, func(i, j int) bool {
+		pi, pj := affinity[i].pending/q, affinity[j].pending/q
+		if pi != pj {
+			return pi < pj
+		}
+		return affinity[i].s > affinity[j].s
+	})
+	out := make([]*replica, 0, len(cands))
+	for _, group := range [][]cand{affinity, spill, ejected} {
+		for _, c := range group {
+			out = append(out, c.r)
+		}
+	}
+	return out
+}
+
+// attempt is one backend's answer to a proxied predict.
+type attempt struct {
+	rep        *replica
+	status     int
+	body       []byte
+	ctype      string
+	retryAfter string
+	err        error
+}
+
+// send issues one predict attempt and reads the full response, so a
+// losing hedge never leaks a connection: its body is consumed and
+// closed here, before anyone decides whether it won.
+func (g *Gateway) send(ctx context.Context, rep *replica, model string, body []byte) *attempt {
+	a := &attempt{rep: rep}
+	rep.requests.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		rep.base+"/v1/models/"+url.PathEscape(model)+"/predict", bytes.NewReader(body))
+	if err != nil {
+		a.err = err
+		return a
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := g.opt.Client.Do(req)
+	if err != nil {
+		a.err = err
+		return a
+	}
+	a.body, a.err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if a.err != nil {
+		return a
+	}
+	a.status = resp.StatusCode
+	a.ctype = resp.Header.Get("Content-Type")
+	a.retryAfter = resp.Header.Get("Retry-After")
+	if a.status < http.StatusInternalServerError {
+		rep.latNs.Add(time.Since(t0).Nanoseconds())
+		rep.latN.Add(1)
+	}
+	return a
+}
+
+// predict runs the hedged fan-out for one admitted request: attempt the
+// top-ranked replica; on failure (transport error or 5xx) fail over to
+// the next immediately, on silence hedge to the next after HedgeAfter.
+// The first answer below 500 wins — client errors (400/404/413) are
+// authoritative, every replica would say the same. Losing attempts are
+// cancelled through the shared context.
+func (g *Gateway) predict(ctx context.Context, model string, body []byte) (*attempt, error) {
+	ranked := g.rank(model)
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan *attempt, len(ranked)) // buffered: losers never block
+	next, outstanding := 0, 0
+	launch := func(hedge bool) {
+		rep := ranked[next]
+		next++
+		outstanding++
+		if hedge {
+			rep.hedged.Add(1)
+			g.hedges.Add(1)
+		}
+		rep.pending.Add(1)
+		go func() {
+			defer rep.pending.Add(-1)
+			results <- g.send(actx, rep, model, body)
+		}()
+	}
+	launch(false)
+	var hedgeC <-chan time.Time // nil (never fires) when hedging is disabled
+	if g.opt.HedgeAfter > 0 {
+		hedge := time.NewTimer(g.opt.HedgeAfter)
+		defer hedge.Stop()
+		hedgeC = hedge.C
+	}
+	var lastFail *attempt
+	for {
+		select {
+		case a := <-results:
+			outstanding--
+			if a.err == nil && a.status < http.StatusInternalServerError {
+				a.rep.wins.Add(1)
+				return a, nil
+			}
+			if ctx.Err() != nil {
+				// The client is gone and this failure is (or is
+				// indistinguishable from) our own cancellation rippling
+				// through the attempts: charging it to the replica and
+				// failing over on a dead context would turn routine client
+				// timeouts into phantom backend errors in /v1/stats.
+				if outstanding == 0 {
+					return nil, ctx.Err()
+				}
+				continue
+			}
+			a.rep.errors.Add(1)
+			lastFail = a
+			if next < len(ranked) {
+				g.failovers.Add(1)
+				launch(false)
+			} else if outstanding == 0 {
+				if lastFail.err != nil {
+					return nil, fmt.Errorf("gateway: all %d backends failed, last: %w", len(ranked), lastFail.err)
+				}
+				// Every replica answered 5xx; relay the last one (e.g. a
+				// fleet-wide 503 with its Retry-After) rather than invent our
+				// own story.
+				return lastFail, nil
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(ranked) {
+				launch(true)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,587 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/prune"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+// buildModel compresses one small pruned MLP (64→32→10, input [1,8,8]);
+// distinct seeds give distinct weights, so routing mix-ups change the
+// answers and the correctness checks catch them.
+func buildModel(t testing.TB, seed uint64) (*nn.Network, *core.Model) {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	net := nn.NewNetwork("test-mlp",
+		nn.NewFlatten("flat"),
+		nn.NewDense("ip1", 64, 32, rng),
+		nn.NewReLU("relu1"),
+		nn.NewDense("ip2", 32, 10, rng),
+	)
+	prune.Network(net, map[string]float64{"ip1": 0.2, "ip2": 0.4}, 0.1)
+	plan := &core.Plan{}
+	for _, fc := range net.DenseLayers() {
+		plan.Choices = append(plan.Choices, core.Choice{Layer: fc.Name(), EB: 1e-3})
+	}
+	m, err := core.Generate(net, plan, core.Config{ExpectedAccuracyLoss: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, m
+}
+
+// reference is the decoded network's forward pass: the ground truth
+// every routed predict must match bit for bit.
+func reference(t testing.TB, net *nn.Network, m *core.Model, rows [][]float32) [][]float32 {
+	t.Helper()
+	ref := net.Clone()
+	if _, err := m.Apply(ref); err != nil {
+		t.Fatal(err)
+	}
+	flat := make([]float32, 0, len(rows)*64)
+	for _, r := range rows {
+		flat = append(flat, r...)
+	}
+	y := ref.Forward(tensor.FromSlice(flat, len(rows), 1, 8, 8), false)
+	classes := y.Len() / len(rows)
+	out := make([][]float32, len(rows))
+	for i := range out {
+		out[i] = y.Data[i*classes : (i+1)*classes]
+	}
+	return out
+}
+
+func testRows(n int, seed uint64) [][]float32 {
+	rng := tensor.NewRNG(seed)
+	rows := make([][]float32, n)
+	for i := range rows {
+		rows[i] = make([]float32, 64)
+		rng.FillNormal(rows[i], 0, 1)
+	}
+	return rows
+}
+
+// predictCounter records which models each backend actually served —
+// the observability the affinity and ejection assertions hang off.
+type predictCounter struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func (c *predictCounter) wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/predict") {
+			model := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/v1/models/"), "/predict")
+			c.mu.Lock()
+			if c.counts == nil {
+				c.counts = map[string]int{}
+			}
+			c.counts[model]++
+			c.mu.Unlock()
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+func (c *predictCounter) get(model string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[model]
+}
+
+func (c *predictCounter) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.counts {
+		n += v
+	}
+	return n
+}
+
+type testReplica struct {
+	ts      *httptest.Server
+	reg     *serve.Registry
+	counter *predictCounter
+}
+
+// newCluster boots n in-process serve.Server replicas, each carrying
+// every model in ms under its name.
+func newCluster(t testing.TB, n int, names []string, nets []*nn.Network, ms []*core.Model) []*testReplica {
+	t.Helper()
+	reps := make([]*testReplica, n)
+	for i := range reps {
+		reg := serve.NewRegistry(0, serve.BatchOptions{})
+		for j, name := range names {
+			if _, err := reg.Add(name, ms[j], nets[j], []int{1, 8, 8}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c := &predictCounter{}
+		ts := httptest.NewServer(c.wrap(serve.NewServer(reg)))
+		t.Cleanup(func() { ts.Close(); reg.Close() })
+		reps[i] = &testReplica{ts: ts, reg: reg, counter: c}
+	}
+	return reps
+}
+
+func backendURLs(reps []*testReplica) []string {
+	urls := make([]string, len(reps))
+	for i, r := range reps {
+		urls[i] = r.ts.URL
+	}
+	return urls
+}
+
+func postPredict(t testing.TB, base, model string, rows [][]float32) (int, *http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(struct {
+		Inputs [][]float32 `json:"inputs"`
+	}{rows})
+	resp, err := http.Post(base+"/v1/models/"+model+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("predict %s: %v", model, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, resp, buf.Bytes()
+}
+
+func parseOutputs(t testing.TB, body []byte) [][]float32 {
+	t.Helper()
+	var pr struct {
+		Outputs [][]float32 `json:"outputs"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatalf("bad predict response %q: %v", body, err)
+	}
+	return pr.Outputs
+}
+
+// TestGatewayClusterIntegration is the acceptance test: an in-process
+// gateway over three serve.Server replicas must (1) answer correctly
+// under concurrent load, (2) keep answering with zero failed requests
+// while a replica is killed, ejected, and routed around, and (3) keep
+// each model's traffic on at most AffinityWidth replicas.
+func TestGatewayClusterIntegration(t *testing.T) {
+	const nModels = 5
+	names := make([]string, nModels)
+	nets := make([]*nn.Network, nModels)
+	ms := make([]*core.Model, nModels)
+	for i := range names {
+		names[i] = fmt.Sprintf("m%d", i)
+		nets[i], ms[i] = buildModel(t, uint64(40+i))
+	}
+	reps := newCluster(t, 3, names, nets, ms)
+
+	// EjectAfter 3 at 25ms probes leaves a ~75ms window where the killed
+	// replica is still routed to — phase 3's load lands inside it and must
+	// survive on failover alone.
+	g, err := New(backendURLs(reps), Options{
+		ProbeInterval: 25 * time.Millisecond,
+		EjectAfter:    3,
+		ReadmitAfter:  2,
+		HedgeAfter:    -1, // hedging off: affinity counts must be pure routing
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g)
+	defer gw.Close()
+
+	rows := testRows(3, 99)
+	want := make([][][]float32, nModels)
+	for i := range names {
+		want[i] = reference(t, nets[i], ms[i], rows)
+	}
+	check := func(model int, body []byte) error {
+		got := parseOutputs(t, body)
+		for i := range want[model] {
+			for j := range want[model][i] {
+				if got[i][j] != want[model][i][j] {
+					return fmt.Errorf("model %s row %d logit %d: %v, want %v",
+						names[model], i, j, got[i][j], want[model][i][j])
+				}
+			}
+		}
+		return nil
+	}
+
+	// Phase 1: concurrent load across every model, all answers correct.
+	var failed atomic.Int64
+	load := func(requestsPerClient int) {
+		var wg sync.WaitGroup
+		for c := 0; c < 6; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < requestsPerClient; i++ {
+					model := (c + i) % nModels
+					code, _, body := postPredict(t, gw.URL, names[model], rows)
+					if code != http.StatusOK {
+						failed.Add(1)
+						t.Errorf("predict %s: status %d (%s)", names[model], code, body)
+						continue
+					}
+					if err := check(model, body); err != nil {
+						failed.Add(1)
+						t.Error(err)
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	load(10)
+	if failed.Load() != 0 {
+		t.Fatalf("%d failed requests with all replicas healthy", failed.Load())
+	}
+
+	// Phase 2: rendezvous affinity — every model's traffic stayed on at
+	// most AffinityWidth (2) of the 3 replicas.
+	for mi, name := range names {
+		hit := 0
+		for _, r := range reps {
+			if r.counter.get(name) > 0 {
+				hit++
+			}
+		}
+		if hit == 0 || hit > 2 {
+			t.Fatalf("model %s served by %d replicas, want 1..2 (affinity violated)", names[mi], hit)
+		}
+	}
+
+	// Phase 3: kill the replica that owns the most traffic, keep loading.
+	// Requests racing the still-unejected dead replica fail over, so the
+	// client sees zero failures before, during, and after ejection.
+	victim := 0
+	for i, r := range reps {
+		if r.counter.total() > reps[victim].counter.total() {
+			victim = i
+		}
+	}
+	victimURL := reps[victim].ts.URL
+	reps[victim].ts.Close()
+	load(5) // rides the failover path while probes are still ejecting
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := g.Stats()
+		ejected := false
+		for _, b := range s.Backends {
+			if b.Backend == victimURL && !b.Healthy {
+				ejected = true
+			}
+		}
+		if ejected {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("killed replica never ejected: %+v", s)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Phase 4: post-ejection load routes cleanly around the corpse — zero
+	// failures, and not one attempt goes to the ejected backend.
+	attemptsBefore := uint64(0)
+	for _, b := range g.Stats().Backends {
+		if b.Backend == victimURL {
+			attemptsBefore = b.Requests
+		}
+	}
+	load(5)
+	if failed.Load() != 0 {
+		t.Fatalf("%d failed requests across kill + ejection (want zero)", failed.Load())
+	}
+	s := g.Stats()
+	if s.HealthyBackends != 2 {
+		t.Fatalf("healthy backends %d, want 2", s.HealthyBackends)
+	}
+	for _, b := range s.Backends {
+		if b.Backend == victimURL && b.Requests != attemptsBefore {
+			t.Fatalf("ejected backend still attempted: %d → %d requests", attemptsBefore, b.Requests)
+		}
+	}
+	if s.Failovers == 0 {
+		t.Fatal("kill survived without a single failover — the dead replica was never routed around")
+	}
+}
+
+// TestGatewayRankDeterministicAffinity pins the rendezvous ranking: the
+// same model always ranks the fleet identically, different models
+// spread across it, and the affinity prefix is AffinityWidth wide.
+func TestGatewayRankDeterministicAffinity(t *testing.T) {
+	g, err := New([]string{
+		"http://replica-a:8080", "http://replica-b:8080",
+		"http://replica-c:8080", "http://replica-d:8080",
+	}, Options{HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	primaries := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		model := fmt.Sprintf("model-%d", i)
+		a, b := g.rank(model), g.rank(model)
+		if len(a) != 4 || len(b) != 4 {
+			t.Fatalf("rank returned %d/%d replicas, want 4", len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("rank(%s) not deterministic at position %d", model, j)
+			}
+		}
+		primaries[a[0].base] = true
+	}
+	// 64 models over 4 replicas: rendezvous must not funnel everything to
+	// one primary.
+	if len(primaries) < 3 {
+		t.Fatalf("only %d distinct primaries over 64 models — hash is not spreading", len(primaries))
+	}
+}
+
+// TestGatewayHedgesSlowBackend: a backend that sits on a predict past
+// HedgeAfter gets its request duplicated to the next-ranked replica,
+// and the client gets the fast answer.
+func TestGatewayHedgesSlowBackend(t *testing.T) {
+	net, m := buildModel(t, 60)
+	slowReg := serve.NewRegistry(0, serve.BatchOptions{})
+	fastReg := serve.NewRegistry(0, serve.BatchOptions{})
+	defer slowReg.Close()
+	defer fastReg.Close()
+	var delay atomic.Int64
+	slowSrv := serve.NewServer(slowReg)
+	slowTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			time.Sleep(time.Duration(delay.Load()))
+		}
+		slowSrv.ServeHTTP(w, r)
+	}))
+	defer slowTS.Close()
+	fastTS := httptest.NewServer(serve.NewServer(fastReg))
+	defer fastTS.Close()
+
+	g, err := New([]string{slowTS.URL, fastTS.URL}, Options{
+		ProbeInterval: 50 * time.Millisecond,
+		HedgeAfter:    25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// Pick a model name whose rendezvous primary is the slow replica, so
+	// the hedge is the only way to the fast one.
+	name := ""
+	for i := 0; i < 100; i++ {
+		cand := fmt.Sprintf("hedge-%d", i)
+		if g.rank(cand)[0].base == slowTS.URL {
+			name = cand
+			break
+		}
+	}
+	if name == "" {
+		t.Fatal("no candidate model ranked the slow replica first (hash broken?)")
+	}
+	for _, reg := range []*serve.Registry{slowReg, fastReg} {
+		if _, err := reg.Add(name, m, net, []int{1, 8, 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delay.Store(int64(400 * time.Millisecond))
+
+	gw := httptest.NewServer(g)
+	defer gw.Close()
+	rows := testRows(2, 61)
+	want := reference(t, net, m, rows)
+	t0 := time.Now()
+	code, _, body := postPredict(t, gw.URL, name, rows)
+	elapsed := time.Since(t0)
+	if code != http.StatusOK {
+		t.Fatalf("hedged predict status %d (%s)", code, body)
+	}
+	got := parseOutputs(t, body)
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("hedged answer wrong at row %d logit %d", i, j)
+			}
+		}
+	}
+	s := g.Stats()
+	if s.Hedges == 0 {
+		t.Fatalf("no hedge fired against a %v-slow primary (elapsed %v): %+v", 400*time.Millisecond, elapsed, s)
+	}
+	if elapsed >= 400*time.Millisecond {
+		t.Fatalf("hedge did not rescue latency: %v elapsed against a 400ms-slow primary", elapsed)
+	}
+}
+
+// TestGatewayShedsAtMaxPending: predicts over the gateway's admission
+// bound get 503 + Retry-After while admitted ones complete.
+func TestGatewayShedsAtMaxPending(t *testing.T) {
+	net, m := buildModel(t, 70)
+	reg := serve.NewRegistry(0, serve.BatchOptions{})
+	defer reg.Close()
+	if _, err := reg.Add("m", m, net, []int{1, 8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(reg)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			time.Sleep(150 * time.Millisecond)
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	defer slow.Close()
+
+	g, err := New([]string{slow.URL}, Options{MaxPending: 1, HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g)
+	defer gw.Close()
+
+	rows := testRows(1, 71)
+	var ok, shed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 5; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, resp, _ := postPredict(t, gw.URL, "m", rows)
+			switch code {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusServiceUnavailable:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("shed without Retry-After")
+				}
+				shed.Add(1)
+			default:
+				t.Errorf("unexpected status %d", code)
+			}
+		}()
+	}
+	wg.Wait()
+	if ok.Load() < 1 || shed.Load() < 1 {
+		t.Fatalf("ok=%d shed=%d, want at least one of each", ok.Load(), shed.Load())
+	}
+	if s := g.Stats(); s.Shed != uint64(shed.Load()) || s.InFlight != 0 {
+		t.Fatalf("stats shed=%d in_flight=%d, want shed=%d in_flight=0", s.Shed, s.InFlight, shed.Load())
+	}
+}
+
+// TestGatewayRejectsOversizedBody: the gateway refuses to buffer a body
+// its backends would refuse anyway.
+func TestGatewayRejectsOversizedBody(t *testing.T) {
+	net, m := buildModel(t, 80)
+	reg := serve.NewRegistry(0, serve.BatchOptions{})
+	defer reg.Close()
+	if _, err := reg.Add("m", m, net, []int{1, 8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.NewServer(reg))
+	defer ts.Close()
+	g, err := New([]string{ts.URL}, Options{MaxBodyBytes: 2048, HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g)
+	defer gw.Close()
+
+	if code, _, _ := postPredict(t, gw.URL, "m", testRows(16, 81)); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d, want 413", code)
+	}
+	if code, _, _ := postPredict(t, gw.URL, "m", testRows(1, 82)); code != http.StatusOK {
+		t.Fatalf("in-bounds body status %d, want 200", code)
+	}
+}
+
+// TestGatewayHealthAndModels: the gateway reports fleet health on its
+// own /healthz and proxies /v1/models; client errors pass through
+// untouched (they are authoritative, not retriable).
+func TestGatewayHealthAndModels(t *testing.T) {
+	net, m := buildModel(t, 90)
+	reps := newCluster(t, 2, []string{"m"}, []*nn.Network{net}, []*core.Model{m})
+	g, err := New(backendURLs(reps), Options{ProbeInterval: 20 * time.Millisecond, HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g)
+	defer gw.Close()
+
+	resp, err := http.Get(gw.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status          string `json:"status"`
+		Backends        int    `json:"backends"`
+		HealthyBackends int    `json:"healthy_backends"`
+	}
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" || health.Backends != 2 {
+		t.Fatalf("healthz %d %+v", resp.StatusCode, health)
+	}
+
+	resp, err = http.Get(gw.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Models []struct {
+			Name string `json:"name"`
+		} `json:"models"`
+	}
+	json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(list.Models) != 1 || list.Models[0].Name != "m" {
+		t.Fatalf("models %d %+v", resp.StatusCode, list)
+	}
+
+	// An unknown model is a 404 relayed from the backend, not a failover
+	// storm: each replica is asked at most once.
+	if code, _, _ := postPredict(t, gw.URL, "nope", testRows(1, 91)); code != http.StatusNotFound {
+		t.Fatalf("unknown model status %d, want 404", code)
+	}
+
+	// Kill the whole fleet: probes eject everyone, gateway goes unhealthy.
+	for _, r := range reps {
+		r.ts.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.HealthyBackends() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never fully ejected: %+v", g.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err = http.Get(gw.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with zero healthy backends: %d, want 503", resp.StatusCode)
+	}
+}

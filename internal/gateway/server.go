@@ -1,0 +1,225 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/httputil"
+)
+
+// The gateway speaks the same API surface as a single deepszd, so a
+// client (or a test) cannot tell whether it is talking to one replica
+// or a fleet:
+//
+//	GET  /healthz                        gateway liveness (+ fleet summary)
+//	GET  /v1/models                      proxied from a healthy replica
+//	POST /v1/models/{name}/predict       routed, hedged, admission-bounded
+//	GET  /v1/stats                       per-replica health/latency/shed counters
+func (g *Gateway) routes() {
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("GET /healthz", g.handleHealth)
+	g.mux.HandleFunc("GET /v1/models", g.handleModels)
+	g.mux.HandleFunc("POST /v1/models/{name}/predict", g.handlePredict)
+	g.mux.HandleFunc("GET /v1/stats", g.handleStats)
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.mux.ServeHTTP(w, r) }
+
+// HealthyBackends counts the replicas currently admitted to routing.
+func (g *Gateway) HealthyBackends() int {
+	n := 0
+	for _, r := range g.replicas {
+		if r.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	healthy := g.HealthyBackends()
+	status := http.StatusOK
+	state := "ok"
+	if healthy == 0 {
+		// The gateway process is alive, but it cannot do its job — an
+		// upstream balancer should stop sending traffic here.
+		status = http.StatusServiceUnavailable
+		state = "no healthy backends"
+	}
+	httputil.WriteJSON(w, status, map[string]any{
+		"status":           state,
+		"uptime_seconds":   time.Since(g.start).Seconds(),
+		"backends":         len(g.replicas),
+		"healthy_backends": healthy,
+		"in_flight":        g.inFlight.Load(),
+	})
+}
+
+// handleModels proxies the model listing from the first replica that
+// answers, healthy ones first: the fleet serves the same model set, so
+// any replica's answer is the fleet's answer.
+func (g *Gateway) handleModels(w http.ResponseWriter, r *http.Request) {
+	var lastErr error
+	for _, healthyPass := range []bool{true, false} {
+		for _, rep := range g.replicas {
+			if rep.healthy.Load() != healthyPass {
+				continue
+			}
+			// Bound each attempt like a probe: a backend that wedges on
+			// /v1/models while still answering /healthz must not pin the
+			// client for the transport's full minute before the walk moves
+			// on to a replica that can answer instantly.
+			attempt, cancel := context.WithTimeout(r.Context(), g.opt.ProbeTimeout)
+			body, ctype, err := g.modelsFrom(attempt, rep)
+			cancel()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			w.Header().Set("Content-Type", ctype)
+			w.WriteHeader(http.StatusOK)
+			w.Write(body)
+			return
+		}
+	}
+	httputil.WriteError(w, http.StatusBadGateway, "no backend could list models: %v", lastErr)
+}
+
+// modelsFrom fetches one replica's /v1/models listing.
+func (g *Gateway) modelsFrom(ctx context.Context, rep *replica) (body []byte, ctype string, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.base+"/v1/models", nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := g.opt.Client.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if body, err = io.ReadAll(resp.Body); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", rep.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("%s answered %d", rep.base, resp.StatusCode)
+	}
+	return body, resp.Header.Get("Content-Type"), nil
+}
+
+func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
+	// Admission first: a saturated gateway answers cheaply and honestly
+	// before it reads a byte of body.
+	in := g.inFlight.Add(1)
+	defer g.inFlight.Add(-1)
+	if g.opt.MaxPending > 0 && in > int64(g.opt.MaxPending) {
+		g.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((g.opt.RetryAfter+time.Second-1)/time.Second)))
+		httputil.WriteError(w, http.StatusServiceUnavailable, "gateway at capacity: %d predicts pending (max %d)", in-1, g.opt.MaxPending)
+		return
+	}
+	g.admitted.Add(1)
+
+	// The body is buffered because a hedge replays it verbatim; the cap
+	// mirrors deepszd's own -max-body-bytes guard so the gateway can
+	// never be made to buffer what its backends would refuse anyway.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.opt.MaxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httputil.WriteError(w, status, "bad request body: %v", err)
+		return
+	}
+
+	a, err := g.predict(r.Context(), r.PathValue("name"), body)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client is gone; nobody reads this.
+			return
+		}
+		httputil.WriteError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	if a.ctype != "" {
+		w.Header().Set("Content-Type", a.ctype)
+	}
+	if a.retryAfter != "" {
+		w.Header().Set("Retry-After", a.retryAfter)
+	}
+	w.WriteHeader(a.status)
+	w.Write(a.body)
+}
+
+// ReplicaStats is one backend's view in /v1/stats, as measured by the
+// gateway itself (probe RTTs and proxied-predict latencies, not the
+// backend's self-reported numbers).
+type ReplicaStats struct {
+	Backend       string  `json:"backend"`
+	Healthy       bool    `json:"healthy"`
+	Pending       int64   `json:"pending"`
+	Requests      uint64  `json:"requests"`
+	Errors        uint64  `json:"errors"`
+	Hedged        uint64  `json:"hedged"`
+	Wins          uint64  `json:"wins"`
+	MeanLatencyMs float64 `json:"mean_latency_ms"`
+	LastProbeMs   float64 `json:"last_probe_ms"`
+	ProbeFailures uint64  `json:"probe_failures"`
+	Ejections     uint64  `json:"ejections"`
+}
+
+// Stats is the gateway's /v1/stats payload.
+type Stats struct {
+	UptimeSeconds   float64        `json:"uptime_seconds"`
+	Backends        []ReplicaStats `json:"backends"`
+	HealthyBackends int            `json:"healthy_backends"`
+	InFlight        int64          `json:"in_flight"`
+	MaxPending      int            `json:"max_pending"`
+	Admitted        uint64         `json:"admitted"`
+	Shed            uint64         `json:"shed"`
+	Hedges          uint64         `json:"hedges"`
+	Failovers       uint64         `json:"failovers"`
+}
+
+// Stats snapshots the gateway and per-replica counters.
+func (g *Gateway) Stats() Stats {
+	s := Stats{
+		UptimeSeconds:   time.Since(g.start).Seconds(),
+		HealthyBackends: g.HealthyBackends(),
+		InFlight:        g.inFlight.Load(),
+		MaxPending:      g.opt.MaxPending,
+		Admitted:        g.admitted.Load(),
+		Shed:            g.shed.Load(),
+		Hedges:          g.hedges.Load(),
+		Failovers:       g.failovers.Load(),
+	}
+	for _, r := range g.replicas {
+		rs := ReplicaStats{
+			Backend:       r.base,
+			Healthy:       r.healthy.Load(),
+			Pending:       r.pending.Load(),
+			Requests:      r.requests.Load(),
+			Errors:        r.errors.Load(),
+			Hedged:        r.hedged.Load(),
+			Wins:          r.wins.Load(),
+			LastProbeMs:   float64(r.lastProbeNs.Load()) / 1e6,
+			ProbeFailures: r.probeFails.Load(),
+			Ejections:     r.ejections.Load(),
+		}
+		if n := r.latN.Load(); n > 0 {
+			rs.MeanLatencyMs = float64(r.latNs.Load()) / float64(n) / 1e6
+		}
+		s.Backends = append(s.Backends, rs)
+	}
+	return s
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	httputil.WriteJSON(w, http.StatusOK, g.Stats())
+}

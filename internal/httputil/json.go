@@ -1,0 +1,29 @@
+// Package httputil is the one place the serving tiers' JSON wire
+// helpers live: deepszd (internal/serve) and deepszgw
+// (internal/gateway) speak the same API surface, so the response
+// envelope — Content-Type handling and the {"error": ...} shape
+// clients parse — must not be able to drift between them.
+package httputil
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// WriteJSON writes v as a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// ErrorResponse is the error envelope every API error uses.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// WriteError writes a formatted ErrorResponse with the given status.
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}

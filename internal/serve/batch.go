@@ -10,7 +10,8 @@ import (
 // ErrClosed is returned by PredictBatched after the engine is closed.
 var ErrClosed = errors.New("serve: engine closed")
 
-// BatchOptions tunes the micro-batcher.
+// BatchOptions tunes the micro-batcher and the per-engine admission
+// bound.
 type BatchOptions struct {
 	// MaxBatch is the row count that triggers an immediate flush
 	// (default 32).
@@ -18,6 +19,12 @@ type BatchOptions struct {
 	// Window is how long the first request in a batch waits for company
 	// before flushing anyway (default 2ms).
 	Window time.Duration
+	// MaxPending caps the predict calls admitted per engine at once
+	// (queued in the batcher plus running). A call over the cap fails
+	// immediately with ErrOverloaded — shedding with a clear signal the
+	// moment the engine saturates, instead of queueing unboundedly until
+	// every client times out anyway. 0 means unlimited.
+	MaxPending int
 }
 
 func (o *BatchOptions) fill() {

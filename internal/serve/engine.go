@@ -17,6 +17,12 @@ import (
 // to 400.
 var ErrBadInput = errors.New("serve: bad input")
 
+// ErrOverloaded marks predicts rejected by the per-engine admission
+// bound (BatchOptions.MaxPending); the HTTP layer maps it to 503 with a
+// Retry-After hint. It is the backpressure signal a routing tier keys
+// on: shed here, cheaply and immediately, rather than time out there.
+var ErrOverloaded = errors.New("serve: overloaded")
+
 // DefaultSparseThreshold is the decoded-layer density below which engines
 // keep the layer in CSR form. 0.35 sits under the CSR kernels' measured
 // speed break-even (~0.3–0.5 density on the fc SpMM), so the sparse path
@@ -49,6 +55,10 @@ type Engine struct {
 	requests atomic.Uint64 // predict calls
 	rows     atomic.Uint64 // examples served
 	batches  atomic.Uint64 // forward passes run
+
+	maxPending int          // admitted-predict cap; 0 = unlimited
+	pendingNow atomic.Int64 // predicts admitted and not yet finished
+	shed       atomic.Uint64
 
 	batcher *batcher
 }
@@ -114,13 +124,14 @@ func NewEngine(name string, model *core.Model, skeleton *nn.Network, inputShape 
 	template := skeleton.Clone()
 	nn.StripWeights(template, func(layer string) bool { return model.Layer(layer) != nil })
 	e := &Engine{
-		name:      name,
-		model:     model,
-		cache:     cache,
-		inShape:   append([]int(nil), inputShape...),
-		inLen:     inLen,
-		threshold: sparseThreshold,
-		obs:       make([]atomic.Pointer[layerObs], len(model.Layers)),
+		name:       name,
+		model:      model,
+		cache:      cache,
+		inShape:    append([]int(nil), inputShape...),
+		inLen:      inLen,
+		threshold:  sparseThreshold,
+		maxPending: opt.MaxPending,
+		obs:        make([]atomic.Pointer[layerObs], len(model.Layers)),
 	}
 	e.pool.New = func() any { return template.Clone() }
 	e.batcher = newBatcher(e, opt)
@@ -181,6 +192,19 @@ func (e *Engine) forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return net.ForwardWithProvider(x, e)
 }
 
+// admit charges one predict against the engine's admission bound and
+// returns the release func, or fails with ErrOverloaded when the engine
+// is already at MaxPending admitted calls.
+func (e *Engine) admit() (func(), error) {
+	d := e.pendingNow.Add(1)
+	if e.maxPending > 0 && d > int64(e.maxPending) {
+		e.pendingNow.Add(-1)
+		e.shed.Add(1)
+		return nil, fmt.Errorf("%w: %s: %d predicts pending (max %d)", ErrOverloaded, e.name, d-1, e.maxPending)
+	}
+	return func() { e.pendingNow.Add(-1) }, nil
+}
+
 // Predict runs rows (flattened examples) through the model immediately,
 // without micro-batching, and returns one logits row per input. Safe for
 // concurrent use.
@@ -188,6 +212,11 @@ func (e *Engine) Predict(rows [][]float32) ([][]float32, error) {
 	if err := e.checkRows(rows); err != nil {
 		return nil, err
 	}
+	release, err := e.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	e.requests.Add(1)
 	e.rows.Add(uint64(len(rows)))
 	return e.run(rows)
@@ -199,6 +228,11 @@ func (e *Engine) PredictBatched(rows [][]float32) ([][]float32, error) {
 	if err := e.checkRows(rows); err != nil {
 		return nil, err
 	}
+	release, err := e.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	e.requests.Add(1)
 	e.rows.Add(uint64(len(rows)))
 	return e.batcher.submit(rows)
@@ -254,7 +288,10 @@ func (e *Engine) run(rows [][]float32) ([][]float32, error) {
 	return out, nil
 }
 
-// EngineStats is a snapshot of one model's serving counters.
+// EngineStats is a snapshot of one model's serving counters. QueueDepth
+// is the load gauge a routing tier reads: predicts admitted and not yet
+// finished (queued in the batcher plus running), bounded by MaxPending
+// when that is non-zero; Shed counts the calls the bound rejected.
 type EngineStats struct {
 	Codec           string      `json:"codec"`
 	SparseThreshold float64     `json:"sparse_threshold"`
@@ -262,6 +299,9 @@ type EngineStats struct {
 	Rows            uint64      `json:"rows"`
 	Batches         uint64      `json:"batches"`
 	AvgBatch        float64     `json:"avg_batch_rows"`
+	QueueDepth      int64       `json:"queue_depth"`
+	MaxPending      int         `json:"max_pending,omitempty"`
+	Shed            uint64      `json:"shed"`
 	Layers          []LayerMeta `json:"layers"`
 }
 
@@ -273,6 +313,9 @@ func (e *Engine) Stats() EngineStats {
 		Requests:        e.requests.Load(),
 		Rows:            e.rows.Load(),
 		Batches:         e.batches.Load(),
+		QueueDepth:      e.pendingNow.Load(),
+		MaxPending:      e.maxPending,
+		Shed:            e.shed.Load(),
 		Layers:          e.LayerMeta(),
 	}
 	if s.Batches > 0 {

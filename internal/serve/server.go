@@ -3,28 +3,52 @@ package serve
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/httputil"
 )
 
 // Server is the HTTP JSON front end over a Registry.
 //
-//	GET  /healthz                        liveness probe
+//	GET  /healthz                        liveness probe + in-flight gauge
 //	GET  /v1/models                      loaded models and their layers
 //	POST /v1/models/{name}/predict       {"inputs": [[...], ...]}
 //	GET  /v1/stats                       cache + per-model counters
 type Server struct {
-	reg   *Registry
-	mux   *http.ServeMux
-	start time.Time
+	reg      *Registry
+	mux      *http.ServeMux
+	start    time.Time
+	maxBody  int64
+	inFlight atomic.Int64 // predict requests currently being handled
 }
 
-// NewServer wires the API routes over reg.
-func NewServer(reg *Registry) *Server {
-	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now()}
+// DefaultMaxBodyBytes caps a predict request body unless ServerOptions
+// overrides it. At ~12 JSON bytes per float32, 8 MiB fits ~1300 rows of
+// 512 values — an order of magnitude above any sane micro-batch, while
+// keeping one request from materialising a large buffer in a daemon
+// whose whole point is bounded memory. Clients that legitimately need
+// the full maxPredictRows of wide rows raise it (-max-body-bytes).
+const DefaultMaxBodyBytes = 8 << 20
+
+// ServerOptions tunes the HTTP front end.
+type ServerOptions struct {
+	// MaxBodyBytes caps a predict request body; overflow is answered
+	// with 413. 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// NewServer wires the API routes over reg with default options.
+func NewServer(reg *Registry) *Server { return NewServerWith(reg, ServerOptions{}) }
+
+// NewServerWith wires the API routes over reg.
+func NewServerWith(reg *Registry, opt ServerOptions) *Server {
+	if opt.MaxBodyBytes <= 0 {
+		opt.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now(), maxBody: opt.MaxBodyBytes}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
@@ -35,25 +59,14 @@ func NewServer(reg *Registry) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
-}
-
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	// in_flight rides along so a probing load balancer gets a cheap load
+	// signal without the full /v1/stats fan-out.
+	httputil.WriteJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"models":         len(s.reg.Names()),
+		"in_flight":      s.inFlight.Load(),
 	})
 }
 
@@ -108,15 +121,12 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Models = append(out.Models, mi)
 	}
-	writeJSON(w, http.StatusOK, out)
+	httputil.WriteJSON(w, http.StatusOK, out)
 }
 
-// Request-size guards: the daemon's whole point is bounded memory, so a
-// single predict call must not be able to materialise an unbounded body.
-const (
-	maxPredictBody = 32 << 20 // bytes of JSON accepted per request
-	maxPredictRows = 4096     // rows accepted per request
-)
+// maxPredictRows bounds the rows accepted per request; the byte-side
+// guard is Server.maxBody (see ServerOptions.MaxBodyBytes).
+const maxPredictRows = 4096
 
 type predictRequest struct {
 	Inputs [][]float32 `json:"inputs"`
@@ -128,24 +138,26 @@ type predictResponse struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
 	name := r.PathValue("name")
 	e, ok := s.reg.Get(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown model %q", name)
+		httputil.WriteError(w, http.StatusNotFound, "unknown model %q", name)
 		return
 	}
 	var req predictRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPredictBody)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
 		status := http.StatusBadRequest
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			status = http.StatusRequestEntityTooLarge
 		}
-		writeError(w, status, "bad request body: %v", err)
+		httputil.WriteError(w, status, "bad request body: %v", err)
 		return
 	}
 	if len(req.Inputs) > maxPredictRows {
-		writeError(w, http.StatusRequestEntityTooLarge, "%d input rows exceed the per-request limit of %d", len(req.Inputs), maxPredictRows)
+		httputil.WriteError(w, http.StatusRequestEntityTooLarge, "%d input rows exceed the per-request limit of %d", len(req.Inputs), maxPredictRows)
 		return
 	}
 	out, err := e.PredictBatched(req.Inputs)
@@ -154,10 +166,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrBadInput):
 			status = http.StatusBadRequest
+		case errors.Is(err, ErrOverloaded):
+			// Shed with a hint instead of queueing: the client (or the
+			// gateway in front of us) should back off or go elsewhere.
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
 		case errors.Is(err, ErrClosed):
 			status = http.StatusServiceUnavailable
 		}
-		writeError(w, status, "%v", err)
+		httputil.WriteError(w, status, "%v", err)
 		return
 	}
 	resp := predictResponse{Outputs: out, Argmax: make([]int, len(out))}
@@ -170,19 +187,24 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Argmax[i] = best
 	}
-	writeJSON(w, http.StatusOK, resp)
+	httputil.WriteJSON(w, http.StatusOK, resp)
 }
 
 type statsResponse struct {
-	Cache   CacheStats             `json:"cache"`
-	HitRate float64                `json:"cache_hit_rate"`
-	Models  map[string]EngineStats `json:"models"`
+	Cache   CacheStats `json:"cache"`
+	HitRate float64    `json:"cache_hit_rate"`
+	// InFlight is the predict requests currently inside the HTTP handler
+	// — the server-wide load gauge; per-engine queue depth is under each
+	// model's stats.
+	InFlight int64                  `json:"in_flight"`
+	Models   map[string]EngineStats `json:"models"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
-		Cache:  s.reg.Cache().Stats(),
-		Models: map[string]EngineStats{},
+		Cache:    s.reg.Cache().Stats(),
+		InFlight: s.inFlight.Load(),
+		Models:   map[string]EngineStats{},
 	}
 	resp.HitRate = resp.Cache.HitRate()
 	for _, name := range s.reg.Names() {
@@ -190,5 +212,5 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			resp.Models[name] = e.Stats()
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	httputil.WriteJSON(w, http.StatusOK, resp)
 }

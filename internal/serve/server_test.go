@@ -3,11 +3,13 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -507,6 +509,145 @@ func TestServerErrors(t *testing.T) {
 	}
 	if code := post("/v1/models/mlp/predict", `{"inputs":[[1,2,3]]}`); code != http.StatusBadRequest {
 		t.Fatalf("short row status %d", code)
+	}
+}
+
+// TestEngineAdmissionSheds locks the bounded-admission satellite: an
+// engine at MaxPending admitted predicts rejects the overflow with
+// ErrOverloaded instead of queueing it, and the queue-depth gauge and
+// shed counter report what happened.
+func TestEngineAdmissionSheds(t *testing.T) {
+	net, m := servedModel(t, 31)
+	// A wide batch window keeps the first predict parked in the batcher
+	// long enough for the second to arrive while it is still pending.
+	reg := NewRegistry(0, BatchOptions{MaxPending: 1, Window: 300 * time.Millisecond, MaxBatch: 64})
+	defer reg.Close()
+	e, err := reg.Add("mlp", m, net, []int{1, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := testRows(1, 32)
+	first := make(chan error, 1)
+	go func() {
+		_, err := e.PredictBatched(rows)
+		first <- err
+	}()
+	// Wait until the first predict is admitted (gauge visible), then
+	// overflow the bound.
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Stats().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first predict never showed up in the queue-depth gauge")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := e.Predict(rows); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("predict over the admission bound: %v, want ErrOverloaded", err)
+	}
+	if err := <-first; err != nil {
+		t.Fatalf("admitted predict failed: %v", err)
+	}
+	s := e.Stats()
+	if s.Shed != 1 || s.MaxPending != 1 {
+		t.Fatalf("stats shed=%d max_pending=%d, want 1/1", s.Shed, s.MaxPending)
+	}
+	if s.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after all predicts finished, want 0", s.QueueDepth)
+	}
+	// The bound is a gate, not a latch: the engine serves again.
+	if _, err := e.Predict(rows); err != nil {
+		t.Fatalf("predict after shed: %v", err)
+	}
+}
+
+// TestServerShedsWith503RetryAfter drives the admission bound through
+// the HTTP layer: overflow predicts get 503 + Retry-After, admitted ones
+// still succeed.
+func TestServerShedsWith503RetryAfter(t *testing.T) {
+	net, m := servedModel(t, 33)
+	reg := NewRegistry(0, BatchOptions{MaxPending: 1, Window: 200 * time.Millisecond, MaxBatch: 64})
+	if _, err := reg.Add("mlp", m, net, []int{1, 8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(reg))
+	t.Cleanup(func() { ts.Close(); reg.Close() })
+
+	body, _ := json.Marshal(predictRequest{Inputs: testRows(1, 34)})
+	const clients = 4
+	var ok, shed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/models/mlp/predict", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusServiceUnavailable:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("503 without a Retry-After hint")
+				}
+				shed.Add(1)
+			default:
+				t.Errorf("unexpected status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	if ok.Load() < 1 || shed.Load() < 1 || ok.Load()+shed.Load() != clients {
+		t.Fatalf("ok=%d shed=%d, want at least one of each summing to %d", ok.Load(), shed.Load(), clients)
+	}
+	var stats statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	ms := stats.Models["mlp"]
+	if ms.Shed != uint64(shed.Load()) || ms.MaxPending != 1 {
+		t.Fatalf("engine stats %+v, want shed=%d max_pending=1", ms, shed.Load())
+	}
+	if stats.InFlight != 0 || ms.QueueDepth != 0 {
+		t.Fatalf("gauges in_flight=%d queue_depth=%d at rest, want 0/0", stats.InFlight, ms.QueueDepth)
+	}
+}
+
+// TestServerMaxBodyBytes locks the request-size satellite: a predict
+// body over the configured cap is refused with 413.
+func TestServerMaxBodyBytes(t *testing.T) {
+	net, m := servedModel(t, 35)
+	reg := NewRegistry(0, BatchOptions{})
+	if _, err := reg.Add("mlp", m, net, []int{1, 8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServerWith(reg, ServerOptions{MaxBodyBytes: 2048}))
+	t.Cleanup(func() { ts.Close(); reg.Close() })
+
+	big, _ := json.Marshal(predictRequest{Inputs: testRows(4, 36)}) // 4×64 floats ≫ 512 B
+	resp, err := http.Post(ts.URL+"/v1/models/mlp/predict", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d, want 413", resp.StatusCode)
+	}
+	// Under the cap the same model still serves.
+	small, _ := json.Marshal(predictRequest{Inputs: testRows(1, 37)})
+	if len(small) > 2048 {
+		t.Fatalf("fixture row serialises to %d B, does not fit the 2 KiB cap", len(small))
+	}
+	resp, err = http.Post(ts.URL+"/v1/models/mlp/predict", "application/json", bytes.NewReader(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-bounds body status %d, want 200", resp.StatusCode)
 	}
 }
 
