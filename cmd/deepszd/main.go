@@ -20,7 +20,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -71,6 +70,10 @@ func run() error {
 		"cache decoded layers in CSR form below this density (0 disables the sparse fast path)")
 	window := fs.Duration("batch-window", 2*time.Millisecond, "how long the first request waits for batch company")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
+	slowReq := fs.Duration("slow-request", 0, "log predicts at or above this end-to-end latency with their trace ID and stage breakdown (0 = off)")
 	var specs []modelSpec
 	fs.Func("model", "compressed model `[name=]path[:weights]` (repeatable)", func(v string) error {
 		s, err := parseModelSpec(v)
@@ -83,6 +86,15 @@ func run() error {
 	fs.Parse(os.Args[1:])
 	if len(specs) == 0 {
 		return errors.New("at least one -model is required")
+	}
+	logger, err := cliutil.SetupSlog(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	if addr, err := cliutil.StartPprof(*pprofAddr); err != nil {
+		return err
+	} else if addr != "" {
+		logger.Info("pprof listening", "addr", addr)
 	}
 	budget, err := cliutil.ParseBytes(*budgetStr)
 	if err != nil {
@@ -106,28 +118,44 @@ func run() error {
 		for i := range m.Layers {
 			kinds[m.Layers[i].Kind.String()]++
 		}
-		log.Printf("loaded %s: net %s, %d fc + %d conv layers, %d B compressed (%d B dense)",
-			e.Name(), m.NetName, kinds["fc"], kinds["conv"], m.TotalBytes(), m.TotalDenseBytes())
+		logger.Info("loaded model",
+			"name", e.Name(),
+			"net", m.NetName,
+			"fc_layers", kinds["fc"],
+			"conv_layers", kinds["conv"],
+			"compressed_bytes", m.TotalBytes(),
+			"dense_bytes", m.TotalDenseBytes(),
+		)
 	}
 	if budget > 0 {
-		log.Printf("decode cache budget: %d B", budget)
+		logger.Info("decode cache budget", "bytes", budget)
 	} else {
-		log.Printf("decode cache budget: unlimited")
+		logger.Info("decode cache budget", "bytes", "unlimited")
 	}
 
-	srv := cliutil.NewHTTPServer(serve.NewServerWith(reg, serve.ServerOptions{MaxBodyBytes: maxBody}))
+	srv := cliutil.NewHTTPServer(serve.NewServerWith(reg, serve.ServerOptions{
+		MaxBodyBytes:         maxBody,
+		SlowRequestThreshold: *slowReq,
+		Logger:               logger,
+	}))
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("serving on %s", ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String())
 	if err := cliutil.ServeUntilDone(ctx, srv, ln, *drain); err != nil {
 		return err
 	}
 	s := reg.Cache().Stats()
-	log.Printf("final cache stats: %d hits, %d misses, %d coalesced, %d evictions, %d bypasses, %.1f%% hit rate",
-		s.Hits, s.Misses, s.Coalesced, s.Evictions, s.Bypasses, 100*s.HitRate())
+	logger.Info("final cache stats",
+		"hits", s.Hits,
+		"misses", s.Misses,
+		"coalesced", s.Coalesced,
+		"evictions", s.Evictions,
+		"bypasses", s.Bypasses,
+		"hit_rate", s.HitRate(),
+	)
 	return nil
 }

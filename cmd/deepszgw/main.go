@@ -21,7 +21,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -52,7 +51,20 @@ func run() error {
 	maxBodyStr := fs.String("max-body-bytes", "8m", "predict request body cap with optional k/m/g suffix; overflow is refused with 413 (0 = the 8m default, not unlimited)")
 	affinity := fs.Int("affinity-width", 2, "replicas that serve one model's steady-state traffic")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	fs.Parse(os.Args[1:])
+
+	logger, err := cliutil.SetupSlog(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	if addr, err := cliutil.StartPprof(*pprofAddr); err != nil {
+		return err
+	} else if addr != "" {
+		logger.Info("pprof listening", "addr", addr)
+	}
 
 	var backends []string
 	for _, b := range strings.Split(*backendsStr, ",") {
@@ -85,12 +97,13 @@ func run() error {
 		MaxPending:    *maxPending,
 		MaxBodyBytes:  maxBody,
 		AffinityWidth: *affinity,
+		Logger:        logger,
 	})
 	if err != nil {
 		return err
 	}
 	defer g.Close()
-	log.Printf("fronting %d backends: %s", len(backends), strings.Join(backends, ", "))
+	logger.Info("fronting backends", "count", len(backends), "backends", strings.Join(backends, ", "))
 
 	srv := cliutil.NewHTTPServer(g)
 	ln, err := net.Listen("tcp", *addr)
@@ -99,12 +112,16 @@ func run() error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("gateway on %s", ln.Addr())
+	logger.Info("gateway listening", "addr", ln.Addr().String())
 	if err := cliutil.ServeUntilDone(ctx, srv, ln, *drain); err != nil {
 		return err
 	}
 	s := g.Stats()
-	log.Printf("final gateway stats: %d admitted, %d shed, %d hedges, %d failovers",
-		s.Admitted, s.Shed, s.Hedges, s.Failovers)
+	logger.Info("final gateway stats",
+		"admitted", s.Admitted,
+		"shed", s.Shed,
+		"hedges", s.Hedges,
+		"failovers", s.Failovers,
+	)
 	return nil
 }

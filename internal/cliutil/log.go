@@ -1,0 +1,71 @@
+package cliutil
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+)
+
+// SetupSlog builds the daemons' shared logger from the -log-level and
+// -log-format flag values and installs it as slog's default, so library
+// code that logs via slog.Default() (and legacy log.Printf callers,
+// which slog redirects) all land in one stream with one format.
+//
+// level is one of debug, info, warn, error; format is text or json
+// (json is the shape log shippers want, text is for humans at a
+// terminal). Both are matched case-insensitively via slog's own
+// unmarshalling where possible.
+func SetupSlog(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch format {
+	case "text", "":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+	logger := slog.New(h)
+	slog.SetDefault(logger)
+	return logger, nil
+}
+
+// StartPprof serves net/http/pprof on its own listener and mux, so
+// profiling never shares a port (or a mux, or an accidental route) with
+// the public API. It returns the bound address ("" when addr is empty —
+// profiling stays off unless asked for). The server lives until the
+// process exits; profiling endpoints have no graceful-shutdown story to
+// honour.
+func StartPprof(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("pprof listen: %w", err)
+	}
+	srv := &http.Server{
+		Handler: mux,
+		// Profile captures run for their requested duration (30s default
+		// for CPU profiles), so these bounds stay generous.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

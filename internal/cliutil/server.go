@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"time"
@@ -40,7 +40,7 @@ func ServeUntilDone(ctx context.Context, srv *http.Server, ln net.Listener, drai
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down (draining for up to %v)", drain)
+	slog.Info("shutting down", "drain", drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/nn"
 	"repro/internal/prune"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -38,6 +40,16 @@ type ServingSide struct {
 	DenseBytes  int64   `json:"dense_bytes_in_use"`
 }
 
+// StageQuantiles is one pipeline stage's per-request latency summary,
+// measured from the engine's own traces (the same instrumentation the
+// /metrics stage histograms sample).
+type StageQuantiles struct {
+	Stage string `json:"stage"`
+	P50Ns int64  `json:"p50_ns"`
+	P95Ns int64  `json:"p95_ns"`
+	P99Ns int64  `json:"p99_ns"`
+}
+
 // BenchReport is the BENCH_serve.json schema.
 type BenchReport struct {
 	GeneratedUnix int64  `json:"generated_unix"`
@@ -54,6 +66,11 @@ type BenchReport struct {
 	ServingDense  ServingSide `json:"serving_dense"`
 	ServingSparse ServingSide `json:"serving_sparse"`
 	HitRateGain   float64     `json:"hit_rate_gain"`
+	// StageLatency breaks the sparse-side serving latency down by
+	// pipeline stage (queue, batch_wait, cache_lookup, decode, kernel) at
+	// p50/p95/p99, from per-request traces through the micro-batcher —
+	// the offline twin of the deepsz_stage_duration_seconds histograms.
+	StageLatency []StageQuantiles `json:"stage_latency"`
 }
 
 // timeOp measures steady-state ns/op of f over a ~120ms window.
@@ -164,6 +181,59 @@ func benchServingSide(net *nn.Network, m *core.Model, budget int64, threshold fl
 	}, nil
 }
 
+// quantileNs picks the p-th percentile (0..100) from sorted ns samples.
+func quantileNs(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// benchStageLatency serves traced requests through the micro-batcher and
+// summarises each pipeline stage's per-request latency at p50/p95/p99.
+func benchStageLatency(net *nn.Network, m *core.Model, budget int64, threshold float64) ([]StageQuantiles, error) {
+	reg := serve.NewRegistry(budget, serve.BatchOptions{})
+	defer reg.Close()
+	reg.SetSparseThreshold(threshold)
+	eng, err := reg.Add("bench-stage", m, net, []int{256})
+	if err != nil {
+		return nil, err
+	}
+	const rows, requests = 8, 60
+	batch := make([][]float32, rows)
+	rng := tensor.NewRNG(321)
+	for i := range batch {
+		batch[i] = make([]float32, 256)
+		rng.FillNormal(batch[i], 0, 1)
+	}
+	var samples [telemetry.NumStages][]int64
+	for i := 0; i < requests; i++ {
+		tr := telemetry.NewTrace("")
+		if _, err := eng.PredictBatchedTraced(batch, tr); err != nil {
+			return nil, err
+		}
+		for _, st := range telemetry.Stages() {
+			samples[st] = append(samples[st], tr.Dur(st).Nanoseconds())
+		}
+	}
+	var out []StageQuantiles
+	for _, st := range telemetry.Stages() {
+		if st == telemetry.StageEncode {
+			continue // encode is HTTP serialisation; there is none here
+		}
+		s := samples[st]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		out = append(out, StageQuantiles{
+			Stage: st.String(),
+			P50Ns: quantileNs(s, 50),
+			P95Ns: quantileNs(s, 95),
+			P99Ns: quantileNs(s, 99),
+		})
+	}
+	return out, nil
+}
+
 // BenchServe runs the sparse-path benchmark suite and returns the report.
 func BenchServe() (*BenchReport, error) {
 	net, m, err := benchServingNet()
@@ -179,6 +249,10 @@ func BenchServe() (*BenchReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	stages, err := benchStageLatency(net, m, budget, serve.DefaultSparseThreshold)
+	if err != nil {
+		return nil, err
+	}
 	return &BenchReport{
 		GeneratedUnix: time.Now().Unix(),
 		CPU:           runtime.GOMAXPROCS(0),
@@ -188,6 +262,7 @@ func BenchServe() (*BenchReport, error) {
 		ServingDense:  dense,
 		ServingSparse: sparse,
 		HitRateGain:   sparse.HitRate - dense.HitRate,
+		StageLatency:  stages,
 	}, nil
 }
 

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
@@ -40,6 +41,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Options tunes the gateway. The zero value of every field means its
@@ -87,6 +90,9 @@ type Options struct {
 	// answers cannot pin gateway goroutines forever; probes use their
 	// own shorter ProbeTimeout context regardless).
 	Client *http.Client
+	// Logger receives the gateway's structured logs (ejections,
+	// re-admissions). nil means slog.Default().
+	Logger *slog.Logger
 }
 
 func (o *Options) fill() {
@@ -123,6 +129,9 @@ func (o *Options) fill() {
 	if o.Client == nil {
 		o.Client = &http.Client{Timeout: time.Minute}
 	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
 }
 
 // replica is one backend and everything the gateway knows about it.
@@ -146,6 +155,10 @@ type replica struct {
 
 	probeFails  atomic.Uint64
 	lastProbeNs atomic.Int64 // RTT of the last successful probe
+
+	// hist observes counted predict-attempt latencies — the distribution
+	// (not just the mean) the hedging knobs are tuned against.
+	hist *telemetry.Histogram
 }
 
 // Gateway routes predict traffic across a replica fleet. Create with
@@ -155,6 +168,7 @@ type Gateway struct {
 	replicas []*replica
 	mux      *http.ServeMux
 	start    time.Time
+	tel      *telemetry.Registry
 
 	inFlight  atomic.Int64
 	admitted  atomic.Uint64
@@ -176,7 +190,7 @@ func New(backends []string, opt Options) (*Gateway, error) {
 		return nil, fmt.Errorf("gateway: at least one backend is required")
 	}
 	opt.fill()
-	g := &Gateway{opt: opt, start: time.Now(), stop: make(chan struct{})}
+	g := &Gateway{opt: opt, start: time.Now(), stop: make(chan struct{}), tel: telemetry.NewRegistry()}
 	seen := map[string]bool{}
 	for i, b := range backends {
 		u, err := url.Parse(strings.TrimSpace(b))
@@ -190,14 +204,105 @@ func New(backends []string, opt Options) (*Gateway, error) {
 		seen[base] = true
 		r := &replica{id: i, base: base}
 		r.healthy.Store(true)
+		r.hist = g.tel.Histogram("deepszgw_backend_duration_seconds",
+			"Latency of counted predict attempts, by backend.",
+			telemetry.DurationBuckets, telemetry.Label{Name: "backend", Value: base})
 		g.replicas = append(g.replicas, r)
 	}
+	g.registerMetrics()
 	g.routes()
 	for _, r := range g.replicas {
 		g.wg.Add(1)
 		go g.probeLoop(r)
 	}
 	return g, nil
+}
+
+// Telemetry returns the gateway's metric registry (what /metrics
+// exposes).
+func (g *Gateway) Telemetry() *telemetry.Registry { return g.tel }
+
+// registerMetrics wires the scrape-time samplers over the counters the
+// gateway already maintains; scraping costs one pass over the fleet,
+// serving costs nothing new.
+func (g *Gateway) registerMetrics() {
+	telemetry.RegisterBuildInfo(g.tel, "deepszgw")
+	g.tel.CounterFunc("deepszgw_admitted_total",
+		"Predict requests admitted past the gateway's admission bound.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: float64(g.admitted.Load())}}
+		})
+	g.tel.CounterFunc("deepszgw_shed_total",
+		"Predict requests shed at the gateway's admission bound.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: float64(g.shed.Load())}}
+		})
+	g.tel.CounterFunc("deepszgw_hedges_total",
+		"Hedged attempts issued to a next-ranked replica after HedgeAfter.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: float64(g.hedges.Load())}}
+		})
+	g.tel.CounterFunc("deepszgw_failovers_total",
+		"Immediate failovers after a backend attempt failed.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: float64(g.failovers.Load())}}
+		})
+	g.tel.GaugeFunc("deepszgw_in_flight",
+		"Predict requests currently inside the gateway.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: float64(g.inFlight.Load())}}
+		})
+	g.tel.GaugeFunc("deepszgw_healthy_backends",
+		"Backends currently admitted to routing.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: float64(g.HealthyBackends())}}
+		})
+	g.tel.GaugeFunc("deepszgw_uptime_seconds",
+		"Seconds since the gateway started.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: time.Since(g.start).Seconds()}}
+		})
+	perReplica := func(f func(*replica) float64) func() []telemetry.Sample {
+		return func() []telemetry.Sample {
+			out := make([]telemetry.Sample, 0, len(g.replicas))
+			for _, r := range g.replicas {
+				out = append(out, telemetry.Sample{
+					Labels: []telemetry.Label{{Name: "backend", Value: r.base}},
+					Value:  f(r),
+				})
+			}
+			return out
+		}
+	}
+	g.tel.CounterFunc("deepszgw_backend_requests_total",
+		"Predict attempts issued, by backend.",
+		perReplica(func(r *replica) float64 { return float64(r.requests.Load()) }))
+	g.tel.CounterFunc("deepszgw_backend_errors_total",
+		"Predict attempts that failed (transport error or 5xx), by backend.",
+		perReplica(func(r *replica) float64 { return float64(r.errors.Load()) }))
+	g.tel.CounterFunc("deepszgw_backend_hedged_total",
+		"Predict attempts issued as hedges, by backend.",
+		perReplica(func(r *replica) float64 { return float64(r.hedged.Load()) }))
+	g.tel.CounterFunc("deepszgw_backend_wins_total",
+		"Predict attempts whose answer reached a client, by backend.",
+		perReplica(func(r *replica) float64 { return float64(r.wins.Load()) }))
+	g.tel.CounterFunc("deepszgw_backend_ejections_total",
+		"Times a backend was ejected from routing, by backend.",
+		perReplica(func(r *replica) float64 { return float64(r.ejections.Load()) }))
+	g.tel.CounterFunc("deepszgw_backend_probe_failures_total",
+		"Failed /healthz probes, by backend.",
+		perReplica(func(r *replica) float64 { return float64(r.probeFails.Load()) }))
+	g.tel.GaugeFunc("deepszgw_backend_healthy",
+		"1 when the backend is admitted to routing, by backend.",
+		perReplica(func(r *replica) float64 {
+			if r.healthy.Load() {
+				return 1
+			}
+			return 0
+		}))
+	g.tel.GaugeFunc("deepszgw_backend_pending",
+		"Predict attempts in flight, by backend.",
+		perReplica(func(r *replica) float64 { return float64(r.pending.Load()) }))
 }
 
 // Close stops the probe loops. In-flight requests finish on their own.
@@ -233,9 +338,14 @@ func (g *Gateway) probeLoop(r *replica) {
 			if fails >= g.opt.EjectAfter {
 				r.healthy.Store(false)
 				r.ejections.Add(1)
+				g.opt.Logger.Warn("backend ejected",
+					"backend", r.base, "consecutive_failures", fails,
+					"ejections", r.ejections.Load())
 			}
 		} else if oks >= g.opt.ReadmitAfter {
 			r.healthy.Store(true)
+			g.opt.Logger.Info("backend readmitted",
+				"backend", r.base, "consecutive_successes", oks)
 		}
 	}
 }
@@ -337,8 +447,11 @@ type attempt struct {
 
 // send issues one predict attempt and reads the full response, so a
 // losing hedge never leaks a connection: its body is consumed and
-// closed here, before anyone decides whether it won.
-func (g *Gateway) send(ctx context.Context, rep *replica, model string, body []byte) *attempt {
+// closed here, before anyone decides whether it won. traceID stamps the
+// attempt with the client request's trace: hedges carry the same ID, so
+// one client request is one trace fleet-wide, and each replica's
+// slow-request log entry for it is findable from the gateway's answer.
+func (g *Gateway) send(ctx context.Context, rep *replica, model, traceID string, body []byte) *attempt {
 	a := &attempt{rep: rep}
 	rep.requests.Add(1)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
@@ -348,6 +461,9 @@ func (g *Gateway) send(ctx context.Context, rep *replica, model string, body []b
 		return a
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(telemetry.TraceHeader, traceID)
+	}
 	t0 := time.Now()
 	resp, err := g.opt.Client.Do(req)
 	if err != nil {
@@ -363,8 +479,10 @@ func (g *Gateway) send(ctx context.Context, rep *replica, model string, body []b
 	a.ctype = resp.Header.Get("Content-Type")
 	a.retryAfter = resp.Header.Get("Retry-After")
 	if a.status < http.StatusInternalServerError {
-		rep.latNs.Add(time.Since(t0).Nanoseconds())
+		dt := time.Since(t0)
+		rep.latNs.Add(dt.Nanoseconds())
 		rep.latN.Add(1)
+		rep.hist.Observe(dt.Seconds())
 	}
 	return a
 }
@@ -375,7 +493,7 @@ func (g *Gateway) send(ctx context.Context, rep *replica, model string, body []b
 // The first answer below 500 wins — client errors (400/404/413) are
 // authoritative, every replica would say the same. Losing attempts are
 // cancelled through the shared context.
-func (g *Gateway) predict(ctx context.Context, model string, body []byte) (*attempt, error) {
+func (g *Gateway) predict(ctx context.Context, model, traceID string, body []byte) (*attempt, error) {
 	ranked := g.rank(model)
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -392,7 +510,7 @@ func (g *Gateway) predict(ctx context.Context, model string, body []byte) (*atte
 		rep.pending.Add(1)
 		go func() {
 			defer rep.pending.Add(-1)
-			results <- g.send(actx, rep, model, body)
+			results <- g.send(actx, rep, model, traceID, body)
 		}()
 	}
 	launch(false)

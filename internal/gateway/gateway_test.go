@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/prune"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -319,6 +322,65 @@ func TestGatewayClusterIntegration(t *testing.T) {
 	}
 	if s.Failovers == 0 {
 		t.Fatal("kill survived without a single failover — the dead replica was never routed around")
+	}
+
+	// Phase 5: observability. Both tiers' /metrics must parse under the
+	// strict exposition parser, the gateway must report per-backend health
+	// (the ejected victim at 0), and a second scrape after more load must
+	// only ever move counters forward. With DEEPSZ_METRICS_SNAPSHOT set,
+	// the raw expositions are written there for the CI artifact.
+	survivor := (victim + 1) % len(reps)
+	gwScrape, gwRaw := scrape(t, gw.URL+"/metrics")
+	repScrape, repRaw := scrape(t, reps[survivor].ts.URL+"/metrics")
+
+	healthByBackend := map[string]float64{}
+	for _, sm := range gwScrape.Family("deepszgw_backend_healthy").Samples {
+		for _, l := range sm.Labels {
+			if l.Name == "backend" {
+				healthByBackend[l.Value] = sm.Value
+			}
+		}
+	}
+	if len(healthByBackend) != len(reps) {
+		t.Fatalf("gateway reports health for %d backends, want %d: %v", len(healthByBackend), len(reps), healthByBackend)
+	}
+	if healthByBackend[victimURL] != 0 {
+		t.Fatalf("ejected backend reported healthy=%v, want 0", healthByBackend[victimURL])
+	}
+	if healthByBackend[reps[survivor].ts.URL] != 1 {
+		t.Fatalf("live backend reported healthy=%v, want 1", healthByBackend[reps[survivor].ts.URL])
+	}
+	for _, fam := range []string{"deepszgw_admitted_total", "deepszgw_backend_requests_total", "deepszgw_backend_duration_seconds", "deepszgw_build_info"} {
+		if gwScrape.Family(fam) == nil {
+			t.Fatalf("gateway family %q missing from exposition", fam)
+		}
+	}
+	for _, fam := range []string{"deepsz_cache_events_total", "deepsz_stage_duration_seconds", "deepsz_predict_requests_total"} {
+		if repScrape.Family(fam) == nil {
+			t.Fatalf("replica family %q missing from exposition", fam)
+		}
+	}
+
+	load(3)
+	gwScrape2, _ := scrape(t, gw.URL+"/metrics")
+	repScrape2, _ := scrape(t, reps[survivor].ts.URL+"/metrics")
+	if err := telemetry.CheckMonotonic(gwScrape, gwScrape2); err != nil {
+		t.Fatalf("gateway counters moved backwards between scrapes: %v", err)
+	}
+	if err := telemetry.CheckMonotonic(repScrape, repScrape2); err != nil {
+		t.Fatalf("replica counters moved backwards between scrapes: %v", err)
+	}
+
+	if dir := os.Getenv("DEEPSZ_METRICS_SNAPSHOT"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "gateway.prom"), gwRaw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "replica.prom"), repRaw, 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -6,26 +6,35 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
 	"repro/internal/httputil"
+	"repro/internal/telemetry"
 )
 
 // The gateway speaks the same API surface as a single deepszd, so a
 // client (or a test) cannot tell whether it is talking to one replica
 // or a fleet:
 //
-//	GET  /healthz                        gateway liveness (+ fleet summary)
+//	GET  /healthz                        gateway liveness (+ fleet summary + build info)
 //	GET  /v1/models                      proxied from a healthy replica
 //	POST /v1/models/{name}/predict       routed, hedged, admission-bounded
 //	GET  /v1/stats                       per-replica health/latency/shed counters
+//	GET  /metrics                        Prometheus text exposition
 func (g *Gateway) routes() {
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc("GET /healthz", g.handleHealth)
 	g.mux.HandleFunc("GET /v1/models", g.handleModels)
 	g.mux.HandleFunc("POST /v1/models/{name}/predict", g.handlePredict)
 	g.mux.HandleFunc("GET /v1/stats", g.handleStats)
+	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.tel.WriteExposition(w)
 }
 
 // ServeHTTP implements http.Handler.
@@ -58,6 +67,8 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"backends":         len(g.replicas),
 		"healthy_backends": healthy,
 		"in_flight":        g.inFlight.Load(),
+		"build":            telemetry.BuildInfo(),
+		"gomaxprocs":       runtime.GOMAXPROCS(0),
 	})
 }
 
@@ -138,7 +149,19 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	a, err := g.predict(r.Context(), r.PathValue("name"), body)
+	// One trace per client request, minted here (or honoured when the
+	// client brought its own): every backend attempt — hedges included —
+	// carries this ID, the replica logs it on slow requests, and the
+	// client gets it back in the response header. The winning attempt's
+	// body is relayed verbatim, so the stage breakdown a traced client
+	// sees is exactly the winner's — a losing hedge cannot pollute it.
+	traceID := r.Header.Get(telemetry.TraceHeader)
+	if traceID == "" {
+		traceID = telemetry.MintID()
+	}
+	w.Header().Set(telemetry.TraceHeader, traceID)
+
+	a, err := g.predict(r.Context(), r.PathValue("name"), traceID, body)
 	if err != nil {
 		if r.Context().Err() != nil {
 			// The client is gone; nobody reads this.

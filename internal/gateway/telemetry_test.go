@@ -1,0 +1,239 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// scrape fetches and strictly parses url's /metrics exposition.
+func scrape(t testing.TB, url string) (*telemetry.Scrape, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := telemetry.ParseExposition(raw)
+	if err != nil {
+		t.Fatalf("invalid exposition from %s: %v\n%s", url, err, raw)
+	}
+	return s, raw
+}
+
+// TestGatewayTracePropagationUnderHedging locks the tracing contract
+// across the hedge path: the gateway mints one trace ID per client
+// request, stamps every attempt — the slow primary and the hedge — with
+// that same ID, and relays the winner's body verbatim, so the stage
+// breakdown the client sees is the winner's alone.
+func TestGatewayTracePropagationUnderHedging(t *testing.T) {
+	type seen struct {
+		mu  sync.Mutex
+		ids []string
+	}
+	record := func(s *seen, id string) {
+		s.mu.Lock()
+		s.ids = append(s.ids, id)
+		s.mu.Unlock()
+	}
+	// Fake backends echo the trace ID they received and a marker decode
+	// value, so the response body identifies both the attempt's trace and
+	// which backend produced it.
+	backend := func(s *seen, decodeNs int64, delay time.Duration) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				w.Write([]byte(`{"status":"ok"}`)) // health probes
+				return
+			}
+			id := r.Header.Get(telemetry.TraceHeader)
+			record(s, id)
+			time.Sleep(delay)
+			w.Header().Set(telemetry.TraceHeader, id)
+			fmt.Fprintf(w, `{"outputs":[[1]],"argmax":[0],"trace":{"id":%q,"stages_ns":{"decode":%d}}}`, id, decodeNs)
+		})
+	}
+	var slowSeen, fastSeen seen
+	slowTS := httptest.NewServer(backend(&slowSeen, 111, 400*time.Millisecond))
+	defer slowTS.Close()
+	fastTS := httptest.NewServer(backend(&fastSeen, 222, 0))
+	defer fastTS.Close()
+
+	g, err := New([]string{slowTS.URL, fastTS.URL}, Options{
+		ProbeInterval: 50 * time.Millisecond,
+		HedgeAfter:    25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// A model whose rendezvous primary is the slow backend: the fast
+	// answer can only arrive via the hedge.
+	name := ""
+	for i := 0; i < 100; i++ {
+		cand := fmt.Sprintf("trace-%d", i)
+		if g.rank(cand)[0].base == slowTS.URL {
+			name = cand
+			break
+		}
+	}
+	if name == "" {
+		t.Fatal("no candidate model ranked the slow backend first")
+	}
+
+	gw := httptest.NewServer(g)
+	defer gw.Close()
+	resp, err := http.Post(gw.URL+"/v1/models/"+name+"/predict", "application/json",
+		strings.NewReader(`{"inputs":[[1]],"trace":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	headerID := resp.Header.Get(telemetry.TraceHeader)
+	if headerID == "" {
+		t.Fatal("gateway did not mint a trace ID")
+	}
+	var pr struct {
+		Trace telemetry.Breakdown `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Trace.ID != headerID {
+		t.Fatalf("body trace ID %q != response header ID %q", pr.Trace.ID, headerID)
+	}
+	// The winner is the fast hedge: its marker decode value, not the slow
+	// primary's, reaches the client.
+	if pr.Trace.StagesNs["decode"] != 222 {
+		t.Fatalf("client saw decode_ns=%d, want the winning hedge's 222 (losing attempt must not pollute)", pr.Trace.StagesNs["decode"])
+	}
+
+	// Both attempts carried the same gateway-minted ID.
+	for _, s := range []struct {
+		name string
+		seen *seen
+	}{{"slow", &slowSeen}, {"fast", &fastSeen}} {
+		s.seen.mu.Lock()
+		ids := append([]string(nil), s.seen.ids...)
+		s.seen.mu.Unlock()
+		if len(ids) == 0 {
+			t.Fatalf("%s backend never saw the predict", s.name)
+		}
+		for _, id := range ids {
+			if id != headerID {
+				t.Fatalf("%s backend saw trace ID %q, want %q on every attempt", s.name, id, headerID)
+			}
+		}
+	}
+	if s := g.Stats(); s.Hedges == 0 {
+		t.Fatalf("no hedge fired: %+v", s)
+	}
+}
+
+// syncBuffer is a goroutine-safe io.Writer for capturing slog output
+// from concurrent handler goroutines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestGatewayTraceReachesReplicaSlowLog is the end-to-end tracing
+// acceptance test: a predict through the gateway to a real replica must
+// land in the replica's slow-request log under the gateway-minted trace
+// ID, with real decode time recorded on a cold cache.
+func TestGatewayTraceReachesReplicaSlowLog(t *testing.T) {
+	net, m := buildModel(t, 120)
+	reg := serve.NewRegistry(0, serve.BatchOptions{})
+	defer reg.Close()
+	if _, err := reg.Add("m", m, net, []int{1, 8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	var logBuf syncBuffer
+	srv := serve.NewServerWith(reg, serve.ServerOptions{
+		SlowRequestThreshold: time.Nanosecond, // log every request
+		Logger:               slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+	rep := httptest.NewServer(srv)
+	defer rep.Close()
+
+	g, err := New([]string{rep.URL}, Options{HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g)
+	defer gw.Close()
+
+	code, resp, _ := postPredict(t, gw.URL, "m", testRows(1, 121))
+	if code != http.StatusOK {
+		t.Fatalf("predict status %d", code)
+	}
+	traceID := resp.Header.Get(telemetry.TraceHeader)
+	if traceID == "" {
+		t.Fatal("gateway did not return a trace ID")
+	}
+
+	var entry struct {
+		Msg      string `json:"msg"`
+		Trace    string `json:"trace"`
+		Model    string `json:"model"`
+		DecodeNs int64  `json:"decode_ns"`
+		KernelNs int64  `json:"kernel_ns"`
+		TotalNs  int64  `json:"total_ns"`
+	}
+	found := false
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("replica log line is not JSON: %q: %v", line, err)
+		}
+		if entry.Msg == "slow request" && entry.Trace == traceID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("gateway trace ID %q never appeared in the replica slow log:\n%s", traceID, logBuf.String())
+	}
+	if entry.Model != "m" {
+		t.Fatalf("slow log model %q, want m", entry.Model)
+	}
+	if entry.DecodeNs <= 0 {
+		t.Fatalf("cold-cache slow log reports decode_ns=%d, want > 0", entry.DecodeNs)
+	}
+	if entry.TotalNs <= 0 {
+		t.Fatalf("slow log total_ns=%d, want > 0", entry.TotalNs)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ErrClosed is returned by PredictBatched after the engine is closed.
@@ -51,8 +53,18 @@ type batcher struct {
 }
 
 type batchReq struct {
-	rows [][]float32
-	resp chan batchResp
+	rows     [][]float32
+	resp     chan batchResp
+	tr       *telemetry.Trace // may be nil
+	submitAt time.Time        // when the caller entered submit
+}
+
+// pendingReq is a batchReq the loop has accepted, stamped with when: the
+// submit→accept gap is StageQueue (waiting behind the previous batch),
+// accept→flush is StageBatchWait (window residency).
+type pendingReq struct {
+	batchReq
+	acceptAt time.Time
 }
 
 type batchResp struct {
@@ -73,10 +85,10 @@ func newBatcher(e *Engine, opt BatchOptions) *batcher {
 	return b
 }
 
-func (b *batcher) submit(rows [][]float32) ([][]float32, error) {
+func (b *batcher) submit(rows [][]float32, tr *telemetry.Trace) ([][]float32, error) {
 	resp := make(chan batchResp, 1)
 	select {
-	case b.reqs <- batchReq{rows: rows, resp: resp}:
+	case b.reqs <- batchReq{rows: rows, resp: resp, tr: tr, submitAt: time.Now()}:
 	case <-b.quit:
 		return nil, ErrClosed
 	}
@@ -98,14 +110,14 @@ func (b *batcher) loop() {
 		case <-b.quit:
 			return
 		}
-		batch := []batchReq{first}
+		batch := []pendingReq{{batchReq: first, acceptAt: time.Now()}}
 		n := len(first.rows)
 		timer := time.NewTimer(b.opt.Window)
 	fill:
 		for n < b.opt.MaxBatch {
 			select {
 			case req := <-b.reqs:
-				batch = append(batch, req)
+				batch = append(batch, pendingReq{batchReq: req, acceptAt: time.Now()})
 				n += len(req.rows)
 			case <-timer.C:
 				break fill
@@ -124,22 +136,35 @@ func (b *batcher) loop() {
 // the result rows back out in submission order. A panic in the forward
 // pass fails the batch instead of killing the batcher goroutine (and with
 // it the whole daemon — unlike HTTP handler goroutines, nothing above us
-// recovers).
-func (b *batcher) flush(batch []batchReq) {
+// recovers). Per-request queue/batch-wait timings and the shared forward
+// stage split are charged to each request's trace before its response is
+// released, so callers never race the instrumentation.
+func (b *batcher) flush(batch []pendingReq) {
+	flushAt := time.Now()
+	e := b.engine
 	rows := make([][]float32, 0, len(batch))
-	for _, req := range batch {
+	for i := range batch {
+		req := &batch[i]
 		rows = append(rows, req.rows...)
+		queued := req.acceptAt.Sub(req.submitAt)
+		waited := flushAt.Sub(req.acceptAt)
+		req.tr.Add(telemetry.StageQueue, queued)
+		req.tr.Add(telemetry.StageBatchWait, waited)
+		e.stageHist[telemetry.StageQueue].Observe(queued.Seconds())
+		e.stageHist[telemetry.StageBatchWait].Observe(waited.Seconds())
 	}
-	out, err := func() (out [][]float32, err error) {
+	out, st, err := func() (out [][]float32, st fwdStages, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("serve: forward pass panicked: %v", r)
 			}
 		}()
-		return b.engine.run(rows)
+		return e.run(rows)
 	}()
 	off := 0
-	for _, req := range batch {
+	for i := range batch {
+		req := &batch[i]
+		st.addTo(req.tr)
 		if err != nil {
 			req.resp <- batchResp{err: err}
 			continue

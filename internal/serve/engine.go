@@ -6,10 +6,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -51,6 +53,12 @@ type Engine struct {
 	// obs[i] is what the last decode of model.Layers[i] observed (density,
 	// resident format/bytes); nil until the layer is first decoded.
 	obs []atomic.Pointer[layerObs]
+
+	// Telemetry hooks, attached by Registry.Add. All are nil-safe no-ops
+	// on a bare NewEngine, so tests and benchmarks that build engines
+	// directly pay only nil checks.
+	stageHist  [telemetry.NumStages]*telemetry.Histogram
+	codecBytes map[codec.ID]*telemetry.Counter // decoded dense bytes per codec
 
 	requests atomic.Uint64 // predict calls
 	rows     atomic.Uint64 // examples served
@@ -159,37 +167,107 @@ func (e *Engine) Codec() string {
 // InputLen returns the flattened per-example input length.
 func (e *Engine) InputLen() int { return e.inLen }
 
+// attachTelemetry wires the engine's per-stage histograms and per-codec
+// decode-byte counters. Called by Registry.Add before the engine sees
+// traffic; tel may be nil (everything stays a no-op).
+func (e *Engine) attachTelemetry(tel *telemetry.Registry, stages [telemetry.NumStages]*telemetry.Histogram) {
+	if tel == nil {
+		return
+	}
+	e.stageHist = stages
+	e.codecBytes = map[codec.ID]*telemetry.Counter{}
+	for _, id := range e.model.Codecs() {
+		e.codecBytes[id] = tel.Counter("deepsz_decoded_bytes_total",
+			"Dense bytes materialised by layer decodes, by codec.",
+			telemetry.Label{Name: "codec", Value: codec.NameOf(id)})
+	}
+}
+
 // LayerWeights implements nn.WeightProvider over the decode cache. A
 // decoded layer below the sparse threshold is compacted to CSR before
 // insertion, so it is charged to the budget (and handed to the kernels)
 // in its cheap form.
 func (e *Engine) LayerWeights(layer string) (nn.LayerWeights, func(), error) {
+	lw, rel, _, err := e.layerWeightsTimed(layer)
+	return lw, rel, err
+}
+
+// layerWeightsTimed is LayerWeights plus the nanoseconds this call spent
+// actually decoding (zero on a cache hit, or when another caller's
+// in-flight decode was joined — that wait is lookup time, not decode
+// time, because the decode cost is charged to the request that ran it).
+func (e *Engine) layerWeightsTimed(layer string) (nn.LayerWeights, func(), int64, error) {
 	idx, ok := e.model.LayerIndex(layer)
 	if !ok {
-		return nn.LayerWeights{}, nil, nn.ErrNotProvided
+		return nn.LayerWeights{}, nil, 0, nn.ErrNotProvided
 	}
+	var decodeNs int64
 	dl, err := e.cache.Get(e.name+"/"+layer, func() (*core.DecodedLayer, int64, error) {
+		t0 := time.Now()
 		dl, err := e.model.DecodeLayer(layer)
 		if err != nil {
+			decodeNs = time.Since(t0).Nanoseconds()
 			return nil, 0, err
 		}
 		density := dl.Density()
 		dl.Compact(e.threshold)
 		e.obs[idx].Store(&layerObs{density: density, sparse: dl.Sparse != nil, resident: dl.ResidentBytes()})
+		decodeNs = time.Since(t0).Nanoseconds()
+		e.codecBytes[e.model.Layers[idx].Codec].Add(uint64(e.model.Layers[idx].DenseBytes()))
 		return dl, dl.ResidentBytes(), nil
 	})
 	if err != nil {
-		return nn.LayerWeights{}, nil, err
+		return nn.LayerWeights{}, nil, decodeNs, err
 	}
-	return nn.LayerWeights{Dense: dl.Weights, Sparse: dl.Sparse, Bias: dl.Bias}, nil, nil
+	return nn.LayerWeights{Dense: dl.Weights, Sparse: dl.Sparse, Bias: dl.Bias}, nil, decodeNs, nil
 }
 
-// forward runs one inference pass over a [N, inShape...] batch.
-func (e *Engine) forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+// timedProvider wraps the engine's weight provider for one forward pass,
+// splitting provider time into cache lookup (hits, bookkeeping, waiting
+// on coalesced decodes) and decode proper. One batch runs in one
+// goroutine, so plain fields suffice.
+type timedProvider struct {
+	e                  *Engine
+	lookupNs, decodeNs int64
+}
+
+func (p *timedProvider) LayerWeights(layer string) (nn.LayerWeights, func(), error) {
+	t0 := time.Now()
+	lw, rel, decodeNs, err := p.e.layerWeightsTimed(layer)
+	p.decodeNs += decodeNs
+	p.lookupNs += time.Since(t0).Nanoseconds() - decodeNs
+	return lw, rel, err
+}
+
+// forwardWith runs one inference pass over a [N, inShape...] batch with
+// the given weight provider.
+func (e *Engine) forwardWith(x *tensor.Tensor, p nn.WeightProvider) (*tensor.Tensor, error) {
 	net := e.pool.Get().(*nn.Network)
 	defer e.pool.Put(net)
 	e.batches.Add(1)
-	return net.ForwardWithProvider(x, e)
+	return net.ForwardWithProvider(x, p)
+}
+
+// fwdStages is one forward pass's stage split. For a micro-batched pass
+// these costs are shared by every rider: each request's trace is charged
+// the full amount (the latency it actually experienced), while the stage
+// histograms observe the pass once so per-stage totals stay physical.
+type fwdStages struct {
+	lookup, decode, kernel time.Duration
+}
+
+// addTo charges the forward stages to a trace (nil-safe).
+func (st fwdStages) addTo(tr *telemetry.Trace) {
+	tr.Add(telemetry.StageCacheLookup, st.lookup)
+	tr.Add(telemetry.StageDecode, st.decode)
+	tr.Add(telemetry.StageKernel, st.kernel)
+}
+
+// observe records the pass in the engine's per-stage histograms.
+func (st fwdStages) observe(e *Engine) {
+	e.stageHist[telemetry.StageCacheLookup].Observe(st.lookup.Seconds())
+	e.stageHist[telemetry.StageDecode].Observe(st.decode.Seconds())
+	e.stageHist[telemetry.StageKernel].Observe(st.kernel.Seconds())
 }
 
 // admit charges one predict against the engine's admission bound and
@@ -209,6 +287,12 @@ func (e *Engine) admit() (func(), error) {
 // without micro-batching, and returns one logits row per input. Safe for
 // concurrent use.
 func (e *Engine) Predict(rows [][]float32) ([][]float32, error) {
+	return e.PredictTraced(rows, nil)
+}
+
+// PredictTraced is Predict with a per-request trace: the forward pass's
+// cache-lookup/decode/kernel split is charged to tr (which may be nil).
+func (e *Engine) PredictTraced(rows [][]float32, tr *telemetry.Trace) ([][]float32, error) {
 	if err := e.checkRows(rows); err != nil {
 		return nil, err
 	}
@@ -219,12 +303,22 @@ func (e *Engine) Predict(rows [][]float32) ([][]float32, error) {
 	defer release()
 	e.requests.Add(1)
 	e.rows.Add(uint64(len(rows)))
-	return e.run(rows)
+	out, st, err := e.run(rows)
+	st.addTo(tr)
+	return out, err
 }
 
 // PredictBatched is Predict through the micro-batcher: concurrent callers
 // within the batch window share one forward pass.
 func (e *Engine) PredictBatched(rows [][]float32) ([][]float32, error) {
+	return e.PredictBatchedTraced(rows, nil)
+}
+
+// PredictBatchedTraced is PredictBatched with a per-request trace: queue
+// and batch-wait time are charged per request, and the shared forward
+// pass's stage split is charged in full to every batch rider (it is the
+// latency each of them experienced). tr may be nil.
+func (e *Engine) PredictBatchedTraced(rows [][]float32, tr *telemetry.Trace) ([][]float32, error) {
 	if err := e.checkRows(rows); err != nil {
 		return nil, err
 	}
@@ -235,7 +329,7 @@ func (e *Engine) PredictBatched(rows [][]float32) ([][]float32, error) {
 	defer release()
 	e.requests.Add(1)
 	e.rows.Add(uint64(len(rows)))
-	return e.batcher.submit(rows)
+	return e.batcher.submit(rows, tr)
 }
 
 func (e *Engine) checkRows(rows [][]float32) error {
@@ -257,7 +351,7 @@ func (e *Engine) checkRows(rows [][]float32) error {
 // (Flatten's Reshape, inference-mode pass-throughs), in which case the
 // returned logits still alias it and it must be dropped instead of
 // recycled.
-func (e *Engine) run(rows [][]float32) ([][]float32, error) {
+func (e *Engine) run(rows [][]float32) ([][]float32, fwdStages, error) {
 	n := len(rows)
 	need := n * e.inLen
 	flatPtr, _ := e.flatPool.Get().(*[]float32)
@@ -270,7 +364,18 @@ func (e *Engine) run(rows [][]float32) ([][]float32, error) {
 		flat = append(flat, r...)
 	}
 	x := tensor.FromSlice(flat, append([]int{n}, e.inShape...)...)
-	y, err := e.forward(x)
+	p := timedProvider{e: e}
+	t0 := time.Now()
+	y, err := e.forwardWith(x, &p)
+	st := fwdStages{
+		lookup: time.Duration(p.lookupNs),
+		decode: time.Duration(p.decodeNs),
+		kernel: time.Since(t0) - time.Duration(p.lookupNs+p.decodeNs),
+	}
+	if st.kernel < 0 {
+		st.kernel = 0 // clock skew between nested time.Now pairs
+	}
+	st.observe(e)
 	if y == nil || len(y.Data) == 0 || &y.Data[0] != &flat[0] {
 		// View layers share storage from element 0, so a first-element
 		// address match is exactly "y aliases the pooled buffer".
@@ -278,14 +383,14 @@ func (e *Engine) run(rows [][]float32) ([][]float32, error) {
 		e.flatPool.Put(flatPtr)
 	}
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	classes := y.Len() / n
 	out := make([][]float32, n)
 	for i := range out {
 		out[i] = y.Data[i*classes : (i+1)*classes : (i+1)*classes]
 	}
-	return out, nil
+	return out, st, nil
 }
 
 // EngineStats is a snapshot of one model's serving counters. QueueDepth

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// scrape fetches and strictly parses url's /metrics exposition.
+func scrape(t testing.TB, url string) *telemetry.Scrape {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := telemetry.ParseExposition(raw)
+	if err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, raw)
+	}
+	return s
+}
+
+// TestServerMetricsEndpoint locks the /metrics tentpole on the serving
+// side: the exposition parses under the strict parser, the cache and
+// per-stage families carry real traffic, and counters only move forward
+// between scrapes.
+func TestServerMetricsEndpoint(t *testing.T) {
+	ts, _ := serverFixture(t, 0)
+
+	// Cold-cache predict so the decode stage has something to measure.
+	body, _ := json.Marshal(predictRequest{Inputs: testRows(3, 40)})
+	resp, err := http.Post(ts.URL+"/v1/models/mlp/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	first := scrape(t, ts.URL+"/metrics")
+
+	// Cache counters: the cold predict decoded both fc layers.
+	events := map[string]float64{}
+	for _, s := range first.Family("deepsz_cache_events_total").Samples {
+		for _, l := range s.Labels {
+			if l.Name == "event" {
+				events[l.Value] = s.Value
+			}
+		}
+	}
+	if events["miss"] != 2 {
+		t.Fatalf("cache miss counter %v, want 2 (one per layer)", events["miss"])
+	}
+	for _, ev := range []string{"hit", "coalesced", "eviction", "bypass"} {
+		if _, ok := events[ev]; !ok {
+			t.Fatalf("cache event %q missing from exposition", ev)
+		}
+	}
+
+	// Per-stage histograms: every stage family member exists; the stages
+	// the cold predict exercised observed at least one sample.
+	stageCount := map[string]uint64{}
+	for _, s := range first.Family("deepsz_stage_duration_seconds").Samples {
+		if !strings.HasSuffix(s.Name, "_count") {
+			continue
+		}
+		for _, l := range s.Labels {
+			if l.Name == "stage" {
+				stageCount[l.Value] = uint64(s.Value)
+			}
+		}
+	}
+	for _, st := range telemetry.Stages() {
+		if _, ok := stageCount[st.String()]; !ok {
+			t.Fatalf("stage %q missing from deepsz_stage_duration_seconds", st)
+		}
+	}
+	for _, st := range []string{"queue", "batch_wait", "cache_lookup", "decode", "kernel", "encode"} {
+		if stageCount[st] == 0 {
+			t.Fatalf("stage %q observed no samples after a cold predict: %v", st, stageCount)
+		}
+	}
+
+	// Decoded-bytes and per-model counters carry the predict.
+	if f := first.Family("deepsz_decoded_bytes_total"); f == nil || len(f.Samples) == 0 || f.Samples[0].Value <= 0 {
+		t.Fatalf("deepsz_decoded_bytes_total missing or zero after a cold predict: %+v", f)
+	}
+	for _, name := range []string{
+		"deepsz_predict_requests_total", "deepsz_predict_rows_total",
+		"deepsz_predict_batches_total", "deepsz_build_info",
+		"deepsz_http_in_flight", "deepsz_uptime_seconds",
+	} {
+		if first.Family(name) == nil {
+			t.Fatalf("family %q missing from exposition", name)
+		}
+	}
+
+	// More traffic, then re-scrape: every counter must be monotonic.
+	resp, err = http.Post(ts.URL+"/v1/models/mlp/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	second := scrape(t, ts.URL+"/metrics")
+	if err := telemetry.CheckMonotonic(first, second); err != nil {
+		t.Fatalf("counters moved backwards between scrapes: %v", err)
+	}
+}
+
+// TestServerTraceResponse locks the per-request tracing contract at the
+// HTTP layer: a trace ID is always echoed in the response header, a
+// client-minted ID is honoured, and "trace": true returns the per-stage
+// breakdown with decode time > 0 on a cold cache.
+func TestServerTraceResponse(t *testing.T) {
+	ts, _ := serverFixture(t, 0)
+
+	body, _ := json.Marshal(predictRequest{Inputs: testRows(2, 41), Trace: true})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/models/mlp/predict", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(telemetry.TraceHeader, "cafef00dcafef00d")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get(telemetry.TraceHeader); got != "cafef00dcafef00d" {
+		t.Fatalf("trace header %q, want the client-minted ID echoed", got)
+	}
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Trace == nil {
+		t.Fatal("trace requested but response carries none")
+	}
+	if pr.Trace.ID != "cafef00dcafef00d" {
+		t.Fatalf("trace body ID %q, want the header ID", pr.Trace.ID)
+	}
+	if pr.Trace.StagesNs["decode"] <= 0 {
+		t.Fatalf("cold-cache trace reports decode_ns=%d, want > 0 (%+v)", pr.Trace.StagesNs["decode"], pr.Trace.StagesNs)
+	}
+	if pr.Trace.TotalNs <= 0 {
+		t.Fatalf("trace total_ns=%d, want > 0", pr.Trace.TotalNs)
+	}
+
+	// Without a client header the server mints one; without "trace": true
+	// the body stays clean but the header still carries the ID.
+	plain, _ := json.Marshal(predictRequest{Inputs: testRows(1, 42)})
+	resp2, err := http.Post(ts.URL+"/v1/models/mlp/predict", "application/json", bytes.NewReader(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.Header.Get(telemetry.TraceHeader) == "" {
+		t.Fatal("server did not mint a trace ID")
+	}
+	var pr2 predictResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&pr2); err != nil {
+		t.Fatal(err)
+	}
+	if pr2.Trace != nil {
+		t.Fatalf("trace not requested but response carries %+v", pr2.Trace)
+	}
+}

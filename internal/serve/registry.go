@@ -9,29 +9,125 @@ import (
 	"repro/internal/core"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
 // Registry holds the engines for every loaded model and owns the decode
 // cache they share: the memory budget is server-wide, so hot models evict
 // cold models' layers, exactly like device memory on a shared accelerator.
+// It also owns the telemetry registry behind /metrics: cache and engine
+// counters are sampled lazily at scrape time (zero hot-path cost), while
+// the per-stage latency histograms live here so every engine feeds one
+// family.
 type Registry struct {
 	mu        sync.RWMutex
 	cache     *DecodeCache
 	engines   map[string]*Engine
 	opt       BatchOptions
 	threshold float64
+
+	tel    *telemetry.Registry
+	stages [telemetry.NumStages]*telemetry.Histogram
 }
 
 // NewRegistry creates a registry whose decode cache holds at most budget
 // bytes of materialised layers (budget <= 0 means unlimited). Engines
 // start with DefaultSparseThreshold; see SetSparseThreshold.
 func NewRegistry(budget int64, opt BatchOptions) *Registry {
-	return &Registry{
+	r := &Registry{
 		cache:     NewDecodeCache(budget),
 		engines:   map[string]*Engine{},
 		opt:       opt,
 		threshold: DefaultSparseThreshold,
+		tel:       telemetry.NewRegistry(),
+	}
+	r.registerMetrics()
+	return r
+}
+
+// Telemetry returns the registry's metric registry (what /metrics
+// exposes).
+func (r *Registry) Telemetry() *telemetry.Registry { return r.tel }
+
+// registerMetrics wires the scrape-time samplers and stage histograms.
+// Everything counter-like here is backed by the counters the cache and
+// engines already maintain, so scraping costs one snapshot per family
+// and serving costs nothing new.
+func (r *Registry) registerMetrics() {
+	telemetry.RegisterBuildInfo(r.tel, "deepsz")
+	for _, s := range telemetry.Stages() {
+		r.stages[s] = r.tel.Histogram("deepsz_stage_duration_seconds",
+			"Predict latency by pipeline stage (queue, batch_wait, cache_lookup, decode, kernel, encode).",
+			telemetry.DurationBuckets, telemetry.Label{Name: "stage", Value: s.String()})
+	}
+	r.tel.CounterFunc("deepsz_cache_events_total",
+		"Decode cache events: hit, miss, coalesced (waited on another caller's decode), eviction, bypass (layer larger than the whole budget).",
+		func() []telemetry.Sample {
+			s := r.cache.Stats()
+			return []telemetry.Sample{
+				{Labels: []telemetry.Label{{Name: "event", Value: "hit"}}, Value: float64(s.Hits)},
+				{Labels: []telemetry.Label{{Name: "event", Value: "miss"}}, Value: float64(s.Misses)},
+				{Labels: []telemetry.Label{{Name: "event", Value: "coalesced"}}, Value: float64(s.Coalesced)},
+				{Labels: []telemetry.Label{{Name: "event", Value: "eviction"}}, Value: float64(s.Evictions)},
+				{Labels: []telemetry.Label{{Name: "event", Value: "bypass"}}, Value: float64(s.Bypasses)},
+			}
+		})
+	r.tel.CounterFunc("deepsz_cache_decode_seconds_total",
+		"Cumulative wall time spent decoding layers on cache misses.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: r.cache.Stats().DecodeTime.Seconds()}}
+		})
+	r.tel.GaugeFunc("deepsz_cache_resident_bytes",
+		"Decoded bytes resident in the cache, by representation.",
+		func() []telemetry.Sample {
+			s := r.cache.Stats()
+			return []telemetry.Sample{
+				{Labels: []telemetry.Label{{Name: "format", Value: "dense"}}, Value: float64(s.DenseBytes)},
+				{Labels: []telemetry.Label{{Name: "format", Value: "sparse"}}, Value: float64(s.SparseBytes)},
+			}
+		})
+	r.tel.GaugeFunc("deepsz_cache_budget_bytes",
+		"Decode cache byte budget (0 = unlimited).",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: float64(r.cache.Stats().Budget)}}
+		})
+	r.tel.GaugeFunc("deepsz_cache_entries",
+		"Layers currently resident in the decode cache.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: float64(r.cache.Stats().Entries)}}
+		})
+	r.tel.CounterFunc("deepsz_predict_requests_total",
+		"Predict calls admitted, by model.",
+		r.engineSamples(func(e *Engine) float64 { return float64(e.requests.Load()) }))
+	r.tel.CounterFunc("deepsz_predict_rows_total",
+		"Example rows served, by model.",
+		r.engineSamples(func(e *Engine) float64 { return float64(e.rows.Load()) }))
+	r.tel.CounterFunc("deepsz_predict_batches_total",
+		"Forward passes run, by model.",
+		r.engineSamples(func(e *Engine) float64 { return float64(e.batches.Load()) }))
+	r.tel.CounterFunc("deepsz_predict_shed_total",
+		"Predict calls shed by the per-engine admission bound, by model.",
+		r.engineSamples(func(e *Engine) float64 { return float64(e.shed.Load()) }))
+	r.tel.GaugeFunc("deepsz_predict_pending",
+		"Predicts admitted and not yet finished, by model.",
+		r.engineSamples(func(e *Engine) float64 { return float64(e.pendingNow.Load()) }))
+}
+
+// engineSamples builds a scrape-time sampler that reads one value per
+// registered engine, labelled by model name.
+func (r *Registry) engineSamples(f func(*Engine) float64) func() []telemetry.Sample {
+	return func() []telemetry.Sample {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		out := make([]telemetry.Sample, 0, len(r.engines))
+		for name, e := range r.engines {
+			out = append(out, telemetry.Sample{
+				Labels: []telemetry.Label{{Name: "model", Value: name}},
+				Value:  f(e),
+			})
+		}
+		return out
 	}
 }
 
@@ -57,6 +153,7 @@ func (r *Registry) Add(name string, m *core.Model, skeleton *nn.Network, inputSh
 	if err != nil {
 		return nil, err
 	}
+	e.attachTelemetry(r.tel, r.stages)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.engines[name]; dup {

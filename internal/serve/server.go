@@ -3,26 +3,32 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/codec"
 	"repro/internal/httputil"
+	"repro/internal/telemetry"
 )
 
 // Server is the HTTP JSON front end over a Registry.
 //
-//	GET  /healthz                        liveness probe + in-flight gauge
+//	GET  /healthz                        liveness probe + in-flight gauge + build info
 //	GET  /v1/models                      loaded models and their layers
-//	POST /v1/models/{name}/predict       {"inputs": [[...], ...]}
+//	POST /v1/models/{name}/predict       {"inputs": [[...], ...], "trace": bool}
 //	GET  /v1/stats                       cache + per-model counters
+//	GET  /metrics                        Prometheus text exposition
 type Server struct {
-	reg      *Registry
-	mux      *http.ServeMux
-	start    time.Time
-	maxBody  int64
-	inFlight atomic.Int64 // predict requests currently being handled
+	reg        *Registry
+	mux        *http.ServeMux
+	start      time.Time
+	maxBody    int64
+	slowThresh time.Duration
+	log        *slog.Logger
+	inFlight   atomic.Int64 // predict requests currently being handled
 }
 
 // DefaultMaxBodyBytes caps a predict request body unless ServerOptions
@@ -38,6 +44,14 @@ type ServerOptions struct {
 	// MaxBodyBytes caps a predict request body; overflow is answered
 	// with 413. 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// SlowRequestThreshold is the end-to-end predict latency at or above
+	// which the request is logged with its trace ID and per-stage
+	// breakdown — the evidence trail for "why was this one slow" without
+	// tracing everything. 0 disables the slow-request log.
+	SlowRequestThreshold time.Duration
+	// Logger receives the server's structured logs (slow requests).
+	// nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // NewServer wires the API routes over reg with default options.
@@ -48,25 +62,58 @@ func NewServerWith(reg *Registry, opt ServerOptions) *Server {
 	if opt.MaxBodyBytes <= 0 {
 		opt.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now(), maxBody: opt.MaxBodyBytes}
+	if opt.Logger == nil {
+		opt.Logger = slog.Default()
+	}
+	s := &Server{
+		reg:        reg,
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		maxBody:    opt.MaxBodyBytes,
+		slowThresh: opt.SlowRequestThreshold,
+		log:        opt.Logger,
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// The server-level gauges live on the registry's telemetry so one
+	// scrape covers both; re-registering (a second server over the same
+	// registry) just repoints the sampler at the newest server.
+	tel := reg.Telemetry()
+	tel.GaugeFunc("deepsz_http_in_flight",
+		"Predict requests currently inside the HTTP handler.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: float64(s.inFlight.Load())}}
+		})
+	tel.GaugeFunc("deepsz_uptime_seconds",
+		"Seconds since the server started.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: time.Since(s.start).Seconds()}}
+		})
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.Telemetry().WriteExposition(w)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// in_flight rides along so a probing load balancer gets a cheap load
-	// signal without the full /v1/stats fan-out.
+	// signal without the full /v1/stats fan-out; build identifies what is
+	// serving before any number it reports is trusted.
 	httputil.WriteJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"models":         len(s.reg.Names()),
 		"in_flight":      s.inFlight.Load(),
+		"build":          telemetry.BuildInfo(),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
 	})
 }
 
@@ -130,14 +177,20 @@ const maxPredictRows = 4096
 
 type predictRequest struct {
 	Inputs [][]float32 `json:"inputs"`
+	// Trace asks for the per-stage timing breakdown in the response. The
+	// trace always runs (stage histograms and the slow-request log need
+	// it); this only controls whether the client sees it.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type predictResponse struct {
-	Outputs [][]float32 `json:"outputs"`
-	Argmax  []int       `json:"argmax"`
+	Outputs [][]float32          `json:"outputs"`
+	Argmax  []int                `json:"argmax"`
+	Trace   *telemetry.Breakdown `json:"trace,omitempty"`
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 	name := r.PathValue("name")
@@ -160,7 +213,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httputil.WriteError(w, http.StatusRequestEntityTooLarge, "%d input rows exceed the per-request limit of %d", len(req.Inputs), maxPredictRows)
 		return
 	}
-	out, err := e.PredictBatched(req.Inputs)
+	// One trace per request: the ID arrives from the tier above (the
+	// gateway mints one per client request and stamps every hedged
+	// attempt with it) or is minted here, and is always echoed in the
+	// response header so the client can quote it at the slow-request log.
+	tr := telemetry.NewTrace(r.Header.Get(telemetry.TraceHeader))
+	w.Header().Set(telemetry.TraceHeader, tr.ID)
+	out, err := e.PredictBatchedTraced(req.Inputs, tr)
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {
@@ -187,12 +246,40 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Argmax[i] = best
 	}
+	if req.Trace {
+		// Encode time is still unknown (it is the serialisation below);
+		// the response reports it as 0, the histograms and the slow log
+		// get the measured value.
+		resp.Trace = tr.Breakdown(time.Since(t0))
+	}
+	encodeStart := time.Now()
 	httputil.WriteJSON(w, http.StatusOK, resp)
+	encode := time.Since(encodeStart)
+	tr.Add(telemetry.StageEncode, encode)
+	s.reg.stages[telemetry.StageEncode].Observe(encode.Seconds())
+
+	if total := time.Since(t0); s.slowThresh > 0 && total >= s.slowThresh {
+		s.log.Warn("slow request",
+			"trace", tr.ID,
+			"model", name,
+			"rows", len(req.Inputs),
+			"total_ns", total.Nanoseconds(),
+			"queue_ns", tr.Dur(telemetry.StageQueue).Nanoseconds(),
+			"batch_wait_ns", tr.Dur(telemetry.StageBatchWait).Nanoseconds(),
+			"cache_lookup_ns", tr.Dur(telemetry.StageCacheLookup).Nanoseconds(),
+			"decode_ns", tr.Dur(telemetry.StageDecode).Nanoseconds(),
+			"kernel_ns", tr.Dur(telemetry.StageKernel).Nanoseconds(),
+			"encode_ns", encode.Nanoseconds(),
+		)
+	}
 }
 
 type statsResponse struct {
-	Cache   CacheStats `json:"cache"`
-	HitRate float64    `json:"cache_hit_rate"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Build         telemetry.Build `json:"build"`
+	GoMaxProcs    int             `json:"gomaxprocs"`
+	Cache         CacheStats      `json:"cache"`
+	HitRate       float64         `json:"cache_hit_rate"`
 	// InFlight is the predict requests currently inside the HTTP handler
 	// — the server-wide load gauge; per-engine queue depth is under each
 	// model's stats.
@@ -202,9 +289,12 @@ type statsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
-		Cache:    s.reg.Cache().Stats(),
-		InFlight: s.inFlight.Load(),
-		Models:   map[string]EngineStats{},
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Build:         telemetry.BuildInfo(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Cache:         s.reg.Cache().Stats(),
+		InFlight:      s.inFlight.Load(),
+		Models:        map[string]EngineStats{},
 	}
 	resp.HitRate = resp.Cache.HitRate()
 	for _, name := range s.reg.Names() {

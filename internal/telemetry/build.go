@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Build identifies the running binary: what an autoscaler (or a human
+// mid-incident) needs to know about which build is serving before
+// trusting any number it reports.
+type Build struct {
+	// Version is the main module version ("(devel)" for plain `go build`).
+	Version string `json:"version"`
+	// Revision is the VCS commit the binary was built from, suffixed
+	// "+dirty" when the working tree was modified; empty outside a
+	// checkout.
+	Revision string `json:"revision,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo Build
+)
+
+// BuildInfo returns the binary's build identification, read once from
+// runtime/debug.ReadBuildInfo.
+func BuildInfo() Build {
+	buildOnce.Do(func() {
+		buildInfo = Build{Version: "unknown", GoVersion: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Version = bi.Main.Version
+		buildInfo.GoVersion = bi.GoVersion
+		var rev string
+		dirty := false
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				rev = kv.Value
+			case "vcs.modified":
+				dirty = kv.Value == "true"
+			}
+		}
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty && rev != "" {
+			rev += "+dirty"
+		}
+		buildInfo.Revision = rev
+	})
+	return buildInfo
+}
+
+// RegisterBuildInfo adds the conventional <prefix>_build_info gauge
+// (constant 1, labelled by version/revision/goversion) to r.
+func RegisterBuildInfo(r *Registry, prefix string) {
+	b := BuildInfo()
+	r.GaugeFunc(prefix+"_build_info",
+		"Constant 1; labels identify the running build.",
+		func() []Sample {
+			return []Sample{{Labels: []Label{
+				{"goversion", b.GoVersion},
+				{"revision", b.Revision},
+				{"version", b.Version},
+			}, Value: 1}}
+		})
+}

@@ -1,0 +1,366 @@
+// Package telemetry is the observability layer shared by the serving
+// tiers: a hand-rolled, dependency-free metrics registry with Prometheus
+// text exposition (metrics.go), a strict parser for that format so tests
+// and CI can hold the exposition to its contract (parse.go), per-request
+// stage tracing (trace.go), and build identification (build.go).
+//
+// The design constraint throughout is hot-path cost: counters are single
+// atomic adds, histograms are one linear scan over ~16 bucket bounds plus
+// two atomic ops, and everything that can be sampled lazily at scrape
+// time (cache counters, fleet health) is registered as a func-backed
+// family that costs nothing between scrapes. BenchmarkServing is the
+// enforcement: instrumentation that moves it does not belong here.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name="value" pair on a metric sample.
+type Label struct {
+	Name, Value string
+}
+
+// Sample is one exposition line's worth of data, produced by func-backed
+// families at scrape time.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// DurationBuckets are the default latency histogram bounds, in seconds:
+// 50µs to 10s, roughly log-spaced. The low end resolves a warm cache-hit
+// predict (~100µs); the high end covers a cold whole-model decode.
+var DurationBuckets = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing value. The zero value is ready to
+// use; a nil *Counter is a valid no-op, so instruments can be optional
+// without call sites checking.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution. Observations are lock-free:
+// one scan over the bounds, one atomic bucket increment, one atomic CAS
+// for the sum. A nil *Histogram is a valid no-op.
+type Histogram struct {
+	bounds  []float64       // sorted ascending; counts has len(bounds)+1 (last = +Inf)
+	counts  []atomic.Uint64 // per-bucket (non-cumulative) observation counts
+	sumBits atomic.Uint64   // float64 bits of the running sum
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// snapshot returns cumulative bucket counts, total count and sum.
+func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
+	cum = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		count += h.counts[i].Load()
+		cum[i] = count
+	}
+	return cum, count, math.Float64frombits(h.sumBits.Load())
+}
+
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// child is one registered label set of a family.
+type child struct {
+	labels []Label // sorted by name
+	key    string  // canonical label signature
+	ctr    *Counter
+	hist   *Histogram
+}
+
+// family is one metric name: its metadata plus either static children
+// (Counter/Histogram instruments) or a scrape-time sampler func.
+type family struct {
+	name, help, typ string
+	bounds          []float64 // histogram families only
+	mu              sync.Mutex
+	children        []*child
+	byKey           map[string]*child
+	sample          func() []Sample // func-backed families; nil for static
+}
+
+// Registry holds metric families and writes them in Prometheus text
+// exposition format. Families are keyed by name; registering the same
+// name with a different type or help panics (a programming error, caught
+// at startup, not a runtime condition).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+func (r *Registry) family(name, help, typ string) *family {
+	if !nameRe.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("telemetry: metric %s re-registered as %s (was %s)", name, typ, f.typ))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, byKey: map[string]*child{}}
+	r.families[name] = f
+	return f
+}
+
+// labelKey canonicalises a sorted label set.
+func labelKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func sortedLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	for _, l := range out {
+		if !nameRe.MatchString(l.Name) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", l.Name))
+		}
+	}
+	return out
+}
+
+func (f *family) child(labels []Label) *child {
+	ls := sortedLabels(labels)
+	key := labelKey(ls)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.byKey[key]; ok {
+		return c
+	}
+	c := &child{labels: ls, key: key}
+	switch f.typ {
+	case typeCounter:
+		c.ctr = &Counter{}
+	case typeHistogram:
+		c.hist = &Histogram{bounds: f.bounds, counts: make([]atomic.Uint64, len(f.bounds)+1)}
+	}
+	f.byKey[key] = c
+	f.children = append(f.children, c)
+	return c
+}
+
+// Counter registers (or returns the existing) counter under name with the
+// given labels. Repeated calls with the same name+labels return the same
+// instrument, so two engines serving the same codec share one counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.family(name, help, typeCounter).child(labels).ctr
+}
+
+// Histogram registers (or returns the existing) histogram under name.
+// bounds must be sorted ascending; they are fixed for the family by the
+// first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	f := r.family(name, help, typeHistogram)
+	f.mu.Lock()
+	if f.bounds == nil {
+		if !sort.Float64sAreSorted(bounds) {
+			f.mu.Unlock()
+			panic(fmt.Sprintf("telemetry: histogram %s bounds not sorted", name))
+		}
+		f.bounds = append([]float64(nil), bounds...)
+	}
+	f.mu.Unlock()
+	return f.child(labels).hist
+}
+
+// CounterFunc registers a scrape-time sampled counter family: f is called
+// on every scrape and must return monotonically non-decreasing values per
+// label set (the strict parser's cross-scrape check enforces this in
+// tests). Registering the same name again replaces the sampler.
+func (r *Registry) CounterFunc(name, help string, f func() []Sample) {
+	r.family(name, help, typeCounter).sample = f
+}
+
+// GaugeFunc registers a scrape-time sampled gauge family. Registering the
+// same name again replaces the sampler.
+func (r *Registry) GaugeFunc(name, help string, f func() []Sample) {
+	r.family(name, help, typeGauge).sample = f
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func writeLabels(b *strings.Builder, labels []Label, extra ...Label) {
+	all := append(append([]Label(nil), labels...), extra...)
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	if len(all) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteExposition writes the whole registry in Prometheus text exposition format:
+// families sorted by name, children sorted by label signature, labels
+// sorted within each sample — the canonical order the strict parser
+// demands, so the writer can never drift from what the parser accepts.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		if f.sample != nil {
+			samples := f.sample()
+			lines := make([]string, 0, len(samples))
+			for _, s := range samples {
+				var sb strings.Builder
+				sb.WriteString(f.name)
+				writeLabels(&sb, sortedLabels(s.Labels))
+				sb.WriteByte(' ')
+				sb.WriteString(formatValue(s.Value))
+				lines = append(lines, sb.String())
+			}
+			sort.Strings(lines)
+			for _, l := range lines {
+				b.WriteString(l)
+				b.WriteByte('\n')
+			}
+			continue
+		}
+		f.mu.Lock()
+		children := append([]*child(nil), f.children...)
+		f.mu.Unlock()
+		sort.Slice(children, func(i, j int) bool { return children[i].key < children[j].key })
+		for _, c := range children {
+			switch f.typ {
+			case typeCounter:
+				b.WriteString(f.name)
+				writeLabels(&b, c.labels)
+				fmt.Fprintf(&b, " %s\n", formatValue(float64(c.ctr.Value())))
+			case typeHistogram:
+				cum, count, sum := c.hist.snapshot()
+				for i, bound := range c.hist.bounds {
+					b.WriteString(f.name)
+					b.WriteString("_bucket")
+					writeLabels(&b, c.labels, Label{"le", formatValue(bound)})
+					fmt.Fprintf(&b, " %d\n", cum[i])
+				}
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(&b, c.labels, Label{"le", "+Inf"})
+				fmt.Fprintf(&b, " %d\n", count)
+				b.WriteString(f.name)
+				b.WriteString("_sum")
+				writeLabels(&b, c.labels)
+				fmt.Fprintf(&b, " %s\n", formatValue(sum))
+				b.WriteString(f.name)
+				b.WriteString("_count")
+				writeLabels(&b, c.labels)
+				fmt.Fprintf(&b, " %d\n", count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

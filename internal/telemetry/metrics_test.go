@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExpositionRoundTrip locks the writer to the strict parser: whatever
+// the registry writes must parse cleanly, with families present and
+// values intact.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "Events.", Label{"event", "hit"})
+	c.Add(3)
+	r.Counter("test_events_total", "Events.", Label{"event", "miss"}).Add(1)
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5) // over the top bound: lands in +Inf only
+	r.GaugeFunc("test_in_flight", "In flight.", func() []Sample {
+		return []Sample{{Value: 2}}
+	})
+	r.CounterFunc("test_sampled_total", "Sampled.", func() []Sample {
+		return []Sample{
+			{Labels: []Label{{"model", "a"}}, Value: 7},
+			{Labels: []Label{{"model", "b"}}, Value: 9},
+		}
+	})
+
+	var b strings.Builder
+	if err := r.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	s, err := ParseExposition([]byte(out))
+	if err != nil {
+		t.Fatalf("writer output rejected by parser: %v\n%s", err, out)
+	}
+	f := s.Family("test_events_total")
+	if f == nil || f.Type != "counter" || len(f.Samples) != 2 {
+		t.Fatalf("test_events_total family wrong: %+v", f)
+	}
+	if f.Samples[0].Value != 3 || f.Samples[0].Labels[0].Value != "hit" {
+		t.Fatalf("counter sample wrong: %+v", f.Samples[0])
+	}
+	hf := s.Family("test_latency_seconds")
+	if hf == nil || hf.Type != "histogram" {
+		t.Fatalf("histogram family missing")
+	}
+	var count, sum float64
+	for _, sm := range hf.Samples {
+		switch sm.Name {
+		case "test_latency_seconds_count":
+			count = sm.Value
+		case "test_latency_seconds_sum":
+			sum = sm.Value
+		}
+	}
+	if count != 3 {
+		t.Fatalf("histogram count = %v, want 3", count)
+	}
+	if sum < 5.05 || sum > 5.06 {
+		t.Fatalf("histogram sum = %v, want ~5.0505", sum)
+	}
+	if s.Family("test_sampled_total") == nil || s.Family("test_in_flight") == nil {
+		t.Fatal("func-backed families missing")
+	}
+}
+
+// TestCounterIdentity: same name+labels returns the same instrument, so
+// independently constructed engines share codec counters.
+func TestCounterIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", Label{"codec", "sz"})
+	b := r.Counter("x_total", "x", Label{"codec", "sz"})
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	a.Add(2)
+	if b.Value() != 2 {
+		t.Fatal("shared counter not shared")
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var h *Histogram
+	c.Add(1)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	var tr *Trace
+	tr.Add(StageDecode, time.Second)
+	if tr.Dur(StageDecode) != 0 || tr.Breakdown(0) != nil {
+		t.Fatal("nil trace must be inert")
+	}
+}
+
+func TestRegistryRejectsTypeClash(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as gauge must panic")
+		}
+	}()
+	r.GaugeFunc("clash_total", "x", func() []Sample { return nil })
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b_seconds", "b", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	cum, count, _ := h.snapshot()
+	// le=1: 0.5 and 1.0; le=2: +1.5; le=4: +3; +Inf: +100.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cum[%d] = %d, want %d (all %v)", i, cum[i], w, cum)
+		}
+	}
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestTraceStages(t *testing.T) {
+	tr := NewTrace("")
+	if len(tr.ID) != 16 {
+		t.Fatalf("minted ID %q, want 16 hex chars", tr.ID)
+	}
+	tr.Add(StageDecode, 3*time.Millisecond)
+	tr.Add(StageDecode, 2*time.Millisecond)
+	tr.Add(StageKernel, time.Millisecond)
+	if tr.Dur(StageDecode) != 5*time.Millisecond {
+		t.Fatalf("decode = %v", tr.Dur(StageDecode))
+	}
+	b := tr.Breakdown(10 * time.Millisecond)
+	if b.StagesNs["decode"] != 5e6 || b.StagesNs["kernel"] != 1e6 || b.TotalNs != 10e6 {
+		t.Fatalf("breakdown wrong: %+v", b)
+	}
+	if len(b.StagesNs) != NumStages {
+		t.Fatalf("breakdown must cover all stages, got %d", len(b.StagesNs))
+	}
+	if NewTrace("abc").ID != "abc" {
+		t.Fatal("explicit ID not kept")
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := BuildInfo()
+	if b.GoVersion == "" || b.Version == "" {
+		t.Fatalf("build info incomplete: %+v", b)
+	}
+	r := NewRegistry()
+	RegisterBuildInfo(r, "test")
+	var sb strings.Builder
+	if err := r.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseExposition([]byte(sb.String())); err != nil {
+		t.Fatalf("build info exposition invalid: %v", err)
+	}
+	if !strings.Contains(sb.String(), "test_build_info{") {
+		t.Fatalf("missing build info gauge:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,359 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file is the exposition format's enforcement arm: a deliberately
+// strict parser used by tests and CI to hold /metrics to its contract.
+// It rejects what a lenient scraper would shrug at — duplicate family
+// blocks, unsorted or duplicated labels, samples outside their family
+// block, histograms whose cumulative buckets decrease — because every
+// one of those is a writer bug that a real monitoring stack would
+// silently mis-ingest. CheckMonotonic compares two scrapes and rejects
+// counters that went backwards.
+
+// ParsedSample is one parsed exposition line.
+type ParsedSample struct {
+	Name   string // full sample name, including _bucket/_sum/_count suffixes
+	Labels []Label
+	Value  float64
+}
+
+// ParsedFamily is one metric family block from a scrape.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ParsedSample
+}
+
+// Scrape is one parsed /metrics response.
+type Scrape struct {
+	Families []ParsedFamily
+	byName   map[string]*ParsedFamily
+}
+
+// Family returns the named family, or nil.
+func (s *Scrape) Family(name string) *ParsedFamily {
+	return s.byName[name]
+}
+
+// Counters flattens every counter-typed sample (including histogram
+// _bucket/_count/_sum series, which must also be non-decreasing) into a
+// map keyed by "name{labelkey}" for cross-scrape monotonicity checks.
+func (s *Scrape) Counters() map[string]float64 {
+	out := map[string]float64{}
+	for _, f := range s.Families {
+		if f.Type != typeCounter && f.Type != typeHistogram {
+			continue
+		}
+		for _, sm := range f.Samples {
+			out[sm.Name+"{"+labelKey(sm.Labels)+"}"] = sm.Value
+		}
+	}
+	return out
+}
+
+// CheckMonotonic verifies that no counter present in prev decreased in
+// cur. Counters may appear in cur only (new label sets are fine); a
+// counter that vanished is also an error — a registry must not drop
+// series between scrapes.
+func CheckMonotonic(prev, cur *Scrape) error {
+	p, c := prev.Counters(), cur.Counters()
+	for k, pv := range p {
+		cv, ok := c[k]
+		if !ok {
+			return fmt.Errorf("telemetry: counter %s vanished between scrapes", k)
+		}
+		if cv < pv {
+			return fmt.Errorf("telemetry: counter %s went backwards: %v -> %v", k, pv, cv)
+		}
+	}
+	return nil
+}
+
+// sampleFamily maps a sample name to the family it must belong to,
+// stripping histogram suffixes when the family is a histogram.
+func sampleFamily(name, famName, famType string) bool {
+	if name == famName {
+		return famType != typeHistogram // histograms never emit the bare name
+	}
+	if famType != typeHistogram {
+		return false
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if name == famName+suf {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseExposition parses one Prometheus-text-format scrape strictly.
+func ParseExposition(data []byte) (*Scrape, error) {
+	s := &Scrape{byName: map[string]*ParsedFamily{}}
+	var order []*ParsedFamily
+	var cur *ParsedFamily
+	seenSamples := map[string]bool{}
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if !nameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: bad metric name %q in HELP", lineNo, name)
+			}
+			if s.byName[name] != nil {
+				return nil, fmt.Errorf("line %d: duplicate family %s", lineNo, name)
+			}
+			cur = &ParsedFamily{Name: name, Help: help}
+			s.byName[name] = cur
+			order = append(order, cur)
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, _ := strings.Cut(rest, " ")
+			switch typ {
+			case typeCounter, typeGauge, typeHistogram, "untyped", "summary":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q for %s", lineNo, typ, name)
+			}
+			if cur == nil || cur.Name != name {
+				// TYPE without a preceding HELP for the same family: accept,
+				// but it still opens (and dedups) the family block.
+				if s.byName[name] != nil && (cur == nil || cur.Name != name) {
+					return nil, fmt.Errorf("line %d: duplicate family %s", lineNo, name)
+				}
+				cur = &ParsedFamily{Name: name}
+				s.byName[name] = cur
+				order = append(order, cur)
+			}
+			if cur.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			cur.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		sm, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if cur == nil || !sampleFamily(sm.Name, cur.Name, cur.Type) {
+			return nil, fmt.Errorf("line %d: sample %s outside its family block", lineNo, sm.Name)
+		}
+		key := sm.Name + "{" + labelKey(sm.Labels) + "}"
+		if seenSamples[key] {
+			return nil, fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		seenSamples[key] = true
+		if (cur.Type == typeCounter || cur.Type == typeHistogram) && sm.Value < 0 {
+			return nil, fmt.Errorf("line %d: negative counter %s = %v", lineNo, key, sm.Value)
+		}
+		cur.Samples = append(cur.Samples, sm)
+	}
+	for _, f := range order {
+		s.Families = append(s.Families, *f)
+		if err := checkHistogram(f); err != nil {
+			return nil, err
+		}
+	}
+	for i := range s.Families {
+		s.byName[s.Families[i].Name] = &s.Families[i]
+	}
+	return s, nil
+}
+
+// checkHistogram verifies cumulative bucket sanity per label set: buckets
+// sorted by le, non-decreasing counts, +Inf bucket present and equal to
+// _count.
+func checkHistogram(f *ParsedFamily) error {
+	if f.Type != typeHistogram {
+		return nil
+	}
+	type series struct {
+		lastLe  float64
+		lastVal float64
+		infVal  float64
+		hasInf  bool
+		count   float64
+		hasCnt  bool
+	}
+	byKey := map[string]*series{}
+	get := func(labels []Label) *series {
+		var rest []Label
+		for _, l := range labels {
+			if l.Name != "le" {
+				rest = append(rest, l)
+			}
+		}
+		k := labelKey(rest)
+		sr, ok := byKey[k]
+		if !ok {
+			sr = &series{lastLe: math.Inf(-1)}
+			byKey[k] = sr
+		}
+		return sr
+	}
+	for _, sm := range f.Samples {
+		switch sm.Name {
+		case f.Name + "_bucket":
+			le := math.Inf(1)
+			found := false
+			for _, l := range sm.Labels {
+				if l.Name == "le" {
+					found = true
+					if l.Value != "+Inf" {
+						v, err := strconv.ParseFloat(l.Value, 64)
+						if err != nil {
+							return fmt.Errorf("histogram %s: bad le %q", f.Name, l.Value)
+						}
+						le = v
+					}
+				}
+			}
+			if !found {
+				return fmt.Errorf("histogram %s: bucket without le label", f.Name)
+			}
+			sr := get(sm.Labels)
+			if le <= sr.lastLe {
+				return fmt.Errorf("histogram %s: buckets out of le order", f.Name)
+			}
+			if sm.Value < sr.lastVal {
+				return fmt.Errorf("histogram %s: cumulative bucket decreased at le=%v", f.Name, le)
+			}
+			sr.lastLe, sr.lastVal = le, sm.Value
+			if math.IsInf(le, 1) {
+				sr.hasInf, sr.infVal = true, sm.Value
+			}
+		case f.Name + "_count":
+			sr := get(sm.Labels)
+			sr.hasCnt, sr.count = true, sm.Value
+		}
+	}
+	for k, sr := range byKey {
+		if !sr.hasInf {
+			return fmt.Errorf("histogram %s{%s}: no +Inf bucket", f.Name, k)
+		}
+		if sr.hasCnt && sr.infVal != sr.count {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %v != count %v", f.Name, k, sr.infVal, sr.count)
+		}
+	}
+	return nil
+}
+
+// parseSampleLine parses `name{l1="v1",...} value` with strict label
+// hygiene: names valid, labels sorted ascending, no duplicates, no
+// trailing timestamp (the registry never writes one).
+func parseSampleLine(line string) (ParsedSample, error) {
+	var sm ParsedSample
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return sm, fmt.Errorf("malformed sample %q", line)
+	}
+	sm.Name = rest[:i]
+	if !nameRe.MatchString(sm.Name) {
+		return sm, fmt.Errorf("bad sample name %q", sm.Name)
+	}
+	if rest[i] == '{' {
+		rest = rest[i+1:]
+		prevName := ""
+		for {
+			if len(rest) == 0 {
+				return sm, fmt.Errorf("unterminated labels in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return sm, fmt.Errorf("malformed label in %q", line)
+			}
+			lname := rest[:eq]
+			if !nameRe.MatchString(lname) {
+				return sm, fmt.Errorf("bad label name %q", lname)
+			}
+			if lname == prevName {
+				return sm, fmt.Errorf("duplicate label %q", lname)
+			}
+			if lname < prevName {
+				return sm, fmt.Errorf("labels not sorted: %q after %q", lname, prevName)
+			}
+			prevName = lname
+			rest = rest[eq+1:]
+			if len(rest) == 0 || rest[0] != '"' {
+				return sm, fmt.Errorf("unquoted label value in %q", line)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			for {
+				if len(rest) == 0 {
+					return sm, fmt.Errorf("unterminated label value in %q", line)
+				}
+				c := rest[0]
+				if c == '\\' {
+					if len(rest) < 2 {
+						return sm, fmt.Errorf("dangling escape in %q", line)
+					}
+					switch rest[1] {
+					case '\\':
+						val.WriteByte('\\')
+					case 'n':
+						val.WriteByte('\n')
+					case '"':
+						val.WriteByte('"')
+					default:
+						return sm, fmt.Errorf("bad escape \\%c in %q", rest[1], line)
+					}
+					rest = rest[2:]
+					continue
+				}
+				if c == '"' {
+					rest = rest[1:]
+					break
+				}
+				val.WriteByte(c)
+				rest = rest[1:]
+			}
+			sm.Labels = append(sm.Labels, Label{Name: lname, Value: val.String()})
+			if len(rest) > 0 && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	} else {
+		rest = rest[i:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" {
+		return sm, fmt.Errorf("missing value in %q", line)
+	}
+	if strings.ContainsAny(rest, " \t") {
+		return sm, fmt.Errorf("trailing tokens (timestamp?) in %q", line)
+	}
+	var err error
+	switch rest {
+	case "+Inf":
+		sm.Value = math.Inf(1)
+	case "-Inf":
+		sm.Value = math.Inf(-1)
+	default:
+		sm.Value, err = strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return sm, fmt.Errorf("bad value %q", rest)
+		}
+	}
+	return sm, nil
+}

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// The parser is deliberately strict: every rejection here is a writer
+// bug a lenient scraper would mis-ingest silently.
+
+func mustParse(t *testing.T, s string) *Scrape {
+	t.Helper()
+	sc, err := ParseExposition([]byte(s))
+	if err != nil {
+		t.Fatalf("unexpected parse error: %v", err)
+	}
+	return sc
+}
+
+func mustReject(t *testing.T, s, wantSub string) {
+	t.Helper()
+	_, err := ParseExposition([]byte(s))
+	if err == nil {
+		t.Fatalf("parser accepted invalid input:\n%s", s)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not mention %q", err, wantSub)
+	}
+}
+
+func TestParseRejectsDuplicateFamilies(t *testing.T) {
+	mustReject(t, `# HELP a_total x
+# TYPE a_total counter
+a_total 1
+# HELP a_total x
+# TYPE a_total counter
+a_total 2
+`, "duplicate family")
+}
+
+func TestParseRejectsUnsortedLabels(t *testing.T) {
+	mustReject(t, `# HELP a_total x
+# TYPE a_total counter
+a_total{model="m",event="hit"} 1
+`, "labels not sorted")
+}
+
+func TestParseRejectsDuplicateLabels(t *testing.T) {
+	mustReject(t, `# HELP a_total x
+# TYPE a_total counter
+a_total{event="hit",event="hit"} 1
+`, "duplicate label")
+}
+
+func TestParseRejectsDuplicateSamples(t *testing.T) {
+	mustReject(t, `# HELP a_total x
+# TYPE a_total counter
+a_total{event="hit"} 1
+a_total{event="hit"} 2
+`, "duplicate sample")
+}
+
+func TestParseRejectsOrphanSamples(t *testing.T) {
+	mustReject(t, `# HELP a_total x
+# TYPE a_total counter
+b_total 1
+`, "outside its family block")
+}
+
+func TestParseRejectsNegativeCounter(t *testing.T) {
+	mustReject(t, `# HELP a_total x
+# TYPE a_total counter
+a_total -1
+`, "negative counter")
+}
+
+func TestParseRejectsTimestamps(t *testing.T) {
+	mustReject(t, `# HELP a_total x
+# TYPE a_total counter
+a_total 1 1700000000
+`, "trailing tokens")
+}
+
+func TestParseRejectsDecreasingBuckets(t *testing.T) {
+	mustReject(t, `# HELP h_seconds x
+# TYPE h_seconds histogram
+h_seconds_bucket{le="0.1"} 5
+h_seconds_bucket{le="1"} 3
+h_seconds_bucket{le="+Inf"} 6
+h_seconds_sum 1
+h_seconds_count 6
+`, "cumulative bucket decreased")
+}
+
+func TestParseRejectsInfCountMismatch(t *testing.T) {
+	mustReject(t, `# HELP h_seconds x
+# TYPE h_seconds histogram
+h_seconds_bucket{le="0.1"} 5
+h_seconds_bucket{le="+Inf"} 6
+h_seconds_sum 1
+h_seconds_count 7
+`, "+Inf bucket")
+}
+
+func TestCheckMonotonicAcrossScrapes(t *testing.T) {
+	prev := mustParse(t, `# HELP a_total x
+# TYPE a_total counter
+a_total{event="hit"} 5
+`)
+	ok := mustParse(t, `# HELP a_total x
+# TYPE a_total counter
+a_total{event="hit"} 7
+a_total{event="miss"} 1
+`)
+	if err := CheckMonotonic(prev, ok); err != nil {
+		t.Fatalf("monotonic scrape rejected: %v", err)
+	}
+	back := mustParse(t, `# HELP a_total x
+# TYPE a_total counter
+a_total{event="hit"} 4
+`)
+	if err := CheckMonotonic(prev, back); err == nil {
+		t.Fatal("backwards counter accepted")
+	}
+	gone := mustParse(t, `# HELP b_total x
+# TYPE b_total counter
+b_total 1
+`)
+	if err := CheckMonotonic(prev, gone); err == nil {
+		t.Fatal("vanished counter accepted")
+	}
+}
+
+func TestParseAcceptsEscapes(t *testing.T) {
+	s := mustParse(t, `# HELP a_info x
+# TYPE a_info gauge
+a_info{path="C:\\tmp\"x\"",version="v1"} 1
+`)
+	f := s.Family("a_info")
+	if f == nil || len(f.Samples) != 1 {
+		t.Fatal("missing sample")
+	}
+	if got := f.Samples[0].Labels[0].Value; got != `C:\tmp"x"` {
+		t.Fatalf("unescaped to %q", got)
+	}
+}
+
+func TestParseGaugeMayDecrease(t *testing.T) {
+	prev := mustParse(t, "# TYPE g gauge\ng 5\n")
+	cur := mustParse(t, "# TYPE g gauge\ng 2\n")
+	if err := CheckMonotonic(prev, cur); err != nil {
+		t.Fatalf("gauges must be exempt from monotonicity: %v", err)
+	}
+}
