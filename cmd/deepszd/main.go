@@ -68,6 +68,8 @@ func run() error {
 	maxBodyStr := fs.String("max-body-bytes", "8m", "predict request body cap with optional k/m/g suffix; overflow is refused with 413 (0 = the 8m default, not unlimited)")
 	sparseThreshold := fs.Float64("sparse-threshold", serve.DefaultSparseThreshold,
 		"cache decoded layers in CSR form below this density (0 disables the sparse fast path)")
+	prefetchDepth := fs.Int("prefetch-depth", 1, "decode this many layers ahead of the one computing (0 = off); outputs are identical either way")
+	evictionPolicy := fs.String("eviction-policy", "lru", "decode-cache replacement policy: lru or gdsf (decode-cost per byte, frequency-scaled, aged)")
 	window := fs.Duration("batch-window", 2*time.Millisecond, "how long the first request waits for batch company")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
@@ -105,9 +107,18 @@ func run() error {
 		return err
 	}
 
+	policy, err := serve.ParseEvictionPolicy(*evictionPolicy)
+	if err != nil {
+		return err
+	}
+
 	reg := serve.NewRegistry(budget, serve.BatchOptions{MaxBatch: *maxBatch, Window: *window, MaxPending: *maxPending})
 	defer reg.Close()
+	if err := reg.SetEvictionPolicy(policy); err != nil {
+		return err
+	}
 	reg.SetSparseThreshold(*sparseThreshold)
+	reg.SetPrefetchDepth(*prefetchDepth)
 	for _, s := range specs {
 		e, err := reg.LoadFile(s.name, s.path, s.weights)
 		if err != nil {
@@ -150,12 +161,18 @@ func run() error {
 	}
 	s := reg.Cache().Stats()
 	logger.Info("final cache stats",
+		"policy", s.Policy,
 		"hits", s.Hits,
 		"misses", s.Misses,
 		"coalesced", s.Coalesced,
 		"evictions", s.Evictions,
 		"bypasses", s.Bypasses,
+		"prefetches", s.Prefetches,
+		"prefetch_hits", s.PrefetchHits,
+		"prefetch_waste", s.PrefetchWaste,
+		"prefetch_overlap", s.PrefetchOver,
 		"hit_rate", s.HitRate(),
+		"effective_hit_rate", s.EffectiveHitRate(),
 	)
 	return nil
 }

@@ -1,6 +1,9 @@
 package cliutil
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestParseBytes(t *testing.T) {
 	cases := []struct {
@@ -21,6 +24,50 @@ func TestParseBytes(t *testing.T) {
 		got, err := ParseBytes(c.in)
 		if (err != nil) != c.wantErr || got != c.want && !c.wantErr {
 			t.Fatalf("ParseBytes(%q) = %d, %v; want %d, err=%v", c.in, got, err, c.want, c.wantErr)
+		}
+	}
+}
+
+// TestParseBytesOverflowBoundary pins the int64 overflow guard at its
+// exact edges per suffix: the largest count whose product still fits is
+// accepted, one more is an error — never a silent negative wrap, which a
+// budget flag downstream would read as "unlimited".
+func TestParseBytesOverflowBoundary(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    int64
+		wantErr bool
+	}{
+		// No suffix: int64 range itself.
+		{in: "9223372036854775807", want: math.MaxInt64},
+		{in: "9223372036854775808", wantErr: true},
+		// k = 2^10: MaxInt64/1024 = 9007199254740991.
+		{in: "9007199254740991k", want: 9007199254740991 << 10},
+		{in: "9007199254740992k", wantErr: true},
+		// m = 2^20: MaxInt64/2^20 = 8796093022207.
+		{in: "8796093022207m", want: 8796093022207 << 20},
+		{in: "8796093022208m", wantErr: true},
+		// g = 2^30: MaxInt64/2^30 = 8589934591.
+		{in: "8589934591g", want: 8589934591 << 30},
+		{in: "8589934592g", wantErr: true},
+		{in: "8589934592G", wantErr: true}, // same guard on the upper-case suffix
+		// Far past the boundary, and negative-with-suffix.
+		{in: "99999999999999999999g", wantErr: true},
+		{in: "-1g", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Fatalf("ParseBytes(%q) = %d, nil; want overflow error", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Fatalf("ParseBytes(%q) = %d, %v; want %d, nil", c.in, got, err, c.want)
+		}
+		if got < 0 {
+			t.Fatalf("ParseBytes(%q) = %d: negative wrap escaped the guard", c.in, got)
 		}
 	}
 }

@@ -103,6 +103,25 @@ func (m *Model) MaxDenseBytes() int64 {
 	return max
 }
 
+// EstimatedDecodeCostNs returns a rough a-priori estimate of the wall
+// time a DecodeLayer of this layer costs, in nanoseconds, computable
+// without decoding anything. The model is the decode pipeline's own
+// shape: lossless index decompression and lossy data decompression scale
+// with the stored blobs, sparse-to-dense reconstruction scales with the
+// dense weight count. The constants are order-of-magnitude (a few ns per
+// compressed byte, ~1 ns per dense slot) — callers that can measure
+// (the serve decode cache times every real decode) should prefer the
+// measurement and use this only to rank layers before their first
+// decode, e.g. to prefetch the most stall-masking layer first.
+func (l *LayerBlob) EstimatedDecodeCostNs() int64 {
+	const (
+		nsPerCompressedByte = 4
+		nsPerDenseSlot      = 1
+	)
+	compressed := int64(len(l.DataBlob) + len(l.IndexBlob))
+	return nsPerCompressedByte*compressed + nsPerDenseSlot*int64(l.WeightCount())
+}
+
 // LayerNames returns the layers stored in the model, in order.
 func (m *Model) LayerNames() []string {
 	names := make([]string, len(m.Layers))

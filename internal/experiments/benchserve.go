@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/nn"
 	"repro/internal/prune"
@@ -40,6 +41,26 @@ type ServingSide struct {
 	DenseBytes  int64   `json:"dense_bytes_in_use"`
 }
 
+// ServingVariant is one (eviction policy × prefetch depth) cell of the
+// serving matrix, measured on the mixed-codec thrashing workload: a
+// budget of two dense layers over eight, every layer resident dense, so
+// residency choices — what to keep, what to decode ahead — are the whole
+// difference between cells.
+type ServingVariant struct {
+	Policy        string `json:"policy"`
+	PrefetchDepth int    `json:"prefetch_depth"`
+	// HitRate counts demand decode-or-hit gets only; EffectiveHitRate also
+	// counts gets served by joining an in-flight (often prefetch) decode.
+	HitRate          float64 `json:"hit_rate"`
+	EffectiveHitRate float64 `json:"effective_hit_rate"`
+	RowsPerSec       float64 `json:"rows_per_sec"`
+	Prefetches       uint64  `json:"prefetches"`
+	PrefetchHits     uint64  `json:"prefetch_hits"`
+	PrefetchWaste    uint64  `json:"prefetch_waste"`
+	PrefetchOverlap  uint64  `json:"prefetch_overlap"`
+	AdmissionDrops   uint64  `json:"admission_drops"`
+}
+
 // StageQuantiles is one pipeline stage's per-request latency summary,
 // measured from the engine's own traces (the same instrumentation the
 // /metrics stage histograms sample).
@@ -66,6 +87,12 @@ type BenchReport struct {
 	ServingDense  ServingSide `json:"serving_dense"`
 	ServingSparse ServingSide `json:"serving_sparse"`
 	HitRateGain   float64     `json:"hit_rate_gain"`
+	// ServingMatrix crosses eviction policy {lru, gdsf} with decode-ahead
+	// depth {0, 2} on a mixed-codec (sz/deepcomp), mixed-decode-cost
+	// workload at the same two-layer budget, all layers dense: prefetch
+	// buys rows/s by overlapping decode with compute, GDSF buys hit rate
+	// by keeping the layers whose re-decode costs the most.
+	ServingMatrix []ServingVariant `json:"serving_matrix"`
 	// StageLatency breaks the sparse-side serving latency down by
 	// pipeline stage (queue, batch_wait, cache_lookup, decode, kernel) at
 	// p50/p95/p99, from per-request traces through the micro-batcher —
@@ -181,6 +208,104 @@ func benchServingSide(net *nn.Network, m *core.Model, budget int64, threshold fl
 	}, nil
 }
 
+// benchMixedCodecNet builds the matrix workload: eight equal-shape fc
+// layers whose decode costs differ — codecs alternate between sz and the
+// Deep-Compression-style path, and densities alternate between heavily
+// and lightly pruned — so a cost-aware policy has real spread to exploit
+// while every layer still charges the same dense bytes to the budget.
+func benchMixedCodecNet() (*nn.Network, *core.Model, error) {
+	rng := tensor.NewRNG(88)
+	layers := []nn.Layer{nn.NewFlatten("flat")}
+	ratios := map[string]float64{}
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("fc%d", i)
+		layers = append(layers, nn.NewDense(name, 256, 256, rng), nn.NewReLU(name+"-relu"))
+		if i%2 == 0 {
+			ratios[name] = 0.05
+		} else {
+			ratios[name] = 0.4
+		}
+	}
+	net := nn.NewNetwork("serve-bench-mixed", layers...)
+	prune.Network(net, ratios, 0.1)
+	plan := &core.Plan{}
+	for i, fc := range net.DenseLayers() {
+		id := codec.IDSZ
+		if i%2 == 1 {
+			id = codec.IDDeepComp
+		}
+		plan.Choices = append(plan.Choices, core.Choice{Layer: fc.Name(), EB: 1e-3, Codec: id})
+	}
+	m, err := core.Generate(net, plan, core.Config{ExpectedAccuracyLoss: 0.01})
+	return net, m, err
+}
+
+// benchServingVariant serves the mixed-codec workload under one
+// (policy, prefetch depth) configuration. Threshold 0 keeps every layer
+// dense: at a two-of-eight budget the cache must thrash, and the cell's
+// numbers are purely the policy's and the prefetcher's doing.
+func benchServingVariant(net *nn.Network, m *core.Model, budget int64, policy serve.EvictionPolicy, depth int) (ServingVariant, error) {
+	reg := serve.NewRegistry(budget, serve.BatchOptions{})
+	defer reg.Close()
+	if err := reg.SetEvictionPolicy(policy); err != nil {
+		return ServingVariant{}, err
+	}
+	reg.SetSparseThreshold(0)
+	reg.SetPrefetchDepth(depth)
+	eng, err := reg.Add("bench-matrix", m, net, []int{256})
+	if err != nil {
+		return ServingVariant{}, err
+	}
+	// 64-row batches make the kernel comparable to a layer decode, so
+	// decode-ahead has real compute to hide under — the regime the paper's
+	// layer-at-a-time serving targets.
+	const rows, requests = 64, 60
+	batch := make([][]float32, rows)
+	rng := tensor.NewRNG(345)
+	for i := range batch {
+		batch[i] = make([]float32, 256)
+		rng.FillNormal(batch[i], 0, 1)
+	}
+	if _, err := eng.Predict(batch); err != nil { // warm
+		return ServingVariant{}, err
+	}
+	t0 := time.Now()
+	for i := 0; i < requests; i++ {
+		if _, err := eng.Predict(batch); err != nil {
+			return ServingVariant{}, err
+		}
+	}
+	elapsed := time.Since(t0).Seconds()
+	s := reg.Cache().Stats()
+	return ServingVariant{
+		Policy:           policy.String(),
+		PrefetchDepth:    depth,
+		HitRate:          s.HitRate(),
+		EffectiveHitRate: s.EffectiveHitRate(),
+		RowsPerSec:       float64(rows*requests) / elapsed,
+		Prefetches:       s.Prefetches,
+		PrefetchHits:     s.PrefetchHits,
+		PrefetchWaste:    s.PrefetchWaste,
+		PrefetchOverlap:  s.PrefetchOver,
+		AdmissionDrops:   s.AdmissionDrops,
+	}, nil
+}
+
+// benchServingMatrix measures every policy × depth cell.
+func benchServingMatrix(net *nn.Network, m *core.Model, budget int64) ([]ServingVariant, error) {
+	var out []ServingVariant
+	for _, policy := range []serve.EvictionPolicy{serve.EvictLRU, serve.EvictGDSF} {
+		for _, depth := range []int{0, 2} {
+			v, err := benchServingVariant(net, m, budget, policy, depth)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
 // quantileNs picks the p-th percentile (0..100) from sorted ns samples.
 func quantileNs(sorted []int64, p float64) int64 {
 	if len(sorted) == 0 {
@@ -253,6 +378,14 @@ func BenchServe() (*BenchReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	mixedNet, mixedM, err := benchMixedCodecNet()
+	if err != nil {
+		return nil, err
+	}
+	matrix, err := benchServingMatrix(mixedNet, mixedM, 2*mixedM.MaxDenseBytes())
+	if err != nil {
+		return nil, err
+	}
 	return &BenchReport{
 		GeneratedUnix: time.Now().Unix(),
 		CPU:           runtime.GOMAXPROCS(0),
@@ -262,6 +395,7 @@ func BenchServe() (*BenchReport, error) {
 		ServingDense:  dense,
 		ServingSparse: sparse,
 		HitRateGain:   sparse.HitRate - dense.HitRate,
+		ServingMatrix: matrix,
 		StageLatency:  stages,
 	}, nil
 }

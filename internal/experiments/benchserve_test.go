@@ -57,4 +57,45 @@ func TestBenchServeReport(t *testing.T) {
 	if r.ServingSparse.SparseBytes == 0 {
 		t.Fatalf("sparse-policy run reported no sparse residents: %+v", r.ServingSparse)
 	}
+
+	// Policy × prefetch matrix on the mixed-codec workload. Hit-rate
+	// comparisons are deterministic functions of the policies; rows/s is
+	// asserted only for sanity (CI machines vary).
+	if len(r.ServingMatrix) != 4 {
+		t.Fatalf("serving matrix has %d cells, want 4 (lru/gdsf × depth 0/2)", len(r.ServingMatrix))
+	}
+	cell := func(policy string, depth int) ServingVariant {
+		for _, v := range r.ServingMatrix {
+			if v.Policy == policy && v.PrefetchDepth == depth {
+				return v
+			}
+		}
+		t.Fatalf("matrix cell %s/depth%d missing: %+v", policy, depth, r.ServingMatrix)
+		return ServingVariant{}
+	}
+	for _, v := range r.ServingMatrix {
+		if v.RowsPerSec <= 0 {
+			t.Fatalf("non-positive throughput in cell %+v", v)
+		}
+		if v.PrefetchDepth == 0 && v.Prefetches != 0 {
+			t.Fatalf("prefetch-off cell issued speculative decodes: %+v", v)
+		}
+		if v.PrefetchDepth > 0 && v.Prefetches == 0 {
+			t.Fatalf("prefetch-on cell issued no speculative decodes: %+v", v)
+		}
+		if v.EffectiveHitRate < v.HitRate {
+			t.Fatalf("effective hit rate below plain hit rate: %+v", v)
+		}
+	}
+	// Cost-aware eviction must not lose to LRU on a mixed-cost cyclic
+	// scan: LRU's sequential thrash evicts every layer right before its
+	// reuse, GDSF retains the most expensive ones.
+	if gdsf, lru := cell("gdsf", 0), cell("lru", 0); gdsf.HitRate < lru.HitRate {
+		t.Fatalf("gdsf hit rate %v below lru %v on the mixed-codec workload", gdsf.HitRate, lru.HitRate)
+	}
+	// Decode-ahead must convert stalls into hits or overlapped decodes.
+	if on, off := cell("lru", 2), cell("lru", 0); on.EffectiveHitRate <= off.EffectiveHitRate {
+		t.Fatalf("prefetch-on effective hit rate %v did not improve on prefetch-off %v",
+			on.EffectiveHitRate, off.EffectiveHitRate)
+	}
 }

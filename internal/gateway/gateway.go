@@ -521,6 +521,7 @@ func (g *Gateway) predict(ctx context.Context, model, traceID string, body []byt
 		hedgeC = hedge.C
 	}
 	var lastFail *attempt
+	var lastHTTP *attempt // last failure that was a real 5xx answer, not a transport error
 	for {
 		select {
 		case a := <-results:
@@ -542,17 +543,23 @@ func (g *Gateway) predict(ctx context.Context, model, traceID string, body []byt
 			}
 			a.rep.errors.Add(1)
 			lastFail = a
+			if a.err == nil {
+				lastHTTP = a
+			}
 			if next < len(ranked) {
 				g.failovers.Add(1)
 				launch(false)
 			} else if outstanding == 0 {
-				if lastFail.err != nil {
-					return nil, fmt.Errorf("gateway: all %d backends failed, last: %w", len(ranked), lastFail.err)
+				// Exhaustion: every replica failed. A replica that answered —
+				// even with a 5xx — said something authoritative (a fleet-wide
+				// shed is a 503 with a Retry-After the client should honour),
+				// so relay the last such answer with its headers rather than
+				// invent our own story; only when every attempt died in
+				// transport is there nothing to relay.
+				if lastHTTP != nil {
+					return lastHTTP, nil
 				}
-				// Every replica answered 5xx; relay the last one (e.g. a
-				// fleet-wide 503 with its Retry-After) rather than invent our
-				// own story.
-				return lastFail, nil
+				return nil, fmt.Errorf("gateway: all %d backends failed, last: %w", len(ranked), lastFail.err)
 			}
 		case <-hedgeC:
 			hedgeC = nil

@@ -647,3 +647,91 @@ func TestGatewayHealthAndModels(t *testing.T) {
 		t.Fatalf("healthz with zero healthy backends: %d, want 503", resp.StatusCode)
 	}
 }
+
+// shedBackend is a fake replica at maximum load: every predict is shed
+// with 503 + Retry-After, like serve.Server over a full admission bound.
+func shedBackend(retryAfter string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/predict") {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", retryAfter)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"overloaded: 256 predicts pending"}`))
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+// TestGatewayExhaustionRelays503: when every affinity replica sheds, the
+// client must get the replicas' own 503 with its Retry-After and body
+// relayed — the backoff hint survives the failover sweep — not a
+// synthesized gateway error.
+func TestGatewayExhaustionRelays503(t *testing.T) {
+	a := httptest.NewServer(shedBackend("7"))
+	defer a.Close()
+	b := httptest.NewServer(shedBackend("7"))
+	defer b.Close()
+
+	g, err := New([]string{a.URL, b.URL}, Options{HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g)
+	defer gw.Close()
+
+	code, resp, body := postPredict(t, gw.URL, "m", testRows(1, 95))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("fleet-wide shed status %d, want 503 (body %q)", code, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After %q, want the replicas' %q relayed", got, "7")
+	}
+	if !strings.Contains(string(body), "overloaded") {
+		t.Fatalf("body %q, want the replica's shed body relayed", body)
+	}
+}
+
+// TestGatewayExhaustionPrefers503OverTransport: a replica that answered —
+// even with a 5xx — beats a replica that died in transport, regardless of
+// which the failover sweep reached last. Several model names are routed so
+// rendezvous ranking visits both attempt orders; every answer must be the
+// shedder's 503 + Retry-After, never a synthesized transport-error 502.
+func TestGatewayExhaustionPrefers503OverTransport(t *testing.T) {
+	shed := httptest.NewServer(shedBackend("3"))
+	defer shed.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("test server not hijackable")
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn.Close() // mid-request connection drop: a pure transport error
+	}))
+	defer dead.Close()
+
+	g, err := New([]string{shed.URL, dead.URL}, Options{HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g)
+	defer gw.Close()
+
+	for i := 0; i < 8; i++ {
+		model := fmt.Sprintf("m%d", i) // vary the rendezvous rank order
+		code, resp, body := postPredict(t, gw.URL, model, testRows(1, 96))
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("model %s: status %d (body %q), want the shedder's 503 regardless of attempt order", model, code, body)
+		}
+		if got := resp.Header.Get("Retry-After"); got != "3" {
+			t.Fatalf("model %s: Retry-After %q, want the shedder's %q relayed", model, got, "3")
+		}
+	}
+}

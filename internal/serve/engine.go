@@ -69,6 +69,11 @@ type Engine struct {
 	shed       atomic.Uint64
 
 	batcher *batcher
+
+	// estCost[i] is model.Layers[i].EstimatedDecodeCostNs(), precomputed so
+	// the prefetcher can rank its candidate window without touching blobs.
+	estCost  []int64
+	prefetch *prefetcher // nil until StartPrefetch; nil = decode-ahead off
 }
 
 // layerObs is a point-in-time observation of one layer's decoded form.
@@ -183,10 +188,59 @@ func (e *Engine) attachTelemetry(tel *telemetry.Registry, stages [telemetry.NumS
 	}
 }
 
+// StartPrefetch turns on decode-ahead at the given depth: while layer k
+// of the model's storage order computes, a worker decodes layers
+// k+1..k+depth into the cache. depth <= 0 leaves prefetch off. Call once,
+// before traffic; outputs are bit-identical at any depth (the worker only
+// warms the cache).
+func (e *Engine) StartPrefetch(depth int) {
+	if depth <= 0 || e.prefetch != nil {
+		return
+	}
+	e.estCost = make([]int64, len(e.model.Layers))
+	for i := range e.model.Layers {
+		e.estCost[i] = e.model.Layers[i].EstimatedDecodeCostNs()
+	}
+	e.prefetch = newPrefetcher(e, depth)
+}
+
+// PrefetchDepth returns the decode-ahead depth (0 = off).
+func (e *Engine) PrefetchDepth() int {
+	if e.prefetch == nil {
+		return 0
+	}
+	return e.prefetch.depth
+}
+
+// cacheKey names model.Layers[idx] in the shared decode cache.
+func (e *Engine) cacheKey(idx int) string {
+	return e.name + "/" + e.model.Layers[idx].Name
+}
+
+// decodeForCache builds the decode thunk for model.Layers[idx] that the
+// cache runs on a miss (demand or prefetch): decode, record the density
+// observation, compact to CSR below the sparse threshold, and report the
+// resident byte cost the budget is charged.
+func (e *Engine) decodeForCache(idx int) func() (*core.DecodedLayer, int64, error) {
+	return func() (*core.DecodedLayer, int64, error) {
+		dl, err := e.model.DecodeLayer(e.model.Layers[idx].Name)
+		if err != nil {
+			return nil, 0, err
+		}
+		density := dl.Density()
+		dl.Compact(e.threshold)
+		e.obs[idx].Store(&layerObs{density: density, sparse: dl.Sparse != nil, resident: dl.ResidentBytes()})
+		e.codecBytes[e.model.Layers[idx].Codec].Add(uint64(e.model.Layers[idx].DenseBytes()))
+		return dl, dl.ResidentBytes(), nil
+	}
+}
+
 // LayerWeights implements nn.WeightProvider over the decode cache. A
 // decoded layer below the sparse threshold is compacted to CSR before
 // insertion, so it is charged to the budget (and handed to the kernels)
-// in its cheap form.
+// in its cheap form. The returned release drops the entry's eviction pin;
+// ForwardWithProvider calls it when the layer's kernel finishes, so
+// prefetch of layer k+1 can never displace layer k mid-forward.
 func (e *Engine) LayerWeights(layer string) (nn.LayerWeights, func(), error) {
 	lw, rel, _, err := e.layerWeightsTimed(layer)
 	return lw, rel, err
@@ -196,30 +250,26 @@ func (e *Engine) LayerWeights(layer string) (nn.LayerWeights, func(), error) {
 // actually decoding (zero on a cache hit, or when another caller's
 // in-flight decode was joined — that wait is lookup time, not decode
 // time, because the decode cost is charged to the request that ran it).
+// Before looking layer k up it announces k to the prefetcher, so the
+// decode of k+1 overlaps with k's kernel.
 func (e *Engine) layerWeightsTimed(layer string) (nn.LayerWeights, func(), int64, error) {
 	idx, ok := e.model.LayerIndex(layer)
 	if !ok {
 		return nn.LayerWeights{}, nil, 0, nn.ErrNotProvided
 	}
+	e.prefetch.advance(idx)
+	inner := e.decodeForCache(idx)
 	var decodeNs int64
-	dl, err := e.cache.Get(e.name+"/"+layer, func() (*core.DecodedLayer, int64, error) {
+	dl, release, err := e.cache.GetPinned(e.cacheKey(idx), func() (*core.DecodedLayer, int64, error) {
 		t0 := time.Now()
-		dl, err := e.model.DecodeLayer(layer)
-		if err != nil {
-			decodeNs = time.Since(t0).Nanoseconds()
-			return nil, 0, err
-		}
-		density := dl.Density()
-		dl.Compact(e.threshold)
-		e.obs[idx].Store(&layerObs{density: density, sparse: dl.Sparse != nil, resident: dl.ResidentBytes()})
+		dl, cost, err := inner()
 		decodeNs = time.Since(t0).Nanoseconds()
-		e.codecBytes[e.model.Layers[idx].Codec].Add(uint64(e.model.Layers[idx].DenseBytes()))
-		return dl, dl.ResidentBytes(), nil
+		return dl, cost, err
 	})
 	if err != nil {
 		return nn.LayerWeights{}, nil, decodeNs, err
 	}
-	return nn.LayerWeights{Dense: dl.Weights, Sparse: dl.Sparse, Bias: dl.Bias}, nil, decodeNs, nil
+	return nn.LayerWeights{Dense: dl.Weights, Sparse: dl.Sparse, Bias: dl.Bias}, release, decodeNs, nil
 }
 
 // timedProvider wraps the engine's weight provider for one forward pass,
@@ -400,6 +450,7 @@ func (e *Engine) run(rows [][]float32) ([][]float32, fwdStages, error) {
 type EngineStats struct {
 	Codec           string      `json:"codec"`
 	SparseThreshold float64     `json:"sparse_threshold"`
+	PrefetchDepth   int         `json:"prefetch_depth,omitempty"`
 	Requests        uint64      `json:"requests"`
 	Rows            uint64      `json:"rows"`
 	Batches         uint64      `json:"batches"`
@@ -415,6 +466,7 @@ func (e *Engine) Stats() EngineStats {
 	s := EngineStats{
 		Codec:           e.Codec(),
 		SparseThreshold: e.threshold,
+		PrefetchDepth:   e.PrefetchDepth(),
 		Requests:        e.requests.Load(),
 		Rows:            e.rows.Load(),
 		Batches:         e.batches.Load(),
@@ -474,9 +526,12 @@ func (e *Engine) LayerMeta() []LayerMeta {
 	return out
 }
 
-// Close stops the micro-batcher. Predict keeps working; PredictBatched
-// returns an error after Close.
-func (e *Engine) Close() { e.batcher.close() }
+// Close stops the micro-batcher and the prefetch worker. Predict keeps
+// working; PredictBatched returns an error after Close.
+func (e *Engine) Close() {
+	e.batcher.close()
+	e.prefetch.stop()
+}
 
 func shapeEqual(a, b []int) bool {
 	if len(a) != len(b) {

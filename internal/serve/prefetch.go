@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+)
+
+// prefetcher implements decode-ahead for one engine: when layer k of the
+// per-request schedule is announced, the speculative decode flights for
+// layers k+1..k+depth are registered in the shared cache synchronously —
+// a cheap map insert on the request path — and the decodes themselves run
+// on a single worker goroutine. Registering at announce time is what
+// makes the overlap deterministic: a demand get that reaches layer k+1
+// before the worker has decoded it joins the registered flight
+// (coalesced/overlap) instead of racing the worker for the key, so
+// coverage does not depend on goroutine scheduling luck. Depth bounds the
+// speculation; the work queue is drop-on-full, and a flight whose decode
+// cannot be queued is aborted, which sends any joiners back through the
+// demand path.
+//
+// Determinism: the worker only ever warms the cache. Demand gets either
+// find the prefetched entry (hit), join its in-flight decode
+// (coalesced/overlap), or decode themselves — all three return the same
+// bits, so outputs are identical at any depth and any worker timing.
+type prefetcher struct {
+	e     *Engine
+	depth int
+
+	ch   chan prefetchTask
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex // serialises advance vs stop so no task outlives the drain
+	stopped bool
+
+	once sync.Once // stop() idempotence
+}
+
+// prefetchTask is one registered flight handed to the worker: run decodes
+// it, abort cancels it. Exactly one must be called.
+type prefetchTask struct {
+	run   func()
+	abort func()
+}
+
+// newPrefetcher starts the decode-ahead worker for e at the given depth
+// (>= 1).
+func newPrefetcher(e *Engine, depth int) *prefetcher {
+	p := &prefetcher{
+		e:     e,
+		depth: depth,
+		// One slot per lookahead step plus slack for the next batch's
+		// advance landing before the previous drains.
+		ch:   make(chan prefetchTask, 2*depth),
+		done: make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.worker()
+	return p
+}
+
+// advance announces that layer idx of the schedule is about to compute:
+// layers idx+1..idx+depth become prefetch candidates. The immediate next
+// layer is queued first — the demand pass needs it soonest — and the rest
+// of the window most-expensive-estimated-decode first, so a worker that
+// only gets through part of it masks the largest stall. Nil-safe — a nil
+// prefetcher (prefetch disabled) costs one compare.
+func (p *prefetcher) advance(idx int) {
+	if p == nil {
+		return
+	}
+	var cand []int
+	for k := idx + 1; k <= idx+p.depth && k < len(p.e.model.Layers); k++ {
+		cand = append(cand, k)
+	}
+	if len(cand) > 2 {
+		tail := cand[1:]
+		sort.SliceStable(tail, func(i, j int) bool {
+			return p.e.estCost[tail[i]] > p.e.estCost[tail[j]]
+		})
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return
+	}
+	for _, k := range cand {
+		run, abort := p.e.cache.BeginPrefetch(p.e.cacheKey(k), p.e.decodeForCache(k))
+		if run == nil { // already resident or in flight
+			continue
+		}
+		select {
+		case p.ch <- prefetchTask{run: run, abort: abort}:
+		default:
+			// The worker is more than a full window behind; cancel rather
+			// than stall the request path.
+			abort()
+		}
+	}
+}
+
+// worker drains the task queue, running each registered decode.
+func (p *prefetcher) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case t := <-p.ch:
+			t.run()
+		}
+	}
+}
+
+// stop terminates the worker, waits out any decode in progress, and
+// aborts queued tasks so no registered flight is left unresolved.
+// Idempotent and nil-safe.
+func (p *prefetcher) stop() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() {
+		p.mu.Lock()
+		p.stopped = true
+		p.mu.Unlock()
+		close(p.done)
+		p.wg.Wait()
+		for {
+			select {
+			case t := <-p.ch:
+				t.abort()
+			default:
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+)
+
+// slowLayer is fakeLayer plus a simulated decode wall time, recorded into
+// the entry's GDSF weight by sleeping inside the decode thunk.
+func slowDecode(cost int64, dt time.Duration) func() (*core.DecodedLayer, int64, error) {
+	return func() (*core.DecodedLayer, int64, error) {
+		time.Sleep(dt)
+		return fakeLayer(cost), cost, nil
+	}
+}
+
+// TestGDSFKeepsExpensiveLayers: at equal size and equal frequency, the
+// layer that cost more wall time to decode survives the budget squeeze —
+// the whole point of cost-aware eviction over LRU, which would keep
+// whatever was touched last.
+func TestGDSFKeepsExpensiveLayers(t *testing.T) {
+	const cost = 400
+	c := NewDecodeCacheWith(2*cost, EvictGDSF)
+	get := func(key string, dt time.Duration) {
+		t.Helper()
+		if _, err := c.Get(key, slowDecode(cost, dt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("expensive", 20*time.Millisecond)
+	get("cheap", 0)
+	// The newcomer is worth more than "cheap" but less than "expensive":
+	// it must displace the cheap resident and leave the expensive one.
+	get("newcomer", 5*time.Millisecond)
+
+	if _, ok := c.entries["expensive"]; !ok {
+		t.Fatalf("expensive layer evicted before a cheap one: %+v", c.Stats())
+	}
+	if _, ok := c.entries["newcomer"]; !ok {
+		t.Fatalf("mid-cost newcomer not admitted over the cheap resident: %+v", c.Stats())
+	}
+	if _, ok := c.entries["cheap"]; ok {
+		t.Fatal("cheap layer survived over the expensive one")
+	}
+
+	// An incoming entry worth less than everything resident is refused
+	// outright (admission control): caching it would trade stall up.
+	get("worthless", 0)
+	if _, ok := c.entries["worthless"]; ok {
+		t.Fatal("near-free layer admitted over more valuable residents")
+	}
+	if s := c.Stats(); s.AdmissionDrops == 0 {
+		t.Fatalf("refused insert not counted as an admission drop: %+v", s)
+	}
+}
+
+// TestGDSFDeterministicTieBreak: entries with identical priority (same
+// cost, same decode time, same frequency) evict in insertion order,
+// oldest first — byte-for-byte reproducible evictions at any concurrency.
+// Exact priority ties cannot be staged through Get (the cache measures
+// real decode wall time), so this drives insertLocked directly with a
+// fixed decodeNs.
+func TestGDSFDeterministicTieBreak(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		const cost, decodeNs = 100, 1000
+		c := NewDecodeCacheWith(3*cost, EvictGDSF)
+		insert := func(key string) {
+			c.mu.Lock()
+			c.insertLocked(key, fakeLayer(cost), cost, decodeNs, false)
+			c.mu.Unlock()
+		}
+		for _, k := range []string{"first", "second", "third"} {
+			insert(k)
+		}
+		// All three residents tie on priority; each insert must evict the
+		// oldest remaining one, in order.
+		for i, k := range []string{"fourth", "fifth", "sixth"} {
+			insert(k)
+			if _, ok := c.entries[k]; !ok {
+				t.Fatalf("trial %d: %s not admitted on a priority tie", trial, k)
+			}
+			evictedWant := []string{"first", "second", "third"}[i]
+			if _, ok := c.entries[evictedWant]; ok {
+				t.Fatalf("trial %d: after inserting %s, %s still resident (want oldest-first eviction)", trial, k, evictedWant)
+			}
+		}
+	}
+}
+
+// TestPrefetchCannotEvictPinned: while layer k is pinned (its kernel is
+// running), prefetching enough layers to overflow the budget must not
+// displace it — the speculative entries are dropped instead.
+func TestPrefetchCannotEvictPinned(t *testing.T) {
+	for _, policy := range []EvictionPolicy{EvictLRU, EvictGDSF} {
+		t.Run(policy.String(), func(t *testing.T) {
+			const cost = 400
+			c := NewDecodeCacheWith(2*cost, policy)
+			layerK, release, err := c.GetPinned("k", slowDecode(cost, time.Millisecond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Speculate far past the budget while k is pinned.
+			for i := 0; i < 4; i++ {
+				c.Prefetch(fmt.Sprintf("k+%d", i+1), slowDecode(cost, 0))
+			}
+			ent, ok := c.entries["k"]
+			if !ok {
+				t.Fatal("pinned layer k evicted by prefetch traffic")
+			}
+			if ent.layer != layerK {
+				t.Fatal("layer k entry replaced while pinned")
+			}
+			if s := c.Stats(); s.BytesInUse > 2*cost {
+				t.Fatalf("budget exceeded by speculation: %d > %d", s.BytesInUse, 2*cost)
+			}
+			release()
+			// Unpinned, k is fair game again; a demand insert may now take
+			// its slot without deadlocking on the stale pin.
+			if _, err := c.Get("fresh", slowDecode(cost, 0)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPrefetchAccounting locks the speculative counters: a prefetch that
+// a demand get later claims is a prefetch hit; one that is evicted or
+// dropped unused is waste; a demand get that joins an in-flight prefetch
+// decode is overlap (and coalesced), not a hit or miss.
+func TestPrefetchAccounting(t *testing.T) {
+	const cost = 400
+	c := NewDecodeCacheWith(4*cost, EvictGDSF)
+
+	// Hit: prefetch lands, demand claims it — no demand miss, no decode.
+	c.Prefetch("claimed", slowDecode(cost, 0))
+	demandDecodes := 0
+	if _, err := c.Get("claimed", func() (*core.DecodedLayer, int64, error) {
+		demandDecodes++
+		return fakeLayer(cost), cost, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if demandDecodes != 0 {
+		t.Fatal("demand get re-decoded a prefetched layer")
+	}
+	s := c.Stats()
+	if s.Prefetches != 1 || s.PrefetchHits != 1 || s.Misses != 0 || s.Hits != 1 {
+		t.Fatalf("after claimed prefetch: %+v", s)
+	}
+
+	// Overlap: demand arrives while the prefetch decode is in flight.
+	started := make(chan struct{})
+	hold := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Prefetch("inflight", func() (*core.DecodedLayer, int64, error) {
+			close(started)
+			<-hold
+			return fakeLayer(cost), cost, nil
+		})
+	}()
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.Get("inflight", slowDecode(cost, 0)); err != nil {
+			t.Error(err)
+		}
+	}()
+	for c.Stats().PrefetchOver == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(hold)
+	wg.Wait()
+	s = c.Stats()
+	if s.PrefetchOver != 1 || s.Coalesced != 1 {
+		t.Fatalf("overlap accounting: %+v", s)
+	}
+	if s.PrefetchHits != 1 {
+		t.Fatalf("an overlap wait double-counted as a prefetch hit: %+v", s)
+	}
+
+	// Waste: prefetched entries squeezed out (or refused) before any
+	// demand use are charged to the speculation.
+	for i := 0; i < 8; i++ {
+		c.Prefetch(fmt.Sprintf("spill%d", i), slowDecode(cost, 0))
+	}
+	if s = c.Stats(); s.PrefetchWaste == 0 {
+		t.Fatalf("overflowing speculative traffic recorded no waste: %+v", s)
+	}
+}
+
+// TestPrefetchedEntryEvictsBeforeHot: under GDSF a prefetched-but-unused
+// entry enters at zero frequency, so when the budget squeezes it loses to
+// a demand-hot resident of the same shape instead of displacing it.
+func TestPrefetchedEntryEvictsBeforeHot(t *testing.T) {
+	const cost = 400
+	c := NewDecodeCacheWith(2*cost, EvictGDSF)
+	// "hot" earns demand frequency.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get("hot", slowDecode(cost, time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Prefetch("spec", slowDecode(cost, time.Millisecond))
+	// A demand miss now needs a slot: the unused prefetch must go first.
+	if _, err := c.Get("demand", slowDecode(cost, time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.entries["hot"]; !ok {
+		t.Fatalf("hot layer evicted while an unused prefetched entry was resident: %+v", c.Stats())
+	}
+	if _, ok := c.entries["spec"]; ok {
+		t.Fatal("unused prefetched entry outlived the squeeze")
+	}
+	if s := c.Stats(); s.PrefetchWaste != 1 {
+		t.Fatalf("evicted unused prefetch not counted as waste: %+v", s)
+	}
+}
+
+// TestCacheEffectiveHitRate locks the coalesced-get accounting bugfix:
+// HitRate keeps its decode-or-hit meaning, EffectiveHitRate folds
+// coalesced serves in, and under singleflight-heavy traffic the two
+// disagree exactly by the coalesced share.
+func TestCacheEffectiveHitRate(t *testing.T) {
+	s := CacheStats{Hits: 1, Misses: 1, Coalesced: 8}
+	if got := s.HitRate(); got != 0.5 {
+		t.Fatalf("HitRate = %v, want 0.5 (coalesced excluded)", got)
+	}
+	if got := s.EffectiveHitRate(); got != 0.9 {
+		t.Fatalf("EffectiveHitRate = %v, want 0.9 ((1+8)/10)", got)
+	}
+	var zero CacheStats
+	if zero.HitRate() != 0 || zero.EffectiveHitRate() != 0 {
+		t.Fatal("zero-traffic rates must be 0, not NaN")
+	}
+}
+
+// prefetchEngine builds an engine over the shared test MLP with an
+// optional decode-ahead depth and a budget that fits both fc layers.
+func prefetchEngine(t testing.TB, net *nn.Network, m *core.Model, policy EvictionPolicy, depth int) *Engine {
+	t.Helper()
+	cache := NewDecodeCacheWith(2*m.MaxDenseBytes(), policy)
+	e, err := NewEngine("mlp", m, net, []int{1, 8, 8}, cache, BatchOptions{}, DefaultSparseThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.StartPrefetch(depth)
+	t.Cleanup(e.Close)
+	return e
+}
+
+// TestPrefetchBitIdenticalOutputs is the determinism contract, and the
+// named -race target in CI: with prefetch on at several depths and
+// eviction policies, concurrent predicts return bit-identical outputs to
+// prefetch-off and to the decoded reference network.
+func TestPrefetchBitIdenticalOutputs(t *testing.T) {
+	net, m := servedModel(t, 17)
+	rows := testRows(6, 18)
+	want := decodedReference(t, net, m, rows)
+
+	for _, cfg := range []struct {
+		policy EvictionPolicy
+		depth  int
+	}{
+		{EvictLRU, 0}, {EvictLRU, 1}, {EvictLRU, 2},
+		{EvictGDSF, 0}, {EvictGDSF, 1}, {EvictGDSF, 2},
+	} {
+		t.Run(fmt.Sprintf("%s-depth%d", cfg.policy, cfg.depth), func(t *testing.T) {
+			e := prefetchEngine(t, net, m, cfg.policy, cfg.depth)
+			const workers, reps = 8, 5
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for rep := 0; rep < reps; rep++ {
+						got, err := e.Predict(rows)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						for i := range want {
+							for j := range want[i] {
+								if got[i][j] != want[i][j] {
+									t.Errorf("row %d col %d: %v != %v (outputs must be bit-identical with prefetch on)",
+										i, j, got[i][j], want[i][j])
+									return
+								}
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestPrefetchWorkerDecodesAhead: announcing layer k to the prefetcher
+// makes the worker decode layer k+1 into the cache on its own, through
+// the speculative path (counted as a prefetch, not a demand miss); a
+// demand get then claims it without decoding. Driven directly (on this
+// two-fc-layer model a demand pass outruns the worker, so end-to-end
+// traffic exercises dedup rather than the decode-ahead itself).
+func TestPrefetchWorkerDecodesAhead(t *testing.T) {
+	net, m := servedModel(t, 19)
+	rows := testRows(4, 20)
+	want := decodedReference(t, net, m, rows)
+
+	cache := NewDecodeCacheWith(2*m.MaxDenseBytes(), EvictGDSF)
+	e, err := NewEngine("mlp", m, net, []int{1, 8, 8}, cache, BatchOptions{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.StartPrefetch(1)
+	defer e.Close()
+	if e.PrefetchDepth() != 1 {
+		t.Fatalf("PrefetchDepth = %d, want 1", e.PrefetchDepth())
+	}
+
+	// Announce layer 0 on an idle engine: the worker must decode layer 1.
+	e.prefetch.advance(0)
+	deadline := time.Now().Add(5 * time.Second)
+	for cache.Stats().Prefetches == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("prefetch worker never decoded ahead: %+v", cache.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for cache.Stats().Entries == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s := cache.Stats(); s.Misses != 0 {
+		t.Fatalf("speculative decode charged as a demand miss: %+v", s)
+	}
+
+	// Traffic over the warmed cache: outputs exact, and the speculative
+	// entry is claimed as a prefetch hit (layer 1 never demand-decoded).
+	for i := 0; i < 5; i++ {
+		got, err := e.Predict(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range want {
+			for c := range want[r] {
+				if got[r][c] != want[r][c] {
+					t.Fatalf("iteration %d: output diverged with a prefetched layer resident", i)
+				}
+			}
+		}
+	}
+	s := cache.Stats()
+	if s.PrefetchHits != 1 {
+		t.Fatalf("prefetched layer not claimed as a hit: %+v", s)
+	}
+	if s.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (only the non-prefetched layer decodes on demand): %+v", s.Misses, s)
+	}
+}
+
+// TestEvictionPolicyConfig locks the policy plumbing: parse, registry
+// switch, the non-empty-cache guard, and the stats label.
+func TestEvictionPolicyConfig(t *testing.T) {
+	if p, err := ParseEvictionPolicy("gdsf"); err != nil || p != EvictGDSF {
+		t.Fatalf("ParseEvictionPolicy(gdsf) = %v, %v", p, err)
+	}
+	if p, err := ParseEvictionPolicy(""); err != nil || p != EvictLRU {
+		t.Fatalf("ParseEvictionPolicy(\"\") = %v, %v", p, err)
+	}
+	if _, err := ParseEvictionPolicy("arc"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+
+	reg := NewRegistry(0, BatchOptions{})
+	defer reg.Close()
+	if err := reg.SetEvictionPolicy(EvictGDSF); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Cache().Stats().Policy; got != "gdsf" {
+		t.Fatalf("stats policy %q, want gdsf", got)
+	}
+
+	// Switching under residents is refused (priorities/recency would be
+	// meaningless across policies).
+	c := NewDecodeCache(0)
+	if _, err := c.Get("x", func() (*core.DecodedLayer, int64, error) {
+		return &core.DecodedLayer{Weights: make([]float32, 8)}, 32, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPolicy(EvictGDSF); err == nil {
+		t.Fatal("policy switch on a non-empty cache accepted")
+	}
+}

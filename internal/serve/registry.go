@@ -21,11 +21,12 @@ import (
 // the per-stage latency histograms live here so every engine feeds one
 // family.
 type Registry struct {
-	mu        sync.RWMutex
-	cache     *DecodeCache
-	engines   map[string]*Engine
-	opt       BatchOptions
-	threshold float64
+	mu            sync.RWMutex
+	cache         *DecodeCache
+	engines       map[string]*Engine
+	opt           BatchOptions
+	threshold     float64
+	prefetchDepth int
 
 	tel    *telemetry.Registry
 	stages [telemetry.NumStages]*telemetry.Histogram
@@ -62,7 +63,7 @@ func (r *Registry) registerMetrics() {
 			telemetry.DurationBuckets, telemetry.Label{Name: "stage", Value: s.String()})
 	}
 	r.tel.CounterFunc("deepsz_cache_events_total",
-		"Decode cache events: hit, miss, coalesced (waited on another caller's decode), eviction, bypass (layer larger than the whole budget).",
+		"Decode cache events: hit, miss, coalesced (waited on another caller's decode), eviction, bypass (layer larger than the whole budget), prefetch (speculative decode started), prefetch_hit (demand get served by a resident prefetched entry), prefetch_overlap (demand get joined an in-flight prefetch decode), prefetch_waste (prefetched entry dropped or evicted unused), admission_drop (policy refused to cache an entry worth less than the residents).",
 		func() []telemetry.Sample {
 			s := r.cache.Stats()
 			return []telemetry.Sample{
@@ -71,12 +72,22 @@ func (r *Registry) registerMetrics() {
 				{Labels: []telemetry.Label{{Name: "event", Value: "coalesced"}}, Value: float64(s.Coalesced)},
 				{Labels: []telemetry.Label{{Name: "event", Value: "eviction"}}, Value: float64(s.Evictions)},
 				{Labels: []telemetry.Label{{Name: "event", Value: "bypass"}}, Value: float64(s.Bypasses)},
+				{Labels: []telemetry.Label{{Name: "event", Value: "prefetch"}}, Value: float64(s.Prefetches)},
+				{Labels: []telemetry.Label{{Name: "event", Value: "prefetch_hit"}}, Value: float64(s.PrefetchHits)},
+				{Labels: []telemetry.Label{{Name: "event", Value: "prefetch_overlap"}}, Value: float64(s.PrefetchOver)},
+				{Labels: []telemetry.Label{{Name: "event", Value: "prefetch_waste"}}, Value: float64(s.PrefetchWaste)},
+				{Labels: []telemetry.Label{{Name: "event", Value: "admission_drop"}}, Value: float64(s.AdmissionDrops)},
 			}
 		})
 	r.tel.CounterFunc("deepsz_cache_decode_seconds_total",
 		"Cumulative wall time spent decoding layers on cache misses.",
 		func() []telemetry.Sample {
 			return []telemetry.Sample{{Value: r.cache.Stats().DecodeTime.Seconds()}}
+		})
+	r.tel.CounterFunc("deepsz_cache_prefetch_decode_seconds_total",
+		"Cumulative wall time the prefetch worker spent decoding ahead — decode overlapped with compute instead of stalling a request.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: r.cache.Stats().PrefetchTime.Seconds()}}
 		})
 	r.tel.GaugeFunc("deepsz_cache_resident_bytes",
 		"Decoded bytes resident in the cache, by representation.",
@@ -140,6 +151,22 @@ func (r *Registry) SetSparseThreshold(t float64) {
 	r.threshold = t
 }
 
+// SetPrefetchDepth turns on decode-ahead for engines added afterwards:
+// while layer k computes, a per-engine worker decodes layers k+1..k+d
+// into the shared cache. d <= 0 (the default) leaves prefetch off. Call
+// it before Add/LoadFile, like SetSparseThreshold.
+func (r *Registry) SetPrefetchDepth(d int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.prefetchDepth = d
+}
+
+// SetEvictionPolicy switches the shared cache's replacement policy. Only
+// valid before traffic (the cache must be empty).
+func (r *Registry) SetEvictionPolicy(p EvictionPolicy) error {
+	return r.cache.SetPolicy(p)
+}
+
 // Cache returns the shared decode cache (for stats reporting).
 func (r *Registry) Cache() *DecodeCache { return r.cache }
 
@@ -147,13 +174,14 @@ func (r *Registry) Cache() *DecodeCache { return r.cache }
 // conv-prefix weights; inputShape is the per-example input shape.
 func (r *Registry) Add(name string, m *core.Model, skeleton *nn.Network, inputShape []int) (*Engine, error) {
 	r.mu.RLock()
-	threshold := r.threshold
+	threshold, depth := r.threshold, r.prefetchDepth
 	r.mu.RUnlock()
 	e, err := NewEngine(name, m, skeleton, inputShape, r.cache, r.opt, threshold)
 	if err != nil {
 		return nil, err
 	}
 	e.attachTelemetry(r.tel, r.stages)
+	e.StartPrefetch(depth)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.engines[name]; dup {

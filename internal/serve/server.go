@@ -279,7 +279,11 @@ type statsResponse struct {
 	Build         telemetry.Build `json:"build"`
 	GoMaxProcs    int             `json:"gomaxprocs"`
 	Cache         CacheStats      `json:"cache"`
-	HitRate       float64         `json:"cache_hit_rate"`
+	// HitRate is hits over decode-or-hit gets only; EffectiveHitRate also
+	// counts coalesced gets (served by waiting on another caller's decode)
+	// as served-without-decoding — the one to watch under bursty traffic.
+	HitRate          float64 `json:"cache_hit_rate"`
+	EffectiveHitRate float64 `json:"cache_effective_hit_rate"`
 	// InFlight is the predict requests currently inside the HTTP handler
 	// — the server-wide load gauge; per-engine queue depth is under each
 	// model's stats.
@@ -297,6 +301,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Models:        map[string]EngineStats{},
 	}
 	resp.HitRate = resp.Cache.HitRate()
+	resp.EffectiveHitRate = resp.Cache.EffectiveHitRate()
 	for _, name := range s.reg.Names() {
 		if e, ok := s.reg.Get(name); ok {
 			resp.Models[name] = e.Stats()

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -127,6 +128,63 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 	if count != 5 {
 		t.Fatalf("count = %d", count)
+	}
+}
+
+// TestHistogramBucketBoundary pins the Prometheus `le` convention: a
+// sample exactly equal to a bucket's upper bound is counted in that
+// bucket (le is "less than or equal"), and the next representable value
+// above the top bound falls through to +Inf only. A histogram that put
+// boundary samples one bucket high would silently shift every quantile
+// estimate computed from the exposition.
+func TestHistogramBucketBoundary(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge_seconds", "e", []float64{1, 2, 4})
+	h.Observe(1)                    // == bound 1: le=1
+	h.Observe(math.Nextafter(1, 2)) // just above 1: le=2
+	h.Observe(2)                    // == bound 2: le=2
+	h.Observe(4)                    // == top bound: le=4, not +Inf
+	h.Observe(math.Nextafter(4, 8)) // just above the top bound: +Inf only
+	h.Observe(0)                    // zero sits in the first bucket
+	h.Observe(math.Nextafter(1, 0)) // just below 1: le=1
+	cum, count, _ := h.snapshot()
+	// le=1: {1, 0, nextafter-below-1}; le=2: +{nextafter-above-1, 2};
+	// le=4: +{4}; +Inf: +{nextafter-above-4}.
+	want := []uint64{3, 5, 6, 7}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cum[%d] = %d, want %d (all %v)", i, cum[i], w, cum)
+		}
+	}
+	if count != 7 {
+		t.Fatalf("count = %d, want 7", count)
+	}
+
+	// The boundary placement must survive the exposition round-trip: the
+	// strict parser sees the same cumulative series the snapshot reports.
+	var b strings.Builder
+	if err := r.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseExposition([]byte(b.String()))
+	if err != nil {
+		t.Fatalf("boundary histogram rejected by the strict parser: %v\n%s", err, b.String())
+	}
+	got := map[string]float64{}
+	for _, sm := range s.Family("edge_seconds").Samples {
+		if sm.Name != "edge_seconds_bucket" {
+			continue
+		}
+		for _, l := range sm.Labels {
+			if l.Name == "le" {
+				got[l.Value] = sm.Value
+			}
+		}
+	}
+	for le, w := range map[string]float64{"1": 3, "2": 5, "4": 6, "+Inf": 7} {
+		if got[le] != w {
+			t.Fatalf("exposed bucket le=%q = %v, want %v (all %v)", le, got[le], w, got)
+		}
 	}
 }
 

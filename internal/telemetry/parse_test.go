@@ -92,6 +92,25 @@ h_seconds_count 6
 `, "cumulative bucket decreased")
 }
 
+// TestParseAcceptsEqualAdjacentBuckets: the cumulative series may hold
+// flat across adjacent les (empty buckets are normal — only a strict
+// decrease is a writer bug), including a sample sitting exactly on a
+// bucket's upper bound so the next bucket adds nothing.
+func TestParseAcceptsEqualAdjacentBuckets(t *testing.T) {
+	s := mustParse(t, `# HELP h_seconds x
+# TYPE h_seconds histogram
+h_seconds_bucket{le="0.1"} 5
+h_seconds_bucket{le="1"} 5
+h_seconds_bucket{le="+Inf"} 5
+h_seconds_sum 0.5
+h_seconds_count 5
+`)
+	f := s.Family("h_seconds")
+	if f == nil || f.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", f)
+	}
+}
+
 func TestParseRejectsInfCountMismatch(t *testing.T) {
 	mustReject(t, `# HELP h_seconds x
 # TYPE h_seconds histogram
