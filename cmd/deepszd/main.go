@@ -67,7 +67,9 @@ func run() error {
 	maxPending := fs.Int("max-pending", 256, "per-model cap on predicts admitted at once; overflow is shed with 503 (0 = unlimited)")
 	maxBodyStr := fs.String("max-body-bytes", "8m", "predict request body cap with optional k/m/g suffix; overflow is refused with 413 (0 = the 8m default, not unlimited)")
 	sparseThreshold := fs.Float64("sparse-threshold", serve.DefaultSparseThreshold,
-		"cache decoded layers in CSR form below this density (0 disables the sparse fast path)")
+		"cache decoded layers in CSR form below this density; the uniform fallback when -autotune-sparse=false or for shapes autotuning skips (0 disables the sparse fast path)")
+	autotuneSparse := fs.Bool("autotune-sparse", true,
+		"micro-benchmark each layer shape at startup and pick per-layer dense-vs-CSR thresholds from the measured crossover")
 	prefetchDepth := fs.Int("prefetch-depth", 1, "decode this many layers ahead of the one computing (0 = off); outputs are identical either way")
 	evictionPolicy := fs.String("eviction-policy", "lru", "decode-cache replacement policy: lru or gdsf (decode-cost per byte, frequency-scaled, aged)")
 	window := fs.Duration("batch-window", 2*time.Millisecond, "how long the first request waits for batch company")
@@ -118,6 +120,7 @@ func run() error {
 		return err
 	}
 	reg.SetSparseThreshold(*sparseThreshold)
+	reg.SetAutotuneSparse(*autotuneSparse)
 	reg.SetPrefetchDepth(*prefetchDepth)
 	for _, s := range specs {
 		e, err := reg.LoadFile(s.name, s.path, s.weights)
@@ -137,6 +140,12 @@ func run() error {
 			"compressed_bytes", m.TotalBytes(),
 			"dense_bytes", m.TotalDenseBytes(),
 		)
+	}
+	if *autotuneSparse {
+		for shape, st := range reg.AutotuneTunes() {
+			logger.Info("autotuned kernel crossover",
+				"rows", shape[0], "cols", shape[1], "sparse_threshold", st.Threshold)
+		}
 	}
 	if budget > 0 {
 		logger.Info("decode cache budget", "bytes", budget)

@@ -9,6 +9,7 @@
 //	experiments -exp all
 //	experiments -bench-json BENCH_serve.json
 //	experiments -bench-gateway-json BENCH_gateway.json
+//	experiments -bench-delta old.json,new.json
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -25,6 +27,8 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	benchJSON := flag.String("bench-json", "", "measure the sparse serving fast path and write the JSON report to this `file` (\"-\" = stdout)")
 	benchGatewayJSON := flag.String("bench-gateway-json", "", "measure gateway throughput scaling over 1/2/4 in-process replicas and write the JSON report to this `file` (\"-\" = stdout)")
+	benchDelta := flag.String("bench-delta", "", "compare two BENCH JSON reports by flattened numeric path: `old.json,new.json`")
+	benchDeltaPct := flag.Float64("bench-delta-threshold", 5, "summarise -bench-delta metrics whose relative change is under this percentage")
 	flag.Parse()
 
 	if *list {
@@ -44,6 +48,18 @@ func main() {
 	if *benchGatewayJSON != "" {
 		ranBench = true
 		if err := writeBenchJSON(*benchGatewayJSON, experiments.WriteBenchGateway); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if *benchDelta != "" {
+		ranBench = true
+		oldNew := strings.Split(*benchDelta, ",")
+		if len(oldNew) != 2 {
+			fmt.Fprintln(os.Stderr, "experiments: -bench-delta wants old.json,new.json")
+			os.Exit(1)
+		}
+		if err := experiments.WriteBenchDelta(os.Stdout, oldNew[0], oldNew[1], *benchDeltaPct); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

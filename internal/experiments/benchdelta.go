@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Benchstat-style comparison of two BENCH JSON reports. CI regenerates
+// BENCH_serve.json / BENCH_gateway.json on every run; this diffs the fresh
+// report against the committed one by flattened numeric path, so a perf
+// regression shows up as a signed % delta in the job log instead of an
+// opaque changed file.
+
+// flattenNumbers walks any JSON value and records every numeric leaf under
+// a dotted path (array elements indexed, objects keyed).
+func flattenNumbers(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case float64:
+		out[prefix] = x
+	case map[string]any:
+		for k, e := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flattenNumbers(p, e, out)
+		}
+	case []any:
+		for i, e := range x {
+			flattenNumbers(fmt.Sprintf("%s[%d]", prefix, i), e, out)
+		}
+	}
+}
+
+// BenchDeltaRow is one compared metric: the value in each report and the
+// relative change.
+type BenchDeltaRow struct {
+	Path     string
+	Old, New float64
+	// PctDelta is (new-old)/|old| in percent; NaN when old is 0 and new
+	// is not (rendered as "new").
+	PctDelta float64
+}
+
+// BenchDelta compares two parsed JSON documents by flattened numeric path.
+// Rows are sorted by path; paths present in only one report appear with the
+// other side's value as NaN.
+func BenchDelta(oldDoc, newDoc any) []BenchDeltaRow {
+	oldN := map[string]float64{}
+	newN := map[string]float64{}
+	flattenNumbers("", oldDoc, oldN)
+	flattenNumbers("", newDoc, newN)
+	paths := map[string]bool{}
+	for p := range oldN {
+		paths[p] = true
+	}
+	for p := range newN {
+		paths[p] = true
+	}
+	var rows []BenchDeltaRow
+	for p := range paths {
+		row := BenchDeltaRow{Path: p, Old: math.NaN(), New: math.NaN(), PctDelta: math.NaN()}
+		o, hasOld := oldN[p]
+		n, hasNew := newN[p]
+		if hasOld {
+			row.Old = o
+		}
+		if hasNew {
+			row.New = n
+		}
+		if hasOld && hasNew {
+			switch {
+			case o == n:
+				row.PctDelta = 0
+			case o != 0:
+				row.PctDelta = (n - o) / math.Abs(o) * 100
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Path < rows[j].Path })
+	return rows
+}
+
+// WriteBenchDelta loads two BENCH JSON files and writes the comparison
+// table to w. Metrics whose relative change is under threshold percent are
+// summarised rather than listed, keeping the CI comment readable.
+func WriteBenchDelta(w io.Writer, oldPath, newPath string, thresholdPct float64) error {
+	load := func(path string) (any, error) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var doc any
+		if err := json.Unmarshal(b, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return doc, nil
+	}
+	oldDoc, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	rows := BenchDelta(oldDoc, newDoc)
+	fmt.Fprintf(w, "bench delta: %s -> %s (%d metrics, showing |Δ| ≥ %g%%)\n",
+		oldPath, newPath, len(rows), thresholdPct)
+	fmt.Fprintf(w, "%-60s %14s %14s %9s\n", "metric", "old", "new", "delta")
+	quiet := 0
+	for _, r := range rows {
+		switch {
+		case math.IsNaN(r.Old):
+			fmt.Fprintf(w, "%-60s %14s %14s %9s\n", r.Path, "-", fmtVal(r.New), "added")
+		case math.IsNaN(r.New):
+			fmt.Fprintf(w, "%-60s %14s %14s %9s\n", r.Path, fmtVal(r.Old), "-", "removed")
+		case math.IsNaN(r.PctDelta):
+			fmt.Fprintf(w, "%-60s %14s %14s %9s\n", r.Path, fmtVal(r.Old), fmtVal(r.New), "new")
+		case math.Abs(r.PctDelta) < thresholdPct:
+			quiet++
+		default:
+			fmt.Fprintf(w, "%-60s %14s %14s %+8.1f%%\n", r.Path, fmtVal(r.Old), fmtVal(r.New), r.PctDelta)
+		}
+	}
+	if quiet > 0 {
+		fmt.Fprintf(w, "(%d metrics within ±%g%%)\n", quiet, thresholdPct)
+	}
+	return nil
+}
+
+// fmtVal renders a metric compactly: integers without a fraction, large
+// timings in engineering-friendly form.
+func fmtVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	s := fmt.Sprintf("%.4g", v)
+	return strings.TrimSuffix(s, ".")
+}

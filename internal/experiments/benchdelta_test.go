@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBenchDeltaFlattensAndCompares(t *testing.T) {
+	oldDoc := map[string]any{
+		"speedup": 2.0,
+		"kernel": []any{
+			map[string]any{"density": 0.1, "ns": 100.0},
+			map[string]any{"density": 0.5, "ns": 400.0},
+		},
+		"gone": 7.0,
+		"zero": 0.0,
+	}
+	newDoc := map[string]any{
+		"speedup": 3.0,
+		"kernel": []any{
+			map[string]any{"density": 0.1, "ns": 50.0},
+			map[string]any{"density": 0.5, "ns": 400.0},
+		},
+		"added": 1.0,
+		"zero":  5.0,
+	}
+	rows := BenchDelta(oldDoc, newDoc)
+	byPath := map[string]BenchDeltaRow{}
+	for _, r := range rows {
+		byPath[r.Path] = r
+	}
+	if r := byPath["speedup"]; r.PctDelta != 50 {
+		t.Fatalf("speedup delta %v, want +50%%", r.PctDelta)
+	}
+	if r := byPath["kernel[0].ns"]; r.PctDelta != -50 {
+		t.Fatalf("kernel[0].ns delta %v, want -50%%", r.PctDelta)
+	}
+	if r := byPath["kernel[1].ns"]; r.PctDelta != 0 {
+		t.Fatalf("unchanged metric delta %v, want 0", r.PctDelta)
+	}
+	if r := byPath["gone"]; !math.IsNaN(r.New) {
+		t.Fatalf("removed metric should have NaN new side: %+v", r)
+	}
+	if r := byPath["added"]; !math.IsNaN(r.Old) {
+		t.Fatalf("added metric should have NaN old side: %+v", r)
+	}
+	if r := byPath["zero"]; !math.IsNaN(r.PctDelta) {
+		t.Fatalf("0 -> 5 has no meaningful %% delta, got %v", r.PctDelta)
+	}
+	// Rows come back sorted by path.
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].Path >= rows[i].Path {
+			t.Fatalf("rows not sorted: %q before %q", rows[i-1].Path, rows[i].Path)
+		}
+	}
+}
+
+func TestWriteBenchDelta(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(`{"rows_per_sec": 1000, "hit_rate": 0.5, "steady": 9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(`{"rows_per_sec": 1500, "hit_rate": 0.5, "steady": 9.0001}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteBenchDelta(&buf, oldPath, newPath, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rows_per_sec") || !strings.Contains(out, "+50.0%") {
+		t.Fatalf("output missing the changed metric:\n%s", out)
+	}
+	if strings.Contains(out, "hit_rate") || strings.Contains(out, "steady ") {
+		t.Fatalf("metrics inside the threshold should be summarised, not listed:\n%s", out)
+	}
+	if !strings.Contains(out, "2 metrics within") {
+		t.Fatalf("output missing the quiet-metric summary:\n%s", out)
+	}
+
+	if err := WriteBenchDelta(&buf, filepath.Join(dir, "missing.json"), newPath, 5); err == nil {
+		t.Fatal("expected an error for a missing input file")
+	}
+}

@@ -33,6 +33,30 @@ type KernelPoint struct {
 	ResidentFrac float64 `json:"resident_frac"` // CSR bytes / dense bytes
 }
 
+// KernelScalingPoint is one GOMAXPROCS setting of the kernel scaling
+// sweep: the fc forward through both kernels at a fixed shape and density.
+type KernelScalingPoint struct {
+	Procs        int     `json:"gomaxprocs"`
+	DenseNsOp    float64 `json:"dense_ns_op"`
+	DenseRowsSec float64 `json:"dense_rows_per_sec"`
+	DenseSpeedup float64 `json:"dense_speedup_vs_p1"`
+	CSRNsOp      float64 `json:"csr_ns_op"`
+	CSRRowsSec   float64 `json:"csr_rows_per_sec"`
+	CSRSpeedup   float64 `json:"csr_speedup_vs_p1"`
+}
+
+// KernelScaling is the multicore throughput record for the tiled kernels:
+// ns/op and rows/s at GOMAXPROCS 1/2/4/8. PhysicalCPUs is runtime.NumCPU()
+// on the generating machine — on a box with fewer cores than a sweep
+// point, that point oversubscribes and its speedup is honestly flat; only
+// multi-core runs (CI) can show real scaling.
+type KernelScaling struct {
+	Shape        string               `json:"shape"`
+	Density      float64              `json:"density"`
+	PhysicalCPUs int                  `json:"physical_cpus"`
+	Points       []KernelScalingPoint `json:"points"`
+}
+
 // ServingSide is one residency policy's serving measurement.
 type ServingSide struct {
 	HitRate     float64 `json:"hit_rate"`
@@ -79,6 +103,9 @@ type BenchReport struct {
 	// Kernel sweeps the fc forward at AlexNet-like shape across densities;
 	// the paper's pruned fc layers sit near density 0.1.
 	Kernel []KernelPoint `json:"kernel"`
+	// KernelScaling sweeps the same shape across GOMAXPROCS for both
+	// kernels at the paper's ~10% density.
+	KernelScaling KernelScaling `json:"kernel_scaling"`
 	// Serving fixes a cache budget of two dense layers over an
 	// eight-layer model and compares dense-only residency against the
 	// sparse threshold: CSR entries are ~8× smaller at 10% density, so
@@ -91,8 +118,11 @@ type BenchReport struct {
 	// depth {0, 2} on a mixed-codec (sz/deepcomp), mixed-decode-cost
 	// workload at the same two-layer budget, all layers dense: prefetch
 	// buys rows/s by overlapping decode with compute, GDSF buys hit rate
-	// by keeping the layers whose re-decode costs the most.
-	ServingMatrix []ServingVariant `json:"serving_matrix"`
+	// by keeping the layers whose re-decode costs the most. Measured at
+	// GOMAXPROCS = ServingMatrixProcs so kernels and decode-ahead contend
+	// the way a multicore deployment would.
+	ServingMatrix      []ServingVariant `json:"serving_matrix"`
+	ServingMatrixProcs int              `json:"serving_matrix_gomaxprocs"`
 	// StageLatency breaks the sparse-side serving latency down by
 	// pipeline stage (queue, batch_wait, cache_lookup, decode, kernel) at
 	// p50/p95/p99, from per-request traces through the micro-batcher —
@@ -148,6 +178,45 @@ func benchKernel() []KernelPoint {
 		})
 	}
 	return points
+}
+
+// benchKernelScaling sweeps the fc forward across GOMAXPROCS for the dense
+// and CSR kernels at the paper's ~10% density. GOMAXPROCS is restored
+// before returning.
+func benchKernelScaling() KernelScaling {
+	rng := tensor.NewRNG(55)
+	const out, in, batch = 256, 2048, 16
+	const density = 0.1
+	d := nn.NewDense("fc", in, out, rng)
+	x := tensor.New(batch, in)
+	rng.FillNormal(x.Data, 0, 1)
+	w := append([]float32(nil), d.W.W.Data...)
+	Sparsify(rng, w, density)
+	csr := tensor.CSRFromDense(w, out, in)
+
+	ks := KernelScaling{
+		Shape:        fmt.Sprintf("fc %dx%d, batch %d", out, in, batch),
+		Density:      density,
+		PhysicalCPUs: runtime.NumCPU(),
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var dense1, csr1 float64
+	for _, procs := range []int{1, 2, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		p := KernelScalingPoint{Procs: procs}
+		p.DenseNsOp = timeOp(func() { d.ForwardWith(x, w, nil) })
+		p.CSRNsOp = timeOp(func() { d.ForwardSparse(x, csr, nil) })
+		p.DenseRowsSec = batch * 1e9 / p.DenseNsOp
+		p.CSRRowsSec = batch * 1e9 / p.CSRNsOp
+		if procs == 1 {
+			dense1, csr1 = p.DenseNsOp, p.CSRNsOp
+		}
+		p.DenseSpeedup = dense1 / p.DenseNsOp
+		p.CSRSpeedup = csr1 / p.CSRNsOp
+		ks.Points = append(ks.Points, p)
+	}
+	return ks
 }
 
 // benchServingNet builds an eight-layer pruned MLP at the paper's ~10%
@@ -382,21 +451,26 @@ func BenchServe() (*BenchReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	const matrixProcs = 4
+	prev := runtime.GOMAXPROCS(matrixProcs)
 	matrix, err := benchServingMatrix(mixedNet, mixedM, 2*mixedM.MaxDenseBytes())
+	runtime.GOMAXPROCS(prev)
 	if err != nil {
 		return nil, err
 	}
 	return &BenchReport{
-		GeneratedUnix: time.Now().Unix(),
-		CPU:           runtime.GOMAXPROCS(0),
-		KernelShape:   "fc 256x2048, batch 16",
-		Kernel:        benchKernel(),
-		ServingBudget: budget,
-		ServingDense:  dense,
-		ServingSparse: sparse,
-		HitRateGain:   sparse.HitRate - dense.HitRate,
-		ServingMatrix: matrix,
-		StageLatency:  stages,
+		GeneratedUnix:      time.Now().Unix(),
+		CPU:                runtime.GOMAXPROCS(0),
+		KernelShape:        "fc 256x2048, batch 16",
+		Kernel:             benchKernel(),
+		KernelScaling:      benchKernelScaling(),
+		ServingBudget:      budget,
+		ServingDense:       dense,
+		ServingSparse:      sparse,
+		HitRateGain:        sparse.HitRate - dense.HitRate,
+		ServingMatrix:      matrix,
+		ServingMatrixProcs: matrixProcs,
+		StageLatency:       stages,
 	}, nil
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"testing"
 )
 
@@ -42,6 +43,44 @@ func TestBenchServeReport(t *testing.T) {
 	if at10.Speedup < 1.2 {
 		t.Fatalf("CSR speedup at paper density is %.2fx; expected well above 1x (≥2x on idle hardware)", at10.Speedup)
 	}
+	// Kernel scaling sweep: structure and honesty checks everywhere, real
+	// scaling asserted only where the hardware can deliver it.
+	ks := r.KernelScaling
+	if ks.PhysicalCPUs != runtime.NumCPU() {
+		t.Fatalf("kernel_scaling physical_cpus %d, want %d", ks.PhysicalCPUs, runtime.NumCPU())
+	}
+	if len(ks.Points) != 4 {
+		t.Fatalf("kernel_scaling has %d points, want 4 (GOMAXPROCS 1/2/4/8)", len(ks.Points))
+	}
+	atProcs := map[int]KernelScalingPoint{}
+	for _, p := range ks.Points {
+		if p.DenseNsOp <= 0 || p.CSRNsOp <= 0 || p.DenseRowsSec <= 0 || p.CSRRowsSec <= 0 {
+			t.Fatalf("non-positive kernel_scaling point: %+v", p)
+		}
+		atProcs[p.Procs] = p
+	}
+	if p1 := atProcs[1]; p1.DenseSpeedup != 1 || p1.CSRSpeedup != 1 {
+		t.Fatalf("GOMAXPROCS=1 point is not the speedup baseline: %+v", p1)
+	}
+	// Scaling claims need the cores to exist and an uninstrumented build;
+	// oversubscribed or race-instrumented sweeps record honest flat numbers
+	// instead.
+	if !raceEnabled && runtime.NumCPU() >= 4 {
+		if p4 := atProcs[4]; p4.DenseSpeedup < 1.8 {
+			t.Fatalf("dense kernel speedup at GOMAXPROCS=4 is %.2fx on a %d-core machine; want ≥1.8x",
+				p4.DenseSpeedup, runtime.NumCPU())
+		}
+	}
+	if !raceEnabled && runtime.NumCPU() >= 8 {
+		if p8 := atProcs[8]; p8.DenseSpeedup < 3 {
+			t.Fatalf("dense kernel speedup at GOMAXPROCS=8 is %.2fx on a %d-core machine; want ≥3x",
+				p8.DenseSpeedup, runtime.NumCPU())
+		}
+	}
+	if r.ServingMatrixProcs != 4 {
+		t.Fatalf("serving matrix measured at GOMAXPROCS=%d, want 4", r.ServingMatrixProcs)
+	}
+
 	// Fixed two-dense-layer budget over eight layers: dense residency
 	// thrashes (sequential LRU scan), sparse residency fits every layer.
 	if r.ServingSparse.HitRate <= r.ServingDense.HitRate {

@@ -64,6 +64,13 @@ type Compressible interface {
 	// its output is bit-identical to ForwardWith on the dense form of the
 	// same matrix; like ForwardWith it touches no layer state.
 	ForwardSparse(x *tensor.Tensor, w *tensor.CSR, bias []float32) *tensor.Tensor
+	// ForwardInference is the serving fast path: dispatch on lw
+	// (dense/sparse), run the kernel with the bias — and, when fuseReLU is
+	// set, the following ReLU layer — fused into its epilogue, and return
+	// a pooled output tensor (tensor.NewPooled storage; the caller owns
+	// recycling it). Bit-identical to ForwardWith/ForwardSparse followed
+	// by a ReLU layer; touches no layer state.
+	ForwardInference(x *tensor.Tensor, lw LayerWeights, fuseReLU bool) *tensor.Tensor
 }
 
 // CompressibleLayers returns the weight-carrying layers of the network in

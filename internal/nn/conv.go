@@ -79,22 +79,45 @@ func (c *Conv2D) ForwardWith(x *tensor.Tensor, weights, bias []float32) *tensor.
 // convolve is the shared stateless convolution kernel behind Forward and
 // ForwardWith. x must have shape [N, InC, H, W].
 func (c *Conv2D) convolve(x *tensor.Tensor, weights, bias []float32) *tensor.Tensor {
+	n, h, w := c.checkInput(x)
+	oh, ow := c.OutDims(h, w)
+	y := tensor.New(n, c.OutC, oh, ow)
+	c.convolveInto(y, x, weights, bias, false)
+	return y
+}
+
+// checkInput validates a [N, InC, H, W] input against the layer geometry
+// and returns (n, h, w).
+func (c *Conv2D) checkInput(x *tensor.Tensor) (n, h, w int) {
 	if x.Rank() != 4 || x.Shape[1] != c.InC {
 		panic(fmt.Sprintf("nn: %s: input shape %v, want [N, %d, H, W]", c.LayerName, x.Shape, c.InC))
 	}
-	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	n, h, w = x.Shape[0], x.Shape[2], x.Shape[3]
 	oh, ow := c.OutDims(h, w)
 	if oh < 1 || ow < 1 {
 		panic(fmt.Sprintf("nn: %s: input %dx%d too small for k=%d s=%d p=%d", c.LayerName, h, w, c.K, c.Stride, c.Pad))
 	}
-	y := tensor.New(n, c.OutC, oh, ow)
+	return n, h, w
+}
+
+// convolveInto is the direct convolution loop writing into a caller-owned
+// output. Each output position accumulates bias first then the kernel
+// products in index order (the order every conv path in this package
+// shares); relu fuses the following ReLU layer's clamp into the same
+// pass. Work splits over (image × output channel) via the worker pool so
+// a batch-1 serving request still uses every core; each output is
+// computed entirely by one goroutine, preserving summation order.
+func (c *Conv2D) convolveInto(y, x *tensor.Tensor, weights, bias []float32, relu bool) {
+	n, h, w := c.checkInput(x)
+	oh, ow := c.OutDims(h, w)
 	inSz := c.InC * h * w
 	outSz := c.OutC * oh * ow
-	tensor.ParallelFor(n, func(lo, hi int) {
-		for b := lo; b < hi; b++ {
+	flops := int64(n) * int64(outSz) * int64(c.InC*c.K*c.K)
+	tensor.ParallelGrid(n, c.OutC, flops, func(b0, b1, oc0, oc1 int) {
+		for b := b0; b < b1; b++ {
 			in := x.Data[b*inSz : (b+1)*inSz]
 			out := y.Data[b*outSz : (b+1)*outSz]
-			for oc := 0; oc < c.OutC; oc++ {
+			for oc := oc0; oc < oc1; oc++ {
 				wBase := oc * c.InC * c.K * c.K
 				for oy := 0; oy < oh; oy++ {
 					for ox := 0; ox < ow; ox++ {
@@ -120,12 +143,40 @@ func (c *Conv2D) convolve(x *tensor.Tensor, weights, bias []float32) *tensor.Ten
 								}
 							}
 						}
+						if relu && !(sum > 0) {
+							sum = 0
+						}
 						out[oc*oh*ow+oy*ow+ox] = sum
 					}
 				}
 			}
 		}
 	})
+}
+
+// ForwardInference implements Compressible: the conv serving path.
+// Dense weights run the direct kernel (the same one ForwardWith uses, so
+// bits match the non-fused path); CSR weights run the im2col SpMM. Both
+// fuse the following ReLU into the kernel when fuseReLU is set and return
+// a pooled output the caller recycles.
+func (c *Conv2D) ForwardInference(x *tensor.Tensor, lw LayerWeights, fuseReLU bool) *tensor.Tensor {
+	if lw.Sparse != nil {
+		return c.forwardSparsePooled(x, lw.Sparse, lw.Bias, fuseReLU)
+	}
+	if len(lw.Dense) != c.OutC*c.InC*c.K*c.K {
+		panic(fmt.Sprintf("nn: %s: ForwardWith got %d weights, want %d", c.LayerName, len(lw.Dense), c.OutC*c.InC*c.K*c.K))
+	}
+	bias := lw.Bias
+	if bias != nil && len(bias) != c.OutC {
+		panic(fmt.Sprintf("nn: %s: ForwardWith got %d biases, want %d", c.LayerName, len(bias), c.OutC))
+	}
+	if bias == nil {
+		bias = make([]float32, c.OutC)
+	}
+	n, h, w := c.checkInput(x)
+	oh, ow := c.OutDims(h, w)
+	y := tensor.NewPooled(n, c.OutC, oh, ow)
+	c.convolveInto(y, x, lw.Dense, bias, fuseReLU)
 	return y
 }
 

@@ -1,0 +1,187 @@
+package nn
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Tests for the serving fast path added with the tiled kernels: fused
+// bias+ReLU epilogues and pooled output buffers must be invisible in the
+// output bits, across layer kinds, weight forms, and concurrent use.
+
+// TestForwardInferenceFusedBitIdentical locks ForwardInference (pooled
+// output, fused bias, optionally fused ReLU) to the unfused
+// ForwardWith/ForwardSparse + ReLU-layer composition, bit for bit.
+func TestForwardInferenceFusedBitIdentical(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	relu := NewReLU("r")
+
+	d := NewDense("fc", 48, 20, rng)
+	wFC := append([]float32(nil), d.W.W.Data...)
+	pruneTo(rng, wFC, 0.2)
+	biasFC := append([]float32(nil), d.B.W.Data...)
+	xFC := tensor.New(5, 48)
+	rng.FillNormal(xFC.Data, 0, 1)
+	csrFC := tensor.CSRFromDense(wFC, d.Out, d.In)
+
+	cv := NewConv2D("c1", 3, 6, 3, 1, 1, rng)
+	wCV := append([]float32(nil), cv.W.W.Data...)
+	pruneTo(rng, wCV, 0.3)
+	biasCV := append([]float32(nil), cv.B.W.Data...)
+	xCV := tensor.New(2, 3, 9, 9)
+	rng.FillNormal(xCV.Data, 0, 1)
+	csrCV := tensor.CSRFromDense(wCV, cv.OutC, cv.InC*cv.K*cv.K)
+
+	cases := []struct {
+		name  string
+		layer Compressible
+		lw    LayerWeights
+		x     *tensor.Tensor
+		ref   func() *tensor.Tensor
+	}{
+		{"fc/dense", d, LayerWeights{Dense: wFC, Bias: biasFC}, xFC,
+			func() *tensor.Tensor { return d.ForwardWith(xFC, wFC, biasFC) }},
+		{"fc/sparse", d, LayerWeights{Sparse: csrFC, Bias: biasFC}, xFC,
+			func() *tensor.Tensor { return d.ForwardSparse(xFC, csrFC, biasFC) }},
+		{"fc/nil-bias", d, LayerWeights{Dense: wFC}, xFC,
+			func() *tensor.Tensor { return d.ForwardWith(xFC, wFC, nil) }},
+		{"conv/dense", cv, LayerWeights{Dense: wCV, Bias: biasCV}, xCV,
+			func() *tensor.Tensor { return cv.ForwardWith(xCV, wCV, biasCV) }},
+		{"conv/sparse", cv, LayerWeights{Sparse: csrCV, Bias: biasCV}, xCV,
+			func() *tensor.Tensor { return cv.ForwardSparse(xCV, csrCV, biasCV) }},
+		{"conv/nil-bias", cv, LayerWeights{Dense: wCV}, xCV,
+			func() *tensor.Tensor { return cv.ForwardWith(xCV, wCV, nil) }},
+	}
+	for _, tc := range cases {
+		plain := tc.layer.ForwardInference(tc.x, tc.lw, false)
+		assertBitEqual(t, plain, tc.ref(), tc.name+" unfused")
+		fused := tc.layer.ForwardInference(tc.x, tc.lw, true)
+		assertBitEqual(t, fused, relu.Forward(tc.ref(), false), tc.name+" fused ReLU")
+		tensor.Recycle(plain)
+		tensor.Recycle(fused)
+	}
+}
+
+// fusedTestNet is a conv→relu→flatten→fc→relu→dropout→fc stack touching
+// every recycle edge case: a fused ReLU skip, a Reshape view over a pooled
+// buffer, and Dropout's inference pass-through.
+func fusedTestNet(seed uint64) *Network {
+	rng := tensor.NewRNG(seed)
+	return NewNetwork("fused-net",
+		NewConv2D("conv1", 1, 4, 3, 1, 1, rng),
+		NewReLU("relu0"),
+		NewFlatten("flat"),
+		NewDense("ip1", 4*8*8, 16, rng),
+		NewReLU("relu1"),
+		NewDropout("drop1", 0.5, rng),
+		NewDense("ip2", 16, 4, rng),
+	)
+}
+
+func fusedTestProvider(net *Network, sparse bool) *mapProvider {
+	p := &mapProvider{
+		w:      map[string][]float32{},
+		b:      map[string][]float32{},
+		shape:  map[string][]int{},
+		sparse: sparse,
+	}
+	for _, c := range net.CompressibleLayers() {
+		w := append([]float32(nil), c.Weights()...)
+		pruneTo(tensor.NewRNG(77), w, 0.3)
+		p.w[c.Name()] = w
+		p.b[c.Name()] = c.BiasParam().W.Data
+		p.shape[c.Name()] = c.WeightShape()
+	}
+	return p
+}
+
+// TestProviderFusionRecyclingConcurrent hammers ForwardWithProvider from
+// many goroutines over shared pooled buffers and asserts every result is
+// bit-identical to a single-threaded reference — the test that would catch
+// a recycled buffer being handed out while still referenced.
+func TestProviderFusionRecyclingConcurrent(t *testing.T) {
+	net := fusedTestNet(3)
+	for _, sparse := range []bool{false, true} {
+		p := fusedTestProvider(net, sparse)
+		x := tensor.New(2, 1, 8, 8)
+		tensor.NewRNG(13).FillNormal(x.Data, 0, 1)
+		want, err := net.ForwardWithProvider(x, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const workers, iters = 8, 20
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Each goroutine needs its own clone: non-compressible
+				// layers may touch state, as ForwardWithProvider documents.
+				cl := net.Clone()
+				for it := 0; it < iters; it++ {
+					got, err := cl.ForwardWithProvider(x, p)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for i := range want.Data {
+						if got.Data[i] != want.Data[i] {
+							errs <- fmt.Errorf("sparse=%v: output diverged at %d: %v vs %v",
+								sparse, i, got.Data[i], want.Data[i])
+							return
+						}
+					}
+					tensor.Recycle(got)
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestProviderForwardRecyclesIntermediates checks the steady-state alloc
+// win: with fused epilogues and pooled buffers, a provider forward should
+// allocate roughly the final output, not one tensor per layer. Skipped
+// under the race detector, whose instrumentation inflates allocation.
+func TestProviderForwardRecyclesIntermediates(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is skewed under -race")
+	}
+	rng := tensor.NewRNG(8)
+	net := NewNetwork("alloc-mlp",
+		NewDense("ip1", 256, 256, rng),
+		NewReLU("r1"),
+		NewDense("ip2", 256, 256, rng),
+		NewReLU("r2"),
+		NewDense("ip3", 256, 256, rng),
+		NewReLU("r3"),
+		NewDense("ip4", 256, 64, rng),
+	)
+	p := fusedTestProvider(net, false)
+	x := tensor.New(8, 256)
+	rng.FillNormal(x.Data, 0, 1)
+
+	got := allocBytesPerOp(func() {
+		y, err := net.ForwardWithProvider(x, p)
+		if err != nil {
+			panic(err)
+		}
+		tensor.Recycle(y)
+	})
+	// Unpooled, the 8×256 intermediates alone are 4×8 KiB plus ReLU
+	// copies (~57 KiB/op). Pooled and fused, steady state is tensor
+	// headers and closures only.
+	const budget = 4 << 10
+	if got > budget {
+		t.Fatalf("provider forward allocates %d B/op, budget %d", got, budget)
+	}
+}

@@ -62,20 +62,14 @@ func (c *Conv2D) im2col(in []float32, h, w, oh, ow int, cols []float32) {
 	}
 }
 
-// forwardIm2col is the shared scaffold behind ForwardIm2col and
-// ForwardSparse: validate, unroll each image into the pooled cols
-// buffer, and hand (cols, out-slice, oh·ow) to the per-image matmul
-// kernel.
-func (c *Conv2D) forwardIm2col(x *tensor.Tensor, kernel func(cols, out []float32, rowLen int)) *tensor.Tensor {
-	if x.Rank() != 4 || x.Shape[1] != c.InC {
-		panic(fmt.Sprintf("nn: %s: input shape %v, want [N, %d, H, W]", c.LayerName, x.Shape, c.InC))
-	}
-	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+// forwardIm2colInto is the shared scaffold behind ForwardIm2col and
+// ForwardSparse: unroll each image into the pooled cols buffer and hand
+// (cols, out-slice, oh·ow) to the per-image matmul kernel. y must be a
+// zero-filled (n, OutC, oh, ow) tensor; the caller chooses its storage
+// (heap or buffer pool).
+func (c *Conv2D) forwardIm2colInto(y, x *tensor.Tensor, kernel func(cols, out []float32, rowLen int)) {
+	n, h, w := c.checkInput(x)
 	oh, ow := c.OutDims(h, w)
-	if oh < 1 || ow < 1 {
-		panic(fmt.Sprintf("nn: %s: input %dx%d too small for k=%d s=%d p=%d", c.LayerName, h, w, c.K, c.Stride, c.Pad))
-	}
-	y := tensor.New(n, c.OutC, oh, ow)
 	inSz := c.InC * h * w
 	outSz := c.OutC * oh * ow
 	colRows := c.InC * c.K * c.K
@@ -90,26 +84,32 @@ func (c *Conv2D) forwardIm2col(x *tensor.Tensor, kernel func(cols, out []float32
 			kernel(cols, y.Data[b*outSz:(b+1)*outSz], rowLen)
 		}
 	})
-	return y
+}
+
+// outTensor allocates the conv output for x — pooled storage when pooled
+// is set (serving; the caller recycles), plain heap otherwise.
+func (c *Conv2D) outTensor(x *tensor.Tensor, pooled bool) *tensor.Tensor {
+	n, h, w := c.checkInput(x)
+	oh, ow := c.OutDims(h, w)
+	if pooled {
+		return tensor.NewPooled(n, c.OutC, oh, ow)
+	}
+	return tensor.New(n, c.OutC, oh, ow)
 }
 
 // ForwardIm2col computes the same output as Forward(x, false) via im2col +
-// matrix multiplication. It does not cache state and cannot be followed by
-// Backward.
+// matrix multiplication, the bias-add fused into the matmul's row
+// epilogue. It does not cache state and cannot be followed by Backward.
 func (c *Conv2D) ForwardIm2col(x *tensor.Tensor) *tensor.Tensor {
 	colRows := c.InC * c.K * c.K
 	wMat := c.W.W.Reshape(c.OutC, colRows)
-	bias := c.B.W.Data
-	return c.forwardIm2col(x, func(cols, out []float32, rowLen int) {
+	ep := tensor.Epilogue{Bias: c.B.W.Data}
+	y := c.outTensor(x, false)
+	c.forwardIm2colInto(y, x, func(cols, out []float32, rowLen int) {
 		colMat := tensor.FromSlice(cols, colRows, rowLen)
-		tensor.MatMulInto(out, wMat, colMat) // (OutC × oh·ow), y is fresh zeros
-		for oc := 0; oc < c.OutC; oc++ {
-			row := out[oc*rowLen : (oc+1)*rowLen]
-			for i := range row {
-				row[i] += bias[oc]
-			}
-		}
+		tensor.MatMulIntoEp(out, wMat, colMat, ep) // (OutC × oh·ow), y is fresh zeros
 	})
+	return y
 }
 
 // ForwardSparse implements Compressible: the im2col convolution with CSR
@@ -119,13 +119,24 @@ func (c *Conv2D) ForwardIm2col(x *tensor.Tensor) *tensor.Tensor {
 // terms, so for finite inputs the result is bit-identical to
 // ForwardWith(x, w.Dense(), bias). Touches no layer state.
 func (c *Conv2D) ForwardSparse(x *tensor.Tensor, w *tensor.CSR, bias []float32) *tensor.Tensor {
+	return c.forwardSparseInto(c.outTensor(x, false), x, w, bias, false)
+}
+
+// forwardSparsePooled is ForwardSparse with pooled output storage and an
+// optionally fused ReLU — the serving path behind ForwardInference.
+func (c *Conv2D) forwardSparsePooled(x *tensor.Tensor, w *tensor.CSR, bias []float32, relu bool) *tensor.Tensor {
+	return c.forwardSparseInto(c.outTensor(x, true), x, w, bias, relu)
+}
+
+func (c *Conv2D) forwardSparseInto(y, x *tensor.Tensor, w *tensor.CSR, bias []float32, relu bool) *tensor.Tensor {
 	if colRows := c.InC * c.K * c.K; w.Rows != c.OutC || w.Cols != colRows {
 		panic(fmt.Sprintf("nn: %s: ForwardSparse got %dx%d weights, want %dx%d", c.LayerName, w.Rows, w.Cols, c.OutC, colRows))
 	}
 	if bias != nil && len(bias) != c.OutC {
 		panic(fmt.Sprintf("nn: %s: ForwardSparse got %d biases, want %d", c.LayerName, len(bias), c.OutC))
 	}
-	return c.forwardIm2col(x, func(cols, out []float32, rowLen int) {
+	ep := tensor.Epilogue{ReLU: relu}
+	c.forwardIm2colInto(y, x, func(cols, out []float32, rowLen int) {
 		if bias != nil {
 			// Bias seeds the accumulator (the direct kernel's order: sum
 			// starts at bias, products follow in index order).
@@ -136,6 +147,7 @@ func (c *Conv2D) ForwardSparse(x *tensor.Tensor, w *tensor.CSR, bias []float32) 
 				}
 			}
 		}
-		tensor.CSRMatMulInto(out, w, cols, rowLen)
+		tensor.CSRMatMulIntoEp(out, w, cols, rowLen, ep)
 	})
+	return y
 }

@@ -48,15 +48,27 @@ type WeightProvider interface {
 // is safe to call concurrently on a shared *Dense. weights must have
 // Out×In entries; bias Out entries (nil means zero bias).
 func (d *Dense) ForwardWith(x *tensor.Tensor, weights, bias []float32) *tensor.Tensor {
+	y := tensor.New(x.Shape[0], d.Out)
+	d.forwardInto(y.Data, x, weights, bias, false)
+	return y
+}
+
+// forwardInto runs the fc kernel with bias (and optionally the following
+// ReLU) fused into the matmul epilogue, writing into a caller-owned
+// buffer. The fused epilogue applies (Σ terms) + bias then the clamp —
+// exactly what the former separate addBias loop and ReLU layer computed.
+func (d *Dense) forwardInto(out []float32, x *tensor.Tensor, weights, bias []float32, relu bool) {
 	if x.Rank() != 2 || x.Shape[1] != d.In {
 		panic(fmt.Sprintf("nn: %s: input shape %v, want [N, %d]", d.LayerName, x.Shape, d.In))
 	}
 	if len(weights) != d.Out*d.In {
 		panic(fmt.Sprintf("nn: %s: ForwardWith got %d weights, want %d", d.LayerName, len(weights), d.Out*d.In))
 	}
-	y := tensor.MatMulTransB(x, tensor.FromSlice(weights, d.Out, d.In))
-	d.addBias(x.Shape[0], y, bias)
-	return y
+	if bias != nil && len(bias) != d.Out {
+		panic(fmt.Sprintf("nn: %s: got %d biases, want %d", d.LayerName, len(bias), d.Out))
+	}
+	ep := tensor.Epilogue{Bias: bias, ReLU: relu}
+	tensor.MatMulTransBInto(out, x, tensor.FromSlice(weights, d.Out, d.In), ep)
 }
 
 // ForwardSparse is ForwardWith for CSR weights (shape Out×In): the fc
@@ -64,32 +76,37 @@ func (d *Dense) ForwardWith(x *tensor.Tensor, weights, bias []float32) *tensor.T
 // output to the dense path for finite inputs. Safe to call concurrently
 // on a shared *Dense.
 func (d *Dense) ForwardSparse(x *tensor.Tensor, w *tensor.CSR, bias []float32) *tensor.Tensor {
+	y := tensor.New(x.Shape[0], d.Out)
+	d.forwardSparseInto(y.Data, x, w, bias, false)
+	return y
+}
+
+// forwardSparseInto is forwardInto over CSR weights.
+func (d *Dense) forwardSparseInto(out []float32, x *tensor.Tensor, w *tensor.CSR, bias []float32, relu bool) {
 	if x.Rank() != 2 || x.Shape[1] != d.In {
 		panic(fmt.Sprintf("nn: %s: input shape %v, want [N, %d]", d.LayerName, x.Shape, d.In))
 	}
 	if w.Rows != d.Out || w.Cols != d.In {
 		panic(fmt.Sprintf("nn: %s: ForwardSparse got %dx%d weights, want %dx%d", d.LayerName, w.Rows, w.Cols, d.Out, d.In))
 	}
-	y := tensor.MatMulTransBCSR(x, w)
-	d.addBias(x.Shape[0], y, bias)
-	return y
-}
-
-// addBias adds the shared bias vector to every row of y (nil means zero
-// bias), validating its length.
-func (d *Dense) addBias(n int, y *tensor.Tensor, bias []float32) {
-	if bias == nil {
-		return
-	}
-	if len(bias) != d.Out {
+	if bias != nil && len(bias) != d.Out {
 		panic(fmt.Sprintf("nn: %s: got %d biases, want %d", d.LayerName, len(bias), d.Out))
 	}
-	for i := 0; i < n; i++ {
-		row := y.Data[i*d.Out : (i+1)*d.Out]
-		for j := range row {
-			row[j] += bias[j]
-		}
+	ep := tensor.Epilogue{Bias: bias, ReLU: relu}
+	tensor.MatMulTransBCSRInto(out, x, w, ep)
+}
+
+// ForwardInference implements Compressible: the fc serving path with the
+// bias (and, when fuseReLU is set, the following ReLU) fused into the
+// matmul epilogue, returning a pooled output the caller recycles.
+func (d *Dense) ForwardInference(x *tensor.Tensor, lw LayerWeights, fuseReLU bool) *tensor.Tensor {
+	y := tensor.NewPooled(x.Shape[0], d.Out)
+	if lw.Sparse != nil {
+		d.forwardSparseInto(y.Data, x, lw.Sparse, lw.Bias, fuseReLU)
+	} else {
+		d.forwardInto(y.Data, x, lw.Dense, lw.Bias, fuseReLU)
 	}
+	return y
 }
 
 // ForwardWithProvider runs an inference-mode forward pass, sourcing every
@@ -99,31 +116,69 @@ func (d *Dense) addBias(n int, y *tensor.Tensor, bias []float32) {
 // layers run normally, so the network value itself must not be shared
 // across concurrent calls (use clones); the provider and the supplied
 // weights may be shared.
+//
+// Two serving optimisations ride on this loop, neither visible in the
+// output bits: a ReLU layer directly after a provided compressible layer
+// is fused into that layer's kernel epilogue (the ReLU layer itself is
+// skipped), and compressible outputs come from the tensor buffer pool —
+// each pooled intermediate is recycled as soon as the next layer has
+// produced an output that doesn't share its storage, so steady-state
+// serving reuses the same buffers request after request instead of
+// allocating per layer. The returned tensor may be pool-backed but is
+// never recycled here; ownership passes to the caller.
 func (n *Network) ForwardWithProvider(x *tensor.Tensor, p WeightProvider) (*tensor.Tensor, error) {
-	for _, l := range n.Layers {
+	var pooled *tensor.Tensor // last pooled intermediate not yet recycled
+	step := func(y *tensor.Tensor) {
+		// Recycle the previous pooled buffer once the pipeline has moved
+		// past it. View layers (Flatten's Reshape, Dropout's inference
+		// pass-through) return tensors sharing the same storage — detected
+		// by first-element identity — which keeps the buffer alive.
+		if pooled != nil && !sharesStorage(y, pooled) {
+			tensor.Recycle(pooled)
+			pooled = nil
+		}
+	}
+	for i := 0; i < len(n.Layers); i++ {
+		l := n.Layers[i]
 		c, ok := l.(Compressible)
 		if !ok {
-			x = l.Forward(x, false)
+			y := l.Forward(x, false)
+			step(y)
+			x = y
 			continue
 		}
 		lw, release, err := p.LayerWeights(c.Name())
 		if errors.Is(err, ErrNotProvided) {
-			x = c.Forward(x, false)
+			y := c.Forward(x, false)
+			step(y)
+			x = y
 			continue
 		}
 		if err != nil {
 			return nil, fmt.Errorf("nn: %s: %w", c.Name(), err)
 		}
-		if lw.Sparse != nil {
-			x = c.ForwardSparse(x, lw.Sparse, lw.Bias)
-		} else {
-			x = c.ForwardWith(x, lw.Dense, lw.Bias)
+		fuse := false
+		if i+1 < len(n.Layers) {
+			_, fuse = n.Layers[i+1].(*ReLU)
 		}
+		y := c.ForwardInference(x, lw, fuse)
 		if release != nil {
 			release()
 		}
+		if fuse {
+			i++ // the ReLU ran inside the kernel epilogue
+		}
+		step(y)
+		pooled = y
+		x = y
 	}
 	return x, nil
+}
+
+// sharesStorage reports whether two tensors are views over the same
+// backing array, by first-element identity. Empty tensors share nothing.
+func sharesStorage(a, b *tensor.Tensor) bool {
+	return len(a.Data) > 0 && len(b.Data) > 0 && &a.Data[0] == &b.Data[0]
 }
 
 // StripWeights drops the weight and gradient storage of every compressible

@@ -3,6 +3,7 @@ package nn
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/tensor"
@@ -14,7 +15,7 @@ type mapProvider struct {
 	w, b     map[string][]float32
 	shape    map[string][]int
 	sparse   bool
-	released int
+	released atomic.Int64
 	fail     error
 }
 
@@ -37,7 +38,7 @@ func (p *mapProvider) LayerWeights(name string) (LayerWeights, func(), error) {
 	} else {
 		lw.Dense = w
 	}
-	return lw, func() { p.released++ }, nil
+	return lw, func() { p.released.Add(1) }, nil
 }
 
 func providerNet(seed uint64) *Network {
@@ -75,8 +76,8 @@ func TestForwardWithProviderMatchesForward(t *testing.T) {
 			t.Fatalf("output %d: %v, want %v", i, got.Data[i], want.Data[i])
 		}
 	}
-	if p.released != len(net.DenseLayers()) {
-		t.Fatalf("released %d times, want %d", p.released, len(net.DenseLayers()))
+	if int(p.released.Load()) != len(net.DenseLayers()) {
+		t.Fatalf("released %d times, want %d", p.released.Load(), len(net.DenseLayers()))
 	}
 }
 

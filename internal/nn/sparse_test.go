@@ -133,8 +133,8 @@ func TestForwardWithProviderSparseMatchesDense(t *testing.T) {
 	if want := net.Forward(x, false); true {
 		assertBitEqual(t, sparse, want, "provider sparse vs layer-owned")
 	}
-	if p.released != 2*len(net.CompressibleLayers()) {
-		t.Fatalf("released %d times, want %d", p.released, 2*len(net.CompressibleLayers()))
+	if int(p.released.Load()) != 2*len(net.CompressibleLayers()) {
+		t.Fatalf("released %d times, want %d", p.released.Load(), 2*len(net.CompressibleLayers()))
 	}
 }
 

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// Startup autotuning of the dense-vs-CSR crossover. The sparse fast path
+// only pays off below a density break-even that moves with the weight
+// shape (BENCH_serve.json: ~7× at 5% density, ~0.8× at 50% for one fc
+// shape — other shapes cross elsewhere), so a single global threshold is
+// always wrong for some layer. At engine registration each distinct layer
+// shape is micro-benchmarked: the dense kernel against the CSR kernel at a
+// ladder of probe densities, on the machine and GOMAXPROCS that will serve
+// traffic. The measured crossover (where speedup falls through 1×) becomes
+// that shape's sparse threshold, so the decode cache keeps a layer in CSR
+// form exactly when the CSR kernel is faster here — not faster on whatever
+// machine a constant was tuned on. Thresholds only pick the resident
+// format; either format yields bit-identical outputs, so autotuning can
+// never change a prediction.
+
+// autotuneProbeDensities is the density ladder each shape is measured at,
+// ascending. The ends stay inside (0, 1): at density 0 or 1 the choice is
+// obvious and the interpolation below covers the boundary regions.
+var autotuneProbeDensities = []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.75}
+
+const (
+	// autotuneBatch is the A-matrix row count probes run with — small, like
+	// the micro-batches serving actually sees.
+	autotuneBatch = 8
+	// autotuneProbeBudget bounds one (shape, density, kernel) timing loop;
+	// the whole ladder for a shape costs ~2·len(densities)·budget.
+	autotuneProbeBudget = 2 * time.Millisecond
+	// autotuneMaxShapeElems skips measurement for weight matrices too large
+	// to probe in reasonable startup time; such layers keep the uniform
+	// threshold.
+	autotuneMaxShapeElems = 64 << 20
+)
+
+// AutotuneProbe is one measured point of a shape's density ladder.
+type AutotuneProbe struct {
+	Density float64 `json:"density"`
+	DenseNs float64 `json:"dense_ns"`
+	CSRNs   float64 `json:"csr_ns"`
+	Speedup float64 `json:"speedup"` // dense_ns / csr_ns; > 1 means CSR wins
+}
+
+// ShapeTune is the autotune result for one weight shape (rows × cols,
+// the CSR layout): the measured crossover threshold and the probes behind
+// it.
+type ShapeTune struct {
+	Rows, Cols int
+	Threshold  float64
+	Probes     []AutotuneProbe
+}
+
+// measureFunc times the dense and CSR fc kernels for one rows×cols weight
+// matrix at the given density, returning ns/op for each. Swappable so
+// tests drive tuneShape with synthetic cost models.
+type measureFunc func(rows, cols int, density float64) (denseNs, csrNs float64)
+
+// timeKernel runs f repeatedly for the probe budget and returns ns/op.
+func timeKernel(f func()) float64 {
+	f() // warm caches and the worker pool
+	n := 0
+	t0 := time.Now()
+	for time.Since(t0) < autotuneProbeBudget {
+		f()
+		n++
+	}
+	return float64(time.Since(t0).Nanoseconds()) / float64(n)
+}
+
+// defaultMeasure is the real kernel benchmark: a deterministic random
+// rows×cols matrix pruned to the target density, multiplied against an
+// autotuneBatch×cols activation through both kernels.
+func defaultMeasure(rows, cols int, density float64) (denseNs, csrNs float64) {
+	rng := tensor.NewRNG(0x5eed + uint64(rows)*31 + uint64(cols))
+	w := make([]float32, rows*cols)
+	rng.FillNormal(w, 0, 1)
+	gate := make([]float32, len(w))
+	rng.FillUniform(gate, 0, 1)
+	for i := range w {
+		if float64(gate[i]) >= density {
+			w[i] = 0
+		}
+	}
+	wt := tensor.FromSlice(w, rows, cols)
+	csr := tensor.CSRFromDense(w, rows, cols)
+	x := tensor.New(autotuneBatch, cols)
+	rng.FillNormal(x.Data, 0, 1)
+	out := make([]float32, autotuneBatch*rows)
+	denseNs = timeKernel(func() { tensor.MatMulTransBInto(out, x, wt, tensor.Epilogue{}) })
+	csrNs = timeKernel(func() { tensor.MatMulTransBCSRInto(out, x, csr, tensor.Epilogue{}) })
+	return denseNs, csrNs
+}
+
+// tuneShape measures the density ladder for one shape and derives the
+// crossover threshold: the density where the CSR/dense speedup falls
+// through 1×, linearly interpolated between the neighbouring probes. A
+// shape where CSR never wins gets 0 (always dense); one where CSR wins at
+// every probe gets the top probe density (beyond it the ladder has no
+// evidence, and at full density CSR's 40-bit entries cannot win).
+func tuneShape(rows, cols int, measure measureFunc) ShapeTune {
+	st := ShapeTune{Rows: rows, Cols: cols}
+	for _, d := range autotuneProbeDensities {
+		dn, cn := measure(rows, cols, d)
+		sp := 0.0
+		if cn > 0 {
+			sp = dn / cn
+		}
+		st.Probes = append(st.Probes, AutotuneProbe{Density: d, DenseNs: dn, CSRNs: cn, Speedup: sp})
+	}
+	st.Threshold = crossover(st.Probes)
+	return st
+}
+
+// crossover finds the first probe (ascending density) where CSR stops
+// winning and interpolates the speedup-1 crossing between it and its
+// predecessor.
+func crossover(probes []AutotuneProbe) float64 {
+	for i, p := range probes {
+		if p.Speedup > 1 {
+			continue
+		}
+		if i == 0 {
+			return 0 // CSR loses even at the sparsest probe
+		}
+		prev := probes[i-1]
+		// Linear interpolation of speedup across [prev.Density, p.Density]
+		// to the point where it equals 1.
+		run := p.Density - prev.Density
+		drop := prev.Speedup - p.Speedup
+		if run <= 0 || drop <= 0 {
+			return prev.Density
+		}
+		t := prev.Density + run*(prev.Speedup-1)/drop
+		if t < prev.Density {
+			t = prev.Density
+		}
+		if t > p.Density {
+			t = p.Density
+		}
+		return t
+	}
+	return probes[len(probes)-1].Density // CSR won every probe
+}
+
+// autotuner caches ShapeTunes across models: fleets serve many models with
+// repeated layer shapes, and one measurement per shape is enough.
+type autotuner struct {
+	measure measureFunc
+	tunes   map[[2]int]ShapeTune
+
+	// Scrape-time counters for the deepsz_kernel_autotune_* telemetry.
+	shapesMeasured int
+	spentNs        int64
+}
+
+func newAutotuner(measure measureFunc) *autotuner {
+	if measure == nil {
+		measure = defaultMeasure
+	}
+	return &autotuner{measure: measure, tunes: map[[2]int]ShapeTune{}}
+}
+
+// tune returns the ShapeTune for rows×cols, measuring on first sight of
+// the shape. ok is false for shapes autotuning skips (degenerate or
+// oversized). Callers hold the owning registry's lock.
+func (a *autotuner) tune(rows, cols int) (ShapeTune, bool) {
+	if rows <= 0 || cols <= 0 || rows*cols > autotuneMaxShapeElems {
+		return ShapeTune{}, false
+	}
+	key := [2]int{rows, cols}
+	if st, ok := a.tunes[key]; ok {
+		return st, true
+	}
+	t0 := time.Now()
+	st := tuneShape(rows, cols, a.measure)
+	a.spentNs += time.Since(t0).Nanoseconds()
+	a.shapesMeasured++
+	a.tunes[key] = st
+	return st, true
+}

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// syntheticMeasure builds a measureFunc whose dense/CSR speedup is linear
+// in density and equals exactly 1 at crossAt, so tuneShape's linear
+// interpolation recovers crossAt exactly.
+func syntheticMeasure(crossAt float64, calls *atomic.Int64) measureFunc {
+	return func(rows, cols int, density float64) (float64, float64) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		const dense = 1000.0
+		if crossAt <= 0 {
+			return dense, dense * 10 // CSR always loses
+		}
+		speedup := 1 + (crossAt - density) // linear, >0 on the probe ladder
+		return dense, dense / speedup
+	}
+}
+
+func TestTuneShapeRecoversCrossover(t *testing.T) {
+	for _, crossAt := range []float64{0.15, 0.3, 0.45} {
+		st := tuneShape(32, 64, syntheticMeasure(crossAt, nil))
+		if math.Abs(st.Threshold-crossAt) > 1e-9 {
+			t.Fatalf("crossover at %v: tuned threshold %v", crossAt, st.Threshold)
+		}
+		if len(st.Probes) != len(autotuneProbeDensities) {
+			t.Fatalf("got %d probes, want %d", len(st.Probes), len(autotuneProbeDensities))
+		}
+		// The derived threshold must choose CSR exactly where the measured
+		// speedup exceeds 1: every winning probe sits below it, every
+		// losing probe at or above it.
+		for _, p := range st.Probes {
+			if p.Speedup > 1 && p.Density >= st.Threshold {
+				t.Fatalf("crossover %v: probe at %v wins (%.2fx) but threshold %v would serve it dense",
+					crossAt, p.Density, p.Speedup, st.Threshold)
+			}
+			if p.Speedup < 1 && p.Density < st.Threshold {
+				t.Fatalf("crossover %v: probe at %v loses (%.2fx) but threshold %v would keep it CSR",
+					crossAt, p.Density, p.Speedup, st.Threshold)
+			}
+		}
+	}
+}
+
+func TestTuneShapeBoundaries(t *testing.T) {
+	if st := tuneShape(32, 64, syntheticMeasure(0, nil)); st.Threshold != 0 {
+		t.Fatalf("CSR-never-wins threshold %v, want 0", st.Threshold)
+	}
+	// CSR wins every probe: threshold caps at the densest probe measured.
+	st := tuneShape(32, 64, syntheticMeasure(10, nil))
+	want := autotuneProbeDensities[len(autotuneProbeDensities)-1]
+	if st.Threshold != want {
+		t.Fatalf("CSR-always-wins threshold %v, want %v", st.Threshold, want)
+	}
+}
+
+// TestRegistryAutotunePerLayer runs the full path: a registry with
+// autotuning on (and a synthetic, shape-dependent cost model) registers a
+// model and must surface measured per-layer thresholds in stats, choose
+// the resident format per layer accordingly, and dedup measurements by
+// shape across models.
+func TestRegistryAutotunePerLayer(t *testing.T) {
+	net, m := servedModel(t, 6)
+	var calls atomic.Int64
+	// Shape-dependent crossover: ip1 (32×64) tunes to 0.45, ip2 (10×32)
+	// to 0 (never CSR). servedModel prunes ip1 to ~0.2 density and ip2 to
+	// ~0.4, so with these thresholds ip1 must land CSR, ip2 dense.
+	measure := func(rows, cols int, density float64) (float64, float64) {
+		calls.Add(1)
+		if rows == 32 {
+			return syntheticMeasure(0.45, nil)(rows, cols, density)
+		}
+		return syntheticMeasure(0, nil)(rows, cols, density)
+	}
+
+	r := NewRegistry(0, BatchOptions{})
+	defer r.Close()
+	r.setAutotuneMeasure(measure)
+	r.SetAutotuneSparse(true)
+	e, err := r.Add("mlp", m, net, []int{1, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := e.Stats()
+	if !st.AutotuneSparse {
+		t.Fatal("stats do not report autotune_sparse")
+	}
+	byName := map[string]LayerMeta{}
+	for _, lm := range st.Layers {
+		byName[lm.Name] = lm
+	}
+	if th := byName["ip1"].SparseThreshold; math.Abs(th-0.45) > 1e-9 {
+		t.Fatalf("ip1 threshold %v, want 0.45", th)
+	}
+	if th := byName["ip2"].SparseThreshold; th != 0 {
+		t.Fatalf("ip2 threshold %v, want 0", th)
+	}
+	for _, lm := range st.Layers {
+		if !lm.Autotuned {
+			t.Fatalf("layer %s not marked autotuned", lm.Name)
+		}
+	}
+
+	// Per-shape dedup: one ladder of measurements per distinct shape.
+	perShape := int64(len(autotuneProbeDensities))
+	if got := calls.Load(); got != 2*perShape {
+		t.Fatalf("measure called %d times, want %d (2 shapes × %d probes)", got, 2*perShape, perShape)
+	}
+	// A second model with the same shapes must reuse the cached tunes.
+	net2, m2 := servedModel(t, 7)
+	if _, err := r.Add("mlp2", m2, net2, []int{1, 8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2*perShape {
+		t.Fatalf("second model re-measured: %d calls, want %d", got, 2*perShape)
+	}
+
+	// The thresholds must steer the decode cache's format choice: after
+	// traffic, ip1 (density ~0.2 < 0.45) is resident CSR and ip2 (density
+	// ~0.4 > 0) dense.
+	if _, err := e.Predict(testRows(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	meta := e.LayerMeta()
+	byName = map[string]LayerMeta{}
+	for _, lm := range meta {
+		byName[lm.Name] = lm
+	}
+	if f := byName["ip1"].Format; f != "csr" {
+		t.Fatalf("ip1 resident %q, want csr (density %v < threshold 0.45)", f, byName["ip1"].Density)
+	}
+	if f := byName["ip2"].Format; f != "dense" {
+		t.Fatalf("ip2 resident %q, want dense (threshold 0)", f)
+	}
+
+	// Telemetry: thresholds, shape count, and time spent are exposed.
+	var buf strings.Builder
+	if err := r.Telemetry().WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp := buf.String()
+	for _, want := range []string{
+		`deepsz_kernel_autotune_threshold{layer="ip1",model="mlp"} 0.4`,
+		`deepsz_kernel_autotune_threshold{layer="ip2",model="mlp"} 0`,
+		"deepsz_kernel_autotune_shapes_total 2",
+		"deepsz_kernel_autotune_seconds_total",
+	} {
+		if !strings.Contains(exp, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, exp)
+		}
+	}
+}
+
+// TestRegistryAutotuneOffKeepsUniform pins the default: without
+// SetAutotuneSparse the uniform threshold applies to every layer and
+// nothing is measured.
+func TestRegistryAutotuneOffKeepsUniform(t *testing.T) {
+	net, m := servedModel(t, 8)
+	r := NewRegistry(0, BatchOptions{})
+	defer r.Close()
+	var calls atomic.Int64
+	r.setAutotuneMeasure(syntheticMeasure(0.3, &calls))
+	r.SetSparseThreshold(0.25)
+	e, err := r.Add("mlp", m, net, []int{1, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.AutotuneSparse {
+		t.Fatal("autotune_sparse reported without opt-in")
+	}
+	for _, lm := range st.Layers {
+		if lm.SparseThreshold != 0.25 || lm.Autotuned {
+			t.Fatalf("layer %s threshold %v autotuned=%v, want uniform 0.25", lm.Name, lm.SparseThreshold, lm.Autotuned)
+		}
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("measure ran %d times with autotune off", calls.Load())
+	}
+}
+
+// TestDefaultMeasureRuns smoke-tests the real kernel benchmark on a tiny
+// shape: positive timings for both kernels.
+func TestDefaultMeasureRuns(t *testing.T) {
+	dn, cn := defaultMeasure(16, 32, 0.1)
+	if dn <= 0 || cn <= 0 {
+		t.Fatalf("defaultMeasure returned %v, %v", dn, cn)
+	}
+}

@@ -50,6 +50,12 @@ type Engine struct {
 	pool      sync.Pool
 	flatPool  sync.Pool // per-request input flatten buffers (*[]float32)
 
+	// thresholds, when non-nil, overrides threshold per layer (index into
+	// model.Layers) with the autotuned dense-vs-CSR crossover measured for
+	// that layer's shape on this machine. Set once before traffic.
+	thresholds []float64
+	autotuned  bool
+
 	// obs[i] is what the last decode of model.Layers[i] observed (density,
 	// resident format/bytes); nil until the layer is first decoded.
 	obs []atomic.Pointer[layerObs]
@@ -217,6 +223,30 @@ func (e *Engine) cacheKey(idx int) string {
 	return e.name + "/" + e.model.Layers[idx].Name
 }
 
+// setLayerThresholds installs per-layer autotuned sparse thresholds
+// (len(ts) must equal the model's layer count). Call before traffic, like
+// StartPrefetch: decodeForCache reads the slice without synchronisation.
+func (e *Engine) setLayerThresholds(ts []float64) {
+	if len(ts) != len(e.model.Layers) {
+		panic(fmt.Sprintf("serve: %s: %d thresholds for %d layers", e.name, len(ts), len(e.model.Layers)))
+	}
+	e.thresholds = ts
+	e.autotuned = true
+}
+
+// thresholdFor returns the sparse threshold for model.Layers[idx]: the
+// autotuned per-shape crossover when installed, the uniform engine
+// threshold otherwise.
+func (e *Engine) thresholdFor(idx int) float64 {
+	if e.thresholds != nil {
+		return e.thresholds[idx]
+	}
+	return e.threshold
+}
+
+// Autotuned reports whether per-layer autotuned thresholds are installed.
+func (e *Engine) Autotuned() bool { return e.autotuned }
+
 // decodeForCache builds the decode thunk for model.Layers[idx] that the
 // cache runs on a miss (demand or prefetch): decode, record the density
 // observation, compact to CSR below the sparse threshold, and report the
@@ -228,7 +258,7 @@ func (e *Engine) decodeForCache(idx int) func() (*core.DecodedLayer, int64, erro
 			return nil, 0, err
 		}
 		density := dl.Density()
-		dl.Compact(e.threshold)
+		dl.Compact(e.thresholdFor(idx))
 		e.obs[idx].Store(&layerObs{density: density, sparse: dl.Sparse != nil, resident: dl.ResidentBytes()})
 		e.codecBytes[e.model.Layers[idx].Codec].Add(uint64(e.model.Layers[idx].DenseBytes()))
 		return dl, dl.ResidentBytes(), nil
@@ -450,6 +480,7 @@ func (e *Engine) run(rows [][]float32) ([][]float32, fwdStages, error) {
 type EngineStats struct {
 	Codec           string      `json:"codec"`
 	SparseThreshold float64     `json:"sparse_threshold"`
+	AutotuneSparse  bool        `json:"autotune_sparse"`
 	PrefetchDepth   int         `json:"prefetch_depth,omitempty"`
 	Requests        uint64      `json:"requests"`
 	Rows            uint64      `json:"rows"`
@@ -466,6 +497,7 @@ func (e *Engine) Stats() EngineStats {
 	s := EngineStats{
 		Codec:           e.Codec(),
 		SparseThreshold: e.threshold,
+		AutotuneSparse:  e.autotuned,
 		PrefetchDepth:   e.PrefetchDepth(),
 		Requests:        e.requests.Load(),
 		Rows:            e.rows.Load(),
@@ -498,6 +530,11 @@ type LayerMeta struct {
 	Format        string  `json:"format,omitempty"`
 	ResidentBytes int64   `json:"resident_bytes,omitempty"`
 	DenseBytes    int64   `json:"dense_bytes"`
+	// SparseThreshold is the density below which this layer is cached in
+	// CSR form; Autotuned marks it as a measured per-shape crossover
+	// rather than the engine's uniform setting.
+	SparseThreshold float64 `json:"sparse_threshold"`
+	Autotuned       bool    `json:"autotuned,omitempty"`
 }
 
 // LayerMeta lists the served model's layers in storage order.
@@ -506,12 +543,14 @@ func (e *Engine) LayerMeta() []LayerMeta {
 	for i := range e.model.Layers {
 		l := &e.model.Layers[i]
 		out[i] = LayerMeta{
-			Name:       l.Name,
-			Kind:       l.Kind.String(),
-			Shape:      append([]int(nil), l.Shape...),
-			Codec:      codec.NameOf(l.Codec),
-			Density:    l.EstimatedDensity(),
-			DenseBytes: l.DenseBytes(),
+			Name:            l.Name,
+			Kind:            l.Kind.String(),
+			Shape:           append([]int(nil), l.Shape...),
+			Codec:           codec.NameOf(l.Codec),
+			Density:         l.EstimatedDensity(),
+			DenseBytes:      l.DenseBytes(),
+			SparseThreshold: e.thresholdFor(i),
+			Autotuned:       e.autotuned,
 		}
 		if o := e.obs[i].Load(); o != nil {
 			out[i].Density = o.density

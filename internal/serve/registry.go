@@ -28,6 +28,13 @@ type Registry struct {
 	threshold     float64
 	prefetchDepth int
 
+	// autotune, when set, replaces the uniform sparse threshold for
+	// engines added afterwards with per-layer crossovers measured by tuner
+	// at registration time (one measurement per distinct weight shape,
+	// shared across models).
+	autotune bool
+	tuner    *autotuner
+
 	tel    *telemetry.Registry
 	stages [telemetry.NumStages]*telemetry.Histogram
 }
@@ -41,6 +48,7 @@ func NewRegistry(budget int64, opt BatchOptions) *Registry {
 		engines:   map[string]*Engine{},
 		opt:       opt,
 		threshold: DefaultSparseThreshold,
+		tuner:     newAutotuner(nil),
 		tel:       telemetry.NewRegistry(),
 	}
 	r.registerMetrics()
@@ -123,6 +131,42 @@ func (r *Registry) registerMetrics() {
 	r.tel.GaugeFunc("deepsz_predict_pending",
 		"Predicts admitted and not yet finished, by model.",
 		r.engineSamples(func(e *Engine) float64 { return float64(e.pendingNow.Load()) }))
+	r.tel.GaugeFunc("deepsz_kernel_autotune_threshold",
+		"Autotuned dense-vs-CSR crossover density per layer: the decode cache keeps the layer CSR below this measured density. Absent for engines running the uniform threshold.",
+		func() []telemetry.Sample {
+			r.mu.RLock()
+			defer r.mu.RUnlock()
+			var out []telemetry.Sample
+			for name, e := range r.engines {
+				if !e.autotuned {
+					continue
+				}
+				for i := range e.model.Layers {
+					out = append(out, telemetry.Sample{
+						Labels: []telemetry.Label{
+							{Name: "model", Value: name},
+							{Name: "layer", Value: e.model.Layers[i].Name},
+						},
+						Value: e.thresholdFor(i),
+					})
+				}
+			}
+			return out
+		})
+	r.tel.CounterFunc("deepsz_kernel_autotune_shapes_total",
+		"Distinct layer shapes micro-benchmarked by kernel autotuning.",
+		func() []telemetry.Sample {
+			r.mu.RLock()
+			defer r.mu.RUnlock()
+			return []telemetry.Sample{{Value: float64(r.tuner.shapesMeasured)}}
+		})
+	r.tel.CounterFunc("deepsz_kernel_autotune_seconds_total",
+		"Wall time spent measuring dense-vs-CSR crossovers at engine registration.",
+		func() []telemetry.Sample {
+			r.mu.RLock()
+			defer r.mu.RUnlock()
+			return []telemetry.Sample{{Value: float64(r.tuner.spentNs) / 1e9}}
+		})
 }
 
 // engineSamples builds a scrape-time sampler that reads one value per
@@ -151,6 +195,40 @@ func (r *Registry) SetSparseThreshold(t float64) {
 	r.threshold = t
 }
 
+// SetAutotuneSparse turns startup kernel autotuning on or off for engines
+// added afterwards (off is the library default; the deepszd daemon turns
+// it on by default). When on, each distinct layer shape is
+// micro-benchmarked at registration — the dense fc kernel against the CSR
+// kernel across a density ladder — and the measured crossover replaces
+// the uniform sparse threshold for that layer; the uniform threshold
+// (SetSparseThreshold) remains the override used when autotuning is off
+// or a shape cannot be measured. Call before Add/LoadFile.
+func (r *Registry) SetAutotuneSparse(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.autotune = on
+}
+
+// setAutotuneMeasure swaps the kernel-timing function used by autotuning;
+// tests inject synthetic cost models to get deterministic thresholds.
+func (r *Registry) setAutotuneMeasure(m measureFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tuner = newAutotuner(m)
+}
+
+// AutotuneTunes returns the measured ShapeTunes keyed by [rows, cols],
+// for reporting and tests.
+func (r *Registry) AutotuneTunes() map[[2]int]ShapeTune {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[[2]int]ShapeTune, len(r.tuner.tunes))
+	for k, v := range r.tuner.tunes {
+		out[k] = v
+	}
+	return out
+}
+
 // SetPrefetchDepth turns on decode-ahead for engines added afterwards:
 // while layer k computes, a per-engine worker decodes layers k+1..k+d
 // into the shared cache. d <= 0 (the default) leaves prefetch off. Call
@@ -174,11 +252,14 @@ func (r *Registry) Cache() *DecodeCache { return r.cache }
 // conv-prefix weights; inputShape is the per-example input shape.
 func (r *Registry) Add(name string, m *core.Model, skeleton *nn.Network, inputShape []int) (*Engine, error) {
 	r.mu.RLock()
-	threshold, depth := r.threshold, r.prefetchDepth
+	threshold, depth, autotune := r.threshold, r.prefetchDepth, r.autotune
 	r.mu.RUnlock()
 	e, err := NewEngine(name, m, skeleton, inputShape, r.cache, r.opt, threshold)
 	if err != nil {
 		return nil, err
+	}
+	if autotune {
+		e.setLayerThresholds(r.tuneModel(m, threshold))
 	}
 	e.attachTelemetry(r.tel, r.stages)
 	e.StartPrefetch(depth)
@@ -190,6 +271,33 @@ func (r *Registry) Add(name string, m *core.Model, skeleton *nn.Network, inputSh
 	}
 	r.engines[name] = e
 	return e, nil
+}
+
+// tuneModel measures (or looks up) the dense-vs-CSR crossover for each of
+// the model's layer shapes, returning one threshold per layer in storage
+// order. Shapes autotuning cannot measure fall back to the uniform
+// threshold. Measurements are cached per shape across models under the
+// registry lock.
+func (r *Registry) tuneModel(m *core.Model, uniform float64) []float64 {
+	ts := make([]float64, len(m.Layers))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range m.Layers {
+		shape := m.Layers[i].Shape
+		rows, cols := 0, 0
+		if len(shape) > 0 {
+			rows, cols = shape[0], 1
+			for _, d := range shape[1:] {
+				cols *= d
+			}
+		}
+		if st, ok := r.tuner.tune(rows, cols); ok {
+			ts[i] = st.Threshold
+		} else {
+			ts[i] = uniform
+		}
+	}
+	return ts
 }
 
 // LoadFile reads a .dsz file and registers it under name (empty name means

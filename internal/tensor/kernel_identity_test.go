@@ -1,0 +1,391 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// This file is the bit-identity property suite for the tiled/pooled
+// kernels: every parallel, register-blocked, or fused variant must produce
+// the same float32 bits as a serial naive reference at every tested
+// GOMAXPROCS, shape, and density. The references below are transcriptions
+// of the pre-tiling scalar loops — ascending-k accumulation per output,
+// zero-skip semantics included — so a pass means the refactor changed
+// scheduling and memory traffic only, never arithmetic.
+
+// refMatMulTransB is the scalar C = A·Bᵀ loop: one ascending-k dot product
+// per output.
+func refMatMulTransB(a, b []float32, m, k, n int) []float32 {
+	c := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[j*k+p]
+			}
+			c[i*n+j] = s
+		}
+	}
+	return c
+}
+
+// refMatMulInto is the scalar ikj C += A·B loop with the zero-skip on A.
+func refMatMulInto(c, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a[i*k+p]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				c[i*n+j] += av * b[p*n+j]
+			}
+		}
+	}
+}
+
+// refEpilogue applies bias-then-ReLU per output column, the separate-pass
+// order the fused kernels must reproduce.
+func refEpilogue(c []float32, m, n int, bias []float32, relu bool) {
+	for i := 0; i < m; i++ {
+		row := c[i*n : (i+1)*n]
+		if bias != nil {
+			for j := range row {
+				row[j] += bias[j]
+			}
+		}
+		if relu {
+			for j, v := range row {
+				if !(v > 0) {
+					row[j] = 0
+				}
+			}
+		}
+	}
+}
+
+// refCSRTransB is the scalar C = A·Wᵀ CSR loop: ascending stored-column
+// accumulation with padding-entry skip.
+func refCSRTransB(a []float32, w *CSR, m, k int) []float32 {
+	n := w.Rows
+	c := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			pos := -1
+			for t := w.RowPtr[j]; t < w.RowPtr[j+1]; t++ {
+				pos += int(w.Delta[t])
+				if w.Val[t] == 0 {
+					continue
+				}
+				s += a[i*k+pos] * w.Val[t]
+			}
+			c[i*n+j] = s
+		}
+	}
+	return c
+}
+
+// refCSRMatMulInto is the scalar C += W·B CSR loop.
+func refCSRMatMulInto(c []float32, w *CSR, b []float32, n int) {
+	for r := 0; r < w.Rows; r++ {
+		pos := -1
+		for t := w.RowPtr[r]; t < w.RowPtr[r+1]; t++ {
+			pos += int(w.Delta[t])
+			v := w.Val[t]
+			if v == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				c[r*n+j] += v * b[pos*n+j]
+			}
+		}
+	}
+}
+
+func fillRandSparse(rng *RNG, s []float32, density float64) {
+	rng.FillNormal(s, 0, 1)
+	if density >= 1 {
+		return
+	}
+	for i := range s {
+		if rng.Float64() >= density {
+			s[i] = 0
+		}
+	}
+}
+
+func assertBits(t *testing.T, label string, got, want []float32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s: element %d = %v (bits %08x), want %v (bits %08x)",
+				label, i, got[i], math.Float32bits(got[i]), want[i], math.Float32bits(want[i]))
+		}
+	}
+}
+
+// withGOMAXPROCS runs f at each of the given parallelism levels, restoring
+// the original setting afterwards.
+func withGOMAXPROCS(t *testing.T, levels []int, f func(t *testing.T)) {
+	t.Helper()
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	for _, p := range levels {
+		t.Run(fmt.Sprintf("procs=%d", p), func(t *testing.T) {
+			runtime.GOMAXPROCS(p)
+			f(t)
+		})
+	}
+}
+
+var identityShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 7, 3},
+	{3, 5, 2},
+	{4, 16, 64},   // exercises full 4-wide blocks
+	{5, 33, 67},   // ragged everywhere: odd k, n % 4 = 3
+	{17, 31, 9},   // more rows than a small pool's chunking
+	{33, 257, 66}, // k past one cache line, n splits into col blocks
+	{64, 128, 130},
+}
+
+var identityDensities = []float64{0, 0.05, 0.3, 1}
+
+// TestKernelBitIdentityDense locks the tiled MatMulTransB / MatMul /
+// MatMulInto kernels (and their fused epilogues) to the scalar reference
+// at GOMAXPROCS 1, 4, and 8 across ragged shapes and densities.
+func TestKernelBitIdentityDense(t *testing.T) {
+	withGOMAXPROCS(t, []int{1, 4, 8}, func(t *testing.T) {
+		rng := NewRNG(7)
+		for _, sh := range identityShapes {
+			for _, den := range identityDensities {
+				a := make([]float32, sh.m*sh.k)
+				bT := make([]float32, sh.n*sh.k) // (n×k) for TransB
+				b := make([]float32, sh.k*sh.n)  // (k×n) for MatMul
+				bias := make([]float32, sh.n)
+				fillRandSparse(rng, a, den)
+				fillRandSparse(rng, bT, den)
+				fillRandSparse(rng, b, den)
+				rng.FillNormal(bias, 0, 1)
+				label := fmt.Sprintf("m=%d k=%d n=%d den=%g", sh.m, sh.k, sh.n, den)
+
+				at := FromSlice(a, sh.m, sh.k)
+				got := MatMulTransB(at, FromSlice(bT, sh.n, sh.k))
+				want := refMatMulTransB(a, bT, sh.m, sh.k, sh.n)
+				assertBits(t, "MatMulTransB "+label, got.Data, want)
+
+				// Fused bias+ReLU epilogue vs separate reference passes.
+				fused := make([]float32, sh.m*sh.n)
+				MatMulTransBInto(fused, at, FromSlice(bT, sh.n, sh.k), Epilogue{Bias: bias, ReLU: true})
+				wantEp := refMatMulTransB(a, bT, sh.m, sh.k, sh.n)
+				refEpilogue(wantEp, sh.m, sh.n, bias, true)
+				assertBits(t, "MatMulTransBInto+ep "+label, fused, wantEp)
+
+				gotMM := MatMul(at, FromSlice(b, sh.k, sh.n))
+				wantMM := make([]float32, sh.m*sh.n)
+				refMatMulInto(wantMM, a, b, sh.m, sh.k, sh.n)
+				assertBits(t, "MatMul "+label, gotMM.Data, wantMM)
+
+				// Accumulating variant on a pre-seeded output.
+				seed := make([]float32, sh.m*sh.n)
+				rng.FillNormal(seed, 0, 1)
+				gotAcc := append([]float32(nil), seed...)
+				MatMulInto(gotAcc, at, FromSlice(b, sh.k, sh.n))
+				wantAcc := append([]float32(nil), seed...)
+				refMatMulInto(wantAcc, a, b, sh.m, sh.k, sh.n)
+				assertBits(t, "MatMulInto "+label, gotAcc, wantAcc)
+			}
+		}
+	})
+}
+
+// TestKernelBitIdentityCSR locks the grid-parallel CSR kernels to their
+// scalar references and to the dense kernels on the same matrix.
+func TestKernelBitIdentityCSR(t *testing.T) {
+	withGOMAXPROCS(t, []int{1, 4, 8}, func(t *testing.T) {
+		rng := NewRNG(11)
+		for _, sh := range identityShapes {
+			for _, den := range identityDensities {
+				label := fmt.Sprintf("m=%d k=%d n=%d den=%g", sh.m, sh.k, sh.n, den)
+				a := make([]float32, sh.m*sh.k)
+				wDense := make([]float32, sh.n*sh.k)
+				bias := make([]float32, sh.n)
+				rng.FillNormal(a, 0, 1)
+				fillRandSparse(rng, wDense, den)
+				rng.FillNormal(bias, 0, 1)
+				w := CSRFromDense(wDense, sh.n, sh.k)
+				at := FromSlice(a, sh.m, sh.k)
+
+				got := MatMulTransBCSR(at, w)
+				assertBits(t, "CSR vs ref "+label, got.Data, refCSRTransB(a, w, sh.m, sh.k))
+				dense := MatMulTransB(at, FromSlice(wDense, sh.n, sh.k))
+				assertBits(t, "CSR vs dense "+label, got.Data, dense.Data)
+
+				fused := make([]float32, sh.m*sh.n)
+				MatMulTransBCSRInto(fused, at, w, Epilogue{Bias: bias, ReLU: true})
+				wantEp := refCSRTransB(a, w, sh.m, sh.k)
+				refEpilogue(wantEp, sh.m, sh.n, bias, true)
+				assertBits(t, "CSRInto+ep "+label, fused, wantEp)
+
+				// W·B layout (the conv im2col kernel), accumulate + row epilogue.
+				bMat := make([]float32, sh.k*sh.n)
+				rowBias := make([]float32, w.Rows)
+				rng.FillNormal(bMat, 0, 1)
+				rng.FillNormal(rowBias, 0, 1)
+				gotWB := make([]float32, w.Rows*sh.n)
+				CSRMatMulInto(gotWB, w, bMat, sh.n)
+				wantWB := make([]float32, w.Rows*sh.n)
+				refCSRMatMulInto(wantWB, w, bMat, sh.n)
+				assertBits(t, "CSRMatMulInto "+label, gotWB, wantWB)
+
+				gotWBEp := make([]float32, w.Rows*sh.n)
+				CSRMatMulIntoEp(gotWBEp, w, bMat, sh.n, Epilogue{Bias: rowBias, ReLU: true})
+				wantWBEp := make([]float32, w.Rows*sh.n)
+				refCSRMatMulInto(wantWBEp, w, bMat, sh.n)
+				for r := 0; r < w.Rows; r++ {
+					row := wantWBEp[r*sh.n : (r+1)*sh.n]
+					for j := range row {
+						row[j] += rowBias[r]
+						if !(row[j] > 0) {
+							row[j] = 0
+						}
+					}
+				}
+				assertBits(t, "CSRMatMulIntoEp "+label, gotWBEp, wantWBEp)
+			}
+		}
+	})
+}
+
+// TestKernelBitIdentityWideGap exercises CSR padding entries (column gaps
+// > 255) through the tiled kernels.
+func TestKernelBitIdentityWideGap(t *testing.T) {
+	k := 1000
+	wDense := make([]float32, 2*k)
+	wDense[3] = 1.5
+	wDense[900] = -2.25 // gap 897 > 255 → padding entries
+	wDense[k+999] = 0.5 // row starting with a wide gap
+	w := CSRFromDense(wDense, 2, k)
+	a := make([]float32, 4*k)
+	NewRNG(3).FillNormal(a, 0, 1)
+	at := FromSlice(a, 4, k)
+	got := MatMulTransBCSR(at, w)
+	dense := MatMulTransB(at, FromSlice(wDense, 2, k))
+	assertBits(t, "wide-gap CSR vs dense", got.Data, dense.Data)
+}
+
+// TestParallelRowsBalancedChunks verifies the balanced chunking fix: every
+// chunk ParallelFor hands out differs in size by at most one row, and the
+// chunks exactly tile [0, n).
+func TestParallelRowsBalancedChunks(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	runtime.GOMAXPROCS(4)
+	for _, n := range []int{16, 17, 31, 100, 101, 1000, 1003} {
+		var mu sync.Mutex
+		sizes := []int{}
+		seen := make([]int, n)
+		ParallelFor(n, func(lo, hi int) {
+			mu.Lock()
+			sizes = append(sizes, hi-lo)
+			mu.Unlock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		minSz, maxSz := n, 0
+		total := 0
+		for _, s := range sizes {
+			total += s
+			if s < minSz {
+				minSz = s
+			}
+			if s > maxSz {
+				maxSz = s
+			}
+		}
+		if total != n {
+			t.Fatalf("n=%d: chunks cover %d rows", n, total)
+		}
+		if maxSz-minSz > 1 {
+			t.Fatalf("n=%d: unbalanced chunks, sizes range %d..%d", n, minSz, maxSz)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+// TestNestedParallelNoDeadlock drives nested ParallelFor calls well past
+// the pool size: inner calls must degrade to inline execution rather than
+// wait on busy workers.
+func TestNestedParallelNoDeadlock(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	runtime.GOMAXPROCS(4)
+	outer := 64
+	var total int64
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		ParallelFor(outer, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				var local int64
+				var lmu sync.Mutex
+				ParallelFor(100, func(jlo, jhi int) {
+					lmu.Lock()
+					local += int64(jhi - jlo)
+					lmu.Unlock()
+				})
+				mu.Lock()
+				total += local
+				mu.Unlock()
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second): // far beyond any sane scheduling delay
+		t.Fatal("nested ParallelFor deadlocked")
+	}
+	if want := int64(outer * 100); total != want {
+		t.Fatalf("nested ParallelFor covered %d, want %d", total, want)
+	}
+}
+
+// TestPooledBuffersZeroed guards the NewPooled contract: storage recycled
+// with dirty contents must come back zero-filled.
+func TestPooledBuffersZeroed(t *testing.T) {
+	a := NewPooled(8, 9)
+	for i := range a.Data {
+		a.Data[i] = float32(i) + 1
+	}
+	Recycle(a)
+	if a.Data != nil {
+		t.Fatal("Recycle left Data attached")
+	}
+	b := NewPooled(8, 9)
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("pooled buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	if got := len(b.Data); got != 72 {
+		t.Fatalf("pooled tensor has %d elements, want 72", got)
+	}
+	Recycle(b)
+	Recycle(nil)                           // nil-safe
+	Recycle(&Tensor{})                     // empty-safe
+	Recycle(FromSlice([]float32{1, 2}, 2)) // foreign storage is accepted
+}

@@ -1,13 +1,43 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "fmt"
+
+// Kernel layer. Every matmul here honours one contract: the value of each
+// output element is a single float32 accumulation whose terms are added in
+// ascending k (inner-dimension) order, with exact zeros contributing
+// nothing. That contract is what lets the dense, CSR, tiled, and fused
+// variants substitute for each other bit-for-bit. Tiling therefore happens
+// only over i (rows) and j (output columns) — each output still sees its
+// full k-summation on one goroutine, in order. Splitting k across workers
+// (a reduction tree) would reassociate the float adds and is forbidden.
+
+// Epilogue is a fused kernel tail applied to each output element after its
+// k-summation completes: add Bias[j] (nil means no bias), then clamp at
+// zero when ReLU is set. The arithmetic and order match the separate
+// bias-add loop and the ReLU layer exactly — (Σ terms) + bias, then
+// `v > 0 ? v : 0` — so fusing changes no bits, it only removes the extra
+// passes over the output.
+type Epilogue struct {
+	Bias []float32 // indexed by output column; nil = no bias
+	ReLU bool
+}
+
+// apply runs the epilogue for output column j.
+func (ep Epilogue) apply(v float32, j int) float32 {
+	if ep.Bias != nil {
+		v += ep.Bias[j]
+	}
+	if ep.ReLU && !(v > 0) {
+		v = 0 // matches the ReLU layer: non-positive and NaN become +0
+	}
+	return v
+}
+
+// isNop reports whether the epilogue would leave every value unchanged.
+func (ep Epilogue) isNop() bool { return ep.Bias == nil && !ep.ReLU }
 
 // MatMul computes C = A·B where A is (m×k) and B is (k×n), returning a new
-// (m×n) tensor. Work is split across GOMAXPROCS goroutines by rows of A.
+// (m×n) tensor. Work is split across the persistent worker pool by rows.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMul requires rank-2 tensors")
@@ -18,7 +48,7 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic("tensor: MatMul inner dimension mismatch")
 	}
 	c := New(m, n)
-	matMulInto(c.Data, a.Data, b.Data, m, k, n)
+	matMulInto(c.Data, a.Data, b.Data, m, k, n, Epilogue{})
 	return c
 }
 
@@ -26,6 +56,17 @@ func MatMul(a, b *Tensor) *Tensor {
 // new (m×n) tensor. This is the natural layout for fully connected layers
 // whose weight matrix is stored (out × in).
 func MatMulTransB(a, b *Tensor) *Tensor {
+	c := New(a.Shape[0], b.Shape[0])
+	MatMulTransBInto(c.Data, a, b, Epilogue{})
+	return c
+}
+
+// MatMulTransBInto computes C = A·Bᵀ with a fused epilogue into a
+// caller-owned flat (m×n) buffer, overwriting it. This is the serving fc
+// kernel: row/column tiled over the worker pool with 4-wide
+// register-blocked accumulators, bit-identical to the scalar loop (each
+// output is an independent dot product accumulated in ascending k).
+func MatMulTransBInto(c []float32, a, b *Tensor, ep Epilogue) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMulTransB requires rank-2 tensors")
 	}
@@ -34,29 +75,60 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic("tensor: MatMulTransB inner dimension mismatch")
 	}
-	c := New(m, n)
-	parallelRows(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ar := a.Data[i*k : (i+1)*k]
-			cr := c.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				br := b.Data[j*k : (j+1)*k]
-				var s float32
-				for p := range ar {
-					s += ar[p] * br[p]
+	if len(c) != m*n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto output has %d elements, want %d", len(c), m*n))
+	}
+	if ep.Bias != nil && len(ep.Bias) < n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto epilogue has %d biases, want %d", len(ep.Bias), n))
+	}
+	ad, bd := a.Data, b.Data
+	parallelGrid(m, n, int64(m)*int64(k)*int64(n), func(i0, i1, j0, j1 int) {
+		for i := i0; i < i1; i++ {
+			ar := ad[i*k : (i+1)*k]
+			cr := c[i*n : (i+1)*n]
+			j := j0
+			// 4 output columns at a time: four independent dot products
+			// sharing one streaming read of A's row. Each sum is still a
+			// plain ascending-k accumulation.
+			for ; j+4 <= j1; j += 4 {
+				b0 := bd[j*k : (j+1)*k]
+				b1 := bd[(j+1)*k : (j+2)*k]
+				b2 := bd[(j+2)*k : (j+3)*k]
+				b3 := bd[(j+3)*k : (j+4)*k]
+				var s0, s1, s2, s3 float32
+				for p, av := range ar {
+					s0 += av * b0[p]
+					s1 += av * b1[p]
+					s2 += av * b2[p]
+					s3 += av * b3[p]
 				}
-				cr[j] = s
+				cr[j] = ep.apply(s0, j)
+				cr[j+1] = ep.apply(s1, j+1)
+				cr[j+2] = ep.apply(s2, j+2)
+				cr[j+3] = ep.apply(s3, j+3)
+			}
+			for ; j < j1; j++ {
+				br := bd[j*k : (j+1)*k]
+				var s float32
+				for p, av := range ar {
+					s += av * br[p]
+				}
+				cr[j] = ep.apply(s, j)
 			}
 		}
 	})
-	return c
 }
 
 // MatMulInto accumulates C += A·B into a caller-owned flat (m×n) buffer.
 // Exported for kernels that reuse output storage (the im2col conv forward
 // writes straight into its output tensor instead of allocating a product
 // matrix per image).
-func MatMulInto(c []float32, a, b *Tensor) {
+func MatMulInto(c []float32, a, b *Tensor) { MatMulIntoEp(c, a, b, Epilogue{}) }
+
+// MatMulIntoEp is MatMulInto with a fused epilogue, applied to each output
+// element after its full k-summation has accumulated — the same values the
+// separate bias/ReLU passes would produce over C += A·B on a zero-seeded C.
+func MatMulIntoEp(c []float32, a, b *Tensor, ep Epilogue) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMulInto requires rank-2 tensors")
 	}
@@ -68,7 +140,10 @@ func MatMulInto(c []float32, a, b *Tensor) {
 	if len(c) != m*n {
 		panic(fmt.Sprintf("tensor: MatMulInto output has %d elements, want %d", len(c), m*n))
 	}
-	matMulInto(c, a.Data, b.Data, m, k, n)
+	if ep.Bias != nil && len(ep.Bias) < m {
+		panic(fmt.Sprintf("tensor: MatMulIntoEp epilogue has %d biases, want %d", len(ep.Bias), m))
+	}
+	matMulInto(c, a.Data, b.Data, m, k, n, ep)
 }
 
 // MatMulTransA computes C = Aᵀ·B where A is (k×m) and B is (k×n), returning a
@@ -101,9 +176,12 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	return c
 }
 
-// matMulInto computes c = a·b with a (m×k), b (k×n), using an ikj loop order
-// that streams rows of b.
-func matMulInto(c, a, b []float32, m, k, n int) {
+// matMulInto computes c += a·b with a (m×k), b (k×n), using an ikj loop
+// order that streams rows of b with a zero-skip on a's entries, then runs
+// the epilogue over each completed output row. For this layout the bias is
+// indexed by output ROW (the im2col conv convention: row = output
+// channel), so a transposed epilogue view is applied per row.
+func matMulInto(c, a, b []float32, m, k, n int, ep Epilogue) {
 	parallelRows(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			cr := c[i*n : (i+1)*n]
@@ -117,37 +195,28 @@ func matMulInto(c, a, b []float32, m, k, n int) {
 					cr[j] += av * br[j]
 				}
 			}
+			if !ep.isNop() {
+				applyRowEpilogue(cr, i, ep)
+			}
 		}
 	})
 }
 
-// parallelRows splits [0, m) into contiguous chunks and runs fn on each chunk
-// in its own goroutine. Small ranges run inline to avoid scheduling overhead.
-func parallelRows(m int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	if workers <= 1 || m < 16 {
-		fn(0, m)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for lo := 0; lo < m; lo += chunk {
-		hi := lo + chunk
-		if hi > m {
-			hi = m
+// applyRowEpilogue applies a row-indexed epilogue (bias per output row,
+// then optional ReLU) to one completed output row — used by the W·B-layout
+// kernels where the bias follows the row, not the column.
+func applyRowEpilogue(cr []float32, row int, ep Epilogue) {
+	if ep.Bias != nil {
+		bv := ep.Bias[row]
+		for j := range cr {
+			cr[j] += bv
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
 	}
-	wg.Wait()
+	if ep.ReLU {
+		for j, v := range cr {
+			if !(v > 0) {
+				cr[j] = 0
+			}
+		}
+	}
 }
-
-// ParallelFor runs fn over [0, n) split across GOMAXPROCS goroutines.
-// It is exported for batch-parallel layer kernels.
-func ParallelFor(n int, fn func(lo, hi int)) { parallelRows(n, fn) }

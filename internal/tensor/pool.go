@@ -1,0 +1,291 @@
+package tensor
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the kernel layer's scheduling and memory substrate: a
+// persistent worker pool that replaces the old per-call goroutine spawning
+// in parallelRows/ParallelFor, and a size-bucketed buffer pool so
+// steady-state serving reuses kernel output storage instead of allocating
+// per request.
+//
+// Pool design. Workers are spawned lazily (up to GOMAXPROCS at first
+// parallel call, growing if GOMAXPROCS is raised later) and block on an
+// UNBUFFERED job channel. Dispatch uses a non-blocking send, so a job is
+// handed over only when a worker is actually idle — there is no queue. Two
+// properties follow:
+//
+//   - Nested parallelism degrades gracefully instead of deadlocking: when a
+//     parallel region is already saturating the pool, an inner parallel
+//     call finds no idle worker and every chunk runs on the calling
+//     goroutine. A buffered queue could deadlock here (outer jobs waiting
+//     on inner jobs that sit behind them in the queue); the idle-only
+//     handoff cannot, because the caller never waits for a handoff and
+//     always participates in its own work loop.
+//   - The caller is always one of the workers, so a parallel call costs at
+//     most (workers-1) channel sends — no goroutine creation on the hot
+//     path.
+//
+// Chunking is balanced and dynamic: [0, m) is split into equal chunks
+// whose sizes differ by at most one row (the old code's ceil-division
+// could leave one undersized trailing chunk for the slowest worker to
+// finish last), and helpers claim chunks from an atomic counter so a
+// worker that finishes early picks up remaining chunks instead of idling.
+
+// maxPoolWorkers bounds the lazily spawned pool; it exists only to keep a
+// pathological GOMAXPROCS from minting unbounded goroutines.
+const maxPoolWorkers = 256
+
+var (
+	poolMu      sync.Mutex
+	poolSize    int
+	poolJobs    chan func()
+	poolJobsRef atomic.Pointer[chan func()] // lock-free read of poolJobs on the hot path
+)
+
+// ensureWorkers makes sure at least n pool workers exist, spawning any
+// missing ones. Workers are never torn down; an idle worker is just a
+// goroutine blocked on a channel receive.
+func ensureWorkers(n int) {
+	if n > maxPoolWorkers {
+		n = maxPoolWorkers
+	}
+	poolMu.Lock()
+	if poolJobs == nil {
+		poolJobs = make(chan func())
+		poolJobsRef.Store(&poolJobs)
+	}
+	for poolSize < n {
+		go func(jobs chan func()) {
+			for f := range jobs {
+				f()
+			}
+		}(poolJobs)
+		poolSize++
+	}
+	poolMu.Unlock()
+}
+
+// dispatch offers f to an idle pool worker and reports whether one took
+// it. It never blocks: if every worker is busy the caller should run the
+// work itself.
+func dispatch(f func()) bool {
+	jobs := poolJobsRef.Load()
+	if jobs == nil {
+		return false
+	}
+	select {
+	case *jobs <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// chunkBounds returns the half-open range of chunk c when [0, m) is split
+// into n balanced chunks (sizes differ by at most one).
+func chunkBounds(c, m, n int) (lo, hi int) {
+	base, rem := m/n, m%n
+	lo = c*base + min(c, rem)
+	hi = lo + base
+	if c < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// chunkOversub is how many chunks are carved per available worker; claiming
+// chunks dynamically from a shared counter lets fast workers absorb slow
+// chunks, and a few chunks per worker smooths imbalance without shrinking
+// chunks below useful sizes.
+const chunkOversub = 4
+
+// minParallelRows is the range size below which parallelRows runs inline;
+// below this the channel handoff costs more than the work.
+const minParallelRows = 16
+
+// parallelRows splits [0, m) into balanced contiguous chunks and runs fn
+// over them on the persistent worker pool, the calling goroutine included.
+// Small ranges run inline. Safe to call from inside another parallel
+// region: with no idle workers it degrades to an inline loop.
+func parallelRows(m int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m < minParallelRows {
+		fn(0, m)
+		return
+	}
+	nchunks := workers * chunkOversub
+	if nchunks > m {
+		nchunks = m
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= nchunks {
+				return
+			}
+			lo, hi := chunkBounds(c, m, nchunks)
+			fn(lo, hi)
+		}
+	}
+	runHelpers(workers-1, run)
+}
+
+// runHelpers offers the claim loop to up to extra idle pool workers, runs
+// it on the calling goroutine, and waits for the helpers that actually
+// started. The first refused handoff stops offering: no idle worker now
+// means the pool is saturated and the caller will chew through the chunks
+// itself.
+func runHelpers(extra int, run func()) {
+	ensureWorkers(extra)
+	var wg sync.WaitGroup
+	for i := 0; i < extra; i++ {
+		wg.Add(1)
+		if !dispatch(func() { defer wg.Done(); run() }) {
+			wg.Done()
+			break
+		}
+	}
+	run()
+	wg.Wait()
+}
+
+// ParallelFor runs fn over [0, n) split across the persistent worker pool
+// (see parallelRows). It is exported for batch-parallel layer kernels.
+func ParallelFor(n int, fn func(lo, hi int)) { parallelRows(n, fn) }
+
+// ParallelGrid runs fn over row×column blocks of an m×n grid on the
+// worker pool (see parallelGrid). Exported for layer kernels that split
+// work over two axes — e.g. conv over (image × output channel), so a
+// batch-1 request still spreads across cores.
+func ParallelGrid(m, n int, flops int64, fn func(i0, i1, j0, j1 int)) {
+	parallelGrid(m, n, flops, fn)
+}
+
+// minParallelFlops gates grid parallelism: below this many multiply-adds
+// the handoff overhead dominates and the kernel runs inline.
+const minParallelFlops = 1 << 14
+
+// minColBlock keeps column blocks wide enough that the 4-wide register
+// blocking and per-block setup stay amortised.
+const minColBlock = 16
+
+// parallelGrid partitions an m×n output grid into row×column blocks and
+// runs fn on each, using idle pool workers plus the caller. Rows split
+// first; columns split only when there are fewer rows than workers (the
+// serving case: small batch against a wide weight matrix). flops is the
+// kernel's multiply-add estimate, used to gate parallelism for small
+// problems. Each output element is computed by exactly one block, so
+// kernels keep their per-output summation order regardless of the split.
+func parallelGrid(m, n int, flops int64, fn func(i0, i1, j0, j1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || flops < minParallelFlops || m == 0 || n == 0 {
+		fn(0, m, 0, n)
+		return
+	}
+	rows := workers
+	if rows > m {
+		rows = m
+	}
+	cols := 1
+	if rows < workers {
+		cols = (workers + rows - 1) / rows
+		if maxCols := n / minColBlock; cols > maxCols {
+			cols = maxCols
+		}
+		if cols < 1 {
+			cols = 1
+		}
+	}
+	units := rows * cols
+	if units == 1 {
+		fn(0, m, 0, n)
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			u := int(next.Add(1)) - 1
+			if u >= units {
+				return
+			}
+			i0, i1 := chunkBounds(u/cols, m, rows)
+			j0, j1 := chunkBounds(u%cols, n, cols)
+			fn(i0, i1, j0, j1)
+		}
+	}
+	runHelpers(workers-1, run)
+}
+
+// Buffer pool: kernel outputs bucketed by power-of-two capacity. Serving
+// runs the same shapes request after request, so steady state is pure
+// reuse. Slices enter the bucket of the largest power of two ≤ cap, so a
+// Get from bucket b always yields cap ≥ 2^b regardless of where the slice
+// came from.
+
+const bufBuckets = 28 // up to 2^27 floats (512 MiB) pooled; larger stay GC-managed
+
+var bufPool [bufBuckets]sync.Pool
+
+// getBuf returns a float32 slice of length n backed by pooled storage.
+// Contents are unspecified; callers that need zeros must clear it.
+func getBuf(n int) []float32 {
+	if n == 0 {
+		return nil
+	}
+	b := bits.Len(uint(n - 1)) // smallest b with 2^b ≥ n
+	if b >= bufBuckets {
+		return make([]float32, n)
+	}
+	if p, ok := bufPool[b].Get().(*[]float32); ok {
+		return (*p)[:n]
+	}
+	return make([]float32, n, 1<<b)
+}
+
+// putBuf returns a slice's storage to the pool. The caller must not touch
+// the slice afterwards.
+func putBuf(s []float32) {
+	c := cap(s)
+	if c == 0 {
+		return
+	}
+	b := bits.Len(uint(c)) - 1 // largest b with 2^b ≤ cap
+	if b >= bufBuckets {
+		return
+	}
+	s = s[:0]
+	bufPool[b].Put(&s)
+}
+
+// NewPooled returns a zero-filled tensor like New, but backed by recycled
+// storage when available. Pair with Recycle once the tensor (and every
+// view sharing its storage) is dead.
+func NewPooled(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	data := getBuf(n)
+	clear(data)
+	return &Tensor{Shape: shape, Data: data}
+}
+
+// Recycle returns t's storage to the buffer pool. The caller asserts that
+// no live tensor shares the storage; t must not be used afterwards. Safe
+// on tensors not built by NewPooled — their storage simply joins the pool.
+func Recycle(t *Tensor) {
+	if t == nil || t.Data == nil {
+		return
+	}
+	putBuf(t.Data)
+	t.Data = nil
+}

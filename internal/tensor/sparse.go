@@ -107,6 +107,18 @@ func (c *CSR) Dense() []float32 {
 // each output accumulates W-row entries in ascending column order, the
 // dense kernel's order over the surviving terms.
 func MatMulTransBCSR(a *Tensor, w *CSR) *Tensor {
+	c := New(a.Shape[0], w.Rows)
+	MatMulTransBCSRInto(c.Data, a, w, Epilogue{})
+	return c
+}
+
+// MatMulTransBCSRInto computes C = A·Wᵀ with a fused epilogue into a
+// caller-owned flat (m×n) buffer, overwriting it. Like MatMulTransBInto it
+// tiles the output grid over rows of A and rows of W across the worker
+// pool; each output still accumulates its W-row entries on one goroutine
+// in ascending column order, so the bit-identity with the dense kernel is
+// unchanged by the split.
+func MatMulTransBCSRInto(c []float32, a *Tensor, w *CSR, ep Epilogue) {
 	if a.Rank() != 2 {
 		panic("tensor: MatMulTransBCSR requires a rank-2 tensor")
 	}
@@ -115,12 +127,19 @@ func MatMulTransBCSR(a *Tensor, w *CSR) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransBCSR inner dimension mismatch (%d vs %d)", k, w.Cols))
 	}
 	n := w.Rows
-	c := New(m, n)
-	parallelRows(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ar := a.Data[i*k : (i+1)*k]
-			cr := c.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
+	if len(c) != m*n {
+		panic(fmt.Sprintf("tensor: MatMulTransBCSRInto output has %d elements, want %d", len(c), m*n))
+	}
+	if ep.Bias != nil && len(ep.Bias) < n {
+		panic(fmt.Sprintf("tensor: MatMulTransBCSRInto epilogue has %d biases, want %d", len(ep.Bias), n))
+	}
+	ad := a.Data
+	flops := int64(m) * int64(len(w.Val))
+	parallelGrid(m, n, flops, func(i0, i1, j0, j1 int) {
+		for i := i0; i < i1; i++ {
+			ar := ad[i*k : (i+1)*k]
+			cr := c[i*n : (i+1)*n]
+			for j := j0; j < j1; j++ {
 				var s float32
 				pos := -1
 				for t := w.RowPtr[j]; t < w.RowPtr[j+1]; t++ {
@@ -131,38 +150,58 @@ func MatMulTransBCSR(a *Tensor, w *CSR) *Tensor {
 					}
 					s += ar[pos] * v
 				}
-				cr[j] = s
+				cr[j] = ep.apply(s, j)
 			}
 		}
 	})
-	return c
 }
 
 // CSRMatMulInto accumulates C += W·B with W sparse (Rows×Cols), B dense
-// flat (Cols×n) and C dense flat (Rows×n). It runs serially so callers
-// already inside a parallel region (the batch loop of a conv forward)
-// can use it without nested goroutine fan-out. Entry order matches the
-// dense ikj kernel's zero-skipping loop, keeping outputs bit-identical
-// for finite inputs.
+// flat (Cols×n) and C dense flat (Rows×n). Contract: work is split over
+// rows of W via the persistent worker pool, so a caller NOT already inside
+// a parallel region (a batch-1 conv forward — the serving hot path) gets
+// multicore SpMM for free; a caller already saturating the pool (the batch
+// loop of a multi-image conv forward) finds no idle workers and each
+// invocation degrades to the old serial loop — never nested goroutine
+// fan-out. Either way each output row accumulates its entries in stored
+// order on one goroutine, matching the dense ikj kernel's zero-skipping
+// loop, so outputs stay bit-identical for finite inputs.
 func CSRMatMulInto(c []float32, w *CSR, b []float32, n int) {
+	CSRMatMulIntoEp(c, w, b, n, Epilogue{})
+}
+
+// CSRMatMulIntoEp is CSRMatMulInto with a row-indexed fused epilogue
+// (bias per output row — the conv convention where row = output channel —
+// then optional ReLU), applied to each output row once its accumulation
+// completes. Callers that pre-seed C with the bias (the direct conv
+// kernel's order) pass a nil-bias epilogue.
+func CSRMatMulIntoEp(c []float32, w *CSR, b []float32, n int, ep Epilogue) {
 	if len(c) != w.Rows*n || len(b) != w.Cols*n {
 		panic(fmt.Sprintf("tensor: CSRMatMulInto got C[%d] B[%d] for %dx%d·%dx%d", len(c), len(b), w.Rows, w.Cols, w.Cols, n))
 	}
-	for r := 0; r < w.Rows; r++ {
-		cr := c[r*n : (r+1)*n]
-		pos := -1
-		for t := w.RowPtr[r]; t < w.RowPtr[r+1]; t++ {
-			pos += int(w.Delta[t])
-			v := w.Val[t]
-			if v == 0 {
-				continue
+	if ep.Bias != nil && len(ep.Bias) < w.Rows {
+		panic(fmt.Sprintf("tensor: CSRMatMulIntoEp epilogue has %d biases, want %d", len(ep.Bias), w.Rows))
+	}
+	parallelRows(w.Rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			cr := c[r*n : (r+1)*n]
+			pos := -1
+			for t := w.RowPtr[r]; t < w.RowPtr[r+1]; t++ {
+				pos += int(w.Delta[t])
+				v := w.Val[t]
+				if v == 0 {
+					continue
+				}
+				br := b[pos*n : (pos+1)*n]
+				for j := range cr {
+					cr[j] += v * br[j]
+				}
 			}
-			br := b[pos*n : (pos+1)*n]
-			for j := range cr {
-				cr[j] += v * br[j]
+			if !ep.isNop() {
+				applyRowEpilogue(cr, r, ep)
 			}
 		}
-	}
+	})
 }
 
 // MatMulCSR computes C = W·B with W sparse and B dense (Cols×n),
