@@ -71,6 +71,8 @@ func run() error {
 	autotuneSparse := fs.Bool("autotune-sparse", true,
 		"micro-benchmark each layer shape at startup and pick per-layer dense-vs-CSR thresholds from the measured crossover")
 	prefetchDepth := fs.Int("prefetch-depth", 1, "decode this many layers ahead of the one computing (0 = off); outputs are identical either way")
+	verifyDecoded := fs.Bool("verify-decoded", false, "checksum every decoded layer at cache fill and re-verify before each use, ejecting rot (extends the encoder's criticality-marked coverage to all layers)")
+	scrubInterval := fs.Duration("scrub-interval", 0, "background integrity sweep period: re-checksum resident cache entries and retry quarantined models whose artifact changed on disk (0 = off)")
 	evictionPolicy := fs.String("eviction-policy", "lru", "decode-cache replacement policy: lru or gdsf (decode-cost per byte, frequency-scaled, aged)")
 	window := fs.Duration("batch-window", 2*time.Millisecond, "how long the first request waits for batch company")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
@@ -122,6 +124,13 @@ func run() error {
 	reg.SetSparseThreshold(*sparseThreshold)
 	reg.SetAutotuneSparse(*autotuneSparse)
 	reg.SetPrefetchDepth(*prefetchDepth)
+	if err := reg.SetVerifyDecoded(*verifyDecoded); err != nil {
+		return err
+	}
+	reg.SetScrubInterval(*scrubInterval)
+	if *scrubInterval > 0 {
+		logger.Info("integrity scrub enabled", "interval", *scrubInterval, "verify_decoded", *verifyDecoded)
+	}
 	for _, s := range specs {
 		e, err := reg.LoadFile(s.name, s.path, s.weights)
 		if err != nil {

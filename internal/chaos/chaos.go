@@ -1,0 +1,192 @@
+// Package chaos is the fault-injection harness for the integrity layer:
+// it flips bits in .dsz artifacts, in a live engine's in-memory blobs,
+// and in resident decode-cache buffers while concurrent predict traffic
+// is running, and tallies what escaped. The invariant under test is the
+// integrity contract end to end: a corrupted byte may cost availability
+// (a 503, a quarantine window) but never correctness — zero wrong
+// answers reach a client.
+//
+// Injection is phased: faults land only between request waves, while no
+// request is in flight. A mid-flight flip would be a data race between
+// the harness and a kernel — the race detector would (rightly) flag the
+// test itself, drowning the signal. Phasing keeps `go test -race` clean
+// so any race it reports is a real serving bug, and it makes the zero-
+// wrong-answers assertion about the verification layer, not about
+// timing luck.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// Outcome classifies one request as the client experienced it.
+type Outcome int
+
+const (
+	// OK: a 200 whose logits matched the uncorrupted reference exactly.
+	OK Outcome = iota
+	// Wrong: a 200 whose logits differed from the reference — the one
+	// outcome the integrity layer exists to make impossible.
+	Wrong
+	// Unavailable: a 503 (corruption detected, quarantine, shed) — the
+	// acceptable price of a caught fault.
+	Unavailable
+	// Failed: any other error (transport failure, unexpected status).
+	Failed
+)
+
+// Scenario tallies one chaos scenario for the report.
+type Scenario struct {
+	Name        string  `json:"name"`
+	Requests    int     `json:"requests"`
+	OKAnswers   int     `json:"ok_answers"`
+	Wrong       int     `json:"wrong_answers"`
+	Unavailable int     `json:"unavailable_503"`
+	Failed      int     `json:"failed_requests"`
+	Injections  int     `json:"injections"`
+	Quarantines uint64  `json:"quarantines"`
+	Reloads     uint64  `json:"reloads_ok"`
+	ReloadFails uint64  `json:"reloads_failed"`
+	Ejections   uint64  `json:"cache_corrupt_ejections"`
+	Seconds     float64 `json:"seconds"`
+}
+
+// Count records one request outcome. Safe for concurrent use.
+func (s *Scenario) Count(o Outcome) {
+	countMu.Lock()
+	defer countMu.Unlock()
+	s.Requests++
+	switch o {
+	case OK:
+		s.OKAnswers++
+	case Wrong:
+		s.Wrong++
+	case Unavailable:
+		s.Unavailable++
+	default:
+		s.Failed++
+	}
+}
+
+var countMu sync.Mutex
+
+// Report is the artifact the CI chaos-smoke step uploads: one entry per
+// scenario plus the aggregate invariant check.
+type Report struct {
+	GoVersion   string      `json:"go_version"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Started     time.Time   `json:"started"`
+	Scenarios   []*Scenario `json:"scenarios"`
+	TotalWrong  int         `json:"total_wrong_answers"`
+	ZeroEscapes bool        `json:"zero_wrong_answers"`
+
+	mu sync.Mutex
+}
+
+// NewReport stamps a report with the run environment.
+func NewReport() *Report {
+	return &Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Started:    time.Now(),
+	}
+}
+
+// Add appends a finished scenario.
+func (r *Report) Add(s *Scenario) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Scenarios = append(r.Scenarios, s)
+}
+
+// Write finalises the aggregate fields and writes the report as JSON.
+func (r *Report) Write(path string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.TotalWrong = 0
+	for _, s := range r.Scenarios {
+		r.TotalWrong += s.Wrong
+	}
+	r.ZeroEscapes = r.TotalWrong == 0
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FlipResident corrupts one value in one resident decode-cache buffer —
+// post-decode bit rot in "device memory". Returns false when nothing is
+// resident. Call only while no request is in flight (see package doc).
+func FlipResident(c *serve.DecodeCache) bool {
+	done := false
+	c.VisitResident(func(key string, l *core.DecodedLayer) {
+		if done {
+			return
+		}
+		switch {
+		case l.Weights != nil:
+			l.Weights[len(l.Weights)/2] += 1
+			done = true
+		case l.Sparse != nil && len(l.Sparse.Val) > 0:
+			l.Sparse.Val[len(l.Sparse.Val)/2] += 1
+			done = true
+		}
+	})
+	return done
+}
+
+// FlipBlob corrupts one byte of a model's compressed layer blob in
+// memory — the rot DecodeLayer's CRC check exists to catch. Call only
+// between waves.
+func FlipBlob(m *core.Model, layer int) {
+	blob := m.Layers[layer].DataBlob
+	blob[len(blob)/2] ^= 0xFF
+}
+
+// FlipFileByte corrupts one byte near the end of the file at path — in a
+// .dsz, inside the last layer's blob or CRC trailer, so both the stream
+// digest and the per-layer CRC disagree with the bytes.
+func FlipFileByte(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) < 16 {
+		return fmt.Errorf("chaos: %s too short to corrupt", path)
+	}
+	data[len(data)-10] ^= 0xFF
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Waves drives phased concurrent load: each wave runs workers goroutines
+// issuing perWorker requests through do, waits for all of them, then
+// calls inject(wave) — faults land only while the system is quiescent.
+// inject may be nil; wave numbering starts at 0 and inject(0) runs
+// BEFORE the first wave, so a scenario can start cold-corrupted.
+func Waves(waves, workers, perWorker int, do func(), inject func(wave int)) {
+	for w := 0; w < waves; w++ {
+		if inject != nil {
+			inject(w)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < perWorker; j++ {
+					do()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -127,6 +127,44 @@ type Config struct {
 	// SZBlockSize / SZRadius tune the SZ compressor (0 = defaults).
 	SZBlockSize int
 	SZRadius    int
+
+	// DecodedChecksums selects which layers additionally carry a checksum
+	// over their decoded dense bytes in the v4 stream (blob CRCs are
+	// always present). Default ChecksumCritical: layers whose measured
+	// sensitivity reaches CriticalSensitivity.
+	DecodedChecksums DecodedChecksumMode
+
+	// CriticalSensitivity is the accuracy-degradation threshold (fraction)
+	// above which a layer counts as critical for ChecksumCritical mode
+	// (0 = 0.001, matching the paper's distortion criterion: a layer that
+	// can distort the network is a layer whose decode must be right).
+	CriticalSensitivity float64
+}
+
+// DecodedChecksumMode selects decoded-checksum coverage for Generate.
+type DecodedChecksumMode uint8
+
+const (
+	// ChecksumCritical (default) covers layers whose assessed sensitivity
+	// reaches Config.CriticalSensitivity — protection strength follows
+	// measured criticality.
+	ChecksumCritical DecodedChecksumMode = iota
+	// ChecksumAll covers every layer.
+	ChecksumAll
+	// ChecksumOff emits blob CRCs only.
+	ChecksumOff
+)
+
+// wantDecodedChecksum reports whether a layer with the given plan choice
+// gets a decoded checksum under the configured mode.
+func (c *Config) wantDecodedChecksum(ch Choice) bool {
+	switch c.DecodedChecksums {
+	case ChecksumAll:
+		return true
+	case ChecksumOff:
+		return false
+	}
+	return ch.Sensitivity >= c.CriticalSensitivity
 }
 
 // codecOptions bundles the per-call codec tuning for an error bound.
@@ -174,6 +212,9 @@ func (c *Config) fill() error {
 	}
 	if c.CodecBits < 0 || c.CodecBits > 16 {
 		return fmt.Errorf("core: CodecBits %d out of [0,16]", c.CodecBits)
+	}
+	if c.CriticalSensitivity <= 0 {
+		c.CriticalSensitivity = 0.001
 	}
 	return nil
 }

@@ -2,11 +2,12 @@ package core
 
 // Failure-injection tests: random corruption of serialized artefacts must
 // surface as errors, never as panics or silent acceptance of impossible
-// structures. (Corruption inside compressed payloads that still parses is
-// allowed to decode to different values — lossy payloads carry no checksum,
-// as in SZ itself — but the container must stay memory-safe.)
+// structures. v4 streams carry a whole-model digest plus per-blob CRCs, so
+// random flips are rejected up front; pre-v4 streams (and resealed v4
+// forgeries) may reach the deeper paths, which must stay memory-safe.
 
 import (
+	"encoding/binary"
 	"os"
 	"testing"
 
@@ -73,8 +74,9 @@ func TestUnmarshalSurvivesTruncation(t *testing.T) {
 // Unmarshal either rejects the blob with an error or returns a model whose
 // Decode cannot panic or allocate beyond the header plausibility caps —
 // corrupt, truncated, and adversarial-length headers included. Seeds cover
-// all three stream versions so the fuzzer mutates real v1, v2, and v3
-// structure, including the v3 layer-kind and shape bytes.
+// all four stream versions so the fuzzer mutates real v1–v4 structure,
+// including the v3 layer-kind/shape bytes and the v4 digest, flags, and
+// CRC fields.
 func FuzzReadModel(f *testing.F) {
 	// Seeds use the tiny golden network: a few-KB corpus keeps mutated
 	// payload decompression cheap, so the fuzzer spends its budget on
@@ -84,25 +86,42 @@ func FuzzReadModel(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	v3 := m.Marshal()
-	f.Add(v3)
-	f.Add(v3[:len(v3)/2])
-	f.Add(v3[:5])
-	// Forged v3 kind/shape headers: the reader must reject an unknown layer
-	// kind, an absurd dimensionality, and a dimension past the caps without
-	// sizing any allocation off them. Offset arithmetic mirrors Marshal:
-	// magic(4) version(1) netname(2+n) nlayers(2) layername(2+n) kind ndims
-	// dims…
-	kindOff := 4 + 1 + 2 + len(m.NetName) + 2 + 2 + len(m.Layers[0].Name)
+	v4 := m.Marshal()
+	f.Add(v4)
+	f.Add(v4[:len(v4)/2])
+	f.Add(v4[:5])
+	// Forged v4 fields. Any flip below the digest fails Unmarshal's digest
+	// check, so forgeries that must reach the deeper validation paths
+	// re-seal the stream: patch a field, then recompute the digest over
+	// the body — exactly what an adversarial (or doubly unlucky) stream
+	// looks like. Offset arithmetic mirrors Marshal: magic(4) version(1)
+	// netname(2+n) digest(4) nlayers(2) layername(2+n) kind ndims dims…
+	digestOff := 4 + 1 + 2 + len(m.NetName)
+	kindOff := digestOff + 4 + 2 + 2 + len(m.Layers[0].Name)
 	forge := func(off int, b ...byte) []byte {
-		bad := append([]byte(nil), v3...)
+		bad := append([]byte(nil), v4...)
 		copy(bad[off:], b)
+		binary.LittleEndian.PutUint32(bad[digestOff:], crc32c(bad[digestOff+4:]))
 		return bad
 	}
 	f.Add(forge(kindOff, 0xEE))                     // unknown layer kind
 	f.Add(forge(kindOff+1, 0xFF))                   // 255-dimensional shape
 	f.Add(forge(kindOff+2, 0xFF, 0xFF, 0xFF, 0xFF)) // dimension beyond the caps
 	f.Add(forge(kindOff, byte(nn.KindConv), 4))     // kind/rank lying about the payload
+	// Digest-only flip (caught by the up-front check), an unknown flags
+	// bit, and a forged-but-resealed blob CRC (accepted by Unmarshal,
+	// must surface as an error at decode, never as wrong weights).
+	rawFlip := append([]byte(nil), v4...)
+	rawFlip[digestOff] ^= 0x01
+	f.Add(rawFlip)
+	mm, err := Unmarshal(v4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	flagsOff := kindOff + 1 + 1 + 4*len(mm.Layers[0].Shape) + 8 + 4 + 4*len(mm.Layers[0].Bias) + 1
+	f.Add(forge(flagsOff, 0x80))                                // unknown flags bit
+	dataCRCOff := flagsOff + 1 + 4 + len(mm.Layers[0].DataBlob) // stored CRC of layer 0's data blob
+	f.Add(forge(dataCRCOff, 0xDE, 0xAD, 0xBE, 0xEF))
 	// A conv+fc whole-network model exercises real KindConv layers and
 	// 4-D shapes in the corpus.
 	convNet := prunedConvNet(77)
@@ -111,12 +130,11 @@ func FuzzReadModel(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(cm.Marshal())
-	// v1 and v2 seeds (the layouts the golden fixtures lock).
-	if fixture, err := os.ReadFile(goldenV1Path); err == nil {
-		f.Add(fixture)
-	}
-	if fixture, err := os.ReadFile(goldenV2Path); err == nil {
-		f.Add(fixture)
+	// v1–v3 seeds (the layouts the golden fixtures lock).
+	for _, p := range []string{goldenV1Path, goldenV2Path, goldenV3Path} {
+		if fixture, err := os.ReadFile(p); err == nil {
+			f.Add(fixture)
+		}
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0x31, 0x5A, 0x53, 0x44, 3}) // magic + version, nothing else

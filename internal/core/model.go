@@ -37,6 +37,20 @@ type LayerBlob struct {
 	IndexID   lossless.ID
 	IndexBlob []byte
 	IndexLen  int // entries in the decompressed index array
+
+	// Integrity (stream version 4). Checksummed marks DataCRC/IndexCRC as
+	// valid CRC32C values over the stored blobs — set by Generate and the
+	// v4 reader; false on v1–v3 reads and hand-assembled models, whose
+	// decodes skip blob verification. DecodedCRC, present only when
+	// HasDecodedCRC, covers the decoded dense weights plus bias
+	// (DecodedChecksum): criticality-aware protection written for layers
+	// whose assessed sensitivity crosses Config.CriticalSensitivity, so
+	// decode-path faults are caught on the accuracy-critical layers.
+	DataCRC       uint32
+	IndexCRC      uint32
+	DecodedCRC    uint32
+	Checksummed   bool
+	HasDecodedCRC bool
 }
 
 // Model is the compressed-model container DeepSZ step 4 emits. It is
@@ -59,11 +73,21 @@ const (
 	// is SZ-compressed. modelVersion2 adds one codec.ID byte per layer.
 	// modelVersion3 replaces the fixed Rows×Cols pair with a layer-kind
 	// byte plus an N-dimensional weight shape, admitting conv layers.
-	// WriteModel/Marshal always emit version 3; Unmarshal reads all three.
+	// modelVersion4 adds integrity: a whole-model CRC32C digest in the
+	// header (verified at Unmarshal), a flags byte and data/index blob
+	// CRCs per layer (verified at decode), and an optional decoded-bytes
+	// checksum for accuracy-critical layers. WriteModel/Marshal always
+	// emit version 4; Unmarshal reads all four.
 	modelVersion1 = 1
 	modelVersion2 = 2
 	modelVersion3 = 3
+	modelVersion4 = 4
 )
+
+// layerFlagDecodedCRC marks a v4 layer record as carrying a trailing
+// checksum over its decoded dense bytes. The remaining flag bits are
+// reserved and must be zero.
+const layerFlagDecodedCRC byte = 1 << 0
 
 // maxLayerDense bounds the weight count accepted from serialized headers.
 // 2^28 weights (1 GiB dense) is 2.6× the paper's largest fc layer (VGG-16
@@ -145,16 +169,23 @@ func (m *Model) buildIndex() {
 }
 
 // Marshal serializes the model to a self-describing byte stream (always the
-// current version-3 layout). It does not validate: hand-assembled models
+// current version-4 layout). It does not validate: hand-assembled models
 // must carry unique layer names and a valid Kind/Shape per layer (as
 // Generate and Unmarshal guarantee), or Unmarshal will reject the output.
+// Blob CRCs are taken from the model when Checksummed (so a blob corrupted
+// in memory after Generate is written with its original CRC and caught by
+// the reader) and computed fresh otherwise, which is how v1–v3 reads and
+// hand-assembled models upgrade to v4 transparently.
 func (m *Model) Marshal() []byte {
 	out := make([]byte, 0, 64+m.TotalBytes())
 	out = binary.LittleEndian.AppendUint32(out, modelMagic)
-	out = append(out, modelVersion3)
+	out = append(out, modelVersion4)
 	out = appendString(out, m.NetName)
+	digestOff := len(out)
+	out = append(out, 0, 0, 0, 0) // whole-model digest, filled in below
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Layers)))
-	for _, l := range m.Layers {
+	for i := range m.Layers {
+		l := &m.Layers[i]
 		out = appendString(out, l.Name)
 		out = append(out, byte(l.Kind))
 		out = append(out, byte(len(l.Shape)))
@@ -167,11 +198,29 @@ func (m *Model) Marshal() []byte {
 			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(b))
 		}
 		out = append(out, byte(l.Codec))
+		var flags byte
+		if l.HasDecodedCRC {
+			flags |= layerFlagDecodedCRC
+		}
+		out = append(out, flags)
+		dataCRC, indexCRC := l.DataCRC, l.IndexCRC
+		if !l.Checksummed {
+			dataCRC, indexCRC = crc32c(l.DataBlob), crc32c(l.IndexBlob)
+		}
 		out = appendBytes(out, l.DataBlob)
+		out = binary.LittleEndian.AppendUint32(out, dataCRC)
 		out = append(out, byte(l.IndexID))
 		out = appendBytes(out, l.IndexBlob)
+		out = binary.LittleEndian.AppendUint32(out, indexCRC)
 		out = binary.LittleEndian.AppendUint32(out, uint32(l.IndexLen))
+		if l.HasDecodedCRC {
+			out = binary.LittleEndian.AppendUint32(out, l.DecodedCRC)
+		}
 	}
+	// The digest covers every byte after itself (layer count through the
+	// last layer record), so any flip in the file — header field, blob,
+	// or stored CRC — fails the one check Unmarshal runs up front.
+	binary.LittleEndian.PutUint32(out[digestOff:], crc32c(out[digestOff+4:]))
 	return out
 }
 
@@ -301,11 +350,13 @@ func readShape(r *reader, version byte, name string) (nn.LayerKind, []int, error
 	return kind, shape, nil
 }
 
-// Unmarshal parses a serialized model. All three stream versions are
+// Unmarshal parses a serialized model. All four stream versions are
 // accepted: version-1 layers (written before the codec registry existed)
 // decode with the SZ codec, version-2 layers carry an explicit codec
-// identifier, and version-3 layers add a layer kind and N-dimensional
-// weight shape.
+// identifier, version-3 layers add a layer kind and N-dimensional weight
+// shape, and version-4 streams add checksums — the whole-model digest is
+// verified here, the per-blob CRCs at decode time (so a blob that rots
+// after load is still caught).
 func Unmarshal(blob []byte) (*Model, error) {
 	r := &reader{buf: blob}
 	magic, err := r.u32()
@@ -316,12 +367,22 @@ func Unmarshal(blob []byte) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version < modelVersion1 || version > modelVersion3 {
+	if version < modelVersion1 || version > modelVersion4 {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
 	}
 	m := &Model{}
 	if m.NetName, err = r.str(); err != nil {
 		return nil, err
+	}
+	if version >= modelVersion4 {
+		digest, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if got := crc32c(r.buf[r.off:]); got != digest {
+			return nil, &CorruptError{Kind: CorruptHeader,
+				Detail: fmt.Sprintf("model digest %08x, header says %08x", got, digest)}
+		}
 	}
 	nLayers, err := r.u16()
 	if err != nil {
@@ -381,11 +442,25 @@ func Unmarshal(blob []byte) (*Model, error) {
 				return nil, fmt.Errorf("%w: layer %s: %v", ErrCorrupt, l.Name, err)
 			}
 		}
+		var flags byte
+		if version >= modelVersion4 {
+			if flags, err = r.byte1(); err != nil {
+				return nil, err
+			}
+			if flags&^layerFlagDecodedCRC != 0 {
+				return nil, fmt.Errorf("%w: layer %s has unknown flags %#x", ErrCorrupt, l.Name, flags)
+			}
+		}
 		db, err := r.bytes()
 		if err != nil {
 			return nil, err
 		}
 		l.DataBlob = append([]byte(nil), db...)
+		if version >= modelVersion4 {
+			if l.DataCRC, err = r.u32(); err != nil {
+				return nil, err
+			}
+		}
 		ib, err := r.byte1()
 		if err != nil {
 			return nil, err
@@ -396,11 +471,23 @@ func Unmarshal(blob []byte) (*Model, error) {
 			return nil, err
 		}
 		l.IndexBlob = append([]byte(nil), idx...)
+		if version >= modelVersion4 {
+			if l.IndexCRC, err = r.u32(); err != nil {
+				return nil, err
+			}
+			l.Checksummed = true
+		}
 		il, err := r.u32()
 		if err != nil {
 			return nil, err
 		}
 		l.IndexLen = int(il)
+		if flags&layerFlagDecodedCRC != 0 {
+			l.HasDecodedCRC = true
+			if l.DecodedCRC, err = r.u32(); err != nil {
+				return nil, err
+			}
+		}
 		m.Layers = append(m.Layers, l)
 	}
 	// Duplicate names would make every by-name lookup (Apply, the serving
@@ -472,7 +559,12 @@ func Generate(net *nn.Network, plan *Plan, cfg Config) (*Model, error) {
 
 // generateLayer compresses one layer: the codec on the sparse data array,
 // best-fit lossless on the index array. Pure function of its inputs, which
-// is what makes Generate's output independent of scheduling.
+// is what makes Generate's output independent of scheduling. Every blob is
+// stamped with its CRC32C; accuracy-critical layers (per the plan's
+// measured sensitivity and cfg's checksum mode) additionally get a
+// checksum over the bytes a decoder will reconstruct, computed by running
+// the real decompressor so the reference is exactly what DecodeLayer
+// produces.
 func generateLayer(cl nn.Compressible, c Choice, cfg Config) (LayerBlob, error) {
 	id := c.Codec
 	if id == 0 {
@@ -488,18 +580,38 @@ func generateLayer(cl nn.Compressible, c Choice, cfg Config) (LayerBlob, error) 
 		return LayerBlob{}, fmt.Errorf("core: compressing %s: %w", cl.Name(), err)
 	}
 	comp, idxBlob := lossless.Best(indexBytes(sp))
-	return LayerBlob{
-		Name:      cl.Name(),
-		Kind:      cl.Kind(),
-		Shape:     append([]int(nil), cl.WeightShape()...),
-		EB:        c.EB,
-		Codec:     id,
-		Bias:      append([]float32(nil), cl.BiasParam().W.Data...),
-		DataBlob:  dataBlob,
-		IndexID:   comp.ID(),
-		IndexBlob: idxBlob,
-		IndexLen:  len(sp.Index),
-	}, nil
+	blob := LayerBlob{
+		Name:        cl.Name(),
+		Kind:        cl.Kind(),
+		Shape:       append([]int(nil), cl.WeightShape()...),
+		EB:          c.EB,
+		Codec:       id,
+		Bias:        append([]float32(nil), cl.BiasParam().W.Data...),
+		DataBlob:    dataBlob,
+		DataCRC:     crc32c(dataBlob),
+		IndexID:     comp.ID(),
+		IndexBlob:   idxBlob,
+		IndexCRC:    crc32c(idxBlob),
+		IndexLen:    len(sp.Index),
+		Checksummed: true,
+	}
+	if cfg.wantDecodedChecksum(c) {
+		// The decoded checksum must match what a reader reconstructs, not
+		// what the writer started from: lossy codecs round values, so the
+		// reference pass decompresses our own blob. Codecs are
+		// deterministic, so this equals every future decode exactly.
+		dec, err := cdc.Decompress(dataBlob)
+		if err != nil {
+			return LayerBlob{}, fmt.Errorf("core: verifying %s: %w", cl.Name(), err)
+		}
+		dense, err := (&prune.Sparse{N: blob.WeightCount(), Data: dec, Index: sp.Index}).Decode()
+		if err != nil {
+			return LayerBlob{}, fmt.Errorf("core: verifying %s: %w", cl.Name(), err)
+		}
+		blob.DecodedCRC = DecodedChecksum(dense, blob.Bias)
+		blob.HasDecodedCRC = true
+	}
+	return blob, nil
 }
 
 // DecodeBreakdown reports where decoding time went (paper Figure 7b). With
@@ -588,20 +700,37 @@ func (m *Model) DecodeWith(workers int) ([]DecodedLayer, DecodeBreakdown, error)
 	return out, bd, nil
 }
 
-// decodeLayerBlob reconstructs one layer and times each stage.
+// decodeLayerBlob reconstructs one layer and times each stage. On
+// checksummed layers every stored blob's CRC is verified before its
+// decompressor touches the bytes, and the decoded checksum (when the
+// layer carries one) is verified after reconstruction — so a corrupt
+// blob, a mismatched structure, or a decode-path fault all surface as a
+// CorruptError naming the layer and the surface, never as wrong weights.
 func decodeLayerBlob(l *LayerBlob) (DecodedLayer, DecodeBreakdown, error) {
 	var bd DecodeBreakdown
 	t0 := time.Now()
+	if l.Checksummed {
+		if got := crc32c(l.IndexBlob); got != l.IndexCRC {
+			return DecodedLayer{}, bd, &CorruptError{Layer: l.Name, Kind: CorruptBlob,
+				Detail: fmt.Sprintf("index blob CRC %08x, stream says %08x", got, l.IndexCRC)}
+		}
+		if got := crc32c(l.DataBlob); got != l.DataCRC {
+			return DecodedLayer{}, bd, &CorruptError{Layer: l.Name, Kind: CorruptBlob,
+				Detail: fmt.Sprintf("data blob CRC %08x, stream says %08x", got, l.DataCRC)}
+		}
+	}
 	comp, err := lossless.ByID(l.IndexID)
 	if err != nil {
 		return DecodedLayer{}, bd, fmt.Errorf("core: layer %s: %w", l.Name, err)
 	}
 	idx, err := comp.Decompress(l.IndexBlob)
 	if err != nil {
-		return DecodedLayer{}, bd, fmt.Errorf("core: layer %s index: %w", l.Name, err)
+		return DecodedLayer{}, bd, &CorruptError{Layer: l.Name, Kind: CorruptBlob,
+			Detail: "index: " + err.Error()}
 	}
 	if len(idx) != l.IndexLen {
-		return DecodedLayer{}, bd, fmt.Errorf("%w: layer %s index length %d, want %d", ErrCorrupt, l.Name, len(idx), l.IndexLen)
+		return DecodedLayer{}, bd, &CorruptError{Layer: l.Name, Kind: CorruptBlob,
+			Detail: fmt.Sprintf("index length %d, want %d", len(idx), l.IndexLen)}
 	}
 	t1 := time.Now()
 	bd.Lossless = t1.Sub(t0)
@@ -612,20 +741,29 @@ func decodeLayerBlob(l *LayerBlob) (DecodedLayer, DecodeBreakdown, error) {
 	}
 	data, err := cdc.Decompress(l.DataBlob)
 	if err != nil {
-		return DecodedLayer{}, bd, fmt.Errorf("core: layer %s data: %w", l.Name, err)
+		return DecodedLayer{}, bd, &CorruptError{Layer: l.Name, Kind: CorruptBlob,
+			Detail: "data: " + err.Error()}
 	}
 	t2 := time.Now()
 	bd.Lossy = t2.Sub(t1)
 
 	if len(data) != len(idx) {
-		return DecodedLayer{}, bd, fmt.Errorf("%w: layer %s: %d data values for %d indices", ErrCorrupt, l.Name, len(data), len(idx))
+		return DecodedLayer{}, bd, &CorruptError{Layer: l.Name, Kind: CorruptBlob,
+			Detail: fmt.Sprintf("%d data values for %d indices", len(data), len(idx))}
 	}
 	sp := &prune.Sparse{N: l.WeightCount(), Data: data, Index: idx}
 	dense, err := sp.Decode()
 	if err != nil {
-		return DecodedLayer{}, bd, fmt.Errorf("core: layer %s: %w", l.Name, err)
+		return DecodedLayer{}, bd, &CorruptError{Layer: l.Name, Kind: CorruptBlob,
+			Detail: err.Error()}
 	}
 	bd.Reconstruct = time.Since(t2)
+	if l.HasDecodedCRC {
+		if got := DecodedChecksum(dense, l.Bias); got != l.DecodedCRC {
+			return DecodedLayer{}, bd, &CorruptError{Layer: l.Name, Kind: CorruptDecoded,
+				Detail: fmt.Sprintf("decoded checksum %08x, stream says %08x", got, l.DecodedCRC)}
+		}
+	}
 	return DecodedLayer{
 		Name:    l.Name,
 		Kind:    l.Kind,

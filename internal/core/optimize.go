@@ -27,6 +27,11 @@ type Choice struct {
 	// with; Generate compresses the layer with the same codec (0 falls
 	// back to Config.Codec).
 	Codec codec.ID
+	// Sensitivity is the layer's measured criticality: the maximum
+	// accuracy degradation observed across its assessed points. Generate
+	// uses it (via Config.DecodedChecksums) to decide which layers carry
+	// a decoded checksum in the v4 stream.
+	Sensitivity float64
 }
 
 // Plan is Algorithm 2's output: one error bound per layer.
@@ -66,9 +71,21 @@ func Optimize(a *Assessment, cfg Config) (*Plan, error) {
 		return nil, err
 	}
 	// Stamp the codec the assessment measured with, so Generate emits the
-	// sizes the plan predicts.
+	// sizes the plan predicts, and each layer's measured criticality so
+	// integrity strength can follow it.
+	sens := map[string]float64{}
+	for _, la := range a.Layers {
+		max := 0.0
+		for _, p := range la.Points {
+			if p.Degradation > max {
+				max = p.Degradation
+			}
+		}
+		sens[la.Layer] = max
+	}
 	for i := range plan.Choices {
 		plan.Choices[i].Codec = cfg.Codec
+		plan.Choices[i].Sensitivity = sens[plan.Choices[i].Layer]
 	}
 	return plan, nil
 }

@@ -58,6 +58,37 @@ func marshalV2(t *testing.T, m *Model) []byte {
 	return out
 }
 
+// marshalV3 replicates the version-3 layout (layer-kind/shape header, no
+// checksums) — the writer this repo shipped before the v4 integrity
+// fields.
+func marshalV3(t *testing.T, m *Model) []byte {
+	t.Helper()
+	out := make([]byte, 0, 64+m.TotalBytes())
+	out = binary.LittleEndian.AppendUint32(out, modelMagic)
+	out = append(out, modelVersion3)
+	out = appendString(out, m.NetName)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Layers)))
+	for _, l := range m.Layers {
+		out = appendString(out, l.Name)
+		out = append(out, byte(l.Kind))
+		out = append(out, byte(len(l.Shape)))
+		for _, d := range l.Shape {
+			out = binary.LittleEndian.AppendUint32(out, uint32(d))
+		}
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(l.EB))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(l.Bias)))
+		for _, b := range l.Bias {
+			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(b))
+		}
+		out = append(out, byte(l.Codec))
+		out = appendBytes(out, l.DataBlob)
+		out = append(out, byte(l.IndexID))
+		out = appendBytes(out, l.IndexBlob)
+		out = binary.LittleEndian.AppendUint32(out, uint32(l.IndexLen))
+	}
+	return out
+}
+
 // appendV1V2Header writes the shared v1/v2 per-layer prefix: name, the
 // fixed Rows×Cols pair (the pre-v3 layouts cannot carry any other shape),
 // error bound, and biases.
@@ -105,14 +136,31 @@ func goldenModel(t *testing.T) *Model {
 const (
 	goldenV1Path = "testdata/golden_v1.dsz"
 	goldenV2Path = "testdata/golden_v2.dsz"
+	goldenV3Path = "testdata/golden_v3.dsz"
+	goldenV4Path = "testdata/golden_v4.dsz"
 )
+
+// goldenModelV4 is goldenModel with decoded checksums on every layer —
+// the configuration the v4 byte-identity fixture locks, so both flag
+// states of the v4 layout are pinned (golden tests cover flag=1, fresh
+// simplePlan models cover flag=0).
+func goldenModelV4(t *testing.T) *Model {
+	t.Helper()
+	net := goldenNet()
+	m, err := Generate(net, simplePlan(net, 1e-2),
+		Config{ExpectedAccuracyLoss: 0.01, DecodedChecksums: ChecksumAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
 
 // TestWriteGoldenFixtures regenerates the checked-in fixtures. It only
 // runs when WRITE_GOLDEN is set — e.g. after an intentional SZ or
 // container change — and must be followed by committing the new files.
 func TestWriteGoldenFixtures(t *testing.T) {
 	if os.Getenv("WRITE_GOLDEN") == "" {
-		t.Skip("set WRITE_GOLDEN=1 to regenerate " + goldenV1Path + " and " + goldenV2Path)
+		t.Skip("set WRITE_GOLDEN=1 to regenerate the testdata/golden_v*.dsz fixtures")
 	}
 	m := goldenModel(t)
 	for _, f := range []struct {
@@ -121,6 +169,8 @@ func TestWriteGoldenFixtures(t *testing.T) {
 	}{
 		{goldenV1Path, marshalV1(t, m)},
 		{goldenV2Path, marshalV2(t, m)},
+		{goldenV3Path, marshalV3(t, m)},
+		{goldenV4Path, goldenModelV4(t).Marshal()},
 	} {
 		if err := os.MkdirAll(filepath.Dir(f.path), 0o755); err != nil {
 			t.Fatal(err)
@@ -152,8 +202,8 @@ func goldenRoundTrip(t *testing.T, path string, wantVersion byte) {
 			t.Fatalf("layer %s decoded as %s %v, want 2-D fc", l.Name, l.Kind, l.Shape)
 		}
 	}
-	// A fresh marshal is version 3 and the fixture keeps its own version.
-	if got := fresh.Marshal()[4]; got != modelVersion3 {
+	// A fresh marshal is version 4 and the fixture keeps its own version.
+	if got := fresh.Marshal()[4]; got != modelVersion4 {
 		t.Fatalf("fresh model marshals as version %d", got)
 	}
 	fixture, err := os.ReadFile(path)
@@ -202,6 +252,67 @@ func TestGoldenV1RoundTrip(t *testing.T) { goldenRoundTrip(t, goldenV1Path, mode
 // readers.
 func TestGoldenV2RoundTrip(t *testing.T) { goldenRoundTrip(t, goldenV2Path, modelVersion2) }
 
+// TestGoldenV3RoundTrip locks the version-3 layout (layer-kind/shape
+// header, pre integrity fields), so the v4 bump cannot silently break v3
+// readers.
+func TestGoldenV3RoundTrip(t *testing.T) { goldenRoundTrip(t, goldenV3Path, modelVersion3) }
+
+// TestGoldenV4RoundTrip locks the version-4 layout bidirectionally: the
+// fixture must decode to exactly what a fresh encode produces, and a
+// fresh encode must reproduce the fixture byte for byte — pinning the
+// digest, per-blob CRCs, flags byte, and decoded checksums in place.
+func TestGoldenV4RoundTrip(t *testing.T) {
+	goldenRoundTrip(t, goldenV4Path, modelVersion4)
+
+	fixture, err := os.ReadFile(goldenV4Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := goldenModelV4(t).Marshal()
+	if len(fixture) != len(fresh) {
+		t.Fatalf("fixture is %d bytes, fresh v4 marshal %d (regenerate with WRITE_GOLDEN=1 if intentional)", len(fixture), len(fresh))
+	}
+	for i := range fixture {
+		if fixture[i] != fresh[i] {
+			t.Fatalf("fixture and fresh v4 marshal differ at byte %d (regenerate with WRITE_GOLDEN=1 if intentional)", i)
+		}
+	}
+	// The fixture's layers must all carry decoded checksums, and the
+	// v3→v4 upgrade path must verify them (checksums reference the real
+	// decompressor output, not pre-compression values).
+	m, err := Unmarshal(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Layers {
+		if !m.Layers[i].Checksummed || !m.Layers[i].HasDecodedCRC {
+			t.Fatalf("layer %s missing integrity fields", m.Layers[i].Name)
+		}
+	}
+	if _, _, err := m.Decode(); err != nil {
+		t.Fatalf("verified decode of golden v4: %v", err)
+	}
+}
+
+// TestV4SizeOverhead bounds the integrity tax on a bench-scale model:
+// v4 with decoded checksums on every layer must cost at most 1 % over
+// the same model's v3 bytes. (The overhead is a fixed 13 bytes per layer
+// plus a 4-byte header digest, so it only shrinks as models grow.)
+func TestV4SizeOverhead(t *testing.T) {
+	net := prunedMLP(7)
+	m, err := Generate(net, simplePlan(net, 1e-2),
+		Config{ExpectedAccuracyLoss: 0.01, DecodedChecksums: ChecksumAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3 := len(marshalV3(t, m))
+	v4 := len(m.Marshal())
+	if v4 > v3+v3/100 {
+		t.Fatalf("v4 stream is %d bytes vs %d for v3 — over the 1%% integrity budget", v4, v3)
+	}
+	t.Logf("v3 %d bytes, v4 %d bytes (+%.2f%%)", v3, v4, 100*float64(v4-v3)/float64(v3))
+}
+
 // unmarshalCompat covers an old read path without touching the fixtures,
 // so it keeps working even mid-regeneration.
 func unmarshalCompat(t *testing.T, blob []byte, m *Model) {
@@ -224,7 +335,8 @@ func unmarshalCompat(t *testing.T, blob []byte, m *Model) {
 			t.Fatalf("layer %d: old read produced %s %v, want fc %v", i, b.Kind, b.Shape, a.Shape)
 		}
 	}
-	// And the re-marshal upgrades to v3 losslessly.
+	// And the re-marshal upgrades to v4 losslessly, growing fresh blob
+	// CRCs on the way (old streams carry none).
 	up, err := Unmarshal(got.Marshal())
 	if err != nil {
 		t.Fatal(err)
@@ -234,6 +346,14 @@ func unmarshalCompat(t *testing.T, blob []byte, m *Model) {
 	}
 	if up.Layers[0].Kind != nn.KindDense {
 		t.Fatal("upgrade lost the layer kind")
+	}
+	for i := range up.Layers {
+		if !up.Layers[i].Checksummed {
+			t.Fatalf("layer %d: upgrade did not add blob CRCs", i)
+		}
+	}
+	if _, _, err := up.Decode(); err != nil {
+		t.Fatalf("verified decode after upgrade: %v", err)
 	}
 }
 
@@ -254,4 +374,9 @@ func TestV1UnmarshalCompat(t *testing.T) {
 func TestV2UnmarshalCompat(t *testing.T) {
 	m := goldenModel(t)
 	unmarshalCompat(t, marshalV2(t, m), m)
+}
+
+func TestV3UnmarshalCompat(t *testing.T) {
+	m := goldenModel(t)
+	unmarshalCompat(t, marshalV3(t, m), m)
 }

@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/httputil"
 	"repro/internal/telemetry"
 )
 
@@ -85,6 +86,12 @@ type Options struct {
 	SpillPending int
 	// RetryAfter is the hint attached to shed responses (default 1s).
 	RetryAfter time.Duration
+	// QuarantineTTL is how long a (model, replica) pair is routed around
+	// after the replica answered that model with a quarantine 503
+	// (default 15s). The replica attempts a self-heal reload on its own;
+	// the TTL bounds how long the gateway trusts the signal before
+	// probing the pair with real traffic again.
+	QuarantineTTL time.Duration
 	// Client issues backend requests (default: http.Client with a 1min
 	// overall timeout, so a backend that accepts connections but never
 	// answers cannot pin gateway goroutines forever; probes use their
@@ -125,6 +132,9 @@ func (o *Options) fill() {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
+	}
+	if o.QuarantineTTL <= 0 {
+		o.QuarantineTTL = 15 * time.Second
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{Timeout: time.Minute}
@@ -176,6 +186,13 @@ type Gateway struct {
 	hedges    atomic.Uint64
 	failovers atomic.Uint64
 
+	// quarantined maps model name → replicas that answered it with a
+	// quarantine 503, each with the expiry of its avoidance window.
+	// Entries are pruned lazily on ranking and scraping.
+	qmu              sync.Mutex
+	quarantined      map[string]map[*replica]time.Time
+	modelQuarantines atomic.Uint64 // quarantine signals accepted (new pairs)
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -190,7 +207,8 @@ func New(backends []string, opt Options) (*Gateway, error) {
 		return nil, fmt.Errorf("gateway: at least one backend is required")
 	}
 	opt.fill()
-	g := &Gateway{opt: opt, start: time.Now(), stop: make(chan struct{}), tel: telemetry.NewRegistry()}
+	g := &Gateway{opt: opt, start: time.Now(), stop: make(chan struct{}), tel: telemetry.NewRegistry(),
+		quarantined: map[string]map[*replica]time.Time{}}
 	seen := map[string]bool{}
 	for i, b := range backends {
 		u, err := url.Parse(strings.TrimSpace(b))
@@ -246,6 +264,16 @@ func (g *Gateway) registerMetrics() {
 		"Immediate failovers after a backend attempt failed.",
 		func() []telemetry.Sample {
 			return []telemetry.Sample{{Value: float64(g.failovers.Load())}}
+		})
+	g.tel.CounterFunc("deepszgw_model_quarantines_total",
+		"Quarantine 503 signals accepted from backends: each counts one new (model, backend) pair routed around.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: float64(g.modelQuarantines.Load())}}
+		})
+	g.tel.GaugeFunc("deepszgw_quarantined_model_backends",
+		"(model, backend) pairs currently routed around after a quarantine 503.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: float64(g.quarantinedPairs())}}
 		})
 	g.tel.GaugeFunc("deepszgw_in_flight",
 		"Predict requests currently inside the gateway.",
@@ -384,28 +412,104 @@ func score(model, base string) uint64 {
 	return h.Sum64()
 }
 
+// noteQuarantine records that rep answered model with a quarantine 503:
+// rep drops out of model's routing preference for QuarantineTTL. Other
+// models on the same replica are unaffected — the quarantine signal is
+// per-model, and so is the avoidance.
+func (g *Gateway) noteQuarantine(model string, rep *replica) {
+	g.qmu.Lock()
+	defer g.qmu.Unlock()
+	m := g.quarantined[model]
+	if m == nil {
+		m = map[*replica]time.Time{}
+		g.quarantined[model] = m
+	}
+	if _, already := m[rep]; !already {
+		g.modelQuarantines.Add(1)
+		g.opt.Logger.Warn("model quarantined on backend",
+			"model", model, "backend", rep.base, "ttl", g.opt.QuarantineTTL)
+	}
+	m[rep] = time.Now().Add(g.opt.QuarantineTTL)
+}
+
+// avoidSet returns the replicas currently quarantined for model, pruning
+// expired entries on the way.
+func (g *Gateway) avoidSet(model string) map[*replica]bool {
+	g.qmu.Lock()
+	defer g.qmu.Unlock()
+	m := g.quarantined[model]
+	if len(m) == 0 {
+		return nil
+	}
+	now := time.Now()
+	var out map[*replica]bool
+	for rep, until := range m {
+		if now.After(until) {
+			delete(m, rep)
+			continue
+		}
+		if out == nil {
+			out = make(map[*replica]bool, len(m))
+		}
+		out[rep] = true
+	}
+	if len(m) == 0 {
+		delete(g.quarantined, model)
+	}
+	return out
+}
+
+// quarantinedPairs counts the live (model, replica) quarantine entries.
+func (g *Gateway) quarantinedPairs() int {
+	g.qmu.Lock()
+	defer g.qmu.Unlock()
+	now := time.Now()
+	n := 0
+	for model, m := range g.quarantined {
+		for rep, until := range m {
+			if now.After(until) {
+				delete(m, rep)
+				continue
+			}
+			n++
+		}
+		if len(m) == 0 {
+			delete(g.quarantined, model)
+		}
+	}
+	return n
+}
+
 // rank orders the fleet for one model: the healthy affinity set (top
 // AffinityWidth by rendezvous score) sorted least-pending first with
 // score as the tie-break, then the remaining healthy replicas in score
-// order as failover/hedge targets, then ejected replicas last — a
-// fleet that is entirely ejected still gets tried, rather than failing
-// with no attempt at all.
+// order as failover/hedge targets, then replicas quarantined for this
+// model, then ejected replicas last — a fleet that is entirely ejected
+// or quarantined still gets tried, rather than failing with no attempt
+// at all.
 func (g *Gateway) rank(model string) []*replica {
 	type cand struct {
 		r       *replica
 		s       uint64
 		pending int64 // snapshot: a comparator reading live atomics mid-sort is inconsistent
 	}
+	avoid := g.avoidSet(model)
 	cands := make([]cand, 0, len(g.replicas))
 	for _, r := range g.replicas {
 		cands = append(cands, cand{r, score(model, r.base), r.pending.Load()})
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].s > cands[j].s })
-	var affinity, spill, ejected []cand
+	var affinity, spill, avoided, ejected []cand
 	for _, c := range cands {
 		switch {
 		case !c.r.healthy.Load():
 			ejected = append(ejected, c)
+		case avoid[c.r]:
+			// Healthy for everything else, but known to 503 this model:
+			// below every clean replica, above the ejected — the replica
+			// answers instantly (cheap quarantine pre-check), so as a last
+			// resort it still beats a dead box.
+			avoided = append(avoided, c)
 		case len(affinity) < g.opt.AffinityWidth:
 			affinity = append(affinity, c)
 		default:
@@ -427,7 +531,7 @@ func (g *Gateway) rank(model string) []*replica {
 		return affinity[i].s > affinity[j].s
 	})
 	out := make([]*replica, 0, len(cands))
-	for _, group := range [][]cand{affinity, spill, ejected} {
+	for _, group := range [][]cand{affinity, spill, avoided, ejected} {
 		for _, c := range group {
 			out = append(out, c.r)
 		}
@@ -442,7 +546,11 @@ type attempt struct {
 	body       []byte
 	ctype      string
 	retryAfter string
-	err        error
+	// quarantined: the response carried the replica's quarantine header —
+	// this model is down on this replica until its artifact heals, so the
+	// gateway routes the pair around rather than hedging back into it.
+	quarantined bool
+	err         error
 }
 
 // send issues one predict attempt and reads the full response, so a
@@ -478,6 +586,7 @@ func (g *Gateway) send(ctx context.Context, rep *replica, model, traceID string,
 	a.status = resp.StatusCode
 	a.ctype = resp.Header.Get("Content-Type")
 	a.retryAfter = resp.Header.Get("Retry-After")
+	a.quarantined = resp.Header.Get(httputil.QuarantineHeader) != ""
 	if a.status < http.StatusInternalServerError {
 		dt := time.Since(t0)
 		rep.latNs.Add(dt.Nanoseconds())
@@ -542,6 +651,9 @@ func (g *Gateway) predict(ctx context.Context, model, traceID string, body []byt
 				continue
 			}
 			a.rep.errors.Add(1)
+			if a.quarantined {
+				g.noteQuarantine(model, a.rep)
+			}
 			lastFail = a
 			if a.err == nil {
 				lastHTTP = a

@@ -350,7 +350,7 @@ func TestGatewayClusterIntegration(t *testing.T) {
 	if healthByBackend[reps[survivor].ts.URL] != 1 {
 		t.Fatalf("live backend reported healthy=%v, want 1", healthByBackend[reps[survivor].ts.URL])
 	}
-	for _, fam := range []string{"deepszgw_admitted_total", "deepszgw_backend_requests_total", "deepszgw_backend_duration_seconds", "deepszgw_build_info"} {
+	for _, fam := range []string{"deepszgw_admitted_total", "deepszgw_backend_requests_total", "deepszgw_backend_duration_seconds", "deepszgw_build_info", "deepszgw_model_quarantines_total", "deepszgw_quarantined_model_backends"} {
 		if gwScrape.Family(fam) == nil {
 			t.Fatalf("gateway family %q missing from exposition", fam)
 		}

@@ -1,0 +1,144 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httputil"
+	"repro/internal/nn"
+)
+
+// TestGatewayQuarantineFailover locks the quarantine routing signal end
+// to end: a backend whose copy of a model is corrupt answers 503 with the
+// quarantine header, the gateway fails the request over to the model's
+// other affinity replica (the client sees a correct 200), and the
+// (model, backend) pair is routed around — without touching the same
+// backend's other models — until the TTL expires.
+func TestGatewayQuarantineFailover(t *testing.T) {
+	names := []string{"m0", "m1"}
+	net0, m0 := buildModel(t, 70)
+	net1, m1 := buildModel(t, 71)
+	nets := []*nn.Network{net0, net1}
+	// Each replica gets its own round-tripped copy of every model:
+	// corrupting one replica's blob must not touch the other replica (or
+	// the reference) through a shared pointer — exactly like separate
+	// processes with separate memory.
+	clone := func(m *core.Model) *core.Model {
+		mm, err := core.Unmarshal(m.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mm
+	}
+	reps := []*testReplica{
+		newCluster(t, 1, names, nets, []*core.Model{clone(m0), clone(m1)})[0],
+		newCluster(t, 1, names, nets, []*core.Model{clone(m0), clone(m1)})[0],
+	}
+
+	g, err := New(backendURLs(reps), Options{
+		ProbeInterval: time.Hour, // probes out of the picture: health never flips
+		HedgeAfter:    -1,        // failover only, so attempt counts are pure routing
+		QuarantineTTL: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// Corrupt m0's blob on the replica the gateway ranks first for it, so
+	// the very first routed attempt hits the corruption.
+	first := g.rank("m0")[0]
+	var bad, good *testReplica
+	for _, r := range reps {
+		if r.ts.URL == first.base {
+			bad = r
+		} else {
+			good = r
+		}
+	}
+	e, ok := bad.reg.Get("m0")
+	if !ok {
+		t.Fatal("m0 missing from the corrupt replica")
+	}
+	blob := e.Model().Layers[0].DataBlob
+	blob[len(blob)/2] ^= 0xFF
+
+	rows := testRows(2, 7)
+	want := reference(t, nets[0], m0, rows)
+	checkM0 := func(body []byte) {
+		t.Helper()
+		got := parseOutputs(t, body)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("row %d logit %d: %v, want %v", i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+
+	gw := httptest.NewServer(g)
+	defer gw.Close()
+
+	// First predict: the corrupt replica 503s, the gateway fails over, the
+	// client sees a correct answer and no quarantine header.
+	code, resp, body := postPredict(t, gw.URL, "m0", rows)
+	if code != http.StatusOK {
+		t.Fatalf("predict through failover: status %d (%s)", code, body)
+	}
+	if resp.Header.Get(httputil.QuarantineHeader) != "" {
+		t.Fatal("winning answer leaked the loser's quarantine header")
+	}
+	checkM0(body)
+	if got := g.Stats().ModelQuarantines; got != 1 {
+		t.Fatalf("model_quarantines %d, want 1", got)
+	}
+	badM0 := bad.counter.get("m0")
+	if badM0 == 0 {
+		t.Fatal("the corrupt replica was never attempted; the test fixture is wrong")
+	}
+
+	// While quarantined, m0 traffic avoids the corrupt replica entirely;
+	// its other model still serves there.
+	for i := 0; i < 5; i++ {
+		code, _, body := postPredict(t, gw.URL, "m0", rows)
+		if code != http.StatusOK {
+			t.Fatalf("predict %d during quarantine: status %d (%s)", i, code, body)
+		}
+		checkM0(body)
+	}
+	if got := bad.counter.get("m0"); got != badM0 {
+		t.Fatalf("quarantined pair still attempted: %d -> %d", badM0, got)
+	}
+	if ranked := g.rank("m1"); ranked[len(ranked)-1] == nil {
+		t.Fatal("unreachable")
+	}
+	if code, _, body := postPredict(t, gw.URL, "m1", rows); code != http.StatusOK {
+		t.Fatalf("unrelated model m1: status %d (%s)", code, body)
+	}
+	if n := g.quarantinedPairs(); n != 1 {
+		t.Fatalf("quarantined pairs %d, want 1 (m0 on one backend)", n)
+	}
+
+	// After the TTL the pair is probed with real traffic again: the replica
+	// still 503s (its artifact never healed), so the request fails over —
+	// correct answer, and the quarantine is re-noted.
+	time.Sleep(250 * time.Millisecond)
+	if n := g.quarantinedPairs(); n != 0 {
+		t.Fatalf("quarantine did not expire: %d pairs", n)
+	}
+	code, _, body = postPredict(t, gw.URL, "m0", rows)
+	if code != http.StatusOK {
+		t.Fatalf("predict after TTL expiry: status %d (%s)", code, body)
+	}
+	checkM0(body)
+	if got := g.Stats().ModelQuarantines; got != 2 {
+		t.Fatalf("model_quarantines %d after re-noting, want 2", got)
+	}
+	if good.counter.get("m0") < 6 {
+		t.Fatalf("clean replica served %d m0 predicts, want all of them", good.counter.get("m0"))
+	}
+}

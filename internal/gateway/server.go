@@ -208,19 +208,23 @@ type Stats struct {
 	Shed            uint64         `json:"shed"`
 	Hedges          uint64         `json:"hedges"`
 	Failovers       uint64         `json:"failovers"`
+	// ModelQuarantines counts quarantine 503 signals accepted from
+	// backends (new (model, backend) pairs routed around).
+	ModelQuarantines uint64 `json:"model_quarantines"`
 }
 
 // Stats snapshots the gateway and per-replica counters.
 func (g *Gateway) Stats() Stats {
 	s := Stats{
-		UptimeSeconds:   time.Since(g.start).Seconds(),
-		HealthyBackends: g.HealthyBackends(),
-		InFlight:        g.inFlight.Load(),
-		MaxPending:      g.opt.MaxPending,
-		Admitted:        g.admitted.Load(),
-		Shed:            g.shed.Load(),
-		Hedges:          g.hedges.Load(),
-		Failovers:       g.failovers.Load(),
+		UptimeSeconds:    time.Since(g.start).Seconds(),
+		HealthyBackends:  g.HealthyBackends(),
+		InFlight:         g.inFlight.Load(),
+		MaxPending:       g.opt.MaxPending,
+		Admitted:         g.admitted.Load(),
+		Shed:             g.shed.Load(),
+		Hedges:           g.hedges.Load(),
+		Failovers:        g.failovers.Load(),
+		ModelQuarantines: g.modelQuarantines.Load(),
 	}
 	for _, r := range g.replicas {
 		rs := ReplicaStats{

@@ -27,3 +27,11 @@ type ErrorResponse struct {
 func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
 	WriteJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
+
+// QuarantineHeader names the model a replica has quarantined for
+// corruption on a 503 response. It is the routing signal the gateway
+// keys on: unlike generic overload (retry the same replica soon), a
+// quarantined model stays unavailable on that replica until its
+// artifact is repaired, so traffic should fail over to another replica
+// instead of hedging into the same corrupt copy.
+const QuarantineHeader = "X-Deepsz-Quarantine"

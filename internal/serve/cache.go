@@ -83,6 +83,16 @@ type DecodeCache struct {
 	admissionDrops                                        uint64
 	decodeTime                                            time.Duration
 	prefetchTime                                          time.Duration
+
+	// verify: entries are checksummed at insert and re-verified by Scrub
+	// and CheckEntry; a mismatch ejects the entry (see SetIntegrityTracking).
+	verify        bool
+	scrubs        uint64 // Scrub sweeps completed
+	scrubChecks   uint64 // entries checksummed by sweeps
+	scrubEjected  uint64 // mismatches found by sweeps
+	releaseChecks uint64 // entries checksummed by CheckEntry
+	corrupt       uint64 // entries ejected on checksum mismatch (all paths)
+	scrubTime     time.Duration
 }
 
 type cacheEntry struct {
@@ -100,6 +110,7 @@ type cacheEntry struct {
 	seq        uint64  // insertion order; older evicts first on prio ties
 	pins       int     // > 0: in use by a kernel, not evictable
 	prefetched bool    // inserted speculatively, no demand use yet
+	crc        uint32  // fill-time checksum of the resident layer (verify mode)
 }
 
 // weight is the GDSF cost term: decode nanoseconds per resident byte —
@@ -184,6 +195,132 @@ func (c *DecodeCache) Policy() EvictionPolicy {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.policy
+}
+
+// SetIntegrityTracking turns resident-entry checksumming on or off: every
+// inserted layer is checksummed at fill time, and Scrub/CheckEntry compare
+// against that value, ejecting mismatches. Like SetPolicy it is only valid
+// while the cache is empty — a half-tracked cache would scrub garbage.
+func (c *DecodeCache) SetIntegrityTracking(on bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) > 0 || len(c.inflight) > 0 {
+		return fmt.Errorf("serve: cannot toggle integrity tracking on a non-empty cache")
+	}
+	c.verify = on
+	return nil
+}
+
+// IntegrityTracking reports whether resident checksumming is on.
+func (c *DecodeCache) IntegrityTracking() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.verify
+}
+
+// CheckEntry re-verifies the entry under key against its fill-time
+// checksum, ejecting it on mismatch. It returns false only for a resident
+// entry that failed (a missing entry is vacuously fine). The checksum runs
+// outside the cache lock; the entry is ejected only if it is still the
+// same entry afterwards. Engines call this while the entry is pinned —
+// after a kernel consumed the buffer, before unpinning — so a false return
+// means the kernel may have read flipped bits and its output must not be
+// served.
+func (c *DecodeCache) CheckEntry(key string) bool {
+	c.mu.Lock()
+	if !c.verify {
+		c.mu.Unlock()
+		return true
+	}
+	ent, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		return true
+	}
+	layer, want := ent.layer, ent.crc
+	c.releaseChecks++
+	c.mu.Unlock()
+
+	if layer.Checksum() == want {
+		return true
+	}
+	c.mu.Lock()
+	if cur, ok := c.entries[key]; ok && cur == ent {
+		c.removeLocked(cur)
+		c.corrupt++
+	}
+	c.mu.Unlock()
+	return false
+}
+
+// Scrub sweeps every resident entry, re-verifying it against its
+// fill-time checksum and ejecting mismatches. Checksums run outside the
+// cache lock (the sweep holds it only to snapshot and to eject), so
+// serving continues during a scrub. Pinned entries are verified and — on
+// mismatch — removed from the index like any other: pointer holders keep
+// a valid detached entry, and the in-flight kernel read is covered by
+// release-time CheckEntry, not by the sweep. Returns entries checked and
+// ejected; (0, 0) when tracking is off.
+func (c *DecodeCache) Scrub() (checked, ejected int) {
+	t0 := time.Now()
+	c.mu.Lock()
+	if !c.verify {
+		c.mu.Unlock()
+		return 0, 0
+	}
+	type snap struct {
+		ent   *cacheEntry
+		layer *core.DecodedLayer
+		want  uint32
+	}
+	snaps := make([]snap, 0, len(c.entries))
+	for _, ent := range c.entries {
+		snaps = append(snaps, snap{ent, ent.layer, ent.crc})
+	}
+	c.mu.Unlock()
+
+	var bad []*cacheEntry
+	for _, s := range snaps {
+		if s.layer.Checksum() != s.want {
+			bad = append(bad, s.ent)
+		}
+	}
+
+	c.mu.Lock()
+	for _, ent := range bad {
+		if cur, ok := c.entries[ent.key]; ok && cur == ent {
+			c.removeLocked(cur)
+			c.corrupt++
+			c.scrubEjected++
+			ejected++
+		}
+	}
+	c.scrubs++
+	c.scrubChecks += uint64(len(snaps))
+	c.scrubTime += time.Since(t0)
+	c.mu.Unlock()
+	return len(snaps), ejected
+}
+
+// VisitResident calls fn for every resident entry's key and shared layer
+// pointer, without touching recency or frequency. The layers are the live
+// cached buffers — fn mutating them corrupts what kernels read, which is
+// exactly what the chaos harness uses it for. Not part of the serving
+// path.
+func (c *DecodeCache) VisitResident(fn func(key string, layer *core.DecodedLayer)) {
+	c.mu.Lock()
+	type kv struct {
+		key   string
+		layer *core.DecodedLayer
+	}
+	snaps := make([]kv, 0, len(c.entries))
+	for k, ent := range c.entries {
+		snaps = append(snaps, kv{k, ent.layer})
+	}
+	c.mu.Unlock()
+	for _, s := range snaps {
+		fn(s.key, s.layer)
+	}
 }
 
 // Get returns the layer stored under key, invoking decode on a miss.
@@ -428,6 +565,12 @@ func (c *DecodeCache) insertLocked(key string, layer *core.DecodedLayer, cost, d
 		decodeNs: decodeNs,
 		seq:      c.seq,
 	}
+	if c.verify {
+		// Fill-time checksum; Scrub and CheckEntry compare against it. The
+		// layer was verified against the stream by the decode that produced
+		// it, so this pins the known-good resident bytes.
+		ent.crc = layer.Checksum()
+	}
 	c.seq++
 	if !prefetch {
 		ent.freq = 1
@@ -569,6 +712,14 @@ type CacheStats struct {
 	PrefetchOver   uint64        `json:"prefetch_overlap"`    // demand gets that joined an in-flight prefetch decode
 	DecodeTime     time.Duration `json:"decode_time_nanos"`   // cumulative demand decode wall time
 	PrefetchTime   time.Duration `json:"prefetch_time_nanos"` // cumulative speculative decode wall time
+
+	// Integrity tracking (zero when SetIntegrityTracking is off).
+	Scrubs           uint64        `json:"scrubs"`            // completed scrub sweeps
+	ScrubChecks      uint64        `json:"scrub_checks"`      // entries checksummed by sweeps
+	ScrubEjections   uint64        `json:"scrub_ejections"`   // mismatches found by sweeps
+	ReleaseChecks    uint64        `json:"release_checks"`    // entries checksummed at kernel release
+	CorruptEjections uint64        `json:"corrupt_ejections"` // entries ejected on checksum mismatch
+	ScrubTime        time.Duration `json:"scrub_time_nanos"`  // cumulative scrub wall time
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any traffic: the
@@ -619,5 +770,12 @@ func (c *DecodeCache) Stats() CacheStats {
 		PrefetchOver:   c.prefetchOver,
 		DecodeTime:     c.decodeTime,
 		PrefetchTime:   c.prefetchTime,
+
+		Scrubs:           c.scrubs,
+		ScrubChecks:      c.scrubChecks,
+		ScrubEjections:   c.scrubEjected,
+		ReleaseChecks:    c.releaseChecks,
+		CorruptEjections: c.corrupt,
+		ScrubTime:        c.scrubTime,
 	}
 }

@@ -70,6 +70,17 @@ type Engine struct {
 	rows     atomic.Uint64 // examples served
 	batches  atomic.Uint64 // forward passes run
 
+	// verifyRelease: after each layer's kernel consumes a cached buffer
+	// (and before its pin drops), the cache entry is re-checksummed; a
+	// mismatch fails the whole forward pass instead of serving output
+	// computed from flipped bits. Set before traffic (SetVerifyRelease).
+	verifyRelease bool
+
+	// Integrity counters: checks that passed/failed, and failures split by
+	// where the corruption was detected (see core.CorruptKind).
+	integOK, integFail                        atomic.Uint64
+	corruptBlob, corruptDecoded, corruptCache atomic.Uint64
+
 	maxPending int          // admitted-predict cap; 0 = unlimited
 	pendingNow atomic.Int64 // predicts admitted and not yet finished
 	shed       atomic.Uint64
@@ -247,6 +258,13 @@ func (e *Engine) thresholdFor(idx int) float64 {
 // Autotuned reports whether per-layer autotuned thresholds are installed.
 func (e *Engine) Autotuned() bool { return e.autotuned }
 
+// SetVerifyRelease turns release-time re-verification on: every cached
+// layer a kernel consumed is re-checksummed before its pin drops, and a
+// mismatch fails the forward pass with a cache-kind core.CorruptError.
+// Requires the shared cache to have integrity tracking on. Call before
+// traffic, like StartPrefetch.
+func (e *Engine) SetVerifyRelease(on bool) { e.verifyRelease = on }
+
 // decodeForCache builds the decode thunk for model.Layers[idx] that the
 // cache runs on a miss (demand or prefetch): decode, record the density
 // observation, compact to CSR below the sparse threshold, and report the
@@ -255,7 +273,21 @@ func (e *Engine) decodeForCache(idx int) func() (*core.DecodedLayer, int64, erro
 	return func() (*core.DecodedLayer, int64, error) {
 		dl, err := e.model.DecodeLayer(e.model.Layers[idx].Name)
 		if err != nil {
+			var ce *core.CorruptError
+			if errors.As(err, &ce) {
+				e.integFail.Add(1)
+				if ce.Kind == core.CorruptDecoded {
+					e.corruptDecoded.Add(1)
+				} else {
+					e.corruptBlob.Add(1)
+				}
+			}
 			return nil, 0, err
+		}
+		if e.model.Layers[idx].Checksummed {
+			// DecodeLayer verified the blob CRCs (and the decoded checksum
+			// when present) on the way here.
+			e.integOK.Add(1)
 		}
 		density := dl.Density()
 		dl.Compact(e.thresholdFor(idx))
@@ -272,7 +304,7 @@ func (e *Engine) decodeForCache(idx int) func() (*core.DecodedLayer, int64, erro
 // ForwardWithProvider calls it when the layer's kernel finishes, so
 // prefetch of layer k+1 can never displace layer k mid-forward.
 func (e *Engine) LayerWeights(layer string) (nn.LayerWeights, func(), error) {
-	lw, rel, _, err := e.layerWeightsTimed(layer)
+	lw, rel, _, err := e.layerWeightsTimed(layer, nil)
 	return lw, rel, err
 }
 
@@ -282,7 +314,13 @@ func (e *Engine) LayerWeights(layer string) (nn.LayerWeights, func(), error) {
 // time, because the decode cost is charged to the request that ran it).
 // Before looking layer k up it announces k to the prefetcher, so the
 // decode of k+1 overlaps with k's kernel.
-func (e *Engine) layerWeightsTimed(layer string) (nn.LayerWeights, func(), int64, error) {
+//
+// When verify-on-release is on and corrupt is non-nil, the release handed
+// back re-checksums the cache entry after the kernel consumed it (while
+// the pin still guarantees it is the same buffer) and records the first
+// failing layer in *corrupt — the caller must then discard the pass's
+// output.
+func (e *Engine) layerWeightsTimed(layer string, corrupt *string) (nn.LayerWeights, func(), int64, error) {
 	idx, ok := e.model.LayerIndex(layer)
 	if !ok {
 		return nn.LayerWeights{}, nil, 0, nn.ErrNotProvided
@@ -290,7 +328,8 @@ func (e *Engine) layerWeightsTimed(layer string) (nn.LayerWeights, func(), int64
 	e.prefetch.advance(idx)
 	inner := e.decodeForCache(idx)
 	var decodeNs int64
-	dl, release, err := e.cache.GetPinned(e.cacheKey(idx), func() (*core.DecodedLayer, int64, error) {
+	key := e.cacheKey(idx)
+	dl, release, err := e.cache.GetPinned(key, func() (*core.DecodedLayer, int64, error) {
 		t0 := time.Now()
 		dl, cost, err := inner()
 		decodeNs = time.Since(t0).Nanoseconds()
@@ -299,21 +338,40 @@ func (e *Engine) layerWeightsTimed(layer string) (nn.LayerWeights, func(), int64
 	if err != nil {
 		return nn.LayerWeights{}, nil, decodeNs, err
 	}
+	if e.verifyRelease && corrupt != nil {
+		inner := release
+		layerName := e.model.Layers[idx].Name
+		release = func() {
+			if !e.cache.CheckEntry(key) {
+				e.integFail.Add(1)
+				e.corruptCache.Add(1)
+				if *corrupt == "" {
+					*corrupt = layerName
+				}
+			} else {
+				e.integOK.Add(1)
+			}
+			inner()
+		}
+	}
 	return nn.LayerWeights{Dense: dl.Weights, Sparse: dl.Sparse, Bias: dl.Bias}, release, decodeNs, nil
 }
 
 // timedProvider wraps the engine's weight provider for one forward pass,
 // splitting provider time into cache lookup (hits, bookkeeping, waiting
 // on coalesced decodes) and decode proper. One batch runs in one
-// goroutine, so plain fields suffice.
+// goroutine, so plain fields suffice — including corruptLayer, which the
+// release funcs write from the same goroutine (ForwardWithProvider calls
+// release after each layer's kernel, on the forward path).
 type timedProvider struct {
 	e                  *Engine
 	lookupNs, decodeNs int64
+	corruptLayer       string // first layer whose release-check failed
 }
 
 func (p *timedProvider) LayerWeights(layer string) (nn.LayerWeights, func(), error) {
 	t0 := time.Now()
-	lw, rel, decodeNs, err := p.e.layerWeightsTimed(layer)
+	lw, rel, decodeNs, err := p.e.layerWeightsTimed(layer, &p.corruptLayer)
 	p.decodeNs += decodeNs
 	p.lookupNs += time.Since(t0).Nanoseconds() - decodeNs
 	return lw, rel, err
@@ -465,6 +523,13 @@ func (e *Engine) run(rows [][]float32) ([][]float32, fwdStages, error) {
 	if err != nil {
 		return nil, st, err
 	}
+	if p.corruptLayer != "" {
+		// A cached buffer failed its post-kernel re-check: the logits were
+		// (possibly) computed from flipped bits. The entry is already
+		// ejected, so a retry decodes fresh; this pass's output must die.
+		return nil, st, &core.CorruptError{Layer: p.corruptLayer, Kind: core.CorruptCache,
+			Detail: "cached weights failed release-time re-verification"}
+	}
 	classes := y.Len() / n
 	out := make([][]float32, n)
 	for i := range out {
@@ -481,6 +546,7 @@ type EngineStats struct {
 	Codec           string      `json:"codec"`
 	SparseThreshold float64     `json:"sparse_threshold"`
 	AutotuneSparse  bool        `json:"autotune_sparse"`
+	VerifyRelease   bool        `json:"verify_release,omitempty"`
 	PrefetchDepth   int         `json:"prefetch_depth,omitempty"`
 	Requests        uint64      `json:"requests"`
 	Rows            uint64      `json:"rows"`
@@ -498,6 +564,7 @@ func (e *Engine) Stats() EngineStats {
 		Codec:           e.Codec(),
 		SparseThreshold: e.threshold,
 		AutotuneSparse:  e.autotuned,
+		VerifyRelease:   e.verifyRelease,
 		PrefetchDepth:   e.PrefetchDepth(),
 		Requests:        e.requests.Load(),
 		Rows:            e.rows.Load(),

@@ -1,0 +1,493 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httputil"
+	"repro/internal/models"
+	"repro/internal/prune"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// trackedLayer builds a dense decoded layer with recognisable weights for
+// direct cache integrity tests.
+func trackedLayer(n int, seed float32) *core.DecodedLayer {
+	w := make([]float32, n)
+	for i := range w {
+		w[i] = seed + float32(i)
+	}
+	return &core.DecodedLayer{Shape: []int{n}, Weights: w, Bias: []float32{seed}}
+}
+
+func fillTracked(t *testing.T, c *DecodeCache, key string, l *core.DecodedLayer) {
+	t.Helper()
+	if _, err := c.Get(key, func() (*core.DecodedLayer, int64, error) {
+		return l, int64(4 * len(l.Weights)), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheIntegrityCheckEntry(t *testing.T) {
+	c := NewDecodeCache(0)
+	if c.IntegrityTracking() {
+		t.Fatal("integrity tracking should default off")
+	}
+	if err := c.SetIntegrityTracking(true); err != nil {
+		t.Fatal(err)
+	}
+	la := trackedLayer(16, 1)
+	fillTracked(t, c, "a", la)
+
+	if !c.CheckEntry("a") {
+		t.Fatal("pristine entry failed its check")
+	}
+	if !c.CheckEntry("missing") {
+		t.Fatal("missing entry must be vacuously fine")
+	}
+	la.Weights[3] += 0.5 // rot the resident buffer
+	if c.CheckEntry("a") {
+		t.Fatal("corrupted entry passed its check")
+	}
+	s := c.Stats()
+	if s.Entries != 0 {
+		t.Fatalf("corrupt entry not ejected: %d resident", s.Entries)
+	}
+	if s.CorruptEjections != 1 || s.ReleaseChecks != 2 {
+		t.Fatalf("corrupt=%d releaseChecks=%d, want 1/2", s.CorruptEjections, s.ReleaseChecks)
+	}
+	// Toggling tracking now requires an empty cache — which it is after the
+	// ejection — so refill and confirm the guard.
+	fillTracked(t, c, "b", trackedLayer(8, 2))
+	if err := c.SetIntegrityTracking(false); err == nil {
+		t.Fatal("toggled integrity tracking on a non-empty cache")
+	}
+}
+
+func TestCacheScrubEjectsRottedEntries(t *testing.T) {
+	c := NewDecodeCache(0)
+	if checked, ejected := c.Scrub(); checked != 0 || ejected != 0 {
+		t.Fatalf("scrub with tracking off checked %d/%d, want 0/0", checked, ejected)
+	}
+	if err := c.SetIntegrityTracking(true); err != nil {
+		t.Fatal(err)
+	}
+	layers := map[string]*core.DecodedLayer{}
+	for _, k := range []string{"a", "b", "c"} {
+		l := trackedLayer(32, float32(len(k)))
+		layers[k] = l
+		fillTracked(t, c, k, l)
+	}
+	layers["b"].Weights[0] = -999
+
+	checked, ejected := c.Scrub()
+	if checked != 3 || ejected != 1 {
+		t.Fatalf("scrub checked %d ejected %d, want 3/1", checked, ejected)
+	}
+	s := c.Stats()
+	if s.Scrubs != 1 || s.ScrubChecks != 3 || s.ScrubEjections != 1 {
+		t.Fatalf("scrub stats %+v", s)
+	}
+	if s.ScrubTime <= 0 {
+		t.Fatal("scrub time not accumulated")
+	}
+	if s.Entries != 2 {
+		t.Fatalf("%d entries resident after scrub, want 2", s.Entries)
+	}
+	// The survivors stay put on a clean second sweep.
+	if checked, ejected := c.Scrub(); checked != 2 || ejected != 0 {
+		t.Fatalf("second scrub %d/%d, want 2/0", checked, ejected)
+	}
+}
+
+// corruptOneResident flips a value in one resident cache buffer — the bit
+// rot the verify-on-release and scrub paths exist to catch.
+func corruptOneResident(t *testing.T, c *DecodeCache) {
+	t.Helper()
+	done := false
+	c.VisitResident(func(key string, l *core.DecodedLayer) {
+		if done {
+			return
+		}
+		done = true
+		switch {
+		case l.Weights != nil:
+			l.Weights[0] += 1
+		case l.Sparse != nil:
+			l.Sparse.Val[0] += 1
+		default:
+			t.Fatalf("resident entry %s has no weights", key)
+		}
+	})
+	if !done {
+		t.Fatal("no resident entries to corrupt")
+	}
+}
+
+func TestEngineVerifyReleaseCatchesCacheRot(t *testing.T) {
+	net, m := servedModel(t, 21)
+	reg := NewRegistry(0, BatchOptions{})
+	defer reg.Close()
+	if err := reg.SetVerifyDecoded(true); err != nil {
+		t.Fatal(err)
+	}
+	e, err := reg.Add("mlp", m, net, []int{1, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Stats().VerifyRelease {
+		t.Fatal("engine did not inherit verify-release from the registry")
+	}
+	rows := testRows(2, 22)
+	want := decodedReference(t, net, m, rows)
+	if _, err := e.Predict(rows); err != nil {
+		t.Fatal(err)
+	}
+
+	corruptOneResident(t, reg.Cache())
+	_, err = e.Predict(rows)
+	if err == nil {
+		t.Fatal("predict served logits computed from corrupted cache bytes")
+	}
+	if !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("error %v is not core.ErrCorrupt", err)
+	}
+	var ce *core.CorruptError
+	if !errors.As(err, &ce) || ce.Kind != core.CorruptCache {
+		t.Fatalf("error %v, want a cache-kind CorruptError", err)
+	}
+	// Cache-surface corruption self-heals: the entry was ejected, so a
+	// retry decodes fresh and must match the reference exactly.
+	if reg.MarkCorrupt("mlp", err) {
+		t.Fatal("cache-kind corruption must not quarantine the model")
+	}
+	got, err := e.Predict(rows)
+	if err != nil {
+		t.Fatalf("predict after ejection: %v", err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("post-recovery row %d logit %d: %v, want %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	if e.integFail.Load() == 0 || e.corruptCache.Load() == 0 {
+		t.Fatalf("integrity counters not advanced: fail=%d cache=%d",
+			e.integFail.Load(), e.corruptCache.Load())
+	}
+}
+
+// lenetModelFile writes a compressed lenet-300-100 .dsz (a models.Build
+// name, so LoadFile can rebuild its skeleton) and returns its path.
+func lenetModelFile(t testing.TB, dir string) string {
+	t.Helper()
+	lenet, err := models.Build(models.LeNet300, tensor.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prune.Network(lenet, map[string]float64{"ip1": 0.05, "ip2": 0.1, "ip3": 0.5}, 0.1)
+	plan := &core.Plan{}
+	for _, fc := range lenet.DenseLayers() {
+		plan.Choices = append(plan.Choices, core.Choice{Layer: fc.Name(), EB: 1e-3})
+	}
+	m, err := core.Generate(lenet, plan, core.Config{ExpectedAccuracyLoss: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := dir + "/lenet.dsz"
+	if err := m.WriteModel(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// corruptModelBlob flips bytes in a registered engine's in-memory layer
+// blob: the next cold decode fails its CRC — memory rot with (possibly)
+// clean bytes still on disk.
+func corruptModelBlob(t *testing.T, e *Engine) {
+	t.Helper()
+	if !e.model.Layers[0].Checksummed {
+		t.Fatal("model carries no blob CRCs; corruption would go undetected")
+	}
+	blob := e.model.Layers[0].DataBlob
+	blob[len(blob)/2] ^= 0xFF
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestQuarantineReloadsFromCleanDisk(t *testing.T) {
+	path := lenetModelFile(t, t.TempDir())
+	reg := NewRegistry(0, BatchOptions{})
+	defer reg.Close()
+	e, err := reg.LoadFile("", path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := e.Name()
+	corruptModelBlob(t, e)
+
+	row := make([]float32, 784)
+	tensor.NewRNG(13).FillNormal(row, 0, 1)
+	_, err = e.Predict([][]float32{row})
+	if err == nil || !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("predict over a rotted blob: %v, want core.ErrCorrupt", err)
+	}
+	var ce *core.CorruptError
+	if !errors.As(err, &ce) || ce.Kind != core.CorruptBlob {
+		t.Fatalf("error %v, want a blob-kind CorruptError", err)
+	}
+	if !reg.MarkCorrupt(name, err) {
+		t.Fatal("stream-kind corruption must quarantine the model")
+	}
+	// MarkCorrupt kicked off an async reload; the disk artifact is clean, so
+	// the model must come back on its own.
+	waitFor(t, "quarantine to clear", func() bool {
+		_, quarantined := reg.Quarantined(name)
+		return !quarantined
+	})
+	fresh, ok := reg.Get(name)
+	if !ok {
+		t.Fatal("model vanished from the registry after reload")
+	}
+	if fresh == e {
+		t.Fatal("reload did not swap in a fresh engine")
+	}
+	if _, err := fresh.Predict([][]float32{row}); err != nil {
+		t.Fatalf("predict after reload: %v", err)
+	}
+	quars, reloads, _ := reg.ReloadStats()
+	if quars != 1 || reloads != 1 {
+		t.Fatalf("quarantines=%d reloads=%d, want 1/1", quars, reloads)
+	}
+}
+
+// TestQuarantineRetriesOnlyWhenArtifactChanges locks the reload-retry
+// contract: a known-bad file is not re-read every scrub tick, but a
+// repaired artifact is picked up without a restart.
+func TestQuarantineRetriesOnlyWhenArtifactChanges(t *testing.T) {
+	dir := t.TempDir()
+	path := lenetModelFile(t, dir)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(0, BatchOptions{})
+	defer reg.Close()
+	e, err := reg.LoadFile("", path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := e.Name()
+
+	// Rot both memory and disk: the immediate reload must fail, leaving the
+	// model quarantined with the bad file's identity recorded.
+	corruptModelBlob(t, e)
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-10] ^= 0xFF // inside the last layer's blob; digest now wrong
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.MarkCorrupt(name, &core.CorruptError{Layer: "ip1", Kind: core.CorruptBlob}) {
+		t.Fatal("expected quarantine")
+	}
+	waitFor(t, "first reload attempt to fail", func() bool {
+		_, _, fails := reg.ReloadStats()
+		return fails >= 1
+	})
+
+	// Same bad artifact: the periodic retry must not burn another attempt.
+	reg.retryQuarantined()
+	if q, ok := reg.Quarantined(name); !ok || q.Attempts != 1 {
+		t.Fatalf("retry against an unchanged bad artifact ran: %+v ok=%v", q, ok)
+	}
+
+	// Repair the artifact (with a distinct mtime — coarse filesystem clocks
+	// would otherwise hide the change) and the next tick recovers it.
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, time.Now(), time.Now().Add(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	reg.retryQuarantined()
+	waitFor(t, "repaired artifact to clear quarantine", func() bool {
+		_, quarantined := reg.Quarantined(name)
+		return !quarantined
+	})
+	row := make([]float32, 784)
+	tensor.NewRNG(13).FillNormal(row, 0, 1)
+	fresh, _ := reg.Get(name)
+	if _, err := fresh.Predict([][]float32{row}); err != nil {
+		t.Fatalf("predict after repair: %v", err)
+	}
+	if _, reloads, fails := func() (uint64, uint64, uint64) { return reg.ReloadStats() }(); reloads != 1 || fails != 1 {
+		t.Fatalf("reloads=%d fails=%d, want 1/1", reloads, fails)
+	}
+}
+
+// TestServerQuarantineSurface drives the HTTP contract: a corrupt decode
+// turns into 503 + Retry-After + the quarantine routing header, the model
+// stays 503 while quarantined, and /healthz and /v1/stats report it.
+func TestServerQuarantineSurface(t *testing.T) {
+	net, m := servedModel(t, 31)
+	reg := NewRegistry(0, BatchOptions{})
+	e, err := reg.Add("mlp", m, net, []int{1, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(reg))
+	t.Cleanup(func() { ts.Close(); reg.Close() })
+
+	corruptModelBlob(t, e)
+	body, _ := json.Marshal(predictRequest{Inputs: testRows(1, 32)})
+	resp, err := http.Post(ts.URL+"/v1/models/mlp/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("corrupt decode returned %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get(httputil.QuarantineHeader) != "mlp" {
+		t.Fatalf("quarantine header %q, want mlp", resp.Header.Get(httputil.QuarantineHeader))
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+
+	// Registered via Add — no source file — so the quarantine sticks and
+	// every later predict gets the cheap pre-check 503.
+	resp2, err := http.Post(ts.URL+"/v1/models/mlp/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable || resp2.Header.Get(httputil.QuarantineHeader) != "mlp" {
+		t.Fatalf("quarantined model predict: status %d header %q", resp2.StatusCode, resp2.Header.Get(httputil.QuarantineHeader))
+	}
+
+	var health struct {
+		Status      string   `json:"status"`
+		Quarantined []string `json:"quarantined_models"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if len(health.Quarantined) != 1 || health.Quarantined[0] != "mlp" {
+		t.Fatalf("healthz quarantined_models %v, want [mlp]", health.Quarantined)
+	}
+
+	var stats statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	q, ok := stats.Quarantined["mlp"]
+	if !ok || q.Reason == "" {
+		t.Fatalf("stats quarantined %+v, want mlp with a reason", stats.Quarantined)
+	}
+}
+
+// TestIntegrityMetricsExposition locks the integrity metric families under
+// the strict exposition parser: present when healthy, advancing on induced
+// corruption, and monotonic between scrapes.
+func TestIntegrityMetricsExposition(t *testing.T) {
+	net, m := servedModel(t, 41)
+	reg := NewRegistry(0, BatchOptions{})
+	if err := reg.SetVerifyDecoded(true); err != nil {
+		t.Fatal(err)
+	}
+	e, err := reg.Add("mlp", m, net, []int{1, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(reg))
+	t.Cleanup(func() { ts.Close(); reg.Close() })
+
+	rows := testRows(2, 42)
+	if _, err := e.Predict(rows); err != nil {
+		t.Fatal(err)
+	}
+	first := scrape(t, ts.URL+"/metrics")
+
+	get := func(sc *telemetry.Scrape, family, label, value string) (float64, bool) {
+		f := sc.Family(family)
+		if f == nil {
+			return 0, false
+		}
+		for _, s := range f.Samples {
+			if label == "" {
+				return s.Value, true
+			}
+			for _, l := range s.Labels {
+				if l.Name == label && l.Value == value {
+					return s.Value, true
+				}
+			}
+		}
+		return 0, false
+	}
+
+	okN, found := get(first, "deepsz_integrity_checks_total", "result", "ok")
+	if !found || okN < 4 {
+		// Two layers: one decode-time verification + one release-time
+		// re-check each.
+		t.Fatalf("integrity ok checks %v (found=%v), want >= 4", okN, found)
+	}
+	if failN, _ := get(first, "deepsz_integrity_checks_total", "result", "fail"); failN != 0 {
+		t.Fatalf("healthy serve reports %v failed checks", failN)
+	}
+	for _, where := range []string{"blob", "decoded", "cache"} {
+		if v, found := get(first, "deepsz_integrity_corrupt_total", "where", where); !found || v != 0 {
+			t.Fatalf("corrupt_total{where=%q} = %v (found=%v), want present and 0", where, v, found)
+		}
+	}
+	for _, fam := range []string{
+		"deepsz_integrity_scrubs_total", "deepsz_integrity_scrub_seconds_total",
+		"deepsz_quarantines_total", "deepsz_quarantine_reloads_total",
+		"deepsz_quarantined_models",
+	} {
+		if first.Family(fam) == nil {
+			t.Fatalf("family %q missing from exposition", fam)
+		}
+	}
+
+	// Induce cache rot: the failed predict and the scrub both land in the
+	// counters, and every counter stays monotonic.
+	corruptOneResident(t, reg.Cache())
+	if _, err := e.Predict(rows); err == nil {
+		t.Fatal("predict over rotted cache succeeded")
+	}
+	reg.Cache().Scrub()
+	second := scrape(t, ts.URL+"/metrics")
+	if failN, _ := get(second, "deepsz_integrity_checks_total", "result", "fail"); failN < 1 {
+		t.Fatalf("failed checks %v after induced corruption, want >= 1", failN)
+	}
+	if v, _ := get(second, "deepsz_integrity_corrupt_total", "where", "cache"); v < 1 {
+		t.Fatalf("corrupt_total{where=cache} = %v after induced corruption, want >= 1", v)
+	}
+	if scrubs, _ := get(second, "deepsz_integrity_scrubs_total", "", ""); scrubs < 1 {
+		t.Fatalf("scrubs_total %v, want >= 1", scrubs)
+	}
+	if err := telemetry.CheckMonotonic(first, second); err != nil {
+		t.Fatalf("counters moved backwards: %v", err)
+	}
+}

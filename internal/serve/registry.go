@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/models"
@@ -37,6 +40,54 @@ type Registry struct {
 
 	tel    *telemetry.Registry
 	stages [telemetry.NumStages]*telemetry.Histogram
+
+	// verifyDecoded: engines added afterwards re-verify every cached layer
+	// a kernel consumed before unpinning it, and the shared cache tracks
+	// fill-time checksums for scrubbing (SetVerifyDecoded).
+	verifyDecoded bool
+
+	// sources remembers where each file-loaded model came from, so a
+	// quarantined model can be reloaded from disk without a restart.
+	sources map[string]*modelSource
+
+	// quar holds the models currently refusing traffic after a corruption
+	// detection, keyed by model name. A model leaves the map only through
+	// a successful reload.
+	quar map[string]*quarState
+
+	quarantines atomic.Uint64 // total quarantine entries (monotonic)
+	reloads     atomic.Uint64 // successful quarantine-triggered reloads
+	reloadFails atomic.Uint64 // failed reload attempts
+
+	scrubStop chan struct{} // non-nil once the scrub loop is running
+}
+
+// modelSource records the on-disk identity of a loaded model.
+type modelSource struct {
+	path    string
+	weights string
+}
+
+// quarState tracks one quarantined model.
+type quarState struct {
+	reason    string
+	since     time.Time
+	attempts  uint64
+	reloading bool // a TryRecover is in flight
+	// Identity of the source file at the last failed reload: the periodic
+	// retry only re-attempts once the artifact on disk changes, so a bad
+	// file is not re-read every tick but a repaired one is picked up
+	// without a restart.
+	tried     bool
+	lastMtime time.Time
+	lastSize  int64
+}
+
+// QuarantineInfo is the externally visible quarantine state of one model.
+type QuarantineInfo struct {
+	Reason   string    `json:"reason"`
+	Since    time.Time `json:"since"`
+	Attempts uint64    `json:"reload_attempts"`
 }
 
 // NewRegistry creates a registry whose decode cache holds at most budget
@@ -50,6 +101,8 @@ func NewRegistry(budget int64, opt BatchOptions) *Registry {
 		threshold: DefaultSparseThreshold,
 		tuner:     newAutotuner(nil),
 		tel:       telemetry.NewRegistry(),
+		sources:   map[string]*modelSource{},
+		quar:      map[string]*quarState{},
 	}
 	r.registerMetrics()
 	return r
@@ -167,6 +220,74 @@ func (r *Registry) registerMetrics() {
 			defer r.mu.RUnlock()
 			return []telemetry.Sample{{Value: float64(r.tuner.spentNs) / 1e9}}
 		})
+	r.tel.CounterFunc("deepsz_integrity_checks_total",
+		"Integrity verifications, by result: decode-time CRC/checksum checks, release-time re-verification, and scrub sweep checks.",
+		func() []telemetry.Sample {
+			cs := r.cache.Stats()
+			var ok, fail float64
+			ok += float64(cs.ScrubChecks - cs.ScrubEjections)
+			fail += float64(cs.ScrubEjections)
+			r.mu.RLock()
+			for _, e := range r.engines {
+				ok += float64(e.integOK.Load())
+				fail += float64(e.integFail.Load())
+			}
+			r.mu.RUnlock()
+			return []telemetry.Sample{
+				{Labels: []telemetry.Label{{Name: "result", Value: "ok"}}, Value: ok},
+				{Labels: []telemetry.Label{{Name: "result", Value: "fail"}}, Value: fail},
+			}
+		})
+	r.tel.CounterFunc("deepsz_integrity_corrupt_total",
+		"Corruption detections, by surface: blob (compressed bytes failed CRC before decompression), decoded (reconstructed weights mismatched the stream checksum), cache (resident entry rotted after a verified fill).",
+		func() []telemetry.Sample {
+			var blob, decoded float64
+			r.mu.RLock()
+			for _, e := range r.engines {
+				blob += float64(e.corruptBlob.Load())
+				decoded += float64(e.corruptDecoded.Load())
+			}
+			r.mu.RUnlock()
+			// Cache-surface detections are counted by the cache itself
+			// (scrub sweeps + release-time checks), so each ejection is
+			// counted once no matter who noticed it.
+			cache := float64(r.cache.Stats().CorruptEjections)
+			return []telemetry.Sample{
+				{Labels: []telemetry.Label{{Name: "where", Value: "blob"}}, Value: blob},
+				{Labels: []telemetry.Label{{Name: "where", Value: "decoded"}}, Value: decoded},
+				{Labels: []telemetry.Label{{Name: "where", Value: "cache"}}, Value: cache},
+			}
+		})
+	r.tel.CounterFunc("deepsz_integrity_scrubs_total",
+		"Completed background scrub sweeps over the decode cache.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: float64(r.cache.Stats().Scrubs)}}
+		})
+	r.tel.CounterFunc("deepsz_integrity_scrub_seconds_total",
+		"Cumulative wall time spent scrubbing resident cache entries.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: r.cache.Stats().ScrubTime.Seconds()}}
+		})
+	r.tel.CounterFunc("deepsz_quarantines_total",
+		"Models quarantined after a corruption detection (cumulative).",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: float64(r.quarantines.Load())}}
+		})
+	r.tel.CounterFunc("deepsz_quarantine_reloads_total",
+		"Quarantine-triggered reload attempts, by result.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{
+				{Labels: []telemetry.Label{{Name: "result", Value: "ok"}}, Value: float64(r.reloads.Load())},
+				{Labels: []telemetry.Label{{Name: "result", Value: "fail"}}, Value: float64(r.reloadFails.Load())},
+			}
+		})
+	r.tel.GaugeFunc("deepsz_quarantined_models",
+		"Models currently quarantined and refusing traffic.",
+		func() []telemetry.Sample {
+			r.mu.RLock()
+			defer r.mu.RUnlock()
+			return []telemetry.Sample{{Value: float64(len(r.quar))}}
+		})
 }
 
 // engineSamples builds a scrape-time sampler that reads one value per
@@ -245,14 +366,234 @@ func (r *Registry) SetEvictionPolicy(p EvictionPolicy) error {
 	return r.cache.SetPolicy(p)
 }
 
+// SetVerifyDecoded turns decoded-weights verification on for engines added
+// afterwards: the shared cache checksums entries at fill time, and every
+// cached layer a kernel consumed is re-verified before its eviction pin
+// drops — a bit flip in resident weights fails the request (and ejects the
+// entry) instead of skewing its logits. Call before Add/LoadFile; the
+// cache must still be empty.
+func (r *Registry) SetVerifyDecoded(on bool) error {
+	if err := r.cache.SetIntegrityTracking(on); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.verifyDecoded = on
+	return nil
+}
+
+// SetScrubInterval starts (or stops, d <= 0) the background integrity
+// loop: every d the shared cache is scrubbed — each resident entry
+// re-checksummed against its fill-time value, mismatches ejected — and
+// quarantined models whose source artifact changed on disk are retried.
+// Requires integrity tracking (SetVerifyDecoded) for the scrub to check
+// anything; the quarantine retry works regardless. Call at configuration
+// time; the loop stops on Close.
+func (r *Registry) SetScrubInterval(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.scrubStop != nil {
+		close(r.scrubStop)
+		r.scrubStop = nil
+	}
+	if d <= 0 {
+		return
+	}
+	stop := make(chan struct{})
+	r.scrubStop = stop
+	go func() {
+		t := time.NewTicker(d)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				r.cache.Scrub()
+				r.retryQuarantined()
+			}
+		}
+	}()
+}
+
+// MarkCorrupt reports a corruption detection for model name and returns
+// whether the model is now quarantined. Cache-surface corruption
+// (core.CorruptCache) self-heals — the entry is already ejected, a retry
+// decodes fresh from verified blobs — so it never quarantines. Stream
+// corruption (blob, decoded, header) means the in-memory model (and
+// possibly the artifact on disk) is damaged: the model stops serving with
+// 503s, and an asynchronous reload from its source file is attempted
+// immediately (memory may have rotted while the disk stayed clean).
+// Non-corruption errors are ignored.
+func (r *Registry) MarkCorrupt(name string, err error) bool {
+	if !errors.Is(err, core.ErrCorrupt) {
+		return false
+	}
+	var ce *core.CorruptError
+	if errors.As(err, &ce) && ce.Kind == core.CorruptCache {
+		return false
+	}
+	r.mu.Lock()
+	if _, ok := r.engines[name]; !ok {
+		r.mu.Unlock()
+		return false
+	}
+	if _, already := r.quar[name]; already {
+		r.mu.Unlock()
+		return true
+	}
+	r.quar[name] = &quarState{reason: err.Error(), since: time.Now()}
+	r.quarantines.Add(1)
+	r.mu.Unlock()
+	go r.TryRecover(name)
+	return true
+}
+
+// Quarantined returns the quarantine state of model name.
+func (r *Registry) Quarantined(name string) (QuarantineInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	q, ok := r.quar[name]
+	if !ok {
+		return QuarantineInfo{}, false
+	}
+	return QuarantineInfo{Reason: q.reason, Since: q.since, Attempts: q.attempts}, true
+}
+
+// QuarantinedModels returns every quarantined model's state, keyed by
+// name (empty map when healthy).
+func (r *Registry) QuarantinedModels() map[string]QuarantineInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]QuarantineInfo, len(r.quar))
+	for name, q := range r.quar {
+		out[name] = QuarantineInfo{Reason: q.reason, Since: q.since, Attempts: q.attempts}
+	}
+	return out
+}
+
+// ReloadStats reports quarantine-reload outcomes: total quarantines,
+// successful reloads, failed attempts.
+func (r *Registry) ReloadStats() (quarantines, reloads, fails uint64) {
+	return r.quarantines.Load(), r.reloads.Load(), r.reloadFails.Load()
+}
+
+// TryRecover attempts to clear a quarantine by reloading the model from
+// its source file. On success the fresh engine replaces the quarantined
+// one atomically and the model serves again; on failure the source file's
+// identity (mtime, size) is recorded so the periodic retry waits for the
+// artifact to change instead of hammering a known-bad file. Models
+// registered via Add (no file source) cannot self-recover and stay
+// quarantined until re-registered.
+func (r *Registry) TryRecover(name string) error {
+	r.mu.Lock()
+	q, ok := r.quar[name]
+	if !ok {
+		r.mu.Unlock()
+		return nil
+	}
+	if q.reloading {
+		r.mu.Unlock()
+		return fmt.Errorf("serve: %s: reload already in flight", name)
+	}
+	q.reloading = true
+	q.attempts++
+	src := r.sources[name]
+	r.mu.Unlock()
+
+	if src == nil {
+		r.mu.Lock()
+		q.reloading = false
+		r.mu.Unlock()
+		r.reloadFails.Add(1)
+		return fmt.Errorf("serve: %s: no source file to reload from", name)
+	}
+
+	e, err := r.buildFromFile(name, src.path, src.weights)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q.reloading = false
+	if err != nil {
+		r.reloadFails.Add(1)
+		q.tried = true
+		q.lastMtime, q.lastSize = statIdentity(src.path)
+		return fmt.Errorf("serve: reloading %s from %s: %w", name, src.path, err)
+	}
+	old := r.engines[name]
+	r.engines[name] = e
+	delete(r.quar, name)
+	r.reloads.Add(1)
+	if old != nil {
+		go old.Close()
+	}
+	return nil
+}
+
+// retryQuarantined re-attempts recovery for quarantined models whose
+// source artifact changed since the last failed attempt (or was never
+// tried). Called from the scrub loop.
+func (r *Registry) retryQuarantined() {
+	r.mu.RLock()
+	var due []string
+	for name, q := range r.quar {
+		if q.reloading {
+			continue
+		}
+		src := r.sources[name]
+		if src == nil {
+			continue
+		}
+		if q.tried {
+			mtime, size := statIdentity(src.path)
+			if mtime.Equal(q.lastMtime) && size == q.lastSize {
+				continue // same bad artifact; wait for a repair
+			}
+		}
+		due = append(due, name)
+	}
+	r.mu.RUnlock()
+	for _, name := range due {
+		r.TryRecover(name) //nolint:errcheck // failure recorded in counters/state
+	}
+}
+
+// statIdentity returns the file's mtime and size (zero values when the
+// file is unreadable — which also reads as "changed" once it reappears).
+func statIdentity(path string) (time.Time, int64) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return time.Time{}, 0
+	}
+	return fi.ModTime(), fi.Size()
+}
+
 // Cache returns the shared decode cache (for stats reporting).
 func (r *Registry) Cache() *DecodeCache { return r.cache }
 
 // Add registers a model under name. skeleton provides the topology and
 // conv-prefix weights; inputShape is the per-example input shape.
 func (r *Registry) Add(name string, m *core.Model, skeleton *nn.Network, inputShape []int) (*Engine, error) {
+	e, err := r.newConfiguredEngine(name, m, skeleton, inputShape)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.engines[name]; dup {
+		e.Close()
+		return nil, fmt.Errorf("serve: model %q already registered", name)
+	}
+	r.engines[name] = e
+	return e, nil
+}
+
+// newConfiguredEngine builds an engine with the registry's current
+// settings (threshold, autotune, prefetch, verification, telemetry)
+// without registering it — shared by Add and the quarantine reload path.
+func (r *Registry) newConfiguredEngine(name string, m *core.Model, skeleton *nn.Network, inputShape []int) (*Engine, error) {
 	r.mu.RLock()
-	threshold, depth, autotune := r.threshold, r.prefetchDepth, r.autotune
+	threshold, depth, autotune, verify := r.threshold, r.prefetchDepth, r.autotune, r.verifyDecoded
 	r.mu.RUnlock()
 	e, err := NewEngine(name, m, skeleton, inputShape, r.cache, r.opt, threshold)
 	if err != nil {
@@ -261,15 +602,9 @@ func (r *Registry) Add(name string, m *core.Model, skeleton *nn.Network, inputSh
 	if autotune {
 		e.setLayerThresholds(r.tuneModel(m, threshold))
 	}
+	e.SetVerifyRelease(verify)
 	e.attachTelemetry(r.tel, r.stages)
 	e.StartPrefetch(depth)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, dup := r.engines[name]; dup {
-		e.Close()
-		return nil, fmt.Errorf("serve: model %q already registered", name)
-	}
-	r.engines[name] = e
 	return e, nil
 }
 
@@ -306,7 +641,35 @@ func (r *Registry) tuneModel(m *core.Model, uniform float64) []float64 {
 // conv-prefix weights (`deepsz prune` output). Networks with parameters
 // outside their fc layers refuse to load without one — their conv prefix
 // would otherwise be random init and every prediction garbage.
+//
+// The file's path is remembered: if the model is later quarantined for
+// corruption, the registry reloads it from the same source.
 func (r *Registry) LoadFile(name, path, weightsPath string) (*Engine, error) {
+	if name == "" {
+		m, err := core.ReadModel(path)
+		if err != nil {
+			return nil, err
+		}
+		name = m.NetName
+	}
+	e, err := r.buildFromFile(name, path, weightsPath)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.engines[name]; dup {
+		e.Close()
+		return nil, fmt.Errorf("serve: model %q already registered", name)
+	}
+	r.engines[name] = e
+	r.sources[name] = &modelSource{path: path, weights: weightsPath}
+	return e, nil
+}
+
+// buildFromFile reads, validates, and configures an engine from a .dsz
+// file without registering it.
+func (r *Registry) buildFromFile(name, path, weightsPath string) (*Engine, error) {
 	m, err := core.ReadModel(path)
 	if err != nil {
 		return nil, err
@@ -336,10 +699,7 @@ func (r *Registry) LoadFile(name, path, weightsPath string) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	if name == "" {
-		name = m.NetName
-	}
-	return r.Add(name, m, skeleton, shape)
+	return r.newConfiguredEngine(name, m, skeleton, shape)
 }
 
 // hasUncoveredParams reports whether any layer carries trainable parameters
@@ -378,10 +738,14 @@ func (r *Registry) Names() []string {
 	return names
 }
 
-// Close shuts down every engine's micro-batcher.
+// Close shuts down every engine's micro-batcher and the scrub loop.
 func (r *Registry) Close() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.scrubStop != nil {
+		close(r.scrubStop)
+		r.scrubStop = nil
+	}
 	for _, e := range r.engines {
 		e.Close()
 	}

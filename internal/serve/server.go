@@ -6,10 +6,12 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/core"
 	"repro/internal/httputil"
 	"repro/internal/telemetry"
 )
@@ -107,14 +109,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// in_flight rides along so a probing load balancer gets a cheap load
 	// signal without the full /v1/stats fan-out; build identifies what is
 	// serving before any number it reports is trusted.
-	httputil.WriteJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"models":         len(s.reg.Names()),
 		"in_flight":      s.inFlight.Load(),
 		"build":          telemetry.BuildInfo(),
 		"gomaxprocs":     runtime.GOMAXPROCS(0),
-	})
+	}
+	if quar := s.reg.QuarantinedModels(); len(quar) > 0 {
+		// Still "ok" overall — other models serve — but the probing tier
+		// sees exactly which models this replica cannot serve.
+		names := make([]string, 0, len(quar))
+		for n := range quar {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		resp["quarantined_models"] = names
+	}
+	httputil.WriteJSON(w, http.StatusOK, resp)
 }
 
 // layerInfo describes one compressed layer in a /v1/models response.
@@ -199,6 +212,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httputil.WriteError(w, http.StatusNotFound, "unknown model %q", name)
 		return
 	}
+	if q, quarantined := s.reg.Quarantined(name); quarantined {
+		// The model is known-corrupt on this replica: refuse cheaply, name
+		// the quarantine so the gateway routes around us instead of
+		// hedging back, and hint when to re-probe (the reload loop retries
+		// once the artifact changes).
+		w.Header().Set(httputil.QuarantineHeader, name)
+		w.Header().Set("Retry-After", "5")
+		httputil.WriteError(w, http.StatusServiceUnavailable,
+			"model %q quarantined: %s", name, q.Reason)
+		return
+	}
 	var req predictRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
 		status := http.StatusBadRequest
@@ -232,6 +256,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", "1")
 		case errors.Is(err, ErrClosed):
 			status = http.StatusServiceUnavailable
+		case errors.Is(err, core.ErrCorrupt):
+			// Corruption is a replica-health event, not a request error:
+			// quarantine the model (one 503 stream, not a fresh 500 per
+			// request) and tell the gateway to fail over. Cache-surface
+			// corruption self-heals (entry already ejected), so MarkCorrupt
+			// declines to quarantine and the client's retry re-decodes.
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+			if s.reg.MarkCorrupt(name, err) {
+				w.Header().Set(httputil.QuarantineHeader, name)
+				w.Header().Set("Retry-After", "5")
+			}
 		}
 		httputil.WriteError(w, status, "%v", err)
 		return
@@ -289,6 +325,9 @@ type statsResponse struct {
 	// model's stats.
 	InFlight int64                  `json:"in_flight"`
 	Models   map[string]EngineStats `json:"models"`
+	// Quarantined lists models currently refused with 503 because a
+	// corrupt artifact was detected; absent when every model is healthy.
+	Quarantined map[string]QuarantineInfo `json:"quarantined,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -302,6 +341,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.HitRate = resp.Cache.HitRate()
 	resp.EffectiveHitRate = resp.Cache.EffectiveHitRate()
+	if quar := s.reg.QuarantinedModels(); len(quar) > 0 {
+		resp.Quarantined = quar
+	}
 	for _, name := range s.reg.Names() {
 		if e, ok := s.reg.Get(name); ok {
 			resp.Models[name] = e.Stats()
