@@ -80,6 +80,10 @@ func run() error {
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	slowReq := fs.Duration("slow-request", 0, "log predicts at or above this end-to-end latency with their trace ID and stage breakdown (0 = off)")
+	traceSample := fs.Float64("trace-sample", 0, "fraction of predicts that record full span timelines served by /v1/traces (0 = the 1% default; negative = off; slow/errored requests are kept regardless)")
+	traceStore := fs.Int("trace-store", 0, "kept traces retained in memory, newest evicting oldest (0 = the 256 default)")
+	sloTargetMs := fs.Float64("slo-target-ms", 0, "per-model SLO latency target in milliseconds; /v1/stats and /metrics report rolling attainment and burn rate (0 = SLOs off)")
+	sloObjective := fs.Float64("slo-objective", 0.99, "fraction of predicts that must finish within -slo-target-ms")
 	var specs []modelSpec
 	fs.Func("model", "compressed model `[name=]path[:weights]` (repeatable)", func(v string) error {
 		s, err := parseModelSpec(v)
@@ -128,6 +132,10 @@ func run() error {
 		return err
 	}
 	reg.SetScrubInterval(*scrubInterval)
+	if *sloTargetMs > 0 {
+		reg.SetSLO(time.Duration(*sloTargetMs*float64(time.Millisecond)), *sloObjective)
+		logger.Info("slo tracking enabled", "target_ms", *sloTargetMs, "objective", *sloObjective)
+	}
 	if *scrubInterval > 0 {
 		logger.Info("integrity scrub enabled", "interval", *scrubInterval, "verify_decoded", *verifyDecoded)
 	}
@@ -166,6 +174,8 @@ func run() error {
 		MaxBodyBytes:         maxBody,
 		SlowRequestThreshold: *slowReq,
 		Logger:               logger,
+		TraceSampleRate:      *traceSample,
+		TraceStoreSize:       *traceStore,
 	}))
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

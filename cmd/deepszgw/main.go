@@ -54,6 +54,11 @@ func run() error {
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
+	slowReq := fs.Duration("slow-request", 0, "log predicts at or above this end-to-end latency with the assembled cross-tier evidence: trace ID, every attempt's outcome, and the winner's stage breakdown (0 = off)")
+	traceSample := fs.Float64("trace-sample", 0, "fraction of client requests that record full span timelines served by /v1/traces (0 = the 1% default; negative = off; slow/errored requests are kept regardless)")
+	traceStore := fs.Int("trace-store", 0, "kept traces retained in memory, newest evicting oldest (0 = the 256 default)")
+	sloTargetMs := fs.Float64("slo-target-ms", 0, "per-model SLO latency target in milliseconds, measured at the fleet edge; /v1/stats and /metrics report rolling attainment and burn rate (0 = SLOs off)")
+	sloObjective := fs.Float64("slo-objective", 0.99, "fraction of client requests that must finish within -slo-target-ms")
 	fs.Parse(os.Args[1:])
 
 	logger, err := cliutil.SetupSlog(*logLevel, *logFormat)
@@ -90,14 +95,19 @@ func run() error {
 	}
 
 	g, err := gateway.New(backends, gateway.Options{
-		ProbeInterval: *probeInterval,
-		EjectAfter:    *ejectAfter,
-		ReadmitAfter:  *readmitAfter,
-		HedgeAfter:    *hedgeAfter,
-		MaxPending:    *maxPending,
-		MaxBodyBytes:  maxBody,
-		AffinityWidth: *affinity,
-		Logger:        logger,
+		ProbeInterval:   *probeInterval,
+		EjectAfter:      *ejectAfter,
+		ReadmitAfter:    *readmitAfter,
+		HedgeAfter:      *hedgeAfter,
+		MaxPending:      *maxPending,
+		MaxBodyBytes:    maxBody,
+		AffinityWidth:   *affinity,
+		Logger:          logger,
+		SlowRequest:     *slowReq,
+		TraceSampleRate: *traceSample,
+		TraceStoreSize:  *traceStore,
+		SLOTarget:       time.Duration(*sloTargetMs * float64(time.Millisecond)),
+		SLOObjective:    *sloObjective,
 	})
 	if err != nil {
 		return err

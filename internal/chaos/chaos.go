@@ -57,10 +57,22 @@ type Scenario struct {
 	ReloadFails uint64  `json:"reloads_failed"`
 	Ejections   uint64  `json:"cache_corrupt_ejections"`
 	Seconds     float64 `json:"seconds"`
+	// WrongTraces and FailedTraces hold the trace IDs of the requests
+	// behind the Wrong and Failed tallies (capped at maxTraceRefs each):
+	// a wrong answer in the report names the exact request to pull from
+	// /v1/traces/{id} instead of leaving a bare count to reproduce.
+	WrongTraces  []string `json:"wrong_traces,omitempty"`
+	FailedTraces []string `json:"failed_traces,omitempty"`
 }
 
-// Count records one request outcome. Safe for concurrent use.
-func (s *Scenario) Count(o Outcome) {
+// maxTraceRefs caps the trace IDs kept per outcome class — enough to
+// chase every realistic failure, bounded if a scenario melts down.
+const maxTraceRefs = 32
+
+// Count records one request outcome and, for the outcomes an operator
+// would investigate, the trace ID that names it. Safe for concurrent
+// use.
+func (s *Scenario) Count(o Outcome, trace string) {
 	countMu.Lock()
 	defer countMu.Unlock()
 	s.Requests++
@@ -69,10 +81,16 @@ func (s *Scenario) Count(o Outcome) {
 		s.OKAnswers++
 	case Wrong:
 		s.Wrong++
+		if trace != "" && len(s.WrongTraces) < maxTraceRefs {
+			s.WrongTraces = append(s.WrongTraces, trace)
+		}
 	case Unavailable:
 		s.Unavailable++
 	default:
 		s.Failed++
+		if trace != "" && len(s.FailedTraces) < maxTraceRefs {
+			s.FailedTraces = append(s.FailedTraces, trace)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/prune"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -99,11 +100,21 @@ func chaosRows(n int) [][]float32 {
 }
 
 // predictOutcome posts one predict and classifies the answer against
-// want.
-func predictOutcome(url, model string, body []byte, want [][]float32) Outcome {
-	resp, err := http.Post(url+"/v1/models/"+model+"/predict", "application/json", bytes.NewReader(body))
+// want. Every request carries a minted trace ID, so a wrong or failed
+// outcome in the chaos report names the exact request to look up in the
+// server's /v1/traces/{id} — the returned ID is what Scenario.Count
+// records.
+func predictOutcome(url, model string, body []byte, want [][]float32) (Outcome, string) {
+	traceID := telemetry.MintID()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/models/"+model+"/predict", bytes.NewReader(body))
 	if err != nil {
-		return Failed
+		return Failed, traceID
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(telemetry.TraceHeader, traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return Failed, traceID
 	}
 	defer resp.Body.Close()
 	var pr struct {
@@ -113,23 +124,23 @@ func predictOutcome(url, model string, body []byte, want [][]float32) Outcome {
 	switch resp.StatusCode {
 	case http.StatusOK:
 		if dec.Decode(&pr) != nil || len(pr.Outputs) != len(want) {
-			return Wrong
+			return Wrong, traceID
 		}
 		for i := range want {
 			if len(pr.Outputs[i]) != len(want[i]) {
-				return Wrong
+				return Wrong, traceID
 			}
 			for j := range want[i] {
 				if pr.Outputs[i][j] != want[i][j] {
-					return Wrong
+					return Wrong, traceID
 				}
 			}
 		}
-		return OK
+		return OK, traceID
 	case http.StatusServiceUnavailable:
-		return Unavailable
+		return Unavailable, traceID
 	default:
-		return Failed
+		return Failed, traceID
 	}
 }
 
@@ -155,7 +166,8 @@ func finish(t *testing.T, s *Scenario, reg *serve.Registry, t0 time.Time) {
 	s.Seconds = time.Since(t0).Seconds()
 	report.Add(s)
 	if s.Wrong != 0 {
-		t.Fatalf("%s: %d WRONG ANSWERS escaped to clients (of %d requests)", s.Name, s.Wrong, s.Requests)
+		t.Fatalf("%s: %d WRONG ANSWERS escaped to clients (of %d requests); traces: %v",
+			s.Name, s.Wrong, s.Requests, s.WrongTraces)
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -98,9 +99,34 @@ type Options struct {
 	// own shorter ProbeTimeout context regardless).
 	Client *http.Client
 	// Logger receives the gateway's structured logs (ejections,
-	// re-admissions). nil means slog.Default().
+	// re-admissions, slow requests). nil means slog.Default().
 	Logger *slog.Logger
+	// SlowRequest is the end-to-end latency at or above which a predict is
+	// logged with its assembled cross-tier evidence: trace ID, winning
+	// backend, every attempt's outcome, and the winner's stage breakdown
+	// (relayed by the replica in a response header, no extra round trip).
+	// 0 disables the slow-request log.
+	SlowRequest time.Duration
+	// TraceSampleRate is the fraction of client requests that record full
+	// span timelines. The decision hashes the trace ID, so the replicas
+	// sample the same requests with no coordination. 0 means
+	// DefaultTraceSampleRate (1%); negative disables probabilistic
+	// sampling (slow/errored requests are still kept).
+	TraceSampleRate float64
+	// TraceStoreSize bounds the gateway's kept-trace ring
+	// (0 = telemetry.DefaultTraceStoreSize).
+	TraceStoreSize int
+	// SLOTarget and SLOObjective configure per-model SLO tracking at the
+	// fleet edge: a client request is good when it succeeded within
+	// SLOTarget; SLOObjective is the fraction that must (e.g. 0.99). SLOs
+	// are off unless both are set.
+	SLOTarget    time.Duration
+	SLOObjective float64
 }
+
+// DefaultTraceSampleRate mirrors serve.DefaultTraceSampleRate: 1% of
+// requests record full span timelines.
+const DefaultTraceSampleRate = 0.01
 
 func (o *Options) fill() {
 	if o.ProbeInterval <= 0 {
@@ -142,6 +168,12 @@ func (o *Options) fill() {
 	if o.Logger == nil {
 		o.Logger = slog.Default()
 	}
+	switch {
+	case o.TraceSampleRate == 0:
+		o.TraceSampleRate = DefaultTraceSampleRate
+	case o.TraceSampleRate < 0:
+		o.TraceSampleRate = 0
+	}
 }
 
 // replica is one backend and everything the gateway knows about it.
@@ -158,6 +190,7 @@ type replica struct {
 	errors    atomic.Uint64 // attempts that failed (transport error or 5xx)
 	hedged    atomic.Uint64 // attempts issued as hedges
 	wins      atomic.Uint64 // attempts whose answer reached a client
+	canceled  atomic.Uint64 // attempts cancelled because another attempt won
 	ejections atomic.Uint64
 
 	latNs atomic.Int64 // total latency of counted attempts…
@@ -186,6 +219,16 @@ type Gateway struct {
 	hedges    atomic.Uint64
 	failovers atomic.Uint64
 
+	// hedgeWastedNs accumulates the wall time of attempts whose answer was
+	// thrown away (cancelled losers, failed attempts that a sibling
+	// absorbed) — the price paid for the tail latency hedging buys.
+	hedgeWastedNs atomic.Int64
+
+	// store keeps sampled and tail-captured traces; slo scores client
+	// requests against the operator's latency target (nil when off).
+	store *telemetry.TraceStore
+	slo   *telemetry.SLOTracker
+
 	// quarantined maps model name → replicas that answered it with a
 	// quarantine 503, each with the expiry of its avoidance window.
 	// Entries are pruned lazily on ranking and scraping.
@@ -208,7 +251,9 @@ func New(backends []string, opt Options) (*Gateway, error) {
 	}
 	opt.fill()
 	g := &Gateway{opt: opt, start: time.Now(), stop: make(chan struct{}), tel: telemetry.NewRegistry(),
-		quarantined: map[string]map[*replica]time.Time{}}
+		quarantined: map[string]map[*replica]time.Time{},
+		store:       telemetry.NewTraceStore(opt.TraceStoreSize),
+		slo:         telemetry.NewSLOTracker(opt.SLOTarget, opt.SLOObjective)}
 	seen := map[string]bool{}
 	for i, b := range backends {
 		u, err := url.Parse(strings.TrimSpace(b))
@@ -265,6 +310,14 @@ func (g *Gateway) registerMetrics() {
 		func() []telemetry.Sample {
 			return []telemetry.Sample{{Value: float64(g.failovers.Load())}}
 		})
+	g.tel.CounterFunc("deepszgw_hedge_wasted_seconds_total",
+		"Wall time of attempts whose answer was thrown away (cancelled hedge losers and absorbed failures) — the spend side of the hedging tradeoff.",
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: float64(g.hedgeWastedNs.Load()) / 1e9}}
+		})
+	if g.slo != nil {
+		telemetry.RegisterSLOMetrics(g.tel, "deepszgw", g.slo)
+	}
 	g.tel.CounterFunc("deepszgw_model_quarantines_total",
 		"Quarantine 503 signals accepted from backends: each counts one new (model, backend) pair routed around.",
 		func() []telemetry.Sample {
@@ -314,6 +367,9 @@ func (g *Gateway) registerMetrics() {
 	g.tel.CounterFunc("deepszgw_backend_wins_total",
 		"Predict attempts whose answer reached a client, by backend.",
 		perReplica(func(r *replica) float64 { return float64(r.wins.Load()) }))
+	g.tel.CounterFunc("deepszgw_backend_canceled_total",
+		"Predict attempts cancelled because a sibling attempt won, by backend.",
+		perReplica(func(r *replica) float64 { return float64(r.canceled.Load()) }))
 	g.tel.CounterFunc("deepszgw_backend_ejections_total",
 		"Times a backend was ejected from routing, by backend.",
 		perReplica(func(r *replica) float64 { return float64(r.ejections.Load()) }))
@@ -551,6 +607,133 @@ type attempt struct {
 	// gateway routes the pair around rather than hedging back into it.
 	quarantined bool
 	err         error
+
+	// spanID names this attempt in the request's span tree; the replica
+	// parents its own root span under it (ParentHeader), so hedged
+	// attempts stay distinguishable at assembly time.
+	spanID string
+	start  time.Time
+	dur    time.Duration
+	// stages is the replica's compact per-stage breakdown from
+	// StagesHeader — the winner's is what the slow-request log prints.
+	stages string
+}
+
+// reqTrace accumulates the gateway-side spans of one client request: a
+// root span plus one child span per backend attempt. Attempt spans are
+// recorded by the attempt goroutines themselves (a cancelled loser
+// unwinds after the winner's response is written), so the collection is
+// mutex-guarded and late spans are appended to the store directly once
+// the trace has been finished.
+type reqTrace struct {
+	id        string
+	rootSpan  string
+	model     string
+	recording bool
+	start     time.Time
+	store     *telemetry.TraceStore
+
+	mu     sync.Mutex
+	spans  []telemetry.Span
+	stored bool // finish ran; late spans go through store.Append
+}
+
+func (g *Gateway) newReqTrace(id, model string) *reqTrace {
+	return &reqTrace{
+		id:        id,
+		rootSpan:  telemetry.MintSpanID(),
+		model:     model,
+		recording: telemetry.SampleTrace(id, g.opt.TraceSampleRate),
+		start:     time.Now(),
+		store:     g.store,
+	}
+}
+
+// recordAttempt notes one finished backend attempt. Called from the
+// attempt's own goroutine, possibly after the client response was
+// written — in that case the span lands via store.Append, which drops it
+// silently when the trace was not kept.
+func (rt *reqTrace) recordAttempt(a *attempt, outcome string) {
+	sp := telemetry.Span{
+		TraceID: rt.id,
+		SpanID:  a.spanID,
+		Parent:  rt.rootSpan,
+		Name:    "gateway.attempt",
+		Start:   a.start,
+		Dur:     a.dur,
+		Attrs:   map[string]string{"backend": a.rep.base, "outcome": outcome},
+	}
+	if a.status != 0 {
+		sp.Attrs["status"] = strconv.Itoa(a.status)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.stored {
+		rt.store.Append(rt.id, sp)
+		return
+	}
+	rt.spans = append(rt.spans, sp)
+}
+
+// markWin upgrades the winning attempt's provisional outcome. The
+// attempt goroutine records "lose" before surfacing its result (it
+// cannot know who wins); the predict loop, which does know, flips
+// exactly one span to "win".
+func (rt *reqTrace) markWin(a *attempt) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for i := range rt.spans {
+		if rt.spans[i].SpanID == a.spanID {
+			rt.spans[i].Attrs["outcome"] = "win"
+			return
+		}
+	}
+}
+
+// finish seals the trace: builds the root span and, when keep names a
+// reason, puts the whole tree in the store. Either way the trace is
+// marked stored, so attempt spans landing later go through store.Append
+// (kept trace) or are dropped (not kept).
+func (rt *reqTrace) finish(status int, keep string, total time.Duration) {
+	root := telemetry.Span{
+		TraceID: rt.id,
+		SpanID:  rt.rootSpan,
+		Name:    "deepszgw.predict",
+		Start:   rt.start,
+		Dur:     total,
+		Attrs:   map[string]string{"model": rt.model, "status": strconv.Itoa(status)},
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.stored = true
+	if keep == "" {
+		return
+	}
+	rt.store.Put(telemetry.StoredTrace{
+		ID:     rt.id,
+		Model:  rt.model,
+		Start:  rt.start,
+		Dur:    total,
+		Status: status,
+		Keep:   keep,
+		Spans:  append([]telemetry.Span{root}, rt.spans...),
+	})
+}
+
+// attemptsSummary renders the attempts so far as one compact log value:
+// "backend(outcome 12ms)" per attempt, in recording order.
+func (rt *reqTrace) attemptsSummary() string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var b strings.Builder
+	for _, sp := range rt.spans {
+		if b.Len() > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s(%s %s)", sp.Attrs["backend"], sp.Attrs["outcome"],
+			sp.Dur.Round(time.Millisecond))
+	}
+	return b.String()
 }
 
 // send issues one predict attempt and reads the full response, so a
@@ -559,8 +742,10 @@ type attempt struct {
 // attempt with the client request's trace: hedges carry the same ID, so
 // one client request is one trace fleet-wide, and each replica's
 // slow-request log entry for it is findable from the gateway's answer.
-func (g *Gateway) send(ctx context.Context, rep *replica, model, traceID string, body []byte) *attempt {
-	a := &attempt{rep: rep}
+// rt supplies the attempt's span identity: the replica parents its own
+// root span under a.spanID via ParentHeader.
+func (g *Gateway) send(ctx context.Context, rep *replica, model string, rt *reqTrace, body []byte) *attempt {
+	a := &attempt{rep: rep, spanID: telemetry.MintSpanID()}
 	rep.requests.Add(1)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		rep.base+"/v1/models/"+url.PathEscape(model)+"/predict", bytes.NewReader(body))
@@ -569,10 +754,12 @@ func (g *Gateway) send(ctx context.Context, rep *replica, model, traceID string,
 		return a
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if traceID != "" {
-		req.Header.Set(telemetry.TraceHeader, traceID)
+	if rt.id != "" {
+		req.Header.Set(telemetry.TraceHeader, rt.id)
+		req.Header.Set(telemetry.ParentHeader, a.spanID)
 	}
-	t0 := time.Now()
+	a.start = time.Now()
+	defer func() { a.dur = time.Since(a.start) }()
 	resp, err := g.opt.Client.Do(req)
 	if err != nil {
 		a.err = err
@@ -587,11 +774,16 @@ func (g *Gateway) send(ctx context.Context, rep *replica, model, traceID string,
 	a.ctype = resp.Header.Get("Content-Type")
 	a.retryAfter = resp.Header.Get("Retry-After")
 	a.quarantined = resp.Header.Get(httputil.QuarantineHeader) != ""
+	a.stages = resp.Header.Get(telemetry.StagesHeader)
 	if a.status < http.StatusInternalServerError {
-		dt := time.Since(t0)
+		dt := time.Since(a.start)
 		rep.latNs.Add(dt.Nanoseconds())
 		rep.latN.Add(1)
-		rep.hist.Observe(dt.Seconds())
+		if rt.recording {
+			rep.hist.ObserveExemplar(dt.Seconds(), rt.id)
+		} else {
+			rep.hist.Observe(dt.Seconds())
+		}
 	}
 	return a
 }
@@ -602,7 +794,7 @@ func (g *Gateway) send(ctx context.Context, rep *replica, model, traceID string,
 // The first answer below 500 wins — client errors (400/404/413) are
 // authoritative, every replica would say the same. Losing attempts are
 // cancelled through the shared context.
-func (g *Gateway) predict(ctx context.Context, model, traceID string, body []byte) (*attempt, error) {
+func (g *Gateway) predict(ctx context.Context, model string, rt *reqTrace, body []byte) (*attempt, error) {
 	ranked := g.rank(model)
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -619,7 +811,25 @@ func (g *Gateway) predict(ctx context.Context, model, traceID string, body []byt
 		rep.pending.Add(1)
 		go func() {
 			defer rep.pending.Add(-1)
-			results <- g.send(actx, rep, model, traceID, body)
+			a := g.send(actx, rep, model, rt, body)
+			// The span is recorded here, in the attempt's own goroutine,
+			// because a cancelled loser unwinds after the predict loop has
+			// already returned the winner. The outcome is provisional
+			// ("lose" until the loop marks the winner); cancelled and failed
+			// attempts are settled for good — their wall time is the hedge
+			// spend the wasted-seconds counter accounts for.
+			switch {
+			case a.err != nil && actx.Err() != nil:
+				rep.canceled.Add(1)
+				g.hedgeWastedNs.Add(a.dur.Nanoseconds())
+				rt.recordAttempt(a, "canceled")
+			case a.err != nil || a.status >= http.StatusInternalServerError:
+				g.hedgeWastedNs.Add(a.dur.Nanoseconds())
+				rt.recordAttempt(a, "error")
+			default:
+				rt.recordAttempt(a, "lose")
+			}
+			results <- a
 		}()
 	}
 	launch(false)
@@ -637,6 +847,7 @@ func (g *Gateway) predict(ctx context.Context, model, traceID string, body []byt
 			outstanding--
 			if a.err == nil && a.status < http.StatusInternalServerError {
 				a.rep.wins.Add(1)
+				rt.markWin(a)
 				return a, nil
 			}
 			if ctx.Err() != nil {

@@ -1,13 +1,18 @@
 package gateway
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/httputil"
@@ -22,14 +27,20 @@ import (
 //	GET  /v1/models                      proxied from a healthy replica
 //	POST /v1/models/{name}/predict       routed, hedged, admission-bounded
 //	GET  /v1/stats                       per-replica health/latency/shed counters
-//	GET  /metrics                        Prometheus text exposition
+//	GET  /v1/traces                      kept-trace index (gateway-side spans)
+//	GET  /v1/traces/{id}                 fleet-wide timeline: gateway spans + replica spans
+//	GET  /metrics                        Prometheus text exposition (gateway's own)
+//	GET  /metrics/fleet                  federated exposition: every healthy replica, backend-labelled
 func (g *Gateway) routes() {
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc("GET /healthz", g.handleHealth)
 	g.mux.HandleFunc("GET /v1/models", g.handleModels)
 	g.mux.HandleFunc("POST /v1/models/{name}/predict", g.handlePredict)
 	g.mux.HandleFunc("GET /v1/stats", g.handleStats)
+	g.mux.HandleFunc("GET /v1/traces", g.handleTraces)
+	g.mux.HandleFunc("GET /v1/traces/{id}", g.handleTraceByID)
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
+	g.mux.HandleFunc("GET /metrics/fleet", g.handleFleetMetrics)
 }
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -127,8 +138,13 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// before it reads a byte of body.
 	in := g.inFlight.Add(1)
 	defer g.inFlight.Add(-1)
+	name := r.PathValue("name")
 	if g.opt.MaxPending > 0 && in > int64(g.opt.MaxPending) {
 		g.shed.Add(1)
+		// Shed requests burn SLO budget: an overloaded fleet that reported
+		// 100% attainment would be lying to exactly the person the SLO is
+		// for.
+		g.slo.Record(name, 0, false)
 		w.Header().Set("Retry-After", strconv.Itoa(int((g.opt.RetryAfter+time.Second-1)/time.Second)))
 		httputil.WriteError(w, http.StatusServiceUnavailable, "gateway at capacity: %d predicts pending (max %d)", in-1, g.opt.MaxPending)
 		return
@@ -160,13 +176,17 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 		traceID = telemetry.MintID()
 	}
 	w.Header().Set(telemetry.TraceHeader, traceID)
+	rt := g.newReqTrace(traceID, name)
 
-	a, err := g.predict(r.Context(), r.PathValue("name"), traceID, body)
+	a, err := g.predict(r.Context(), name, rt, body)
 	if err != nil {
 		if r.Context().Err() != nil {
-			// The client is gone; nobody reads this.
+			// The client is gone; nobody reads this. 499 is the
+			// client-closed-request convention — internal bookkeeping only.
+			g.finishRequest(rt, 499, nil)
 			return
 		}
+		g.finishRequest(rt, http.StatusBadGateway, nil)
 		httputil.WriteError(w, http.StatusBadGateway, "%v", err)
 		return
 	}
@@ -178,19 +198,180 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(a.status)
 	w.Write(a.body)
+	g.finishRequest(rt, a.status, a)
+}
+
+// finishRequest settles one client request's observability: scores it
+// against the SLO, decides whether its trace is kept (sampled, slow,
+// errored, quarantined), and — the slow-request contract — logs the
+// assembled cross-tier evidence when the end-to-end latency crossed
+// SlowRequest: trace ID, winning backend, every attempt's outcome, and
+// the winner's per-stage breakdown as relayed by the replica.
+func (g *Gateway) finishRequest(rt *reqTrace, status int, winner *attempt) {
+	total := time.Since(rt.start)
+	g.slo.Record(rt.model, total, status == http.StatusOK)
+	slow := g.opt.SlowRequest > 0 && total >= g.opt.SlowRequest
+	var keep []string
+	if rt.recording {
+		keep = append(keep, telemetry.KeepSampled)
+	}
+	if slow {
+		keep = append(keep, telemetry.KeepSlow)
+	}
+	if winner != nil && winner.quarantined {
+		keep = append(keep, telemetry.KeepQuarantined)
+	} else if status >= 500 {
+		keep = append(keep, telemetry.KeepError)
+	}
+	rt.finish(status, strings.Join(keep, ","), total)
+	if slow {
+		args := []any{
+			"trace", rt.id,
+			"model", rt.model,
+			"status", status,
+			"total_ns", total.Nanoseconds(),
+			"attempts", rt.attemptsSummary(),
+		}
+		if winner != nil {
+			args = append(args, "backend", winner.rep.base, "stages", winner.stages)
+		}
+		g.opt.Logger.Warn("slow request", args...)
+	}
+}
+
+// handleTraces serves the gateway's kept-trace index, newest first
+// (?n= bounds the count).
+func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil {
+			n = parsed
+		}
+	}
+	httputil.WriteJSON(w, http.StatusOK, struct {
+		Traces []telemetry.TraceSummary `json:"traces"`
+	}{Traces: g.store.Index(n)})
+}
+
+// handleTraceByID assembles the fleet-wide timeline for one trace: the
+// gateway's own spans name which backends were attempted, so each of
+// those is asked for its spans for the same ID and the union — sorted by
+// start time — is one cross-tier tree. Replica fetches are best-effort:
+// a replica that dropped the trace (sampling disagreement is impossible,
+// but eviction and restarts are not) just contributes nothing.
+func (g *Gateway) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := g.store.Get(id)
+	if !ok {
+		httputil.WriteError(w, http.StatusNotFound, "trace %q not stored on this gateway", id)
+		return
+	}
+	seen := map[string]bool{}
+	for _, sp := range st.Spans {
+		base := sp.Attrs["backend"]
+		if base == "" || seen[base] {
+			continue
+		}
+		seen[base] = true
+		ctx, cancel := context.WithTimeout(r.Context(), g.opt.ProbeTimeout)
+		spans, err := g.traceFrom(ctx, base, id)
+		cancel()
+		if err != nil {
+			g.opt.Logger.Debug("trace fetch failed", "trace", id, "backend", base, "err", err)
+			continue
+		}
+		st.Spans = append(st.Spans, spans...)
+	}
+	sort.SliceStable(st.Spans, func(i, j int) bool { return st.Spans[i].Start.Before(st.Spans[j].Start) })
+	httputil.WriteJSON(w, http.StatusOK, st)
+}
+
+// traceFrom fetches one replica's stored spans for a trace ID.
+func (g *Gateway) traceFrom(ctx context.Context, base, id string) ([]telemetry.Span, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/traces/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.opt.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("%s answered %d", base, resp.StatusCode)
+	}
+	var st telemetry.StoredTrace
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("%s: %w", base, err)
+	}
+	return st.Spans, nil
+}
+
+// handleFleetMetrics scrapes every healthy replica's /metrics, validates
+// each exposition with the strict parser, and re-exports the union with
+// a backend label on every sample — one scrape target for the whole
+// fleet, and a replica emitting malformed text is skipped and logged
+// rather than poisoning the merged page.
+func (g *Gateway) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	var scrapes []telemetry.FederatedScrape
+	for _, rep := range g.replicas {
+		if !rep.healthy.Load() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), g.opt.ProbeTimeout)
+		sc, err := g.scrapeFrom(ctx, rep)
+		cancel()
+		if err != nil {
+			g.opt.Logger.Warn("fleet scrape failed", "backend", rep.base, "err", err)
+			continue
+		}
+		scrapes = append(scrapes, telemetry.FederatedScrape{Backend: rep.base, Scrape: sc})
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WriteFederated(&buf, scrapes); err != nil {
+		httputil.WriteError(w, http.StatusInternalServerError, "federate: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+// scrapeFrom fetches and strict-parses one replica's /metrics page.
+func (g *Gateway) scrapeFrom(ctx context.Context, rep *replica) (*telemetry.Scrape, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.opt.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("answered %d", resp.StatusCode)
+	}
+	return telemetry.ParseExposition(body)
 }
 
 // ReplicaStats is one backend's view in /v1/stats, as measured by the
 // gateway itself (probe RTTs and proxied-predict latencies, not the
 // backend's self-reported numbers).
 type ReplicaStats struct {
-	Backend       string  `json:"backend"`
-	Healthy       bool    `json:"healthy"`
-	Pending       int64   `json:"pending"`
-	Requests      uint64  `json:"requests"`
-	Errors        uint64  `json:"errors"`
-	Hedged        uint64  `json:"hedged"`
-	Wins          uint64  `json:"wins"`
+	Backend  string `json:"backend"`
+	Healthy  bool   `json:"healthy"`
+	Pending  int64  `json:"pending"`
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	Hedged   uint64 `json:"hedged"`
+	Wins     uint64 `json:"wins"`
+	// Canceled counts attempts cut short because a sibling attempt won —
+	// the per-backend face of the hedging spend.
+	Canceled      uint64  `json:"canceled"`
 	MeanLatencyMs float64 `json:"mean_latency_ms"`
 	LastProbeMs   float64 `json:"last_probe_ms"`
 	ProbeFailures uint64  `json:"probe_failures"`
@@ -211,20 +392,28 @@ type Stats struct {
 	// ModelQuarantines counts quarantine 503 signals accepted from
 	// backends (new (model, backend) pairs routed around).
 	ModelQuarantines uint64 `json:"model_quarantines"`
+	// HedgeWastedSeconds is the total wall time of attempts whose answer
+	// was thrown away — what the hedging tail-latency win costs.
+	HedgeWastedSeconds float64 `json:"hedge_wasted_seconds"`
+	// SLO is the fleet-edge per-model attainment and burn-rate report;
+	// absent unless -slo-target-ms configured one.
+	SLO *telemetry.SLOReport `json:"slo,omitempty"`
 }
 
 // Stats snapshots the gateway and per-replica counters.
 func (g *Gateway) Stats() Stats {
 	s := Stats{
-		UptimeSeconds:    time.Since(g.start).Seconds(),
-		HealthyBackends:  g.HealthyBackends(),
-		InFlight:         g.inFlight.Load(),
-		MaxPending:       g.opt.MaxPending,
-		Admitted:         g.admitted.Load(),
-		Shed:             g.shed.Load(),
-		Hedges:           g.hedges.Load(),
-		Failovers:        g.failovers.Load(),
-		ModelQuarantines: g.modelQuarantines.Load(),
+		UptimeSeconds:      time.Since(g.start).Seconds(),
+		HealthyBackends:    g.HealthyBackends(),
+		InFlight:           g.inFlight.Load(),
+		MaxPending:         g.opt.MaxPending,
+		Admitted:           g.admitted.Load(),
+		Shed:               g.shed.Load(),
+		Hedges:             g.hedges.Load(),
+		Failovers:          g.failovers.Load(),
+		ModelQuarantines:   g.modelQuarantines.Load(),
+		HedgeWastedSeconds: float64(g.hedgeWastedNs.Load()) / 1e9,
+		SLO:                g.slo.Report(),
 	}
 	for _, r := range g.replicas {
 		rs := ReplicaStats{
@@ -235,6 +424,7 @@ func (g *Gateway) Stats() Stats {
 			Errors:        r.errors.Load(),
 			Hedged:        r.hedged.Load(),
 			Wins:          r.wins.Load(),
+			Canceled:      r.canceled.Load(),
 			LastProbeMs:   float64(r.lastProbeNs.Load()) / 1e6,
 			ProbeFailures: r.probeFails.Load(),
 			Ejections:     r.ejections.Load(),

@@ -1,0 +1,349 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// tracedReplica boots one serve.Server that samples every request, its
+// predict path optionally delayed — the deterministic slow primary the
+// hedging assertions need.
+func tracedReplica(t testing.TB, delay time.Duration) (*httptest.Server, *serve.Registry) {
+	t.Helper()
+	reg := serve.NewRegistry(0, serve.BatchOptions{})
+	h := http.Handler(serve.NewServerWith(reg, serve.ServerOptions{TraceSampleRate: 1}))
+	if delay > 0 {
+		inner := h
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/predict") {
+				time.Sleep(delay)
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(func() { ts.Close(); reg.Close() })
+	return ts, reg
+}
+
+func getStoredTrace(t testing.TB, base, id string) (telemetry.StoredTrace, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st telemetry.StoredTrace
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return st, resp.StatusCode
+}
+
+func spansNamed(spans []telemetry.Span, name string) []telemetry.Span {
+	var out []telemetry.Span
+	for _, sp := range spans {
+		if sp.Name == name || strings.HasPrefix(sp.Name, name) {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// TestGatewayTraceAssembly is the tentpole acceptance test: one
+// gateway-minted trace ID must yield one assembled timeline spanning
+// both tiers via GET /v1/traces/{id} on the gateway — the gateway root
+// span, two attempt spans (hedging deterministically induced by a slow
+// primary), the winning replica's stage spans, and its per-layer decode
+// spans, all linked by parent span IDs. The losing attempt must be
+// recorded as canceled with its wall time on the wasted-hedge counter.
+func TestGatewayTraceAssembly(t *testing.T) {
+	net, m := buildModel(t, 200)
+	slowTS, slowReg := tracedReplica(t, 300*time.Millisecond)
+	fastTS, fastReg := tracedReplica(t, 0)
+
+	g, err := New([]string{slowTS.URL, fastTS.URL}, Options{
+		ProbeInterval:   time.Hour, // health probing out of the picture
+		HedgeAfter:      10 * time.Millisecond,
+		TraceSampleRate: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// A model name whose rendezvous primary is the slow replica, so the
+	// winner can only arrive via the hedge and the primary is cancelled.
+	name := ""
+	for i := 0; i < 100; i++ {
+		cand := fmt.Sprintf("asm-%d", i)
+		if g.rank(cand)[0].base == slowTS.URL {
+			name = cand
+			break
+		}
+	}
+	if name == "" {
+		t.Fatal("no candidate model ranked the slow replica first")
+	}
+	for _, reg := range []*serve.Registry{slowReg, fastReg} {
+		if _, err := reg.Add(name, m, net, []int{1, 8, 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gw := httptest.NewServer(g)
+	defer gw.Close()
+	code, resp, _ := postPredict(t, gw.URL, name, testRows(2, 201))
+	if code != http.StatusOK {
+		t.Fatalf("predict status %d", code)
+	}
+	traceID := resp.Header.Get(telemetry.TraceHeader)
+	if traceID == "" {
+		t.Fatal("gateway did not mint a trace ID")
+	}
+
+	// The cancelled loser's span lands asynchronously (its goroutine
+	// unwinds after the winner's response), and the winning replica
+	// stores its spans after writing its response body — poll until the
+	// assembled timeline is complete.
+	var st telemetry.StoredTrace
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var status int
+		st, status = getStoredTrace(t, gw.URL, traceID)
+		if status == http.StatusOK &&
+			len(spansNamed(st.Spans, "gateway.attempt")) >= 2 &&
+			len(spansNamed(st.Spans, "decode.")) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("assembled timeline never completed (status %d): %+v", status, st.Spans)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	roots := spansNamed(st.Spans, "deepszgw.predict")
+	if len(roots) != 1 {
+		t.Fatalf("want exactly one gateway root span, got %d", len(roots))
+	}
+	root := roots[0]
+	if root.TraceID != traceID || root.Parent != "" {
+		t.Fatalf("malformed root span: %+v", root)
+	}
+
+	attempts := spansNamed(st.Spans, "gateway.attempt")
+	var winner, canceled *telemetry.Span
+	for i := range attempts {
+		a := &attempts[i]
+		if a.Parent != root.SpanID {
+			t.Fatalf("attempt span parented to %q, want gateway root %q", a.Parent, root.SpanID)
+		}
+		switch a.Attrs["outcome"] {
+		case "win":
+			winner = a
+		case "canceled":
+			canceled = a
+		}
+	}
+	if winner == nil || winner.Attrs["backend"] != fastTS.URL {
+		t.Fatalf("no winning attempt on the fast replica: %+v", attempts)
+	}
+	if canceled == nil || canceled.Attrs["backend"] != slowTS.URL {
+		t.Fatalf("the slow primary's attempt was not recorded as canceled: %+v", attempts)
+	}
+
+	// The winning replica's spans joined the timeline and link under the
+	// winning attempt.
+	repRoots := spansNamed(st.Spans, "deepszd.predict")
+	var repRoot *telemetry.Span
+	for i := range repRoots {
+		if repRoots[i].Parent == winner.SpanID {
+			repRoot = &repRoots[i]
+		}
+	}
+	if repRoot == nil {
+		t.Fatalf("no replica root span parented under the winning attempt %q: %+v", winner.SpanID, repRoots)
+	}
+	for _, want := range []string{"stage.decode", "stage.kernel"} {
+		found := false
+		for _, sp := range spansNamed(st.Spans, want) {
+			if sp.Parent == repRoot.SpanID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no %s span under the replica root", want)
+		}
+	}
+	for _, sp := range spansNamed(st.Spans, "decode.") {
+		if sp.Attrs["codec"] == "" || sp.Attrs["outcome"] == "" {
+			t.Fatalf("decode span missing codec/outcome attrs: %+v", sp)
+		}
+	}
+
+	// Satellite contract: the cancelled loser's latency is on the books.
+	stats := g.Stats()
+	if stats.HedgeWastedSeconds <= 0 {
+		t.Fatalf("hedge_wasted_seconds = %v, want > 0 after a cancelled loser", stats.HedgeWastedSeconds)
+	}
+	cancelTotal := uint64(0)
+	for _, rs := range stats.Backends {
+		cancelTotal += rs.Canceled
+	}
+	if cancelTotal == 0 {
+		t.Fatal("no backend recorded a canceled attempt")
+	}
+
+	// The index lists the trace too.
+	idxResp, err := http.Get(gw.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idxResp.Body.Close()
+	var idx struct {
+		Traces []telemetry.TraceSummary `json:"traces"`
+	}
+	if err := json.NewDecoder(idxResp.Body).Decode(&idx); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range idx.Traces {
+		if s.ID == traceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s missing from /v1/traces index", traceID)
+	}
+}
+
+// TestGatewayFleetMetrics locks the federation contract: /metrics/fleet
+// merges every healthy replica's exposition under a backend label, the
+// merged page survives the strict parser, counters only move forward
+// between scrapes, exemplars round-trip from the replicas, and the
+// fleet-edge SLO tracker reports on the gateway's own page. With
+// DEEPSZ_TRACE_SNAPSHOT set, an assembled trace and the federated page
+// are written there for the CI artifact.
+func TestGatewayFleetMetrics(t *testing.T) {
+	net, m := buildModel(t, 210)
+	repA, regA := tracedReplica(t, 0)
+	repB, regB := tracedReplica(t, 0)
+	for _, reg := range []*serve.Registry{regA, regB} {
+		if _, err := reg.Add("fm", m, net, []int{1, 8, 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := New([]string{repA.URL, repB.URL}, Options{
+		ProbeInterval:   time.Hour,
+		HedgeAfter:      -1,
+		TraceSampleRate: 1,
+		SLOTarget:       time.Second,
+		SLOObjective:    0.99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g)
+	defer gw.Close()
+
+	var lastTrace string
+	for i := 0; i < 4; i++ {
+		code, resp, _ := postPredict(t, gw.URL, "fm", testRows(2, uint64(211+i)))
+		if code != http.StatusOK {
+			t.Fatalf("predict %d status %d", i, code)
+		}
+		lastTrace = resp.Header.Get(telemetry.TraceHeader)
+	}
+
+	fleet1, raw1 := scrape(t, gw.URL+"/metrics/fleet")
+
+	// Every sample carries the backend label, and replica-side families
+	// appear once per backend.
+	backends := map[string]bool{}
+	fam := fleet1.Family("deepsz_uptime_seconds")
+	if fam == nil {
+		t.Fatalf("federated page is missing the replicas' deepsz_uptime_seconds:\n%s", raw1)
+	}
+	for _, sm := range fam.Samples {
+		for _, l := range sm.Labels {
+			if l.Name == "backend" {
+				backends[l.Value] = true
+			}
+		}
+	}
+	for _, want := range []string{repA.URL, repB.URL} {
+		if !backends[want] {
+			t.Fatalf("federated deepsz_uptime_seconds has no backend=%q sample (got %v)", want, backends)
+		}
+	}
+	// Exemplars survive federation: the replicas sample at rate 1, so
+	// their latency buckets carry trace_id exemplars into the merged page.
+	if !strings.Contains(string(raw1), ` # {trace_id="`) {
+		t.Fatalf("federated page carries no exemplars:\n%s", raw1)
+	}
+
+	// More traffic, second scrape: federated counters only move forward.
+	for i := 0; i < 3; i++ {
+		if code, _, _ := postPredict(t, gw.URL, "fm", testRows(2, uint64(221+i))); code != http.StatusOK {
+			t.Fatalf("predict status %d", code)
+		}
+	}
+	fleet2, _ := scrape(t, gw.URL+"/metrics/fleet")
+	if err := telemetry.CheckMonotonic(fleet1, fleet2); err != nil {
+		t.Fatalf("federated counters moved backwards between scrapes: %v", err)
+	}
+
+	// The fleet-edge SLO shows up on the gateway's own exposition.
+	gwScrape, _ := scrape(t, gw.URL+"/metrics")
+	att := gwScrape.Family("deepszgw_slo_attainment")
+	if att == nil || len(att.Samples) == 0 {
+		t.Fatal("gateway /metrics has no deepszgw_slo_attainment samples after scored traffic")
+	}
+	sawModel := false
+	for _, sm := range att.Samples {
+		for _, l := range sm.Labels {
+			if l.Name == "model" && l.Value == "fm" {
+				sawModel = true
+			}
+		}
+	}
+	if !sawModel {
+		t.Fatalf("deepszgw_slo_attainment has no model=fm sample: %+v", att.Samples)
+	}
+
+	if dir := os.Getenv("DEEPSZ_TRACE_SNAPSHOT"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		st, status := getStoredTrace(t, gw.URL, lastTrace)
+		if status != http.StatusOK {
+			t.Fatalf("assembled trace fetch status %d", status)
+		}
+		data, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "trace.json"), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "fleet.prom"), raw1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

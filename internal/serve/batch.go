@@ -143,6 +143,11 @@ func (b *batcher) flush(batch []pendingReq) {
 	flushAt := time.Now()
 	e := b.engine
 	rows := make([][]float32, 0, len(batch))
+	// One sampled rider is enough to record the shared pass's layer events
+	// (every sampled rider gets a copy — the pass IS their latency); the
+	// first one's trace ID becomes the stage histograms' exemplar.
+	record := false
+	exemplarID := ""
 	for i := range batch {
 		req := &batch[i]
 		rows = append(rows, req.rows...)
@@ -150,21 +155,31 @@ func (b *batcher) flush(batch []pendingReq) {
 		waited := flushAt.Sub(req.acceptAt)
 		req.tr.Add(telemetry.StageQueue, queued)
 		req.tr.Add(telemetry.StageBatchWait, waited)
-		e.stageHist[telemetry.StageQueue].Observe(queued.Seconds())
-		e.stageHist[telemetry.StageBatchWait].Observe(waited.Seconds())
+		if req.tr.Recording() {
+			record = true
+			if exemplarID == "" {
+				exemplarID = req.tr.ID
+			}
+			e.stageHist[telemetry.StageQueue].ObserveExemplar(queued.Seconds(), req.tr.ID)
+			e.stageHist[telemetry.StageBatchWait].ObserveExemplar(waited.Seconds(), req.tr.ID)
+		} else {
+			e.stageHist[telemetry.StageQueue].Observe(queued.Seconds())
+			e.stageHist[telemetry.StageBatchWait].Observe(waited.Seconds())
+		}
 	}
-	out, st, err := func() (out [][]float32, st fwdStages, err error) {
+	out, st, evs, err := func() (out [][]float32, st fwdStages, evs []telemetry.LayerEvent, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("serve: forward pass panicked: %v", r)
 			}
 		}()
-		return e.run(rows)
+		return e.run(rows, record, exemplarID)
 	}()
 	off := 0
 	for i := range batch {
 		req := &batch[i]
 		st.addTo(req.tr)
+		req.tr.AddLayerEvents(evs)
 		if err != nil {
 			req.resp <- batchResp{err: err}
 			continue

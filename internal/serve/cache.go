@@ -338,15 +338,40 @@ func (c *DecodeCache) Get(key string, decode func() (*core.DecodedLayer, int64, 
 // evicted, no matter what demand or prefetch traffic inserts meanwhile.
 // The returned release is never nil and is idempotent.
 func (c *DecodeCache) GetPinned(key string, decode func() (*core.DecodedLayer, int64, error)) (*core.DecodedLayer, func(), error) {
+	layer, release, _, err := c.getPinnedOutcome(key, decode)
+	return layer, release, err
+}
+
+// Cache outcomes as span tracing sees them. These name the same paths the
+// counters already count — the span layer just attributes them to a
+// specific request instead of a fleet-wide sum.
+const (
+	OutcomeHit             = "hit"
+	OutcomeMiss            = "miss"
+	OutcomeCoalesced       = "coalesced"
+	OutcomePrefetchHit     = "prefetch_hit"
+	OutcomePrefetchOverlap = "prefetch_overlap"
+	OutcomeCorruptEject    = "corrupt_eject"
+)
+
+// getPinnedOutcome is GetPinned's core; the extra return names which
+// cache path served the request (OutcomeHit, OutcomeMiss, ...).
+func (c *DecodeCache) getPinnedOutcome(key string, decode func() (*core.DecodedLayer, int64, error)) (*core.DecodedLayer, func(), string, error) {
 retry:
 	c.mu.Lock()
 	if ent, ok := c.entries[key]; ok {
+		// touchLocked clears the prefetched flag (counting the prefetch
+		// hit); read it first so the span sees which kind of hit this was.
+		outcome := OutcomeHit
+		if ent.prefetched {
+			outcome = OutcomePrefetchHit
+		}
 		c.touchLocked(ent)
 		c.hits++
 		ent.pins++
 		layer := ent.layer
 		c.mu.Unlock()
-		return layer, c.unpinFunc(ent), nil
+		return layer, c.unpinFunc(ent), outcome, nil
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.coalesced++
@@ -369,10 +394,14 @@ retry:
 			c.mu.Unlock()
 			goto retry
 		}
-		if f.err != nil {
-			return f.layer, func() {}, f.err
+		outcome := OutcomeCoalesced
+		if joinedPrefetch {
+			outcome = OutcomePrefetchOverlap
 		}
-		return f.layer, c.adoptAfterFlight(key), nil
+		if f.err != nil {
+			return f.layer, func() {}, outcome, f.err
+		}
+		return f.layer, c.adoptAfterFlight(key), outcome, nil
 	}
 	f := &flight{done: make(chan struct{})}
 	c.inflight[key] = f
@@ -400,7 +429,7 @@ retry:
 	if release == nil {
 		release = func() {}
 	}
-	return layer, release, err
+	return layer, release, OutcomeMiss, err
 }
 
 // errPrefetchAborted marks a speculative flight that was cancelled before

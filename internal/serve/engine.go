@@ -304,7 +304,7 @@ func (e *Engine) decodeForCache(idx int) func() (*core.DecodedLayer, int64, erro
 // ForwardWithProvider calls it when the layer's kernel finishes, so
 // prefetch of layer k+1 can never displace layer k mid-forward.
 func (e *Engine) LayerWeights(layer string) (nn.LayerWeights, func(), error) {
-	lw, rel, _, err := e.layerWeightsTimed(layer, nil)
+	lw, rel, _, _, err := e.layerWeightsTimed(layer, nil)
 	return lw, rel, err
 }
 
@@ -320,23 +320,23 @@ func (e *Engine) LayerWeights(layer string) (nn.LayerWeights, func(), error) {
 // the pin still guarantees it is the same buffer) and records the first
 // failing layer in *corrupt — the caller must then discard the pass's
 // output.
-func (e *Engine) layerWeightsTimed(layer string, corrupt *string) (nn.LayerWeights, func(), int64, error) {
+func (e *Engine) layerWeightsTimed(layer string, corrupt *string) (nn.LayerWeights, func(), int64, string, error) {
 	idx, ok := e.model.LayerIndex(layer)
 	if !ok {
-		return nn.LayerWeights{}, nil, 0, nn.ErrNotProvided
+		return nn.LayerWeights{}, nil, 0, "", nn.ErrNotProvided
 	}
 	e.prefetch.advance(idx)
 	inner := e.decodeForCache(idx)
 	var decodeNs int64
 	key := e.cacheKey(idx)
-	dl, release, err := e.cache.GetPinned(key, func() (*core.DecodedLayer, int64, error) {
+	dl, release, outcome, err := e.cache.getPinnedOutcome(key, func() (*core.DecodedLayer, int64, error) {
 		t0 := time.Now()
 		dl, cost, err := inner()
 		decodeNs = time.Since(t0).Nanoseconds()
 		return dl, cost, err
 	})
 	if err != nil {
-		return nn.LayerWeights{}, nil, decodeNs, err
+		return nn.LayerWeights{}, nil, decodeNs, outcome, err
 	}
 	if e.verifyRelease && corrupt != nil {
 		inner := release
@@ -354,7 +354,29 @@ func (e *Engine) layerWeightsTimed(layer string, corrupt *string) (nn.LayerWeigh
 			inner()
 		}
 	}
-	return nn.LayerWeights{Dense: dl.Weights, Sparse: dl.Sparse, Bias: dl.Bias}, release, decodeNs, nil
+	return nn.LayerWeights{Dense: dl.Weights, Sparse: dl.Sparse, Bias: dl.Bias}, release, decodeNs, outcome, nil
+}
+
+// layerEventMeta looks up the span attributes for a layer after its fetch
+// landed: codec from the manifest, density and resident format from the
+// per-layer observation the decode recorded (obs is always populated by
+// the time a fetch returns — the decode path stores it before handing the
+// layer back, and a hit implies an earlier decode did).
+func (e *Engine) layerEventMeta(layer string) (codecName, format string, density float64) {
+	idx, ok := e.model.LayerIndex(layer)
+	if !ok {
+		return "", "", 0
+	}
+	codecName = codec.NameOf(e.model.Layers[idx].Codec)
+	if o := e.obs[idx].Load(); o != nil {
+		density = o.density
+		if o.sparse {
+			format = "csr"
+		} else {
+			format = "dense"
+		}
+	}
+	return codecName, format, density
 }
 
 // timedProvider wraps the engine's weight provider for one forward pass,
@@ -362,18 +384,31 @@ func (e *Engine) layerWeightsTimed(layer string, corrupt *string) (nn.LayerWeigh
 // on coalesced decodes) and decode proper. One batch runs in one
 // goroutine, so plain fields suffice — including corruptLayer, which the
 // release funcs write from the same goroutine (ForwardWithProvider calls
-// release after each layer's kernel, on the forward path).
+// release after each layer's kernel, on the forward path), and events,
+// which only this goroutine appends.
 type timedProvider struct {
 	e                  *Engine
 	lookupNs, decodeNs int64
 	corruptLayer       string // first layer whose release-check failed
+	record             bool   // collect per-layer events for span tracing
+	events             []telemetry.LayerEvent
 }
 
 func (p *timedProvider) LayerWeights(layer string) (nn.LayerWeights, func(), error) {
 	t0 := time.Now()
-	lw, rel, decodeNs, err := p.e.layerWeightsTimed(layer, &p.corruptLayer)
+	lw, rel, decodeNs, outcome, err := p.e.layerWeightsTimed(layer, &p.corruptLayer)
 	p.decodeNs += decodeNs
 	p.lookupNs += time.Since(t0).Nanoseconds() - decodeNs
+	if p.record && err == nil {
+		codecName, format, density := p.e.layerEventMeta(layer)
+		p.events = append(p.events, telemetry.LayerEvent{
+			Layer: layer, Codec: codecName, Outcome: outcome, Format: format, Density: density,
+			Start: t0, Dur: time.Since(t0),
+			// DecodeDur is the same nanoseconds charged to StageDecode, so a
+			// trace's decode.<layer> spans sum exactly to its decode stage.
+			DecodeDur: time.Duration(decodeNs),
+		})
+	}
 	return lw, rel, err
 }
 
@@ -402,10 +437,19 @@ func (st fwdStages) addTo(tr *telemetry.Trace) {
 }
 
 // observe records the pass in the engine's per-stage histograms.
-func (st fwdStages) observe(e *Engine) {
-	e.stageHist[telemetry.StageCacheLookup].Observe(st.lookup.Seconds())
-	e.stageHist[telemetry.StageDecode].Observe(st.decode.Seconds())
-	e.stageHist[telemetry.StageKernel].Observe(st.kernel.Seconds())
+// exemplarID, when non-empty, is a sampled rider's trace ID: it lands as
+// the bucket exemplar so a dashboard's slow-decode bucket links to a
+// retrievable trace. Unsampled passes take the exemplar-free path.
+func (st fwdStages) observe(e *Engine, exemplarID string) {
+	if exemplarID == "" {
+		e.stageHist[telemetry.StageCacheLookup].Observe(st.lookup.Seconds())
+		e.stageHist[telemetry.StageDecode].Observe(st.decode.Seconds())
+		e.stageHist[telemetry.StageKernel].Observe(st.kernel.Seconds())
+		return
+	}
+	e.stageHist[telemetry.StageCacheLookup].ObserveExemplar(st.lookup.Seconds(), exemplarID)
+	e.stageHist[telemetry.StageDecode].ObserveExemplar(st.decode.Seconds(), exemplarID)
+	e.stageHist[telemetry.StageKernel].ObserveExemplar(st.kernel.Seconds(), exemplarID)
 }
 
 // admit charges one predict against the engine's admission bound and
@@ -441,8 +485,13 @@ func (e *Engine) PredictTraced(rows [][]float32, tr *telemetry.Trace) ([][]float
 	defer release()
 	e.requests.Add(1)
 	e.rows.Add(uint64(len(rows)))
-	out, st, err := e.run(rows)
+	exemplarID := ""
+	if tr.Recording() {
+		exemplarID = tr.ID
+	}
+	out, st, evs, err := e.run(rows, tr.Recording(), exemplarID)
 	st.addTo(tr)
+	tr.AddLayerEvents(evs)
 	return out, err
 }
 
@@ -489,7 +538,7 @@ func (e *Engine) checkRows(rows [][]float32) error {
 // (Flatten's Reshape, inference-mode pass-throughs), in which case the
 // returned logits still alias it and it must be dropped instead of
 // recycled.
-func (e *Engine) run(rows [][]float32) ([][]float32, fwdStages, error) {
+func (e *Engine) run(rows [][]float32, record bool, exemplarID string) ([][]float32, fwdStages, []telemetry.LayerEvent, error) {
 	n := len(rows)
 	need := n * e.inLen
 	flatPtr, _ := e.flatPool.Get().(*[]float32)
@@ -502,7 +551,7 @@ func (e *Engine) run(rows [][]float32) ([][]float32, fwdStages, error) {
 		flat = append(flat, r...)
 	}
 	x := tensor.FromSlice(flat, append([]int{n}, e.inShape...)...)
-	p := timedProvider{e: e}
+	p := timedProvider{e: e, record: record}
 	t0 := time.Now()
 	y, err := e.forwardWith(x, &p)
 	st := fwdStages{
@@ -513,7 +562,7 @@ func (e *Engine) run(rows [][]float32) ([][]float32, fwdStages, error) {
 	if st.kernel < 0 {
 		st.kernel = 0 // clock skew between nested time.Now pairs
 	}
-	st.observe(e)
+	st.observe(e, exemplarID)
 	if y == nil || len(y.Data) == 0 || &y.Data[0] != &flat[0] {
 		// View layers share storage from element 0, so a first-element
 		// address match is exactly "y aliases the pooled buffer".
@@ -521,13 +570,18 @@ func (e *Engine) run(rows [][]float32) ([][]float32, fwdStages, error) {
 		e.flatPool.Put(flatPtr)
 	}
 	if err != nil {
-		return nil, st, err
+		return nil, st, p.events, err
 	}
 	if p.corruptLayer != "" {
 		// A cached buffer failed its post-kernel re-check: the logits were
 		// (possibly) computed from flipped bits. The entry is already
 		// ejected, so a retry decodes fresh; this pass's output must die.
-		return nil, st, &core.CorruptError{Layer: p.corruptLayer, Kind: core.CorruptCache,
+		for i := range p.events {
+			if p.events[i].Layer == p.corruptLayer {
+				p.events[i].Outcome = OutcomeCorruptEject
+			}
+		}
+		return nil, st, p.events, &core.CorruptError{Layer: p.corruptLayer, Kind: core.CorruptCache,
 			Detail: "cached weights failed release-time re-verification"}
 	}
 	classes := y.Len() / n
@@ -535,7 +589,7 @@ func (e *Engine) run(rows [][]float32) ([][]float32, fwdStages, error) {
 	for i := range out {
 		out[i] = y.Data[i*classes : (i+1)*classes : (i+1)*classes]
 	}
-	return out, st, nil
+	return out, st, p.events, nil
 }
 
 // EngineStats is a snapshot of one model's serving counters. QueueDepth

@@ -41,6 +41,11 @@ type Registry struct {
 	tel    *telemetry.Registry
 	stages [telemetry.NumStages]*telemetry.Histogram
 
+	// slo, when configured via SetSLO, scores every finished predict
+	// against the operator's latency target. Nil means SLOs are off; every
+	// use is nil-safe.
+	slo *telemetry.SLOTracker
+
 	// verifyDecoded: engines added afterwards re-verify every cached layer
 	// a kernel consumed before unpinning it, and the shared cache tracks
 	// fill-time checksums for scrubbing (SetVerifyDecoded).
@@ -288,6 +293,36 @@ func (r *Registry) registerMetrics() {
 			defer r.mu.RUnlock()
 			return []telemetry.Sample{{Value: float64(len(r.quar))}}
 		})
+}
+
+// SetSLO configures per-model SLO tracking: target is the latency bound
+// a request must meet to count as good, objective the fraction that must
+// (e.g. 250ms, 0.99). Invalid values leave SLOs off. Call before serving
+// traffic, like the other configuration setters.
+func (r *Registry) SetSLO(target time.Duration, objective float64) {
+	s := telemetry.NewSLOTracker(target, objective)
+	if s == nil {
+		return
+	}
+	r.mu.Lock()
+	r.slo = s
+	r.mu.Unlock()
+	telemetry.RegisterSLOMetrics(r.tel, "deepsz", s)
+}
+
+// SLO returns the registry's SLO tracker (nil when not configured).
+func (r *Registry) SLO() *telemetry.SLOTracker {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.slo
+}
+
+// PredictHist returns the end-to-end predict latency histogram for model
+// (registered on first use; subsequent calls return the same child).
+func (r *Registry) PredictHist(model string) *telemetry.Histogram {
+	return r.tel.Histogram("deepsz_predict_duration_seconds",
+		"End-to-end predict latency by model, measured across the whole HTTP handler.",
+		telemetry.DurationBuckets, telemetry.Label{Name: "model", Value: model})
 }
 
 // engineSamples builds a scrape-time sampler that reads one value per

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +33,12 @@ type Server struct {
 	slowThresh time.Duration
 	log        *slog.Logger
 	inFlight   atomic.Int64 // predict requests currently being handled
+
+	// sampleRate is the probabilistic base rate for span recording; the
+	// tail-capture policy (slow, errored, shed, quarantined) keeps traces
+	// regardless. store holds what was kept, served by /v1/traces.
+	sampleRate float64
+	store      *telemetry.TraceStore
 }
 
 // DefaultMaxBodyBytes caps a predict request body unless ServerOptions
@@ -54,7 +62,21 @@ type ServerOptions struct {
 	// Logger receives the server's structured logs (slow requests).
 	// nil means slog.Default().
 	Logger *slog.Logger
+	// TraceSampleRate is the fraction of predicts that record full span
+	// timelines (per-layer decode/cache events included). Slow, errored,
+	// shed, and quarantined requests are kept regardless, with stage-level
+	// spans only when unsampled. 0 means DefaultTraceSampleRate; negative
+	// disables probabilistic sampling (tail capture still applies).
+	TraceSampleRate float64
+	// TraceStoreSize bounds the in-memory trace ring
+	// (0 = telemetry.DefaultTraceStoreSize).
+	TraceStoreSize int
 }
+
+// DefaultTraceSampleRate records 1% of predicts with full span detail —
+// enough exemplar coverage for dashboards without the per-layer event
+// collection showing up in the serving benchmarks.
+const DefaultTraceSampleRate = 0.01
 
 // NewServer wires the API routes over reg with default options.
 func NewServer(reg *Registry) *Server { return NewServerWith(reg, ServerOptions{}) }
@@ -67,6 +89,13 @@ func NewServerWith(reg *Registry, opt ServerOptions) *Server {
 	if opt.Logger == nil {
 		opt.Logger = slog.Default()
 	}
+	rate := opt.TraceSampleRate
+	switch {
+	case rate == 0:
+		rate = DefaultTraceSampleRate
+	case rate < 0:
+		rate = 0
+	}
 	s := &Server{
 		reg:        reg,
 		mux:        http.NewServeMux(),
@@ -74,11 +103,15 @@ func NewServerWith(reg *Registry, opt ServerOptions) *Server {
 		maxBody:    opt.MaxBodyBytes,
 		slowThresh: opt.SlowRequestThreshold,
 		log:        opt.Logger,
+		sampleRate: rate,
+		store:      telemetry.NewTraceStore(opt.TraceStoreSize),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceByID)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// The server-level gauges live on the registry's telemetry so one
 	// scrape covers both; re-registering (a second server over the same
@@ -202,6 +235,21 @@ type predictResponse struct {
 	Trace   *telemetry.Breakdown `json:"trace,omitempty"`
 }
 
+// predictOutcome carries what the trace-keep / SLO decision needs from
+// one finished predict.
+type predictOutcome struct {
+	tr         *telemetry.Trace
+	parent     string // gateway attempt span ID from ParentHeader
+	t0         time.Time
+	model      string
+	rows       int
+	sampled    bool
+	status     int
+	shed       bool
+	quarantine bool
+	scoreSLO   bool // reached (or was refused by) the model — burns budget
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	s.inFlight.Add(1)
@@ -212,6 +260,21 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httputil.WriteError(w, http.StatusNotFound, "unknown model %q", name)
 		return
 	}
+	// One trace per request: the ID arrives from the tier above (the
+	// gateway mints one per client request and stamps every hedged
+	// attempt with it) or is minted here, and is always echoed in the
+	// response header so the client can quote it at the slow-request log.
+	// Whether the request records a full span timeline is a deterministic
+	// hash of the ID, so the gateway and every replica agree without
+	// coordination.
+	tr := telemetry.NewTrace(r.Header.Get(telemetry.TraceHeader))
+	tr.SetRecording(telemetry.SampleTrace(tr.ID, s.sampleRate))
+	w.Header().Set(telemetry.TraceHeader, tr.ID)
+	po := &predictOutcome{
+		tr: tr, parent: r.Header.Get(telemetry.ParentHeader),
+		t0: t0, model: name, sampled: tr.Recording(),
+	}
+	defer func() { s.finishPredict(po) }()
 	if q, quarantined := s.reg.Quarantined(name); quarantined {
 		// The model is known-corrupt on this replica: refuse cheaply, name
 		// the quarantine so the gateway routes around us instead of
@@ -219,6 +282,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// once the artifact changes).
 		w.Header().Set(httputil.QuarantineHeader, name)
 		w.Header().Set("Retry-After", "5")
+		po.status, po.quarantine, po.scoreSLO = http.StatusServiceUnavailable, true, true
 		httputil.WriteError(w, http.StatusServiceUnavailable,
 			"model %q quarantined: %s", name, q.Reason)
 		return
@@ -230,20 +294,23 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &tooLarge) {
 			status = http.StatusRequestEntityTooLarge
 		}
+		po.status = status
 		httputil.WriteError(w, status, "bad request body: %v", err)
 		return
 	}
 	if len(req.Inputs) > maxPredictRows {
+		po.status = http.StatusRequestEntityTooLarge
 		httputil.WriteError(w, http.StatusRequestEntityTooLarge, "%d input rows exceed the per-request limit of %d", len(req.Inputs), maxPredictRows)
 		return
 	}
-	// One trace per request: the ID arrives from the tier above (the
-	// gateway mints one per client request and stamps every hedged
-	// attempt with it) or is minted here, and is always echoed in the
-	// response header so the client can quote it at the slow-request log.
-	tr := telemetry.NewTrace(r.Header.Get(telemetry.TraceHeader))
-	w.Header().Set(telemetry.TraceHeader, tr.ID)
+	po.rows = len(req.Inputs)
 	out, err := e.PredictBatchedTraced(req.Inputs, tr)
+	po.scoreSLO = true
+	// The stage split rides back to the gateway as a response header, so
+	// its slow-request log names where the time went without a synchronous
+	// trace fetch. Encode is excluded: the header is written before the
+	// body is serialised.
+	w.Header().Set(telemetry.StagesHeader, stagesHeaderValue(tr))
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {
@@ -253,6 +320,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			// Shed with a hint instead of queueing: the client (or the
 			// gateway in front of us) should back off or go elsewhere.
 			status = http.StatusServiceUnavailable
+			po.shed = true
 			w.Header().Set("Retry-After", "1")
 		case errors.Is(err, ErrClosed):
 			status = http.StatusServiceUnavailable
@@ -263,12 +331,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			// corruption self-heals (entry already ejected), so MarkCorrupt
 			// declines to quarantine and the client's retry re-decodes.
 			status = http.StatusServiceUnavailable
+			po.quarantine = true
 			w.Header().Set("Retry-After", "1")
 			if s.reg.MarkCorrupt(name, err) {
 				w.Header().Set(httputil.QuarantineHeader, name)
 				w.Header().Set("Retry-After", "5")
 			}
 		}
+		po.status = status
 		httputil.WriteError(w, status, "%v", err)
 		return
 	}
@@ -288,11 +358,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// get the measured value.
 		resp.Trace = tr.Breakdown(time.Since(t0))
 	}
+	po.status = http.StatusOK
 	encodeStart := time.Now()
 	httputil.WriteJSON(w, http.StatusOK, resp)
 	encode := time.Since(encodeStart)
 	tr.Add(telemetry.StageEncode, encode)
-	s.reg.stages[telemetry.StageEncode].Observe(encode.Seconds())
+	if po.sampled {
+		s.reg.stages[telemetry.StageEncode].ObserveExemplar(encode.Seconds(), tr.ID)
+	} else {
+		s.reg.stages[telemetry.StageEncode].Observe(encode.Seconds())
+	}
 
 	if total := time.Since(t0); s.slowThresh > 0 && total >= s.slowThresh {
 		s.log.Warn("slow request",
@@ -308,6 +383,161 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			"encode_ns", encode.Nanoseconds(),
 		)
 	}
+}
+
+// stagesHeaderValue renders a trace's stage split as the compact
+// "stage=ns;..." StagesHeader value (encode excluded — not yet measured
+// when the header is written).
+func stagesHeaderValue(tr *telemetry.Trace) string {
+	var b strings.Builder
+	for _, st := range telemetry.Stages() {
+		if st == telemetry.StageEncode {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(st.String())
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatInt(tr.Dur(st).Nanoseconds(), 10))
+	}
+	return b.String()
+}
+
+// finishPredict scores the finished request against the SLO, observes
+// the end-to-end latency histogram, and decides whether its trace is
+// kept: sampled traces always, plus the tail-capture policy (slow,
+// 5xx, shed, quarantined) so the requests an operator goes looking for
+// are retrievable even at low sample rates.
+func (s *Server) finishPredict(po *predictOutcome) {
+	total := time.Since(po.t0)
+	if po.scoreSLO {
+		s.reg.SLO().Record(po.model, total, po.status == http.StatusOK)
+	}
+	if h := s.reg.PredictHist(po.model); po.sampled {
+		h.ObserveExemplar(total.Seconds(), po.tr.ID)
+	} else {
+		h.Observe(total.Seconds())
+	}
+	var keep []string
+	if po.sampled {
+		keep = append(keep, telemetry.KeepSampled)
+	}
+	if s.slowThresh > 0 && total >= s.slowThresh {
+		keep = append(keep, telemetry.KeepSlow)
+	}
+	if po.status >= 500 && !po.shed && !po.quarantine {
+		keep = append(keep, telemetry.KeepError)
+	}
+	if po.shed {
+		keep = append(keep, telemetry.KeepShed)
+	}
+	if po.quarantine {
+		keep = append(keep, telemetry.KeepQuarantined)
+	}
+	if len(keep) == 0 {
+		return
+	}
+	s.store.Put(telemetry.StoredTrace{
+		ID:     po.tr.ID,
+		Model:  po.model,
+		Start:  po.t0,
+		Dur:    total,
+		Status: po.status,
+		Keep:   strings.Join(keep, ","),
+		Spans:  buildReplicaSpans(po, total),
+	})
+}
+
+// buildReplicaSpans lays one request's span tree out: a root span for
+// the replica's handling (parented under the gateway attempt that sent
+// it, when there was one), one child span per non-zero pipeline stage,
+// and — for sampled requests — one span per layer fetch recorded by the
+// forward pass. Stage spans are synthesized from the per-stage sums
+// (laid end to end from t0 in pipeline order: accurate durations,
+// approximate offsets); layer spans carry their real start times. The
+// decode.<layer> spans partition the decode stage exactly: their
+// durations sum to the decode stage span's.
+func buildReplicaSpans(po *predictOutcome, total time.Duration) []telemetry.Span {
+	traceID := po.tr.ID
+	root := telemetry.Span{
+		TraceID: traceID,
+		SpanID:  telemetry.MintSpanID(),
+		Parent:  po.parent,
+		Name:    "deepszd.predict",
+		Start:   po.t0,
+		Dur:     total,
+		Attrs: map[string]string{
+			"model":  po.model,
+			"rows":   strconv.Itoa(po.rows),
+			"status": strconv.Itoa(po.status),
+		},
+	}
+	spans := []telemetry.Span{root}
+	cursor := po.t0
+	for _, st := range telemetry.Stages() {
+		d := po.tr.Dur(st)
+		if d <= 0 {
+			continue
+		}
+		spans = append(spans, telemetry.Span{
+			TraceID: traceID,
+			SpanID:  telemetry.MintSpanID(),
+			Parent:  root.SpanID,
+			Name:    "stage." + st.String(),
+			Start:   cursor,
+			Dur:     d,
+			Attrs:   map[string]string{"timing": "stage_sum"},
+		})
+		cursor = cursor.Add(d)
+	}
+	for _, ev := range po.tr.LayerEvents() {
+		sp := telemetry.Span{
+			TraceID: traceID,
+			SpanID:  telemetry.MintSpanID(),
+			Parent:  root.SpanID,
+			Start:   ev.Start,
+			Attrs: map[string]string{
+				"codec":   ev.Codec,
+				"outcome": ev.Outcome,
+				"format":  ev.Format,
+				"density": strconv.FormatFloat(ev.Density, 'g', 4, 64),
+			},
+		}
+		if ev.DecodeDur > 0 {
+			// A miss: the decode portion is the span, so decode.* spans sum
+			// exactly to the decode stage total.
+			sp.Name, sp.Dur = "decode."+ev.Layer, ev.DecodeDur
+		} else {
+			sp.Name, sp.Dur = "cache."+ev.Layer, ev.Dur
+		}
+		spans = append(spans, sp)
+	}
+	return spans
+}
+
+// handleTraces serves the kept-trace index, newest first (?n= bounds the
+// count).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil {
+			n = parsed
+		}
+	}
+	httputil.WriteJSON(w, http.StatusOK, struct {
+		Traces []telemetry.TraceSummary `json:"traces"`
+	}{Traces: s.store.Index(n)})
+}
+
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, ok := s.store.Get(id)
+	if !ok {
+		httputil.WriteError(w, http.StatusNotFound, "trace %q not stored on this replica", id)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, t)
 }
 
 type statsResponse struct {
@@ -328,6 +558,9 @@ type statsResponse struct {
 	// Quarantined lists models currently refused with 503 because a
 	// corrupt artifact was detected; absent when every model is healthy.
 	Quarantined map[string]QuarantineInfo `json:"quarantined,omitempty"`
+	// SLO is the per-model attainment and burn-rate report; absent unless
+	// -slo-target-ms configured one.
+	SLO *telemetry.SLOReport `json:"slo,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -341,6 +574,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.HitRate = resp.Cache.HitRate()
 	resp.EffectiveHitRate = resp.Cache.EffectiveHitRate()
+	resp.SLO = s.reg.SLO().Report()
 	if quar := s.reg.QuarantinedModels(); len(quar) > 0 {
 		resp.Quarantined = quar
 	}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// tracedPredict posts one predict carrying a fixed trace ID and returns
+// the echoed ID.
+func tracedPredict(t *testing.T, ts *httptest.Server, model, traceID string, rows [][]float32) string {
+	t.Helper()
+	body, _ := json.Marshal(struct {
+		Inputs [][]float32 `json:"inputs"`
+	}{rows})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/models/"+model+"/predict", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(telemetry.TraceHeader, traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d", resp.StatusCode)
+	}
+	return resp.Header.Get(telemetry.TraceHeader)
+}
+
+// fetchTrace pulls one stored trace over the API.
+func fetchTrace(t *testing.T, ts *httptest.Server, id string) telemetry.StoredTrace {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch status %d", resp.StatusCode)
+	}
+	var st telemetry.StoredTrace
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestTraceDecodeSpansSumToStageTotal locks the per-layer accounting
+// invariant: on a cold cache, a sampled predict's decode.<layer> spans
+// partition the decode stage exactly — their durations sum to the
+// stage.decode span's, to the nanosecond, because both are charged from
+// the same per-layer decode measurements. A warm second request must
+// instead report cache.<layer> hit events and no decode spans.
+func TestTraceDecodeSpansSumToStageTotal(t *testing.T) {
+	net, m := servedModel(t, 77)
+	reg := NewRegistry(0, BatchOptions{})
+	defer reg.Close()
+	if _, err := reg.Add("mlp", m, net, []int{1, 8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServerWith(reg, ServerOptions{TraceSampleRate: 1}))
+	defer ts.Close()
+
+	coldID := tracedPredict(t, ts, "mlp", telemetry.MintID(), testRows(2, 78))
+	cold := fetchTrace(t, ts, coldID)
+	if !strings.Contains(cold.Keep, telemetry.KeepSampled) {
+		t.Fatalf("trace keep %q, want it sampled at rate 1", cold.Keep)
+	}
+
+	var root *telemetry.Span
+	for i := range cold.Spans {
+		if cold.Spans[i].Name == "deepszd.predict" {
+			root = &cold.Spans[i]
+		}
+	}
+	if root == nil {
+		t.Fatalf("no deepszd.predict root span in %+v", cold.Spans)
+	}
+	var stageDecode, decodeSum int64
+	decodeSpans := 0
+	for _, sp := range cold.Spans {
+		switch {
+		case sp.Name == "stage.decode":
+			if sp.Parent != root.SpanID {
+				t.Fatalf("stage.decode parented to %q, want root %q", sp.Parent, root.SpanID)
+			}
+			stageDecode = sp.Dur.Nanoseconds()
+		case strings.HasPrefix(sp.Name, "decode."):
+			if sp.Parent != root.SpanID {
+				t.Fatalf("%s parented to %q, want root %q", sp.Name, sp.Parent, root.SpanID)
+			}
+			if sp.Attrs["outcome"] != OutcomeMiss {
+				t.Fatalf("cold-cache %s outcome %q, want %q", sp.Name, sp.Attrs["outcome"], OutcomeMiss)
+			}
+			decodeSum += sp.Dur.Nanoseconds()
+			decodeSpans++
+		}
+	}
+	if decodeSpans == 0 {
+		t.Fatal("cold-cache sampled trace recorded no per-layer decode spans")
+	}
+	if stageDecode == 0 {
+		t.Fatal("no stage.decode span recorded")
+	}
+	if decodeSum != stageDecode {
+		t.Fatalf("decode.* spans sum to %dns but stage.decode is %dns — per-layer decode accounting leaks", decodeSum, stageDecode)
+	}
+
+	// Warm pass: every layer is resident, so the trace carries cache hit
+	// events and not a single decode span.
+	warmID := tracedPredict(t, ts, "mlp", telemetry.MintID(), testRows(2, 78))
+	warm := fetchTrace(t, ts, warmID)
+	hits := 0
+	for _, sp := range warm.Spans {
+		if strings.HasPrefix(sp.Name, "decode.") {
+			t.Fatalf("warm trace still has %s", sp.Name)
+		}
+		if strings.HasPrefix(sp.Name, "cache.") && sp.Attrs["outcome"] == OutcomeHit {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatalf("warm trace recorded no cache hit events: %+v", warm.Spans)
+	}
+}

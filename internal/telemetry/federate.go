@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Metrics federation: the gateway scrapes each healthy replica's
+// /metrics, validates every scrape with the strict parser (a replica
+// whose exposition would mis-ingest in a real monitoring stack is a bug
+// to surface, not bytes to relay), and re-exports the union with a
+// `backend` label distinguishing the source. The merged output is itself
+// written in canonical order so it round-trips through ParseExposition —
+// the federated surface is held to the same contract as the per-replica
+// ones.
+
+// FederatedScrape is one backend's parsed /metrics scrape.
+type FederatedScrape struct {
+	Backend string
+	Scrape  *Scrape
+}
+
+// WriteFederated merges the scrapes into one exposition, tagging every
+// sample with its source via a `backend` label. Family metadata (help,
+// type) comes from the first backend exposing the family; a family whose
+// type disagrees across backends is an error — merging a counter with a
+// gauge under one name would corrupt both.
+func WriteFederated(w io.Writer, scrapes []FederatedScrape) error {
+	ordered := append([]FederatedScrape(nil), scrapes...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Backend < ordered[j].Backend })
+
+	type mergedFamily struct {
+		help, typ string
+		// samples per backend, in backend order: preserves each backend's
+		// le-ordered histogram series under its own label set.
+		samples []ParsedSample
+	}
+	fams := map[string]*mergedFamily{}
+	var names []string
+	for _, fs := range ordered {
+		if fs.Scrape == nil {
+			continue
+		}
+		for _, f := range fs.Scrape.Families {
+			mf, ok := fams[f.Name]
+			if !ok {
+				mf = &mergedFamily{help: f.Help, typ: f.Type}
+				fams[f.Name] = mf
+				names = append(names, f.Name)
+			} else if mf.typ != f.Type {
+				return fmt.Errorf("telemetry: family %s is %q on one backend, %q on another", f.Name, mf.typ, f.Type)
+			}
+			for _, sm := range f.Samples {
+				mf.samples = append(mf.samples, ParsedSample{
+					Name:     sm.Name,
+					Labels:   injectLabel(sm.Labels, Label{Name: "backend", Value: fs.Backend}),
+					Value:    sm.Value,
+					Exemplar: sm.Exemplar,
+				})
+			}
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		mf := fams[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(mf.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, mf.typ)
+		for _, sm := range mf.samples {
+			b.WriteString(sm.Name)
+			writeLabels(&b, sm.Labels)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(sm.Value))
+			if sm.Exemplar != nil {
+				writeExemplar(&b, &Exemplar{Labels: sm.Exemplar.Labels, Value: sm.Exemplar.Value})
+			}
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// injectLabel returns labels plus l, sorted by name. The source labels
+// are never mutated; a replica exposing its own `backend` label would
+// collide, so it is replaced by the federator's authoritative value.
+func injectLabel(labels []Label, l Label) []Label {
+	out := make([]Label, 0, len(labels)+1)
+	for _, x := range labels {
+		if x.Name != l.Name {
+			out = append(out, x)
+		}
+	}
+	out = append(out, l)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

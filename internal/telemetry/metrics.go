@@ -71,6 +71,14 @@ func (c *Counter) Value() uint64 {
 	return c.v.Load()
 }
 
+// Exemplar links one histogram bucket to a concrete observation — in
+// practice the trace ID of a request that landed in it, so a p99 bucket
+// in a dashboard points at a retrievable /v1/traces/{id} timeline.
+type Exemplar struct {
+	Labels []Label
+	Value  float64
+}
+
 // Histogram is a fixed-bucket distribution. Observations are lock-free:
 // one scan over the bounds, one atomic bucket increment, one atomic CAS
 // for the sum. A nil *Histogram is a valid no-op.
@@ -78,6 +86,10 @@ type Histogram struct {
 	bounds  []float64       // sorted ascending; counts has len(bounds)+1 (last = +Inf)
 	counts  []atomic.Uint64 // per-bucket (non-cumulative) observation counts
 	sumBits atomic.Uint64   // float64 bits of the running sum
+	// exemplars holds the last exemplar-bearing observation per bucket.
+	// Only ObserveExemplar touches it — the plain Observe hot path never
+	// pays for exemplars, which is what keeps span-off requests free.
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 // Observe records one value.
@@ -98,6 +110,36 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveSince records the seconds elapsed since t0.
 func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// ObserveExemplar records one value and attaches traceID as the bucket's
+// exemplar (last writer wins). Call it only for sampled requests: the
+// exemplar store is one pointer swap, but minting the label slice is an
+// allocation the unsampled hot path should not pay.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	if traceID != "" && h.exemplars != nil {
+		h.exemplars[i].Store(&Exemplar{Labels: []Label{{Name: "trace_id", Value: traceID}}, Value: v})
+	}
+}
+
+// exemplarAt returns bucket i's exemplar, or nil.
+func (h *Histogram) exemplarAt(i int) *Exemplar {
+	if h.exemplars == nil {
+		return nil
+	}
+	return h.exemplars[i].Load()
+}
 
 // snapshot returns cumulative bucket counts, total count and sum.
 func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
@@ -203,7 +245,11 @@ func (f *family) child(labels []Label) *child {
 	case typeCounter:
 		c.ctr = &Counter{}
 	case typeHistogram:
-		c.hist = &Histogram{bounds: f.bounds, counts: make([]atomic.Uint64, len(f.bounds)+1)}
+		c.hist = &Histogram{
+			bounds:    f.bounds,
+			counts:    make([]atomic.Uint64, len(f.bounds)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(f.bounds)+1),
+		}
 	}
 	f.byKey[key] = c
 	f.children = append(f.children, c)
@@ -279,6 +325,23 @@ func writeLabels(b *strings.Builder, labels []Label, extra ...Label) {
 	b.WriteByte('}')
 }
 
+// writeExemplar appends an OpenMetrics-style exemplar suffix
+// (` # {trace_id="..."} value`) to a histogram bucket line. No-op for a
+// nil exemplar, so unsampled buckets emit plain Prometheus text.
+func writeExemplar(b *strings.Builder, ex *Exemplar) {
+	if ex == nil {
+		return
+	}
+	b.WriteString(" # ")
+	if len(ex.Labels) == 0 {
+		b.WriteString("{}")
+	} else {
+		writeLabels(b, ex.Labels)
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(ex.Value))
+}
+
 func formatValue(v float64) string {
 	switch {
 	case math.IsInf(v, 1):
@@ -344,12 +407,16 @@ func (r *Registry) WriteExposition(w io.Writer) error {
 					b.WriteString(f.name)
 					b.WriteString("_bucket")
 					writeLabels(&b, c.labels, Label{"le", formatValue(bound)})
-					fmt.Fprintf(&b, " %d\n", cum[i])
+					fmt.Fprintf(&b, " %d", cum[i])
+					writeExemplar(&b, c.hist.exemplarAt(i))
+					b.WriteByte('\n')
 				}
 				b.WriteString(f.name)
 				b.WriteString("_bucket")
 				writeLabels(&b, c.labels, Label{"le", "+Inf"})
-				fmt.Fprintf(&b, " %d\n", count)
+				fmt.Fprintf(&b, " %d", count)
+				writeExemplar(&b, c.hist.exemplarAt(len(c.hist.bounds)))
+				b.WriteByte('\n')
 				b.WriteString(f.name)
 				b.WriteString("_sum")
 				writeLabels(&b, c.labels)

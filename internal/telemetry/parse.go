@@ -16,11 +16,22 @@ import (
 // silently mis-ingest. CheckMonotonic compares two scrapes and rejects
 // counters that went backwards.
 
+// ParsedExemplar is a histogram bucket line's ` # {labels} value`
+// exemplar suffix.
+type ParsedExemplar struct {
+	Labels []Label
+	Value  float64
+}
+
 // ParsedSample is one parsed exposition line.
 type ParsedSample struct {
 	Name   string // full sample name, including _bucket/_sum/_count suffixes
 	Labels []Label
 	Value  float64
+	// Exemplar is non-nil when the line carried an exemplar suffix; legal
+	// only on histogram _bucket lines (ParseExposition enforces this).
+	// Cross-scrape checks (Counters, CheckMonotonic) ignore it entirely.
+	Exemplar *ParsedExemplar
 }
 
 // ParsedFamily is one metric family block from a scrape.
@@ -153,6 +164,9 @@ func ParseExposition(data []byte) (*Scrape, error) {
 		if cur == nil || !sampleFamily(sm.Name, cur.Name, cur.Type) {
 			return nil, fmt.Errorf("line %d: sample %s outside its family block", lineNo, sm.Name)
 		}
+		if sm.Exemplar != nil && (cur.Type != typeHistogram || !strings.HasSuffix(sm.Name, "_bucket")) {
+			return nil, fmt.Errorf("line %d: exemplar on non-histogram-bucket sample %s", lineNo, sm.Name)
+		}
 		key := sm.Name + "{" + labelKey(sm.Labels) + "}"
 		if seenSamples[key] {
 			return nil, fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
@@ -253,9 +267,10 @@ func checkHistogram(f *ParsedFamily) error {
 	return nil
 }
 
-// parseSampleLine parses `name{l1="v1",...} value` with strict label
-// hygiene: names valid, labels sorted ascending, no duplicates, no
-// trailing timestamp (the registry never writes one).
+// parseSampleLine parses `name{l1="v1",...} value` — optionally followed
+// by an exemplar suffix ` # {labels} value` — with strict label hygiene:
+// names valid, labels sorted ascending, no duplicates, values quoted and
+// escaped, no trailing timestamp (the registry never writes one).
 func parseSampleLine(line string) (ParsedSample, error) {
 	var sm ParsedSample
 	rest := line
@@ -268,70 +283,10 @@ func parseSampleLine(line string) (ParsedSample, error) {
 		return sm, fmt.Errorf("bad sample name %q", sm.Name)
 	}
 	if rest[i] == '{' {
-		rest = rest[i+1:]
-		prevName := ""
-		for {
-			if len(rest) == 0 {
-				return sm, fmt.Errorf("unterminated labels in %q", line)
-			}
-			if rest[0] == '}' {
-				rest = rest[1:]
-				break
-			}
-			eq := strings.IndexByte(rest, '=')
-			if eq < 0 {
-				return sm, fmt.Errorf("malformed label in %q", line)
-			}
-			lname := rest[:eq]
-			if !nameRe.MatchString(lname) {
-				return sm, fmt.Errorf("bad label name %q", lname)
-			}
-			if lname == prevName {
-				return sm, fmt.Errorf("duplicate label %q", lname)
-			}
-			if lname < prevName {
-				return sm, fmt.Errorf("labels not sorted: %q after %q", lname, prevName)
-			}
-			prevName = lname
-			rest = rest[eq+1:]
-			if len(rest) == 0 || rest[0] != '"' {
-				return sm, fmt.Errorf("unquoted label value in %q", line)
-			}
-			rest = rest[1:]
-			var val strings.Builder
-			for {
-				if len(rest) == 0 {
-					return sm, fmt.Errorf("unterminated label value in %q", line)
-				}
-				c := rest[0]
-				if c == '\\' {
-					if len(rest) < 2 {
-						return sm, fmt.Errorf("dangling escape in %q", line)
-					}
-					switch rest[1] {
-					case '\\':
-						val.WriteByte('\\')
-					case 'n':
-						val.WriteByte('\n')
-					case '"':
-						val.WriteByte('"')
-					default:
-						return sm, fmt.Errorf("bad escape \\%c in %q", rest[1], line)
-					}
-					rest = rest[2:]
-					continue
-				}
-				if c == '"' {
-					rest = rest[1:]
-					break
-				}
-				val.WriteByte(c)
-				rest = rest[1:]
-			}
-			sm.Labels = append(sm.Labels, Label{Name: lname, Value: val.String()})
-			if len(rest) > 0 && rest[0] == ',' {
-				rest = rest[1:]
-			}
+		var err error
+		sm.Labels, rest, err = parseLabelSet(rest[i+1:], line)
+		if err != nil {
+			return sm, err
 		}
 	} else {
 		rest = rest[i:]
@@ -340,20 +295,137 @@ func parseSampleLine(line string) (ParsedSample, error) {
 	if rest == "" {
 		return sm, fmt.Errorf("missing value in %q", line)
 	}
-	if strings.ContainsAny(rest, " \t") {
+	valueTok := rest
+	if j := strings.Index(rest, " # "); j >= 0 {
+		valueTok = rest[:j]
+		ex, err := parseExemplar(rest[j+3:], line)
+		if err != nil {
+			return sm, err
+		}
+		sm.Exemplar = ex
+	}
+	if strings.ContainsAny(valueTok, " \t") {
 		return sm, fmt.Errorf("trailing tokens (timestamp?) in %q", line)
 	}
 	var err error
-	switch rest {
-	case "+Inf":
-		sm.Value = math.Inf(1)
-	case "-Inf":
-		sm.Value = math.Inf(-1)
-	default:
-		sm.Value, err = strconv.ParseFloat(rest, 64)
-		if err != nil {
-			return sm, fmt.Errorf("bad value %q", rest)
-		}
+	if sm.Value, err = parseValueToken(valueTok); err != nil {
+		return sm, err
 	}
 	return sm, nil
+}
+
+// parseLabelSet parses the strict `name="value",...}` body of a label
+// set (the caller consumed the opening brace) and returns the labels and
+// the unconsumed remainder of the line.
+func parseLabelSet(rest, line string) ([]Label, string, error) {
+	var labels []Label
+	prevName := ""
+	for {
+		if len(rest) == 0 {
+			return nil, "", fmt.Errorf("unterminated labels in %q", line)
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("malformed label in %q", line)
+		}
+		lname := rest[:eq]
+		if !nameRe.MatchString(lname) {
+			return nil, "", fmt.Errorf("bad label name %q", lname)
+		}
+		if lname == prevName {
+			return nil, "", fmt.Errorf("duplicate label %q", lname)
+		}
+		if lname < prevName {
+			return nil, "", fmt.Errorf("labels not sorted: %q after %q", lname, prevName)
+		}
+		prevName = lname
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value in %q", line)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		for {
+			if len(rest) == 0 {
+				return nil, "", fmt.Errorf("unterminated label value in %q", line)
+			}
+			c := rest[0]
+			if c == '\\' {
+				if len(rest) < 2 {
+					return nil, "", fmt.Errorf("dangling escape in %q", line)
+				}
+				switch rest[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case 'n':
+					val.WriteByte('\n')
+				case '"':
+					val.WriteByte('"')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in %q", rest[1], line)
+				}
+				rest = rest[2:]
+				continue
+			}
+			if c == '"' {
+				rest = rest[1:]
+				break
+			}
+			val.WriteByte(c)
+			rest = rest[1:]
+		}
+		// A label value must be followed by ',' (more labels) or '}' (end):
+		// anything else — most likely an unescaped quote inside the value
+		// that terminated it early — is a malformed line.
+		if len(rest) == 0 || (rest[0] != ',' && rest[0] != '}') {
+			return nil, "", fmt.Errorf("unescaped or malformed label value in %q", line)
+		}
+		labels = append(labels, Label{Name: lname, Value: val.String()})
+		if rest[0] == ',' {
+			rest = rest[1:]
+		}
+	}
+}
+
+// parseExemplar parses the `{labels} value` tail of an exemplar suffix
+// with the same label strictness as sample lines. A trailing timestamp is
+// rejected — the registry never writes one.
+func parseExemplar(s, line string) (*ParsedExemplar, error) {
+	if len(s) == 0 || s[0] != '{' {
+		return nil, fmt.Errorf("malformed exemplar in %q", line)
+	}
+	labels, rest, err := parseLabelSet(s[1:], line)
+	if err != nil {
+		return nil, err
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" {
+		return nil, fmt.Errorf("exemplar missing value in %q", line)
+	}
+	if strings.ContainsAny(rest, " \t") {
+		return nil, fmt.Errorf("trailing tokens after exemplar in %q", line)
+	}
+	v, err := parseValueToken(rest)
+	if err != nil {
+		return nil, err
+	}
+	return &ParsedExemplar{Labels: labels, Value: v}, nil
+}
+
+// parseValueToken parses one exposition value token.
+func parseValueToken(tok string) (float64, error) {
+	switch tok {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", tok)
+	}
+	return v, nil
 }

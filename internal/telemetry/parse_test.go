@@ -171,3 +171,118 @@ func TestParseGaugeMayDecrease(t *testing.T) {
 		t.Fatalf("gauges must be exempt from monotonicity: %v", err)
 	}
 }
+
+// Exemplar suffixes (` # {trace_id="..."} value`) are legal only on
+// histogram _bucket lines; anywhere else they are a writer bug.
+
+func TestParseAcceptsExemplarOnBucket(t *testing.T) {
+	s := mustParse(t, `# HELP h_seconds x
+# TYPE h_seconds histogram
+h_seconds_bucket{le="0.1"} 5 # {trace_id="ab12cd34ef56ab78"} 0.07
+h_seconds_bucket{le="+Inf"} 6
+h_seconds_sum 1
+h_seconds_count 6
+`)
+	sm := s.Family("h_seconds").Samples[0]
+	if sm.Exemplar == nil {
+		t.Fatal("exemplar dropped")
+	}
+	if sm.Exemplar.Value != 0.07 || sm.Exemplar.Labels[0] != (Label{"trace_id", "ab12cd34ef56ab78"}) {
+		t.Fatalf("exemplar = %+v", sm.Exemplar)
+	}
+	if sm.Value != 5 {
+		t.Fatalf("bucket value = %v", sm.Value)
+	}
+}
+
+func TestParseRejectsExemplarOnCounter(t *testing.T) {
+	mustReject(t, `# HELP a_total x
+# TYPE a_total counter
+a_total 1 # {trace_id="ab"} 0.5
+`, "exemplar on non-histogram-bucket")
+}
+
+func TestParseRejectsExemplarOnHistogramSum(t *testing.T) {
+	mustReject(t, `# HELP h_seconds x
+# TYPE h_seconds histogram
+h_seconds_bucket{le="+Inf"} 1
+h_seconds_sum 1 # {trace_id="ab"} 0.5
+h_seconds_count 1
+`, "exemplar on non-histogram-bucket")
+}
+
+func TestParseRejectsExemplarWithTimestamp(t *testing.T) {
+	mustReject(t, `# HELP h_seconds x
+# TYPE h_seconds histogram
+h_seconds_bucket{le="+Inf"} 1 # {trace_id="ab"} 0.5 1700000000
+h_seconds_sum 1
+h_seconds_count 1
+`, "trailing tokens")
+}
+
+func TestParseRejectsUnescapedLabelValue(t *testing.T) {
+	// The quote inside the value terminates it early; the next byte is
+	// neither ',' nor '}' — a writer that forgot to escape.
+	mustReject(t, `# HELP a_info x
+# TYPE a_info gauge
+a_info{path="C:"tmp"} 1
+`, "unescaped or malformed label value")
+}
+
+// TestCheckMonotonicIgnoresExemplars: the cross-scrape check compares
+// bucket values only — a bucket whose exemplar changed (or vanished)
+// between scrapes is not a regression.
+func TestCheckMonotonicIgnoresExemplars(t *testing.T) {
+	prev := mustParse(t, `# HELP h_seconds x
+# TYPE h_seconds histogram
+h_seconds_bucket{le="+Inf"} 1 # {trace_id="aa"} 0.5
+h_seconds_sum 0.5
+h_seconds_count 1
+`)
+	cur := mustParse(t, `# HELP h_seconds x
+# TYPE h_seconds histogram
+h_seconds_bucket{le="+Inf"} 2 # {trace_id="bb"} 0.1
+h_seconds_sum 0.6
+h_seconds_count 2
+`)
+	if err := CheckMonotonic(prev, cur); err != nil {
+		t.Fatalf("exemplar churn tripped monotonicity: %v", err)
+	}
+	bare := mustParse(t, `# HELP h_seconds x
+# TYPE h_seconds histogram
+h_seconds_bucket{le="+Inf"} 3
+h_seconds_sum 0.7
+h_seconds_count 3
+`)
+	if err := CheckMonotonic(cur, bare); err != nil {
+		t.Fatalf("vanished exemplar tripped monotonicity: %v", err)
+	}
+}
+
+// TestExpositionExemplarRoundTrip: a histogram written with exemplars
+// must re-parse to the same bucket exemplars, and the plain Observe path
+// must emit no exemplar suffix at all.
+func TestExpositionExemplarRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "x", []float64{0.1, 1}, Label{"model", "m"})
+	h.Observe(0.05) // plain path: no exemplar
+	h.ObserveExemplar(0.5, "feedbeeffeedbeef")
+	h.ObserveExemplar(5, "0123456789abcdef")
+	var b strings.Builder
+	if err := r.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	s := mustParse(t, b.String())
+	var got []string
+	for _, sm := range s.Family("h_seconds").Samples {
+		if sm.Exemplar != nil {
+			got = append(got, sm.Exemplar.Labels[0].Value)
+		}
+	}
+	if len(got) != 2 || got[0] != "feedbeeffeedbeef" || got[1] != "0123456789abcdef" {
+		t.Fatalf("round-tripped exemplars = %v", got)
+	}
+	if strings.Contains(b.String(), `le="0.1"} 1 #`) {
+		t.Fatal("plain Observe emitted an exemplar")
+	}
+}

@@ -1,0 +1,268 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Per-model SLO tracking. The operator states a latency target and an
+// objective ("99% of predicts under 250ms"); the tracker answers two
+// questions per model: what fraction of recent requests met the target
+// (attainment), and how fast the error budget is burning. Burn rate is
+// the standard multi-window form: (1 - attainment) / (1 - objective),
+// so 1.0 means failing at exactly the budgeted rate, 10 means the
+// budget disappears 10x faster than allowed. Two windows — a short one
+// that reacts and a long one that confirms — is the smallest setup that
+// can page on fast burn without flapping on noise.
+
+// sloBucketDur is the ring resolution; sloBuckets*sloBucketDur must
+// cover the longest reporting window (1h).
+const (
+	sloBucketDur = 10 * time.Second
+	sloBuckets   = 361 // 1h window + 1 spare so the live bucket never aliases
+)
+
+// sloWindows are the reporting windows, shortest first.
+var sloWindows = []time.Duration{5 * time.Minute, time.Hour}
+
+// sloBucket is one 10s slice of one model's history.
+type sloBucket struct {
+	index int64 // absolute bucket index; stale slots are skipped, not zeroed
+	good  uint64
+	total uint64
+}
+
+type sloSeries struct {
+	buckets [sloBuckets]sloBucket
+	// lifetime counters back the deepsz_slo_requests_total metric
+	// (monotonic, unlike the windowed ring).
+	good, total uint64
+}
+
+// SLOTracker records per-model request outcomes against a latency
+// target and reports windowed attainment and burn rate. Nil-safe: a nil
+// tracker records nothing and reports nothing, so the serving path can
+// call it unconditionally whether or not SLOs are configured.
+type SLOTracker struct {
+	target    time.Duration
+	objective float64
+	now       func() time.Time // injectable for tests
+
+	mu     sync.Mutex
+	series map[string]*sloSeries
+}
+
+// NewSLOTracker creates a tracker for the given latency target and
+// availability objective (e.g. 250ms, 0.99). Returns nil — SLOs off —
+// unless both are meaningful.
+func NewSLOTracker(target time.Duration, objective float64) *SLOTracker {
+	if target <= 0 || objective <= 0 || objective >= 1 {
+		return nil
+	}
+	return &SLOTracker{
+		target:    target,
+		objective: objective,
+		now:       time.Now,
+		series:    make(map[string]*sloSeries),
+	}
+}
+
+// Record notes one finished request: good means it succeeded AND met
+// the latency target. Shed and errored requests burn budget too — an
+// SLO that ignored 503s would report 100% attainment during an outage.
+func (s *SLOTracker) Record(model string, dur time.Duration, success bool) {
+	if s == nil {
+		return
+	}
+	good := success && dur <= s.target
+	idx := s.now().UnixNano() / int64(sloBucketDur)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ser := s.series[model]
+	if ser == nil {
+		ser = &sloSeries{}
+		s.series[model] = ser
+	}
+	b := &ser.buckets[idx%sloBuckets]
+	if b.index != idx {
+		b.index, b.good, b.total = idx, 0, 0
+	}
+	b.total++
+	ser.total++
+	if good {
+		b.good++
+		ser.good++
+	}
+}
+
+// SLOWindow is one window's attainment for one model.
+type SLOWindow struct {
+	Window     string  `json:"window"`
+	Good       uint64  `json:"good"`
+	Total      uint64  `json:"total"`
+	Attainment float64 `json:"attainment"`
+	// BurnRate is (1-attainment)/(1-objective): 1.0 burns the error
+	// budget exactly as fast as the objective allows.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// SLOModel is one model's windowed attainment plus lifetime totals.
+type SLOModel struct {
+	Good    uint64      `json:"good_total"`
+	Total   uint64      `json:"requests_total"`
+	Windows []SLOWindow `json:"windows"`
+}
+
+// SLOReport is the /v1/stats slice of the tracker.
+type SLOReport struct {
+	TargetMs  float64             `json:"target_ms"`
+	Objective float64             `json:"objective"`
+	Models    map[string]SLOModel `json:"models"`
+}
+
+// Report snapshots windowed attainment for every model seen. Nil for a
+// nil tracker (SLOs not configured).
+func (s *SLOTracker) Report() *SLOReport {
+	if s == nil {
+		return nil
+	}
+	nowIdx := s.now().UnixNano() / int64(sloBucketDur)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := &SLOReport{
+		TargetMs:  float64(s.target) / float64(time.Millisecond),
+		Objective: s.objective,
+		Models:    make(map[string]SLOModel, len(s.series)),
+	}
+	for model, ser := range s.series {
+		m := SLOModel{Good: ser.good, Total: ser.total}
+		for _, w := range sloWindows {
+			span := int64(w / sloBucketDur)
+			var good, total uint64
+			for i := range ser.buckets {
+				b := &ser.buckets[i]
+				// live bucket included: index in (nowIdx-span, nowIdx]
+				if b.index > nowIdx-span && b.index <= nowIdx {
+					good += b.good
+					total += b.total
+				}
+			}
+			sw := SLOWindow{Window: w.String(), Good: good, Total: total}
+			if total > 0 {
+				sw.Attainment = float64(good) / float64(total)
+				sw.BurnRate = (1 - sw.Attainment) / (1 - s.objective)
+			}
+			m.Windows = append(m.Windows, sw)
+		}
+		rep.Models[model] = m
+	}
+	return rep
+}
+
+// Target returns the latency target (0 for a nil tracker).
+func (s *SLOTracker) Target() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.target
+}
+
+// Objective returns the availability objective (0 for a nil tracker).
+func (s *SLOTracker) Objective() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.objective
+}
+
+// Models returns the models seen, sorted — the stable iteration order
+// metric samplers need.
+func (s *SLOTracker) Models() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.series))
+	for m := range s.series {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Windows lists the reporting window labels in order.
+func SLOWindows() []string {
+	out := make([]string, len(sloWindows))
+	for i, w := range sloWindows {
+		out[i] = w.String()
+	}
+	return out
+}
+
+// RegisterSLOMetrics exposes one SLO tracker under the given metric
+// prefix ("deepsz" on the replica, "deepszgw" on the gateway).
+// Everything is sampled from the tracker at scrape time — recording a
+// request never touches a metric family.
+func RegisterSLOMetrics(tel *Registry, prefix string, s *SLOTracker) {
+	tel.GaugeFunc(prefix+"_slo_target_seconds",
+		"Configured SLO latency target: a request at or under this is good.",
+		func() []Sample {
+			return []Sample{{Value: s.Target().Seconds()}}
+		})
+	tel.GaugeFunc(prefix+"_slo_objective",
+		"Configured SLO objective: the fraction of requests that must be good.",
+		func() []Sample {
+			return []Sample{{Value: s.Objective()}}
+		})
+	tel.GaugeFunc(prefix+"_slo_attainment",
+		"Fraction of requests meeting the SLO target per rolling window, by model.",
+		func() []Sample {
+			var out []Sample
+			rep := s.Report()
+			for _, model := range s.Models() {
+				for _, w := range rep.Models[model].Windows {
+					out = append(out, Sample{
+						Labels: []Label{{Name: "model", Value: model}, {Name: "window", Value: w.Window}},
+						Value:  w.Attainment,
+					})
+				}
+			}
+			return out
+		})
+	tel.GaugeFunc(prefix+"_slo_burn_rate",
+		"Error-budget burn rate per rolling window, by model: 1.0 burns the budget exactly as fast as the objective allows.",
+		func() []Sample {
+			var out []Sample
+			rep := s.Report()
+			for _, model := range s.Models() {
+				for _, w := range rep.Models[model].Windows {
+					out = append(out, Sample{
+						Labels: []Label{{Name: "model", Value: model}, {Name: "window", Value: w.Window}},
+						Value:  w.BurnRate,
+					})
+				}
+			}
+			return out
+		})
+	tel.CounterFunc(prefix+"_slo_requests_total",
+		"Requests scored against the SLO, by model and result (good = succeeded within target).",
+		func() []Sample {
+			var out []Sample
+			rep := s.Report()
+			for _, model := range s.Models() {
+				m := rep.Models[model]
+				out = append(out,
+					Sample{
+						Labels: []Label{{Name: "model", Value: model}, {Name: "result", Value: "good"}},
+						Value:  float64(m.Good),
+					},
+					Sample{
+						Labels: []Label{{Name: "model", Value: model}, {Name: "result", Value: "bad"}},
+						Value:  float64(m.Total - m.Good),
+					})
+			}
+			return out
+		})
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"hash/fnv"
+	"io"
+	"time"
+)
+
+// ParentHeader carries the gateway attempt's span ID down to the replica,
+// so the replica's root span links under the exact attempt that produced
+// it (hedged attempts get distinct span IDs under one trace ID).
+const ParentHeader = "X-Deepsz-Parent-Span"
+
+// StagesHeader is the replica's compact per-stage breakdown, attached to
+// every predict response as "stage=ns" pairs joined by ';'. It is what
+// lets the gateway log a cross-tier slow request without a synchronous
+// trace fetch. Encode time is excluded (the header is written before the
+// response body is serialised).
+const StagesHeader = "X-Deepsz-Stages"
+
+// Span is one timed operation in a request's cross-tier life: the
+// gateway's root span parents one span per backend attempt, each attempt
+// parents the replica's request span, which parents the per-stage spans
+// and the per-layer decode/cache events. Together the spans for one trace
+// ID form the single fleet-wide timeline /v1/traces/{id} assembles.
+type Span struct {
+	TraceID string    `json:"trace_id"`
+	SpanID  string    `json:"span_id"`
+	Parent  string    `json:"parent,omitempty"`
+	Name    string    `json:"name"`
+	Start   time.Time `json:"start"`
+	// Dur is the span's wall time in nanoseconds (time.Duration marshals
+	// as its integer nanosecond count).
+	Dur   time.Duration     `json:"dur_ns"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// MintSpanID returns a fresh 8-hex-char span ID — half the width of a
+// trace ID, so the two are visually distinct in logs.
+func MintSpanID() string {
+	var b [4]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
+	return hex.EncodeToString(b[:])
+}
+
+// SampleTrace decides whether the trace with the given ID records spans,
+// at a base rate in [0, 1]. The decision is a deterministic hash of the
+// ID, not a coin flip: the gateway and every replica make the same
+// keep/drop call for one trace with no coordination, so a sampled
+// gateway trace always finds its replica spans at assembly time.
+func SampleTrace(id string, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 || id == "" {
+		return false
+	}
+	h := fnv.New64a()
+	io.WriteString(h, id)
+	// Top 53 bits → uniform in [0, 1) with full float64 precision.
+	return float64(h.Sum64()>>11)/float64(uint64(1)<<53) < rate
+}
+
+// LayerEvent is one per-layer observation made inside a forward pass:
+// which compressed layer was fetched, how the decode cache answered
+// (hit, miss, coalesced, prefetch_hit, prefetch_overlap, corrupt_eject),
+// and what the paper's tradeoff looked like for it (codec, density,
+// resident format). Dur is the full weight-fetch time; DecodeDur is the
+// decompression portion alone, so the per-layer decode spans of a trace
+// sum to exactly its decode stage total.
+type LayerEvent struct {
+	Layer     string
+	Codec     string
+	Outcome   string
+	Format    string
+	Density   float64
+	Start     time.Time
+	Dur       time.Duration
+	DecodeDur time.Duration
+}

@@ -1,0 +1,272 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSampleTraceDeterministicAndBounded(t *testing.T) {
+	id := MintID()
+	first := SampleTrace(id, 0.5)
+	for i := 0; i < 10; i++ {
+		if SampleTrace(id, 0.5) != first {
+			t.Fatal("sampling decision not deterministic for a fixed ID")
+		}
+	}
+	if !SampleTrace(id, 1) || !SampleTrace(id, 2) {
+		t.Fatal("rate >= 1 must always sample")
+	}
+	if SampleTrace(id, 0) || SampleTrace(id, -1) || SampleTrace("", 0.5) {
+		t.Fatal("rate <= 0 or empty ID must never sample")
+	}
+	// The hash must actually spread: at 50% a thousand IDs should land
+	// well inside (here, generously, 25%-75%) on each side.
+	kept := 0
+	for i := 0; i < 1000; i++ {
+		if SampleTrace(MintID(), 0.5) {
+			kept++
+		}
+	}
+	if kept < 250 || kept > 750 {
+		t.Fatalf("rate 0.5 kept %d/1000 — hash not spreading", kept)
+	}
+}
+
+func TestTraceRecordingGatesLayerEvents(t *testing.T) {
+	tr := NewTrace("")
+	tr.AddLayerEvents([]LayerEvent{{Layer: "fc1"}})
+	if got := tr.LayerEvents(); len(got) != 0 {
+		t.Fatalf("non-recording trace kept %d events", len(got))
+	}
+	tr.SetRecording(true)
+	tr.AddLayerEvents([]LayerEvent{{Layer: "fc1", Outcome: "miss"}, {Layer: "fc2", Outcome: "hit"}})
+	if got := tr.LayerEvents(); len(got) != 2 || got[0].Layer != "fc1" {
+		t.Fatalf("recording trace events = %+v", got)
+	}
+	var nilTr *Trace
+	if nilTr.Recording() {
+		t.Fatal("nil trace must not record")
+	}
+	nilTr.AddLayerEvents([]LayerEvent{{}}) // must not panic
+}
+
+func TestTraceStoreRingEviction(t *testing.T) {
+	s := NewTraceStore(3)
+	base := time.Now()
+	for i, id := range []string{"t1", "t2", "t3", "t4"} {
+		s.Put(StoredTrace{ID: id, Start: base.Add(time.Duration(i) * time.Second), Keep: KeepSampled})
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if _, ok := s.Get("t1"); ok {
+		t.Fatal("oldest trace survived eviction")
+	}
+	if _, ok := s.Get("t4"); !ok {
+		t.Fatal("newest trace missing")
+	}
+	idx := s.Index(0)
+	if len(idx) != 3 || idx[0].ID != "t4" || idx[2].ID != "t2" {
+		t.Fatalf("index order wrong: %+v", idx)
+	}
+	if got := s.Index(2); len(got) != 2 || got[0].ID != "t4" {
+		t.Fatalf("Index(2) = %+v", got)
+	}
+}
+
+func TestTraceStoreAppendAndSortedGet(t *testing.T) {
+	s := NewTraceStore(4)
+	t0 := time.Now()
+	s.Put(StoredTrace{ID: "tr", Spans: []Span{
+		{TraceID: "tr", SpanID: "b", Name: "late", Start: t0.Add(time.Millisecond)},
+	}})
+	// A losing hedge's span lands after the trace was stored.
+	s.Append("tr", Span{TraceID: "tr", SpanID: "a", Name: "early", Start: t0})
+	s.Append("unknown", Span{SpanID: "x"}) // dropped, no panic
+	got, ok := s.Get("tr")
+	if !ok || len(got.Spans) != 2 {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if got.Spans[0].Name != "early" || got.Spans[1].Name != "late" {
+		t.Fatalf("spans not sorted by start: %+v", got.Spans)
+	}
+	// Get must snapshot: mutating the result must not touch the store.
+	got.Spans[0].Name = "mutated"
+	again, _ := s.Get("tr")
+	if again.Spans[0].Name != "early" {
+		t.Fatal("Get returned an aliased span slice")
+	}
+	var nilStore *TraceStore
+	nilStore.Put(StoredTrace{ID: "x"})
+	nilStore.Append("x", Span{})
+	if _, ok := nilStore.Get("x"); ok || nilStore.Len() != 0 || nilStore.Index(1) != nil {
+		t.Fatal("nil store must be inert")
+	}
+}
+
+func TestTraceStorePutSameIDReplaces(t *testing.T) {
+	s := NewTraceStore(2)
+	s.Put(StoredTrace{ID: "tr", Status: 200})
+	s.Put(StoredTrace{ID: "tr", Status: 503})
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate Put", s.Len())
+	}
+	got, _ := s.Get("tr")
+	if got.Status != 503 {
+		t.Fatalf("second Put did not replace: status %d", got.Status)
+	}
+}
+
+func TestSLOTrackerWindowsAndBurnRate(t *testing.T) {
+	s := NewSLOTracker(100*time.Millisecond, 0.99)
+	if s == nil {
+		t.Fatal("valid config returned nil tracker")
+	}
+	now := time.Unix(1_000_000, 0)
+	s.now = func() time.Time { return now }
+
+	// 40 minutes ago: inside 1h, outside 5m.
+	now = time.Unix(1_000_000, 0).Add(-40 * time.Minute)
+	for i := 0; i < 100; i++ {
+		s.Record("resnet", 10*time.Millisecond, true)
+	}
+	// Now: 90 good, 5 slow, 5 errored — attainment 0.90 in the 5m window.
+	now = time.Unix(1_000_000, 0)
+	for i := 0; i < 90; i++ {
+		s.Record("resnet", 10*time.Millisecond, true)
+	}
+	for i := 0; i < 5; i++ {
+		s.Record("resnet", 500*time.Millisecond, true) // met success, blew latency
+	}
+	for i := 0; i < 5; i++ {
+		s.Record("resnet", 10*time.Millisecond, false) // fast but errored
+	}
+
+	rep := s.Report()
+	m, ok := rep.Models["resnet"]
+	if !ok {
+		t.Fatalf("model missing from report: %+v", rep)
+	}
+	if m.Total != 200 || m.Good != 190 {
+		t.Fatalf("lifetime good/total = %d/%d, want 190/200", m.Good, m.Total)
+	}
+	if len(m.Windows) != 2 {
+		t.Fatalf("want 2 windows, got %+v", m.Windows)
+	}
+	w5, w1h := m.Windows[0], m.Windows[1]
+	if w5.Window != "5m0s" || w5.Total != 100 || w5.Good != 90 {
+		t.Fatalf("5m window = %+v", w5)
+	}
+	if got := w5.Attainment; got < 0.899 || got > 0.901 {
+		t.Fatalf("5m attainment = %v", got)
+	}
+	// burn = (1-0.90)/(1-0.99) = 10: the budget burns 10x the allowed rate.
+	if got := w5.BurnRate; got < 9.9 || got > 10.1 {
+		t.Fatalf("5m burn rate = %v, want 10", got)
+	}
+	if w1h.Total != 200 || w1h.Good != 190 {
+		t.Fatalf("1h window = %+v", w1h)
+	}
+	if got := w1h.BurnRate; got < 4.9 || got > 5.1 {
+		t.Fatalf("1h burn rate = %v, want 5", got)
+	}
+
+	// Advance 2h: both windows drain to zero, lifetime totals persist.
+	now = time.Unix(1_000_000, 0).Add(2 * time.Hour)
+	rep = s.Report()
+	m = rep.Models["resnet"]
+	if m.Windows[1].Total != 0 || m.Total != 200 {
+		t.Fatalf("stale buckets leaked into window: %+v", m)
+	}
+
+	if s.Models()[0] != "resnet" {
+		t.Fatalf("Models() = %v", s.Models())
+	}
+}
+
+func TestSLOTrackerNilAndInvalidConfig(t *testing.T) {
+	for _, tc := range []struct {
+		target time.Duration
+		obj    float64
+	}{{0, 0.99}, {time.Second, 0}, {time.Second, 1}, {time.Second, 1.5}, {-time.Second, 0.5}} {
+		if s := NewSLOTracker(tc.target, tc.obj); s != nil {
+			t.Fatalf("config %v/%v should disable SLOs", tc.target, tc.obj)
+		}
+	}
+	var s *SLOTracker
+	s.Record("m", time.Millisecond, true) // must not panic
+	if s.Report() != nil || s.Target() != 0 || s.Objective() != 0 || s.Models() != nil {
+		t.Fatal("nil tracker must be inert")
+	}
+}
+
+func TestWriteFederatedRoundTripsStrictParser(t *testing.T) {
+	mk := func(backend string, hits float64) FederatedScrape {
+		r := NewRegistry()
+		r.Counter("deepsz_cache_hits_total", "cache hits", Label{"model", "resnet"}).Add(uint64(hits))
+		h := r.Histogram("deepsz_predict_duration_seconds", "latency", []float64{0.1, 1})
+		h.ObserveExemplar(0.05, "abc123")
+		var b strings.Builder
+		if err := r.WriteExposition(&b); err != nil {
+			t.Fatal(err)
+		}
+		sc := mustParse(t, b.String())
+		return FederatedScrape{Backend: backend, Scrape: sc}
+	}
+	var out strings.Builder
+	if err := WriteFederated(&out, []FederatedScrape{mk("b2:9090", 7), mk("b1:9090", 3)}); err != nil {
+		t.Fatalf("WriteFederated: %v", err)
+	}
+	fed := mustParse(t, out.String()) // the federated output itself passes strict parse
+	f := fed.Family("deepsz_cache_hits_total")
+	if f == nil || len(f.Samples) != 2 {
+		t.Fatalf("federated counter family = %+v", f)
+	}
+	// Backends sorted, label injected in sorted position.
+	if f.Samples[0].Labels[0] != (Label{"backend", "b1:9090"}) || f.Samples[0].Labels[1] != (Label{"model", "resnet"}) {
+		t.Fatalf("first sample labels = %+v", f.Samples[0].Labels)
+	}
+	if f.Samples[1].Labels[0].Value != "b2:9090" || f.Samples[1].Value != 7 {
+		t.Fatalf("second sample = %+v", f.Samples[1])
+	}
+	// Exemplars survive federation.
+	hf := fed.Family("deepsz_predict_duration_seconds")
+	var sawExemplar bool
+	for _, sm := range hf.Samples {
+		if sm.Exemplar != nil {
+			sawExemplar = true
+			if sm.Exemplar.Labels[0] != (Label{"trace_id", "abc123"}) {
+				t.Fatalf("exemplar labels = %+v", sm.Exemplar.Labels)
+			}
+		}
+	}
+	if !sawExemplar {
+		t.Fatal("exemplar lost in federation")
+	}
+}
+
+func TestWriteFederatedTypeConflict(t *testing.T) {
+	a := mustParse(t, "# HELP x a\n# TYPE x counter\nx 1\n")
+	b := mustParse(t, "# HELP x a\n# TYPE x gauge\nx 1\n")
+	var out strings.Builder
+	err := WriteFederated(&out, []FederatedScrape{{"b1", a}, {"b2", b}})
+	if err == nil || !strings.Contains(err.Error(), "family x") {
+		t.Fatalf("type conflict not rejected: %v", err)
+	}
+}
+
+func TestWriteFederatedReplacesBackendLabel(t *testing.T) {
+	// A replica that (wrongly) exposes its own backend label must not
+	// collide with the federator's: the authoritative value wins.
+	sc := mustParse(t, "# HELP x a\n# TYPE x counter\nx{backend=\"liar\"} 1\n")
+	var out strings.Builder
+	if err := WriteFederated(&out, []FederatedScrape{{"real:9090", sc}}); err != nil {
+		t.Fatal(err)
+	}
+	fed := mustParse(t, out.String())
+	sm := fed.Family("x").Samples[0]
+	if len(sm.Labels) != 1 || sm.Labels[0].Value != "real:9090" {
+		t.Fatalf("backend label not replaced: %+v", sm.Labels)
+	}
+}

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Keep reasons: why a trace is in the store. "sampled" is the
+// probabilistic base rate; the rest are the tail-capture policy — the
+// requests an operator actually goes looking for are kept regardless of
+// the sampling coin.
+const (
+	KeepSampled     = "sampled"
+	KeepSlow        = "slow"
+	KeepError       = "error"
+	KeepShed        = "shed"
+	KeepQuarantined = "quarantined"
+)
+
+// StoredTrace is one kept request: its identity, outcome, and span tree.
+type StoredTrace struct {
+	ID    string    `json:"id"`
+	Model string    `json:"model,omitempty"`
+	Start time.Time `json:"start"`
+	// Dur is the request's end-to-end wall time in nanoseconds.
+	Dur    time.Duration `json:"dur_ns"`
+	Status int           `json:"status,omitempty"`
+	// Keep names why the trace was retained (sampled, slow, error, shed,
+	// quarantined) — comma-joined when several applied.
+	Keep  string `json:"keep"`
+	Spans []Span `json:"spans"`
+}
+
+// TraceSummary is one /v1/traces index row.
+type TraceSummary struct {
+	ID     string        `json:"id"`
+	Model  string        `json:"model,omitempty"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+	Status int           `json:"status,omitempty"`
+	Keep   string        `json:"keep"`
+	Spans  int           `json:"spans"`
+}
+
+// DefaultTraceStoreSize bounds the in-process trace ring unless
+// configured otherwise: enough recent history to chase a tail-latency
+// report, small enough that the store can never become the memory story.
+const DefaultTraceStoreSize = 256
+
+// TraceStore is a bounded in-process ring of kept traces, newest
+// evicting oldest. Lookup is by trace ID; Append accepts spans that
+// finish after their trace was stored (a losing hedged attempt's span
+// lands when its goroutine unwinds, which may be after the winner's
+// response — and its trace — was already written).
+type TraceStore struct {
+	mu   sync.Mutex
+	ring []*StoredTrace // fixed capacity; nil slots until full
+	next int            // ring slot the next Put overwrites
+	byID map[string]*StoredTrace
+}
+
+// NewTraceStore creates a store holding at most size traces
+// (size <= 0 means DefaultTraceStoreSize).
+func NewTraceStore(size int) *TraceStore {
+	if size <= 0 {
+		size = DefaultTraceStoreSize
+	}
+	return &TraceStore{
+		ring: make([]*StoredTrace, size),
+		byID: make(map[string]*StoredTrace, size),
+	}
+}
+
+// Put keeps a trace, evicting the oldest when full. A second Put with
+// the same ID replaces the first (a retried request reusing its ID).
+func (s *TraceStore) Put(t StoredTrace) {
+	if s == nil || t.ID == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.byID[t.ID]; ok {
+		*old = t
+		return
+	}
+	if victim := s.ring[s.next]; victim != nil {
+		delete(s.byID, victim.ID)
+	}
+	st := &t
+	s.ring[s.next] = st
+	s.byID[t.ID] = st
+	s.next = (s.next + 1) % len(s.ring)
+}
+
+// Append adds spans to an already-stored trace; spans for traces that
+// were never kept (or already evicted) are dropped.
+func (s *TraceStore) Append(id string, spans ...Span) {
+	if s == nil || len(spans) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.byID[id]; ok {
+		st.Spans = append(st.Spans, spans...)
+	}
+}
+
+// Get returns a snapshot of the stored trace with its spans sorted by
+// start time, or false when the ID is unknown.
+func (s *TraceStore) Get(id string) (StoredTrace, bool) {
+	if s == nil {
+		return StoredTrace{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.byID[id]
+	if !ok {
+		return StoredTrace{}, false
+	}
+	out := *st
+	out.Spans = append([]Span(nil), st.Spans...)
+	sort.SliceStable(out.Spans, func(i, j int) bool { return out.Spans[i].Start.Before(out.Spans[j].Start) })
+	return out, true
+}
+
+// Index returns up to n summaries, newest first (n <= 0 means all).
+func (s *TraceStore) Index(n int) []TraceSummary {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 || n > len(s.ring) {
+		n = len(s.ring)
+	}
+	out := make([]TraceSummary, 0, n)
+	// Walk backwards from the slot most recently written.
+	for i := 0; i < len(s.ring) && len(out) < n; i++ {
+		st := s.ring[(s.next-1-i+2*len(s.ring))%len(s.ring)]
+		if st == nil {
+			continue
+		}
+		out = append(out, TraceSummary{
+			ID: st.ID, Model: st.Model, Start: st.Start, Dur: st.Dur,
+			Status: st.Status, Keep: st.Keep, Spans: len(st.Spans),
+		})
+	}
+	return out
+}
+
+// Len reports how many traces are currently stored.
+func (s *TraceStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -80,6 +81,15 @@ func MintID() string {
 type Trace struct {
 	ID string
 	ns [NumStages]atomic.Int64
+
+	// recording turns per-layer event collection on for this request (set
+	// once at creation, before the trace is shared — the sampling
+	// decision). When false, the only cost the span machinery adds to the
+	// hot path is this bool's check.
+	recording bool
+
+	mu     sync.Mutex
+	events []LayerEvent
 }
 
 // NewTrace creates a trace with the given ID, minting one if empty.
@@ -88,6 +98,40 @@ func NewTrace(id string) *Trace {
 		id = MintID()
 	}
 	return &Trace{ID: id}
+}
+
+// SetRecording marks the trace as span-recording. Call once at creation,
+// before the trace is handed to other goroutines.
+func (t *Trace) SetRecording(on bool) {
+	if t != nil {
+		t.recording = on
+	}
+}
+
+// Recording reports whether per-layer events are being collected (false
+// for a nil trace).
+func (t *Trace) Recording() bool { return t != nil && t.recording }
+
+// AddLayerEvents appends per-layer observations from a forward pass.
+// No-op unless the trace is recording. Safe for concurrent use (the
+// batcher goroutine writes while the request goroutine owns the trace).
+func (t *Trace) AddLayerEvents(evs []LayerEvent) {
+	if t == nil || !t.recording || len(evs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, evs...)
+	t.mu.Unlock()
+}
+
+// LayerEvents snapshots the collected per-layer events.
+func (t *Trace) LayerEvents() []LayerEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]LayerEvent(nil), t.events...)
 }
 
 // Add charges d to stage s.
